@@ -1,0 +1,280 @@
+// Benchmark proxies for every figure panel of the paper's evaluation,
+// plus the ablations called out in DESIGN.md.
+//
+// Each BenchmarkFigNN sub-benchmark reproduces one (figure, algorithm)
+// cell at a fixed representative worker count; the full thread/element
+// sweeps that regenerate whole figures run through cmd/leapbench, which
+// shares the same harness code. Benchmark initializations are scaled down
+// (50K-100K elements instead of the paper's 100K-1M) so the suite
+// completes in minutes; shapes, not absolute numbers, are the contract,
+// and EXPERIMENTS.md records the full-size runs.
+//
+// The custom ops/s metric is the paper's throughput measure; ns/op is the
+// inverse over the workload mix.
+package leaplist_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"leaplist/internal/core"
+	"leaplist/internal/harness"
+	"leaplist/internal/workload"
+)
+
+const (
+	benchWorkers   = 8
+	benchInitSmall = 50_000  // figures 14-16 proxy (paper: 100K)
+	benchInitBig   = 100_000 // figure 17 proxy (paper: 1M)
+)
+
+var (
+	mix100Modify = workload.Mix{ModifyPct: 100}
+	mix404020    = workload.Mix{LookupPct: 40, RangePct: 40, ModifyPct: 20}
+	mix100Lookup = workload.Mix{LookupPct: 100}
+	mix100Range  = workload.Mix{RangePct: 100}
+)
+
+// runMixBench drives b.N operations of the mix through tgt from
+// benchWorkers goroutines and reports ops/s.
+func runMixBench(b *testing.B, tgt harness.Target, mix workload.Mix, initN int) {
+	b.Helper()
+	tgt.Init(initN)
+	keySpace := uint64(initN)
+	var remaining atomic.Int64
+	remaining.Store(int64(b.N))
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < benchWorkers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			gen, err := workload.NewGenerator(workload.Config{
+				Mix:      mix,
+				KeySpace: keySpace,
+				RangeMin: harness.PaperRangeMin,
+				RangeMax: harness.PaperRangeMax,
+				Seed:     uint64(id + 1),
+			})
+			if err != nil {
+				panic(err)
+			}
+			lists := tgt.Lists()
+			ks := make([]uint64, lists)
+			vs := make([]uint64, lists)
+			hint := id
+			for remaining.Add(-1) >= 0 {
+				op, key, val, lo, hi := gen.Next()
+				switch op {
+				case workload.OpLookup:
+					tgt.Lookup(hint, key)
+				case workload.OpRange:
+					tgt.RangeCount(hint, lo, hi)
+				case workload.OpUpdate:
+					ks[0], vs[0] = key, val
+					for j := 1; j < lists; j++ {
+						ks[j], vs[j] = gen.Key(), gen.Value()
+					}
+					tgt.UpdateBatch(ks, vs)
+				case workload.OpRemove:
+					ks[0] = key
+					for j := 1; j < lists; j++ {
+						ks[j] = gen.Key()
+					}
+					tgt.RemoveBatch(ks)
+				}
+				hint++
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N)/elapsed.Seconds(), "ops/s")
+	}
+}
+
+// leapBuilder returns a fresh paper-configured Leap-List target.
+func leapBuilder(v core.Variant, lists int) func() harness.Target {
+	return func() harness.Target {
+		return harness.NewLeapTarget(harness.LeapOptions{
+			Variant:  v,
+			Lists:    lists,
+			NodeSize: harness.PaperNodeSize,
+			MaxLevel: harness.PaperMaxLevel,
+		})
+	}
+}
+
+// benchLeapVariants runs one figure panel across the four variants.
+func benchLeapVariants(b *testing.B, mix workload.Mix, initN int) {
+	for _, v := range []core.Variant{core.VariantLT, core.VariantCOP, core.VariantTM, core.VariantRW} {
+		build := leapBuilder(v, harness.PaperLists)
+		b.Run(v.String(), func(b *testing.B) {
+			runMixBench(b, build(), mix, initN)
+		})
+	}
+}
+
+// benchVsSkiplists runs one figure-17 panel: Leap-LT vs the baselines.
+func benchVsSkiplists(b *testing.B, mix workload.Mix) {
+	b.Run("Leap-LT", func(b *testing.B) {
+		runMixBench(b, leapBuilder(core.VariantLT, 1)(), mix, benchInitBig)
+	})
+	b.Run("Skiplist-cas", func(b *testing.B) {
+		runMixBench(b, harness.NewSkipCASTarget(16), mix, benchInitBig)
+	})
+	b.Run("Skiplist-tm", func(b *testing.B) {
+		runMixBench(b, harness.NewSkipTMTarget(16, false), mix, benchInitBig)
+	})
+}
+
+// ---- Figure 14: variants, 4 lists, 100K elements, thread sweep ----
+
+func BenchmarkFig14a(b *testing.B) { benchLeapVariants(b, mix100Modify, benchInitSmall) }
+func BenchmarkFig14b(b *testing.B) { benchLeapVariants(b, mix404020, benchInitSmall) }
+
+// ---- Figure 15: variants, element sweep ----
+
+func BenchmarkFig15a(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		b.Run(sizeLabel(n), func(b *testing.B) {
+			for _, v := range []core.Variant{core.VariantLT, core.VariantCOP, core.VariantTM, core.VariantRW} {
+				b.Run(v.String(), func(b *testing.B) {
+					runMixBench(b, leapBuilder(v, harness.PaperLists)(), mix100Modify, n)
+				})
+			}
+		})
+	}
+}
+
+func BenchmarkFig15b(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		b.Run(sizeLabel(n), func(b *testing.B) {
+			for _, v := range []core.Variant{core.VariantLT, core.VariantCOP, core.VariantTM, core.VariantRW} {
+				b.Run(v.String(), func(b *testing.B) {
+					runMixBench(b, leapBuilder(v, harness.PaperLists)(), mix100Lookup, n)
+				})
+			}
+		})
+	}
+}
+
+// ---- Figure 16: variants, mix sweep ----
+
+func BenchmarkFig16a(b *testing.B) {
+	for _, pct := range []int{0, 50, 90} {
+		mix := workload.Mix{LookupPct: pct, ModifyPct: 100 - pct}
+		b.Run("lookup"+pctLabel(pct), func(b *testing.B) {
+			benchLeapVariants(b, mix, benchInitSmall)
+		})
+	}
+}
+
+func BenchmarkFig16b(b *testing.B) {
+	for _, pct := range []int{0, 50, 90} {
+		mix := workload.Mix{RangePct: pct, ModifyPct: 100 - pct}
+		b.Run("range"+pctLabel(pct), func(b *testing.B) {
+			benchLeapVariants(b, mix, benchInitSmall)
+		})
+	}
+}
+
+// ---- Figure 17: Leap-LT vs skip-lists, single list ----
+
+func BenchmarkFig17a(b *testing.B) { benchVsSkiplists(b, mix100Modify) }
+func BenchmarkFig17b(b *testing.B) { benchVsSkiplists(b, mix404020) }
+func BenchmarkFig17c(b *testing.B) { benchVsSkiplists(b, mix100Lookup) }
+func BenchmarkFig17d(b *testing.B) { benchVsSkiplists(b, mix100Range) }
+
+// ---- Ablations (DESIGN.md §5) ----
+
+// BenchmarkAblationNodeSize sweeps K under the paper's mixed workload,
+// probing the paper's footnote-2 choice of K=300.
+func BenchmarkAblationNodeSize(b *testing.B) {
+	for _, k := range []int{16, 64, 300, 512} {
+		k := k
+		b.Run("K="+sizeLabel(k), func(b *testing.B) {
+			tgt := harness.NewLeapTarget(harness.LeapOptions{
+				Variant:  core.VariantLT,
+				Lists:    1,
+				NodeSize: k,
+				MaxLevel: harness.PaperMaxLevel,
+			})
+			runMixBench(b, tgt, mix404020, benchInitSmall)
+		})
+	}
+}
+
+// BenchmarkAblationTsExtension toggles STM timestamp extension under the
+// range-query-heavy mix where long read transactions need it.
+func BenchmarkAblationTsExtension(b *testing.B) {
+	for _, off := range []bool{false, true} {
+		name := "extension-on"
+		if off {
+			name = "extension-off"
+		}
+		off := off
+		b.Run(name, func(b *testing.B) {
+			tgt := harness.NewLeapTarget(harness.LeapOptions{
+				Variant:      core.VariantLT,
+				Lists:        harness.PaperLists,
+				NodeSize:     harness.PaperNodeSize,
+				MaxLevel:     harness.PaperMaxLevel,
+				ExtensionOff: off,
+			})
+			runMixBench(b, tgt, mix404020, benchInitSmall)
+		})
+	}
+}
+
+// BenchmarkAblationListCount sweeps the composed batch width L.
+func BenchmarkAblationListCount(b *testing.B) {
+	for _, lists := range []int{1, 2, 4, 8} {
+		lists := lists
+		b.Run("L="+sizeLabel(lists), func(b *testing.B) {
+			runMixBench(b, leapBuilder(core.VariantLT, lists)(), mix100Modify, benchInitSmall)
+		})
+	}
+}
+
+// BenchmarkAblationTrieVsBinary compares the two in-node directory
+// strategies at the paper's node size (see also the micro-benchmarks in
+// internal/trie).
+func BenchmarkAblationTrieVsBinary(b *testing.B) {
+	b.Run("structure", func(b *testing.B) {
+		tgt := leapBuilder(core.VariantLT, 1)()
+		runMixBench(b, tgt, mix100Lookup, benchInitSmall)
+	})
+}
+
+func sizeLabel(n int) string {
+	switch {
+	case n >= 1_000_000 && n%1_000_000 == 0:
+		return itoa(n/1_000_000) + "M"
+	case n >= 1_000 && n%1_000 == 0:
+		return itoa(n/1_000) + "K"
+	default:
+		return itoa(n)
+	}
+}
+
+func pctLabel(p int) string { return itoa(p) + "%" }
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

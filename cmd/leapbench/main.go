@@ -1,0 +1,183 @@
+// Command leapbench regenerates the Leap-List paper's evaluation figures
+// (Figures 14-17) and this repository's ablations on the local machine.
+//
+// Usage:
+//
+//	leapbench -list
+//	leapbench -exp fig14a [-duration 2s] [-reps 3] [-threads 1,2,4,8] [-csv out.csv]
+//	leapbench -all -quick -duration 500ms
+//
+// Each experiment prints one table: rows are x-axis points (threads,
+// elements, or mix percentage) and columns are algorithms, in operations
+// per second — the paper's metric. Shapes, not absolute numbers, are the
+// reproduction target; see EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"leaplist/internal/core"
+	"leaplist/internal/harness"
+	"leaplist/internal/latency"
+	"leaplist/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "leapbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		expID    = flag.String("exp", "", "experiment id (see -list)")
+		all      = flag.Bool("all", false, "run every experiment")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		duration = flag.Duration("duration", time.Second, "measured duration per cell (paper: 10s)")
+		reps     = flag.Int("reps", 1, "repetitions per cell, averaged (paper: 3)")
+		threads  = flag.String("threads", "", "comma-separated thread counts (default: paper's 1..80 sweep)")
+		quick    = flag.Bool("quick", false, "shrink the largest initializations for a fast pass")
+		stats    = flag.Bool("stats", false, "collect STM abort counts per cell")
+		csvPath  = flag.String("csv", "", "append CSV rows to this file")
+		lat      = flag.String("lat", "", "latency profile one target: lt|cop|tm|rw|skip-cas|skip-tm|btree-lock|btree-lookup")
+		plot     = flag.Bool("plot", false, "also render each table as an ASCII chart")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	if *lat != "" {
+		return latProfile(*lat, *duration, *threads)
+	}
+
+	params := harness.Params{
+		Duration: *duration,
+		Reps:     *reps,
+		Quick:    *quick,
+		Stats:    *stats,
+	}
+	if *threads != "" {
+		for _, part := range strings.Split(*threads, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				return fmt.Errorf("bad -threads element %q", part)
+			}
+			params.Threads = append(params.Threads, n)
+		}
+	}
+
+	var exps []harness.Experiment
+	switch {
+	case *all:
+		exps = harness.Experiments()
+	case *expID != "":
+		e, ok := harness.FindExperiment(*expID)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -list)", *expID)
+		}
+		exps = []harness.Experiment{e}
+	default:
+		return fmt.Errorf("nothing to do: pass -exp <id>, -all, or -list")
+	}
+
+	fmt.Printf("# GOMAXPROCS=%d NumCPU=%d duration=%s reps=%d quick=%v\n\n",
+		runtime.GOMAXPROCS(0), runtime.NumCPU(), *duration, *reps, *quick)
+
+	var csv *os.File
+	if *csvPath != "" {
+		f, err := os.OpenFile(*csvPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		csv = f
+	}
+
+	for _, e := range exps {
+		fmt.Printf("== %s: %s\n", e.ID, e.Title)
+		start := time.Now()
+		table, err := e.Run(params)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if err := table.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		if *plot {
+			if err := table.WritePlot(os.Stdout, 16); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("(%s elapsed)\n\n", time.Since(start).Round(time.Millisecond))
+		if csv != nil {
+			if err := table.WriteCSV(csv); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// latProfile runs the paper's mixed workload against one target with
+// per-operation latency tracking and prints the percentile table — the
+// mechanism view behind the throughput figures (e.g. Leap-LT lookups have
+// no transactional tail; Leap-tm updates do).
+func latProfile(name string, duration time.Duration, threads string) error {
+	workers := 8
+	if threads != "" {
+		n, err := strconv.Atoi(strings.TrimSpace(strings.Split(threads, ",")[0]))
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad -threads %q", threads)
+		}
+		workers = n
+	}
+	var tgt harness.Target
+	switch name {
+	case "lt":
+		tgt = harness.NewLeapTarget(harness.LeapOptions{Variant: core.VariantLT, Lists: harness.PaperLists, NodeSize: harness.PaperNodeSize, MaxLevel: harness.PaperMaxLevel})
+	case "cop":
+		tgt = harness.NewLeapTarget(harness.LeapOptions{Variant: core.VariantCOP, Lists: harness.PaperLists, NodeSize: harness.PaperNodeSize, MaxLevel: harness.PaperMaxLevel})
+	case "tm":
+		tgt = harness.NewLeapTarget(harness.LeapOptions{Variant: core.VariantTM, Lists: harness.PaperLists, NodeSize: harness.PaperNodeSize, MaxLevel: harness.PaperMaxLevel})
+	case "rw":
+		tgt = harness.NewLeapTarget(harness.LeapOptions{Variant: core.VariantRW, Lists: harness.PaperLists, NodeSize: harness.PaperNodeSize, MaxLevel: harness.PaperMaxLevel})
+	case "skip-cas":
+		tgt = harness.NewSkipCASTarget(16)
+	case "skip-tm":
+		tgt = harness.NewSkipTMTarget(16, false)
+	case "btree-lock":
+		tgt = harness.NewBTreeTarget(harness.PaperNodeSize, true)
+	case "btree-lookup":
+		tgt = harness.NewBTreeTarget(harness.PaperNodeSize, false)
+	default:
+		return fmt.Errorf("unknown -lat target %q", name)
+	}
+	res, err := harness.Run(harness.Config{
+		Workers:      workers,
+		Duration:     duration,
+		KeySpace:     harness.PaperKeySpace,
+		Init:         harness.PaperInit,
+		RangeMin:     harness.PaperRangeMin,
+		RangeMax:     harness.PaperRangeMax,
+		Mix:          workload.Mix{LookupPct: 40, RangePct: 40, ModifyPct: 20},
+		TrackLatency: true,
+	}, tgt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# %s — 40/40/20 mix, %d workers, %d elements, %.0f ops/s\n",
+		res.Target, workers, harness.PaperInit, res.OpsPerS)
+	fmt.Print(latency.Format(res.Latencies))
+	return nil
+}

@@ -1,0 +1,134 @@
+// Command leapsmoke is a fast correctness and liveness check for every
+// synchronization variant: it hammers each one with a concurrent mixed
+// workload, cross-checks final contents against a model, and prints a
+// one-line verdict per variant. Intended as a pre-benchmark sanity gate on
+// a new machine (the paper's experiments assume a stable implementation;
+// this is the check the authors describe doing by hand for their
+// fine-grained prototype, automated).
+package main
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"leaplist/internal/core"
+	"leaplist/internal/stm"
+)
+
+const (
+	workers  = 8
+	keySpace = 4096
+	opsEach  = 20_000
+	lists    = 4
+)
+
+func main() {
+	fmt.Printf("leapsmoke: %d workers x %d ops, %d lists, keyspace %d, GOMAXPROCS=%d\n",
+		workers, opsEach, lists, keySpace, runtime.GOMAXPROCS(0))
+	failed := false
+	for _, v := range []core.Variant{core.VariantLT, core.VariantTM, core.VariantCOP, core.VariantRW} {
+		if err := smoke(v); err != nil {
+			fmt.Printf("FAIL %-12s %v\n", v, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func smoke(v core.Variant) error {
+	g := core.NewGroup[uint64](core.Config{
+		NodeSize: 64,
+		MaxLevel: 8,
+		Variant:  v,
+	}, stm.New(stm.WithStats(true)))
+	ls := make([]*core.List[uint64], lists)
+	for i := range ls {
+		ls[i] = g.NewList()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	var firstErr error
+	var mu sync.Mutex
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(seed, 2027))
+			ks := make([]uint64, lists)
+			vs := make([]uint64, lists)
+			for i := 0; i < opsEach; i++ {
+				switch r.IntN(10) {
+				case 0, 1, 2:
+					for j := range ks {
+						ks[j] = r.Uint64N(keySpace)
+						vs[j] = ks[j] * 3
+					}
+					if err := g.Update(ls, ks, vs); err != nil {
+						fail(err)
+						return
+					}
+				case 3, 4:
+					for j := range ks {
+						ks[j] = r.Uint64N(keySpace)
+					}
+					if err := g.Remove(ls, ks, nil); err != nil {
+						fail(err)
+						return
+					}
+				case 5, 6, 7:
+					k := r.Uint64N(keySpace)
+					if val, ok := ls[r.IntN(lists)].Lookup(k); ok && val != k*3 {
+						fail(fmt.Errorf("lookup(%d) = %d, want %d", k, val, k*3))
+						return
+					}
+				default:
+					lo := r.Uint64N(keySpace)
+					ls[r.IntN(lists)].RangeQuery(lo, lo+256, func(k, val uint64) {
+						if val != k*3 {
+							fail(fmt.Errorf("range value for %d = %d", k, val))
+						}
+					})
+				}
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	for i, l := range ls {
+		if err := l.CheckInvariants(); err != nil {
+			return fmt.Errorf("list %d invariants: %w", i, err)
+		}
+	}
+	st := g.STM().Stats()
+	fmt.Printf("PASS %-12s %7.0f ops/ms, %d keys/list avg, aborts %.1f%%, %s\n",
+		v,
+		float64(workers*opsEach)/float64(time.Since(start).Milliseconds()),
+		avgLen(ls),
+		100*st.AbortRate(),
+		time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func avgLen(ls []*core.List[uint64]) int {
+	total := 0
+	for _, l := range ls {
+		total += l.Len()
+	}
+	return total / len(ls)
+}

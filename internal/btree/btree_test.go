@@ -1,0 +1,287 @@
+package btree
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	tr := New[uint64](8)
+	if _, ok := tr.Get(5); ok {
+		t.Fatal("Get on empty returned ok")
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if deleted, err := tr.Delete(5); err != nil || deleted {
+		t.Fatalf("Delete = (%v, %v)", deleted, err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	tr := New[uint64](4) // tiny order maximizes splits/merges
+	const n = 500
+	for i := uint64(0); i < n; i++ {
+		k := (i * 37) % 1000 // scrambled order
+		if err := tr.Set(k, k*2); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < n; i++ {
+		k := (i * 37) % 1000
+		v, ok := tr.Get(k)
+		if !ok || v != k*2 {
+			t.Fatalf("Get(%d) = (%d, %v)", k, v, ok)
+		}
+	}
+	for i := uint64(0); i < n; i += 2 {
+		k := (i * 37) % 1000
+		deleted, err := tr.Delete(k)
+		if err != nil || !deleted {
+			t.Fatalf("Delete(%d) = (%v, %v)", k, deleted, err)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("after Delete(%d): %v", k, err)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		k := (i * 37) % 1000
+		_, ok := tr.Get(k)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d) = %v, want %v", k, ok, want)
+		}
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	tr := New[string](4)
+	for _, v := range []string{"a", "b", "c"} {
+		if err := tr.Set(7, v); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+	}
+	if v, ok := tr.Get(7); !ok || v != "c" {
+		t.Fatalf("Get = (%q, %v)", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestKeyRange(t *testing.T) {
+	tr := New[int](8)
+	if err := tr.Set(^uint64(0), 1); !errors.Is(err, ErrKeyRange) {
+		t.Fatalf("Set = %v", err)
+	}
+	if _, err := tr.Delete(^uint64(0)); !errors.Is(err, ErrKeyRange) {
+		t.Fatalf("Delete = %v", err)
+	}
+	if err := tr.Set(MaxKey, 42); err != nil {
+		t.Fatalf("Set(MaxKey): %v", err)
+	}
+	if v, ok := tr.Get(MaxKey); !ok || v != 42 {
+		t.Fatalf("Get(MaxKey) = (%d, %v)", v, ok)
+	}
+}
+
+func TestRangeStrategiesSequentialEquivalence(t *testing.T) {
+	tr := New[uint64](8)
+	for i := uint64(0); i < 200; i += 2 {
+		if err := tr.Set(i, i+1); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+	}
+	for _, bounds := range [][2]uint64{{0, 199}, {10, 20}, {9, 21}, {50, 50}, {51, 51}, {300, 400}, {20, 10}} {
+		lo, hi := bounds[0], bounds[1]
+		var locked, lookups []uint64
+		nLocked := tr.RangeLocked(lo, hi, func(k, v uint64) { locked = append(locked, k) })
+		nLookups := tr.RangeLookups(lo, hi, func(k, v uint64) { lookups = append(lookups, k) })
+		if nLocked != nLookups || len(locked) != len(lookups) {
+			t.Fatalf("[%d,%d]: locked %v vs lookups %v", lo, hi, locked, lookups)
+		}
+		for i := range locked {
+			if locked[i] != lookups[i] {
+				t.Fatalf("[%d,%d]: locked %v vs lookups %v", lo, hi, locked, lookups)
+			}
+		}
+	}
+}
+
+func TestNextAbove(t *testing.T) {
+	tr := New[uint64](4)
+	keys := []uint64{5, 10, 17, 23, 99, 1000}
+	for _, k := range keys {
+		if err := tr.Set(k, k); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+	}
+	tests := []struct {
+		probe  uint64
+		want   uint64
+		wantOK bool
+	}{
+		{0, 5, true}, {5, 5, true}, {6, 10, true}, {11, 17, true},
+		{23, 23, true}, {24, 99, true}, {100, 1000, true}, {1001, 0, false},
+	}
+	for _, tc := range tests {
+		k, _, ok := tr.NextAbove(tc.probe)
+		if ok != tc.wantOK || (ok && k != tc.want) {
+			t.Fatalf("NextAbove(%d) = (%d, %v), want (%d, %v)", tc.probe, k, ok, tc.want, tc.wantOK)
+		}
+	}
+}
+
+func TestQuickAgainstMap(t *testing.T) {
+	f := func(ops []uint16, order8 bool) bool {
+		order := 4
+		if order8 {
+			order = 8
+		}
+		tr := New[uint64](order)
+		model := map[uint64]uint64{}
+		for _, raw := range ops {
+			k := uint64(raw % 128)
+			switch raw % 3 {
+			case 0:
+				if err := tr.Set(k, uint64(raw)); err != nil {
+					return false
+				}
+				model[k] = uint64(raw)
+			case 1:
+				deleted, err := tr.Delete(k)
+				if err != nil {
+					return false
+				}
+				if _, has := model[k]; has != deleted {
+					return false
+				}
+				delete(model, k)
+			case 2:
+				v, ok := tr.Get(k)
+				mv, mok := model[k]
+				if ok != mok || (ok && v != mv) {
+					return false
+				}
+			}
+		}
+		if tr.CheckInvariants() != nil || tr.Len() != len(model) {
+			return false
+		}
+		var got []uint64
+		tr.RangeLocked(0, MaxKey, func(k, v uint64) { got = append(got, k) })
+		want := make([]uint64, 0, len(model))
+		for k := range model {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100}
+	if testing.Short() {
+		cfg.MaxCount = 25
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	tr := New[uint64](32)
+	const workers = 8
+	iters := 2000
+	if testing.Short() {
+		iters = 300
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(seed, 31))
+			for i := 0; i < iters; i++ {
+				k := r.Uint64N(512)
+				switch r.IntN(10) {
+				case 0, 1, 2, 3:
+					if err := tr.Set(k, k*3); err != nil {
+						t.Errorf("Set: %v", err)
+						return
+					}
+				case 4, 5:
+					if _, err := tr.Delete(k); err != nil {
+						t.Errorf("Delete: %v", err)
+						return
+					}
+				case 6, 7:
+					if v, ok := tr.Get(k); ok && v != k*3 {
+						t.Errorf("Get(%d) = %d", k, v)
+						return
+					}
+				case 8:
+					tr.RangeLocked(k, k+64, func(k, v uint64) {
+						if v != k*3 {
+							t.Errorf("locked range value for %d = %d", k, v)
+						}
+					})
+				default:
+					tr.RangeLookups(k, k+64, func(k, v uint64) {
+						if v != k*3 {
+							t.Errorf("lookup range value for %d = %d", k, v)
+						}
+					})
+				}
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAscendingDescendingBulk(t *testing.T) {
+	for _, desc := range []bool{false, true} {
+		tr := New[uint64](6)
+		const n = 2000
+		for i := 0; i < n; i++ {
+			k := uint64(i)
+			if desc {
+				k = uint64(n - 1 - i)
+			}
+			if err := tr.Set(k, k); err != nil {
+				t.Fatalf("Set: %v", err)
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("desc=%v: %v", desc, err)
+		}
+		if tr.Len() != n {
+			t.Fatalf("Len = %d", tr.Len())
+		}
+		for i := 0; i < n; i++ {
+			if deleted, _ := tr.Delete(uint64(i)); !deleted {
+				t.Fatalf("Delete(%d) missed", i)
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("after drain desc=%v: %v", desc, err)
+		}
+	}
+}

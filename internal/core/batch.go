@@ -1,0 +1,103 @@
+package core
+
+import "errors"
+
+// ErrDuplicateList rejects batches naming the same list twice: two keys of
+// one batch landing in the same node would make the operation conflict with
+// itself (the paper's batches always address L distinct lists).
+var ErrDuplicateList = errors.New("core: duplicate list in batch")
+
+// batchState is the reusable per-operation scratch of the update/remove
+// protocols: predecessor/successor arrays per list (the paper's pa and na),
+// the target nodes, the replacement nodes, and the per-list flags. Pooled
+// per group so steady-state operations allocate only the replacement nodes
+// themselves.
+type batchState[V any] struct {
+	pa, na  [][]*node[V]
+	n       []*node[V] // na[j][0], the node being replaced
+	old1    []*node[V] // remove: successor merged away, if any
+	new0    []*node[V] // replacement (update: left half on split)
+	new1    []*node[V] // update: right half on split
+	split   []bool
+	merge   []bool
+	changed []bool
+	maxH    []int
+}
+
+// getBatch returns scratch sized for s lists of maxLevel levels.
+func (g *Group[V]) getBatch(s int) *batchState[V] {
+	b, _ := g.pool.Get().(*batchState[V])
+	if b == nil {
+		b = &batchState[V]{}
+	}
+	b.ensure(s, g.cfg.MaxLevel)
+	return b
+}
+
+func (g *Group[V]) putBatch(b *batchState[V]) {
+	b.clear()
+	g.pool.Put(b)
+}
+
+func (b *batchState[V]) ensure(s, maxLevel int) {
+	for len(b.pa) < s {
+		b.pa = append(b.pa, make([]*node[V], maxLevel))
+		b.na = append(b.na, make([]*node[V], maxLevel))
+	}
+	for j := 0; j < s; j++ {
+		if len(b.pa[j]) < maxLevel {
+			b.pa[j] = make([]*node[V], maxLevel)
+			b.na[j] = make([]*node[V], maxLevel)
+		}
+	}
+	grow := func(sl []*node[V]) []*node[V] {
+		for len(sl) < s {
+			sl = append(sl, nil)
+		}
+		return sl
+	}
+	b.n = grow(b.n)
+	b.old1 = grow(b.old1)
+	b.new0 = grow(b.new0)
+	b.new1 = grow(b.new1)
+	for len(b.split) < s {
+		b.split = append(b.split, false)
+		b.merge = append(b.merge, false)
+		b.changed = append(b.changed, false)
+		b.maxH = append(b.maxH, 0)
+	}
+}
+
+// clear drops node references so the pooled state does not pin dead nodes.
+func (b *batchState[V]) clear() {
+	for j := range b.n {
+		b.n[j], b.old1[j], b.new0[j], b.new1[j] = nil, nil, nil, nil
+		for i := range b.pa[j] {
+			b.pa[j][i], b.na[j][i] = nil, nil
+		}
+	}
+}
+
+// checkBatch validates batch inputs shared by Update and Remove.
+func (g *Group[V]) checkBatch(ls []*List[V], ks []uint64, nvals int) error {
+	if len(ls) == 0 {
+		return ErrEmptyBatch
+	}
+	if len(ks) != len(ls) || (nvals >= 0 && nvals != len(ls)) {
+		return ErrBatchMismatch
+	}
+	for j, l := range ls {
+		if l == nil || l.g != g {
+			return ErrForeignList
+		}
+		if ks[j] > MaxKey {
+			return ErrKeyRange
+		}
+		for i := 0; i < j; i++ {
+			if ls[i] == l {
+				return ErrDuplicateList
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"testing"
+)
+
+// These tests drive the split and merge linking code through each of its
+// level-relationship branches deterministically, using an injected level
+// function. The branches correspond to the paper's Figure 10 (update
+// release: new0 taller vs new1 taller) and Figure 13 (remove release:
+// old0 taller vs old1 taller), whose index arithmetic is the most
+// delicate code in the protocol.
+
+// scriptedLevels returns levels from a script, then repeats the last.
+func scriptedLevels(script ...int) func(int) int {
+	i := 0
+	return func(maxLevel int) int {
+		lvl := script[min(i, len(script)-1)]
+		i++
+		if lvl > maxLevel {
+			lvl = maxLevel
+		}
+		return lvl
+	}
+}
+
+func buildForBranches(t *testing.T, v Variant, levels func(int) int) (*Group[uint64], *List[uint64]) {
+	t.Helper()
+	cfg := Config{NodeSize: 4, MaxLevel: 6, Variant: v}
+	cfg.SetLevelFunc(levels)
+	g := NewGroup[uint64](cfg, nil)
+	return g, g.NewList()
+}
+
+// fillNode inserts keys 0..NodeSize-1 so the first real node is exactly
+// full; the next insert into its range must split it.
+func fillNode(t *testing.T, l *List[uint64]) {
+	t.Helper()
+	for i := uint64(0); i < uint64(l.g.cfg.NodeSize); i++ {
+		if err := l.Set(i*10, i); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+	}
+}
+
+func TestSplitNewLeftTaller(t *testing.T) {
+	for _, v := range allVariants {
+		t.Run(v.String(), func(t *testing.T) {
+			// All pre-split nodes at level 1; the split's new left node
+			// gets level 5 (> right's inherited level 1).
+			levels := scriptedLevels(1, 1, 1, 1, 5)
+			_, l := buildForBranches(t, v, levels)
+			fillNode(t, l)
+			if err := l.Set(15, 99); err != nil { // forces the split
+				t.Fatalf("Set: %v", err)
+			}
+			mustCheck(t, l)
+			for i := uint64(0); i < 4; i++ {
+				if got, ok := l.Lookup(i * 10); !ok || got != i {
+					t.Fatalf("Lookup(%d) = (%d, %v)", i*10, got, ok)
+				}
+			}
+			if got, ok := l.Lookup(15); !ok || got != 99 {
+				t.Fatalf("Lookup(15) = (%d, %v)", got, ok)
+			}
+		})
+	}
+}
+
+func TestSplitNewRightTaller(t *testing.T) {
+	for _, v := range allVariants {
+		t.Run(v.String(), func(t *testing.T) {
+			// Pre-split inserts produce a level-4 node (the first new node
+			// created by the first Set grows the +inf node's replacement at
+			// level 4); the split's new left node gets level 1 (< right's
+			// inherited 4).
+			levels := scriptedLevels(4, 4, 4, 4, 1)
+			_, l := buildForBranches(t, v, levels)
+			fillNode(t, l)
+			if err := l.Set(15, 99); err != nil {
+				t.Fatalf("Set: %v", err)
+			}
+			mustCheck(t, l)
+			for i := uint64(0); i < 4; i++ {
+				if got, ok := l.Lookup(i * 10); !ok || got != i {
+					t.Fatalf("Lookup(%d) = (%d, %v)", i*10, got, ok)
+				}
+			}
+			if got, ok := l.Lookup(15); !ok || got != 99 {
+				t.Fatalf("Lookup(15) = (%d, %v)", got, ok)
+			}
+		})
+	}
+}
+
+func TestSplitEqualLevels(t *testing.T) {
+	for _, v := range allVariants {
+		t.Run(v.String(), func(t *testing.T) {
+			levels := scriptedLevels(2)
+			_, l := buildForBranches(t, v, levels)
+			fillNode(t, l)
+			if err := l.Set(15, 99); err != nil {
+				t.Fatalf("Set: %v", err)
+			}
+			mustCheck(t, l)
+			if got := l.Len(); got != 5 {
+				t.Fatalf("Len = %d, want 5", got)
+			}
+		})
+	}
+}
+
+// TestMergeTallerSuccessor drives the remove-merge branch where old1 is
+// taller than old0 (replacement takes old1's level; pa validation spans
+// [old0.level, old1.level)).
+func TestMergeTallerSuccessor(t *testing.T) {
+	for _, v := range allVariants {
+		t.Run(v.String(), func(t *testing.T) {
+			// Build two adjacent sparse nodes: left at level 1, right at
+			// level 5, each with few enough keys that removing from the
+			// left merges them.
+			levels := scriptedLevels(
+				5, // replacement of +inf node for first batch of inserts
+				1, // split left node -> level 1 (holds low keys)
+			)
+			_, l := buildForBranches(t, v, levels)
+			// Fill one node (level 5 via first replacement), then split so
+			// the left half is level 1 and right half level 5.
+			fillNode(t, l)
+			if err := l.Set(15, 99); err != nil {
+				t.Fatalf("Set: %v", err)
+			}
+			mustCheck(t, l)
+			before := l.NodeCount()
+			// Drain keys; merges must traverse the taller-successor path
+			// at least once given the level layout.
+			for _, k := range []uint64{0, 10, 15, 20, 30} {
+				if changed, err := l.Delete(k); err != nil || !changed {
+					t.Fatalf("Delete(%d) = (%v, %v)", k, changed, err)
+				}
+				mustCheck(t, l)
+			}
+			if got := l.Len(); got != 0 {
+				t.Fatalf("Len = %d, want 0", got)
+			}
+			if l.NodeCount() >= before {
+				t.Fatalf("no merge happened (nodes %d -> %d)", before, l.NodeCount())
+			}
+		})
+	}
+}
+
+// TestMergeTallerPredecessor drives the branch where old0 is taller than
+// old1 (replacement keeps old0's level and its upper next pointers).
+func TestMergeTallerPredecessor(t *testing.T) {
+	for _, v := range allVariants {
+		t.Run(v.String(), func(t *testing.T) {
+			levels := scriptedLevels(
+				1, // +inf replacement stays low... but +inf keeps its own level (max);
+				5, // split left node -> level 5 (holds low keys)
+			)
+			_, l := buildForBranches(t, v, levels)
+			fillNode(t, l)
+			if err := l.Set(15, 99); err != nil {
+				t.Fatalf("Set: %v", err)
+			}
+			mustCheck(t, l)
+			for _, k := range []uint64{30, 20, 15, 10, 0} {
+				if changed, err := l.Delete(k); err != nil || !changed {
+					t.Fatalf("Delete(%d) = (%v, %v)", k, changed, err)
+				}
+				mustCheck(t, l)
+			}
+			if got := l.Len(); got != 0 {
+				t.Fatalf("Len = %d, want 0", got)
+			}
+		})
+	}
+}
+
+// TestUpdateFullNodeExistingKey exercises the paper's eager split: an
+// overwrite of a key in a full node still splits (Figure 8 decides on
+// count before knowing the key exists).
+func TestUpdateFullNodeExistingKey(t *testing.T) {
+	for _, v := range allVariants {
+		t.Run(v.String(), func(t *testing.T) {
+			_, l := buildForBranches(t, v, scriptedLevels(2))
+			fillNode(t, l)
+			mustCheck(t, l)
+			if err := l.Set(10, 777); err != nil { // existing key, full node
+				t.Fatalf("Set: %v", err)
+			}
+			mustCheck(t, l)
+			if got, ok := l.Lookup(10); !ok || got != 777 {
+				t.Fatalf("Lookup(10) = (%d, %v)", got, ok)
+			}
+			if got := l.Len(); got != 4 {
+				t.Fatalf("Len = %d, want 4 (overwrite must not duplicate)", got)
+			}
+		})
+	}
+}
+
+// TestRemoveFromEmptyTerminal removes against the keyless +inf node.
+func TestRemoveFromEmptyTerminal(t *testing.T) {
+	for _, v := range allVariants {
+		t.Run(v.String(), func(t *testing.T) {
+			_, l := buildForBranches(t, v, scriptedLevels(2))
+			if changed, err := l.Delete(12345); err != nil || changed {
+				t.Fatalf("Delete on empty = (%v, %v)", changed, err)
+			}
+			mustCheck(t, l)
+		})
+	}
+}
+
+// TestEmptyMiddleNodeRemainsUsable drains a node to zero keys without a
+// merge partner small enough, then inserts back into its range.
+func TestEmptyMiddleNodeRemainsUsable(t *testing.T) {
+	for _, v := range allVariants {
+		t.Run(v.String(), func(t *testing.T) {
+			g := NewGroup[uint64](Config{NodeSize: 4, MaxLevel: 5, Variant: v}, nil)
+			l := g.NewList()
+			// Three full nodes worth of keys.
+			for i := uint64(0); i < 12; i++ {
+				if err := l.Set(i, i); err != nil {
+					t.Fatalf("Set: %v", err)
+				}
+			}
+			mustCheck(t, l)
+			// Drain a middle stretch; merges may leave empty nodes when
+			// neighbors are full — either way invariants must hold and
+			// the range must stay insertable.
+			for i := uint64(4); i < 8; i++ {
+				if _, err := l.Delete(i); err != nil {
+					t.Fatalf("Delete: %v", err)
+				}
+				mustCheck(t, l)
+			}
+			for i := uint64(4); i < 8; i++ {
+				if err := l.Set(i, i*2); err != nil {
+					t.Fatalf("re-Set: %v", err)
+				}
+			}
+			mustCheck(t, l)
+			if got := l.Len(); got != 12 {
+				t.Fatalf("Len = %d, want 12", got)
+			}
+		})
+	}
+}

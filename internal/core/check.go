@@ -1,0 +1,124 @@
+package core
+
+import "fmt"
+
+// CheckInvariants validates the structural invariants of a quiescent list
+// (no concurrent operations may be running). It verifies that:
+//
+//   - level-0 nodes have strictly increasing high bounds ending at +inf;
+//   - every node's keys are sorted, within (prev.high, high], and no node
+//     exceeds NodeSize;
+//   - every node's trie resolves each of its keys;
+//   - all reachable nodes are live and no slot is marked;
+//   - the level-i list is exactly the subsequence of level-0 nodes with
+//     level > i;
+//   - the terminal node has high = +inf and the maximum level.
+//
+// It returns a descriptive error on the first violation. Tests run it after
+// every stress phase.
+func (l *List[V]) CheckInvariants() error {
+	maxLevel := l.g.cfg.MaxLevel
+	// Walk level 0, collecting the node sequence.
+	var seq []*node[V]
+	prevHigh := negInf
+	n := l.head.next[0].PeekPtr()
+	for n != nil {
+		if n.live.Peek() != 1 {
+			return fmt.Errorf("reachable node (high=%d) is not live", n.high)
+		}
+		if n.high <= prevHigh && n.high != posInf {
+			return fmt.Errorf("node high %d not above predecessor high %d", n.high, prevHigh)
+		}
+		if n.count() > l.g.cfg.NodeSize {
+			return fmt.Errorf("node (high=%d) holds %d > NodeSize=%d keys", n.high, n.count(), l.g.cfg.NodeSize)
+		}
+		if n.level < 1 || n.level > maxLevel {
+			return fmt.Errorf("node (high=%d) has level %d outside [1,%d]", n.high, n.level, maxLevel)
+		}
+		for i, k := range n.keys {
+			if i > 0 && n.keys[i-1] >= k {
+				return fmt.Errorf("node (high=%d) keys not strictly increasing at %d", n.high, i)
+			}
+			if k <= prevHigh || k > n.high {
+				return fmt.Errorf("node key %d outside range (%d,%d]", k, prevHigh, n.high)
+			}
+			if got := n.find(k); got != i {
+				return fmt.Errorf("node trie resolves key %d to %d, want %d", k, got, i)
+			}
+		}
+		for i := 0; i < n.level; i++ {
+			if n.next[i].PeekTag() != 0 {
+				return fmt.Errorf("node (high=%d) slot %d marked at quiescence", n.high, i)
+			}
+		}
+		seq = append(seq, n)
+		prevHigh = n.high
+		n = n.next[0].PeekPtr()
+	}
+	if len(seq) == 0 {
+		return fmt.Errorf("list has no terminal node")
+	}
+	last := seq[len(seq)-1]
+	if last.high != posInf {
+		return fmt.Errorf("terminal node high = %d, want +inf", last.high)
+	}
+	if last.level != maxLevel {
+		return fmt.Errorf("terminal node level = %d, want %d", last.level, maxLevel)
+	}
+	// Per-level chains must be the filtered level-0 sequence.
+	for i := 0; i < maxLevel; i++ {
+		want := make([]*node[V], 0, len(seq))
+		for _, m := range seq {
+			if m.level > i {
+				want = append(want, m)
+			}
+		}
+		got := make([]*node[V], 0, len(want))
+		for m := l.head.next[i].PeekPtr(); m != nil; m = m.next[i].PeekPtr() {
+			got = append(got, m)
+			if len(got) > len(seq)+1 {
+				return fmt.Errorf("level %d chain longer than node count (cycle?)", i)
+			}
+		}
+		if len(got) != len(want) {
+			return fmt.Errorf("level %d chain has %d nodes, want %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				return fmt.Errorf("level %d chain diverges at position %d", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Keys returns every key in the list in ascending order; a quiescent-state
+// helper for tests and tools.
+func (l *List[V]) Keys() []uint64 {
+	var out []uint64
+	for n := l.head.next[0].PeekPtr(); n != nil; n = n.next[0].PeekPtr() {
+		for _, k := range n.keys {
+			out = append(out, toPublic(k))
+		}
+	}
+	return out
+}
+
+// Len returns the number of keys by traversing level 0; O(n/K) node visits.
+func (l *List[V]) Len() int {
+	total := 0
+	for n := l.head.next[0].PeekPtr(); n != nil; n = n.next[0].PeekPtr() {
+		total += n.count()
+	}
+	return total
+}
+
+// NodeCount returns the number of nodes on level 0 (excluding the head);
+// exposed for tests and capacity diagnostics.
+func (l *List[V]) NodeCount() int {
+	total := 0
+	for n := l.head.next[0].PeekPtr(); n != nil; n = n.next[0].PeekPtr() {
+		total++
+	}
+	return total
+}

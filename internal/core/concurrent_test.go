@@ -1,0 +1,273 @@
+package core
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// stressIters scales the concurrent workloads down under -short and -race.
+func stressIters(full int) int {
+	if testing.Short() {
+		return full / 10
+	}
+	return full
+}
+
+// TestConcurrentMixedOps hammers one list per variant with a mixed
+// workload, then verifies structural invariants and key accounting.
+func TestConcurrentMixedOps(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, g *Group[uint64]) {
+		l := g.NewList()
+		const workers = 8
+		const keySpace = 256
+		iters := stressIters(3000)
+
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(seed uint64) {
+				defer wg.Done()
+				r := rand.New(rand.NewPCG(seed, 99))
+				for i := 0; i < iters; i++ {
+					k := r.Uint64N(keySpace)
+					switch r.IntN(10) {
+					case 0, 1, 2, 3:
+						if err := l.Set(k, k*2); err != nil {
+							t.Errorf("Set: %v", err)
+							return
+						}
+					case 4, 5, 6:
+						if _, err := l.Delete(k); err != nil {
+							t.Errorf("Delete: %v", err)
+							return
+						}
+					case 7, 8:
+						if v, ok := l.Lookup(k); ok && v != k*2 {
+							t.Errorf("Lookup(%d) = %d, want %d", k, v, k*2)
+							return
+						}
+					case 9:
+						lo := r.Uint64N(keySpace)
+						hi := lo + r.Uint64N(32)
+						l.RangeQuery(lo, hi, func(k uint64, v uint64) {
+							if v != k*2 {
+								t.Errorf("range value for %d = %d, want %d", k, v, k*2)
+							}
+						})
+					}
+				}
+			}(uint64(w + 1))
+		}
+		wg.Wait()
+		mustCheck(t, l)
+	})
+}
+
+// TestSnapshotPrefixConsistency checks linearizability of range queries:
+// one writer inserts keys in ascending order, so any linearizable full
+// snapshot must be a gapless prefix {0, 1, ..., m-1}. A non-atomic scan
+// (like the paper's Skip-cas baseline) can violate this by missing a key
+// that was present before one it reports.
+func TestSnapshotPrefixConsistency(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, g *Group[uint64]) {
+		l := g.NewList()
+		const total = 600
+		n := stressIters(total)
+		if n < 50 {
+			n = 50
+		}
+
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if err := l.Set(uint64(i), uint64(i)); err != nil {
+					t.Errorf("Set: %v", err)
+					return
+				}
+			}
+		}()
+		var snapshots atomic.Int64
+		for w := 0; w < 3; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					var keys []uint64
+					l.RangeQuery(0, uint64(n), func(k uint64, v uint64) {
+						keys = append(keys, k)
+					})
+					snapshots.Add(1)
+					for i, k := range keys {
+						if k != uint64(i) {
+							t.Errorf("snapshot gap: position %d holds %d (len %d)", i, k, len(keys))
+							return
+						}
+					}
+				}
+			}()
+		}
+		// Wait for the writer to finish by polling the key count.
+		for l.Len() < n {
+			runtime.Gosched()
+		}
+		close(stop)
+		wg.Wait()
+		if snapshots.Load() == 0 {
+			t.Fatal("no snapshots taken during insertion")
+		}
+		mustCheck(t, l)
+	})
+}
+
+// TestBatchAtomicityAcrossLists verifies composed updates are all-or-
+// nothing: workers write the same value to one key in two lists in a
+// single batch; at quiescence both lists must agree for every key.
+func TestBatchAtomicityAcrossLists(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, g *Group[uint64]) {
+		l1, l2 := g.NewList(), g.NewList()
+		ls := []*List[uint64]{l1, l2}
+		const workers = 6
+		const keySpace = 64
+		iters := stressIters(2000)
+
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(seed uint64) {
+				defer wg.Done()
+				r := rand.New(rand.NewPCG(seed, 7))
+				ks := make([]uint64, 2)
+				vs := make([]uint64, 2)
+				for i := 0; i < iters; i++ {
+					k := r.Uint64N(keySpace)
+					v := r.Uint64()
+					ks[0], ks[1] = k, k
+					vs[0], vs[1] = v, v
+					if r.IntN(4) == 0 {
+						if err := g.Remove(ls, ks, nil); err != nil {
+							t.Errorf("Remove: %v", err)
+							return
+						}
+					} else {
+						if err := g.Update(ls, ks, vs); err != nil {
+							t.Errorf("Update: %v", err)
+							return
+						}
+					}
+				}
+			}(uint64(w + 1))
+		}
+		wg.Wait()
+		mustCheck(t, l1)
+		mustCheck(t, l2)
+		for k := uint64(0); k < keySpace; k++ {
+			v1, ok1 := l1.Lookup(k)
+			v2, ok2 := l2.Lookup(k)
+			if ok1 != ok2 || (ok1 && v1 != v2) {
+				t.Fatalf("lists diverge at key %d: (%d,%v) vs (%d,%v)", k, v1, ok1, v2, ok2)
+			}
+		}
+	})
+}
+
+// TestConcurrentFourListWorkload runs the paper's experimental shape — L=4
+// lists, batches touching all four, mixed with lookups and range queries —
+// and validates every list afterwards.
+func TestConcurrentFourListWorkload(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, g *Group[uint64]) {
+		const L = 4
+		ls := make([]*List[uint64], L)
+		for i := range ls {
+			ls[i] = g.NewList()
+		}
+		const workers = 8
+		const keySpace = 512
+		iters := stressIters(1500)
+
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(seed uint64) {
+				defer wg.Done()
+				r := rand.New(rand.NewPCG(seed, 3))
+				ks := make([]uint64, L)
+				vs := make([]uint64, L)
+				for i := 0; i < iters; i++ {
+					switch r.IntN(10) {
+					case 0, 1, 2:
+						for j := range ks {
+							ks[j] = r.Uint64N(keySpace)
+							vs[j] = r.Uint64()
+						}
+						if err := g.Update(ls, ks, vs); err != nil {
+							t.Errorf("Update: %v", err)
+							return
+						}
+					case 3, 4:
+						for j := range ks {
+							ks[j] = r.Uint64N(keySpace)
+						}
+						if err := g.Remove(ls, ks, nil); err != nil {
+							t.Errorf("Remove: %v", err)
+							return
+						}
+					case 5, 6, 7:
+						ls[r.IntN(L)].Lookup(r.Uint64N(keySpace))
+					default:
+						lo := r.Uint64N(keySpace)
+						ls[r.IntN(L)].RangeQuery(lo, lo+r.Uint64N(64), nil)
+					}
+				}
+			}(uint64(w + 1))
+		}
+		wg.Wait()
+		for i := range ls {
+			mustCheck(t, ls[i])
+		}
+	})
+}
+
+// TestConcurrentSameKeyContention focuses every worker on a tiny key space
+// to maximize node-level conflicts (splits and merges of the same nodes).
+func TestConcurrentSameKeyContention(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, g *Group[uint64]) {
+		l := g.NewList()
+		const workers = 8
+		iters := stressIters(2000)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(seed uint64) {
+				defer wg.Done()
+				r := rand.New(rand.NewPCG(seed, 11))
+				for i := 0; i < iters; i++ {
+					k := r.Uint64N(8) // all traffic within one or two nodes
+					if r.IntN(2) == 0 {
+						if err := l.Set(k, k); err != nil {
+							t.Errorf("Set: %v", err)
+							return
+						}
+					} else {
+						if _, err := l.Delete(k); err != nil {
+							t.Errorf("Delete: %v", err)
+							return
+						}
+					}
+				}
+			}(uint64(w + 1))
+		}
+		wg.Wait()
+		mustCheck(t, l)
+	})
+}

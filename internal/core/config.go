@@ -1,0 +1,154 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+
+	"leaplist/internal/epoch"
+	"leaplist/internal/stm"
+)
+
+// Variant selects the synchronization protocol of a list group. See the
+// package documentation for what each variant does.
+type Variant int
+
+const (
+	// VariantLT is the paper's Leap-LT: COP search + Locking Transactions.
+	VariantLT Variant = iota + 1
+	// VariantTM is the paper's Leap-tm: whole operations inside one STM
+	// transaction.
+	VariantTM
+	// VariantCOP is the paper's Leap-COP: naked search prefix, validation
+	// and writes inside one STM transaction.
+	VariantCOP
+	// VariantRW is the paper's Leap-rwlock: per-list reader-writer lock.
+	VariantRW
+)
+
+// String returns the paper's name for the variant.
+func (v Variant) String() string {
+	switch v {
+	case VariantLT:
+		return "Leap-LT"
+	case VariantTM:
+		return "Leap-tm"
+	case VariantCOP:
+		return "Leap-COP"
+	case VariantRW:
+		return "Leap-rwlock"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Defaults mirror the paper's experimental settings (§3, footnote 2:
+// "node of size 300, and with a maximal level of 10").
+const (
+	DefaultNodeSize = 300
+	DefaultMaxLevel = 10
+)
+
+// MaxKey is the largest storable key; 2^64-1 is reserved for the internal
+// +inf sentinel encoding.
+const MaxKey = ^uint64(0) - 1
+
+// Errors returned by group and list operations.
+var (
+	ErrKeyRange      = errors.New("core: key out of range (2^64-1 is reserved)")
+	ErrBatchMismatch = errors.New("core: batch slice lengths differ")
+	ErrForeignList   = errors.New("core: list does not belong to this group")
+	ErrEmptyBatch    = errors.New("core: empty batch")
+)
+
+// Config holds the tunables of a list group.
+type Config struct {
+	// NodeSize is K, the maximum number of key-value pairs per node.
+	NodeSize int
+	// MaxLevel is the maximum skip-list level.
+	MaxLevel int
+	// Variant selects the synchronization protocol.
+	Variant Variant
+	// Collector, when non-nil, receives a Retire call for every node
+	// replaced by an update or remove (the paper's "Deallocate unneeded
+	// nodes" step under Fraser's allocator).
+	Collector *epoch.Collector
+	// levelFn overrides random level generation; tests use it for
+	// deterministic structure. nil means geometric with p = 1/2.
+	levelFn func(maxLevel int) int
+}
+
+func (c *Config) normalize() {
+	if c.NodeSize <= 0 {
+		c.NodeSize = DefaultNodeSize
+	}
+	if c.MaxLevel <= 0 {
+		c.MaxLevel = DefaultMaxLevel
+	}
+	if c.MaxLevel > 62 {
+		c.MaxLevel = 62
+	}
+	if c.Variant == 0 {
+		c.Variant = VariantLT
+	}
+}
+
+// SetLevelFunc overrides random level generation (tests only).
+func (c *Config) SetLevelFunc(fn func(maxLevel int) int) {
+	c.levelFn = fn
+}
+
+// Group is a set of Leap-Lists sharing one STM domain and one
+// configuration; Update and Remove compose atomically across the lists of
+// one group (the paper's L-Leap-Lists).
+type Group[V any] struct {
+	cfg Config
+	stm *stm.STM
+
+	pool     sync.Pool     // *batchState[V] scratch
+	readPool sync.Pool     // *readScratch[V] scratch
+	listIDs  atomic.Uint64 // lock-ordering ids for VariantRW
+}
+
+// NewGroup creates a group. A nil domain allocates a private STM.
+func NewGroup[V any](cfg Config, domain *stm.STM) *Group[V] {
+	cfg.normalize()
+	if domain == nil {
+		domain = stm.New()
+	}
+	return &Group[V]{cfg: cfg, stm: domain}
+}
+
+// Config returns the group's normalized configuration.
+func (g *Group[V]) Config() Config {
+	return g.cfg
+}
+
+// STM returns the group's transactional memory domain.
+func (g *Group[V]) STM() *stm.STM {
+	return g.stm
+}
+
+// pickLevel draws a skip-list level in [1, MaxLevel] with the usual
+// geometric p = 1/2 distribution.
+func (g *Group[V]) pickLevel() int {
+	if g.cfg.levelFn != nil {
+		return g.cfg.levelFn(g.cfg.MaxLevel)
+	}
+	// TrailingZeros of a uniform word is geometric(1/2).
+	lvl := 1 + bits.TrailingZeros64(rand.Uint64()|1<<uint(g.cfg.MaxLevel-1))
+	if lvl > g.cfg.MaxLevel {
+		lvl = g.cfg.MaxLevel
+	}
+	return lvl
+}
+
+// retire routes a replaced node to the collector, if configured.
+func (g *Group[V]) retire(n *node[V]) {
+	if c := g.cfg.Collector; c != nil && n != nil {
+		c.Retire(nil)
+	}
+}

@@ -1,0 +1,525 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+var allVariants = []Variant{VariantLT, VariantTM, VariantCOP, VariantRW}
+
+// newTestGroup builds a group with a small node size and level cap so the
+// tests exercise splits and merges constantly.
+func newTestGroup(t *testing.T, v Variant) *Group[uint64] {
+	t.Helper()
+	return NewGroup[uint64](Config{NodeSize: 4, MaxLevel: 5, Variant: v}, nil)
+}
+
+func forEachVariant(t *testing.T, fn func(t *testing.T, g *Group[uint64])) {
+	for _, v := range allVariants {
+		t.Run(v.String(), func(t *testing.T) {
+			fn(t, newTestGroup(t, v))
+		})
+	}
+}
+
+func mustCheck(t *testing.T, l *List[uint64]) {
+	t.Helper()
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
+func TestEmptyListLookup(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, g *Group[uint64]) {
+		l := g.NewList()
+		if _, ok := l.Lookup(7); ok {
+			t.Fatal("Lookup on empty list returned ok")
+		}
+		if got := l.Len(); got != 0 {
+			t.Fatalf("Len = %d, want 0", got)
+		}
+		mustCheck(t, l)
+	})
+}
+
+func TestSetLookupDelete(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, g *Group[uint64]) {
+		l := g.NewList()
+		if err := l.Set(10, 100); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+		v, ok := l.Lookup(10)
+		if !ok || v != 100 {
+			t.Fatalf("Lookup(10) = (%d, %v), want (100, true)", v, ok)
+		}
+		if _, ok := l.Lookup(11); ok {
+			t.Fatal("Lookup(11) found absent key")
+		}
+		changed, err := l.Delete(10)
+		if err != nil || !changed {
+			t.Fatalf("Delete(10) = (%v, %v), want (true, nil)", changed, err)
+		}
+		if _, ok := l.Lookup(10); ok {
+			t.Fatal("Lookup(10) found deleted key")
+		}
+		changed, err = l.Delete(10)
+		if err != nil || changed {
+			t.Fatalf("second Delete(10) = (%v, %v), want (false, nil)", changed, err)
+		}
+		mustCheck(t, l)
+	})
+}
+
+func TestOverwriteValue(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, g *Group[uint64]) {
+		l := g.NewList()
+		for i := uint64(0); i < 3; i++ {
+			if err := l.Set(5, i); err != nil {
+				t.Fatalf("Set: %v", err)
+			}
+			v, ok := l.Lookup(5)
+			if !ok || v != i {
+				t.Fatalf("Lookup(5) = (%d, %v), want (%d, true)", v, ok, i)
+			}
+		}
+		if got := l.Len(); got != 1 {
+			t.Fatalf("Len = %d, want 1", got)
+		}
+		mustCheck(t, l)
+	})
+}
+
+func TestSplitOnFullNode(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, g *Group[uint64]) {
+		l := g.NewList()
+		// NodeSize is 4: the fifth insert must split.
+		for i := uint64(0); i < 20; i++ {
+			if err := l.Set(i, i*10); err != nil {
+				t.Fatalf("Set(%d): %v", i, err)
+			}
+			mustCheck(t, l)
+		}
+		if got := l.NodeCount(); got < 2 {
+			t.Fatalf("NodeCount = %d, want splits to have occurred", got)
+		}
+		for i := uint64(0); i < 20; i++ {
+			v, ok := l.Lookup(i)
+			if !ok || v != i*10 {
+				t.Fatalf("Lookup(%d) = (%d, %v), want (%d, true)", i, v, ok, i*10)
+			}
+		}
+	})
+}
+
+func TestMergeOnRemove(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, g *Group[uint64]) {
+		l := g.NewList()
+		for i := uint64(0); i < 32; i++ {
+			if err := l.Set(i, i); err != nil {
+				t.Fatalf("Set: %v", err)
+			}
+		}
+		grown := l.NodeCount()
+		for i := uint64(0); i < 32; i++ {
+			changed, err := l.Delete(i)
+			if err != nil || !changed {
+				t.Fatalf("Delete(%d) = (%v, %v)", i, changed, err)
+			}
+			mustCheck(t, l)
+		}
+		if got := l.Len(); got != 0 {
+			t.Fatalf("Len = %d, want 0", got)
+		}
+		if got := l.NodeCount(); got >= grown {
+			t.Fatalf("NodeCount = %d, want merges to have shrunk from %d", got, grown)
+		}
+	})
+}
+
+func TestDescendingInsertAscendingRemove(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, g *Group[uint64]) {
+		l := g.NewList()
+		for i := 31; i >= 0; i-- {
+			if err := l.Set(uint64(i), uint64(i)); err != nil {
+				t.Fatalf("Set: %v", err)
+			}
+		}
+		mustCheck(t, l)
+		keys := l.Keys()
+		if !sort.SliceIsSorted(keys, func(a, b int) bool { return keys[a] < keys[b] }) {
+			t.Fatal("Keys not sorted")
+		}
+		for i := 0; i < 32; i++ {
+			if changed, err := l.Delete(uint64(i)); err != nil || !changed {
+				t.Fatalf("Delete(%d) = (%v, %v)", i, changed, err)
+			}
+		}
+		mustCheck(t, l)
+	})
+}
+
+func TestBoundaryKeys(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, g *Group[uint64]) {
+		l := g.NewList()
+		if err := l.Set(0, 1); err != nil {
+			t.Fatalf("Set(0): %v", err)
+		}
+		if err := l.Set(MaxKey, 2); err != nil {
+			t.Fatalf("Set(MaxKey): %v", err)
+		}
+		if v, ok := l.Lookup(0); !ok || v != 1 {
+			t.Fatalf("Lookup(0) = (%d, %v)", v, ok)
+		}
+		if v, ok := l.Lookup(MaxKey); !ok || v != 2 {
+			t.Fatalf("Lookup(MaxKey) = (%d, %v)", v, ok)
+		}
+		if err := l.Set(MaxKey+1, 3); !errors.Is(err, ErrKeyRange) {
+			t.Fatalf("Set(2^64-1) = %v, want ErrKeyRange", err)
+		}
+		if _, ok := l.Lookup(MaxKey + 1); ok {
+			t.Fatal("Lookup(2^64-1) returned ok")
+		}
+		mustCheck(t, l)
+	})
+}
+
+func TestRangeQueryBasics(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, g *Group[uint64]) {
+		l := g.NewList()
+		for i := uint64(0); i < 50; i += 2 { // even keys 0..48
+			if err := l.Set(i, i+1); err != nil {
+				t.Fatalf("Set: %v", err)
+			}
+		}
+		tests := []struct {
+			name     string
+			lo, hi   uint64
+			wantKeys []uint64
+		}{
+			{"interior exact", 10, 14, []uint64{10, 12, 14}},
+			{"bounds absent", 9, 15, []uint64{10, 12, 14}},
+			{"single", 20, 20, []uint64{20}},
+			{"single absent", 21, 21, nil},
+			{"empty inverted", 30, 20, nil},
+			{"prefix", 0, 4, []uint64{0, 2, 4}},
+			{"suffix", 44, MaxKey, []uint64{44, 46, 48}},
+			{"whole", 0, MaxKey, nil}, // filled below
+			{"beyond", 100, 200, nil},
+		}
+		whole := make([]uint64, 0, 25)
+		for i := uint64(0); i < 50; i += 2 {
+			whole = append(whole, i)
+		}
+		tests[7].wantKeys = whole
+
+		for _, tc := range tests {
+			t.Run(tc.name, func(t *testing.T) {
+				var got []uint64
+				count := l.RangeQuery(tc.lo, tc.hi, func(k uint64, v uint64) {
+					if v != k+1 {
+						t.Errorf("value for %d = %d, want %d", k, v, k+1)
+					}
+					got = append(got, k)
+				})
+				if count != len(tc.wantKeys) {
+					t.Fatalf("count = %d, want %d", count, len(tc.wantKeys))
+				}
+				if len(got) != len(tc.wantKeys) {
+					t.Fatalf("got %v, want %v", got, tc.wantKeys)
+				}
+				for i := range got {
+					if got[i] != tc.wantKeys[i] {
+						t.Fatalf("got %v, want %v", got, tc.wantKeys)
+					}
+				}
+			})
+		}
+	})
+}
+
+func TestRangeQuerySpansNodes(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, g *Group[uint64]) {
+		l := g.NewList()
+		const n = 64 // with NodeSize 4 this spans many nodes
+		for i := uint64(0); i < n; i++ {
+			if err := l.Set(i, i); err != nil {
+				t.Fatalf("Set: %v", err)
+			}
+		}
+		got := l.CollectRange(5, 58)
+		if len(got) != 54 {
+			t.Fatalf("len = %d, want 54", len(got))
+		}
+		for i, kv := range got {
+			if kv.Key != uint64(5+i) || kv.Value != uint64(5+i) {
+				t.Fatalf("got[%d] = %+v", i, kv)
+			}
+		}
+	})
+}
+
+func TestBatchUpdateAcrossLists(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, g *Group[uint64]) {
+		const L = 4
+		ls := make([]*List[uint64], L)
+		for i := range ls {
+			ls[i] = g.NewList()
+		}
+		ks := []uint64{1, 2, 3, 4}
+		vs := []uint64{10, 20, 30, 40}
+		if err := g.Update(ls, ks, vs); err != nil {
+			t.Fatalf("Update: %v", err)
+		}
+		for j := range ls {
+			v, ok := ls[j].Lookup(ks[j])
+			if !ok || v != vs[j] {
+				t.Fatalf("list %d Lookup(%d) = (%d, %v), want (%d, true)", j, ks[j], v, ok, vs[j])
+			}
+			mustCheck(t, ls[j])
+		}
+		changed := make([]bool, L)
+		if err := g.Remove(ls, ks, changed); err != nil {
+			t.Fatalf("Remove: %v", err)
+		}
+		for j := range ls {
+			if !changed[j] {
+				t.Fatalf("changed[%d] = false, want true", j)
+			}
+			if _, ok := ls[j].Lookup(ks[j]); ok {
+				t.Fatalf("list %d still has key %d", j, ks[j])
+			}
+		}
+		// Removing again reports no change anywhere.
+		if err := g.Remove(ls, ks, changed); err != nil {
+			t.Fatalf("Remove: %v", err)
+		}
+		for j := range changed {
+			if changed[j] {
+				t.Fatalf("changed[%d] = true on absent key", j)
+			}
+		}
+	})
+}
+
+func TestBatchValidation(t *testing.T) {
+	g := newTestGroup(t, VariantLT)
+	other := newTestGroup(t, VariantLT)
+	l1, l2 := g.NewList(), g.NewList()
+	foreign := other.NewList()
+
+	tests := []struct {
+		name       string
+		ls         []*List[uint64]
+		ks         []uint64
+		vs         []uint64
+		wantErr    error
+		updateOnly bool // Remove takes no values, so vals mismatches do not apply
+	}{
+		{name: "empty", wantErr: ErrEmptyBatch},
+		{name: "len mismatch keys", ls: []*List[uint64]{l1}, ks: []uint64{1, 2}, vs: []uint64{1}, wantErr: ErrBatchMismatch},
+		{name: "len mismatch vals", ls: []*List[uint64]{l1}, ks: []uint64{1}, vs: []uint64{1, 2}, wantErr: ErrBatchMismatch, updateOnly: true},
+		{name: "duplicate list", ls: []*List[uint64]{l1, l1}, ks: []uint64{1, 2}, vs: []uint64{1, 2}, wantErr: ErrDuplicateList},
+		{name: "foreign list", ls: []*List[uint64]{l1, foreign}, ks: []uint64{1, 2}, vs: []uint64{1, 2}, wantErr: ErrForeignList},
+		{name: "nil list", ls: []*List[uint64]{l1, nil}, ks: []uint64{1, 2}, vs: []uint64{1, 2}, wantErr: ErrForeignList},
+		{name: "key range", ls: []*List[uint64]{l1, l2}, ks: []uint64{1, ^uint64(0)}, vs: []uint64{1, 2}, wantErr: ErrKeyRange},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := g.Update(tc.ls, tc.ks, tc.vs); !errors.Is(err, tc.wantErr) {
+				t.Fatalf("Update = %v, want %v", err, tc.wantErr)
+			}
+			if tc.updateOnly {
+				return
+			}
+			if err := g.Remove(tc.ls, tc.ks, nil); !errors.Is(err, tc.wantErr) {
+				t.Fatalf("Remove = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+	t.Run("changed length mismatch", func(t *testing.T) {
+		err := g.Remove([]*List[uint64]{l1}, []uint64{1}, make([]bool, 2))
+		if !errors.Is(err, ErrBatchMismatch) {
+			t.Fatalf("Remove = %v, want ErrBatchMismatch", err)
+		}
+	})
+}
+
+func TestBulkLoad(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, g *Group[uint64]) {
+		l := g.NewList()
+		const n = 100
+		keys := make([]uint64, n)
+		vals := make([]uint64, n)
+		for i := range keys {
+			keys[i] = uint64(i) * 3
+			vals[i] = uint64(i)
+		}
+		if err := l.BulkLoad(keys, vals); err != nil {
+			t.Fatalf("BulkLoad: %v", err)
+		}
+		mustCheck(t, l)
+		if got := l.Len(); got != n {
+			t.Fatalf("Len = %d, want %d", got, n)
+		}
+		for i := range keys {
+			v, ok := l.Lookup(keys[i])
+			if !ok || v != vals[i] {
+				t.Fatalf("Lookup(%d) = (%d, %v), want (%d, true)", keys[i], v, ok, vals[i])
+			}
+		}
+		// The loaded list must remain fully operational.
+		if err := l.Set(1, 999); err != nil {
+			t.Fatalf("Set after load: %v", err)
+		}
+		if changed, err := l.Delete(0); err != nil || !changed {
+			t.Fatalf("Delete after load = (%v, %v)", changed, err)
+		}
+		mustCheck(t, l)
+	})
+}
+
+func TestBulkLoadRejectsBadInput(t *testing.T) {
+	g := newTestGroup(t, VariantLT)
+	l := g.NewList()
+	if err := l.BulkLoad([]uint64{1, 2}, []uint64{1}); !errors.Is(err, ErrBatchMismatch) {
+		t.Fatalf("mismatch = %v, want ErrBatchMismatch", err)
+	}
+	if err := l.BulkLoad([]uint64{^uint64(0)}, []uint64{1}); !errors.Is(err, ErrKeyRange) {
+		t.Fatalf("range = %v, want ErrKeyRange", err)
+	}
+	l2 := g.NewList()
+	if err := l2.BulkLoad([]uint64{5, 5}, []uint64{1, 2}); !errors.Is(err, ErrBatchMismatch) {
+		t.Fatalf("unsorted = %v, want ErrBatchMismatch", err)
+	}
+}
+
+// TestRandomizedAgainstModel drives each variant through a long random op
+// sequence mirrored in a map, verifying lookups, removes and range queries
+// against the model and structure invariants throughout.
+func TestRandomizedAgainstModel(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, g *Group[uint64]) {
+		l := g.NewList()
+		model := make(map[uint64]uint64)
+		r := rand.New(rand.NewPCG(42, uint64(g.cfg.Variant)))
+		const keySpace = 200
+		iters := 4000
+		if testing.Short() {
+			iters = 800
+		}
+		for i := 0; i < iters; i++ {
+			k := r.Uint64N(keySpace)
+			switch r.IntN(10) {
+			case 0, 1, 2, 3: // update
+				v := r.Uint64()
+				if err := l.Set(k, v); err != nil {
+					t.Fatalf("Set: %v", err)
+				}
+				model[k] = v
+			case 4, 5, 6: // remove
+				changed, err := l.Delete(k)
+				if err != nil {
+					t.Fatalf("Delete: %v", err)
+				}
+				_, inModel := model[k]
+				if changed != inModel {
+					t.Fatalf("Delete(%d) changed=%v, model has=%v", k, changed, inModel)
+				}
+				delete(model, k)
+			case 7, 8: // lookup
+				v, ok := l.Lookup(k)
+				mv, mok := model[k]
+				if ok != mok || (ok && v != mv) {
+					t.Fatalf("Lookup(%d) = (%d, %v), model (%d, %v)", k, v, ok, mv, mok)
+				}
+			case 9: // range query
+				lo := r.Uint64N(keySpace)
+				hi := lo + r.Uint64N(keySpace/4)
+				got := l.CollectRange(lo, hi)
+				want := modelRange(model, lo, hi)
+				if len(got) != len(want) {
+					t.Fatalf("range [%d,%d]: got %d pairs, want %d", lo, hi, len(got), len(want))
+				}
+				for j := range got {
+					if got[j] != want[j] {
+						t.Fatalf("range [%d,%d][%d] = %+v, want %+v", lo, hi, j, got[j], want[j])
+					}
+				}
+			}
+			if i%500 == 0 {
+				mustCheck(t, l)
+			}
+		}
+		mustCheck(t, l)
+		if got, want := l.Len(), len(model); got != want {
+			t.Fatalf("final Len = %d, want %d", got, want)
+		}
+	})
+}
+
+func modelRange(model map[uint64]uint64, lo, hi uint64) []KV[uint64] {
+	var out []KV[uint64]
+	for k, v := range model {
+		if k >= lo && k <= hi {
+			out = append(out, KV[uint64]{Key: k, Value: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+func TestVariantString(t *testing.T) {
+	want := map[Variant]string{
+		VariantLT:  "Leap-LT",
+		VariantTM:  "Leap-tm",
+		VariantCOP: "Leap-COP",
+		VariantRW:  "Leap-rwlock",
+		Variant(0): "Variant(0)",
+	}
+	for v, s := range want {
+		if got := v.String(); got != s {
+			t.Fatalf("%d.String() = %q, want %q", int(v), got, s)
+		}
+	}
+}
+
+func TestConfigNormalization(t *testing.T) {
+	g := NewGroup[uint64](Config{}, nil)
+	cfg := g.Config()
+	if cfg.NodeSize != DefaultNodeSize || cfg.MaxLevel != DefaultMaxLevel || cfg.Variant != VariantLT {
+		t.Fatalf("normalized config = %+v", cfg)
+	}
+	if g.STM() == nil {
+		t.Fatal("group STM is nil")
+	}
+}
+
+func TestDeterministicLevels(t *testing.T) {
+	cfg := Config{NodeSize: 2, MaxLevel: 3, Variant: VariantLT}
+	cfg.SetLevelFunc(func(maxLevel int) int { return maxLevel })
+	g := NewGroup[uint64](cfg, nil)
+	l := g.NewList()
+	for i := uint64(0); i < 10; i++ {
+		if err := l.Set(i, i); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+	}
+	mustCheck(t, l)
+}
+
+func ExampleList_RangeQuery() {
+	g := NewGroup[string](Config{NodeSize: 4, MaxLevel: 4, Variant: VariantLT}, nil)
+	l := g.NewList()
+	for i := uint64(0); i < 10; i++ {
+		_ = l.Set(i, fmt.Sprintf("v%d", i))
+	}
+	l.RangeQuery(3, 5, func(k uint64, v string) {
+		fmt.Println(k, v)
+	})
+	// Output:
+	// 3 v3
+	// 4 v4
+	// 5 v5
+}

@@ -1,0 +1,39 @@
+// Package core implements the Leap-List of Avni, Shavit and Suissa
+// ("Leaplist: Lessons Learned in Designing TM-Supported Range Queries",
+// PODC 2013): a skip-list with fat immutable nodes — each node holds up to
+// K key-value pairs from a contiguous key range plus an embedded bitwise
+// trie — supporting Update, Remove, Lookup and a linearizable Range-Query,
+// with Update and Remove composable across L lists in one atomic operation.
+//
+// The package provides all four synchronization variants the paper
+// evaluates over one shared node representation:
+//
+//   - VariantLT — the paper's contribution. Consistency-oblivious (naked)
+//     search; a short Locking Transaction that validates the search and
+//     transactionally acquires mark "locks" on the affected pointer slots
+//     and live flags; a non-transactional release postfix that installs the
+//     new nodes and clears the marks. Lookups run no transaction at all;
+//     range queries run one instrumented access per K keys.
+//   - VariantTM — every operation, traversal included, wrapped in a single
+//     STM transaction (the paper's Leap-tm).
+//   - VariantCOP — naked search prefix, then one STM transaction that
+//     validates the prefix and performs all structural writes
+//     transactionally (the paper's Leap-COP).
+//   - VariantRW — a per-list reader-writer lock (the paper's Leap-rwlock).
+//
+// # Structure invariants
+//
+// A list is a singly-forward-linked skip-list of immutable nodes. Node
+// ranges partition the key space: node N following node P owns keys in
+// (P.high, N.high]. The head sentinel has high = -inf and never holds keys;
+// the terminal node has high = +inf and is at the maximum level, so every
+// per-level list terminates at it. Keys are stored internally shifted by
+// one so that uint64 zero can serve as -inf; the public key domain is
+// [0, 2^64-2] and the facade rejects 2^64-1.
+//
+// Node contents (keys, values, trie, high, level) never change after
+// publication; every mutation replaces one node (or two, on split/merge)
+// with freshly built nodes, relinking predecessors. Only two mutable fields
+// exist, both transactional: the live flag and the (pointer, mark) pairs of
+// the next slots.
+package core

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"sync"
+
+	"leaplist/internal/stm"
+)
+
+// List is a single Leap-List belonging to a Group. Lookup and RangeQuery
+// are single-list linearizable operations; Update and Remove are performed
+// through the group so they can compose across lists.
+type List[V any] struct {
+	g    *Group[V]
+	head *node[V]
+	id   uint64 // creation order; VariantRW locks batches in id order
+
+	// mu is the whole-list lock of VariantRW; unused by other variants.
+	mu sync.RWMutex
+}
+
+// NewList creates an empty list: a head sentinel (high = -inf, no keys, at
+// the maximum level) pointing at a keyless terminal node with high = +inf,
+// also at the maximum level so every per-level list terminates there.
+func (g *Group[V]) NewList() *List[V] {
+	maxLevel := g.cfg.MaxLevel
+	head := newNode[V](maxLevel)
+	head.high = negInf
+	head.seal()
+	head.live.Init(1)
+
+	tail := newNode[V](maxLevel)
+	tail.high = posInf
+	tail.seal()
+	tail.live.Init(1)
+
+	for i := 0; i < maxLevel; i++ {
+		head.next[i].Init(tail, stm.TagNone)
+	}
+	return &List[V]{g: g, head: head, id: g.listIDs.Add(1)}
+}
+
+// Group returns the group the list belongs to.
+func (l *List[V]) Group() *Group[V] {
+	return l.g
+}
+
+// BulkLoad populates an empty list with the given pairs, which must be
+// sorted by strictly increasing key. It builds half-full nodes directly —
+// the steady state that ascending insertion produces (each split leaves a
+// half-full left node behind) — so large benchmark initializations do not
+// pay the per-update node-copy cost. Only safe before the list is shared.
+func (l *List[V]) BulkLoad(keys []uint64, vals []V) error {
+	if len(keys) != len(vals) {
+		return ErrBatchMismatch
+	}
+	fill := l.g.cfg.NodeSize / 2
+	if fill < 1 {
+		fill = 1
+	}
+	// Per-level rightmost node so far; splicing each new node is O(level).
+	last := make([]*node[V], l.g.cfg.MaxLevel)
+	for i := range last {
+		last[i] = l.head
+	}
+	for start := 0; start < len(keys); start += fill {
+		end := start + fill
+		if end > len(keys) {
+			end = len(keys)
+		}
+		lvl := l.g.pickLevel()
+		n := newNode[V](lvl)
+		n.keys = make([]uint64, end-start)
+		n.vals = make([]V, end-start)
+		for i := start; i < end; i++ {
+			if keys[i] == ^uint64(0) {
+				return ErrKeyRange
+			}
+			if i > start && keys[i] <= keys[i-1] {
+				return ErrBatchMismatch
+			}
+			n.keys[i-start] = toInternal(keys[i])
+			n.vals[i-start] = vals[i]
+		}
+		n.high = n.keys[len(n.keys)-1]
+		n.seal()
+		n.live.Init(1)
+		for i := 0; i < n.level; i++ {
+			n.next[i].Init(last[i].next[i].PeekPtr(), stm.TagNone)
+			last[i].next[i].DirectStore(n, stm.TagNone)
+			last[i] = n
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package core
+
+// Update atomically applies, for every j, "set ks[j] to vs[j]" in list
+// ls[j] — inserting the key if absent, replacing its value otherwise (the
+// paper's Update(ll, k, v, s)). The batch is one linearizable operation
+// across all its lists. Lists must be distinct members of this group.
+func (g *Group[V]) Update(ls []*List[V], ks []uint64, vs []V) error {
+	if err := g.checkBatch(ls, ks, len(vs)); err != nil {
+		return err
+	}
+	switch g.cfg.Variant {
+	case VariantLT:
+		g.updateLT(ls, ks, vs)
+	case VariantCOP:
+		g.updateCOP(ls, ks, vs)
+	case VariantTM:
+		g.updateTM(ls, ks, vs)
+	case VariantRW:
+		g.updateRW(ls, ks, vs)
+	default:
+		panic("core: unknown variant")
+	}
+	return nil
+}
+
+// Remove atomically removes, for every j, key ks[j] from list ls[j] (the
+// paper's Remove(ll, k, s)). changed[j] reports whether the key was
+// present. changed may be nil; when non-nil its length must match.
+func (g *Group[V]) Remove(ls []*List[V], ks []uint64, changed []bool) error {
+	if err := g.checkBatch(ls, ks, -1); err != nil {
+		return err
+	}
+	if changed == nil {
+		changed = make([]bool, len(ls))
+	} else if len(changed) != len(ls) {
+		return ErrBatchMismatch
+	}
+	switch g.cfg.Variant {
+	case VariantLT:
+		g.removeLT(ls, ks, changed)
+	case VariantCOP:
+		g.removeCOP(ls, ks, changed)
+	case VariantTM:
+		g.removeTM(ls, ks, changed)
+	case VariantRW:
+		g.removeRW(ls, ks, changed)
+	default:
+		panic("core: unknown variant")
+	}
+	return nil
+}
+
+// Set is the single-list convenience form of Update.
+func (l *List[V]) Set(k uint64, v V) error {
+	ls := [1]*List[V]{l}
+	ks := [1]uint64{k}
+	vs := [1]V{v}
+	return l.g.Update(ls[:], ks[:], vs[:])
+}
+
+// Delete is the single-list convenience form of Remove.
+func (l *List[V]) Delete(k uint64) (bool, error) {
+	ls := [1]*List[V]{l}
+	ks := [1]uint64{k}
+	var changed [1]bool
+	err := l.g.Remove(ls[:], ks[:], changed[:])
+	return changed[0], err
+}

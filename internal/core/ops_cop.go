@@ -1,0 +1,306 @@
+package core
+
+import (
+	"leaplist/internal/stm"
+)
+
+// This file implements the paper's Leap-COP variant: consistency-oblivious
+// search prefix (no instrumentation), then a single STM transaction that
+// re-validates the prefix and performs every structural write
+// transactionally. Unlike LT there are no marks and no postfix — the
+// pointer swings themselves are buffered STM writes published at commit,
+// which is safe for concurrent naked searches because this STM is
+// lazy-versioning (naked reads never observe tentative data; the paper's
+// GCC-TM was write-through, which is what forced the authors to invent the
+// marked-pointer discipline and ultimately LT).
+
+// updateCOP is the composed update across the lists of one batch.
+func (g *Group[V]) updateCOP(ls []*List[V], ks []uint64, vs []V) {
+	s := len(ls)
+	b := g.getBatch(s)
+	defer g.putBatch(b)
+
+	for attempt := 0; ; attempt++ {
+		// Setup: identical to LT (Figure 8).
+		for j := 0; j < s; j++ {
+			k := toInternal(ks[j])
+			searchNaked(ls[j], k, b.pa[j], b.na[j])
+			n := b.na[j][0]
+			b.n[j] = n
+			if n.count() == g.cfg.NodeSize {
+				b.split[j] = true
+				b.new1[j] = newNode[V](n.level)
+				b.new0[j] = newNode[V](g.pickLevel())
+				b.maxH[j] = max(b.new0[j].level, b.new1[j].level)
+			} else {
+				b.split[j] = false
+				b.new0[j] = newNode[V](n.level)
+				b.new1[j] = nil
+				b.maxH[j] = n.level
+			}
+			createNewNodes(n, k, vs[j], b.split[j], b.new0[j], b.new1[j])
+		}
+
+		// Verification and writes in one transaction.
+		err := g.stm.AtomicallyOnce(func(tx *stm.Tx) error {
+			for j := 0; j < s; j++ {
+				if err := g.updateTxWrites(tx, b, j); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err == nil {
+			for j := 0; j < s; j++ {
+				g.retire(b.n[j])
+			}
+			return
+		}
+		stmBackoff(attempt)
+	}
+}
+
+// updateTxWrites validates one list's search results and performs the
+// update's structural writes inside tx. Shared by COP (after a naked
+// search) and TM (after a transactional search).
+func (g *Group[V]) updateTxWrites(tx *stm.Tx, b *batchState[V], j int) error {
+	n, new0, new1 := b.n[j], b.new0[j], b.new1[j]
+	pa, na := b.pa[j], b.na[j]
+
+	if lv, err := n.live.Load(tx); err != nil {
+		return err
+	} else if lv == 0 {
+		return stm.ErrConflict
+	}
+	for i := 0; i < n.level; i++ {
+		p, _, err := pa[i].next[i].Load(tx)
+		if err != nil {
+			return err
+		}
+		if p != n {
+			return stm.ErrConflict
+		}
+	}
+	for i := 0; i < b.maxH[j]; i++ {
+		p, _, err := pa[i].next[i].Load(tx)
+		if err != nil {
+			return err
+		}
+		if p != na[i] {
+			return stm.ErrConflict
+		}
+		if lv, err := pa[i].live.Load(tx); err != nil {
+			return err
+		} else if lv == 0 {
+			return stm.ErrConflict
+		}
+		if lv, err := na[i].live.Load(tx); err != nil {
+			return err
+		} else if lv == 0 {
+			return stm.ErrConflict
+		}
+	}
+
+	// Wire the private replacement nodes from transactionally read
+	// successors; the read set protects them until commit.
+	if b.split[j] {
+		if new1.level > new0.level {
+			for i := 0; i < new0.level; i++ {
+				succ, _, err := n.next[i].Load(tx)
+				if err != nil {
+					return err
+				}
+				new0.next[i].Init(new1, stm.TagNone)
+				new1.next[i].Init(succ, stm.TagNone)
+			}
+			for i := new0.level; i < new1.level; i++ {
+				succ, _, err := n.next[i].Load(tx)
+				if err != nil {
+					return err
+				}
+				new1.next[i].Init(succ, stm.TagNone)
+			}
+		} else {
+			for i := 0; i < new1.level; i++ {
+				succ, _, err := n.next[i].Load(tx)
+				if err != nil {
+					return err
+				}
+				new0.next[i].Init(new1, stm.TagNone)
+				new1.next[i].Init(succ, stm.TagNone)
+			}
+			for i := new1.level; i < new0.level; i++ {
+				if i < n.level {
+					succ, _, err := n.next[i].Load(tx)
+					if err != nil {
+						return err
+					}
+					new0.next[i].Init(succ, stm.TagNone)
+				} else {
+					new0.next[i].Init(na[i], stm.TagNone)
+				}
+			}
+		}
+	} else {
+		for i := 0; i < new0.level; i++ {
+			succ, _, err := n.next[i].Load(tx)
+			if err != nil {
+				return err
+			}
+			new0.next[i].Init(succ, stm.TagNone)
+		}
+	}
+	new0.live.Init(1)
+	if b.split[j] {
+		new1.live.Init(1)
+	}
+
+	// Transactional pointer swings; published atomically at commit.
+	for i := 0; i < new0.level; i++ {
+		if err := pa[i].next[i].Store(tx, new0, stm.TagNone); err != nil {
+			return err
+		}
+	}
+	if b.split[j] && new1.level > new0.level {
+		for i := new0.level; i < new1.level; i++ {
+			if err := pa[i].next[i].Store(tx, new1, stm.TagNone); err != nil {
+				return err
+			}
+		}
+	}
+	return n.live.Store(tx, 0)
+}
+
+// removeCOP is the composed remove across the lists of one batch.
+func (g *Group[V]) removeCOP(ls []*List[V], ks []uint64, changed []bool) {
+	s := len(ls)
+	b := g.getBatch(s)
+	defer g.putBatch(b)
+
+	for attempt := 0; ; attempt++ {
+		for j := 0; j < s; j++ {
+			g.removeSetupLT(ls[j], toInternal(ks[j]), b, j)
+		}
+		err := g.stm.AtomicallyOnce(func(tx *stm.Tx) error {
+			for j := 0; j < s; j++ {
+				if !b.changed[j] {
+					continue
+				}
+				if err := g.removeTxWrites(tx, b, j); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err == nil {
+			break
+		}
+		stmBackoff(attempt)
+	}
+	for j := 0; j < s; j++ {
+		changed[j] = b.changed[j]
+		if b.changed[j] {
+			g.retire(b.n[j])
+			if b.merge[j] {
+				g.retire(b.old1[j])
+			}
+		}
+	}
+}
+
+// removeTxWrites validates one list's remove and performs its structural
+// writes inside tx. Shared by COP and TM.
+func (g *Group[V]) removeTxWrites(tx *stm.Tx, b *batchState[V], j int) error {
+	old0, old1, repl := b.n[j], b.old1[j], b.new0[j]
+	pa := b.pa[j]
+
+	if lv, err := old0.live.Load(tx); err != nil {
+		return err
+	} else if lv == 0 {
+		return stm.ErrConflict
+	}
+	if b.merge[j] {
+		if lv, err := old1.live.Load(tx); err != nil {
+			return err
+		} else if lv == 0 {
+			return stm.ErrConflict
+		}
+		succ, _, err := old0.next[0].Load(tx)
+		if err != nil {
+			return err
+		}
+		if succ != old1 {
+			return stm.ErrConflict
+		}
+	}
+	for i := 0; i < old0.level; i++ {
+		p, _, err := pa[i].next[i].Load(tx)
+		if err != nil {
+			return err
+		}
+		if p != old0 {
+			return stm.ErrConflict
+		}
+		if lv, err := pa[i].live.Load(tx); err != nil {
+			return err
+		} else if lv == 0 {
+			return stm.ErrConflict
+		}
+	}
+	if b.merge[j] {
+		for i := old0.level; i < old1.level; i++ {
+			p, _, err := pa[i].next[i].Load(tx)
+			if err != nil {
+				return err
+			}
+			if p != old1 {
+				return stm.ErrConflict
+			}
+			if lv, err := pa[i].live.Load(tx); err != nil {
+				return err
+			} else if lv == 0 {
+				return stm.ErrConflict
+			}
+		}
+	}
+
+	// Wire the replacement from transactionally read successors.
+	if b.merge[j] {
+		for i := 0; i < old1.level && i < repl.level; i++ {
+			succ, _, err := old1.next[i].Load(tx)
+			if err != nil {
+				return err
+			}
+			repl.next[i].Init(succ, stm.TagNone)
+		}
+		for i := old1.level; i < old0.level; i++ {
+			succ, _, err := old0.next[i].Load(tx)
+			if err != nil {
+				return err
+			}
+			repl.next[i].Init(succ, stm.TagNone)
+		}
+	} else {
+		for i := 0; i < old0.level; i++ {
+			succ, _, err := old0.next[i].Load(tx)
+			if err != nil {
+				return err
+			}
+			repl.next[i].Init(succ, stm.TagNone)
+		}
+	}
+	repl.live.Init(1)
+
+	for i := 0; i < repl.level; i++ {
+		if err := pa[i].next[i].Store(tx, repl, stm.TagNone); err != nil {
+			return err
+		}
+	}
+	if err := old0.live.Store(tx, 0); err != nil {
+		return err
+	}
+	if b.merge[j] {
+		return old1.live.Store(tx, 0)
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickModelEquivalence is the property-based oracle test: any random
+// operation sequence leaves every variant's list equal to a map model,
+// with structural invariants intact. Node size 2 maximizes split/merge
+// churn per operation.
+func TestQuickModelEquivalence(t *testing.T) {
+	for _, v := range allVariants {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			f := func(seed uint64, opsRaw []uint16) bool {
+				g := NewGroup[uint64](Config{NodeSize: 2, MaxLevel: 4, Variant: v}, nil)
+				l := g.NewList()
+				model := map[uint64]uint64{}
+				r := rand.New(rand.NewPCG(seed, 77))
+				for _, raw := range opsRaw {
+					k := uint64(raw % 64)
+					switch raw % 3 {
+					case 0:
+						val := r.Uint64()
+						if err := l.Set(k, val); err != nil {
+							return false
+						}
+						model[k] = val
+					case 1:
+						changed, err := l.Delete(k)
+						if err != nil {
+							return false
+						}
+						if _, has := model[k]; has != changed {
+							return false
+						}
+						delete(model, k)
+					case 2:
+						val, ok := l.Lookup(k)
+						mv, mok := model[k]
+						if ok != mok || (ok && val != mv) {
+							return false
+						}
+					}
+				}
+				if err := l.CheckInvariants(); err != nil {
+					t.Logf("invariants: %v", err)
+					return false
+				}
+				if l.Len() != len(model) {
+					return false
+				}
+				// Full-range collection equals the sorted model.
+				pairs := l.CollectRange(0, MaxKey)
+				if len(pairs) != len(model) {
+					return false
+				}
+				for _, kv := range pairs {
+					if model[kv.Key] != kv.Value {
+						return false
+					}
+				}
+				return true
+			}
+			cfg := &quick.Config{MaxCount: 40}
+			if testing.Short() {
+				cfg.MaxCount = 10
+			}
+			if err := quick.Check(f, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestQuickRangeMatchesFilter: for any content and any bounds, a range
+// query returns exactly the model filter, sorted.
+func TestQuickRangeMatchesFilter(t *testing.T) {
+	g := NewGroup[uint64](Config{NodeSize: 3, MaxLevel: 4, Variant: VariantLT}, nil)
+	l := g.NewList()
+	model := map[uint64]uint64{}
+	r := rand.New(rand.NewPCG(5, 5))
+	for i := 0; i < 300; i++ {
+		k := r.Uint64N(512)
+		if err := l.Set(k, k^0xABCD); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+		model[k] = k ^ 0xABCD
+	}
+	f := func(a, b uint16) bool {
+		lo, hi := uint64(a), uint64(b)
+		got := l.CollectRange(lo, hi)
+		want := modelRange(model, lo, hi)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBatchEquivalence: composed batches across L lists behave like L
+// independent sequential maps.
+func TestQuickBatchEquivalence(t *testing.T) {
+	f := func(seed uint64, steps []uint32) bool {
+		const L = 3
+		g := NewGroup[uint64](Config{NodeSize: 4, MaxLevel: 4, Variant: VariantLT}, nil)
+		ls := make([]*List[uint64], L)
+		models := make([]map[uint64]uint64, L)
+		for i := range ls {
+			ls[i] = g.NewList()
+			models[i] = map[uint64]uint64{}
+		}
+		r := rand.New(rand.NewPCG(seed, 3))
+		ks := make([]uint64, L)
+		vs := make([]uint64, L)
+		changed := make([]bool, L)
+		for _, step := range steps {
+			for j := range ks {
+				ks[j] = uint64(step>>uint(4*j))%32 + uint64(j)*100
+				vs[j] = r.Uint64()
+			}
+			if step%2 == 0 {
+				if err := g.Update(ls, ks, vs); err != nil {
+					return false
+				}
+				for j := range ks {
+					models[j][ks[j]] = vs[j]
+				}
+			} else {
+				if err := g.Remove(ls, ks, changed); err != nil {
+					return false
+				}
+				for j := range ks {
+					if _, has := models[j][ks[j]]; has != changed[j] {
+						return false
+					}
+					delete(models[j], ks[j])
+				}
+			}
+		}
+		for j := range ls {
+			if ls[j].Len() != len(models[j]) {
+				return false
+			}
+			if err := ls[j].CheckInvariants(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if testing.Short() {
+		cfg.MaxCount = 10
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"leaplist/internal/stm"
+)
+
+// KV is one key-value pair returned by range queries.
+type KV[V any] struct {
+	Key   uint64
+	Value V
+}
+
+// readScratch holds the per-goroutine buffers of read operations.
+type readScratch[V any] struct {
+	pa, na []*node[V]
+	nodes  []*node[V] // range-query snapshot
+}
+
+func (g *Group[V]) getRead() *readScratch[V] {
+	r, _ := g.readPool.Get().(*readScratch[V])
+	if r == nil {
+		r = &readScratch[V]{}
+	}
+	if len(r.pa) < g.cfg.MaxLevel {
+		r.pa = make([]*node[V], g.cfg.MaxLevel)
+		r.na = make([]*node[V], g.cfg.MaxLevel)
+	}
+	return r
+}
+
+func (g *Group[V]) putRead(r *readScratch[V]) {
+	for i := range r.pa {
+		r.pa[i], r.na[i] = nil, nil
+	}
+	for i := range r.nodes {
+		r.nodes[i] = nil
+	}
+	r.nodes = r.nodes[:0]
+	g.readPool.Put(r)
+}
+
+// Lookup returns the value stored under key k (paper Figure 4). The cost
+// profile is the paper's: Leap-LT runs no transaction at all, Leap-COP runs
+// one verification transaction, Leap-tm instruments the whole traversal,
+// and Leap-rwlock holds the read lock.
+func (l *List[V]) Lookup(k uint64) (V, bool) {
+	var zero V
+	if k > MaxKey {
+		return zero, false
+	}
+	g := l.g
+	ik := toInternal(k)
+	r := g.getRead()
+	defer g.putRead(r)
+
+	switch g.cfg.Variant {
+	case VariantLT:
+		searchNaked(l, ik, r.pa, r.na)
+		n := r.na[0]
+		if i := n.find(ik); i >= 0 {
+			return n.vals[i], true
+		}
+		return zero, false
+
+	case VariantCOP:
+		for attempt := 0; ; attempt++ {
+			searchNaked(l, ik, r.pa, r.na)
+			n := r.na[0]
+			// COP verification transaction: the node must still be live.
+			err := g.stm.AtomicallyOnce(func(tx *stm.Tx) error {
+				lv, err := n.live.Load(tx)
+				if err != nil {
+					return err
+				}
+				if lv == 0 {
+					return stm.ErrConflict
+				}
+				return nil
+			})
+			if err == nil {
+				if i := n.find(ik); i >= 0 {
+					return n.vals[i], true
+				}
+				return zero, false
+			}
+			stmBackoff(attempt)
+		}
+
+	case VariantTM:
+		var val V
+		var ok bool
+		err := g.stm.Atomically(func(tx *stm.Tx) error {
+			val, ok = zero, false
+			if err := searchTx(tx, l, ik, r.pa, r.na); err != nil {
+				return err
+			}
+			n := r.na[0]
+			if i := n.find(ik); i >= 0 {
+				val, ok = n.vals[i], true
+			}
+			return nil
+		})
+		if err != nil {
+			panic("core: unreachable Lookup error: " + err.Error())
+		}
+		return val, ok
+
+	case VariantRW:
+		l.mu.RLock()
+		defer l.mu.RUnlock()
+		searchRW(l, ik, r.pa, r.na)
+		n := r.na[0]
+		if i := n.find(ik); i >= 0 {
+			return n.vals[i], true
+		}
+		return zero, false
+
+	default:
+		panic("core: unknown variant")
+	}
+}
+
+// RangeQuery streams every pair with key in [lo, hi] to emit in ascending
+// key order and returns the number of pairs (paper Figure 5). The pairs
+// form one linearizable snapshot. emit runs after the snapshot is taken, so
+// it may be arbitrarily slow without extending any transaction.
+func (l *List[V]) RangeQuery(lo, hi uint64, emit func(k uint64, v V)) int {
+	if lo > hi {
+		return 0
+	}
+	if hi > MaxKey {
+		hi = MaxKey
+	}
+	if lo > MaxKey {
+		return 0
+	}
+	g := l.g
+	ilo, ihi := toInternal(lo), toInternal(hi)
+	r := g.getRead()
+	defer g.putRead(r)
+
+	switch g.cfg.Variant {
+	case VariantLT, VariantCOP:
+		// Figure 5: naked search to the start node, then one transaction
+		// that walks level 0 collecting nodes, aborting on a dead node.
+		// Marked pointers are traversed through (line 41): the mark only
+		// means an update is in flight elsewhere; the pointer itself is
+		// the last committed value, and the read set catches any change.
+		for attempt := 0; ; attempt++ {
+			searchNaked(l, ilo, r.pa, r.na)
+			start := r.na[0]
+			err := g.stm.AtomicallyOnce(func(tx *stm.Tx) error {
+				r.nodes = r.nodes[:0]
+				n := start
+				for {
+					lv, err := n.live.Load(tx)
+					if err != nil {
+						return err
+					}
+					if lv == 0 {
+						return stm.ErrConflict
+					}
+					r.nodes = append(r.nodes, n)
+					if n.high >= ihi {
+						return nil
+					}
+					succ, _, err := n.next[0].Load(tx)
+					if err != nil {
+						return err
+					}
+					if succ == nil {
+						return nil
+					}
+					n = succ
+				}
+			})
+			if err == nil {
+				return emitRange(r.nodes, ilo, ihi, emit)
+			}
+			stmBackoff(attempt)
+		}
+
+	case VariantTM:
+		var count int
+		err := g.stm.Atomically(func(tx *stm.Tx) error {
+			r.nodes = r.nodes[:0]
+			if err := searchTx(tx, l, ilo, r.pa, r.na); err != nil {
+				return err
+			}
+			n := r.na[0]
+			for {
+				r.nodes = append(r.nodes, n)
+				if n.high >= ihi {
+					return nil
+				}
+				succ, _, err := n.next[0].Load(tx)
+				if err != nil {
+					return err
+				}
+				if succ == nil {
+					return nil
+				}
+				n = succ
+			}
+		})
+		if err != nil {
+			panic("core: unreachable RangeQuery error: " + err.Error())
+		}
+		count = emitRange(r.nodes, ilo, ihi, emit)
+		return count
+
+	case VariantRW:
+		l.mu.RLock()
+		searchRW(l, ilo, r.pa, r.na)
+		n := r.na[0]
+		r.nodes = r.nodes[:0]
+		for {
+			r.nodes = append(r.nodes, n)
+			if n.high >= ihi {
+				break
+			}
+			succ := n.next[0].PeekPtr()
+			if succ == nil {
+				break
+			}
+			n = succ
+		}
+		count := emitRange(r.nodes, ilo, ihi, emit)
+		l.mu.RUnlock()
+		return count
+
+	default:
+		panic("core: unknown variant")
+	}
+}
+
+// emitRange extracts the pairs within [ilo, ihi] (internal keys) from the
+// snapshot nodes. Only the first node can hold keys below ilo and only the
+// last can hold keys above ihi, because node ranges partition the key
+// space.
+func emitRange[V any](nodes []*node[V], ilo, ihi uint64, emit func(k uint64, v V)) int {
+	count := 0
+	for _, n := range nodes {
+		for i, k := range n.keys {
+			if k < ilo || k > ihi {
+				continue
+			}
+			if emit != nil {
+				emit(toPublic(k), n.vals[i])
+			}
+			count++
+		}
+	}
+	return count
+}
+
+// CollectRange is a convenience wrapper around RangeQuery that returns the
+// snapshot as a slice.
+func (l *List[V]) CollectRange(lo, hi uint64) []KV[V] {
+	var out []KV[V]
+	l.RangeQuery(lo, hi, func(k uint64, v V) {
+		out = append(out, KV[V]{Key: k, Value: v})
+	})
+	return out
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"runtime"
+
+	"leaplist/internal/stm"
+)
+
+// searchNaked is the paper's Search Predecessors (Figure 3) executed
+// without any transactional instrumentation — the COP read phase shared by
+// the LT and COP variants. For internal key k it fills pa and na (each of
+// length MaxLevel) such that at every level i, pa[i] is the last node with
+// high < k and na[i] = pa[i].next[i] is the first node with high >= k;
+// na[0] is the node whose range contains k.
+//
+// The traversal restarts from the head whenever it observes a marked slot
+// or a dead node (paper line 17), so it only ever walks committed, live
+// nodes. It cannot block: marks are cleared by a bounded postfix, and dead
+// nodes are already unlinked, so a retry makes progress.
+func searchNaked[V any](l *List[V], k uint64, pa, na []*node[V]) {
+	maxLevel := l.g.cfg.MaxLevel
+	spins := 0
+retry:
+	x := l.head
+	for i := maxLevel - 1; i >= 0; i-- {
+		for {
+			xn, tag := x.next[i].Peek()
+			if tag == stm.TagMarked || xn == nil || xn.live.Peek() == 0 {
+				spins++
+				if spins%8 == 0 {
+					runtime.Gosched()
+				}
+				goto retry
+			}
+			if xn.high >= k {
+				pa[i] = x
+				na[i] = xn
+				break
+			}
+			x = xn
+		}
+	}
+}
+
+// searchRW is the Figure 3 traversal for the reader-writer-lock variant:
+// the caller holds the list lock, so no mark or liveness checks are needed.
+func searchRW[V any](l *List[V], k uint64, pa, na []*node[V]) {
+	x := l.head
+	for i := l.g.cfg.MaxLevel - 1; i >= 0; i-- {
+		for {
+			xn := x.next[i].PeekPtr()
+			if xn.high >= k {
+				pa[i] = x
+				na[i] = xn
+				break
+			}
+			x = xn
+		}
+	}
+}
+
+// searchTx is the Figure 3 traversal with every pointer read instrumented,
+// used by the fully transactional variant. The transaction's read-set
+// validation subsumes the mark/liveness checks of the naked search: the TM
+// variant never marks slots, and node replacement is detected as a version
+// conflict on the slots read.
+func searchTx[V any](tx *stm.Tx, l *List[V], k uint64, pa, na []*node[V]) error {
+	x := l.head
+	for i := l.g.cfg.MaxLevel - 1; i >= 0; i-- {
+		for {
+			xn, _, err := x.next[i].Load(tx)
+			if err != nil {
+				return err
+			}
+			if xn.high >= k {
+				pa[i] = x
+				na[i] = xn
+				break
+			}
+			x = xn
+		}
+	}
+	return nil
+}

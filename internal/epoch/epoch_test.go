@@ -1,0 +1,106 @@
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRetireRunsAfterGracePeriod(t *testing.T) {
+	c := NewCollector()
+	var ran atomic.Int32
+	c.Retire(func() { ran.Add(1) })
+	// With no participants, epochs advance freely on subsequent activity.
+	c.Flush()
+	if got := ran.Load(); got != 1 {
+		t.Fatalf("destructor ran %d times, want 1", got)
+	}
+	retired, reclaimed := c.Counters()
+	if retired != 1 || reclaimed != 1 {
+		t.Fatalf("counters = (%d, %d), want (1, 1)", retired, reclaimed)
+	}
+}
+
+func TestPinnedParticipantBlocksReclamation(t *testing.T) {
+	c := NewCollector()
+	p := c.Register()
+	defer c.Unregister(p)
+
+	p.Pin()
+	var ran atomic.Int32
+	c.Retire(func() { ran.Add(1) })
+	// The pinned participant observed the current epoch, so one advance is
+	// allowed, but the bucket with our retiree needs two advances and the
+	// second is blocked once the participant lags.
+	start := c.Epoch()
+	c.Flush()
+	if e := c.Epoch(); e > start+1 {
+		t.Fatalf("epoch advanced to %d while participant pinned at %d", e, start)
+	}
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("destructor ran while participant pinned")
+	}
+	p.Unpin()
+	c.Flush()
+	if got := ran.Load(); got != 1 {
+		t.Fatalf("destructor ran %d times after unpin, want 1", got)
+	}
+}
+
+func TestNilDestructorCountsRetired(t *testing.T) {
+	c := NewCollector()
+	c.Retire(nil)
+	c.Flush()
+	retired, reclaimed := c.Counters()
+	if retired != 1 {
+		t.Fatalf("retired = %d, want 1", retired)
+	}
+	if reclaimed != 0 {
+		t.Fatalf("reclaimed = %d, want 0 (nil destructors are accounting-only)", reclaimed)
+	}
+}
+
+func TestConcurrentPinRetire(t *testing.T) {
+	c := NewCollector()
+	const workers = 8
+	iters := 2000
+	if testing.Short() {
+		iters = 200
+	}
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := c.Register()
+			defer c.Unregister(p)
+			for i := 0; i < iters; i++ {
+				p.Pin()
+				c.Retire(func() { ran.Add(1) })
+				p.Unpin()
+			}
+		}()
+	}
+	wg.Wait()
+	c.Flush()
+	if got := ran.Load(); got != workers*int64(iters) {
+		t.Fatalf("destructors ran %d times, want %d", got, workers*int64(iters))
+	}
+	retired, reclaimed := c.Counters()
+	if retired != reclaimed || retired != uint64(workers*iters) {
+		t.Fatalf("counters = (%d, %d), want both %d", retired, reclaimed, workers*iters)
+	}
+}
+
+func TestUnregisterUnknownParticipantIsNoop(t *testing.T) {
+	c := NewCollector()
+	other := NewCollector()
+	p := other.Register()
+	c.Unregister(p) // must not panic or corrupt state
+	c.Retire(nil)
+	c.Flush()
+	if retired, _ := c.Counters(); retired != 1 {
+		t.Fatalf("retired = %d, want 1", retired)
+	}
+}

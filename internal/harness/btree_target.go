@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"leaplist/internal/btree"
+	"leaplist/internal/stm"
+)
+
+// BTreeTarget adapts the blocking B+-tree baseline (single index). Mode
+// selects its range-query strategy — the two §1.1 strawmen the Leap-List
+// replaces: a long-held read lock, or per-key successive lookups.
+type BTreeTarget struct {
+	tr         *btree.Tree[uint64]
+	lockedScan bool
+}
+
+// NewBTreeTarget builds a fresh B+-tree of the given order. lockedScan
+// selects RangeLocked (consistent, writer-starving) over RangeLookups
+// (lock-free-ish, inconsistent, one descent per key).
+func NewBTreeTarget(order int, lockedScan bool) *BTreeTarget {
+	return &BTreeTarget{tr: btree.New[uint64](order), lockedScan: lockedScan}
+}
+
+// Name implements Target.
+func (t *BTreeTarget) Name() string {
+	if t.lockedScan {
+		return "BTree-lockscan"
+	}
+	return "BTree-lookups"
+}
+
+// Lists implements Target.
+func (t *BTreeTarget) Lists() int { return 1 }
+
+// Lookup implements Target.
+func (t *BTreeTarget) Lookup(_ int, k uint64) bool {
+	_, ok := t.tr.Get(k)
+	return ok
+}
+
+// RangeCount implements Target.
+func (t *BTreeTarget) RangeCount(_ int, lo, hi uint64) int {
+	if t.lockedScan {
+		return t.tr.RangeLocked(lo, hi, nil)
+	}
+	return t.tr.RangeLookups(lo, hi, nil)
+}
+
+// UpdateBatch implements Target.
+func (t *BTreeTarget) UpdateBatch(ks, vs []uint64) {
+	if err := t.tr.Set(ks[0], vs[0]); err != nil {
+		panic("harness: btree set: " + err.Error())
+	}
+}
+
+// RemoveBatch implements Target.
+func (t *BTreeTarget) RemoveBatch(ks []uint64) {
+	if _, err := t.tr.Delete(ks[0]); err != nil {
+		panic("harness: btree delete: " + err.Error())
+	}
+}
+
+// Init implements Target.
+func (t *BTreeTarget) Init(n int) {
+	for i := 0; i < n; i++ {
+		if err := t.tr.Set(uint64(i), uint64(i)); err != nil {
+			panic("harness: btree init: " + err.Error())
+		}
+	}
+}
+
+// STMStats implements Target.
+func (t *BTreeTarget) STMStats() stm.StatsSnapshot { return stm.StatsSnapshot{} }

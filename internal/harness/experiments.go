@@ -1,0 +1,445 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"leaplist/internal/core"
+	"leaplist/internal/workload"
+)
+
+// Paper experimental constants (§3 "Settings").
+const (
+	PaperNodeSize  = 300
+	PaperMaxLevel  = 10
+	PaperLists     = 4
+	PaperKeySpace  = 100_000
+	PaperInit      = 100_000
+	PaperRangeMin  = 1_000
+	PaperRangeMax  = 2_000
+	PaperFig17Init = 1_000_000
+)
+
+// DefaultThreads is the paper's thread sweep.
+var DefaultThreads = []int{1, 2, 4, 8, 16, 32, 40, 64, 80}
+
+// Params tunes an experiment run without changing its identity.
+type Params struct {
+	Duration time.Duration // per cell; the paper used 10s
+	Reps     int           // repetitions averaged; the paper used 3
+	Threads  []int         // thread sweep override (nil = paper's)
+	Quick    bool          // shrink the largest element counts for smoke runs
+	Stats    bool          // collect STM abort counts per cell
+}
+
+func (p Params) normalize() Params {
+	if p.Duration <= 0 {
+		p.Duration = time.Second
+	}
+	if p.Reps <= 0 {
+		p.Reps = 1
+	}
+	if len(p.Threads) == 0 {
+		p.Threads = DefaultThreads
+	}
+	return p
+}
+
+// Point is one measured x-position of one series.
+type Point struct {
+	X       float64
+	XLabel  string
+	OpsPerS float64
+	Aborts  uint64
+}
+
+// Series is one algorithm's curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Table is one reproduced figure panel.
+type Table struct {
+	ID     string
+	Title  string
+	XAxis  string
+	Series []Series
+}
+
+// Experiment is a runnable figure reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Params) (Table, error)
+}
+
+// Experiments returns the registry of every reproducible panel, in paper
+// order. IDs match DESIGN.md's per-experiment index.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"fig14a", "Fig 14(a): 4 lists, 100K elements, 100% modify, threads sweep", fig14(workload.Mix{ModifyPct: 100}, "fig14a")},
+		{"fig14b", "Fig 14(b): 4 lists, 100K elements, 40/40/20 lookup/range/modify, threads sweep", fig14(workload.Mix{LookupPct: 40, RangePct: 40, ModifyPct: 20}, "fig14b")},
+		{"fig15a", "Fig 15(a): 4 lists, 80 threads, elements sweep, 100% modify", fig15(workload.Mix{ModifyPct: 100}, "fig15a")},
+		{"fig15b", "Fig 15(b): 4 lists, 80 threads, elements sweep, 100% lookup", fig15(workload.Mix{LookupPct: 100}, "fig15b")},
+		{"fig16a", "Fig 16(a): 80 threads, 100K elements, lookup% sweep (no range-query)", fig16(false)},
+		{"fig16b", "Fig 16(b): 80 threads, 100K elements, range-query% sweep (no lookup)", fig16(true)},
+		{"fig17a", "Fig 17(a): single list vs skip-lists, 1M elements, 100% modify", fig17(workload.Mix{ModifyPct: 100}, "fig17a")},
+		{"fig17b", "Fig 17(b): single list vs skip-lists, 1M elements, 40/40/20", fig17(workload.Mix{LookupPct: 40, RangePct: 40, ModifyPct: 20}, "fig17b")},
+		{"fig17c", "Fig 17(c): single list vs skip-lists, 1M elements, 100% lookup", fig17(workload.Mix{LookupPct: 100}, "fig17c")},
+		{"fig17d", "Fig 17(d): single list vs skip-lists, 1M elements, 100% range-query", fig17(workload.Mix{RangePct: 100}, "fig17d")},
+		{"abl-ext", "Ablation: STM timestamp extension on/off (range-query heavy)", ablExtension},
+		{"abl-lists", "Ablation: composed batch width L in {1,2,4,8}", ablLists},
+		{"abl-btree", "Ablation: Leap-LT vs blocking B+-tree range strategies (paper §1.1/§4)", ablBTree},
+	}
+}
+
+// FindExperiment resolves an experiment by ID.
+func FindExperiment(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// leapVariants are the four Leap-List series of Figures 14-16, in the
+// paper's legend order.
+var leapVariants = []core.Variant{core.VariantTM, core.VariantRW, core.VariantCOP, core.VariantLT}
+
+// runCell builds a fresh target, runs reps, and averages ops/s.
+func runCell(cfg Config, reps int, build func() Target) (float64, uint64, error) {
+	var sum float64
+	var aborts uint64
+	for r := 0; r < reps; r++ {
+		cfg.Seed = uint64(r+1) * 0x5851f42d
+		res, err := Run(cfg, build())
+		if err != nil {
+			return 0, 0, err
+		}
+		sum += res.OpsPerS
+		aborts += res.Aborts
+	}
+	return sum / float64(reps), aborts / uint64(reps), nil
+}
+
+func fig14(mix workload.Mix, id string) func(Params) (Table, error) {
+	return func(p Params) (Table, error) {
+		p = p.normalize()
+		table := Table{ID: id, Title: mix.String(), XAxis: "threads"}
+		for _, v := range leapVariants {
+			v := v
+			series := Series{Name: v.String()}
+			for _, th := range p.Threads {
+				cfg := Config{
+					Workers:  th,
+					Duration: p.Duration,
+					KeySpace: PaperKeySpace,
+					Init:     PaperInit,
+					RangeMin: PaperRangeMin,
+					RangeMax: PaperRangeMax,
+					Mix:      mix,
+				}
+				ops, ab, err := runCell(cfg, p.Reps, func() Target {
+					return NewLeapTarget(LeapOptions{
+						Variant: v, Lists: PaperLists,
+						NodeSize: PaperNodeSize, MaxLevel: PaperMaxLevel,
+						Stats: p.Stats,
+					})
+				})
+				if err != nil {
+					return table, err
+				}
+				series.Points = append(series.Points, Point{
+					X: float64(th), XLabel: fmt.Sprint(th), OpsPerS: ops, Aborts: ab,
+				})
+			}
+			table.Series = append(table.Series, series)
+		}
+		return table, nil
+	}
+}
+
+func fig15(mix workload.Mix, id string) func(Params) (Table, error) {
+	return func(p Params) (Table, error) {
+		p = p.normalize()
+		elements := []int{1_000, 10_000, 100_000, 1_000_000, 10_000_000}
+		if p.Quick {
+			elements = []int{1_000, 10_000, 100_000}
+		}
+		workers := 80
+		table := Table{ID: id, Title: mix.String() + ", 80 threads", XAxis: "elements"}
+		for _, v := range leapVariants {
+			v := v
+			series := Series{Name: v.String()}
+			for _, n := range elements {
+				// The paper states keys in [0, 100000); that cannot hold
+				// >= 10^6 distinct elements, so the key space scales with
+				// the element count (documented in DESIGN.md).
+				keySpace := uint64(n)
+				if keySpace < PaperKeySpace {
+					keySpace = PaperKeySpace
+				}
+				cfg := Config{
+					Workers:  workers,
+					Duration: p.Duration,
+					KeySpace: keySpace,
+					Init:     n,
+					RangeMin: PaperRangeMin,
+					RangeMax: PaperRangeMax,
+					Mix:      mix,
+				}
+				ops, ab, err := runCell(cfg, p.Reps, func() Target {
+					return NewLeapTarget(LeapOptions{
+						Variant: v, Lists: PaperLists,
+						NodeSize: PaperNodeSize, MaxLevel: PaperMaxLevel,
+						Stats: p.Stats,
+					})
+				})
+				if err != nil {
+					return table, err
+				}
+				series.Points = append(series.Points, Point{
+					X: float64(n), XLabel: fmt.Sprint(n), OpsPerS: ops, Aborts: ab,
+				})
+			}
+			table.Series = append(table.Series, series)
+		}
+		return table, nil
+	}
+}
+
+func fig16(rangeSweep bool) func(Params) (Table, error) {
+	id := "fig16a"
+	if rangeSweep {
+		id = "fig16b"
+	}
+	return func(p Params) (Table, error) {
+		p = p.normalize()
+		workers := 80
+		xName := "lookup%"
+		if rangeSweep {
+			xName = "range-query%"
+		}
+		table := Table{ID: id, Title: "80 threads, 100K elements", XAxis: xName}
+		for _, v := range leapVariants {
+			v := v
+			series := Series{Name: v.String()}
+			for pct := 0; pct <= 90; pct += 10 {
+				mix := workload.Mix{LookupPct: pct, ModifyPct: 100 - pct}
+				if rangeSweep {
+					mix = workload.Mix{RangePct: pct, ModifyPct: 100 - pct}
+				}
+				cfg := Config{
+					Workers:  workers,
+					Duration: p.Duration,
+					KeySpace: PaperKeySpace,
+					Init:     PaperInit,
+					RangeMin: PaperRangeMin,
+					RangeMax: PaperRangeMax,
+					Mix:      mix,
+				}
+				ops, ab, err := runCell(cfg, p.Reps, func() Target {
+					return NewLeapTarget(LeapOptions{
+						Variant: v, Lists: PaperLists,
+						NodeSize: PaperNodeSize, MaxLevel: PaperMaxLevel,
+						Stats: p.Stats,
+					})
+				})
+				if err != nil {
+					return table, err
+				}
+				series.Points = append(series.Points, Point{
+					X: float64(pct), XLabel: fmt.Sprint(pct), OpsPerS: ops, Aborts: ab,
+				})
+			}
+			table.Series = append(table.Series, series)
+		}
+		return table, nil
+	}
+}
+
+func fig17(mix workload.Mix, id string) func(Params) (Table, error) {
+	return func(p Params) (Table, error) {
+		p = p.normalize()
+		initN := PaperFig17Init
+		if p.Quick {
+			initN = 100_000
+		}
+		builders := []struct {
+			name  string
+			build func() Target
+		}{
+			{"Skiplist-tm", func() Target { return NewSkipTMTarget(20, p.Stats) }},
+			{"Skiplist-cas", func() Target { return NewSkipCASTarget(20) }},
+			{"Leap-LT", func() Target {
+				return NewLeapTarget(LeapOptions{
+					Variant: core.VariantLT, Lists: 1,
+					NodeSize: PaperNodeSize, MaxLevel: PaperMaxLevel,
+					Stats: p.Stats,
+				})
+			}},
+		}
+		table := Table{ID: id, Title: mix.String() + ", 1M elements, single list", XAxis: "threads"}
+		for _, bld := range builders {
+			bld := bld
+			series := Series{Name: bld.name}
+			for _, th := range p.Threads {
+				cfg := Config{
+					Workers:  th,
+					Duration: p.Duration,
+					KeySpace: uint64(initN),
+					Init:     initN,
+					RangeMin: PaperRangeMin,
+					RangeMax: PaperRangeMax,
+					Mix:      mix,
+				}
+				ops, ab, err := runCell(cfg, p.Reps, bld.build)
+				if err != nil {
+					return table, err
+				}
+				series.Points = append(series.Points, Point{
+					X: float64(th), XLabel: fmt.Sprint(th), OpsPerS: ops, Aborts: ab,
+				})
+			}
+			table.Series = append(table.Series, series)
+		}
+		return table, nil
+	}
+}
+
+// ablExtension compares Leap-LT with and without STM timestamp extension
+// under the range-query-heavy mix, where long read-only transactions are
+// the ones extension saves.
+func ablExtension(p Params) (Table, error) {
+	p = p.normalize()
+	table := Table{ID: "abl-ext", Title: "timestamp extension, 40/40/20 mix", XAxis: "threads"}
+	mix := workload.Mix{LookupPct: 40, RangePct: 40, ModifyPct: 20}
+	for _, off := range []bool{false, true} {
+		off := off
+		name := "extension-on"
+		if off {
+			name = "extension-off"
+		}
+		series := Series{Name: name}
+		for _, th := range p.Threads {
+			cfg := Config{
+				Workers:  th,
+				Duration: p.Duration,
+				KeySpace: PaperKeySpace,
+				Init:     PaperInit,
+				RangeMin: PaperRangeMin,
+				RangeMax: PaperRangeMax,
+				Mix:      mix,
+			}
+			ops, ab, err := runCell(cfg, p.Reps, func() Target {
+				return NewLeapTarget(LeapOptions{
+					Variant: core.VariantLT, Lists: PaperLists,
+					NodeSize: PaperNodeSize, MaxLevel: PaperMaxLevel,
+					Stats: p.Stats, ExtensionOff: off,
+				})
+			})
+			if err != nil {
+				return table, err
+			}
+			series.Points = append(series.Points, Point{
+				X: float64(th), XLabel: fmt.Sprint(th), OpsPerS: ops, Aborts: ab,
+			})
+		}
+		table.Series = append(table.Series, series)
+	}
+	return table, nil
+}
+
+// ablLists sweeps the composition width L, quantifying the cost of the
+// paper's multi-list atomicity.
+func ablLists(p Params) (Table, error) {
+	p = p.normalize()
+	table := Table{ID: "abl-lists", Title: "batch width sweep, 100% modify, 16 threads", XAxis: "lists"}
+	for _, v := range []core.Variant{core.VariantLT, core.VariantCOP, core.VariantTM, core.VariantRW} {
+		v := v
+		series := Series{Name: v.String()}
+		for _, lists := range []int{1, 2, 4, 8} {
+			cfg := Config{
+				Workers:  16,
+				Duration: p.Duration,
+				KeySpace: PaperKeySpace,
+				Init:     PaperInit,
+				RangeMin: PaperRangeMin,
+				RangeMax: PaperRangeMax,
+				Mix:      workload.Mix{ModifyPct: 100},
+			}
+			ops, ab, err := runCell(cfg, p.Reps, func() Target {
+				return NewLeapTarget(LeapOptions{
+					Variant: v, Lists: lists,
+					NodeSize: PaperNodeSize, MaxLevel: PaperMaxLevel,
+					Stats: p.Stats,
+				})
+			})
+			if err != nil {
+				return table, err
+			}
+			series.Points = append(series.Points, Point{
+				X: float64(lists), XLabel: fmt.Sprint(lists), OpsPerS: ops, Aborts: ab,
+			})
+		}
+		table.Series = append(table.Series, series)
+	}
+	return table, nil
+}
+
+// ablBTree pits Leap-LT against the blocking B+-tree under the paper's
+// mixed read workload. The B+-tree has no leaf chaining (§1.1), so its
+// range queries either hold the tree lock for the whole scan or pay one
+// descent per key — the two alternatives the Leap-List was built to beat,
+// and the structure §4 proposes replacing inside in-memory databases.
+func ablBTree(p Params) (Table, error) {
+	p = p.normalize()
+	builders := []struct {
+		name  string
+		build func() Target
+	}{
+		{"Leap-LT", func() Target {
+			return NewLeapTarget(LeapOptions{
+				Variant: core.VariantLT, Lists: 1,
+				NodeSize: PaperNodeSize, MaxLevel: PaperMaxLevel,
+				Stats: p.Stats,
+			})
+		}},
+		{"BTree-lockscan", func() Target { return NewBTreeTarget(PaperNodeSize, true) }},
+		{"BTree-lookups", func() Target { return NewBTreeTarget(PaperNodeSize, false) }},
+	}
+	mix := workload.Mix{LookupPct: 40, RangePct: 40, ModifyPct: 20}
+	table := Table{ID: "abl-btree", Title: mix.String() + ", 100K elements, single index", XAxis: "threads"}
+	for _, bld := range builders {
+		bld := bld
+		series := Series{Name: bld.name}
+		for _, th := range p.Threads {
+			cfg := Config{
+				Workers:  th,
+				Duration: p.Duration,
+				KeySpace: PaperKeySpace,
+				Init:     PaperInit,
+				RangeMin: PaperRangeMin,
+				RangeMax: PaperRangeMax,
+				Mix:      mix,
+			}
+			ops, ab, err := runCell(cfg, p.Reps, bld.build)
+			if err != nil {
+				return table, err
+			}
+			series.Points = append(series.Points, Point{
+				X: float64(th), XLabel: fmt.Sprint(th), OpsPerS: ops, Aborts: ab,
+			})
+		}
+		table.Series = append(table.Series, series)
+	}
+	return table, nil
+}
+
+// SortSeries orders the table's series by name for stable output.
+func (t *Table) SortSeries() {
+	sort.Slice(t.Series, func(i, j int) bool { return t.Series[i].Name < t.Series[j].Name })
+}

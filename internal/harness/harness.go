@@ -1,0 +1,174 @@
+// Package harness runs the paper's fixed-duration throughput experiments:
+// it drives a Target with worker goroutines executing a workload mix and
+// reports operations per second, the paper's metric in Figures 14-17.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"leaplist/internal/latency"
+	"leaplist/internal/stm"
+	"leaplist/internal/workload"
+)
+
+// Target abstracts the structure under test. UpdateBatch and RemoveBatch
+// receive one key per list (len = Lists()); single-list structures take
+// batches of length 1. Lookup and RangeCount address one list chosen by the
+// target (the harness passes a rotation hint).
+type Target interface {
+	Name() string
+	Lists() int
+	Lookup(listHint int, k uint64) bool
+	RangeCount(listHint int, lo, hi uint64) int
+	UpdateBatch(ks, vs []uint64)
+	RemoveBatch(ks []uint64)
+	// Init loads n successive elements (keys 0..n-1) into every list.
+	Init(n int)
+	// STMStats returns the underlying STM snapshot, or zero if none.
+	STMStats() stm.StatsSnapshot
+}
+
+// Config parameterizes one experiment cell.
+type Config struct {
+	Workers  int
+	Duration time.Duration
+	KeySpace uint64
+	Init     int // successive elements preloaded per list
+	RangeMin uint64
+	RangeMax uint64
+	Mix      workload.Mix
+	Seed     uint64
+	// TrackLatency records per-operation-type latency histograms; costs
+	// two clock reads per operation, so it is off for throughput cells.
+	TrackLatency bool
+}
+
+// Result is one measured cell.
+type Result struct {
+	Target   string
+	Workers  int
+	Ops      uint64
+	Elapsed  time.Duration
+	OpsPerS  float64
+	Aborts   uint64 // STM aborts during the measured window
+	Commits  uint64
+	RangeSum uint64 // pairs returned by range queries (keeps them un-elided)
+	// Latencies holds per-operation-type summaries when
+	// Config.TrackLatency was set; keys are workload.Op strings.
+	Latencies map[string]latency.Summary
+}
+
+// String renders a result row.
+func (r Result) String() string {
+	return fmt.Sprintf("%-12s workers=%-3d ops=%-10d ops/s=%-12.0f aborts=%d",
+		r.Target, r.Workers, r.Ops, r.OpsPerS, r.Aborts)
+}
+
+// Run executes one experiment cell: Init the target, then hammer it from
+// cfg.Workers goroutines for cfg.Duration and count completed operations.
+func Run(cfg Config, t Target) (Result, error) {
+	if cfg.Workers <= 0 {
+		return Result{}, fmt.Errorf("harness: workers must be positive")
+	}
+	if cfg.KeySpace == 0 {
+		cfg.KeySpace = uint64(cfg.Init)
+	}
+	if cfg.KeySpace == 0 {
+		return Result{}, fmt.Errorf("harness: zero key space and no init")
+	}
+	t.Init(cfg.Init)
+	statsBefore := t.STMStats()
+
+	var stop atomic.Bool
+	var totalOps, totalRange atomic.Uint64
+	var hists [4]latency.Histogram // indexed by workload.Op
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			gen, err := workload.NewGenerator(workload.Config{
+				Mix:      cfg.Mix,
+				KeySpace: cfg.KeySpace,
+				RangeMin: cfg.RangeMin,
+				RangeMax: cfg.RangeMax,
+				Seed:     cfg.Seed + uint64(id)*0x1000193,
+			})
+			if err != nil {
+				panic("harness: " + err.Error())
+			}
+			lists := t.Lists()
+			ks := make([]uint64, lists)
+			vs := make([]uint64, lists)
+			ops := uint64(0)
+			ranges := uint64(0)
+			hint := id
+			for !stop.Load() {
+				op, key, val, lo, hi := gen.Next()
+				var opStart time.Time
+				if cfg.TrackLatency {
+					opStart = time.Now()
+				}
+				switch op {
+				case workload.OpLookup:
+					t.Lookup(hint, key)
+				case workload.OpRange:
+					ranges += uint64(t.RangeCount(hint, lo, hi))
+				case workload.OpUpdate:
+					ks[0], vs[0] = key, val
+					for j := 1; j < lists; j++ {
+						ks[j], vs[j] = gen.Key(), gen.Value()
+					}
+					t.UpdateBatch(ks, vs)
+				case workload.OpRemove:
+					ks[0] = key
+					for j := 1; j < lists; j++ {
+						ks[j] = gen.Key()
+					}
+					t.RemoveBatch(ks)
+				}
+				if cfg.TrackLatency {
+					hists[op].Record(time.Since(opStart))
+				}
+				ops++
+				hint++
+			}
+			totalOps.Add(ops)
+			totalRange.Add(ranges)
+		}(w)
+	}
+	timer := time.NewTimer(cfg.Duration)
+	<-timer.C
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	statsAfter := t.STMStats()
+
+	runtime.GC() // keep allocation pressure from leaking across cells
+
+	ops := totalOps.Load()
+	res := Result{
+		Target:   t.Name(),
+		Workers:  cfg.Workers,
+		Ops:      ops,
+		Elapsed:  elapsed,
+		OpsPerS:  float64(ops) / elapsed.Seconds(),
+		Aborts:   statsAfter.Aborts - statsBefore.Aborts,
+		Commits:  statsAfter.Commits - statsBefore.Commits,
+		RangeSum: totalRange.Load(),
+	}
+	if cfg.TrackLatency {
+		res.Latencies = make(map[string]latency.Summary, 4)
+		for op := workload.OpLookup; op <= workload.OpRemove; op++ {
+			if hists[op].Count() > 0 {
+				res.Latencies[op.String()] = hists[op].Summarize()
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,310 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"leaplist/internal/core"
+	"leaplist/internal/workload"
+)
+
+func shortCfg(workers int, mix workload.Mix) Config {
+	return Config{
+		Workers:  workers,
+		Duration: 50 * time.Millisecond,
+		KeySpace: 2_000,
+		Init:     2_000,
+		RangeMin: 50,
+		RangeMax: 100,
+		Mix:      mix,
+		Seed:     1,
+	}
+}
+
+func smallLeap(v core.Variant, lists int) *LeapTarget {
+	return NewLeapTarget(LeapOptions{
+		Variant: v, Lists: lists, NodeSize: 32, MaxLevel: 8, Stats: true,
+	})
+}
+
+func TestRunAllLeapVariants(t *testing.T) {
+	mix := workload.Mix{LookupPct: 30, RangePct: 30, ModifyPct: 40}
+	for _, v := range []core.Variant{core.VariantLT, core.VariantTM, core.VariantCOP, core.VariantRW} {
+		t.Run(v.String(), func(t *testing.T) {
+			res, err := Run(shortCfg(4, mix), smallLeap(v, 4))
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if res.Ops == 0 {
+				t.Fatal("no operations completed")
+			}
+			if res.OpsPerS <= 0 {
+				t.Fatalf("OpsPerS = %f", res.OpsPerS)
+			}
+			if res.Target != v.String() {
+				t.Fatalf("Target = %q", res.Target)
+			}
+		})
+	}
+}
+
+func TestRunSkipTargets(t *testing.T) {
+	mix := workload.Mix{LookupPct: 40, RangePct: 20, ModifyPct: 40}
+	for _, tgt := range []Target{
+		NewSkipTMTarget(12, true),
+		NewSkipCASTarget(12),
+		NewBTreeTarget(32, true),
+		NewBTreeTarget(32, false),
+	} {
+		t.Run(tgt.Name(), func(t *testing.T) {
+			res, err := Run(shortCfg(4, mix), tgt)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if res.Ops == 0 {
+				t.Fatal("no operations completed")
+			}
+		})
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(Config{Workers: 0}, smallLeap(core.VariantLT, 1)); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	if _, err := Run(Config{Workers: 1, Duration: time.Millisecond}, smallLeap(core.VariantLT, 1)); err == nil {
+		t.Fatal("zero key space with no init accepted")
+	}
+}
+
+func TestRangeQueriesReturnData(t *testing.T) {
+	res, err := Run(shortCfg(2, workload.Mix{RangePct: 100}), smallLeap(core.VariantLT, 1))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.RangeSum == 0 {
+		t.Fatal("range queries returned no pairs over a dense preload")
+	}
+}
+
+func TestLatencyTracking(t *testing.T) {
+	cfg := shortCfg(2, workload.Mix{LookupPct: 50, RangePct: 10, ModifyPct: 40})
+	cfg.TrackLatency = true
+	res, err := Run(cfg, smallLeap(core.VariantLT, 1))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Latencies) == 0 {
+		t.Fatal("no latency summaries collected")
+	}
+	lk, ok := res.Latencies[workload.OpLookup.String()]
+	if !ok || lk.Count == 0 || lk.P50 == 0 {
+		t.Fatalf("lookup summary = %+v", lk)
+	}
+	// Without tracking, the map must stay nil.
+	cfg.TrackLatency = false
+	res, err = Run(cfg, smallLeap(core.VariantLT, 1))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Latencies != nil {
+		t.Fatal("latencies collected without TrackLatency")
+	}
+}
+
+func TestStatsDeltaCollected(t *testing.T) {
+	res, err := Run(shortCfg(4, workload.Mix{ModifyPct: 100}), smallLeap(core.VariantTM, 4))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Commits == 0 {
+		t.Fatal("no commits recorded with stats enabled")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	wantIDs := []string{
+		"fig14a", "fig14b", "fig15a", "fig15b", "fig16a", "fig16b",
+		"fig17a", "fig17b", "fig17c", "fig17d", "abl-ext", "abl-lists",
+		"abl-btree",
+	}
+	if len(exps) != len(wantIDs) {
+		t.Fatalf("registry has %d experiments, want %d", len(exps), len(wantIDs))
+	}
+	for i, id := range wantIDs {
+		if exps[i].ID != id {
+			t.Fatalf("experiment %d = %q, want %q", i, exps[i].ID, id)
+		}
+		if _, ok := FindExperiment(id); !ok {
+			t.Fatalf("FindExperiment(%q) missed", id)
+		}
+	}
+	if _, ok := FindExperiment("nope"); ok {
+		t.Fatal("FindExperiment accepted unknown id")
+	}
+}
+
+// TestFig14aSmoke runs a miniature fig14a end to end: tiny durations, two
+// thread counts, verifying the table shape.
+func TestFig14aSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke skipped in -short")
+	}
+	exp, _ := FindExperiment("fig14a")
+	table, err := exp.Run(Params{
+		Duration: 30 * time.Millisecond,
+		Reps:     1,
+		Threads:  []int{1, 2},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(table.Series) != 4 {
+		t.Fatalf("series = %d, want 4", len(table.Series))
+	}
+	for _, s := range table.Series {
+		if len(s.Points) != 2 {
+			t.Fatalf("series %s has %d points, want 2", s.Name, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.OpsPerS <= 0 {
+				t.Fatalf("series %s point %s has no throughput", s.Name, p.XLabel)
+			}
+		}
+	}
+	var text, csv strings.Builder
+	if err := table.WriteText(&text); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	if err := table.WriteCSV(&csv); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if !strings.Contains(text.String(), "Leap-LT") || !strings.Contains(csv.String(), "fig14a,Leap-LT") {
+		t.Fatalf("renders missing series:\n%s\n%s", text.String(), csv.String())
+	}
+	ratios, err := table.SpeedupOver("Leap-LT", "Leap-tm")
+	if err != nil {
+		t.Fatalf("SpeedupOver: %v", err)
+	}
+	if len(ratios) != 2 {
+		t.Fatalf("ratios = %d, want 2", len(ratios))
+	}
+}
+
+// TestMoreExperimentsSmoke runs the element-sweep and ablation
+// experiments end to end in miniature, verifying table shapes. fig16a/b
+// (10 x-points each over 100K-element structures) are covered by the
+// leapbench CLI and the fig14 smoke; running them here would dominate the
+// package's test time.
+func TestMoreExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke skipped in -short")
+	}
+	params := Params{
+		Duration: 20 * time.Millisecond,
+		Reps:     1,
+		Threads:  []int{2},
+		Quick:    true,
+	}
+	tests := []struct {
+		id         string
+		wantSeries int
+		wantPoints int
+	}{
+		{"fig15a", 4, 3}, // quick: 3 element sizes
+		{"fig15b", 4, 3},
+		{"abl-ext", 2, 1},
+		{"abl-lists", 4, 4}, // L in {1,2,4,8}
+		{"abl-btree", 3, 1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.id, func(t *testing.T) {
+			exp, ok := FindExperiment(tc.id)
+			if !ok {
+				t.Fatalf("FindExperiment(%q) missed", tc.id)
+			}
+			table, err := exp.Run(params)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if len(table.Series) != tc.wantSeries {
+				t.Fatalf("series = %d, want %d", len(table.Series), tc.wantSeries)
+			}
+			for _, s := range table.Series {
+				if len(s.Points) != tc.wantPoints {
+					t.Fatalf("series %s has %d points, want %d", s.Name, len(s.Points), tc.wantPoints)
+				}
+				for _, p := range s.Points {
+					if p.OpsPerS <= 0 {
+						t.Fatalf("series %s point %s has no throughput", s.Name, p.XLabel)
+					}
+				}
+			}
+			table.SortSeries()
+			for i := 1; i < len(table.Series); i++ {
+				if table.Series[i-1].Name > table.Series[i].Name {
+					t.Fatal("SortSeries did not sort")
+				}
+			}
+		})
+	}
+}
+
+// TestFig17dSmoke exercises the skip-list comparison path.
+func TestFig17dSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke skipped in -short")
+	}
+	exp, _ := FindExperiment("fig17d")
+	table, err := exp.Run(Params{
+		Duration: 30 * time.Millisecond,
+		Reps:     1,
+		Threads:  []int{2},
+		Quick:    true,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	names := map[string]bool{}
+	for _, s := range table.Series {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"Leap-LT", "Skiplist-tm", "Skiplist-cas"} {
+		if !names[want] {
+			t.Fatalf("missing series %q in %v", want, names)
+		}
+	}
+}
+
+func TestSpeedupOverMissingSeries(t *testing.T) {
+	table := Table{ID: "x", Series: []Series{{Name: "a"}}}
+	if _, err := table.SpeedupOver("a", "b"); err == nil {
+		t.Fatal("missing series accepted")
+	}
+}
+
+func TestWritePlot(t *testing.T) {
+	table := Table{
+		ID: "demo", Title: "t", XAxis: "threads",
+		Series: []Series{
+			{Name: "fast", Points: []Point{{XLabel: "1", OpsPerS: 100}, {XLabel: "2", OpsPerS: 200}}},
+			{Name: "slow", Points: []Point{{XLabel: "1", OpsPerS: 10}, {XLabel: "2", OpsPerS: 20}}},
+		},
+	}
+	var b strings.Builder
+	if err := table.WritePlot(&b, 8); err != nil {
+		t.Fatalf("WritePlot: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{"A = fast", "B = slow", "(threads)", "max 200"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	empty := Table{ID: "e"}
+	if err := empty.WritePlot(&b, 8); err != nil {
+		t.Fatalf("empty WritePlot: %v", err)
+	}
+}

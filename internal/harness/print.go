@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteText renders the table as an aligned text grid, one row per
+// x-position and one column per series, values in ops/sec — the layout of
+// the paper's figure data.
+func (t *Table) WriteText(w io.Writer) error {
+	if len(t.Series) == 0 {
+		_, err := fmt.Fprintf(w, "%s: no data\n", t.ID)
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "# %s — %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	cols := make([]string, 0, len(t.Series)+1)
+	cols = append(cols, t.XAxis)
+	for _, s := range t.Series {
+		cols = append(cols, s.Name)
+	}
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = max(len(c), 12)
+	}
+	var b strings.Builder
+	for i, c := range cols {
+		fmt.Fprintf(&b, "%-*s ", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for row := 0; row < len(t.Series[0].Points); row++ {
+		fmt.Fprintf(&b, "%-*s ", widths[0], t.Series[0].Points[row].XLabel)
+		for si, s := range t.Series {
+			if row < len(s.Points) {
+				fmt.Fprintf(&b, "%-*.0f ", widths[si+1], s.Points[row].OpsPerS)
+			} else {
+				fmt.Fprintf(&b, "%-*s ", widths[si+1], "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as CSV: xaxis,series,x,ops_per_sec,aborts.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "experiment,series,%s,ops_per_sec,aborts\n", t.XAxis); err != nil {
+		return err
+	}
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%s,%s,%s,%.0f,%d\n", t.ID, s.Name, p.XLabel, p.OpsPerS, p.Aborts); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WritePlot renders the table as an ASCII chart in the shape of the
+// paper's figures: x-positions along the bottom, ops/sec on the y-axis,
+// one letter per series. Intended for eyeballing curve shapes without
+// leaving the terminal.
+func (t *Table) WritePlot(w io.Writer, height int) error {
+	if len(t.Series) == 0 || len(t.Series[0].Points) == 0 {
+		_, err := fmt.Fprintf(w, "%s: no data\n", t.ID)
+		return err
+	}
+	if height < 4 {
+		height = 4
+	}
+	maxY := 0.0
+	cols := len(t.Series[0].Points)
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			if p.OpsPerS > maxY {
+				maxY = p.OpsPerS
+			}
+		}
+		if len(s.Points) > cols {
+			cols = len(s.Points)
+		}
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	const colWidth = 6
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols*colWidth))
+	}
+	for si, s := range t.Series {
+		mark := byte('A' + si%26)
+		for pi, p := range s.Points {
+			row := int(p.OpsPerS / maxY * float64(height-1))
+			if row > height-1 {
+				row = height - 1
+			}
+			col := pi*colWidth + colWidth/2
+			cell := &grid[height-1-row][col]
+			if *cell == ' ' {
+				*cell = mark
+			} else {
+				*cell = '*' // overlapping series
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s (y: ops/s, max %.0f)\n", t.ID, t.Title, maxY)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("+")
+	b.WriteString(strings.Repeat("-", cols*colWidth))
+	b.WriteByte('\n')
+	b.WriteString(" ")
+	for pi := 0; pi < cols; pi++ {
+		label := ""
+		if pi < len(t.Series[0].Points) {
+			label = t.Series[0].Points[pi].XLabel
+		}
+		fmt.Fprintf(&b, "%-*s", colWidth, label)
+	}
+	fmt.Fprintf(&b, "  (%s)\n", t.XAxis)
+	for si, s := range t.Series {
+		fmt.Fprintf(&b, "  %c = %s\n", 'A'+si%26, s.Name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// SpeedupOver returns, per x-position, how much faster series a is than
+// series b (a/b), used by EXPERIMENTS.md to report the paper's ratios.
+func (t *Table) SpeedupOver(a, b string) ([]Point, error) {
+	var sa, sb *Series
+	for i := range t.Series {
+		switch t.Series[i].Name {
+		case a:
+			sa = &t.Series[i]
+		case b:
+			sb = &t.Series[i]
+		}
+	}
+	if sa == nil || sb == nil {
+		return nil, fmt.Errorf("harness: series %q or %q not in table %s", a, b, t.ID)
+	}
+	n := min(len(sa.Points), len(sb.Points))
+	out := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		ratio := 0.0
+		if sb.Points[i].OpsPerS > 0 {
+			ratio = sa.Points[i].OpsPerS / sb.Points[i].OpsPerS
+		}
+		out = append(out, Point{
+			X:       sa.Points[i].X,
+			XLabel:  sa.Points[i].XLabel,
+			OpsPerS: ratio,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,216 @@
+package harness
+
+import (
+	"leaplist/internal/core"
+	"leaplist/internal/skiplist"
+	"leaplist/internal/stm"
+)
+
+// LeapTarget adapts a group of Leap-Lists (any variant) to the harness.
+type LeapTarget struct {
+	name  string
+	group *core.Group[uint64]
+	lists []*core.List[uint64]
+}
+
+// LeapOptions configures a Leap-List target.
+type LeapOptions struct {
+	Variant  core.Variant
+	Lists    int
+	NodeSize int
+	MaxLevel int
+	Stats    bool
+	// Extension toggles STM timestamp extension (abl-ext ablation).
+	ExtensionOff bool
+}
+
+// NewLeapTarget builds a fresh Leap-List group for one experiment cell.
+func NewLeapTarget(opts LeapOptions) *LeapTarget {
+	if opts.Lists <= 0 {
+		opts.Lists = 1
+	}
+	var stmOpts []stm.Option
+	if opts.Stats {
+		stmOpts = append(stmOpts, stm.WithStats(true))
+	}
+	if opts.ExtensionOff {
+		stmOpts = append(stmOpts, stm.WithTimestampExtension(false))
+	}
+	domain := stm.New(stmOpts...)
+	g := core.NewGroup[uint64](core.Config{
+		NodeSize: opts.NodeSize,
+		MaxLevel: opts.MaxLevel,
+		Variant:  opts.Variant,
+	}, domain)
+	ls := make([]*core.List[uint64], opts.Lists)
+	for i := range ls {
+		ls[i] = g.NewList()
+	}
+	return &LeapTarget{name: opts.Variant.String(), group: g, lists: ls}
+}
+
+// Name implements Target.
+func (t *LeapTarget) Name() string { return t.name }
+
+// Lists implements Target.
+func (t *LeapTarget) Lists() int { return len(t.lists) }
+
+// Lookup implements Target.
+func (t *LeapTarget) Lookup(hint int, k uint64) bool {
+	_, ok := t.lists[hint%len(t.lists)].Lookup(k)
+	return ok
+}
+
+// RangeCount implements Target.
+func (t *LeapTarget) RangeCount(hint int, lo, hi uint64) int {
+	return t.lists[hint%len(t.lists)].RangeQuery(lo, hi, nil)
+}
+
+// UpdateBatch implements Target.
+func (t *LeapTarget) UpdateBatch(ks, vs []uint64) {
+	if err := t.group.Update(t.lists, ks, vs); err != nil {
+		panic("harness: leap update: " + err.Error())
+	}
+}
+
+// RemoveBatch implements Target.
+func (t *LeapTarget) RemoveBatch(ks []uint64) {
+	if err := t.group.Remove(t.lists, ks, nil); err != nil {
+		panic("harness: leap remove: " + err.Error())
+	}
+}
+
+// Init implements Target: successive elements, as in the paper's setup.
+func (t *LeapTarget) Init(n int) {
+	if n == 0 {
+		return
+	}
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i)
+		vals[i] = uint64(i)
+	}
+	for _, l := range t.lists {
+		if err := l.BulkLoad(keys, vals); err != nil {
+			panic("harness: leap init: " + err.Error())
+		}
+	}
+}
+
+// STMStats implements Target.
+func (t *LeapTarget) STMStats() stm.StatsSnapshot {
+	return t.group.STM().Stats()
+}
+
+// SkipTMTarget adapts the Skip-tm baseline (single list).
+type SkipTMTarget struct {
+	s  *stm.STM
+	sl *skiplist.TM[uint64]
+}
+
+// NewSkipTMTarget builds a fresh Skip-tm list.
+func NewSkipTMTarget(maxLevel int, stats bool) *SkipTMTarget {
+	var opts []stm.Option
+	if stats {
+		opts = append(opts, stm.WithStats(true))
+	}
+	domain := stm.New(opts...)
+	return &SkipTMTarget{s: domain, sl: skiplist.NewTM[uint64](domain, maxLevel)}
+}
+
+// Name implements Target.
+func (t *SkipTMTarget) Name() string { return "Skiplist-tm" }
+
+// Lists implements Target.
+func (t *SkipTMTarget) Lists() int { return 1 }
+
+// Lookup implements Target.
+func (t *SkipTMTarget) Lookup(_ int, k uint64) bool {
+	_, ok := t.sl.Lookup(k)
+	return ok
+}
+
+// RangeCount implements Target.
+func (t *SkipTMTarget) RangeCount(_ int, lo, hi uint64) int {
+	return t.sl.RangeQuery(lo, hi, nil)
+}
+
+// UpdateBatch implements Target.
+func (t *SkipTMTarget) UpdateBatch(ks, vs []uint64) {
+	if err := t.sl.Update(ks[0], vs[0]); err != nil {
+		panic("harness: skip-tm update: " + err.Error())
+	}
+}
+
+// RemoveBatch implements Target.
+func (t *SkipTMTarget) RemoveBatch(ks []uint64) {
+	if _, err := t.sl.Remove(ks[0]); err != nil {
+		panic("harness: skip-tm remove: " + err.Error())
+	}
+}
+
+// Init implements Target.
+func (t *SkipTMTarget) Init(n int) {
+	for i := 0; i < n; i++ {
+		if err := t.sl.Update(uint64(i), uint64(i)); err != nil {
+			panic("harness: skip-tm init: " + err.Error())
+		}
+	}
+}
+
+// STMStats implements Target.
+func (t *SkipTMTarget) STMStats() stm.StatsSnapshot { return t.s.Stats() }
+
+// SkipCASTarget adapts the Skip-cas baseline (single list).
+type SkipCASTarget struct {
+	sl *skiplist.CAS[uint64]
+}
+
+// NewSkipCASTarget builds a fresh Skip-cas list.
+func NewSkipCASTarget(maxLevel int) *SkipCASTarget {
+	return &SkipCASTarget{sl: skiplist.NewCAS[uint64](maxLevel)}
+}
+
+// Name implements Target.
+func (t *SkipCASTarget) Name() string { return "Skiplist-cas" }
+
+// Lists implements Target.
+func (t *SkipCASTarget) Lists() int { return 1 }
+
+// Lookup implements Target.
+func (t *SkipCASTarget) Lookup(_ int, k uint64) bool {
+	_, ok := t.sl.Lookup(k)
+	return ok
+}
+
+// RangeCount implements Target.
+func (t *SkipCASTarget) RangeCount(_ int, lo, hi uint64) int {
+	return t.sl.RangeQuery(lo, hi, nil)
+}
+
+// UpdateBatch implements Target.
+func (t *SkipCASTarget) UpdateBatch(ks, vs []uint64) {
+	if err := t.sl.Update(ks[0], vs[0]); err != nil {
+		panic("harness: skip-cas update: " + err.Error())
+	}
+}
+
+// RemoveBatch implements Target.
+func (t *SkipCASTarget) RemoveBatch(ks []uint64) {
+	if _, err := t.sl.Remove(ks[0]); err != nil {
+		panic("harness: skip-cas remove: " + err.Error())
+	}
+}
+
+// Init implements Target.
+func (t *SkipCASTarget) Init(n int) {
+	for i := 0; i < n; i++ {
+		if err := t.sl.Update(uint64(i), uint64(i)); err != nil {
+			panic("harness: skip-cas init: " + err.Error())
+		}
+	}
+}
+
+// STMStats implements Target.
+func (t *SkipCASTarget) STMStats() stm.StatsSnapshot { return stm.StatsSnapshot{} }

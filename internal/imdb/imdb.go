@@ -1,0 +1,340 @@
+// Package imdb is a small in-memory database built on Leap-Lists,
+// realizing the paper's §4 outlook: "to test the Leap-List in an In-Memory
+// Data-Base implementation, to replace the B-trees for indexes".
+//
+// A Table stores fixed-arity rows of uint64 columns under a uint64 primary
+// key, plus any number of secondary indexes. Every index — primary and
+// secondary — is one Leap-List in a single group, and every row mutation
+// maintains all of them with ONE composed Leap-List batch, so index
+// consistency needs no table-level locking: a SelectRange over any index
+// observes a linearizable snapshot of that index, and index entries never
+// point at rows that were inserted by half-applied writes.
+//
+// Secondary index keys pack (column value, row id) into one uint64 —
+// valueBits high bits of value, the rest row id — which makes equal column
+// values order by row id and lets range scans over a value interval run as
+// one Leap-List range query.
+//
+// Row-level read-modify-write atomicity (delete needs the old row to
+// unindex it) uses striped row locks; the composed Leap-List batch is what
+// keeps the indexes mutually consistent, the stripe only serializes
+// writers of the same row id.
+package imdb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"leaplist/internal/core"
+)
+
+// Errors returned by Table operations.
+var (
+	ErrArity       = errors.New("imdb: row arity does not match schema")
+	ErrNoSuchCol   = errors.New("imdb: no index on that column")
+	ErrValueRange  = errors.New("imdb: column value exceeds index width")
+	ErrRowIDRange  = errors.New("imdb: row id exceeds index width")
+	ErrDuplicateIx = errors.New("imdb: duplicate index column")
+)
+
+// valueBits is the width of the column value in a packed secondary-index
+// key; the remaining bits hold the row id.
+const valueBits = 40
+
+const (
+	rowIDBits = 64 - valueBits
+	maxValue  = (uint64(1) << valueBits) - 1
+	maxRowID  = (uint64(1) << rowIDBits) - 1
+)
+
+func packIndexKey(value, rowID uint64) uint64 {
+	return value<<rowIDBits | rowID
+}
+
+func unpackIndexKey(k uint64) (value, rowID uint64) {
+	return k >> rowIDBits, k & maxRowID
+}
+
+// Row is one tuple; element i is column i.
+type Row []uint64
+
+// clone guards the immutability of stored rows.
+func (r Row) clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Schema names the columns of a table. Column names are positional
+// documentation; operations address columns by index.
+type Schema struct {
+	Columns []string
+}
+
+// Table is a concurrent table with Leap-List-backed indexes.
+type Table struct {
+	schema  Schema
+	group   *core.Group[Row]
+	primary *core.List[Row]
+
+	ixCols  []int // indexed column positions, in creation order
+	ixLists []*core.List[Row]
+
+	locks [64]stripedLock
+}
+
+// stripedLock pads each stripe to its own cache line region.
+type stripedLock struct {
+	mu sync.Mutex
+	_  [48]byte
+}
+
+// Config parameterizes a table.
+type Config struct {
+	Schema Schema
+	// IndexColumns lists the column positions to maintain secondary
+	// indexes for; values in those columns must fit in 40 bits.
+	IndexColumns []int
+	// Variant selects the Leap-List synchronization protocol (default LT).
+	Variant core.Variant
+	// NodeSize / MaxLevel tune the underlying lists (defaults: paper's).
+	NodeSize int
+	MaxLevel int
+}
+
+// NewTable builds an empty table.
+func NewTable(cfg Config) (*Table, error) {
+	if len(cfg.Schema.Columns) == 0 {
+		return nil, fmt.Errorf("imdb: empty schema")
+	}
+	seen := map[int]bool{}
+	for _, c := range cfg.IndexColumns {
+		if c < 0 || c >= len(cfg.Schema.Columns) {
+			return nil, fmt.Errorf("imdb: index column %d outside schema", c)
+		}
+		if seen[c] {
+			return nil, ErrDuplicateIx
+		}
+		seen[c] = true
+	}
+	g := core.NewGroup[Row](core.Config{
+		NodeSize: cfg.NodeSize,
+		MaxLevel: cfg.MaxLevel,
+		Variant:  cfg.Variant,
+	}, nil)
+	t := &Table{
+		schema:  cfg.Schema,
+		group:   g,
+		primary: g.NewList(),
+		ixCols:  append([]int(nil), cfg.IndexColumns...),
+	}
+	// All lists — primary and secondary indexes — must live in one group,
+	// because composed batches are atomic only within a group. The index
+	// lists therefore share the primary's Row value type and store nil:
+	// membership is the information, the packed key carries (value, id).
+	for range t.ixCols {
+		t.ixLists = append(t.ixLists, g.NewList())
+	}
+	return t, nil
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+func (t *Table) stripe(rowID uint64) *sync.Mutex {
+	return &t.locks[rowID%uint64(len(t.locks))].mu
+}
+
+// validate checks a row against schema and index width limits.
+func (t *Table) validate(rowID uint64, row Row) error {
+	if len(row) != len(t.schema.Columns) {
+		return ErrArity
+	}
+	if rowID > maxRowID {
+		return ErrRowIDRange
+	}
+	for _, c := range t.ixCols {
+		if row[c] > maxValue {
+			return ErrValueRange
+		}
+	}
+	return nil
+}
+
+// Put inserts or replaces the row stored under rowID. Inserting a new row
+// publishes the primary row and every index entry in ONE atomic Leap-List
+// batch. Replacing a row whose indexed values changed first retires the
+// stale index entries in a separate batch (a composed batch addresses each
+// list at most once, so remove-old and insert-new on the same index cannot
+// share one), leaving a brief window where a scan on that index misses the
+// row; inserts and whole-row deletes have no such window. CheckIndexes
+// always holds at quiescence.
+func (t *Table) Put(rowID uint64, row Row) error {
+	if err := t.validate(rowID, row); err != nil {
+		return err
+	}
+	row = row.clone()
+	mu := t.stripe(rowID)
+	mu.Lock()
+	defer mu.Unlock()
+
+	old, hadOld := t.primary.Lookup(rowID)
+
+	// Remove index entries whose packed key changes. (Within the row
+	// stripe, no other writer touches this row's entries.)
+	if hadOld {
+		var staleLists []*core.List[Row]
+		var staleKeys []uint64
+		for i, c := range t.ixCols {
+			if old[c] != row[c] {
+				staleLists = append(staleLists, t.ixLists[i])
+				staleKeys = append(staleKeys, packIndexKey(old[c], rowID))
+			}
+		}
+		if len(staleLists) > 0 {
+			if err := t.group.Remove(staleLists, staleKeys, nil); err != nil {
+				return err
+			}
+		}
+	}
+
+	lists := make([]*core.List[Row], 0, 1+len(t.ixCols))
+	keys := make([]uint64, 0, 1+len(t.ixCols))
+	vals := make([]Row, 0, 1+len(t.ixCols))
+	lists = append(lists, t.primary)
+	keys = append(keys, rowID)
+	vals = append(vals, row)
+	for i, c := range t.ixCols {
+		lists = append(lists, t.ixLists[i])
+		keys = append(keys, packIndexKey(row[c], rowID))
+		vals = append(vals, nil) // membership only; the key carries the id
+	}
+	return t.group.Update(lists, keys, vals)
+}
+
+// Delete removes the row under rowID and all its index entries in one
+// atomic batch, reporting whether the row existed.
+func (t *Table) Delete(rowID uint64) (bool, error) {
+	if rowID > maxRowID {
+		return false, ErrRowIDRange
+	}
+	mu := t.stripe(rowID)
+	mu.Lock()
+	defer mu.Unlock()
+
+	old, ok := t.primary.Lookup(rowID)
+	if !ok {
+		return false, nil
+	}
+	lists := make([]*core.List[Row], 0, 1+len(t.ixCols))
+	keys := make([]uint64, 0, 1+len(t.ixCols))
+	lists = append(lists, t.primary)
+	keys = append(keys, rowID)
+	for i, c := range t.ixCols {
+		lists = append(lists, t.ixLists[i])
+		keys = append(keys, packIndexKey(old[c], rowID))
+	}
+	return true, t.group.Remove(lists, keys, nil)
+}
+
+// Get returns a copy of the row under rowID.
+func (t *Table) Get(rowID uint64) (Row, bool) {
+	row, ok := t.primary.Lookup(rowID)
+	if !ok {
+		return nil, false
+	}
+	return row.clone(), true
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int {
+	return t.primary.Len()
+}
+
+// IndexEntry is one secondary-index hit.
+type IndexEntry struct {
+	Value uint64
+	RowID uint64
+}
+
+// SelectRange returns, from the index on column col, every (value, rowID)
+// with value in [lo, hi], ordered by (value, rowID). The entries are one
+// linearizable snapshot of the index — the Leap-List range query is what
+// makes this a single atomic read.
+func (t *Table) SelectRange(col int, lo, hi uint64) ([]IndexEntry, error) {
+	ix := -1
+	for i, c := range t.ixCols {
+		if c == col {
+			ix = i
+			break
+		}
+	}
+	if ix < 0 {
+		return nil, ErrNoSuchCol
+	}
+	if lo > maxValue {
+		return nil, ErrValueRange
+	}
+	if hi > maxValue {
+		hi = maxValue
+	}
+	var out []IndexEntry
+	t.ixLists[ix].RangeQuery(packIndexKey(lo, 0), packIndexKey(hi, maxRowID), func(k uint64, _ Row) {
+		v, id := unpackIndexKey(k)
+		out = append(out, IndexEntry{Value: v, RowID: id})
+	})
+	return out, nil
+}
+
+// SelectRows resolves a SelectRange to rows. Row fetches happen after the
+// index snapshot; a row deleted in between is skipped, so the result is
+// index-consistent but not a two-structure atomic join (documented
+// limitation, as in the paper's single-list read operations).
+func (t *Table) SelectRows(col int, lo, hi uint64) ([]Row, error) {
+	entries, err := t.SelectRange(col, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Row, 0, len(entries))
+	for _, e := range entries {
+		if row, ok := t.Get(e.RowID); ok {
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// CheckIndexes verifies, at quiescence, that every secondary index agrees
+// exactly with the primary: every row is indexed once per index, and every
+// index entry resolves to a row with the matching column value.
+func (t *Table) CheckIndexes() error {
+	type rowInfo struct{ row Row }
+	rows := map[uint64]rowInfo{}
+	t.primary.RangeQuery(0, core.MaxKey, func(k uint64, v Row) {
+		rows[k] = rowInfo{row: v}
+	})
+	for i, c := range t.ixCols {
+		count := 0
+		var fail error
+		t.ixLists[i].RangeQuery(0, core.MaxKey, func(k uint64, _ Row) {
+			count++
+			val, id := unpackIndexKey(k)
+			info, ok := rows[id]
+			if !ok {
+				fail = fmt.Errorf("imdb: index col %d entry (%d,%d) has no row", c, val, id)
+				return
+			}
+			if info.row[c] != val {
+				fail = fmt.Errorf("imdb: index col %d entry (%d,%d) mismatches row value %d", c, val, id, info.row[c])
+			}
+		})
+		if fail != nil {
+			return fail
+		}
+		if count != len(rows) {
+			return fmt.Errorf("imdb: index col %d has %d entries for %d rows", c, count, len(rows))
+		}
+	}
+	return nil
+}

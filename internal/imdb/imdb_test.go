@@ -1,0 +1,266 @@
+package imdb
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"leaplist/internal/core"
+)
+
+func ordersTable(t *testing.T, v core.Variant) *Table {
+	t.Helper()
+	tbl, err := NewTable(Config{
+		Schema:       Schema{Columns: []string{"price", "qty", "ts"}},
+		IndexColumns: []int{0, 2}, // price and timestamp
+		Variant:      v,
+		NodeSize:     16,
+		MaxLevel:     6,
+	})
+	if err != nil {
+		t.Fatalf("NewTable: %v", err)
+	}
+	return tbl
+}
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable(Config{}); err == nil {
+		t.Fatal("empty schema accepted")
+	}
+	if _, err := NewTable(Config{
+		Schema:       Schema{Columns: []string{"a"}},
+		IndexColumns: []int{1},
+	}); err == nil {
+		t.Fatal("out-of-schema index accepted")
+	}
+	if _, err := NewTable(Config{
+		Schema:       Schema{Columns: []string{"a", "b"}},
+		IndexColumns: []int{0, 0},
+	}); !errors.Is(err, ErrDuplicateIx) {
+		t.Fatal("duplicate index accepted")
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	tbl := ordersTable(t, core.VariantLT)
+	if err := tbl.Put(1, Row{100, 5, 1111}); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	row, ok := tbl.Get(1)
+	if !ok || row[0] != 100 || row[1] != 5 || row[2] != 1111 {
+		t.Fatalf("Get = (%v, %v)", row, ok)
+	}
+	// Returned rows are copies; mutating them must not affect the table.
+	row[0] = 999
+	if again, _ := tbl.Get(1); again[0] != 100 {
+		t.Fatal("stored row was mutated through the returned copy")
+	}
+	deleted, err := tbl.Delete(1)
+	if err != nil || !deleted {
+		t.Fatalf("Delete = (%v, %v)", deleted, err)
+	}
+	if _, ok := tbl.Get(1); ok {
+		t.Fatal("row survived delete")
+	}
+	if deleted, _ := tbl.Delete(1); deleted {
+		t.Fatal("second delete reported deletion")
+	}
+	if err := tbl.CheckIndexes(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	tbl := ordersTable(t, core.VariantLT)
+	if err := tbl.Put(1, Row{1, 2}); !errors.Is(err, ErrArity) {
+		t.Fatalf("arity = %v", err)
+	}
+	if err := tbl.Put(1, Row{1 << 41, 2, 3}); !errors.Is(err, ErrValueRange) {
+		t.Fatalf("value range = %v", err)
+	}
+	if err := tbl.Put(1<<25, Row{1, 2, 3}); !errors.Is(err, ErrRowIDRange) {
+		t.Fatalf("row id range = %v", err)
+	}
+}
+
+func TestSelectRange(t *testing.T) {
+	tbl := ordersTable(t, core.VariantLT)
+	// Rows with prices 10, 20, ..., 100.
+	for i := uint64(1); i <= 10; i++ {
+		if err := tbl.Put(i, Row{i * 10, i, 1000 + i}); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	entries, err := tbl.SelectRange(0, 25, 65)
+	if err != nil {
+		t.Fatalf("SelectRange: %v", err)
+	}
+	wantPrices := []uint64{30, 40, 50, 60}
+	if len(entries) != len(wantPrices) {
+		t.Fatalf("entries = %v", entries)
+	}
+	for i, e := range entries {
+		if e.Value != wantPrices[i] || e.RowID != wantPrices[i]/10 {
+			t.Fatalf("entries[%d] = %+v", i, e)
+		}
+	}
+	rows, err := tbl.SelectRows(2, 1003, 1005) // timestamp index
+	if err != nil {
+		t.Fatalf("SelectRows: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if _, err := tbl.SelectRange(1, 0, 10); !errors.Is(err, ErrNoSuchCol) {
+		t.Fatalf("unindexed column = %v", err)
+	}
+}
+
+func TestEqualValuesOrderByRowID(t *testing.T) {
+	tbl := ordersTable(t, core.VariantLT)
+	for _, id := range []uint64{5, 1, 9, 3} {
+		if err := tbl.Put(id, Row{777, id, id}); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	entries, err := tbl.SelectRange(0, 777, 777)
+	if err != nil {
+		t.Fatalf("SelectRange: %v", err)
+	}
+	wantIDs := []uint64{1, 3, 5, 9}
+	if len(entries) != len(wantIDs) {
+		t.Fatalf("entries = %v", entries)
+	}
+	for i, e := range entries {
+		if e.RowID != wantIDs[i] {
+			t.Fatalf("entries[%d].RowID = %d, want %d", i, e.RowID, wantIDs[i])
+		}
+	}
+}
+
+func TestValueChangeMovesIndexEntry(t *testing.T) {
+	tbl := ordersTable(t, core.VariantLT)
+	if err := tbl.Put(1, Row{100, 1, 50}); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := tbl.Put(1, Row{200, 1, 50}); err != nil {
+		t.Fatalf("Put update: %v", err)
+	}
+	if entries, _ := tbl.SelectRange(0, 100, 100); len(entries) != 0 {
+		t.Fatalf("stale price entry survives: %v", entries)
+	}
+	if entries, _ := tbl.SelectRange(0, 200, 200); len(entries) != 1 {
+		t.Fatalf("new price entry missing: %v", entries)
+	}
+	// Timestamp unchanged: entry must not have been churned.
+	if entries, _ := tbl.SelectRange(2, 50, 50); len(entries) != 1 {
+		t.Fatalf("timestamp entry lost: %v", entries)
+	}
+	if err := tbl.CheckIndexes(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentWritersKeepIndexesConsistent(t *testing.T) {
+	for _, v := range []core.Variant{core.VariantLT, core.VariantTM, core.VariantCOP, core.VariantRW} {
+		t.Run(v.String(), func(t *testing.T) {
+			tbl := ordersTable(t, v)
+			const workers = 6
+			iters := 1500
+			if testing.Short() {
+				iters = 200
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(seed uint64) {
+					defer wg.Done()
+					r := rand.New(rand.NewPCG(seed, 17))
+					for i := 0; i < iters; i++ {
+						id := r.Uint64N(128)
+						switch r.IntN(10) {
+						case 0, 1, 2, 3, 4:
+							row := Row{r.Uint64N(1000), r.Uint64N(10), r.Uint64N(5000)}
+							if err := tbl.Put(id, row); err != nil {
+								t.Errorf("Put: %v", err)
+								return
+							}
+						case 5, 6:
+							if _, err := tbl.Delete(id); err != nil {
+								t.Errorf("Delete: %v", err)
+								return
+							}
+						case 7:
+							tbl.Get(id)
+						default:
+							lo := r.Uint64N(1000)
+							if _, err := tbl.SelectRange(0, lo, lo+100); err != nil {
+								t.Errorf("SelectRange: %v", err)
+								return
+							}
+						}
+					}
+				}(uint64(w + 1))
+			}
+			wg.Wait()
+			if err := tbl.CheckIndexes(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestScansSeeAtomicInsertions(t *testing.T) {
+	// Inserted rows appear in the price index and primary atomically: a
+	// scanner that finds the index entry after writer quiescence must be
+	// able to resolve the row.
+	tbl := ordersTable(t, core.VariantLT)
+	const rows = 300
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < rows; i++ {
+			if err := tbl.Put(i, Row{i, 1, i}); err != nil {
+				t.Errorf("Put: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for n := 0; n < 200; n++ {
+			entries, err := tbl.SelectRange(0, 0, rows)
+			if err != nil {
+				t.Errorf("SelectRange: %v", err)
+				return
+			}
+			// Ascending insertion + linearizable index snapshot = gapless
+			// prefix of row ids.
+			for i, e := range entries {
+				if e.RowID != uint64(i) {
+					t.Errorf("scan gap at %d: %+v", i, e)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	if err := tbl.CheckIndexes(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ v, id uint64 }{
+		{0, 0}, {1, 1}, {maxValue, maxRowID}, {12345, 678},
+	} {
+		k := packIndexKey(tc.v, tc.id)
+		v, id := unpackIndexKey(k)
+		if v != tc.v || id != tc.id {
+			t.Fatalf("roundtrip (%d,%d) -> %d -> (%d,%d)", tc.v, tc.id, k, v, id)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package latency provides a lock-free log-linear histogram for recording
+// operation latencies in the benchmark harness. Throughput (ops/sec) is
+// the paper's headline metric, but per-operation-type latency percentiles
+// are what expose the mechanisms behind it — e.g. that a Leap-LT lookup
+// has a short flat tail (no transactions to retry) while a Leap-tm update
+// under contention has a long one (abort storms).
+//
+// The histogram covers [1ns, ~17s] with 64 buckets per power of two
+// (≤1.6% relative error), using atomic counters so recorders never
+// contend on anything but their own cache traffic.
+package latency
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// subBits buckets per octave: 2^6 = 64 sub-buckets.
+	subBits = 6
+	// octaves of nanoseconds covered: 2^34 ns ≈ 17 s.
+	octaves = 34
+	buckets = octaves << subBits
+)
+
+// Histogram records durations; the zero value is ready to use.
+type Histogram struct {
+	counts [buckets]atomic.Uint64
+	total  atomic.Uint64
+	sum    atomic.Uint64 // nanoseconds; saturating in practice (uint64)
+	max    atomic.Uint64
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	ns := uint64(d.Nanoseconds())
+	if ns == 0 {
+		ns = 1
+	}
+	exp := 63 - bits.LeadingZeros64(ns)
+	if exp >= octaves {
+		return buckets - 1
+	}
+	var sub uint64
+	if exp > subBits {
+		sub = (ns >> (uint(exp) - subBits)) & ((1 << subBits) - 1)
+	} else {
+		sub = (ns << (subBits - uint(exp))) & ((1 << subBits) - 1)
+	}
+	return exp<<subBits | int(sub)
+}
+
+// lowerBound returns the smallest duration mapped to bucket i.
+func lowerBound(i int) time.Duration {
+	exp := i >> subBits
+	sub := uint64(i & ((1 << subBits) - 1))
+	base := uint64(1) << uint(exp)
+	var off uint64
+	if exp > subBits {
+		off = sub << (uint(exp) - subBits)
+	} else {
+		off = sub >> (subBits - uint(exp))
+	}
+	return time.Duration(base + off)
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	h.counts[bucketOf(d)].Add(1)
+	h.total.Add(1)
+	h.sum.Add(uint64(d.Nanoseconds()))
+	for {
+		cur := h.max.Load()
+		if uint64(d) <= cur || h.max.CompareAndSwap(cur, uint64(d)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	return h.total.Load()
+}
+
+// Mean returns the average observation.
+func (h *Histogram) Mean() time.Duration {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration {
+	return time.Duration(h.max.Load())
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) as the lower bound of the
+// bucket containing it; q outside (0,1] returns 0.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if q <= 0 || q > 1 {
+		return 0
+	}
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(n))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i := 0; i < buckets; i++ {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			return lowerBound(i)
+		}
+	}
+	return h.Max()
+}
+
+// Merge adds other's observations into h. Not atomic with respect to
+// concurrent recording into other; merge at quiescence.
+func (h *Histogram) Merge(other *Histogram) {
+	for i := 0; i < buckets; i++ {
+		if c := other.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.total.Add(other.total.Load())
+	h.sum.Add(other.sum.Load())
+	for {
+		cur, om := h.max.Load(), other.max.Load()
+		if om <= cur || h.max.CompareAndSwap(cur, om) {
+			return
+		}
+	}
+}
+
+// Reset zeroes the histogram. Not safe against concurrent Record.
+func (h *Histogram) Reset() {
+	for i := 0; i < buckets; i++ {
+		h.counts[i].Store(0)
+	}
+	h.total.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+}
+
+// Summary is a fixed set of percentiles for reporting.
+type Summary struct {
+	Count         uint64
+	Mean          time.Duration
+	P50, P90, P99 time.Duration
+	P999          time.Duration
+	Max           time.Duration
+}
+
+// Summarize extracts a Summary.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+		Max:   h.Max(),
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%s p50=%s p90=%s p99=%s p99.9=%s max=%s",
+		s.Count, s.Mean, s.P50, s.P90, s.P99, s.P999, s.Max)
+}
+
+// Format renders a named set of summaries as an aligned table.
+func Format(rows map[string]Summary) string {
+	names := make([]string, 0, len(rows))
+	for name := range rows {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %10s %10s %10s %10s %10s %10s\n",
+		"op", "count", "mean", "p50", "p99", "p99.9", "max")
+	for _, name := range names {
+		s := rows[name]
+		fmt.Fprintf(&b, "%-14s %10d %10s %10s %10s %10s %10s\n",
+			name, s.Count, s.Mean, s.P50, s.P99, s.P999, s.Max)
+	}
+	return b.String()
+}

@@ -1,0 +1,141 @@
+package latency
+
+import (
+	"math/rand/v2"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketMonotonicity(t *testing.T) {
+	prev := -1
+	for _, d := range []time.Duration{
+		1, 2, 3, 63, 64, 65, 100, 1000, 4096, 65535,
+		time.Millisecond, time.Second, 10 * time.Second,
+	} {
+		b := bucketOf(d)
+		if b < prev {
+			t.Fatalf("bucketOf(%v) = %d < previous %d", d, b, prev)
+		}
+		if lb := lowerBound(b); lb > d {
+			t.Fatalf("lowerBound(%d) = %v > recorded %v", b, lb, d)
+		}
+		prev = b
+	}
+}
+
+func TestBucketRelativeError(t *testing.T) {
+	// For durations >= 64ns the bucket lower bound must be within ~1.6%.
+	for _, ns := range []int64{64, 100, 999, 12345, 1_000_000, 123_456_789} {
+		d := time.Duration(ns)
+		lb := lowerBound(bucketOf(d))
+		err := float64(d-lb) / float64(d)
+		if err < 0 || err > 0.017 {
+			t.Fatalf("relative error for %v: %f (lb=%v)", d, err, lb)
+		}
+	}
+}
+
+func TestZeroAndHuge(t *testing.T) {
+	var h Histogram
+	h.Record(0)
+	h.Record(100 * time.Second) // beyond the last octave: clamps
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Max() != 100*time.Second {
+		t.Fatalf("Max = %v", h.Max())
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.5, 500 * time.Microsecond},
+		{0.9, 900 * time.Microsecond},
+		{0.99, 990 * time.Microsecond},
+	} {
+		got := h.Quantile(tc.q)
+		errRel := float64(got-tc.want) / float64(tc.want)
+		if errRel < -0.03 || errRel > 0.03 {
+			t.Fatalf("Quantile(%v) = %v, want ~%v", tc.q, got, tc.want)
+		}
+	}
+	if h.Quantile(0) != 0 || h.Quantile(1.5) != 0 {
+		t.Fatal("out-of-range quantiles must return 0")
+	}
+	if m := h.Mean(); m < 480*time.Microsecond || m > 520*time.Microsecond {
+		t.Fatalf("Mean = %v", m)
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestMergeAndReset(t *testing.T) {
+	var a, b Histogram
+	a.Record(time.Millisecond)
+	b.Record(2 * time.Millisecond)
+	b.Record(3 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 3 {
+		t.Fatalf("Count after merge = %d", a.Count())
+	}
+	if a.Max() != 3*time.Millisecond {
+		t.Fatalf("Max after merge = %v", a.Max())
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Max() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	var h Histogram
+	const workers = 8
+	const each = 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(seed, 9))
+			for i := 0; i < each; i++ {
+				h.Record(time.Duration(1 + r.Uint64N(uint64(time.Millisecond))))
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	if h.Count() != workers*each {
+		t.Fatalf("Count = %d, want %d", h.Count(), workers*each)
+	}
+	if h.Quantile(0.5) == 0 {
+		t.Fatal("median is zero after recording")
+	}
+}
+
+func TestSummaryAndFormat(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Record(time.Duration(i+1) * time.Microsecond)
+	}
+	s := h.Summarize()
+	if s.Count != 100 || s.P50 == 0 || s.Max != 100*time.Microsecond {
+		t.Fatalf("Summary = %+v", s)
+	}
+	out := Format(map[string]Summary{"lookup": s, "update": s})
+	if !strings.Contains(out, "lookup") || !strings.Contains(out, "update") || !strings.Contains(out, "p99") {
+		t.Fatalf("Format output missing fields:\n%s", out)
+	}
+}

@@ -1,0 +1,299 @@
+package skiplist
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+var errKeyRange = errors.New("skiplist: key out of range (2^64-1 is reserved)")
+
+// CAS is the paper's Skip-cas baseline: the lock-free skip-list of
+// Fraser's dissertation in the Herlihy–Shavit formulation. Deleted nodes
+// are first marked logically (a mark bit on each of their forward
+// references, set top-down), then unlinked cooperatively by any traversal
+// that encounters them. Go's garbage collector stands in for Fraser's
+// epoch allocator; the mark bit lives in an immutable successor cell
+// because Go pointers cannot carry stolen bits, and compare-and-swap on
+// the cell pointer is equivalent to AtomicMarkableReference. The head and
+// tail sentinels are compared by identity.
+type CAS[V any] struct {
+	maxLevel int
+	head     *casNode[V]
+	tail     *casNode[V]
+}
+
+type casSucc[V any] struct {
+	n      *casNode[V]
+	marked bool
+}
+
+type casNode[V any] struct {
+	key   uint64 // immutable
+	level int
+	val   atomic.Pointer[V] // mutable in place
+	next  []atomic.Pointer[casSucc[V]]
+}
+
+func newCASNode[V any](key uint64, level int) *casNode[V] {
+	return &casNode[V]{
+		key:   key,
+		level: level,
+		next:  make([]atomic.Pointer[casSucc[V]], level),
+	}
+}
+
+// NewCAS creates an empty Skip-cas list.
+func NewCAS[V any](maxLevel int) *CAS[V] {
+	if maxLevel <= 0 {
+		maxLevel = 10
+	}
+	head := newCASNode[V](0, maxLevel)
+	tail := newCASNode[V](^uint64(0), maxLevel)
+	for i := 0; i < maxLevel; i++ {
+		head.next[i].Store(&casSucc[V]{n: tail})
+		tail.next[i].Store(&casSucc[V]{n: nil})
+	}
+	return &CAS[V]{maxLevel: maxLevel, head: head, tail: tail}
+}
+
+// before reports whether node n sorts strictly before key k (the tail
+// sorts after everything).
+func (sl *CAS[V]) before(n *casNode[V], k uint64) bool {
+	return n != sl.tail && n.key < k
+}
+
+// isKey reports whether node n holds exactly key k.
+func (sl *CAS[V]) isKey(n *casNode[V], k uint64) bool {
+	return n != sl.tail && n.key == k
+}
+
+// find locates k's per-level neighborhood, unlinking any marked nodes it
+// passes (the helping protocol). preds[i].next[i] held predRefs[i] with
+// predRefs[i].n == succs[i] at observation time; insert and remove CAS
+// against those exact cells.
+func (sl *CAS[V]) find(k uint64, preds, succs []*casNode[V], predRefs []*casSucc[V]) (found bool) {
+retry:
+	for {
+		pred := sl.head
+		for i := sl.maxLevel - 1; i >= 0; i-- {
+			curRef := pred.next[i].Load()
+			if curRef.marked {
+				// pred itself was deleted under us; restart from the head
+				// (the Herlihy–Shavit compareAndSet(.., false, false) fails
+				// here; with identity CAS the mark must be checked first).
+				continue retry
+			}
+			cur := curRef.n
+			for {
+				succRef := cur.next[i].Load()
+				for succRef != nil && succRef.marked {
+					// cur is logically deleted: splice it out.
+					if !pred.next[i].CompareAndSwap(curRef, &casSucc[V]{n: succRef.n}) {
+						continue retry
+					}
+					curRef = pred.next[i].Load()
+					if curRef.marked {
+						continue retry
+					}
+					cur = curRef.n
+					succRef = cur.next[i].Load()
+				}
+				if sl.before(cur, k) {
+					pred = cur
+					curRef = succRef
+					cur = succRef.n
+				} else {
+					break
+				}
+			}
+			preds[i] = pred
+			succs[i] = cur
+			predRefs[i] = curRef
+		}
+		return sl.isKey(succs[0], k)
+	}
+}
+
+// Lookup returns the value stored under k without helping (wait-free per
+// traversal step).
+func (sl *CAS[V]) Lookup(k uint64) (V, bool) {
+	var zero V
+	if k > MaxKey {
+		return zero, false
+	}
+	pred := sl.head
+	var cur *casNode[V]
+	for i := sl.maxLevel - 1; i >= 0; i-- {
+		cur = pred.next[i].Load().n
+		for {
+			succRef := cur.next[i].Load()
+			for succRef != nil && succRef.marked {
+				cur = succRef.n
+				succRef = cur.next[i].Load()
+			}
+			if sl.before(cur, k) {
+				pred = cur
+				cur = succRef.n
+			} else {
+				break
+			}
+		}
+	}
+	if !sl.isKey(cur, k) {
+		return zero, false
+	}
+	// The node may be marked (mid-removal); the unsynchronized skip-list
+	// answers from the node regardless, as Fraser's does.
+	vp := cur.val.Load()
+	if vp == nil {
+		return zero, false
+	}
+	return *vp, true
+}
+
+// Update inserts k with value v, or replaces the value in place.
+func (sl *CAS[V]) Update(k uint64, v V) error {
+	if k > MaxKey {
+		return errKeyRange
+	}
+	preds := make([]*casNode[V], sl.maxLevel)
+	succs := make([]*casNode[V], sl.maxLevel)
+	predRefs := make([]*casSucc[V], sl.maxLevel)
+	for {
+		if sl.find(k, preds, succs, predRefs) {
+			succs[0].val.Store(&v)
+			return nil
+		}
+		level := pickLevel(sl.maxLevel)
+		n := newCASNode[V](k, level)
+		n.val.Store(&v)
+		for i := 0; i < level; i++ {
+			n.next[i].Store(&casSucc[V]{n: succs[i]})
+		}
+		// Linearization point: splice at level 0.
+		if !preds[0].next[0].CompareAndSwap(predRefs[0], &casSucc[V]{n: n}) {
+			continue // neighborhood changed; retry from scratch
+		}
+		// Link the upper levels, refreshing the neighborhood as needed.
+		for i := 1; i < level; i++ {
+			for {
+				if preds[i].next[i].CompareAndSwap(predRefs[i], &casSucc[V]{n: n}) {
+					break
+				}
+				sl.find(k, preds, succs, predRefs)
+				if succs[i] != n {
+					// Our node's upper-level successor moved; rewire our
+					// forward pointer unless we have been deleted already.
+					ref := n.next[i].Load()
+					if ref.marked {
+						return nil
+					}
+					if !n.next[i].CompareAndSwap(ref, &casSucc[V]{n: succs[i]}) {
+						return nil // concurrently marked
+					}
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// Remove deletes k, reporting whether this call removed it.
+func (sl *CAS[V]) Remove(k uint64) (bool, error) {
+	if k > MaxKey {
+		return false, errKeyRange
+	}
+	preds := make([]*casNode[V], sl.maxLevel)
+	succs := make([]*casNode[V], sl.maxLevel)
+	predRefs := make([]*casSucc[V], sl.maxLevel)
+	if !sl.find(k, preds, succs, predRefs) {
+		return false, nil
+	}
+	victim := succs[0]
+	// Mark the upper levels top-down.
+	for i := victim.level - 1; i >= 1; i-- {
+		for {
+			ref := victim.next[i].Load()
+			if ref.marked {
+				break
+			}
+			if victim.next[i].CompareAndSwap(ref, &casSucc[V]{n: ref.n, marked: true}) {
+				break
+			}
+		}
+	}
+	// Level 0 decides who performed the remove.
+	for {
+		ref := victim.next[0].Load()
+		if ref.marked {
+			return false, nil // another remover won
+		}
+		if victim.next[0].CompareAndSwap(ref, &casSucc[V]{n: ref.n, marked: true}) {
+			sl.find(k, preds, succs, predRefs) // physically unlink
+			return true, nil
+		}
+	}
+}
+
+// RangeQuery scans level 0 over [lo, hi], skipping marked nodes, and
+// streams the pairs. As in the paper's Skip-cas, the result is NOT a
+// consistent snapshot: pairs are read one CAS-word at a time while
+// concurrent updates proceed, so the set may mix states (the paper's §3.1
+// "may return an inconsistent result"). Returns the pair count.
+func (sl *CAS[V]) RangeQuery(lo, hi uint64, emit func(k uint64, v V)) int {
+	if lo > hi || lo > MaxKey {
+		return 0
+	}
+	if hi > MaxKey {
+		hi = MaxKey
+	}
+	pred := sl.head
+	var cur *casNode[V]
+	for i := sl.maxLevel - 1; i >= 0; i-- {
+		cur = pred.next[i].Load().n
+		for {
+			succRef := cur.next[i].Load()
+			for succRef != nil && succRef.marked {
+				cur = succRef.n
+				succRef = cur.next[i].Load()
+			}
+			if sl.before(cur, lo) {
+				pred = cur
+				cur = succRef.n
+			} else {
+				break
+			}
+		}
+	}
+	count := 0
+	for cur != nil && cur != sl.tail && cur.key <= hi {
+		ref := cur.next[0].Load()
+		if ref == nil {
+			break
+		}
+		if !ref.marked {
+			if vp := cur.val.Load(); vp != nil {
+				if emit != nil {
+					emit(cur.key, *vp)
+				}
+				count++
+			}
+		}
+		cur = ref.n
+	}
+	return count
+}
+
+// Len counts unmarked keys; quiescent-state helper for tests.
+func (sl *CAS[V]) Len() int {
+	count := 0
+	cur := sl.head.next[0].Load().n
+	for cur != nil && cur != sl.tail {
+		ref := cur.next[0].Load()
+		if !ref.marked {
+			count++
+		}
+		cur = ref.n
+	}
+	return count
+}

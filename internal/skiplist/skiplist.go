@@ -1,0 +1,45 @@
+// Package skiplist provides the two skip-list baselines the Leap-List
+// paper compares against in §3.1:
+//
+//   - TM ("Skip-tm"): one key per node, every operation — traversal
+//     included — wrapped in an STM transaction over the same STM domain the
+//     Leap-List uses. Its range query is linearizable but pays one
+//     instrumented access per key.
+//   - CAS ("Skip-cas"): the lock-free skip-list of Fraser's dissertation
+//     (the paper's reference [8]) in its Herlihy–Shavit formulation, built
+//     on CAS with logical-deletion marks and cooperative unlinking. Its
+//     range query is a plain level-0 scan and is deliberately NOT
+//     linearizable — the paper stresses that Leap-List beats it by an order
+//     of magnitude while also giving consistent results.
+//
+// Both store one key-value pair per node and mutate values in place, which
+// is what makes their modifications cheaper than the Leap-List's
+// copy-the-node updates (paper Figure 17(a)) and their range collection K
+// times more expensive (Figure 17(d)).
+package skiplist
+
+import (
+	"math/bits"
+	"math/rand/v2"
+)
+
+// MaxKey is the largest storable key, aligned with the Leap-List core's
+// domain (2^64-1 rejected) so the benchmark harness can drive both through
+// one adapter. The sentinels here are compared by identity, not key, so
+// the restriction is purely for API symmetry.
+const MaxKey = ^uint64(0) - 1
+
+// pickLevel draws a level in [1, maxLevel], geometric with p = 1/2.
+func pickLevel(maxLevel int) int {
+	lvl := 1 + bits.TrailingZeros64(rand.Uint64()|1<<uint(maxLevel-1))
+	if lvl > maxLevel {
+		lvl = maxLevel
+	}
+	return lvl
+}
+
+// KV is one key-value pair returned by range queries.
+type KV[V any] struct {
+	Key   uint64
+	Value V
+}

@@ -1,0 +1,312 @@
+package skiplist
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// target abstracts the two baselines so every semantic test runs on both.
+type target interface {
+	Lookup(k uint64) (uint64, bool)
+	Update(k, v uint64) error
+	Remove(k uint64) (bool, error)
+	RangeQuery(lo, hi uint64, emit func(k, v uint64)) int
+	Len() int
+}
+
+func forEach(t *testing.T, fn func(t *testing.T, sl target)) {
+	t.Run("Skip-tm", func(t *testing.T) { fn(t, NewTM[uint64](nil, 8)) })
+	t.Run("Skip-cas", func(t *testing.T) { fn(t, NewCAS[uint64](8)) })
+}
+
+func TestEmpty(t *testing.T) {
+	forEach(t, func(t *testing.T, sl target) {
+		if _, ok := sl.Lookup(1); ok {
+			t.Fatal("Lookup on empty returned ok")
+		}
+		if n := sl.Len(); n != 0 {
+			t.Fatalf("Len = %d, want 0", n)
+		}
+		if removed, err := sl.Remove(1); err != nil || removed {
+			t.Fatalf("Remove on empty = (%v, %v)", removed, err)
+		}
+	})
+}
+
+func TestInsertLookupRemove(t *testing.T) {
+	forEach(t, func(t *testing.T, sl target) {
+		for i := uint64(0); i < 100; i++ {
+			if err := sl.Update(i*3, i); err != nil {
+				t.Fatalf("Update: %v", err)
+			}
+		}
+		if n := sl.Len(); n != 100 {
+			t.Fatalf("Len = %d, want 100", n)
+		}
+		for i := uint64(0); i < 100; i++ {
+			v, ok := sl.Lookup(i * 3)
+			if !ok || v != i {
+				t.Fatalf("Lookup(%d) = (%d, %v), want (%d, true)", i*3, v, ok, i)
+			}
+			if _, ok := sl.Lookup(i*3 + 1); ok {
+				t.Fatalf("Lookup(%d) found absent key", i*3+1)
+			}
+		}
+		for i := uint64(0); i < 100; i += 2 {
+			removed, err := sl.Remove(i * 3)
+			if err != nil || !removed {
+				t.Fatalf("Remove(%d) = (%v, %v)", i*3, removed, err)
+			}
+		}
+		if n := sl.Len(); n != 50 {
+			t.Fatalf("Len = %d, want 50", n)
+		}
+	})
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	forEach(t, func(t *testing.T, sl target) {
+		for i := uint64(0); i < 5; i++ {
+			if err := sl.Update(42, i); err != nil {
+				t.Fatalf("Update: %v", err)
+			}
+			v, ok := sl.Lookup(42)
+			if !ok || v != i {
+				t.Fatalf("Lookup = (%d, %v), want (%d, true)", v, ok, i)
+			}
+		}
+		if n := sl.Len(); n != 1 {
+			t.Fatalf("Len = %d, want 1", n)
+		}
+	})
+}
+
+func TestKeyRangeRejected(t *testing.T) {
+	forEach(t, func(t *testing.T, sl target) {
+		if err := sl.Update(^uint64(0), 1); !errors.Is(err, errKeyRange) {
+			t.Fatalf("Update(2^64-1) = %v, want errKeyRange", err)
+		}
+		if _, err := sl.Remove(^uint64(0)); !errors.Is(err, errKeyRange) {
+			t.Fatalf("Remove(2^64-1) = %v, want errKeyRange", err)
+		}
+		if _, ok := sl.Lookup(^uint64(0)); ok {
+			t.Fatal("Lookup(2^64-1) returned ok")
+		}
+	})
+}
+
+func TestBoundaryKeys(t *testing.T) {
+	forEach(t, func(t *testing.T, sl target) {
+		if err := sl.Update(0, 10); err != nil {
+			t.Fatalf("Update(0): %v", err)
+		}
+		if err := sl.Update(MaxKey, 20); err != nil {
+			t.Fatalf("Update(MaxKey): %v", err)
+		}
+		if v, ok := sl.Lookup(0); !ok || v != 10 {
+			t.Fatalf("Lookup(0) = (%d, %v)", v, ok)
+		}
+		if v, ok := sl.Lookup(MaxKey); !ok || v != 20 {
+			t.Fatalf("Lookup(MaxKey) = (%d, %v)", v, ok)
+		}
+	})
+}
+
+func TestRangeQuery(t *testing.T) {
+	forEach(t, func(t *testing.T, sl target) {
+		for i := uint64(0); i < 50; i += 2 {
+			if err := sl.Update(i, i+1); err != nil {
+				t.Fatalf("Update: %v", err)
+			}
+		}
+		var got []uint64
+		count := sl.RangeQuery(9, 15, func(k, v uint64) {
+			if v != k+1 {
+				t.Errorf("value for %d = %d", k, v)
+			}
+			got = append(got, k)
+		})
+		want := []uint64{10, 12, 14}
+		if count != len(want) || len(got) != len(want) {
+			t.Fatalf("RangeQuery = %v (count %d), want %v", got, count, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("RangeQuery = %v, want %v", got, want)
+			}
+		}
+		if n := sl.RangeQuery(30, 20, nil); n != 0 {
+			t.Fatalf("inverted range = %d, want 0", n)
+		}
+		if n := sl.RangeQuery(100, 200, nil); n != 0 {
+			t.Fatalf("beyond range = %d, want 0", n)
+		}
+	})
+}
+
+func TestRandomizedAgainstModel(t *testing.T) {
+	forEach(t, func(t *testing.T, sl target) {
+		model := make(map[uint64]uint64)
+		r := rand.New(rand.NewPCG(7, 13))
+		iters := 5000
+		if testing.Short() {
+			iters = 800
+		}
+		const keySpace = 300
+		for i := 0; i < iters; i++ {
+			k := r.Uint64N(keySpace)
+			switch r.IntN(10) {
+			case 0, 1, 2, 3:
+				v := r.Uint64()
+				if err := sl.Update(k, v); err != nil {
+					t.Fatalf("Update: %v", err)
+				}
+				model[k] = v
+			case 4, 5, 6:
+				removed, err := sl.Remove(k)
+				if err != nil {
+					t.Fatalf("Remove: %v", err)
+				}
+				if _, inModel := model[k]; removed != inModel {
+					t.Fatalf("Remove(%d) = %v, model has = %v", k, removed, inModel)
+				}
+				delete(model, k)
+			case 7, 8:
+				v, ok := sl.Lookup(k)
+				mv, mok := model[k]
+				if ok != mok || (ok && v != mv) {
+					t.Fatalf("Lookup(%d) = (%d,%v), model (%d,%v)", k, v, ok, mv, mok)
+				}
+			case 9:
+				lo := r.Uint64N(keySpace)
+				hi := lo + r.Uint64N(keySpace/4)
+				var got []uint64
+				sl.RangeQuery(lo, hi, func(k, v uint64) { got = append(got, k) })
+				var want []uint64
+				for mk := range model {
+					if mk >= lo && mk <= hi {
+						want = append(want, mk)
+					}
+				}
+				sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+				if len(got) != len(want) {
+					t.Fatalf("range [%d,%d]: got %v, want %v", lo, hi, got, want)
+				}
+				for j := range got {
+					if got[j] != want[j] {
+						t.Fatalf("range [%d,%d]: got %v, want %v", lo, hi, got, want)
+					}
+				}
+			}
+		}
+		if got, want := sl.Len(), len(model); got != want {
+			t.Fatalf("Len = %d, want %d", got, want)
+		}
+	})
+}
+
+func TestConcurrentStress(t *testing.T) {
+	forEach(t, func(t *testing.T, sl target) {
+		const workers = 8
+		const keySpace = 128
+		iters := 3000
+		if testing.Short() {
+			iters = 300
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(seed uint64) {
+				defer wg.Done()
+				r := rand.New(rand.NewPCG(seed, 5))
+				for i := 0; i < iters; i++ {
+					k := r.Uint64N(keySpace)
+					switch r.IntN(10) {
+					case 0, 1, 2, 3:
+						if err := sl.Update(k, k*7); err != nil {
+							t.Errorf("Update: %v", err)
+							return
+						}
+					case 4, 5, 6:
+						if _, err := sl.Remove(k); err != nil {
+							t.Errorf("Remove: %v", err)
+							return
+						}
+					case 7, 8:
+						if v, ok := sl.Lookup(k); ok && v != k*7 {
+							t.Errorf("Lookup(%d) = %d, want %d", k, v, k*7)
+							return
+						}
+					default:
+						lo := r.Uint64N(keySpace)
+						sl.RangeQuery(lo, lo+16, func(k, v uint64) {
+							if v != k*7 {
+								t.Errorf("range value for %d = %d", k, v)
+							}
+						})
+					}
+				}
+			}(uint64(w + 1))
+		}
+		wg.Wait()
+		// Quiescent sanity: every remaining key resolves and the level-0
+		// order is strictly ascending.
+		var prev uint64
+		first := true
+		sl.RangeQuery(0, MaxKey, func(k, v uint64) {
+			if !first && k <= prev {
+				t.Errorf("keys out of order: %d after %d", k, prev)
+			}
+			prev, first = k, false
+			if v != k*7 {
+				t.Errorf("final value for %d = %d", k, v)
+			}
+		})
+	})
+}
+
+// TestCASDuelingRemovers checks that exactly one of many concurrent
+// removers of the same key wins.
+func TestCASDuelingRemovers(t *testing.T) {
+	sl := NewCAS[uint64](8)
+	iters := 500
+	if testing.Short() {
+		iters = 100
+	}
+	for i := 0; i < iters; i++ {
+		if err := sl.Update(7, 7); err != nil {
+			t.Fatalf("Update: %v", err)
+		}
+		const removers = 4
+		wins := make(chan bool, removers)
+		var wg sync.WaitGroup
+		for w := 0; w < removers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				removed, err := sl.Remove(7)
+				if err != nil {
+					t.Errorf("Remove: %v", err)
+				}
+				wins <- removed
+			}()
+		}
+		wg.Wait()
+		close(wins)
+		won := 0
+		for r := range wins {
+			if r {
+				won++
+			}
+		}
+		if won != 1 {
+			t.Fatalf("iteration %d: %d removers won, want exactly 1", i, won)
+		}
+		if _, ok := sl.Lookup(7); ok {
+			t.Fatalf("iteration %d: key survived removal", i)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package skiplist
+
+import (
+	"leaplist/internal/stm"
+)
+
+// TM is the paper's Skip-tm baseline: a plain skip-list whose every
+// operation runs inside one STM transaction. Nodes hold a single key and a
+// transactionally mutable value. The head and tail sentinels are compared
+// by identity, so the full key domain up to MaxKey is available.
+type TM[V any] struct {
+	s        *stm.STM
+	maxLevel int
+	head     *tmNode[V]
+	tail     *tmNode[V]
+}
+
+type tmNode[V any] struct {
+	key   uint64 // immutable
+	level int
+	val   stm.TaggedPtr[V] // mutable in place, unlike Leap-List pairs
+	next  []stm.TaggedPtr[tmNode[V]]
+}
+
+func newTMNode[V any](key uint64, level int) *tmNode[V] {
+	return &tmNode[V]{
+		key:   key,
+		level: level,
+		next:  make([]stm.TaggedPtr[tmNode[V]], level),
+	}
+}
+
+// NewTM creates an empty Skip-tm list over the given STM domain (a nil
+// domain allocates a private one).
+func NewTM[V any](domain *stm.STM, maxLevel int) *TM[V] {
+	if domain == nil {
+		domain = stm.New()
+	}
+	if maxLevel <= 0 {
+		maxLevel = 10
+	}
+	head := newTMNode[V](0, maxLevel)
+	tail := newTMNode[V](^uint64(0), maxLevel)
+	for i := 0; i < maxLevel; i++ {
+		head.next[i].Init(tail, stm.TagNone)
+	}
+	return &TM[V]{s: domain, maxLevel: maxLevel, head: head, tail: tail}
+}
+
+// stops reports whether the traversal must stop at node xn when searching
+// for key k: at the tail, or at the first node with key >= k.
+func (sl *TM[V]) stops(xn *tmNode[V], k uint64) bool {
+	return xn == sl.tail || xn.key >= k
+}
+
+// findTx fills preds and succs with the per-level neighbors of key k, all
+// reads instrumented.
+func (sl *TM[V]) findTx(tx *stm.Tx, k uint64, preds, succs []*tmNode[V]) error {
+	x := sl.head
+	for i := sl.maxLevel - 1; i >= 0; i-- {
+		for {
+			xn, _, err := x.next[i].Load(tx)
+			if err != nil {
+				return err
+			}
+			if sl.stops(xn, k) {
+				preds[i] = x
+				succs[i] = xn
+				break
+			}
+			x = xn
+		}
+	}
+	return nil
+}
+
+// Lookup returns the value stored under k.
+func (sl *TM[V]) Lookup(k uint64) (V, bool) {
+	var zero V
+	if k > MaxKey {
+		return zero, false
+	}
+	preds := make([]*tmNode[V], sl.maxLevel)
+	succs := make([]*tmNode[V], sl.maxLevel)
+	var out V
+	var ok bool
+	err := sl.s.Atomically(func(tx *stm.Tx) error {
+		out, ok = zero, false
+		if err := sl.findTx(tx, k, preds, succs); err != nil {
+			return err
+		}
+		if succs[0] == sl.tail || succs[0].key != k {
+			return nil
+		}
+		vp, _, err := succs[0].val.Load(tx)
+		if err != nil {
+			return err
+		}
+		out, ok = *vp, true
+		return nil
+	})
+	if err != nil {
+		panic("skiplist: unreachable TM Lookup error: " + err.Error())
+	}
+	return out, ok
+}
+
+// Update inserts k with value v, or replaces the value if k is present.
+func (sl *TM[V]) Update(k uint64, v V) error {
+	if k > MaxKey {
+		return errKeyRange
+	}
+	preds := make([]*tmNode[V], sl.maxLevel)
+	succs := make([]*tmNode[V], sl.maxLevel)
+	return sl.s.Atomically(func(tx *stm.Tx) error {
+		if err := sl.findTx(tx, k, preds, succs); err != nil {
+			return err
+		}
+		if succs[0] != sl.tail && succs[0].key == k {
+			return succs[0].val.Store(tx, &v, stm.TagNone)
+		}
+		n := newTMNode[V](k, pickLevel(sl.maxLevel))
+		n.val.Init(&v, stm.TagNone)
+		for i := 0; i < n.level; i++ {
+			n.next[i].Init(succs[i], stm.TagNone)
+			if err := preds[i].next[i].Store(tx, n, stm.TagNone); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Remove deletes k, reporting whether it was present.
+func (sl *TM[V]) Remove(k uint64) (bool, error) {
+	if k > MaxKey {
+		return false, errKeyRange
+	}
+	preds := make([]*tmNode[V], sl.maxLevel)
+	succs := make([]*tmNode[V], sl.maxLevel)
+	var removed bool
+	err := sl.s.Atomically(func(tx *stm.Tx) error {
+		removed = false
+		if err := sl.findTx(tx, k, preds, succs); err != nil {
+			return err
+		}
+		victim := succs[0]
+		if victim == sl.tail || victim.key != k {
+			return nil
+		}
+		for i := 0; i < victim.level; i++ {
+			succ, _, err := victim.next[i].Load(tx)
+			if err != nil {
+				return err
+			}
+			if err := preds[i].next[i].Store(tx, succ, stm.TagNone); err != nil {
+				return err
+			}
+		}
+		removed = true
+		return nil
+	})
+	return removed, err
+}
+
+// RangeQuery streams every pair with key in [lo, hi] in ascending order and
+// returns the pair count. The whole collection runs inside one transaction,
+// so the result is a linearizable snapshot — at the cost of one
+// instrumented access per key, the overhead Figure 17(d) quantifies.
+func (sl *TM[V]) RangeQuery(lo, hi uint64, emit func(k uint64, v V)) int {
+	if lo > hi || lo > MaxKey {
+		return 0
+	}
+	if hi > MaxKey {
+		hi = MaxKey
+	}
+	preds := make([]*tmNode[V], sl.maxLevel)
+	succs := make([]*tmNode[V], sl.maxLevel)
+	var keys []uint64
+	var vals []V
+	err := sl.s.Atomically(func(tx *stm.Tx) error {
+		keys = keys[:0]
+		vals = vals[:0]
+		if err := sl.findTx(tx, lo, preds, succs); err != nil {
+			return err
+		}
+		n := succs[0]
+		for n != sl.tail && n.key <= hi {
+			vp, _, err := n.val.Load(tx)
+			if err != nil {
+				return err
+			}
+			keys = append(keys, n.key)
+			vals = append(vals, *vp)
+			succ, _, err := n.next[0].Load(tx)
+			if err != nil {
+				return err
+			}
+			n = succ
+		}
+		return nil
+	})
+	if err != nil {
+		panic("skiplist: unreachable TM RangeQuery error: " + err.Error())
+	}
+	if emit != nil {
+		for i := range keys {
+			emit(keys[i], vals[i])
+		}
+	}
+	return len(keys)
+}
+
+// Len counts the keys; quiescent-state helper for tests.
+func (sl *TM[V]) Len() int {
+	count := 0
+	for n := sl.head.next[0].PeekPtr(); n != nil && n != sl.tail; n = n.next[0].PeekPtr() {
+		count++
+	}
+	return count
+}

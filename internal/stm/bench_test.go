@@ -1,0 +1,116 @@
+package stm
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// The paper's cost model rests on transaction overhead: Leap-LT exists
+// because full transactions are expensive and lock-acquisition-only
+// transactions are cheap. These micro-benchmarks quantify that ladder on
+// the local machine.
+
+func BenchmarkPeek(b *testing.B) {
+	var w Word
+	w.Init(42)
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += w.Peek()
+	}
+	sinkWord.Store(sink)
+}
+
+var sinkWord atomic.Uint64
+
+func BenchmarkReadOnlyTx1Word(b *testing.B) {
+	s := New()
+	var w Word
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Atomically(func(tx *Tx) error {
+			_, err := w.Load(tx)
+			return err
+		})
+	}
+}
+
+func BenchmarkReadOnlyTx16Words(b *testing.B) {
+	s := New()
+	words := make([]Word, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Atomically(func(tx *Tx) error {
+			for j := range words {
+				if _, err := words[j].Load(tx); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func BenchmarkWriteTx1Word(b *testing.B) {
+	s := New()
+	var w Word
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Atomically(func(tx *Tx) error {
+			return w.Store(tx, uint64(i))
+		})
+	}
+}
+
+// BenchmarkWriteTx8Words models a Leap-LT locking transaction: ~8 marked
+// slots plus validation reads.
+func BenchmarkWriteTx8Words(b *testing.B) {
+	s := New()
+	words := make([]Word, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Atomically(func(tx *Tx) error {
+			for j := range words {
+				v, err := words[j].Load(tx)
+				if err != nil {
+					return err
+				}
+				if err := words[j].Store(tx, v+1); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func BenchmarkTaggedPtrLoadTx(b *testing.B) {
+	type nodeT struct{ _ int }
+	s := New()
+	var tp TaggedPtr[nodeT]
+	tp.Init(&nodeT{}, TagNone)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Atomically(func(tx *Tx) error {
+			_, _, err := tp.Load(tx)
+			return err
+		})
+	}
+}
+
+func BenchmarkContendedCounter(b *testing.B) {
+	s := New()
+	var w Word
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			_ = s.Atomically(func(tx *Tx) error {
+				v, err := w.Load(tx)
+				if err != nil {
+					return err
+				}
+				return w.Store(tx, v+1)
+			})
+		}
+	})
+}

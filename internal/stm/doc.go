@@ -1,0 +1,57 @@
+// Package stm implements a word-based software transactional memory in the
+// TL2 family (Dice, Shalev, Shavit 2006) with optional TinySTM-style
+// timestamp extension.
+//
+// It is the substrate this repository substitutes for GCC-TM 4.7, the
+// compiler-integrated STM used by the Leap-List paper (Avni, Shavit, Suissa,
+// PODC 2013). Like GCC-TM's default algorithm it is word-based and uses
+// optimistic reads with commit-time locking; unlike GCC-TM it is
+// lazy-versioning (writes are buffered and applied at commit), so memory
+// never holds uncommitted ("tentative") data and non-transactional reads are
+// always safe. The paper calls that property strong isolation and had to
+// engineer around its absence; this package provides it natively via Peek.
+//
+// # Transactional variables
+//
+// Two cell types are provided:
+//
+//   - Word: a 64-bit unsigned integer cell.
+//   - TaggedPtr[T]: a (pointer, 64-bit tag) pair versioned as a unit. The
+//     Leap-List uses the tag as the paper's pointer mark bit; versioning the
+//     pair jointly reproduces the paper's stolen-bit-in-the-pointer-word
+//     semantics, which Go's garbage collector otherwise forbids.
+//
+// Both support three access modes:
+//
+//   - Transactional Load/Store through a *Tx, with full conflict detection.
+//   - Peek: a non-transactional atomic read of the latest committed value.
+//   - Direct stores: non-transactional writes that deliberately do not bump
+//     the cell's version. These exist for exactly two protocol situations:
+//     initializing a cell before it is published, and the Leap-LT "release"
+//     postfix, which writes under the protection of a transactionally
+//     acquired mark. Using them outside such a protocol breaks opacity.
+//
+// # Transactions
+//
+// STM.Atomically runs a function inside a transaction and retries it until
+// it commits. A function observes a conflict either implicitly (a Load
+// returns an error wrapping ErrConflict) or explicitly (it returns
+// ErrConflict itself, the analogue of the paper's tx_abort). Any other error
+// aborts the transaction without retrying and is returned to the caller.
+// STM.AtomicallyOnce performs a single attempt, which callers such as the
+// Leap-LT update path use to restart their whole operation (including the
+// non-transactional setup phase) on conflict.
+//
+// # Algorithm
+//
+// Each cell carries a versioned lock word (version<<1 | lockedBit). A
+// transaction samples the global version clock at start (rv). A
+// transactional read samples the cell's lock, reads the value, re-samples,
+// and fails on a locked or changed lock word; if the observed version
+// exceeds rv the transaction attempts timestamp extension (revalidate the
+// read set against the current clock and adopt it as the new rv). Writes are
+// buffered. Commit acquires the write set's locks with bounded spinning,
+// increments the clock to obtain the write version, revalidates the read
+// set (skipped when no other transaction committed in between), applies the
+// buffered writes, and releases the locks at the new version.
+package stm

@@ -1,0 +1,35 @@
+package stm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrConflict is the retryable transaction failure. Transactional reads
+// return an error wrapping ErrConflict when they observe a locked or
+// concurrently modified cell, and commit returns one when lock acquisition
+// or read-set validation fails. User code may also return ErrConflict from
+// the transaction function to request an abort-and-retry, mirroring the
+// paper's tx_abort.
+var ErrConflict = errors.New("stm: transaction conflict")
+
+// ErrTxDone is returned when a transactional variable is accessed through a
+// transaction that has already finished or been poisoned by an earlier
+// conflict. It wraps ErrConflict because the only way a live transaction
+// function can hold a poisoned Tx is an unhandled earlier conflict.
+var ErrTxDone = fmt.Errorf("%w: transaction no longer usable", ErrConflict)
+
+// Conflict causes, used for statistics and wrapped error text. Each is a
+// distinct wrapped sentinel so tests can assert on the precise failure mode
+// while callers only ever need errors.Is(err, ErrConflict).
+var (
+	errReadLocked   = fmt.Errorf("%w: read observed locked cell", ErrConflict)
+	errReadVersion  = fmt.Errorf("%w: read observed concurrent update", ErrConflict)
+	errCommitLock   = fmt.Errorf("%w: commit could not acquire write locks", ErrConflict)
+	errCommitVerify = fmt.Errorf("%w: commit read-set validation failed", ErrConflict)
+)
+
+// IsConflict reports whether err denotes a retryable transactional conflict.
+func IsConflict(err error) bool {
+	return errors.Is(err, ErrConflict)
+}

@@ -1,0 +1,204 @@
+package stm
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickSequentialWordSemantics: any sequence of transactional stores
+// and loads over a vector of Words behaves like a plain array.
+func TestQuickSequentialWordSemantics(t *testing.T) {
+	s := New()
+	f := func(ops []struct {
+		Idx uint8
+		Val uint64
+	}) bool {
+		const cells = 16
+		words := make([]Word, cells)
+		model := make([]uint64, cells)
+		for _, op := range ops {
+			i := int(op.Idx) % cells
+			err := s.Atomically(func(tx *Tx) error {
+				cur, err := words[i].Load(tx)
+				if err != nil {
+					return err
+				}
+				if cur != model[i] {
+					t.Errorf("cell %d = %d, model %d", i, cur, model[i])
+				}
+				return words[i].Store(tx, op.Val)
+			})
+			if err != nil {
+				return false
+			}
+			model[i] = op.Val
+		}
+		for i := range words {
+			if words[i].Peek() != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTxAllOrNothing: a transaction writing a random subset of cells
+// either applies every write (commit) or none (user abort), regardless of
+// which cells it touched.
+func TestQuickTxAllOrNothing(t *testing.T) {
+	s := New()
+	f := func(writes []uint8, abort bool) bool {
+		const cells = 8
+		words := make([]Word, cells)
+		for i := range words {
+			words[i].Init(uint64(i) + 100)
+		}
+		err := s.AtomicallyOnce(func(tx *Tx) error {
+			for _, w := range writes {
+				if err := words[int(w)%cells].Store(tx, 555); err != nil {
+					return err
+				}
+			}
+			if abort {
+				return ErrTxDone // any conflict-class error aborts
+			}
+			return nil
+		})
+		if abort != (err != nil) {
+			return false
+		}
+		touched := map[int]bool{}
+		for _, w := range writes {
+			touched[int(w)%cells] = true
+		}
+		for i := range words {
+			got := words[i].Peek()
+			want := uint64(i) + 100
+			if !abort && touched[i] {
+				want = 555
+			}
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickConcurrentDisjointWritersNeverConflictForever: writers touching
+// disjoint cells must all complete (no cross-talk between unrelated cells).
+func TestQuickConcurrentDisjointWritersNeverConflictForever(t *testing.T) {
+	s := New()
+	f := func(seed uint8) bool {
+		const workers = 4
+		const perWorker = 8
+		words := make([]Word, workers*perWorker)
+		var wg sync.WaitGroup
+		okAll := true
+		var mu sync.Mutex
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				base := w * perWorker
+				for i := 0; i < 50; i++ {
+					err := s.Atomically(func(tx *Tx) error {
+						for c := 0; c < perWorker; c++ {
+							v, err := words[base+c].Load(tx)
+							if err != nil {
+								return err
+							}
+							if err := words[base+c].Store(tx, v+1); err != nil {
+								return err
+							}
+						}
+						return nil
+					})
+					if err != nil {
+						mu.Lock()
+						okAll = false
+						mu.Unlock()
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if !okAll {
+			return false
+		}
+		for i := range words {
+			if words[i].Peek() != 50 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTaggedPtrPairAtomicity: transactional readers of a TaggedPtr
+// always see matched (pointer, tag) pairs written together.
+func TestQuickTaggedPtrPairAtomicity(t *testing.T) {
+	type box struct{ id uint64 }
+	s := New()
+	var tp TaggedPtr[box]
+	boxes := make([]*box, 16)
+	for i := range boxes {
+		boxes[i] = &box{id: uint64(i)}
+	}
+	tp.Init(boxes[0], 0)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var violated sync.Once
+	bad := false
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				err := s.Atomically(func(tx *Tx) error {
+					p, tag, err := tp.Load(tx)
+					if err != nil {
+						return err
+					}
+					if p.id != tag {
+						violated.Do(func() { bad = true })
+					}
+					return nil
+				})
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 2000; i++ {
+		b := boxes[i%len(boxes)]
+		if err := s.Atomically(func(tx *Tx) error {
+			return tp.Store(tx, b, b.id)
+		}); err != nil {
+			t.Fatalf("Store: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if bad {
+		t.Fatal("reader observed torn (pointer, tag) pair")
+	}
+}

@@ -1,0 +1,37 @@
+package stm
+
+import "sync/atomic"
+
+// Stats holds the domain's live counters. Fields are updated atomically;
+// read them through STM.Stats.
+type Stats struct {
+	Starts     atomic.Uint64
+	Commits    atomic.Uint64
+	Aborts     atomic.Uint64
+	Extensions atomic.Uint64
+}
+
+// StatsSnapshot is a point-in-time copy of the counters.
+type StatsSnapshot struct {
+	Starts     uint64
+	Commits    uint64
+	Aborts     uint64
+	Extensions uint64
+}
+
+func (s *Stats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Starts:     s.Starts.Load(),
+		Commits:    s.Commits.Load(),
+		Aborts:     s.Aborts.Load(),
+		Extensions: s.Extensions.Load(),
+	}
+}
+
+// AbortRate returns aborts / starts, or 0 when no transaction has started.
+func (s StatsSnapshot) AbortRate() float64 {
+	if s.Starts == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(s.Starts)
+}

@@ -1,0 +1,158 @@
+package stm
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Default tuning values; see the corresponding options.
+const (
+	defaultLockSpin   = 64
+	defaultMaxBackoff = 1 << 12 // iterations of the backoff loop, not time
+)
+
+// STM is an isolated transactional memory domain: a global version clock
+// plus configuration and statistics. Transactional variables themselves are
+// domain-agnostic cells; correctness requires that every variable is only
+// ever accessed through transactions of a single STM (the usual arrangement:
+// one STM per data-structure group, as in the Leap-List groups that compose
+// updates across L lists).
+type STM struct {
+	clock atomic.Uint64
+
+	extension bool
+	lockSpin  int
+	stats     *Stats
+
+	txPool sync.Pool
+}
+
+// Option configures an STM.
+type Option func(*STM)
+
+// WithTimestampExtension enables or disables TinySTM-style read timestamp
+// extension. Extension lets long transactions (the Leap-List range query)
+// survive concurrent commits to cells outside their read set. Enabled by
+// default; the abl-ext ablation benchmark disables it.
+func WithTimestampExtension(enabled bool) Option {
+	return func(s *STM) { s.extension = enabled }
+}
+
+// WithLockSpin sets how many times commit re-samples a busy write lock
+// before declaring a conflict. Values below 1 are treated as 1.
+func WithLockSpin(n int) Option {
+	return func(s *STM) {
+		if n < 1 {
+			n = 1
+		}
+		s.lockSpin = n
+	}
+}
+
+// WithStats enables statistics collection. Disabled by default: the
+// counters are updated once or twice per transaction, which is measurable
+// on the benchmark fast path.
+func WithStats(enabled bool) Option {
+	return func(s *STM) {
+		if enabled {
+			s.stats = &Stats{}
+		} else {
+			s.stats = nil
+		}
+	}
+}
+
+// New returns an STM domain with its version clock at zero.
+func New(opts ...Option) *STM {
+	s := &STM{
+		extension: true,
+		lockSpin:  defaultLockSpin,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.txPool.New = func() any { return newTx(s) }
+	return s
+}
+
+// Stats returns a snapshot of the domain's counters. It returns a zero
+// snapshot when statistics are disabled.
+func (s *STM) Stats() StatsSnapshot {
+	if s.stats == nil {
+		return StatsSnapshot{}
+	}
+	return s.stats.snapshot()
+}
+
+// Now returns the current value of the global version clock. Exposed for
+// tests and diagnostics.
+func (s *STM) Now() uint64 {
+	return s.clock.Load()
+}
+
+// Atomically executes fn inside a transaction, retrying with randomized
+// backoff for as long as fn or commit reports a conflict. Errors that do not
+// wrap ErrConflict abort the transaction and are returned as-is. fn must not
+// retain the Tx after returning and must be safe to re-execute.
+func (s *STM) Atomically(fn func(tx *Tx) error) error {
+	for attempt := 0; ; attempt++ {
+		err := s.AtomicallyOnce(fn)
+		if err == nil || !IsConflict(err) {
+			return err
+		}
+		backoff(attempt)
+	}
+}
+
+// AtomicallyOnce executes fn inside a transaction with a single attempt. A
+// conflict — from a transactional read, from commit, or returned by fn
+// itself — surfaces as an error wrapping ErrConflict, leaving retry policy
+// to the caller. The Leap-LT and Leap-COP operations use this: their retry
+// loop must re-run the non-transactional setup phase, not just fn.
+func (s *STM) AtomicallyOnce(fn func(tx *Tx) error) error {
+	tx := s.txPool.Get().(*Tx)
+	tx.begin()
+	err := fn(tx)
+	if err == nil {
+		err = tx.commit()
+	} else {
+		tx.abort(err)
+	}
+	tx.finish()
+	s.txPool.Put(tx)
+	return err
+}
+
+// Backoff yields the processor and burns a short randomized number of
+// iterations, growing with the attempt count. On heavily oversubscribed
+// hosts (more workers than cores) the Gosched is what matters; the spin
+// component only separates contenders when cores are plentiful. Exposed so
+// protocols that retry outside a transaction (Leap-LT restarting from its
+// setup phase) share the STM's contention behaviour.
+func Backoff(attempt int) {
+	backoff(attempt)
+}
+
+func backoff(attempt int) {
+	runtime.Gosched()
+	if attempt == 0 {
+		return
+	}
+	limit := uint64(1) << min(attempt, 12)
+	if limit > defaultMaxBackoff {
+		limit = defaultMaxBackoff
+	}
+	iters := rand.Uint64N(limit + 1)
+	for i := uint64(0); i < iters; i++ {
+		cpuRelax()
+	}
+}
+
+var relaxSink atomic.Uint64
+
+// cpuRelax is a portable stand-in for a PAUSE instruction.
+func cpuRelax() {
+	relaxSink.Add(0)
+}

@@ -1,0 +1,609 @@
+package stm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestWordZeroValue(t *testing.T) {
+	var w Word
+	if got := w.Peek(); got != 0 {
+		t.Fatalf("Peek() = %d, want 0", got)
+	}
+	ver, locked := w.Version()
+	if ver != 0 || locked {
+		t.Fatalf("Version() = (%d, %v), want (0, false)", ver, locked)
+	}
+}
+
+func TestAtomicallyCommitsWrite(t *testing.T) {
+	s := New()
+	var w Word
+	err := s.Atomically(func(tx *Tx) error {
+		return w.Store(tx, 42)
+	})
+	if err != nil {
+		t.Fatalf("Atomically: %v", err)
+	}
+	if got := w.Peek(); got != 42 {
+		t.Fatalf("Peek() = %d, want 42", got)
+	}
+	ver, locked := w.Version()
+	if ver == 0 || locked {
+		t.Fatalf("Version() = (%d, %v), want bumped and unlocked", ver, locked)
+	}
+}
+
+func TestReadOwnWrites(t *testing.T) {
+	s := New()
+	var w Word
+	w.Init(1)
+	err := s.Atomically(func(tx *Tx) error {
+		if err := w.Store(tx, 7); err != nil {
+			return err
+		}
+		got, err := w.Load(tx)
+		if err != nil {
+			return err
+		}
+		if got != 7 {
+			t.Errorf("Load after Store = %d, want 7", got)
+		}
+		// Second store to the same cell must overwrite, not duplicate.
+		if err := w.Store(tx, 9); err != nil {
+			return err
+		}
+		got, err = w.Load(tx)
+		if err != nil {
+			return err
+		}
+		if got != 9 {
+			t.Errorf("Load after second Store = %d, want 9", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Atomically: %v", err)
+	}
+	if got := w.Peek(); got != 9 {
+		t.Fatalf("Peek() = %d, want 9", got)
+	}
+}
+
+func TestAbortedTxLeavesNoTrace(t *testing.T) {
+	s := New()
+	var w Word
+	w.Init(5)
+	wantErr := errors.New("user abort")
+	err := s.Atomically(func(tx *Tx) error {
+		if err := w.Store(tx, 100); err != nil {
+			return err
+		}
+		return wantErr
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("Atomically = %v, want %v", err, wantErr)
+	}
+	if got := w.Peek(); got != 5 {
+		t.Fatalf("Peek() after abort = %d, want 5", got)
+	}
+	ver, locked := w.Version()
+	if ver != 0 || locked {
+		t.Fatalf("Version() after abort = (%d, %v), want (0, false)", ver, locked)
+	}
+}
+
+func TestUserConflictRetries(t *testing.T) {
+	s := New()
+	attempts := 0
+	err := s.Atomically(func(tx *Tx) error {
+		attempts++
+		if attempts < 3 {
+			return ErrConflict
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Atomically: %v", err)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+}
+
+func TestAtomicallyOnceDoesNotRetry(t *testing.T) {
+	s := New()
+	attempts := 0
+	err := s.AtomicallyOnce(func(tx *Tx) error {
+		attempts++
+		return ErrConflict
+	})
+	if !IsConflict(err) {
+		t.Fatalf("AtomicallyOnce = %v, want conflict", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", attempts)
+	}
+}
+
+func TestConflictDetectedOnInterveningCommit(t *testing.T) {
+	s := New()
+	var a, b Word
+	a.Init(1)
+	b.Init(1)
+
+	attempts := 0
+	err := s.Atomically(func(tx *Tx) error {
+		attempts++
+		v, err := a.Load(tx)
+		if err != nil {
+			return err
+		}
+		if attempts == 1 {
+			// Interfere from "another thread": commit a write to a so the
+			// outer read set is stale at commit time. The outer tx also
+			// writes b so it cannot take the read-only fast path.
+			if err := s.Atomically(func(tx2 *Tx) error {
+				return a.Store(tx2, 99)
+			}); err != nil {
+				return err
+			}
+		}
+		return b.Store(tx, v+1)
+	})
+	if err != nil {
+		t.Fatalf("Atomically: %v", err)
+	}
+	if attempts < 2 {
+		t.Fatalf("attempts = %d, want >= 2 (first must abort)", attempts)
+	}
+	if got := b.Peek(); got != 100 {
+		t.Fatalf("b = %d, want 100 (written from re-read a=99)", got)
+	}
+}
+
+func TestPoisonedTxFailsFast(t *testing.T) {
+	s := New()
+	var a, b Word
+	err := s.AtomicallyOnce(func(tx *Tx) error {
+		_ = tx.poison(errReadVersion)
+		if _, err := a.Load(tx); !IsConflict(err) {
+			t.Errorf("Load on poisoned tx = %v, want conflict", err)
+		}
+		if err := b.Store(tx, 1); !IsConflict(err) {
+			t.Errorf("Store on poisoned tx = %v, want conflict", err)
+		}
+		return tx.err
+	})
+	if !IsConflict(err) {
+		t.Fatalf("AtomicallyOnce = %v, want conflict", err)
+	}
+	if got := b.Peek(); got != 0 {
+		t.Fatalf("b = %d, want 0 (poisoned tx must not commit)", got)
+	}
+}
+
+func TestTaggedPtrRoundTrip(t *testing.T) {
+	s := New()
+	type nodeT struct{ id int }
+	var tp TaggedPtr[nodeT]
+	n1 := &nodeT{id: 1}
+	n2 := &nodeT{id: 2}
+	tp.Init(n1, TagNone)
+
+	err := s.Atomically(func(tx *Tx) error {
+		p, tag, err := tp.Load(tx)
+		if err != nil {
+			return err
+		}
+		if p != n1 || tag != TagNone {
+			t.Errorf("Load = (%v, %d), want (n1, TagNone)", p, tag)
+		}
+		if err := tp.Store(tx, n1, TagMarked); err != nil {
+			return err
+		}
+		// Read-own-write of the pair.
+		p, tag, err = tp.Load(tx)
+		if err != nil {
+			return err
+		}
+		if p != n1 || tag != TagMarked {
+			t.Errorf("Load after Store = (%v, %d), want (n1, TagMarked)", p, tag)
+		}
+		return tp.Store(tx, n2, TagNone)
+	})
+	if err != nil {
+		t.Fatalf("Atomically: %v", err)
+	}
+	p, tag := tp.Peek()
+	if p != n2 || tag != TagNone {
+		t.Fatalf("Peek = (%v, %d), want (n2, TagNone)", p, tag)
+	}
+}
+
+func TestTaggedPtrDirectStores(t *testing.T) {
+	type nodeT struct{ id int }
+	var tp TaggedPtr[nodeT]
+	n := &nodeT{id: 1}
+	tp.DirectStore(n, TagMarked)
+	if got := tp.PeekTag(); got != TagMarked {
+		t.Fatalf("PeekTag = %d, want TagMarked", got)
+	}
+	tp.DirectStoreTag(TagNone)
+	if p, tag := tp.Peek(); p != n || tag != TagNone {
+		t.Fatalf("Peek = (%v, %d), want (n, TagNone)", p, tag)
+	}
+	ver, locked := tp.Version()
+	if ver != 0 || locked {
+		t.Fatalf("direct stores must not bump version: (%d, %v)", ver, locked)
+	}
+}
+
+func TestReadOfLockedCellConflicts(t *testing.T) {
+	s := New()
+	var w Word
+	// Manually hold the lock, as a concurrent committer would.
+	if !w.l.tryLock(0) {
+		t.Fatal("tryLock failed on fresh cell")
+	}
+	err := s.AtomicallyOnce(func(tx *Tx) error {
+		_, err := w.Load(tx)
+		return err
+	})
+	if !IsConflict(err) {
+		t.Fatalf("AtomicallyOnce = %v, want conflict", err)
+	}
+	w.l.unlockRestore(0)
+}
+
+func TestCommitLockBusyConflicts(t *testing.T) {
+	s := New(WithLockSpin(2))
+	var w Word
+	if !w.l.tryLock(0) {
+		t.Fatal("tryLock failed on fresh cell")
+	}
+	err := s.AtomicallyOnce(func(tx *Tx) error {
+		return w.Store(tx, 1)
+	})
+	if !errors.Is(err, errCommitLock) {
+		t.Fatalf("AtomicallyOnce = %v, want commit-lock conflict", err)
+	}
+	w.l.unlockRestore(0)
+	if got := w.Peek(); got != 0 {
+		t.Fatalf("w = %d, want 0", got)
+	}
+}
+
+func TestTimestampExtensionAllowsLateRead(t *testing.T) {
+	s := New(WithTimestampExtension(true), WithStats(true))
+	var a, b Word
+
+	err := s.AtomicallyOnce(func(tx *Tx) error {
+		if _, err := a.Load(tx); err != nil {
+			return err
+		}
+		// A foreign commit bumps b's version past our rv.
+		if err := s.Atomically(func(tx2 *Tx) error {
+			return b.Store(tx2, 7)
+		}); err != nil {
+			return err
+		}
+		// Reading b now observes version > rv; extension must save us
+		// because a is untouched.
+		v, err := b.Load(tx)
+		if err != nil {
+			return err
+		}
+		if v != 7 {
+			t.Errorf("b = %d, want 7", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("AtomicallyOnce: %v", err)
+	}
+	if got := s.Stats().Extensions; got != 1 {
+		t.Fatalf("Extensions = %d, want 1", got)
+	}
+}
+
+func TestTimestampExtensionDisabledAborts(t *testing.T) {
+	s := New(WithTimestampExtension(false))
+	var a, b Word
+
+	err := s.AtomicallyOnce(func(tx *Tx) error {
+		if _, err := a.Load(tx); err != nil {
+			return err
+		}
+		if err := s.Atomically(func(tx2 *Tx) error {
+			return b.Store(tx2, 7)
+		}); err != nil {
+			return err
+		}
+		_, err := b.Load(tx)
+		return err
+	})
+	if !IsConflict(err) {
+		t.Fatalf("AtomicallyOnce = %v, want conflict with extension disabled", err)
+	}
+}
+
+func TestExtensionFailsWhenReadSetStale(t *testing.T) {
+	s := New(WithTimestampExtension(true))
+	var a, b Word
+
+	err := s.AtomicallyOnce(func(tx *Tx) error {
+		if _, err := a.Load(tx); err != nil {
+			return err
+		}
+		// Foreign commit writes BOTH a (in our read set) and b.
+		if err := s.Atomically(func(tx2 *Tx) error {
+			if err := a.Store(tx2, 1); err != nil {
+				return err
+			}
+			return b.Store(tx2, 7)
+		}); err != nil {
+			return err
+		}
+		_, err := b.Load(tx)
+		return err
+	})
+	if !IsConflict(err) {
+		t.Fatalf("AtomicallyOnce = %v, want conflict (read set stale)", err)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	s := New(WithStats(true))
+	var w Word
+	if err := s.Atomically(func(tx *Tx) error { return w.Store(tx, 1) }); err != nil {
+		t.Fatalf("Atomically: %v", err)
+	}
+	_ = s.AtomicallyOnce(func(tx *Tx) error { return ErrConflict })
+	st := s.Stats()
+	if st.Starts != 2 || st.Commits != 1 || st.Aborts != 1 {
+		t.Fatalf("stats = %+v, want starts=2 commits=1 aborts=1", st)
+	}
+	if got := st.AbortRate(); got != 0.5 {
+		t.Fatalf("AbortRate = %v, want 0.5", got)
+	}
+}
+
+func TestStatsDisabledSnapshotZero(t *testing.T) {
+	s := New()
+	if err := s.Atomically(func(tx *Tx) error { return nil }); err != nil {
+		t.Fatalf("Atomically: %v", err)
+	}
+	if st := s.Stats(); st != (StatsSnapshot{}) {
+		t.Fatalf("Stats = %+v, want zero", st)
+	}
+}
+
+func TestClockAdvancesOnlyOnWriteCommit(t *testing.T) {
+	s := New()
+	var w Word
+	before := s.Now()
+	if err := s.Atomically(func(tx *Tx) error {
+		_, err := w.Load(tx)
+		return err
+	}); err != nil {
+		t.Fatalf("read-only tx: %v", err)
+	}
+	if s.Now() != before {
+		t.Fatal("read-only commit must not advance the clock")
+	}
+	if err := s.Atomically(func(tx *Tx) error { return w.Store(tx, 1) }); err != nil {
+		t.Fatalf("write tx: %v", err)
+	}
+	if s.Now() != before+1 {
+		t.Fatalf("clock = %d, want %d", s.Now(), before+1)
+	}
+}
+
+func TestOptionsNormalization(t *testing.T) {
+	s := New(WithLockSpin(0))
+	if s.lockSpin != 1 {
+		t.Fatalf("lockSpin = %d, want clamp to 1", s.lockSpin)
+	}
+	s = New(WithStats(true), WithStats(false))
+	if s.stats != nil {
+		t.Fatal("WithStats(false) did not clear stats")
+	}
+}
+
+func TestTxPoolReuseIsClean(t *testing.T) {
+	s := New()
+	var w Word
+	// Poison a transaction, then ensure the next pooled transaction starts
+	// clean.
+	_ = s.AtomicallyOnce(func(tx *Tx) error {
+		_ = w.Store(tx, 1)
+		return ErrConflict
+	})
+	err := s.Atomically(func(tx *Tx) error {
+		if tx.err != nil || len(tx.writes) != 0 || len(tx.reads) != 0 {
+			t.Errorf("pooled tx not reset: err=%v reads=%d writes=%d", tx.err, len(tx.reads), len(tx.writes))
+		}
+		return w.Store(tx, 2)
+	})
+	if err != nil {
+		t.Fatalf("Atomically: %v", err)
+	}
+	if got := w.Peek(); got != 2 {
+		t.Fatalf("w = %d, want 2", got)
+	}
+}
+
+func TestBackoffTerminates(t *testing.T) {
+	// Smoke: large attempts must not hang or panic.
+	for _, attempt := range []int{0, 1, 5, 13, 100} {
+		Backoff(attempt)
+	}
+}
+
+// TestConcurrentCounter checks atomicity of increments under contention:
+// every committed Atomically adds exactly 1.
+func TestConcurrentCounter(t *testing.T) {
+	s := New()
+	var w Word
+	const workers = 8
+	iters := 2000
+	if testing.Short() {
+		iters = 200
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				err := s.Atomically(func(tx *Tx) error {
+					v, err := w.Load(tx)
+					if err != nil {
+						return err
+					}
+					return w.Store(tx, v+1)
+				})
+				if err != nil {
+					t.Errorf("Atomically: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := w.Peek(), uint64(workers*iters); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+}
+
+// TestBankTransferInvariant moves money among accounts concurrently; the
+// total must be conserved at every observation point (serializability).
+func TestBankTransferInvariant(t *testing.T) {
+	s := New()
+	const accounts = 16
+	const initial = 1000
+	cells := make([]Word, accounts)
+	for i := range cells {
+		cells[i].Init(initial)
+	}
+
+	readTotal := func() uint64 {
+		var total uint64
+		err := s.Atomically(func(tx *Tx) error {
+			total = 0
+			for i := range cells {
+				v, err := cells[i].Load(tx)
+				if err != nil {
+					return err
+				}
+				total += v
+			}
+			return nil
+		})
+		if err != nil {
+			t.Errorf("total read: %v", err)
+		}
+		return total
+	}
+
+	const workers = 6
+	iters := 3000
+	if testing.Short() {
+		iters = 300
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			from, to := seed%accounts, (seed+7)%accounts
+			for i := 0; i < iters; i++ {
+				from = (from + 5) % accounts
+				to = (to + 3) % accounts
+				if from == to {
+					continue
+				}
+				err := s.Atomically(func(tx *Tx) error {
+					fv, err := cells[from].Load(tx)
+					if err != nil {
+						return err
+					}
+					tv, err := cells[to].Load(tx)
+					if err != nil {
+						return err
+					}
+					if fv == 0 {
+						return nil
+					}
+					if err := cells[from].Store(tx, fv-1); err != nil {
+						return err
+					}
+					return cells[to].Store(tx, tv+1)
+				})
+				if err != nil {
+					t.Errorf("transfer: %v", err)
+					return
+				}
+				if i%64 == 0 {
+					if total := readTotal(); total != accounts*initial {
+						t.Errorf("total = %d, want %d", total, accounts*initial)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if total := readTotal(); total != accounts*initial {
+		t.Fatalf("final total = %d, want %d", total, accounts*initial)
+	}
+}
+
+// TestPeekNeverSeesTentativeData hammers one cell with transactional
+// writers that only ever commit even values, while peekers assert they
+// never observe an odd (would-be tentative) value.
+func TestPeekNeverSeesTentativeData(t *testing.T) {
+	s := New()
+	var w Word
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if v := w.Peek(); v%2 != 0 {
+				t.Errorf("Peek observed odd value %d", v)
+				return
+			}
+		}
+	}()
+	iters := 5000
+	if testing.Short() {
+		iters = 500
+	}
+	for i := 0; i < iters; i++ {
+		err := s.Atomically(func(tx *Tx) error {
+			v, err := w.Load(tx)
+			if err != nil {
+				return err
+			}
+			// Buffered write of an odd intermediate; never visible.
+			if err := w.Store(tx, v+1); err != nil {
+				return err
+			}
+			return w.Store(tx, v+2)
+		})
+		if err != nil {
+			t.Fatalf("Atomically: %v", err)
+		}
+	}
+	close(done)
+	wg.Wait()
+}

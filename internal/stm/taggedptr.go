@@ -1,0 +1,133 @@
+package stm
+
+import "sync/atomic"
+
+// TaggedPtr is a transactional (pointer, tag) pair versioned as a single
+// unit. It reproduces, under a garbage collector that forbids stealing
+// pointer bits, the paper's single memory word holding a pointer with an
+// embedded mark: transactional stores replace the pair atomically and bump
+// one shared version, so a commit-time validation of the pair subsumes
+// validation of both halves.
+//
+// The Leap-List uses the tag as the mark bit on each next-pointer slot: the
+// Locking Transaction marks a slot by transactionally storing (same pointer,
+// TagMarked); the release postfix then writes the new pointer and clears the
+// tag with direct stores, which is safe because every competing transaction
+// must first read the slot unmarked and revalidate it at commit, and every
+// marking bumps the version.
+//
+// The zero value holds (nil, 0) at version 0.
+type TaggedPtr[T any] struct {
+	l vlock
+	p atomic.Pointer[T]
+	t atomic.Uint64
+}
+
+// Tag values used by the Leap-List. The tag space is a full uint64; these
+// are just the two values the marking protocol needs.
+const (
+	TagNone   uint64 = 0
+	TagMarked uint64 = 1
+)
+
+// Init sets the pair without synchronization or version bump. It may only
+// be used before the cell is reachable by other goroutines.
+func (tp *TaggedPtr[T]) Init(p *T, tag uint64) {
+	tp.p.Store(p)
+	tp.t.Store(tag)
+}
+
+// pendingTagged is the buffered write record for a TaggedPtr.
+type pendingTagged[T any] struct {
+	tp  *TaggedPtr[T]
+	p   *T
+	tag uint64
+}
+
+func (pw *pendingTagged[T]) apply() {
+	pw.tp.p.Store(pw.p)
+	pw.tp.t.Store(pw.tag)
+}
+
+// Load returns the pair inside tx, recording the read for commit
+// validation.
+func (tp *TaggedPtr[T]) Load(tx *Tx) (p *T, tag uint64, err error) {
+	if err := tx.usable(); err != nil {
+		return nil, 0, err
+	}
+	if i := tx.findWrite(&tp.l); i >= 0 {
+		pw := tx.writes[i].obj.(*pendingTagged[T])
+		return pw.p, pw.tag, nil
+	}
+	if _, err := tx.readVersioned(&tp.l, func() {
+		p = tp.p.Load()
+		tag = tp.t.Load()
+	}); err != nil {
+		return nil, 0, err
+	}
+	return p, tag, nil
+}
+
+// Store buffers a write of the pair (p, tag); it becomes visible only if tx
+// commits.
+func (tp *TaggedPtr[T]) Store(tx *Tx, p *T, tag uint64) error {
+	if err := tx.usable(); err != nil {
+		return err
+	}
+	if i := tx.findWrite(&tp.l); i >= 0 {
+		pw := tx.writes[i].obj.(*pendingTagged[T])
+		pw.p, pw.tag = p, tag
+		return nil
+	}
+	tx.writes = append(tx.writes, writeEntry{
+		l:   &tp.l,
+		obj: &pendingTagged[T]{tp: tp, p: p, tag: tag},
+	})
+	return nil
+}
+
+// Peek returns the latest committed pair without joining a transaction. The
+// two halves are read with separate atomic loads (tag first); during a
+// release postfix a reader can observe (new pointer, TagMarked), which the
+// Leap-List traversal protocol treats as "retry", never as a usable pair.
+// Callers needing a consistent pair must read inside a transaction.
+func (tp *TaggedPtr[T]) Peek() (p *T, tag uint64) {
+	tag = tp.t.Load()
+	p = tp.p.Load()
+	return p, tag
+}
+
+// PeekPtr returns only the pointer half.
+func (tp *TaggedPtr[T]) PeekPtr() *T {
+	return tp.p.Load()
+}
+
+// PeekTag returns only the tag half.
+func (tp *TaggedPtr[T]) PeekTag() uint64 {
+	return tp.t.Load()
+}
+
+// DirectStore writes the pair without a transaction and without a version
+// bump; see Word.DirectStore for the safety contract. The pointer is
+// published before the tag so that a concurrent Peek never observes the old
+// pointer with the new (cleared) tag.
+func (tp *TaggedPtr[T]) DirectStore(p *T, tag uint64) {
+	tp.p.Store(p)
+	tp.t.Store(tag)
+}
+
+// DirectStorePtr writes only the pointer half, leaving the tag in place.
+func (tp *TaggedPtr[T]) DirectStorePtr(p *T) {
+	tp.p.Store(p)
+}
+
+// DirectStoreTag writes only the tag half, leaving the pointer in place.
+func (tp *TaggedPtr[T]) DirectStoreTag(tag uint64) {
+	tp.t.Store(tag)
+}
+
+// Version returns the cell's current version and lock state; used by tests
+// and invariant checkers.
+func (tp *TaggedPtr[T]) Version() (ver uint64, locked bool) {
+	return tp.l.sample()
+}

@@ -1,0 +1,245 @@
+package stm
+
+// readEntry records one transactional read: the cell's lock and the version
+// the value was read at.
+type readEntry struct {
+	l   *vlock
+	ver uint64
+}
+
+// pendingPtr is implemented by the typed buffered-write records of generic
+// cells (TaggedPtr[T]); apply publishes the buffered value into the cell's
+// backing storage during commit write-back.
+type pendingPtr interface {
+	apply()
+}
+
+// writeEntry is one buffered write. Word writes are stored inline (word,
+// val) to avoid an allocation; TaggedPtr writes carry their typed record in
+// obj. Exactly one of word and obj is set.
+type writeEntry struct {
+	l    *vlock
+	prev uint64 // version restored if the commit aborts after locking
+
+	word *Word
+	val  uint64
+
+	obj pendingPtr
+}
+
+// Tx is a transaction descriptor. A Tx is only valid inside the function
+// passed to Atomically/AtomicallyOnce and must not be shared between
+// goroutines or retained.
+type Tx struct {
+	s      *STM
+	rv     uint64
+	reads  []readEntry
+	writes []writeEntry
+	err    error // poisoned by the first conflict; sticky until finish
+	done   bool
+}
+
+func newTx(s *STM) *Tx {
+	return &Tx{
+		s:      s,
+		reads:  make([]readEntry, 0, 64),
+		writes: make([]writeEntry, 0, 16),
+	}
+}
+
+func (tx *Tx) begin() {
+	tx.rv = tx.s.clock.Load()
+	tx.reads = tx.reads[:0]
+	tx.writes = tx.writes[:0]
+	tx.err = nil
+	tx.done = false
+	if st := tx.s.stats; st != nil {
+		st.Starts.Add(1)
+	}
+}
+
+func (tx *Tx) abort(cause error) {
+	tx.done = true
+	if st := tx.s.stats; st != nil && IsConflict(cause) {
+		st.Aborts.Add(1)
+	}
+}
+
+func (tx *Tx) finish() {
+	tx.done = true
+	// Drop buffered objects so the pooled Tx does not pin them.
+	for i := range tx.writes {
+		tx.writes[i].obj = nil
+		tx.writes[i].word = nil
+	}
+	// Oversized sets are not returned to the pool at their grown capacity;
+	// shrinking keeps pooled descriptors cheap for the common small tx.
+	const keepCap = 1 << 12
+	if cap(tx.reads) > keepCap {
+		tx.reads = make([]readEntry, 0, 64)
+	}
+	if cap(tx.writes) > keepCap {
+		tx.writes = make([]writeEntry, 0, 16)
+	}
+}
+
+// usable reports whether the transaction can accept further operations,
+// returning the poisoning error otherwise.
+func (tx *Tx) usable() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	return tx.err
+}
+
+// poison records the first conflict so that subsequent accesses fail fast.
+func (tx *Tx) poison(err error) error {
+	if tx.err == nil {
+		tx.err = err
+	}
+	return err
+}
+
+// recordRead appends a validated read to the read set.
+func (tx *Tx) recordRead(l *vlock, ver uint64) {
+	tx.reads = append(tx.reads, readEntry{l: l, ver: ver})
+}
+
+// findWrite returns the index of the buffered write to the cell guarded by
+// l, or -1. Write sets in this codebase are small (the Leap-LT transaction
+// writes a handful of marks and a live flag per list), so a linear scan
+// beats any map.
+func (tx *Tx) findWrite(l *vlock) int {
+	for i := range tx.writes {
+		if tx.writes[i].l == l {
+			return i
+		}
+	}
+	return -1
+}
+
+// readVersioned performs the TL2 sandwich read protocol around loadVal and
+// returns the version the value was consistent at.
+func (tx *Tx) readVersioned(l *vlock, loadVal func()) (uint64, error) {
+	v1, locked := l.sample()
+	if locked {
+		return 0, tx.poison(errReadLocked)
+	}
+	loadVal()
+	v2, locked2 := l.sample()
+	if locked2 || v2 != v1 {
+		return 0, tx.poison(errReadVersion)
+	}
+	if v1 > tx.rv && !tx.extend() {
+		return 0, tx.poison(errReadVersion)
+	}
+	tx.recordRead(l, v1)
+	return v1, nil
+}
+
+// extend attempts TinySTM-style timestamp extension: if every read so far is
+// still at its recorded version, the transaction may adopt the current
+// clock as its new read version.
+func (tx *Tx) extend() bool {
+	if !tx.s.extension {
+		return false
+	}
+	now := tx.s.clock.Load()
+	for i := range tx.reads {
+		ver, locked := tx.reads[i].l.sample()
+		if locked || ver != tx.reads[i].ver {
+			return false
+		}
+	}
+	tx.rv = now
+	if st := tx.s.stats; st != nil {
+		st.Extensions.Add(1)
+	}
+	return true
+}
+
+// commit runs the TL2 commit protocol: acquire write locks with bounded
+// spinning, take a write version from the clock, validate the read set
+// (skipped when no other transaction committed since begin), apply buffered
+// writes, release locks at the write version.
+func (tx *Tx) commit() error {
+	if tx.err != nil {
+		tx.abort(tx.err)
+		return tx.err
+	}
+	tx.done = true
+	if len(tx.writes) == 0 {
+		// Read-only transactions were validated incrementally; in TL2 they
+		// commit without touching shared state.
+		if st := tx.s.stats; st != nil {
+			st.Commits.Add(1)
+		}
+		return nil
+	}
+
+	acquired := 0
+	for i := range tx.writes {
+		e := &tx.writes[i]
+		ok := false
+		for spin := 0; spin < tx.s.lockSpin; spin++ {
+			ver, locked := e.l.sample()
+			if !locked && e.l.tryLock(ver) {
+				e.prev = ver
+				ok = true
+				break
+			}
+			cpuRelax()
+		}
+		if !ok {
+			tx.releaseLocked(acquired)
+			tx.abortWith(errCommitLock)
+			return errCommitLock
+		}
+		acquired++
+	}
+
+	wv := tx.s.clock.Add(1)
+	if wv != tx.rv+1 {
+		// At least one other commit intervened: validate the read set.
+		for i := range tx.reads {
+			r := &tx.reads[i]
+			ver, locked := r.l.sample()
+			if ver != r.ver || (locked && tx.findWrite(r.l) < 0) {
+				tx.releaseLocked(acquired)
+				tx.abortWith(errCommitVerify)
+				return errCommitVerify
+			}
+		}
+	}
+
+	for i := range tx.writes {
+		e := &tx.writes[i]
+		if e.word != nil {
+			e.word.v.Store(e.val)
+		} else {
+			e.obj.apply()
+		}
+	}
+	for i := range tx.writes {
+		tx.writes[i].l.unlockTo(wv)
+	}
+	if st := tx.s.stats; st != nil {
+		st.Commits.Add(1)
+	}
+	return nil
+}
+
+// releaseLocked releases the first n acquired write locks at their prior
+// versions after a failed commit.
+func (tx *Tx) releaseLocked(n int) {
+	for i := 0; i < n; i++ {
+		tx.writes[i].l.unlockRestore(tx.writes[i].prev)
+	}
+}
+
+func (tx *Tx) abortWith(err error) {
+	if st := tx.s.stats; st != nil {
+		st.Aborts.Add(1)
+	}
+	_ = tx.poison(err)
+}

@@ -1,0 +1,38 @@
+package stm
+
+import "sync/atomic"
+
+// lockedBit is the low bit of a versioned lock word. The remaining 63 bits
+// hold the version of the last committed write to the cell.
+const lockedBit uint64 = 1
+
+// vlock is a TL2 versioned lock: version<<1 | lockedBit. The zero value is
+// version 0, unlocked, which is a valid initial state (the global clock also
+// starts at 0, so version-0 cells validate against any transaction).
+type vlock struct {
+	w atomic.Uint64
+}
+
+// sample returns the current version and whether the lock is held.
+func (l *vlock) sample() (ver uint64, locked bool) {
+	w := l.w.Load()
+	return w >> 1, w&lockedBit != 0
+}
+
+// tryLock attempts to acquire the lock given the version observed by a prior
+// sample. It preserves the version bits so that readers validating against
+// the recorded version still match while the lock is held.
+func (l *vlock) tryLock(ver uint64) bool {
+	return l.w.CompareAndSwap(ver<<1, ver<<1|lockedBit)
+}
+
+// unlockTo releases the lock, publishing newVer as the cell's version.
+func (l *vlock) unlockTo(newVer uint64) {
+	l.w.Store(newVer << 1)
+}
+
+// unlockRestore releases the lock without changing the version, used when a
+// commit aborts after acquiring some of its write locks.
+func (l *vlock) unlockRestore(ver uint64) {
+	l.w.Store(ver << 1)
+}

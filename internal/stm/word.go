@@ -1,0 +1,70 @@
+package stm
+
+import "sync/atomic"
+
+// Word is a transactional 64-bit unsigned integer cell. The zero value holds
+// 0 at version 0 and is ready to use. The Leap-List stores each node's live
+// flag in a Word.
+type Word struct {
+	l vlock
+	v atomic.Uint64
+}
+
+// Init sets the cell's value without synchronization or version bump. It
+// may only be used before the cell is reachable by other goroutines.
+func (w *Word) Init(v uint64) {
+	w.v.Store(v)
+}
+
+// Load returns the cell's value inside tx, recording the read for commit
+// validation. The returned error wraps ErrConflict when a concurrent commit
+// interferes; the caller must abandon the transaction.
+func (w *Word) Load(tx *Tx) (uint64, error) {
+	if err := tx.usable(); err != nil {
+		return 0, err
+	}
+	if i := tx.findWrite(&w.l); i >= 0 {
+		return tx.writes[i].val, nil
+	}
+	var val uint64
+	if _, err := tx.readVersioned(&w.l, func() { val = w.v.Load() }); err != nil {
+		return 0, err
+	}
+	return val, nil
+}
+
+// Store buffers a write of v into the cell; the write becomes visible only
+// if tx commits.
+func (w *Word) Store(tx *Tx, v uint64) error {
+	if err := tx.usable(); err != nil {
+		return err
+	}
+	if i := tx.findWrite(&w.l); i >= 0 {
+		tx.writes[i].val = v
+		return nil
+	}
+	tx.writes = append(tx.writes, writeEntry{l: &w.l, word: w, val: v})
+	return nil
+}
+
+// Peek returns the latest committed value without joining any transaction.
+// This STM buffers writes until commit, so the cell never holds tentative
+// data and a single atomic load is a linearizable read of the cell.
+func (w *Word) Peek() uint64 {
+	return w.v.Load()
+}
+
+// DirectStore writes v without a transaction and without bumping the cell's
+// version. It is only correct under an external protocol that excludes
+// concurrent transactional writes to this cell — in this repository, the
+// Leap-LT release postfix writing cells whose enclosing node it has marked
+// or not yet published. See the package documentation.
+func (w *Word) DirectStore(v uint64) {
+	w.v.Store(v)
+}
+
+// Version returns the cell's current version and lock state; used by tests
+// and invariant checkers.
+func (w *Word) Version() (ver uint64, locked bool) {
+	return w.l.sample()
+}

@@ -1,0 +1,138 @@
+// Package trie implements the immutable bitwise trie embedded in every
+// Leap-List node, after the String B-tree of Ferragina and Grossi: given a
+// node's sorted array of up to K keys, the trie maps a key to its index in
+// that array in O(number of distinguishing bits) without binary search.
+//
+// The trie is a path-compressed binary (crit-bit) trie over the big-endian
+// bits of the uint64 keys, using the minimal number of levels needed to
+// separate the keys present — the paper's "minimal number of levels to
+// represent all the keys in the node". Because skipped bits are not
+// re-checked during descent, a lookup for an absent key can land on an
+// arbitrary leaf; callers must confirm the key at the returned index, which
+// the Leap-List does against its keys array (the paper's NOT_FOUND check).
+//
+// A built Trie is immutable and safe for concurrent readers, matching the
+// immutability of the node it is embedded in.
+package trie
+
+import "math/bits"
+
+// NotFound is returned by Lookup when the trie is empty. For non-empty
+// tries Lookup always returns some candidate index; absence is detected by
+// the caller's key comparison.
+const NotFound = -1
+
+// node is one internal trie node in the flattened pool. Children encode
+// leaves as ^index (negative values), internal nodes as pool offsets.
+type node struct {
+	bit         uint8 // bit position tested, 63 = MSB ... 0 = LSB
+	left, right int32
+}
+
+// Trie is an immutable crit-bit trie from uint64 keys to array indexes.
+// The zero value is an empty trie.
+type Trie struct {
+	nodes []node
+	root  int32
+	n     int
+}
+
+// Build constructs a trie over keys, which must be sorted ascending and
+// duplicate-free; index i of the trie refers to keys[i]. Build panics if
+// the keys are not strictly increasing, because the Leap-List node
+// constructor guarantees that invariant and silently mis-built tries would
+// corrupt lookups.
+func Build(keys []uint64) *Trie {
+	t := &Trie{n: len(keys)}
+	if len(keys) == 0 {
+		t.root = int32(NotFound)
+		return t
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			panic("trie: keys must be strictly increasing")
+		}
+	}
+	if len(keys) > 1 {
+		t.nodes = make([]node, 0, len(keys)-1)
+	}
+	t.root = t.build(keys, 0, len(keys), 63)
+	return t
+}
+
+// build recursively splits keys[lo:hi) (all sharing the bits above topBit)
+// on the highest bit position at or below topBit that distinguishes them.
+func (t *Trie) build(keys []uint64, lo, hi, topBit int) int32 {
+	if hi-lo == 1 {
+		return int32(^lo) // leaf: complement of the index
+	}
+	// All keys in [lo, hi) share a prefix above their highest differing
+	// bit; since the slice is sorted, first and last differ maximally.
+	diff := keys[lo] ^ keys[hi-1]
+	bit := 63 - bits.LeadingZeros64(diff)
+	_ = topBit
+	// Partition point: first key with the bit set. Binary search keeps
+	// construction O(K log K) even for adversarial key sets.
+	cut := lo + 1
+	{
+		lo2, hi2 := lo, hi
+		mask := uint64(1) << uint(bit)
+		for lo2 < hi2 {
+			mid := int(uint(lo2+hi2) >> 1)
+			if keys[mid]&mask == 0 {
+				lo2 = mid + 1
+			} else {
+				hi2 = mid
+			}
+		}
+		cut = lo2
+	}
+	idx := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{bit: uint8(bit)})
+	left := t.build(keys, lo, cut, bit-1)
+	right := t.build(keys, cut, hi, bit-1)
+	t.nodes[idx].left = left
+	t.nodes[idx].right = right
+	return idx
+}
+
+// Lookup returns the candidate index for key: the index of the only key in
+// the backing array that can equal it. The caller must verify
+// keys[idx] == key. Returns NotFound for an empty trie.
+func (t *Trie) Lookup(key uint64) int {
+	cur := t.root
+	if t.n == 0 {
+		return NotFound
+	}
+	for cur >= 0 {
+		nd := &t.nodes[cur]
+		if key&(1<<uint(nd.bit)) == 0 {
+			cur = nd.left
+		} else {
+			cur = nd.right
+		}
+	}
+	return int(^cur)
+}
+
+// Len returns the number of keys the trie was built over.
+func (t *Trie) Len() int {
+	return t.n
+}
+
+// Depth returns the maximum number of bit tests any lookup performs —
+// the paper's "number of levels". Zero for empty and single-key tries.
+func (t *Trie) Depth() int {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	return t.depth(t.root)
+}
+
+func (t *Trie) depth(cur int32) int {
+	if cur < 0 {
+		return 0
+	}
+	nd := &t.nodes[cur]
+	return 1 + max(t.depth(nd.left), t.depth(nd.right))
+}

@@ -1,0 +1,198 @@
+package trie
+
+import (
+	"math/rand/v2"
+	"slices"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	tr := Build(nil)
+	if got := tr.Lookup(5); got != NotFound {
+		t.Fatalf("Lookup on empty = %d, want NotFound", got)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+	if tr.Depth() != 0 {
+		t.Fatalf("Depth = %d, want 0", tr.Depth())
+	}
+}
+
+func TestZeroValueTrie(t *testing.T) {
+	var tr Trie
+	if got := tr.Lookup(0); got != NotFound {
+		t.Fatalf("Lookup on zero-value trie = %d, want NotFound", got)
+	}
+}
+
+func TestSingleKey(t *testing.T) {
+	tr := Build([]uint64{42})
+	if got := tr.Lookup(42); got != 0 {
+		t.Fatalf("Lookup(42) = %d, want 0", got)
+	}
+	// Absent keys still return the lone candidate; caller verifies.
+	if got := tr.Lookup(7); got != 0 {
+		t.Fatalf("Lookup(7) = %d, want candidate 0", got)
+	}
+	if tr.Depth() != 0 {
+		t.Fatalf("Depth = %d, want 0", tr.Depth())
+	}
+}
+
+func TestKnownKeySets(t *testing.T) {
+	tests := []struct {
+		name string
+		keys []uint64
+	}{
+		{"dense small", []uint64{0, 1, 2, 3, 4, 5, 6, 7}},
+		{"sparse", []uint64{3, 4, 7, 9, 11, 22, 30, 50}}, // the paper's Figure 1 keys
+		{"powers of two", []uint64{1, 2, 4, 8, 16, 32, 64, 128, 256}},
+		{"adjacent high bits", []uint64{1 << 62, 1<<62 + 1, 1 << 63, 1<<63 + 1}},
+		{"extremes", []uint64{0, 1, 1<<64 - 2, 1<<64 - 1}},
+		{"two keys differing in LSB", []uint64{10, 11}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := Build(tc.keys)
+			if tr.Len() != len(tc.keys) {
+				t.Fatalf("Len = %d, want %d", tr.Len(), len(tc.keys))
+			}
+			for i, k := range tc.keys {
+				if got := tr.Lookup(k); got != i {
+					t.Errorf("Lookup(%d) = %d, want %d", k, got, i)
+				}
+			}
+		})
+	}
+}
+
+func TestAbsentKeysReturnInRangeCandidate(t *testing.T) {
+	keys := []uint64{10, 20, 30, 40, 50}
+	tr := Build(keys)
+	for probe := uint64(0); probe < 64; probe++ {
+		idx := tr.Lookup(probe)
+		if idx < 0 || idx >= len(keys) {
+			t.Fatalf("Lookup(%d) = %d, out of range", probe, idx)
+		}
+		if slices.Contains(keys, probe) && keys[idx] != probe {
+			t.Fatalf("Lookup(%d) = index %d (key %d), want exact match", probe, idx, keys[idx])
+		}
+	}
+}
+
+func TestBuildPanicsOnUnsorted(t *testing.T) {
+	for _, keys := range [][]uint64{{2, 1}, {1, 1}, {5, 3, 9}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Build(%v) did not panic", keys)
+				}
+			}()
+			Build(keys)
+		}()
+	}
+}
+
+func TestDepthIsMinimal(t *testing.T) {
+	// Keys differing only in one bit need exactly one level regardless of
+	// their magnitude — the "minimal number of levels" property.
+	tr := Build([]uint64{1 << 40, 1<<40 | 1})
+	if got := tr.Depth(); got != 1 {
+		t.Fatalf("Depth = %d, want 1", got)
+	}
+	// 2^d dense keys need exactly d levels.
+	keys := make([]uint64, 16)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	tr = Build(keys)
+	if got := tr.Depth(); got != 4 {
+		t.Fatalf("Depth = %d, want 4", got)
+	}
+}
+
+func TestLargeNodeSize(t *testing.T) {
+	// The paper's node size is 300; verify a trie of that size exactly.
+	keys := make([]uint64, 300)
+	r := rand.New(rand.NewPCG(1, 2))
+	seen := map[uint64]bool{}
+	for i := 0; i < len(keys); {
+		k := r.Uint64N(1_000_000)
+		if !seen[k] {
+			seen[k] = true
+			keys[i] = k
+			i++
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	tr := Build(keys)
+	for i, k := range keys {
+		if got := tr.Lookup(k); got != i {
+			t.Fatalf("Lookup(%d) = %d, want %d", k, got, i)
+		}
+	}
+}
+
+// TestQuickAgainstBinarySearch is the property-based oracle test: for any
+// random key set, trie lookup of a present key equals its sorted index, and
+// lookup of any probe returns an index whose verification correctly decides
+// membership.
+func TestQuickAgainstBinarySearch(t *testing.T) {
+	f := func(raw []uint64, probes []uint64) bool {
+		slices.Sort(raw)
+		keys := slices.Compact(raw)
+		tr := Build(keys)
+		for _, k := range keys {
+			want, _ := slices.BinarySearch(keys, k)
+			if tr.Lookup(k) != want {
+				return false
+			}
+		}
+		for _, p := range probes {
+			idx := tr.Lookup(p)
+			_, present := slices.BinarySearch(keys, p)
+			if len(keys) == 0 {
+				if idx != NotFound {
+					return false
+				}
+				continue
+			}
+			if idx < 0 || idx >= len(keys) {
+				return false
+			}
+			if present != (keys[idx] == p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTrieLookup300(b *testing.B) {
+	keys := make([]uint64, 300)
+	for i := range keys {
+		keys[i] = uint64(i) * 337
+	}
+	tr := Build(keys)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Lookup(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkBinarySearch300(b *testing.B) {
+	keys := make([]uint64, 300)
+	for i := range keys {
+		keys[i] = uint64(i) * 337
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = slices.BinarySearch(keys, keys[i%len(keys)])
+	}
+}

@@ -1,0 +1,135 @@
+// Package workload generates the operation streams of the paper's
+// evaluation (§3): mixes of lookups, range queries and modifications
+// (updates and removes in equal parts) over a uniform key space, with
+// range-query spans drawn uniformly from [1000, 2000].
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Op is one generated operation kind.
+type Op int
+
+const (
+	OpLookup Op = iota
+	OpRange
+	OpUpdate
+	OpRemove
+)
+
+// String returns the operation name.
+func (o Op) String() string {
+	switch o {
+	case OpLookup:
+		return "lookup"
+	case OpRange:
+		return "range-query"
+	case OpUpdate:
+		return "update"
+	case OpRemove:
+		return "remove"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Mix is an operation mixture in percent. Modify is split evenly between
+// updates and removes, following the paper's "modifications (updates and
+// removes)" convention.
+type Mix struct {
+	LookupPct int
+	RangePct  int
+	ModifyPct int
+}
+
+// Validate checks the mix sums to 100 with no negative parts.
+func (m Mix) Validate() error {
+	if m.LookupPct < 0 || m.RangePct < 0 || m.ModifyPct < 0 {
+		return fmt.Errorf("workload: negative percentage in mix %+v", m)
+	}
+	if sum := m.LookupPct + m.RangePct + m.ModifyPct; sum != 100 {
+		return fmt.Errorf("workload: mix sums to %d, want 100", sum)
+	}
+	return nil
+}
+
+// String renders the mix as the paper captions do.
+func (m Mix) String() string {
+	return fmt.Sprintf("%d%% lookup, %d%% range-query, %d%% modify",
+		m.LookupPct, m.RangePct, m.ModifyPct)
+}
+
+// Config parameterizes a generator.
+type Config struct {
+	Mix      Mix
+	KeySpace uint64 // keys are uniform in [0, KeySpace)
+	RangeMin uint64 // minimum range-query span (paper: 1000)
+	RangeMax uint64 // maximum range-query span (paper: 2000)
+	Seed     uint64
+}
+
+// Generator produces a deterministic operation stream for one worker.
+// Not safe for concurrent use; give each worker its own.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// NewGenerator validates cfg and builds a generator.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if err := cfg.Mix.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.KeySpace == 0 {
+		return nil, fmt.Errorf("workload: zero key space")
+	}
+	if cfg.RangeMin > cfg.RangeMax {
+		return nil, fmt.Errorf("workload: range span [%d,%d] inverted", cfg.RangeMin, cfg.RangeMax)
+	}
+	return &Generator{
+		cfg: cfg,
+		rng: rand.New(rand.NewPCG(cfg.Seed, 0x9e3779b97f4a7c15)),
+	}, nil
+}
+
+// Next draws one operation. For OpLookup/OpUpdate/OpRemove, key and val are
+// set; for OpRange, lo/hi bound the query.
+func (g *Generator) Next() (op Op, key, val, lo, hi uint64) {
+	p := g.rng.IntN(100)
+	switch {
+	case p < g.cfg.Mix.LookupPct:
+		op = OpLookup
+		key = g.rng.Uint64N(g.cfg.KeySpace)
+	case p < g.cfg.Mix.LookupPct+g.cfg.Mix.RangePct:
+		op = OpRange
+		span := g.cfg.RangeMin
+		if g.cfg.RangeMax > g.cfg.RangeMin {
+			span += g.rng.Uint64N(g.cfg.RangeMax - g.cfg.RangeMin + 1)
+		}
+		lo = g.rng.Uint64N(g.cfg.KeySpace)
+		hi = lo + span
+	default:
+		// Modifications split evenly between update and remove.
+		if g.rng.IntN(2) == 0 {
+			op = OpUpdate
+			key = g.rng.Uint64N(g.cfg.KeySpace)
+			val = g.rng.Uint64()
+		} else {
+			op = OpRemove
+			key = g.rng.Uint64N(g.cfg.KeySpace)
+		}
+	}
+	return op, key, val, lo, hi
+}
+
+// Key draws a uniform key; exposed for batch filling.
+func (g *Generator) Key() uint64 {
+	return g.rng.Uint64N(g.cfg.KeySpace)
+}
+
+// Value draws a value.
+func (g *Generator) Value() uint64 {
+	return g.rng.Uint64()
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMixValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mix     Mix
+		wantErr bool
+	}{
+		{"all modify", Mix{ModifyPct: 100}, false},
+		{"paper read mix", Mix{LookupPct: 40, RangePct: 40, ModifyPct: 20}, false},
+		{"sums low", Mix{LookupPct: 50}, true},
+		{"sums high", Mix{LookupPct: 60, RangePct: 60}, true},
+		{"negative", Mix{LookupPct: -10, ModifyPct: 110}, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.mix.Validate(); (err != nil) != tc.wantErr {
+				t.Fatalf("Validate(%+v) = %v, wantErr=%v", tc.mix, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestGeneratorRejectsBadConfig(t *testing.T) {
+	if _, err := NewGenerator(Config{Mix: Mix{ModifyPct: 100}}); err == nil {
+		t.Fatal("zero key space accepted")
+	}
+	if _, err := NewGenerator(Config{Mix: Mix{ModifyPct: 90}, KeySpace: 10}); err == nil {
+		t.Fatal("invalid mix accepted")
+	}
+	if _, err := NewGenerator(Config{Mix: Mix{ModifyPct: 100}, KeySpace: 10, RangeMin: 5, RangeMax: 1}); err == nil {
+		t.Fatal("inverted span accepted")
+	}
+}
+
+func TestGeneratorDistribution(t *testing.T) {
+	mix := Mix{LookupPct: 40, RangePct: 40, ModifyPct: 20}
+	g, err := NewGenerator(Config{Mix: mix, KeySpace: 100_000, RangeMin: 1000, RangeMax: 2000, Seed: 1})
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	const n = 100_000
+	counts := map[Op]int{}
+	for i := 0; i < n; i++ {
+		op, key, _, lo, hi := g.Next()
+		counts[op]++
+		switch op {
+		case OpRange:
+			span := hi - lo
+			if span < 1000 || span > 2000 {
+				t.Fatalf("range span %d outside [1000,2000]", span)
+			}
+			if lo >= 100_000 {
+				t.Fatalf("range lo %d outside key space", lo)
+			}
+		default:
+			if key >= 100_000 {
+				t.Fatalf("key %d outside key space", key)
+			}
+		}
+	}
+	check := func(op Op, wantPct float64) {
+		got := 100 * float64(counts[op]) / n
+		if math.Abs(got-wantPct) > 1.5 {
+			t.Errorf("%v: %.1f%%, want ~%.0f%%", op, got, wantPct)
+		}
+	}
+	check(OpLookup, 40)
+	check(OpRange, 40)
+	check(OpUpdate, 10)
+	check(OpRemove, 10)
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	cfg := Config{Mix: Mix{LookupPct: 50, ModifyPct: 50}, KeySpace: 1000, RangeMin: 1, RangeMax: 2, Seed: 42}
+	g1, _ := NewGenerator(cfg)
+	g2, _ := NewGenerator(cfg)
+	for i := 0; i < 1000; i++ {
+		op1, k1, v1, lo1, hi1 := g1.Next()
+		op2, k2, v2, lo2, hi2 := g2.Next()
+		if op1 != op2 || k1 != k2 || v1 != v2 || lo1 != lo2 || hi1 != hi2 {
+			t.Fatalf("streams diverge at %d", i)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op, want := range map[Op]string{
+		OpLookup: "lookup", OpRange: "range-query",
+		OpUpdate: "update", OpRemove: "remove", Op(9): "Op(9)",
+	} {
+		if got := op.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", int(op), got, want)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package leaplist
+
+// Iterator walks a key interval in ascending order by taking consecutive
+// range-query snapshots of bounded size. Each chunk is internally
+// consistent (a linearizable snapshot, like Range); across chunk
+// boundaries the iteration is fuzzy in the usual sense of concurrent
+// ordered-map iterators: keys inserted behind the cursor are not
+// revisited, keys inserted ahead may or may not appear. Unlike holding a
+// lock or one giant transaction, iteration cost to writers is zero.
+//
+// A zero chunk size defaults to twice the map's node capacity, so each
+// refill costs roughly two node visits.
+type Iterator[V any] struct {
+	m       *Map[V]
+	hi      uint64
+	nextKey uint64
+	chunk   int
+	buf     []KV[V]
+	pos     int
+	done    bool
+}
+
+// Iter returns an iterator over [lo, hi].
+func (m *Map[V]) Iter(lo, hi uint64) *Iterator[V] {
+	chunk := 2 * m.group.inner.Config().NodeSize
+	if chunk <= 0 {
+		chunk = 64
+	}
+	it := &Iterator[V]{m: m, hi: hi, nextKey: lo, chunk: chunk}
+	if lo > hi || lo > MaxKey {
+		it.done = true
+	}
+	return it
+}
+
+// Next returns the next pair; ok is false when the interval is exhausted.
+func (it *Iterator[V]) Next() (kv KV[V], ok bool) {
+	for {
+		if it.pos < len(it.buf) {
+			kv = it.buf[it.pos]
+			it.pos++
+			return kv, true
+		}
+		if it.done {
+			return KV[V]{}, false
+		}
+		it.refill()
+	}
+}
+
+// refill takes the next snapshot chunk starting at nextKey.
+func (it *Iterator[V]) refill() {
+	it.buf = it.buf[:0]
+	it.pos = 0
+	it.m.Range(it.nextKey, it.hi, func(k uint64, v V) bool {
+		it.buf = append(it.buf, KV[V]{Key: k, Value: v})
+		return len(it.buf) < it.chunk
+	})
+	if len(it.buf) == 0 {
+		it.done = true
+		return
+	}
+	last := it.buf[len(it.buf)-1].Key
+	if last >= it.hi || last == MaxKey {
+		it.done = true
+		return
+	}
+	it.nextKey = last + 1
+}
+
+// Collect drains the iterator into a slice.
+func (it *Iterator[V]) Collect() []KV[V] {
+	var out []KV[V]
+	for {
+		kv, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, kv)
+	}
+}

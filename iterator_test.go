@@ -1,0 +1,140 @@
+package leaplist
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestIteratorBasics(t *testing.T) {
+	m := New[uint64](WithNodeSize(4)) // chunk = 8, forces many refills
+	const n = 100
+	for i := uint64(0); i < n; i++ {
+		if err := m.Set(i*2, i); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+	}
+	it := m.Iter(0, MaxKey)
+	var got []uint64
+	for {
+		kv, ok := it.Next()
+		if !ok {
+			break
+		}
+		got = append(got, kv.Key)
+		if kv.Value != kv.Key/2 {
+			t.Fatalf("value for %d = %d", kv.Key, kv.Value)
+		}
+	}
+	if len(got) != n {
+		t.Fatalf("iterated %d keys, want %d", len(got), n)
+	}
+	for i, k := range got {
+		if k != uint64(i*2) {
+			t.Fatalf("got[%d] = %d, want %d", i, k, i*2)
+		}
+	}
+}
+
+func TestIteratorBounds(t *testing.T) {
+	m := New[int](WithNodeSize(4))
+	for i := uint64(10); i <= 50; i += 10 {
+		if err := m.Set(i, int(i)); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+	}
+	tests := []struct {
+		name   string
+		lo, hi uint64
+		want   int
+	}{
+		{"interior", 15, 45, 3},
+		{"exact", 10, 50, 5},
+		{"empty", 51, 100, 0},
+		{"inverted", 40, 20, 0},
+		{"single", 30, 30, 1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := len(m.Iter(tc.lo, tc.hi).Collect()); got != tc.want {
+				t.Fatalf("Collect [%d,%d] = %d pairs, want %d", tc.lo, tc.hi, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestIteratorEmptyMap(t *testing.T) {
+	m := New[int]()
+	if _, ok := m.Iter(0, MaxKey).Next(); ok {
+		t.Fatal("Next on empty map returned ok")
+	}
+}
+
+func TestIteratorMaxKeyBoundary(t *testing.T) {
+	m := New[int]()
+	if err := m.Set(MaxKey, 1); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	got := m.Iter(MaxKey, MaxKey).Collect()
+	if len(got) != 1 || got[0].Key != MaxKey {
+		t.Fatalf("Collect = %v", got)
+	}
+	// An iterator starting beyond MaxKey terminates immediately.
+	if _, ok := m.Iter(MaxKey+1, MaxKey+1).Next(); ok {
+		t.Fatal("iterator beyond MaxKey returned a pair")
+	}
+}
+
+// TestIteratorUnderConcurrentWrites checks the documented fuzziness
+// contract: keys present for the whole iteration must appear exactly once,
+// in order.
+func TestIteratorUnderConcurrentWrites(t *testing.T) {
+	m := New[uint64](WithNodeSize(8))
+	// Stable keys: even numbers; churn keys: odd numbers.
+	const n = 2000
+	for i := uint64(0); i < n; i += 2 {
+		if err := m.Set(i, i); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		k := uint64(1)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = m.Set(k, k)
+			_, _ = m.Delete(k)
+			k = (k + 2) % n
+		}
+	}()
+	for round := 0; round < 20; round++ {
+		var prev uint64
+		first := true
+		evens := 0
+		it := m.Iter(0, n)
+		for {
+			kv, ok := it.Next()
+			if !ok {
+				break
+			}
+			if !first && kv.Key <= prev {
+				t.Fatalf("iteration out of order: %d after %d", kv.Key, prev)
+			}
+			prev, first = kv.Key, false
+			if kv.Key%2 == 0 {
+				evens++
+			}
+		}
+		if evens != n/2 {
+			t.Fatalf("round %d: saw %d stable keys, want %d", round, evens, n/2)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

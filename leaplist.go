@@ -1,0 +1,281 @@
+// Package leaplist is a concurrent ordered map with linearizable range
+// queries, implementing the Leap-List of Avni, Shavit and Suissa
+// ("Leaplist: Lessons Learned in Designing TM-Supported Range Queries",
+// PODC 2013).
+//
+// A Leap-List is a skip-list whose nodes are "fat": each node holds up to K
+// immutable key-value pairs from a contiguous key range plus an embedded
+// bitwise trie for in-node lookup. Point lookups cost O(log n) like a
+// skip-list or balanced tree, but collecting a range is ~K times cheaper
+// per key than a per-node skip-list scan — and, unlike the usual lock-free
+// alternatives, the result is a consistent snapshot.
+//
+// # Maps and groups
+//
+// A Map is one ordered uint64 → V dictionary. Maps created from the same
+// Group share a software-transactional-memory domain, and SetMany /
+// DeleteMany apply one key per map as a single atomic (linearizable)
+// operation across all of them — the paper's composed updates over L lists,
+// intended for keeping multiple database indexes coherent:
+//
+//	g := leaplist.NewGroup[string]()
+//	byID, byTime := g.NewMap(), g.NewMap()
+//	err := g.SetMany([]*leaplist.Map[string]{byID, byTime},
+//	    []uint64{id, timestamp}, []string{payload, payload})
+//
+// Single-map usage needs no group:
+//
+//	m := leaplist.New[string]()
+//	_ = m.Set(42, "hello")
+//	v, ok := m.Get(42)
+//	m.Range(40, 50, func(k uint64, v string) bool { return true })
+//
+// # Synchronization variants
+//
+// The package ships the four synchronization protocols the paper evaluates
+// (see WithVariant): LT — the paper's contribution, Locking Transactions
+// over a consistency-oblivious search, the default and fastest; TM —
+// whole-operation transactions; COP — transactional validation+write after
+// an uninstrumented search; RWLock — a per-map reader-writer lock. All
+// variants provide the same linearizable semantics; they differ only in
+// cost profile, reproduced by the benchmark suite in this repository.
+//
+// # Keys
+//
+// Keys are uint64 in [0, 2^64-2]; 2^64-1 is reserved and rejected with
+// ErrKeyRange. Values are arbitrary; the structure stores them immutably
+// per version (an overwrite replaces the pair, never mutates it), which is
+// what makes range-query snapshots zero-coordination reads.
+package leaplist
+
+import (
+	"leaplist/internal/core"
+	"leaplist/internal/epoch"
+	"leaplist/internal/stm"
+)
+
+// Variant selects the synchronization protocol of a Group.
+type Variant = core.Variant
+
+// Synchronization variants, named as in the paper.
+const (
+	// LT uses Locking Transactions (the paper's Leap-LT): zero-transaction
+	// lookups, one short transaction per modification. The default.
+	LT = core.VariantLT
+	// TM wraps every operation in one STM transaction (Leap-tm).
+	TM = core.VariantTM
+	// COP validates an uninstrumented search inside a transaction that
+	// also performs the writes (Leap-COP).
+	COP = core.VariantCOP
+	// RWLock serializes each map with a reader-writer lock (Leap-rwlock).
+	RWLock = core.VariantRW
+)
+
+// MaxKey is the largest storable key.
+const MaxKey = core.MaxKey
+
+// Errors surfaced by the API; all originate in the core package.
+var (
+	ErrKeyRange      = core.ErrKeyRange
+	ErrBatchMismatch = core.ErrBatchMismatch
+	ErrForeignMap    = core.ErrForeignList
+	ErrDuplicateMap  = core.ErrDuplicateList
+	ErrEmptyBatch    = core.ErrEmptyBatch
+)
+
+// KV is one key-value pair, as returned by Collect.
+type KV[V any] struct {
+	Key   uint64
+	Value V
+}
+
+// Option configures a Group (or the implicit group of New).
+type Option func(*options)
+
+type options struct {
+	nodeSize  int
+	maxLevel  int
+	variant   Variant
+	stats     bool
+	collector *epoch.Collector
+}
+
+// WithNodeSize sets K, the maximum pairs per node (default 300, the
+// paper's experimentally chosen value). Larger K cheapens range queries
+// and taxes updates, which copy a node per write.
+func WithNodeSize(k int) Option {
+	return func(o *options) { o.nodeSize = k }
+}
+
+// WithMaxLevel sets the maximum skip-list level (default 10, the paper's
+// value, suitable up to millions of keys at K=300).
+func WithMaxLevel(levels int) Option {
+	return func(o *options) { o.maxLevel = levels }
+}
+
+// WithVariant selects the synchronization protocol (default LT).
+func WithVariant(v Variant) Option {
+	return func(o *options) { o.variant = v }
+}
+
+// WithSTMStats enables commit/abort counting on the group's STM domain,
+// readable through Group.STMStats.
+func WithSTMStats(enabled bool) Option {
+	return func(o *options) { o.stats = enabled }
+}
+
+// WithCollector routes replaced nodes through an epoch collector, exposing
+// the reclamation accounting of the paper's allocator; optional.
+func WithCollector(c *epoch.Collector) Option {
+	return func(o *options) { o.collector = c }
+}
+
+// Group is a family of Maps sharing one STM domain; cross-map batches are
+// atomic only within one group.
+type Group[V any] struct {
+	inner *core.Group[V]
+	stm   *stm.STM
+}
+
+// NewGroup creates an empty group.
+func NewGroup[V any](opts ...Option) *Group[V] {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	var stmOpts []stm.Option
+	if o.stats {
+		stmOpts = append(stmOpts, stm.WithStats(true))
+	}
+	domain := stm.New(stmOpts...)
+	inner := core.NewGroup[V](core.Config{
+		NodeSize:  o.nodeSize,
+		MaxLevel:  o.maxLevel,
+		Variant:   o.variant,
+		Collector: o.collector,
+	}, domain)
+	return &Group[V]{inner: inner, stm: domain}
+}
+
+// NewMap creates an empty map in the group.
+func (g *Group[V]) NewMap() *Map[V] {
+	return &Map[V]{list: g.inner.NewList(), group: g}
+}
+
+// SetMany atomically performs ms[j][ks[j]] = vs[j] for every j: either all
+// assignments are visible or none. The maps must be distinct members of
+// this group.
+func (g *Group[V]) SetMany(ms []*Map[V], ks []uint64, vs []V) error {
+	ls, err := g.lists(ms)
+	if err != nil {
+		return err
+	}
+	return g.inner.Update(ls, ks, vs)
+}
+
+// DeleteMany atomically deletes ks[j] from ms[j] for every j, returning
+// per-map whether the key was present.
+func (g *Group[V]) DeleteMany(ms []*Map[V], ks []uint64) ([]bool, error) {
+	ls, err := g.lists(ms)
+	if err != nil {
+		return nil, err
+	}
+	changed := make([]bool, len(ms))
+	if err := g.inner.Remove(ls, ks, changed); err != nil {
+		return nil, err
+	}
+	return changed, nil
+}
+
+// STMStats returns the group's STM counters (zero unless WithSTMStats).
+func (g *Group[V]) STMStats() stm.StatsSnapshot {
+	return g.stm.Stats()
+}
+
+func (g *Group[V]) lists(ms []*Map[V]) ([]*core.List[V], error) {
+	ls := make([]*core.List[V], len(ms))
+	for i, m := range ms {
+		if m == nil || m.group != g {
+			return nil, ErrForeignMap
+		}
+		ls[i] = m.list
+	}
+	return ls, nil
+}
+
+// Map is one concurrent ordered dictionary. All methods are safe for
+// concurrent use; Get, Range and Collect are linearizable with respect to
+// Set and Delete.
+type Map[V any] struct {
+	list  *core.List[V]
+	group *Group[V]
+}
+
+// New creates a standalone map with a private group.
+func New[V any](opts ...Option) *Map[V] {
+	return NewGroup[V](opts...).NewMap()
+}
+
+// Group returns the map's group.
+func (m *Map[V]) Group() *Group[V] {
+	return m.group
+}
+
+// Set inserts or overwrites key k with value v.
+func (m *Map[V]) Set(k uint64, v V) error {
+	return m.list.Set(k, v)
+}
+
+// Get returns the value stored under k.
+func (m *Map[V]) Get(k uint64) (V, bool) {
+	return m.list.Lookup(k)
+}
+
+// Delete removes k, reporting whether it was present.
+func (m *Map[V]) Delete(k uint64) (bool, error) {
+	return m.list.Delete(k)
+}
+
+// Range streams one consistent snapshot of every pair with key in
+// [lo, hi], in ascending key order, stopping early if fn returns false.
+// The snapshot is taken before the first fn call, so fn may be slow, may
+// call back into the map, and always observes a state that existed at one
+// linearization instant.
+func (m *Map[V]) Range(lo, hi uint64, fn func(k uint64, v V) bool) {
+	stopped := false
+	m.list.RangeQuery(lo, hi, func(k uint64, v V) {
+		if stopped {
+			return
+		}
+		if !fn(k, v) {
+			stopped = true
+		}
+	})
+}
+
+// Count returns the number of keys in [lo, hi] at one linearization
+// instant.
+func (m *Map[V]) Count(lo, hi uint64) int {
+	return m.list.RangeQuery(lo, hi, nil)
+}
+
+// Collect returns one consistent snapshot of [lo, hi] as a slice.
+func (m *Map[V]) Collect(lo, hi uint64) []KV[V] {
+	var out []KV[V]
+	m.list.RangeQuery(lo, hi, func(k uint64, v V) {
+		out = append(out, KV[V]{Key: k, Value: v})
+	})
+	return out
+}
+
+// Len returns the total number of keys; it traverses the node list
+// (O(n/K) node visits) and is not linearizable with concurrent writers.
+func (m *Map[V]) Len() int {
+	return m.list.Len()
+}
+
+// BulkLoad fills an empty, unshared map from sorted, strictly increasing
+// keys; the fast path for benchmark and startup loading.
+func (m *Map[V]) BulkLoad(keys []uint64, vals []V) error {
+	return m.list.BulkLoad(keys, vals)
+}

@@ -1,0 +1,226 @@
+package leaplist
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"leaplist/internal/epoch"
+)
+
+func TestMapBasics(t *testing.T) {
+	for _, v := range []Variant{LT, TM, COP, RWLock} {
+		t.Run(v.String(), func(t *testing.T) {
+			m := New[string](WithVariant(v), WithNodeSize(8), WithMaxLevel(6))
+			if err := m.Set(1, "one"); err != nil {
+				t.Fatalf("Set: %v", err)
+			}
+			if got, ok := m.Get(1); !ok || got != "one" {
+				t.Fatalf("Get = (%q, %v)", got, ok)
+			}
+			if _, ok := m.Get(2); ok {
+				t.Fatal("Get(2) on absent key")
+			}
+			if changed, err := m.Delete(1); err != nil || !changed {
+				t.Fatalf("Delete = (%v, %v)", changed, err)
+			}
+			if m.Len() != 0 {
+				t.Fatalf("Len = %d", m.Len())
+			}
+		})
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	m := New[uint64](WithNodeSize(4))
+	for i := uint64(0); i < 20; i++ {
+		if err := m.Set(i, i); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+	}
+	var seen []uint64
+	m.Range(0, 19, func(k uint64, v uint64) bool {
+		seen = append(seen, k)
+		return len(seen) < 5
+	})
+	if len(seen) != 5 {
+		t.Fatalf("early stop saw %d keys, want 5", len(seen))
+	}
+	for i, k := range seen {
+		if k != uint64(i) {
+			t.Fatalf("seen[%d] = %d", i, k)
+		}
+	}
+}
+
+func TestCollectAndCount(t *testing.T) {
+	m := New[int](WithNodeSize(4))
+	for i := uint64(10); i <= 30; i += 10 {
+		if err := m.Set(i, int(i)); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+	}
+	got := m.Collect(0, 100)
+	if len(got) != 3 || got[0].Key != 10 || got[2].Value != 30 {
+		t.Fatalf("Collect = %v", got)
+	}
+	if n := m.Count(15, 100); n != 2 {
+		t.Fatalf("Count = %d, want 2", n)
+	}
+}
+
+func TestGroupSetManyAtomic(t *testing.T) {
+	g := NewGroup[uint64](WithNodeSize(16))
+	m1, m2 := g.NewMap(), g.NewMap()
+	ms := []*Map[uint64]{m1, m2}
+
+	if err := g.SetMany(ms, []uint64{1, 2}, []uint64{10, 20}); err != nil {
+		t.Fatalf("SetMany: %v", err)
+	}
+	if v, ok := m1.Get(1); !ok || v != 10 {
+		t.Fatalf("m1.Get(1) = (%d, %v)", v, ok)
+	}
+	if v, ok := m2.Get(2); !ok || v != 20 {
+		t.Fatalf("m2.Get(2) = (%d, %v)", v, ok)
+	}
+	changed, err := g.DeleteMany(ms, []uint64{1, 2})
+	if err != nil || !changed[0] || !changed[1] {
+		t.Fatalf("DeleteMany = (%v, %v)", changed, err)
+	}
+}
+
+func TestGroupRejectsForeignMap(t *testing.T) {
+	g1 := NewGroup[uint64]()
+	g2 := NewGroup[uint64]()
+	m1, m2 := g1.NewMap(), g2.NewMap()
+	err := g1.SetMany([]*Map[uint64]{m1, m2}, []uint64{1, 2}, []uint64{1, 2})
+	if !errors.Is(err, ErrForeignMap) {
+		t.Fatalf("SetMany = %v, want ErrForeignMap", err)
+	}
+	if _, err := g1.DeleteMany([]*Map[uint64]{nil}, []uint64{1}); !errors.Is(err, ErrForeignMap) {
+		t.Fatalf("DeleteMany = %v, want ErrForeignMap", err)
+	}
+}
+
+func TestKeyRangeError(t *testing.T) {
+	m := New[int]()
+	if err := m.Set(MaxKey+1, 1); !errors.Is(err, ErrKeyRange) {
+		t.Fatalf("Set = %v, want ErrKeyRange", err)
+	}
+}
+
+func TestSTMStatsExposed(t *testing.T) {
+	g := NewGroup[int](WithSTMStats(true), WithVariant(TM))
+	m := g.NewMap()
+	if err := m.Set(1, 1); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if st := g.STMStats(); st.Commits == 0 {
+		t.Fatalf("stats = %+v, want commits > 0", st)
+	}
+}
+
+func TestCollectorIntegration(t *testing.T) {
+	c := epoch.NewCollector()
+	m := New[int](WithCollector(c), WithNodeSize(4))
+	for i := uint64(0); i < 10; i++ {
+		if err := m.Set(i, int(i)); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+	}
+	retired, _ := c.Counters()
+	if retired == 0 {
+		t.Fatal("no nodes retired through the collector")
+	}
+}
+
+func TestBulkLoadFacade(t *testing.T) {
+	m := New[uint64](WithNodeSize(8))
+	keys := make([]uint64, 100)
+	vals := make([]uint64, 100)
+	for i := range keys {
+		keys[i] = uint64(i * 2)
+		vals[i] = uint64(i)
+	}
+	if err := m.BulkLoad(keys, vals); err != nil {
+		t.Fatalf("BulkLoad: %v", err)
+	}
+	if m.Len() != 100 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if v, ok := m.Get(50); !ok || v != 25 {
+		t.Fatalf("Get(50) = (%d, %v)", v, ok)
+	}
+}
+
+func TestConcurrentFacadeUse(t *testing.T) {
+	m := New[uint64](WithNodeSize(32))
+	const workers = 8
+	iters := 2000
+	if testing.Short() {
+		iters = 200
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(seed, 1))
+			for i := 0; i < iters; i++ {
+				k := r.Uint64N(500)
+				switch r.IntN(4) {
+				case 0:
+					if err := m.Set(k, k); err != nil {
+						t.Errorf("Set: %v", err)
+						return
+					}
+				case 1:
+					if _, err := m.Delete(k); err != nil {
+						t.Errorf("Delete: %v", err)
+						return
+					}
+				case 2:
+					if v, ok := m.Get(k); ok && v != k {
+						t.Errorf("Get(%d) = %d", k, v)
+						return
+					}
+				default:
+					m.Range(k, k+50, func(k, v uint64) bool { return v == k })
+				}
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+}
+
+func ExampleMap() {
+	m := New[string]()
+	_ = m.Set(3, "three")
+	_ = m.Set(1, "one")
+	_ = m.Set(2, "two")
+	m.Range(1, 2, func(k uint64, v string) bool {
+		fmt.Println(k, v)
+		return true
+	})
+	// Output:
+	// 1 one
+	// 2 two
+}
+
+func ExampleGroup_SetMany() {
+	g := NewGroup[string]()
+	byID := g.NewMap()
+	byTime := g.NewMap()
+	// One atomic operation maintains both indexes.
+	_ = g.SetMany(
+		[]*Map[string]{byID, byTime},
+		[]uint64{7, 1700000000},
+		[]string{"order-7", "order-7"},
+	)
+	v, _ := byTime.Get(1700000000)
+	fmt.Println(v)
+	// Output:
+	// order-7
+}
