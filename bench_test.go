@@ -19,6 +19,7 @@ import (
 	"testing"
 	"time"
 
+	"leaplist"
 	"leaplist/internal/core"
 	"leaplist/internal/harness"
 	"leaplist/internal/workload"
@@ -250,6 +251,75 @@ func BenchmarkAblationTrieVsBinary(b *testing.B) {
 		tgt := leapBuilder(core.VariantLT, 1)()
 		runMixBench(b, tgt, mix100Lookup, benchInitSmall)
 	})
+}
+
+// ---- Mixed transactions (Group.Txn) ----
+
+// BenchmarkTxMixed measures the general transaction path: each committed
+// Tx stages two Sets on adjacent keys of one map (coalescing into one
+// node replacement), one Set on a second map, and one Delete on a third —
+// the mixed-shape batch the fixed SetMany/DeleteMany surface could not
+// express. Tracks the cost of coalesced node replacement per variant.
+func BenchmarkTxMixed(b *testing.B) {
+	for _, v := range []core.Variant{core.VariantLT, core.VariantCOP, core.VariantTM, core.VariantRW} {
+		b.Run(v.String(), func(b *testing.B) {
+			g := leaplist.NewGroup[uint64](
+				leaplist.WithVariant(v),
+				leaplist.WithNodeSize(harness.PaperNodeSize),
+				leaplist.WithMaxLevel(harness.PaperMaxLevel),
+			)
+			maps := [3]*leaplist.Map[uint64]{g.NewMap(), g.NewMap(), g.NewMap()}
+			keys := make([]uint64, benchInitSmall)
+			vals := make([]uint64, benchInitSmall)
+			for i := range keys {
+				keys[i], vals[i] = uint64(i), uint64(i)
+			}
+			for _, m := range maps {
+				if err := m.BulkLoad(keys, vals); err != nil {
+					b.Fatal(err)
+				}
+			}
+			keySpace := uint64(benchInitSmall)
+			var remaining atomic.Int64
+			remaining.Store(int64(b.N))
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			for w := 0; w < benchWorkers; w++ {
+				wg.Add(1)
+				go func(seed uint64) {
+					defer wg.Done()
+					gen, err := workload.NewGenerator(workload.Config{
+						Mix:      workload.Mix{ModifyPct: 100},
+						KeySpace: keySpace,
+						RangeMin: harness.PaperRangeMin,
+						RangeMax: harness.PaperRangeMax,
+						Seed:     seed,
+					})
+					if err != nil {
+						panic(err)
+					}
+					for remaining.Add(-1) >= 0 {
+						k := gen.Key()
+						tx := g.Txn()
+						tx.Set(maps[0], k, gen.Value())
+						tx.Set(maps[0], k+1, gen.Value()) // same map, adjacent key
+						tx.Set(maps[1], gen.Key(), gen.Value())
+						tx.Delete(maps[2], gen.Key())
+						if err := tx.Commit(); err != nil {
+							panic(err)
+						}
+					}
+				}(uint64(w + 1))
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			b.StopTimer()
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N)/elapsed.Seconds(), "tx/s")
+			}
+		})
+	}
 }
 
 func sizeLabel(n int) string {

@@ -97,10 +97,12 @@ func smoke(v core.Variant) error {
 					}
 				default:
 					lo := r.Uint64N(keySpace)
-					ls[r.IntN(lists)].RangeQuery(lo, lo+256, func(k, val uint64) {
+					ls[r.IntN(lists)].RangeQuery(lo, lo+256, func(k, val uint64) bool {
 						if val != k*3 {
 							fail(fmt.Errorf("range value for %d = %d", k, val))
+							return false
 						}
+						return true
 					})
 				}
 			}

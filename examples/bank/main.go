@@ -1,20 +1,32 @@
-// Bank: composed multi-map atomicity under fire.
+// Bank: multi-key transactional atomicity under fire.
 //
 // Four maps hold account balances for four branches. Transfer operations
-// move money between branches using SetMany — the paper's composed update
-// across L Leap-Lists — while auditors continuously sum every branch with
-// linearizable range queries. The demo proves two properties at once:
+// move money with Group.Txn transactions — the general form of the
+// paper's composed update across L Leap-Lists — while auditors
+// continuously sum every branch with linearizable range queries. Two
+// transfer shapes run concurrently:
 //
-//  1. SetMany batches are all-or-nothing: the grand total is conserved by
-//     every transfer even though it touches two maps.
+//   - cross-branch: debit (branch A, account) and credit (branch B,
+//     account) — two maps, one key each, the shape the legacy SetMany
+//     could already express;
+//   - intra-branch: debit one account and credit ANOTHER account of the
+//     SAME branch map — two keys in one map, impossible under the old
+//     one-key-per-map batch surface.
+//
+// Each transaction also stages a Get of the debited account to
+// demonstrate read-your-own-writes: the value it reports is the balance
+// after the staged debit, observed atomically at the commit's
+// linearization point.
+//
+// The demo proves two properties at once:
+//
+//  1. Transactions are all-or-nothing: the grand total is conserved by
+//     every transfer, and each branch's quiescent sum equals its initial
+//     funds plus its cross-branch net — intra-branch transfers must
+//     conserve it exactly.
 //  2. Range queries are consistent snapshots: each auditor's per-branch
 //     sum is taken at one linearization instant, so a torn read inside a
 //     branch would be detected immediately.
-//
-// Note the scope of the guarantee, also the paper's: atomicity spans the
-// maps of one batch; the auditor's sum ACROSS branches interleaves with
-// transfers, so only the quiescent grand total is asserted exactly, while
-// per-branch snapshots are internally consistent at all times.
 package main
 
 import (
@@ -22,6 +34,7 @@ import (
 	"log"
 	"math/rand/v2"
 	"sync"
+	"sync/atomic"
 
 	"leaplist"
 )
@@ -45,12 +58,18 @@ func main() {
 			}
 		}
 	}
-	grandTotal := uint64(branches * accounts * initialFunds)
+	branchTotal := uint64(accounts * initialFunds)
+	grandTotal := uint64(branches) * branchTotal
 	fmt.Printf("bank: %d branches x %d accounts, grand total %d\n",
 		branches, accounts, grandTotal)
 
 	var transferWG, auditWG sync.WaitGroup
 	stop := make(chan struct{})
+
+	// Net cross-branch flow per branch, for the quiescent audit:
+	// intra-branch transfers never change a branch's sum, so at the end
+	// each branch must hold exactly initial + crossNet.
+	var crossNet [branches]atomic.Int64
 
 	// Auditor: continuously snapshots whole branches.
 	audits := 0
@@ -69,8 +88,9 @@ func main() {
 				sum += v
 				return true
 			})
-			// A branch's money moves, so per-branch sums vary — but a torn
-			// snapshot could produce a sum exceeding all money in the bank.
+			// Money only moves between branches one unit at a time, so a
+			// branch sum beyond all money in the bank proves a torn
+			// snapshot of a transfer.
 			if sum > grandTotal {
 				log.Fatalf("torn snapshot: branch %d sums to %d > bank total %d", b, sum, grandTotal)
 			}
@@ -78,13 +98,12 @@ func main() {
 		}
 	}()
 
-	// Transfer workers: move 1 unit between random (branch, account)
-	// pairs. The read-modify-write per account pair is made atomic by
-	// keying the transfer on the CURRENT balances read back right before
-	// writing under a per-pair ordering lock (kept simple here: one global
-	// transfer mutex per worker-pair region would be overkill for a demo,
-	// so workers own disjoint account ranges and need no locks at all).
+	// Transfer workers own disjoint account ranges, so their
+	// read-modify-write cycles need no extra locking; the transaction is
+	// what makes the multi-key write (and its staged read-back) atomic
+	// against the auditors.
 	perWorker := accounts / workers
+	failures := make(chan error, workers)
 	for w := 0; w < workers; w++ {
 		transferWG.Add(1)
 		go func(w int) {
@@ -93,39 +112,70 @@ func main() {
 			loA, hiA := uint64(w*perWorker), uint64((w+1)*perWorker-1)
 			for i := 0; i < transfers/workers; i++ {
 				from := r.IntN(branches)
-				to := (from + 1 + r.IntN(branches-1)) % branches
 				acct := loA + r.Uint64N(hiA-loA+1)
-
 				fv, _ := maps[from].Get(acct)
-				tv, _ := maps[to].Get(acct)
 				if fv == 0 {
 					continue
 				}
-				// One atomic batch debits and credits.
-				err := g.SetMany(
-					[]*leaplist.Map[uint64]{maps[from], maps[to]},
-					[]uint64{acct, acct},
-					[]uint64{fv - 1, tv + 1},
-				)
-				if err != nil {
-					log.Fatal(err)
+
+				tx := g.Txn()
+				var readBack leaplist.TxGet[uint64]
+				if i%2 == 0 {
+					// Cross-branch: same account, two maps.
+					to := (from + 1 + r.IntN(branches-1)) % branches
+					tv, _ := maps[to].Get(acct)
+					tx.Set(maps[from], acct, fv-1)
+					tx.Set(maps[to], acct, tv+1)
+					readBack = tx.Get(maps[from], acct)
+					crossNet[from].Add(-1)
+					crossNet[to].Add(1)
+				} else {
+					// Intra-branch: two accounts, ONE map — the batch shape
+					// the fixed SetMany surface could not express.
+					toAcct := loA + r.Uint64N(hiA-loA+1)
+					if toAcct == acct {
+						continue
+					}
+					tv, _ := maps[from].Get(toAcct)
+					tx.Set(maps[from], acct, fv-1)
+					tx.Set(maps[from], toAcct, tv+1)
+					readBack = tx.Get(maps[from], acct)
+				}
+				if err := tx.Commit(); err != nil {
+					failures <- err
+					return
+				}
+				// Read-your-own-writes: the staged Get saw the debit.
+				if got, ok := readBack.Value(); !ok || got != fv-1 {
+					failures <- fmt.Errorf("staged Get = (%d, %v), want (%d, true)", got, ok, fv-1)
+					return
 				}
 			}
 		}(w)
 	}
 
-	// Wait for the transfer workers, then stop the auditor.
 	transferWG.Wait()
 	close(stop)
 	auditWG.Wait()
+	select {
+	case err := <-failures:
+		log.Fatal(err)
+	default:
+	}
 
-	// Quiescent grand total must be conserved exactly.
+	// Quiescent audit: per-branch conservation and the exact grand total.
 	var total uint64
 	for b := range maps {
+		var sum uint64
 		maps[b].Range(0, accounts-1, func(_ uint64, v uint64) bool {
-			total += v
+			sum += v
 			return true
 		})
+		want := int64(branchTotal) + crossNet[b].Load()
+		if int64(sum) != want {
+			log.Fatalf("branch %d sums to %d, want %d (intra-branch transfers must conserve it)", b, sum, want)
+		}
+		total += sum
 	}
 	st := g.STMStats()
 	fmt.Printf("done: %d transfers, %d audits, final grand total %d (conserved: %v)\n",

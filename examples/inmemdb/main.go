@@ -2,10 +2,15 @@
 // database whose indexes are Leap-Lists instead of B-trees.
 //
 // An orders table maintains a primary index plus secondary indexes on
-// price and timestamp. Every insert/delete maintains ALL indexes with one
-// composed Leap-List batch (the paper's multi-list Update/Remove), so
-// concurrent range scans over any index are linearizable snapshots and the
-// indexes can never disagree with each other at quiescence.
+// price and timestamp. Every mutation maintains ALL indexes with ONE
+// general Leap-List transaction (core.CommitOps, the mixed-op
+// generalization of the paper's multi-list Update/Remove): an upsert that
+// re-prices an order evicts the stale price-index entry AND publishes the
+// new one AND writes the row in the same atomic batch — mixed deletes and
+// sets, addressing one index list twice. Concurrent range scans over any
+// index are linearizable snapshots, and a re-indexed row is never
+// invisible: before the transaction API, evict and publish were two
+// batches with a window between them.
 //
 // The workload: order-entry threads insert and cancel orders while a
 // reporting thread runs price-band queries ("all orders priced 400-600")

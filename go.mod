@@ -1,0 +1,3 @@
+module leaplist
+
+go 1.24

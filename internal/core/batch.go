@@ -1,103 +1,569 @@
 package core
 
-import "errors"
+import (
+	"errors"
+	"sort"
 
-// ErrDuplicateList rejects batches naming the same list twice: two keys of
-// one batch landing in the same node would make the operation conflict with
-// itself (the paper's batches always address L distinct lists).
+	"leaplist/internal/stm"
+)
+
+// ErrDuplicateList rejects legacy fixed-shape batches (Update/Remove) that
+// name the same list twice; the general CommitOps path has no such
+// restriction — several keys of one list coalesce into per-node groups.
 var ErrDuplicateList = errors.New("core: duplicate list in batch")
 
-// batchState is the reusable per-operation scratch of the update/remove
-// protocols: predecessor/successor arrays per list (the paper's pa and na),
-// the target nodes, the replacement nodes, and the per-list flags. Pooled
-// per group so steady-state operations allocate only the replacement nodes
-// themselves.
-type batchState[V any] struct {
-	pa, na  [][]*node[V]
-	n       []*node[V] // na[j][0], the node being replaced
-	old1    []*node[V] // remove: successor merged away, if any
-	new0    []*node[V] // replacement (update: left half on split)
-	new1    []*node[V] // update: right half on split
-	split   []bool
-	merge   []bool
-	changed []bool
-	maxH    []int
+// ErrOpKind rejects a staged operation whose Kind field is unset or
+// out of range.
+var ErrOpKind = errors.New("core: unknown op kind")
+
+// OpKind selects what a staged operation does to its key.
+type OpKind uint8
+
+const (
+	// OpSet inserts or overwrites Key with Val.
+	OpSet OpKind = iota + 1
+	// OpDelete removes Key, reporting prior presence in Found.
+	OpDelete
+	// OpGet reads Key into (Out, Found) at the batch's linearization
+	// point, observing writes staged earlier in the same batch.
+	OpGet
+)
+
+// Op is one staged operation of a composed batch. A batch is a slice of
+// ops over any member lists of one group — any mix of kinds, any number
+// of keys per list — committed by Group.CommitOps as a single atomic,
+// linearizable operation.
+//
+// Within a batch, ops on the same (list, key) apply in slice order:
+// later writes win ("last-write-wins") and a Get observes exactly the
+// writes staged before it. Ops landing in the same fat node coalesce
+// into one node replacement.
+type Op[V any] struct {
+	List *List[V]
+	Kind OpKind
+	Key  uint64
+	Val  V // OpSet only
+
+	// Results, written by CommitOps on success.
+	Found bool // OpGet: key present; OpDelete: key was present
+	Out   V    // OpGet: the value read
 }
 
-// getBatch returns scratch sized for s lists of maxLevel levels.
-func (g *Group[V]) getBatch(s int) *batchState[V] {
-	b, _ := g.pool.Get().(*batchState[V])
+// txEntry is the per-(list, node) unit of a batch plan: the ops that land
+// in one node, the search context around that node, and the replacement
+// nodes that will supplant it.
+type txEntry[V any] struct {
+	l      *List[V]
+	n      *node[V]   // the node being read or replaced (na[0])
+	old1   *node[V]   // merge partner (successor), when merge is set
+	merge  bool       // replacement absorbs old1
+	write  bool       // entry changes the structure (false: Gets/no-op deletes only)
+	pa, na []*node[V] // per-level predecessors/successors from the search
+	pieces []*node[V] // replacement nodes, left to right; empty when !write
+	maxH   int        // max level over pieces; pa slots [0, maxH) are swung
+	lo, hi int        // this entry's ops: b.order[lo:hi]
+}
+
+// txState is the pooled scratch of one CommitOps call: the sorted op
+// order, the per-node entries, and shared buffers.
+type txState[V any] struct {
+	order   []int         // op indexes sorted by (list id, key, staging order)
+	entries []*txEntry[V]
+	nEnt    int
+	used    int        // high-water mark of nEnt since the last putBatch
+	lists   []*List[V] // distinct lists in ascending id order
+
+	marked    []*stm.TaggedPtr[node[V]]
+	markedMap map[*stm.TaggedPtr[node[V]]]struct{} // spill for wide batches
+}
+
+// getBatch returns pooled scratch for a batch.
+func (g *Group[V]) getBatch() *txState[V] {
+	b, _ := g.pool.Get().(*txState[V])
 	if b == nil {
-		b = &batchState[V]{}
+		b = &txState[V]{}
 	}
-	b.ensure(s, g.cfg.MaxLevel)
 	return b
 }
 
-func (g *Group[V]) putBatch(b *batchState[V]) {
-	b.clear()
+// putBatch clears node and value references so the pooled state does not
+// pin dead nodes or values, then returns it to the pool. Only the entries
+// this batch touched (the high-water mark across retries) need clearing;
+// the rest were already cleared when their batch finished.
+func (g *Group[V]) putBatch(b *txState[V]) {
+	for _, e := range b.entries[:b.used] {
+		e.n, e.old1 = nil, nil
+		for i := range e.pa {
+			e.pa[i], e.na[i] = nil, nil
+		}
+		for i := range e.pieces {
+			e.pieces[i] = nil
+		}
+		e.pieces = e.pieces[:0]
+		e.l = nil
+	}
+	for i := range b.lists {
+		b.lists[i] = nil
+	}
+	b.lists = b.lists[:0]
+	b.marked = b.marked[:0]
+	b.markedMap = nil
+	b.nEnt, b.used = 0, 0
 	g.pool.Put(b)
 }
 
-func (b *batchState[V]) ensure(s, maxLevel int) {
-	for len(b.pa) < s {
-		b.pa = append(b.pa, make([]*node[V], maxLevel))
-		b.na = append(b.na, make([]*node[V], maxLevel))
+// nextEntry hands out the next pooled entry, sized for maxLevel.
+func (b *txState[V]) nextEntry(maxLevel int) *txEntry[V] {
+	if b.nEnt == len(b.entries) {
+		b.entries = append(b.entries, &txEntry[V]{})
 	}
-	for j := 0; j < s; j++ {
-		if len(b.pa[j]) < maxLevel {
-			b.pa[j] = make([]*node[V], maxLevel)
-			b.na[j] = make([]*node[V], maxLevel)
-		}
+	e := b.entries[b.nEnt]
+	b.nEnt++
+	if b.nEnt > b.used {
+		b.used = b.nEnt
 	}
-	grow := func(sl []*node[V]) []*node[V] {
-		for len(sl) < s {
-			sl = append(sl, nil)
-		}
-		return sl
+	if len(e.pa) < maxLevel {
+		e.pa = make([]*node[V], maxLevel)
+		e.na = make([]*node[V], maxLevel)
 	}
-	b.n = grow(b.n)
-	b.old1 = grow(b.old1)
-	b.new0 = grow(b.new0)
-	b.new1 = grow(b.new1)
-	for len(b.split) < s {
-		b.split = append(b.split, false)
-		b.merge = append(b.merge, false)
-		b.changed = append(b.changed, false)
-		b.maxH = append(b.maxH, 0)
-	}
+	e.n, e.old1 = nil, nil
+	e.merge, e.write = false, false
+	e.pieces = e.pieces[:0]
+	e.maxH = 0
+	return e
 }
 
-// clear drops node references so the pooled state does not pin dead nodes.
-func (b *batchState[V]) clear() {
-	for j := range b.n {
-		b.n[j], b.old1[j], b.new0[j], b.new1[j] = nil, nil, nil, nil
-		for i := range b.pa[j] {
-			b.pa[j][i], b.na[j][i] = nil, nil
-		}
+// sortOps fills b.order with op indexes sorted by (list id, key, staging
+// order). Stability in staging order is what gives same-key ops their
+// last-write-wins and read-your-own-writes semantics.
+func (b *txState[V]) sortOps(ops []Op[V]) {
+	b.order = b.order[:0]
+	for i := range ops {
+		b.order = append(b.order, i)
 	}
-}
-
-// checkBatch validates batch inputs shared by Update and Remove.
-func (g *Group[V]) checkBatch(ls []*List[V], ks []uint64, nvals int) error {
-	if len(ls) == 0 {
-		return ErrEmptyBatch
-	}
-	if len(ks) != len(ls) || (nvals >= 0 && nvals != len(ls)) {
-		return ErrBatchMismatch
-	}
-	for j, l := range ls {
-		if l == nil || l.g != g {
-			return ErrForeignList
+	ord := b.order
+	less := func(x, y int) bool {
+		ox, oy := &ops[x], &ops[y]
+		if ox.List != oy.List {
+			return ox.List.id < oy.List.id
 		}
-		if ks[j] > MaxKey {
-			return ErrKeyRange
+		if ox.Key != oy.Key {
+			return ox.Key < oy.Key
 		}
-		for i := 0; i < j; i++ {
-			if ls[i] == l {
-				return ErrDuplicateList
+		return x < y
+	}
+	if len(ord) <= 24 {
+		// Insertion sort: the common batch is a handful of ops and must
+		// not allocate.
+		for i := 1; i < len(ord); i++ {
+			for j := i; j > 0 && less(ord[j], ord[j-1]); j-- {
+				ord[j], ord[j-1] = ord[j-1], ord[j]
 			}
+		}
+		return
+	}
+	sort.Slice(ord, func(i, j int) bool { return less(ord[i], ord[j]) })
+}
+
+// collectLists fills b.lists with the batch's distinct lists in ascending
+// id order (b.order is already sorted by list id).
+func (b *txState[V]) collectLists(ops []Op[V]) {
+	b.lists = b.lists[:0]
+	var prev *List[V]
+	for _, i := range b.order {
+		if l := ops[i].List; l != prev {
+			b.lists = append(b.lists, l)
+			prev = l
+		}
+	}
+}
+
+// nextPiece returns the first piece at index >= from with level > i, or
+// nil. Pieces are ordered left to right, so this is the node that heads
+// (or continues) the level-i chain through the replacement.
+func nextPiece[V any](pieces []*node[V], from, i int) *node[V] {
+	for ; from < len(pieces); from++ {
+		if pieces[from].level > i {
+			return pieces[from]
 		}
 	}
 	return nil
+}
+
+// succAt resolves the successor of entry t's pieces at level i >= n.level,
+// where the search-time successor na[i] may be preceded (or replaced) by
+// pieces of other entries of the same batch between n and na[i]. Entries
+// are ordered by position within a list, so the first batch piece tall
+// enough to appear at level i before na[i] is the true successor; if
+// na[i] itself is replaced (as another entry's node or merge partner),
+// its replacement stands in.
+func (b *txState[V]) succAt(t, i int) *node[V] {
+	e := b.entries[t]
+	target := e.na[i]
+	for u := t + 1; u < b.nEnt; u++ {
+		f := b.entries[u]
+		if f.l != e.l {
+			break
+		}
+		if f.n == target {
+			if !f.write {
+				break // target survives untouched
+			}
+			return nextPiece(f.pieces, 0, i)
+		}
+		if f.n.high >= target.high {
+			break // past the search successor
+		}
+		if f.write {
+			if p := nextPiece(f.pieces, 0, i); p != nil {
+				return p
+			}
+		}
+	}
+	return target
+}
+
+// checkOps validates a general batch.
+func (g *Group[V]) checkOps(ops []Op[V]) error {
+	if len(ops) == 0 {
+		return ErrEmptyBatch
+	}
+	for i := range ops {
+		op := &ops[i]
+		if op.List == nil || op.List.g != g {
+			return ErrForeignList
+		}
+		if op.Key > MaxKey {
+			return ErrKeyRange
+		}
+		switch op.Kind {
+		case OpSet, OpDelete, OpGet:
+		default:
+			return ErrOpKind
+		}
+	}
+	return nil
+}
+
+// Plan modes: how buildEntry reads the merge partner and reports
+// staleness.
+const (
+	planNakedMode = iota // LT/COP setup: naked peeks, spin through marks
+	planRWMode           // under the list write lock: plain peeks
+	planTxMode           // TM: transactional loads inside tx
+)
+
+// buildEntry resolves entry e's ops against node n and constructs the
+// replacement plan: staged Gets and Delete presence flags are written
+// into the ops (observing earlier staged writes on the same key), the
+// node's surviving pairs are merged with the batch's final per-key
+// values, and the result is cut into replacement pieces (splitting when
+// it outgrows NodeSize, absorbing the successor when a net shrink leaves
+// room). hasNext/nextKey describe the next op beyond this entry in the
+// same list; a merge is vetoed when the successor is itself a batch
+// target.
+//
+// In planNakedMode a false return means the plan went stale (a node died
+// mid-read) and the whole attempt must restart. In planTxMode a non-nil
+// error aborts the enclosing transaction.
+func (g *Group[V]) buildEntry(tx *stm.Tx, mode int, ops []Op[V], b *txState[V], e *txEntry[V], hasNext bool, nextKey uint64) (bool, error) {
+	n := e.n
+
+	// Pre-scan: a Get-only entry resolves straight off the immutable node
+	// and builds nothing.
+	sets := 0
+	hasWriteOps := false
+	for q := e.lo; q < e.hi; q++ {
+		switch ops[b.order[q]].Kind {
+		case OpSet:
+			sets++
+			hasWriteOps = true
+		case OpDelete:
+			hasWriteOps = true
+		}
+	}
+	if !hasWriteOps {
+		for q := e.lo; q < e.hi; q++ {
+			op := &ops[b.order[q]]
+			var zero V
+			op.Found, op.Out = false, zero
+			if i := n.find(toInternal(op.Key)); i >= 0 {
+				op.Found, op.Out = true, n.vals[i]
+			}
+		}
+		e.write = false
+		return true, nil
+	}
+
+	// Merge the node's pairs with the batch's per-key outcomes, copying
+	// untouched segments wholesale. The buffer becomes the replacement
+	// nodes' backing storage.
+	newKeys := make([]uint64, 0, n.count()+sets)
+	newVals := make([]V, 0, n.count()+sets)
+	write := false
+	src := 0
+
+	run := e.lo
+	for run < e.hi {
+		k := toInternal(ops[b.order[run]].Key)
+		runEnd := run
+		for runEnd < e.hi && toInternal(ops[b.order[runEnd]].Key) == k {
+			runEnd++
+		}
+		pos := lowerBound(n.keys, src, k)
+		newKeys = append(newKeys, n.keys[src:pos]...)
+		newVals = append(newVals, n.vals[src:pos]...)
+		src = pos
+		basePresent := src < len(n.keys) && n.keys[src] == k
+		cur := basePresent
+		var curV V
+		if basePresent {
+			curV = n.vals[src]
+		}
+		sawWrite := false
+		for q := run; q < runEnd; q++ {
+			op := &ops[b.order[q]]
+			switch op.Kind {
+			case OpGet:
+				op.Found, op.Out = cur, curV
+			case OpSet:
+				cur, curV = true, op.Val
+				sawWrite = true
+			case OpDelete:
+				op.Found = cur
+				var zero V
+				cur, curV = false, zero
+				sawWrite = true
+			}
+		}
+		if sawWrite {
+			if cur {
+				newKeys = append(newKeys, k)
+				newVals = append(newVals, curV)
+				write = true // a Set landed; values always replace
+			} else if basePresent {
+				write = true // net delete of a present key
+			}
+			if basePresent {
+				src++
+			}
+		} else if basePresent {
+			newKeys = append(newKeys, k)
+			newVals = append(newVals, curV)
+			src++
+		}
+		run = runEnd
+	}
+	newKeys = append(newKeys, n.keys[src:]...)
+	newVals = append(newVals, n.vals[src:]...)
+
+	e.write = write
+	if !write {
+		return true, nil
+	}
+
+	// Merge decision: a net shrink may absorb the successor, exactly the
+	// legacy Remove rule (counts before the removal), unless the successor
+	// is itself addressed by this batch (the next group replaces it).
+	newCount := len(newKeys)
+	if newCount < n.count() && n.high != posInf {
+		var old1 *node[V]
+		switch mode {
+		case planNakedMode:
+			// Read the successor through any in-flight mark; the postfix
+			// holding it is bounded, so spin briefly (paper lines 159-162).
+			for spin := 0; ; spin++ {
+				succ, tag := n.next[0].Peek()
+				if tag != stm.TagMarked {
+					old1 = succ
+					break
+				}
+				if n.live.Peek() == 0 {
+					return false, nil // stale: node died under us
+				}
+				stmBackoff(spin)
+			}
+		case planRWMode:
+			old1 = n.next[0].PeekPtr()
+		case planTxMode:
+			var err error
+			old1, _, err = n.next[0].Load(tx)
+			if err != nil {
+				return false, err
+			}
+		}
+		if old1 != nil && n.count()+old1.count() <= g.cfg.NodeSize &&
+			!(hasNext && nextKey <= old1.high) {
+			e.merge, e.old1 = true, old1
+		}
+	}
+
+	if mode == planNakedMode {
+		// Late liveness checks cut doomed lock attempts short (the plan is
+		// still fully validated transactionally before committing).
+		if n.live.Peek() == 0 {
+			return false, nil
+		}
+		if e.merge && e.old1.live.Peek() == 0 {
+			return false, nil
+		}
+	}
+
+	g.buildPieces(b, e, newKeys, newVals)
+	return true, nil
+}
+
+// lowerBound returns the first index i >= from with keys[i] >= k.
+func lowerBound(keys []uint64, from int, k uint64) int {
+	lo, hi := from, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// buildPieces cuts the entry's final content into sealed, not-yet-live
+// replacement nodes, taking ownership of the buffers. The rightmost piece
+// inherits the replaced region's level and high bound (so the terminal
+// node stays terminal and every level the old node occupied stays
+// occupied); earlier pieces draw random levels like fresh inserts.
+func (g *Group[V]) buildPieces(b *txState[V], e *txEntry[V], keysBuf []uint64, valsBuf []V) {
+	n := e.n
+
+	if e.merge {
+		keysBuf = append(keysBuf, e.old1.keys...)
+		valsBuf = append(valsBuf, e.old1.vals...)
+		repl := newNode[V](max(n.level, e.old1.level))
+		repl.keys, repl.vals = keysBuf, valsBuf
+		repl.high = e.old1.high
+		repl.seal()
+		e.pieces = append(e.pieces, repl)
+		e.maxH = repl.level
+		return
+	}
+
+	total := len(keysBuf)
+	k := g.cfg.NodeSize
+	if total <= k {
+		p := newNode[V](n.level)
+		p.keys, p.vals = keysBuf, valsBuf
+		p.high = n.high
+		p.seal()
+		e.pieces = append(e.pieces, p)
+		e.maxH = p.level
+		return
+	}
+	// Split into pieces of roughly 3K/4 so coalesced bulk inserts leave
+	// room to grow; for the classic one-over split (total = K+1) this
+	// reproduces the legacy halving exactly.
+	target := 3 * k / 4
+	if target < 1 {
+		target = 1
+	}
+	m := (total + target - 1) / target
+	base, rem := total/m, total%m
+	e.maxH = 0
+	start := 0
+	for pi := 0; pi < m; pi++ {
+		size := base
+		if pi >= m-rem {
+			size++
+		}
+		end := start + size
+		var p *node[V]
+		if pi == m-1 {
+			p = newNode[V](n.level)
+			p.high = n.high
+		} else {
+			p = newNode[V](g.pickLevel())
+			p.high = keysBuf[end-1]
+		}
+		p.keys = keysBuf[start:end:end]
+		p.vals = valsBuf[start:end:end]
+		p.seal()
+		e.pieces = append(e.pieces, p)
+		if p.level > e.maxH {
+			e.maxH = p.level
+		}
+		start = end
+	}
+}
+
+// errStalePlan aborts a naked planning pass when a node died mid-read;
+// the whole attempt restarts from fresh searches.
+var errStalePlan = errors.New("core: stale plan")
+
+// planGroups is the shared grouping walk of every variant: ops are
+// visited in sorted order, one search per node group, consecutive keys
+// coalescing into the group while they fall under the found node's high
+// bound; each group is built (buildEntry) and then handed to emit.
+// search positions e.pa/e.na for the group's first key; emit (optional)
+// applies the completed entry b.entries[t] — for the sequential variants
+// (TM, RW) this happens before the next group's search, so that search
+// observes the already-applied splices. Returns errStalePlan in naked
+// mode when a node died mid-plan, or the first search/build/emit error.
+func (g *Group[V]) planGroups(ops []Op[V], b *txState[V], mode int, tx *stm.Tx,
+	search func(l *List[V], k uint64, e *txEntry[V]) error,
+	emit func(t int) error) error {
+	maxLevel := g.cfg.MaxLevel
+	b.nEnt = 0
+	i := 0
+	for i < len(b.order) {
+		l := ops[b.order[i]].List
+		j := i
+		for j < len(b.order) && ops[b.order[j]].List == l {
+			j++
+		}
+		idx := i
+		for idx < j {
+			k := toInternal(ops[b.order[idx]].Key)
+			e := b.nextEntry(maxLevel)
+			t := b.nEnt - 1
+			if err := search(l, k, e); err != nil {
+				return err
+			}
+			e.l, e.n = l, e.na[0]
+			e.lo = idx
+			for idx < j && toInternal(ops[b.order[idx]].Key) <= e.n.high {
+				idx++
+			}
+			e.hi = idx
+			hasNext := idx < j
+			var nextKey uint64
+			if hasNext {
+				nextKey = toInternal(ops[b.order[idx]].Key)
+			}
+			ok, err := g.buildEntry(tx, mode, ops, b, e, hasNext, nextKey)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return errStalePlan
+			}
+			if emit != nil {
+				if err := emit(t); err != nil {
+					return err
+				}
+			}
+		}
+		i = j
+	}
+	return nil
+}
+
+// planNaked builds the full batch plan against naked searches (the COP
+// read phase shared by LT and COP). Returns false when a node died
+// mid-plan and the attempt must restart.
+func (g *Group[V]) planNaked(ops []Op[V], b *txState[V]) bool {
+	err := g.planGroups(ops, b, planNakedMode, nil,
+		func(l *List[V], k uint64, e *txEntry[V]) error {
+			searchNaked(l, k, e.pa, e.na)
+			return nil
+		}, nil)
+	return err == nil
 }

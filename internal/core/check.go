@@ -2,6 +2,32 @@ package core
 
 import "fmt"
 
+// checkBatch validates the legacy fixed-shape batch inputs shared by
+// Update and Remove: equal-length slices, member lists, in-range keys,
+// and — unlike the general CommitOps path — at most one key per list.
+func (g *Group[V]) checkBatch(ls []*List[V], ks []uint64, nvals int) error {
+	if len(ls) == 0 {
+		return ErrEmptyBatch
+	}
+	if len(ks) != len(ls) || (nvals >= 0 && nvals != len(ls)) {
+		return ErrBatchMismatch
+	}
+	for j, l := range ls {
+		if l == nil || l.g != g {
+			return ErrForeignList
+		}
+		if ks[j] > MaxKey {
+			return ErrKeyRange
+		}
+		for i := 0; i < j; i++ {
+			if ls[i] == l {
+				return ErrDuplicateList
+			}
+		}
+	}
+	return nil
+}
+
 // CheckInvariants validates the structural invariants of a quiescent list
 // (no concurrent operations may be running). It verifies that:
 //

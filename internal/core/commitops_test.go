@@ -1,0 +1,192 @@
+package core
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sync"
+	"testing"
+)
+
+// TestCommitOpsValidation pins the general batch's input contract.
+func TestCommitOpsValidation(t *testing.T) {
+	g := newTestGroup(t, VariantLT)
+	other := newTestGroup(t, VariantLT)
+	l := g.NewList()
+	foreign := other.NewList()
+
+	if err := g.CommitOps(nil); !errors.Is(err, ErrEmptyBatch) {
+		t.Fatalf("empty = %v, want ErrEmptyBatch", err)
+	}
+	if err := g.CommitOps([]Op[uint64]{{List: foreign, Kind: OpSet, Key: 1}}); !errors.Is(err, ErrForeignList) {
+		t.Fatalf("foreign = %v, want ErrForeignList", err)
+	}
+	if err := g.CommitOps([]Op[uint64]{{List: nil, Kind: OpSet, Key: 1}}); !errors.Is(err, ErrForeignList) {
+		t.Fatalf("nil list = %v, want ErrForeignList", err)
+	}
+	if err := g.CommitOps([]Op[uint64]{{List: l, Kind: OpSet, Key: ^uint64(0)}}); !errors.Is(err, ErrKeyRange) {
+		t.Fatalf("key range = %v, want ErrKeyRange", err)
+	}
+	if err := g.CommitOps([]Op[uint64]{{List: l, Key: 1}}); !errors.Is(err, ErrOpKind) {
+		t.Fatalf("bad kind = %v, want ErrOpKind", err)
+	}
+}
+
+// TestCommitOpsAdjacentNodeGroups drives batches whose keys span several
+// ADJACENT nodes of one list — the case where one group's predecessors
+// are another group's dying nodes and release order matters — and checks
+// contents and invariants after every commit, for every variant.
+func TestCommitOpsAdjacentNodeGroups(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, g *Group[uint64]) {
+		l := g.NewList()
+		model := map[uint64]uint64{}
+		// NodeSize 4: keys 0..31 span ~8+ nodes.
+		for i := uint64(0); i < 32; i++ {
+			if err := l.Set(i, i); err != nil {
+				t.Fatalf("Set: %v", err)
+			}
+			model[i] = i
+		}
+		r := rand.New(rand.NewPCG(9, uint64(g.cfg.Variant)))
+		for round := 0; round < 200; round++ {
+			nops := 2 + r.IntN(8)
+			ops := make([]Op[uint64], 0, nops)
+			type expect struct {
+				kind  OpKind
+				k     uint64
+				v     uint64
+				found bool
+				out   uint64
+			}
+			var exps []expect
+			shadow := map[uint64]*uint64{} // staged overlay for expectations
+			overlay := func(k uint64) (uint64, bool) {
+				if p, ok := shadow[k]; ok {
+					if p == nil {
+						return 0, false
+					}
+					return *p, true
+				}
+				v, ok := model[k]
+				return v, ok
+			}
+			for o := 0; o < nops; o++ {
+				k := r.Uint64N(40) // dense: adjacent nodes, frequent dups
+				switch r.IntN(4) {
+				case 0, 1:
+					v := r.Uint64()
+					ops = append(ops, Op[uint64]{List: l, Kind: OpSet, Key: k, Val: v})
+					exps = append(exps, expect{kind: OpSet, k: k, v: v})
+					vv := v
+					shadow[k] = &vv
+				case 2:
+					ops = append(ops, Op[uint64]{List: l, Kind: OpDelete, Key: k})
+					_, present := overlay(k)
+					exps = append(exps, expect{kind: OpDelete, k: k, found: present})
+					shadow[k] = nil
+				default:
+					ops = append(ops, Op[uint64]{List: l, Kind: OpGet, Key: k})
+					v, present := overlay(k)
+					exps = append(exps, expect{kind: OpGet, k: k, found: present, out: v})
+				}
+			}
+			if err := g.CommitOps(ops); err != nil {
+				t.Fatalf("CommitOps: %v", err)
+			}
+			for i, e := range exps {
+				op := &ops[i]
+				switch e.kind {
+				case OpDelete:
+					if op.Found != e.found {
+						t.Fatalf("round %d op %d Delete(%d).Found = %v, want %v", round, i, e.k, op.Found, e.found)
+					}
+				case OpGet:
+					if op.Found != e.found || (e.found && op.Out != e.out) {
+						t.Fatalf("round %d op %d Get(%d) = (%d, %v), want (%d, %v)", round, i, e.k, op.Out, op.Found, e.out, e.found)
+					}
+				}
+			}
+			// Fold the overlay into the model.
+			for k, p := range shadow {
+				if p == nil {
+					delete(model, k)
+				} else {
+					model[k] = *p
+				}
+			}
+			if round%20 == 0 {
+				mustCheck(t, l)
+			}
+		}
+		mustCheck(t, l)
+		if l.Len() != len(model) {
+			t.Fatalf("Len = %d, model %d", l.Len(), len(model))
+		}
+		for _, kv := range l.CollectRange(0, MaxKey) {
+			if mv, ok := model[kv.Key]; !ok || mv != kv.Value {
+				t.Fatalf("key %d = %d, model (%d, %v)", kv.Key, kv.Value, mv, ok)
+			}
+		}
+	})
+}
+
+// TestCommitOpsConcurrentWideBatches hammers every variant with wide
+// mixed batches over tiny nodes (so most batches replace several adjacent
+// nodes at once) racing with range readers, then verifies invariants.
+func TestCommitOpsConcurrentWideBatches(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, g *Group[uint64]) {
+		l1, l2 := g.NewList(), g.NewList()
+		const workers = 6
+		const keySpace = 96
+		iters := stressIters(1200)
+
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(seed uint64) {
+				defer wg.Done()
+				r := rand.New(rand.NewPCG(seed, 21))
+				for i := 0; i < iters; i++ {
+					if r.IntN(5) == 0 {
+						lo := r.Uint64N(keySpace)
+						l1.RangeQuery(lo, lo+24, nil)
+						continue
+					}
+					nops := 2 + r.IntN(6)
+					ops := make([]Op[uint64], 0, nops)
+					base := r.Uint64N(keySpace)
+					for o := 0; o < nops; o++ {
+						k := (base + r.Uint64N(12)) % keySpace // clustered: adjacent nodes
+						list := l1
+						if o == nops-1 {
+							list = l2 // every batch also spans a second list
+						}
+						kind := OpSet
+						switch r.IntN(3) {
+						case 1:
+							kind = OpDelete
+						case 2:
+							kind = OpGet
+						}
+						ops = append(ops, Op[uint64]{List: list, Kind: kind, Key: k, Val: k * 2})
+					}
+					if err := g.CommitOps(ops); err != nil {
+						t.Errorf("CommitOps: %v", err)
+						return
+					}
+				}
+			}(uint64(w + 1))
+		}
+		wg.Wait()
+		mustCheck(t, l1)
+		mustCheck(t, l2)
+		// Every surviving value is k*2: torn or misplaced coalesced
+		// replacements would surface here.
+		for _, l := range []*List[uint64]{l1, l2} {
+			for _, kv := range l.CollectRange(0, MaxKey) {
+				if kv.Value != kv.Key*2 {
+					t.Fatalf("key %d holds %d, want %d", kv.Key, kv.Value, kv.Key*2)
+				}
+			}
+		}
+	})
+}

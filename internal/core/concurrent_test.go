@@ -52,10 +52,11 @@ func TestConcurrentMixedOps(t *testing.T) {
 					case 9:
 						lo := r.Uint64N(keySpace)
 						hi := lo + r.Uint64N(32)
-						l.RangeQuery(lo, hi, func(k uint64, v uint64) {
+						l.RangeQuery(lo, hi, func(k uint64, v uint64) bool {
 							if v != k*2 {
 								t.Errorf("range value for %d = %d, want %d", k, v, k*2)
 							}
+							return true
 						})
 					}
 				}
@@ -104,8 +105,9 @@ func TestSnapshotPrefixConsistency(t *testing.T) {
 					default:
 					}
 					var keys []uint64
-					l.RangeQuery(0, uint64(n), func(k uint64, v uint64) {
+					l.RangeQuery(0, uint64(n), func(k uint64, v uint64) bool {
 						keys = append(keys, k)
+						return true
 					})
 					snapshots.Add(1)
 					for i, k := range keys {

@@ -108,7 +108,8 @@ type Group[V any] struct {
 	cfg Config
 	stm *stm.STM
 
-	pool     sync.Pool     // *batchState[V] scratch
+	pool     sync.Pool     // *txState[V] scratch
+	opsPool  sync.Pool     // *[]Op[V] scratch for the legacy wrappers
 	readPool sync.Pool     // *readScratch[V] scratch
 	listIDs  atomic.Uint64 // lock-ordering ids for VariantRW
 }

@@ -218,11 +218,12 @@ func TestRangeQueryBasics(t *testing.T) {
 		for _, tc := range tests {
 			t.Run(tc.name, func(t *testing.T) {
 				var got []uint64
-				count := l.RangeQuery(tc.lo, tc.hi, func(k uint64, v uint64) {
+				count := l.RangeQuery(tc.lo, tc.hi, func(k uint64, v uint64) bool {
 					if v != k+1 {
 						t.Errorf("value for %d = %d, want %d", k, v, k+1)
 					}
 					got = append(got, k)
+					return true
 				})
 				if count != len(tc.wantKeys) {
 					t.Fatalf("count = %d, want %d", count, len(tc.wantKeys))
@@ -515,8 +516,9 @@ func ExampleList_RangeQuery() {
 	for i := uint64(0); i < 10; i++ {
 		_ = l.Set(i, fmt.Sprintf("v%d", i))
 	}
-	l.RangeQuery(3, 5, func(k uint64, v string) {
+	l.RangeQuery(3, 5, func(k uint64, v string) bool {
 		fmt.Println(k, v)
+		return true
 	})
 	// Output:
 	// 3 v3

@@ -2,8 +2,47 @@
 // ("Leaplist: Lessons Learned in Designing TM-Supported Range Queries",
 // PODC 2013): a skip-list with fat immutable nodes — each node holds up to
 // K key-value pairs from a contiguous key range plus an embedded bitwise
-// trie — supporting Update, Remove, Lookup and a linearizable Range-Query,
-// with Update and Remove composable across L lists in one atomic operation.
+// trie — supporting Lookup, a linearizable Range-Query, and general
+// composed batches (CommitOps): any mix of set, delete and get operations
+// over any lists of one group, committed as a single atomic operation.
+// The legacy Update/Remove entry points are fixed-shape wrappers over
+// CommitOps.
+//
+// # The batch (transaction) model
+//
+// A batch is a slice of Ops. CommitOps sorts them by (list, key, staging
+// order) and groups them per (list, node): every key addressed by the
+// batch maps to exactly one fat node, and all ops landing in one node
+// coalesce into a single node replacement built from the node's pairs
+// plus the batch's per-key outcomes (last write wins; staged gets and
+// delete-presence flags observe the writes staged before them). A
+// replacement that outgrows NodeSize splits into several pieces; a net
+// shrink absorbs the successor node exactly like a legacy Remove, unless
+// that successor is itself addressed by the batch.
+//
+// The per-variant protocols generalize the paper's single-key-per-list
+// figures to many groups, including adjacent groups in one list (where
+// one group's predecessors are another group's dying nodes):
+//
+//   - LT and COP plan against naked searches, then run one transaction
+//     that validates every group's search before any group writes (so all
+//     checks see the committed pre-state). LT's transaction only marks
+//     slots and clears live flags, installing the pieces in a direct-store
+//     postfix that walks groups right-to-left per list; slots shared by
+//     several groups stay marked until the leftmost group's final store.
+//     COP buffers the pointer swings themselves, right-to-left, reading
+//     chained wiring through the transaction's own write set.
+//   - TM plans, validates and applies groups sequentially inside one
+//     fully instrumented transaction; each group's search traverses the
+//     batch's own buffered writes, so no cross-group resolution is needed.
+//   - RWLock write-locks every touched list (in id order) and applies
+//     groups sequentially with plain stores.
+//
+// The linearization point of a batch is the commit of its validation
+// transaction (LT: the locking transaction; COP/TM: the single
+// transaction) or, for RWLock, any point while all write locks are held.
+// Staged gets are resolved against node contents pinned by that commit:
+// node pairs are immutable, so validating liveness pins the values read.
 //
 // The package provides all four synchronization variants the paper
 // evaluates over one shared node representation:

@@ -59,83 +59,7 @@ func (n *node[V]) seal() {
 	n.tr = trie.Build(n.keys)
 }
 
-// buildUpdated returns the sorted pairs of src with (k, v) inserted or, if
-// k is already present, its value replaced. k is in shifted space.
-func buildUpdated[V any](src *node[V], k uint64, v V) (keys []uint64, vals []V) {
-	if i := src.find(k); i >= 0 {
-		keys = make([]uint64, len(src.keys))
-		vals = make([]V, len(src.vals))
-		copy(keys, src.keys)
-		copy(vals, src.vals)
-		vals[i] = v
-		return keys, vals
-	}
-	keys = make([]uint64, 0, len(src.keys)+1)
-	vals = make([]V, 0, len(src.vals)+1)
-	pos := 0
-	for pos < len(src.keys) && src.keys[pos] < k {
-		pos++
-	}
-	keys = append(keys, src.keys[:pos]...)
-	vals = append(vals, src.vals[:pos]...)
-	keys = append(keys, k)
-	vals = append(vals, v)
-	keys = append(keys, src.keys[pos:]...)
-	vals = append(vals, src.vals[pos:]...)
-	return keys, vals
-}
-
-// createNewNodes fills new0 (and new1 when split) with the pairs of src
-// plus the update (k, v), mirroring the paper's CreateNewNodes (Figure 8).
-// On split, new0 holds the first half under a new high equal to its largest
-// key; new1 holds the second half and inherits src's high. Levels must
-// already be set by the caller. The nodes are sealed but not yet live.
-func createNewNodes[V any](src *node[V], k uint64, v V, split bool, new0, new1 *node[V]) {
-	keys, vals := buildUpdated(src, k, v)
-	if !split {
-		new0.keys, new0.vals = keys, vals
-		new0.high = src.high
-		new0.seal()
-		return
-	}
-	mid := len(keys) / 2
-	new0.keys, new0.vals = keys[:mid:mid], vals[:mid:mid]
-	new0.high = keys[mid-1]
-	new1.keys, new1.vals = keys[mid:], vals[mid:]
-	new1.high = src.high
-	new0.seal()
-	new1.seal()
-}
-
-// removeAndMerge fills repl with the pairs of old0 (and old1 when merging)
-// minus key k, mirroring the paper's RemoveAndMerge (Figure 11). It
-// returns false when k is absent from old0 (the list is left unchanged).
-// repl's level must already be set; its high is set here.
-func removeAndMerge[V any](old0, old1 *node[V], k uint64, merge bool, repl *node[V]) bool {
-	idx := old0.find(k)
-	if idx < 0 {
-		return false
-	}
-	total := len(old0.keys) - 1
-	if merge {
-		total += len(old1.keys)
-	}
-	keys := make([]uint64, 0, total)
-	vals := make([]V, 0, total)
-	keys = append(keys, old0.keys[:idx]...)
-	vals = append(vals, old0.vals[:idx]...)
-	keys = append(keys, old0.keys[idx+1:]...)
-	vals = append(vals, old0.vals[idx+1:]...)
-	if merge {
-		keys = append(keys, old1.keys...)
-		vals = append(vals, old1.vals...)
-	}
-	repl.keys, repl.vals = keys, vals
-	if merge {
-		repl.high = old1.high
-	} else {
-		repl.high = old0.high
-	}
-	repl.seal()
-	return true
-}
+// Replacement-node construction lives in batch.go (buildEntry and
+// buildPieces): the generalized batch protocol merges a node's pairs with
+// every staged op that lands in it — the paper's CreateNewNodes (Figure 8)
+// and RemoveAndMerge (Figure 11) generalized to per-node op groups.

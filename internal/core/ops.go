@@ -1,53 +1,94 @@
 package core
 
-// Update atomically applies, for every j, "set ks[j] to vs[j]" in list
-// ls[j] — inserting the key if absent, replacing its value otherwise (the
-// paper's Update(ll, k, v, s)). The batch is one linearizable operation
-// across all its lists. Lists must be distinct members of this group.
-func (g *Group[V]) Update(ls []*List[V], ks []uint64, vs []V) error {
-	if err := g.checkBatch(ls, ks, len(vs)); err != nil {
+// CommitOps atomically applies a batch of staged operations — any mix of
+// OpSet, OpDelete and OpGet over any member lists, including several keys
+// in one list — as a single linearizable operation (the generalization of
+// the paper's composed Update/Remove over L lists). Results (Get values,
+// Delete presence) are written back into the ops slice.
+//
+// Ops are applied in slice order per (list, key): later writes win and a
+// Get observes the writes staged before it. Keys landing in the same fat
+// node are coalesced into one node replacement. The linearization point
+// is the commit of the batch's single validation transaction (LT, COP,
+// TM) or the span of the write locks (RWLock).
+func (g *Group[V]) CommitOps(ops []Op[V]) error {
+	if err := g.checkOps(ops); err != nil {
 		return err
 	}
+	b := g.getBatch()
+	defer g.putBatch(b)
+	b.sortOps(ops)
 	switch g.cfg.Variant {
 	case VariantLT:
-		g.updateLT(ls, ks, vs)
+		g.commitLT(ops, b)
 	case VariantCOP:
-		g.updateCOP(ls, ks, vs)
+		g.commitCOP(ops, b)
 	case VariantTM:
-		g.updateTM(ls, ks, vs)
+		g.commitTM(ops, b)
 	case VariantRW:
-		g.updateRW(ls, ks, vs)
+		g.commitRW(ops, b)
 	default:
 		panic("core: unknown variant")
 	}
 	return nil
 }
 
+// Update atomically applies, for every j, "set ks[j] to vs[j]" in list
+// ls[j] — inserting the key if absent, replacing its value otherwise (the
+// paper's Update(ll, k, v, s)). It is the legacy fixed-shape form of
+// CommitOps and keeps its historical contract: distinct lists, one key
+// per list.
+func (g *Group[V]) Update(ls []*List[V], ks []uint64, vs []V) error {
+	if err := g.checkBatch(ls, ks, len(vs)); err != nil {
+		return err
+	}
+	ops := g.getOps(len(ls))
+	for j := range ls {
+		ops[j] = Op[V]{List: ls[j], Kind: OpSet, Key: ks[j], Val: vs[j]}
+	}
+	err := g.CommitOps(ops)
+	g.putOps(ops)
+	return err
+}
+
 // Remove atomically removes, for every j, key ks[j] from list ls[j] (the
 // paper's Remove(ll, k, s)). changed[j] reports whether the key was
-// present. changed may be nil; when non-nil its length must match.
+// present. changed may be nil; when non-nil its length must match. Like
+// Update it is the legacy fixed-shape form of CommitOps.
 func (g *Group[V]) Remove(ls []*List[V], ks []uint64, changed []bool) error {
 	if err := g.checkBatch(ls, ks, -1); err != nil {
 		return err
 	}
-	if changed == nil {
-		changed = make([]bool, len(ls))
-	} else if len(changed) != len(ls) {
+	if changed != nil && len(changed) != len(ls) {
 		return ErrBatchMismatch
 	}
-	switch g.cfg.Variant {
-	case VariantLT:
-		g.removeLT(ls, ks, changed)
-	case VariantCOP:
-		g.removeCOP(ls, ks, changed)
-	case VariantTM:
-		g.removeTM(ls, ks, changed)
-	case VariantRW:
-		g.removeRW(ls, ks, changed)
-	default:
-		panic("core: unknown variant")
+	ops := g.getOps(len(ls))
+	for j := range ls {
+		ops[j] = Op[V]{List: ls[j], Kind: OpDelete, Key: ks[j]}
 	}
-	return nil
+	err := g.CommitOps(ops)
+	if err == nil && changed != nil {
+		for j := range ops {
+			changed[j] = ops[j].Found
+		}
+	}
+	g.putOps(ops)
+	return err
+}
+
+// getOps returns a pooled op slice of length n for the legacy wrappers.
+func (g *Group[V]) getOps(n int) []Op[V] {
+	p, _ := g.opsPool.Get().(*[]Op[V])
+	if p == nil || cap(*p) < n {
+		s := make([]Op[V], n)
+		return s
+	}
+	return (*p)[:n]
+}
+
+func (g *Group[V]) putOps(ops []Op[V]) {
+	clear(ops) // drop list pointers and values
+	g.opsPool.Put(&ops)
 }
 
 // Set is the single-list convenience form of Update.

@@ -4,74 +4,159 @@ import (
 	"leaplist/internal/stm"
 )
 
-// This file implements the paper's Leap-COP variant: consistency-oblivious
-// search prefix (no instrumentation), then a single STM transaction that
-// re-validates the prefix and performs every structural write
-// transactionally. Unlike LT there are no marks and no postfix — the
-// pointer swings themselves are buffered STM writes published at commit,
-// which is safe for concurrent naked searches because this STM is
-// lazy-versioning (naked reads never observe tentative data; the paper's
-// GCC-TM was write-through, which is what forced the authors to invent the
-// marked-pointer discipline and ultimately LT).
+// This file implements the paper's Leap-COP variant over the generalized
+// batch plan: consistency-oblivious search prefix (no instrumentation),
+// then a single STM transaction that re-validates the prefix for every
+// group and performs every structural write transactionally. Unlike LT
+// there are no marks and no postfix — the pointer swings themselves are
+// buffered STM writes published at commit, which is safe for concurrent
+// naked searches because this STM is lazy-versioning (naked reads never
+// observe tentative data).
+//
+// Validation runs for all groups before any writes, so every check reads
+// the committed pre-state; the write pass then walks groups right-to-left
+// within each list, so a group whose predecessor is itself being replaced
+// buffers its swing into the dying node's slot first and the dying node's
+// replacement reads it back through the transaction's own write set.
+//
+// The validate and apply halves are shared with the TM variant, which
+// runs them after an instrumented search inside the same transaction.
 
-// updateCOP is the composed update across the lists of one batch.
-func (g *Group[V]) updateCOP(ls []*List[V], ks []uint64, vs []V) {
-	s := len(ls)
-	b := g.getBatch(s)
-	defer g.putBatch(b)
-
+// commitCOP runs the generalized batch under COP.
+func (g *Group[V]) commitCOP(ops []Op[V], b *txState[V]) {
 	for attempt := 0; ; attempt++ {
-		// Setup: identical to LT (Figure 8).
-		for j := 0; j < s; j++ {
-			k := toInternal(ks[j])
-			searchNaked(ls[j], k, b.pa[j], b.na[j])
-			n := b.na[j][0]
-			b.n[j] = n
-			if n.count() == g.cfg.NodeSize {
-				b.split[j] = true
-				b.new1[j] = newNode[V](n.level)
-				b.new0[j] = newNode[V](g.pickLevel())
-				b.maxH[j] = max(b.new0[j].level, b.new1[j].level)
-			} else {
-				b.split[j] = false
-				b.new0[j] = newNode[V](n.level)
-				b.new1[j] = nil
-				b.maxH[j] = n.level
-			}
-			createNewNodes(n, k, vs[j], b.split[j], b.new0[j], b.new1[j])
+		if !g.planNaked(ops, b) {
+			stmBackoff(attempt)
+			continue
 		}
-
-		// Verification and writes in one transaction.
 		err := g.stm.AtomicallyOnce(func(tx *stm.Tx) error {
-			for j := 0; j < s; j++ {
-				if err := g.updateTxWrites(tx, b, j); err != nil {
+			for t := 0; t < b.nEnt; t++ {
+				if err := g.validateEntryTx(tx, b, t); err != nil {
 					return err
+				}
+			}
+			for t := b.nEnt - 1; t >= 0; t-- {
+				if b.entries[t].write {
+					if err := g.applyEntryTx(tx, b, t); err != nil {
+						return err
+					}
 				}
 			}
 			return nil
 		})
 		if err == nil {
-			for j := 0; j < s; j++ {
-				g.retire(b.n[j])
-			}
-			return
+			break
 		}
 		stmBackoff(attempt)
 	}
+	for t := 0; t < b.nEnt; t++ {
+		e := b.entries[t]
+		if e.write {
+			g.retire(e.n)
+			if e.merge {
+				g.retire(e.old1)
+			}
+		}
+	}
 }
 
-// updateTxWrites validates one list's search results and performs the
-// update's structural writes inside tx. Shared by COP (after a naked
-// search) and TM (after a transactional search).
-func (g *Group[V]) updateTxWrites(tx *stm.Tx, b *batchState[V], j int) error {
-	n, new0, new1 := b.n[j], b.new0[j], b.new1[j]
-	pa, na := b.pa[j], b.na[j]
-
+// validateEntryTx re-validates one group's naked search results inside
+// tx, reading only committed state (it must run before any group of the
+// batch writes). For a read-only group (staged Gets, deletes of absent
+// keys) the node's liveness alone pins the group's view to the commit
+// instant: node contents and bounds are immutable, so a live node is the
+// unique owner of its key range.
+func (g *Group[V]) validateEntryTx(tx *stm.Tx, b *txState[V], t int) error {
+	e := b.entries[t]
+	n := e.n
 	if lv, err := n.live.Load(tx); err != nil {
 		return err
 	} else if lv == 0 {
 		return stm.ErrConflict
 	}
+	if !e.write {
+		return nil
+	}
+	pa, na := e.pa, e.na
+
+	if e.merge {
+		old1 := e.old1
+		if lv, err := old1.live.Load(tx); err != nil {
+			return err
+		} else if lv == 0 {
+			return stm.ErrConflict
+		}
+		// old1 must still immediately follow n.
+		succ, _, err := n.next[0].Load(tx)
+		if err != nil {
+			return err
+		}
+		if succ != old1 {
+			return stm.ErrConflict
+		}
+		// Predecessors still point at n and are live; n's successors are
+		// live (old1's own death is this batch's doing).
+		for i := 0; i < n.level; i++ {
+			p, _, err := pa[i].next[i].Load(tx)
+			if err != nil {
+				return err
+			}
+			if p != n {
+				return stm.ErrConflict
+			}
+			if lv, err := pa[i].live.Load(tx); err != nil {
+				return err
+			} else if lv == 0 {
+				return stm.ErrConflict
+			}
+			s, _, err := n.next[i].Load(tx)
+			if err != nil {
+				return err
+			}
+			if s != nil && s != old1 {
+				if lv, err := s.live.Load(tx); err != nil {
+					return err
+				} else if lv == 0 {
+					return stm.ErrConflict
+				}
+			}
+		}
+		// old1's successors must be live at every one of its levels, and
+		// where old1 is taller than n its predecessors are shared with the
+		// replacement.
+		for i := 0; i < old1.level; i++ {
+			s1, _, err := old1.next[i].Load(tx)
+			if err != nil {
+				return err
+			}
+			if s1 != nil {
+				if lv, err := s1.live.Load(tx); err != nil {
+					return err
+				} else if lv == 0 {
+					return stm.ErrConflict
+				}
+			}
+		}
+		for i := n.level; i < old1.level; i++ {
+			p, _, err := pa[i].next[i].Load(tx)
+			if err != nil {
+				return err
+			}
+			if p != old1 {
+				return stm.ErrConflict
+			}
+			if lv, err := pa[i].live.Load(tx); err != nil {
+				return err
+			} else if lv == 0 {
+				return stm.ErrConflict
+			}
+		}
+		return nil
+	}
+
+	// Update-style entry: predecessors still point at n, n's successors
+	// are live, and above n's level the search results still hold for
+	// every level a replacement piece will occupy.
 	for i := 0; i < n.level; i++ {
 		p, _, err := pa[i].next[i].Load(tx)
 		if err != nil {
@@ -80,8 +165,19 @@ func (g *Group[V]) updateTxWrites(tx *stm.Tx, b *batchState[V], j int) error {
 		if p != n {
 			return stm.ErrConflict
 		}
+		succ, _, err := n.next[i].Load(tx)
+		if err != nil {
+			return err
+		}
+		if succ != nil {
+			if lv, err := succ.live.Load(tx); err != nil {
+				return err
+			} else if lv == 0 {
+				return stm.ErrConflict
+			}
+		}
 	}
-	for i := 0; i < b.maxH[j]; i++ {
+	for i := 0; i < e.maxH; i++ {
 		p, _, err := pa[i].next[i].Load(tx)
 		if err != nil {
 			return err
@@ -100,207 +196,70 @@ func (g *Group[V]) updateTxWrites(tx *stm.Tx, b *batchState[V], j int) error {
 			return stm.ErrConflict
 		}
 	}
+	return nil
+}
 
-	// Wire the private replacement nodes from transactionally read
-	// successors; the read set protects them until commit.
-	if b.split[j] {
-		if new1.level > new0.level {
-			for i := 0; i < new0.level; i++ {
-				succ, _, err := n.next[i].Load(tx)
-				if err != nil {
-					return err
-				}
-				new0.next[i].Init(new1, stm.TagNone)
-				new1.next[i].Init(succ, stm.TagNone)
+// applyEntryTx performs one write entry's structural writes inside tx:
+// wire the private replacement pieces from transactionally read
+// successors (picking up the batch's own buffered swings from groups
+// already applied to the right), publish them by swinging the
+// predecessors, and retire the replaced nodes. Shared by COP (after a
+// naked search) and TM (after a transactional search).
+func (g *Group[V]) applyEntryTx(tx *stm.Tx, b *txState[V], t int) error {
+	e := b.entries[t]
+	n := e.n
+
+	if e.merge {
+		repl, old1 := e.pieces[0], e.old1
+		for i := 0; i < repl.level; i++ {
+			var s *node[V]
+			var err error
+			if i < old1.level {
+				s, _, err = old1.next[i].Load(tx)
+			} else {
+				s, _, err = n.next[i].Load(tx)
 			}
-			for i := new0.level; i < new1.level; i++ {
-				succ, _, err := n.next[i].Load(tx)
-				if err != nil {
-					return err
-				}
-				new1.next[i].Init(succ, stm.TagNone)
+			if err != nil {
+				return err
 			}
-		} else {
-			for i := 0; i < new1.level; i++ {
-				succ, _, err := n.next[i].Load(tx)
-				if err != nil {
-					return err
-				}
-				new0.next[i].Init(new1, stm.TagNone)
-				new1.next[i].Init(succ, stm.TagNone)
-			}
-			for i := new1.level; i < new0.level; i++ {
-				if i < n.level {
-					succ, _, err := n.next[i].Load(tx)
-					if err != nil {
-						return err
+			repl.next[i].Init(s, stm.TagNone)
+		}
+	} else {
+		for pi, p := range e.pieces {
+			for i := 0; i < p.level; i++ {
+				s := nextPiece(e.pieces, pi+1, i)
+				if s == nil {
+					if i < n.level {
+						var err error
+						s, _, err = n.next[i].Load(tx)
+						if err != nil {
+							return err
+						}
+					} else {
+						s = b.succAt(t, i)
 					}
-					new0.next[i].Init(succ, stm.TagNone)
-				} else {
-					new0.next[i].Init(na[i], stm.TagNone)
 				}
+				p.next[i].Init(s, stm.TagNone)
 			}
-		}
-	} else {
-		for i := 0; i < new0.level; i++ {
-			succ, _, err := n.next[i].Load(tx)
-			if err != nil {
-				return err
-			}
-			new0.next[i].Init(succ, stm.TagNone)
 		}
 	}
-	new0.live.Init(1)
-	if b.split[j] {
-		new1.live.Init(1)
+	for _, p := range e.pieces {
+		p.live.Init(1)
 	}
 
-	// Transactional pointer swings; published atomically at commit.
-	for i := 0; i < new0.level; i++ {
-		if err := pa[i].next[i].Store(tx, new0, stm.TagNone); err != nil {
+	// Transactional pointer swings; published atomically at commit. A
+	// slot shared with a group further left is simply overwritten by that
+	// group's later Store in the same write set.
+	for i := 0; i < e.maxH; i++ {
+		if err := e.pa[i].next[i].Store(tx, nextPiece(e.pieces, 0, i), stm.TagNone); err != nil {
 			return err
 		}
 	}
-	if b.split[j] && new1.level > new0.level {
-		for i := new0.level; i < new1.level; i++ {
-			if err := pa[i].next[i].Store(tx, new1, stm.TagNone); err != nil {
-				return err
-			}
-		}
-	}
-	return n.live.Store(tx, 0)
-}
-
-// removeCOP is the composed remove across the lists of one batch.
-func (g *Group[V]) removeCOP(ls []*List[V], ks []uint64, changed []bool) {
-	s := len(ls)
-	b := g.getBatch(s)
-	defer g.putBatch(b)
-
-	for attempt := 0; ; attempt++ {
-		for j := 0; j < s; j++ {
-			g.removeSetupLT(ls[j], toInternal(ks[j]), b, j)
-		}
-		err := g.stm.AtomicallyOnce(func(tx *stm.Tx) error {
-			for j := 0; j < s; j++ {
-				if !b.changed[j] {
-					continue
-				}
-				if err := g.removeTxWrites(tx, b, j); err != nil {
-					return err
-				}
-			}
-			return nil
-		})
-		if err == nil {
-			break
-		}
-		stmBackoff(attempt)
-	}
-	for j := 0; j < s; j++ {
-		changed[j] = b.changed[j]
-		if b.changed[j] {
-			g.retire(b.n[j])
-			if b.merge[j] {
-				g.retire(b.old1[j])
-			}
-		}
-	}
-}
-
-// removeTxWrites validates one list's remove and performs its structural
-// writes inside tx. Shared by COP and TM.
-func (g *Group[V]) removeTxWrites(tx *stm.Tx, b *batchState[V], j int) error {
-	old0, old1, repl := b.n[j], b.old1[j], b.new0[j]
-	pa := b.pa[j]
-
-	if lv, err := old0.live.Load(tx); err != nil {
-		return err
-	} else if lv == 0 {
-		return stm.ErrConflict
-	}
-	if b.merge[j] {
-		if lv, err := old1.live.Load(tx); err != nil {
-			return err
-		} else if lv == 0 {
-			return stm.ErrConflict
-		}
-		succ, _, err := old0.next[0].Load(tx)
-		if err != nil {
-			return err
-		}
-		if succ != old1 {
-			return stm.ErrConflict
-		}
-	}
-	for i := 0; i < old0.level; i++ {
-		p, _, err := pa[i].next[i].Load(tx)
-		if err != nil {
-			return err
-		}
-		if p != old0 {
-			return stm.ErrConflict
-		}
-		if lv, err := pa[i].live.Load(tx); err != nil {
-			return err
-		} else if lv == 0 {
-			return stm.ErrConflict
-		}
-	}
-	if b.merge[j] {
-		for i := old0.level; i < old1.level; i++ {
-			p, _, err := pa[i].next[i].Load(tx)
-			if err != nil {
-				return err
-			}
-			if p != old1 {
-				return stm.ErrConflict
-			}
-			if lv, err := pa[i].live.Load(tx); err != nil {
-				return err
-			} else if lv == 0 {
-				return stm.ErrConflict
-			}
-		}
-	}
-
-	// Wire the replacement from transactionally read successors.
-	if b.merge[j] {
-		for i := 0; i < old1.level && i < repl.level; i++ {
-			succ, _, err := old1.next[i].Load(tx)
-			if err != nil {
-				return err
-			}
-			repl.next[i].Init(succ, stm.TagNone)
-		}
-		for i := old1.level; i < old0.level; i++ {
-			succ, _, err := old0.next[i].Load(tx)
-			if err != nil {
-				return err
-			}
-			repl.next[i].Init(succ, stm.TagNone)
-		}
-	} else {
-		for i := 0; i < old0.level; i++ {
-			succ, _, err := old0.next[i].Load(tx)
-			if err != nil {
-				return err
-			}
-			repl.next[i].Init(succ, stm.TagNone)
-		}
-	}
-	repl.live.Init(1)
-
-	for i := 0; i < repl.level; i++ {
-		if err := pa[i].next[i].Store(tx, repl, stm.TagNone); err != nil {
-			return err
-		}
-	}
-	if err := old0.live.Store(tx, 0); err != nil {
+	if err := n.live.Store(tx, 0); err != nil {
 		return err
 	}
-	if b.merge[j] {
-		return old1.live.Store(tx, 0)
+	if e.merge {
+		return e.old1.live.Store(tx, 0)
 	}
 	return nil
 }

@@ -4,56 +4,49 @@ import (
 	"leaplist/internal/stm"
 )
 
-// This file implements the paper's Locking-Transaction (LT) protocol: the
-// update of Figures 6/8/9/10 and the remove of Figures 7/11/12/13. Each
-// operation has three phases:
+// This file implements the paper's Locking-Transaction (LT) protocol,
+// generalized from one key per list (Figures 6-13) to arbitrary batches
+// of per-node groups. Each commit has three phases:
 //
-//  1. setup — naked predecessor searches and construction of the immutable
-//     replacement nodes, no synchronization at all;
+//  1. setup — naked predecessor searches and construction of the
+//     immutable replacement pieces per (list, node) group, no
+//     synchronization at all (planNaked);
 //  2. one short STM transaction that re-validates everything the setup
 //     relied on and "locks" the affected state by marking the pointer
 //     slots and clearing the old nodes' live flags — the only tentative
-//     data a Locking Transaction ever writes are these locks;
-//  3. a release postfix that installs the replacement nodes with direct
+//     data a Locking Transaction ever writes are these locks. Validation
+//     runs for every group before any group marks, so all checks read the
+//     committed pre-state;
+//  3. a release postfix that installs the replacement pieces with direct
 //     (non-transactional) stores under the protection of the marks, then
-//     sets the new nodes live. The direct stores are safe because every
-//     competing transaction must read the touched slots unmarked and
-//     revalidate them at commit, and every marking bumps their versions.
+//     sets the new pieces live. Groups release right-to-left within each
+//     list so that a group whose predecessor is itself being replaced
+//     writes into the dying node's frozen slots first, and the dying
+//     node's own replacement then copies those already-updated pointers.
+//     A predecessor slot shared by several groups keeps its mark until
+//     the leftmost (last) group's store, which simultaneously publishes
+//     the final pointer and releases the lock.
 //
-// A conflict anywhere restarts the whole operation from setup, because the
-// replacement nodes were built from state that is no longer current.
+// A conflict anywhere restarts the whole operation from setup, because
+// the replacement pieces were built from state that is no longer current.
 
-// updateLT is the composed update across the lists of one batch.
-func (g *Group[V]) updateLT(ls []*List[V], ks []uint64, vs []V) {
-	s := len(ls)
-	b := g.getBatch(s)
-	defer g.putBatch(b)
-
+// commitLT runs the generalized batch under Locking Transactions.
+func (g *Group[V]) commitLT(ops []Op[V], b *txState[V]) {
 	for attempt := 0; ; attempt++ {
-		// --- Setup (Figure 8) ---
-		for j := 0; j < s; j++ {
-			k := toInternal(ks[j])
-			searchNaked(ls[j], k, b.pa[j], b.na[j])
-			n := b.na[j][0]
-			b.n[j] = n
-			if n.count() == g.cfg.NodeSize {
-				b.split[j] = true
-				b.new1[j] = newNode[V](n.level)
-				b.new0[j] = newNode[V](g.pickLevel())
-				b.maxH[j] = max(b.new0[j].level, b.new1[j].level)
-			} else {
-				b.split[j] = false
-				b.new0[j] = newNode[V](n.level)
-				b.new1[j] = nil
-				b.maxH[j] = n.level
-			}
-			createNewNodes(n, k, vs[j], b.split[j], b.new0[j], b.new1[j])
+		if !g.planNaked(ops, b) {
+			stmBackoff(attempt)
+			continue
 		}
-
-		// --- Locking Transaction (Figure 9) ---
 		err := g.stm.AtomicallyOnce(func(tx *stm.Tx) error {
-			for j := 0; j < s; j++ {
-				if err := g.updateLockLT(tx, b, j); err != nil {
+			b.marked = b.marked[:0]
+			b.markedMap = nil
+			for t := 0; t < b.nEnt; t++ {
+				if err := g.validateEntryTx(tx, b, t); err != nil {
+					return err
+				}
+			}
+			for t := 0; t < b.nEnt; t++ {
+				if err := g.lockEntryLT(tx, b, t); err != nil {
 					return err
 				}
 			}
@@ -66,87 +59,79 @@ func (g *Group[V]) updateLT(ls []*List[V], ks []uint64, vs []V) {
 		stmBackoff(attempt)
 	}
 
-	// --- Release and update (Figure 10) ---
-	for j := 0; j < s; j++ {
-		g.releaseUpdateLT(b, j)
-		g.retire(b.n[j])
+	// Release and update: right-to-left within each list (entries are
+	// ordered by list then key, so a global reverse walk does both).
+	for t := b.nEnt - 1; t >= 0; t-- {
+		e := b.entries[t]
+		if !e.write {
+			continue
+		}
+		g.releaseEntry(b, t)
+		g.retire(e.n)
+		if e.merge {
+			g.retire(e.old1)
+		}
 	}
 }
 
-// updateLockLT validates and locks one list's slice of the batch inside
-// the Locking Transaction (Figure 9).
-func (g *Group[V]) updateLockLT(tx *stm.Tx, b *batchState[V], j int) error {
-	n := b.n[j]
-	pa, na := b.pa[j], b.na[j]
-
-	// The node must still be current.
-	if lv, err := n.live.Load(tx); err != nil {
-		return err
-	} else if lv == 0 {
-		return stm.ErrConflict
+// lockEntryLT acquires the locks for one write entry inside the Locking
+// Transaction: mark the replaced nodes' slots and the predecessors' slots
+// up to the tallest piece, then retire the old nodes transactionally. All
+// validation has already run (validateEntryTx), so this phase only
+// writes.
+func (g *Group[V]) lockEntryLT(tx *stm.Tx, b *txState[V], t int) error {
+	e := b.entries[t]
+	if !e.write {
+		return nil
 	}
-	// Its predecessors must still point at it and its successors must be
-	// live (lines 96-99).
+	n := e.n
 	for i := 0; i < n.level; i++ {
-		p, _, err := pa[i].next[i].Load(tx)
-		if err != nil {
+		if err := b.markOnce(tx, &n.next[i]); err != nil {
 			return err
 		}
-		if p != n {
-			return stm.ErrConflict
-		}
-		succ, _, err := n.next[i].Load(tx)
-		if err != nil {
-			return err
-		}
-		if succ != nil {
-			if lv, err := succ.live.Load(tx); err != nil {
+	}
+	if e.merge {
+		for i := 0; i < e.old1.level; i++ {
+			if err := b.markOnce(tx, &e.old1.next[i]); err != nil {
 				return err
-			} else if lv == 0 {
-				return stm.ErrConflict
 			}
 		}
 	}
-	// Above the node's own level (a split may introduce a taller node),
-	// the search results must still hold (lines 100-104).
-	for i := 0; i < b.maxH[j]; i++ {
-		p, _, err := pa[i].next[i].Load(tx)
-		if err != nil {
-			return err
-		}
-		if p != na[i] {
-			return stm.ErrConflict
-		}
-		if lv, err := pa[i].live.Load(tx); err != nil {
-			return err
-		} else if lv == 0 {
-			return stm.ErrConflict
-		}
-		if lv, err := na[i].live.Load(tx); err != nil {
-			return err
-		} else if lv == 0 {
-			return stm.ErrConflict
-		}
-	}
-	// Acquire the locks: mark the old node's slots (lines 105-108) and the
-	// predecessors' slots up to the maximum new height (lines 109-112).
-	for i := 0; i < n.level; i++ {
-		if err := markSlot(tx, &n.next[i]); err != nil {
+	for i := 0; i < e.maxH; i++ {
+		if err := b.markOnce(tx, &e.pa[i].next[i]); err != nil {
 			return err
 		}
 	}
-	for i := 0; i < b.maxH[j]; i++ {
-		if err := markSlot(tx, &pa[i].next[i]); err != nil {
-			return err
-		}
+	if err := n.live.Store(tx, 0); err != nil {
+		return err
 	}
-	// Retire the node transactionally (line 113).
-	return n.live.Store(tx, 0)
+	if e.merge {
+		return e.old1.live.Store(tx, 0)
+	}
+	return nil
 }
 
-// markSlot transactionally sets the mark on a slot, aborting if it is
-// already marked by a committed competitor.
-func markSlot[V any](tx *stm.Tx, slot *stm.TaggedPtr[node[V]]) error {
+// markedLinearMax bounds the linear dedup scan of markOnce; wider
+// batches spill into a map so lock acquisition stays linear in the
+// number of slots.
+const markedLinearMax = 24
+
+// markOnce transactionally sets the mark on a slot, aborting if a
+// committed competitor already holds it. Slots shared between groups of
+// one batch (a predecessor feeding several replaced nodes) are marked
+// only once.
+func (b *txState[V]) markOnce(tx *stm.Tx, slot *stm.TaggedPtr[node[V]]) error {
+	if b.markedMap != nil {
+		if _, dup := b.markedMap[slot]; dup {
+			return nil
+		}
+	} else {
+		for _, s := range b.marked {
+			if s == slot {
+				return nil
+			}
+		}
+	}
 	cur, tag, err := slot.Load(tx)
 	if err != nil {
 		return err
@@ -154,305 +139,83 @@ func markSlot[V any](tx *stm.Tx, slot *stm.TaggedPtr[node[V]]) error {
 	if tag == stm.TagMarked {
 		return stm.ErrConflict
 	}
-	return slot.Store(tx, cur, stm.TagMarked)
-}
-
-// releaseUpdateLT is the postfix of Figure 10 for one list: wire the new
-// nodes' forward pointers from the frozen (marked) old slots, swing the
-// predecessors to the new nodes (which also clears the predecessor marks),
-// and finally set the new nodes live.
-func (g *Group[V]) releaseUpdateLT(b *batchState[V], j int) {
-	n, new0, new1 := b.n[j], b.new0[j], b.new1[j]
-	pa, na := b.pa[j], b.na[j]
-
-	if b.split[j] {
-		if new1.level > new0.level {
-			for i := 0; i < new0.level; i++ {
-				new0.next[i].Init(new1, stm.TagNone)
-				new1.next[i].Init(n.next[i].PeekPtr(), stm.TagNone)
-			}
-			for i := new0.level; i < new1.level; i++ {
-				new1.next[i].Init(n.next[i].PeekPtr(), stm.TagNone)
-			}
-		} else {
-			for i := 0; i < new1.level; i++ {
-				new0.next[i].Init(new1, stm.TagNone)
-				new1.next[i].Init(n.next[i].PeekPtr(), stm.TagNone)
-			}
-			for i := new1.level; i < new0.level; i++ {
-				if i < n.level {
-					new0.next[i].Init(n.next[i].PeekPtr(), stm.TagNone)
-				} else {
-					// Above the old node's level the successor comes from
-					// the search (the marked pa slot keeps it stable).
-					new0.next[i].Init(na[i], stm.TagNone)
-				}
-			}
-		}
-	} else {
-		for i := 0; i < new0.level; i++ {
-			new0.next[i].Init(n.next[i].PeekPtr(), stm.TagNone)
-		}
-	}
-
-	// Swing the predecessors; the direct store of (new node, TagNone)
-	// simultaneously publishes the pointer and releases the lock, like the
-	// paper's single-word unmarking write.
-	for i := 0; i < new0.level; i++ {
-		pa[i].next[i].DirectStore(new0, stm.TagNone)
-	}
-	if b.split[j] && new1.level > new0.level {
-		for i := new0.level; i < new1.level; i++ {
-			pa[i].next[i].DirectStore(new1, stm.TagNone)
-		}
-	}
-	new0.live.DirectStore(1)
-	if b.split[j] {
-		new1.live.DirectStore(1)
-	}
-}
-
-// removeLT is the composed remove across the lists of one batch. changed
-// reports, per list, whether the key was present.
-func (g *Group[V]) removeLT(ls []*List[V], ks []uint64, changed []bool) {
-	s := len(ls)
-	b := g.getBatch(s)
-	defer g.putBatch(b)
-
-	for attempt := 0; ; attempt++ {
-		// --- Setup (Figure 11) ---
-		for j := 0; j < s; j++ {
-			g.removeSetupLT(ls[j], toInternal(ks[j]), b, j)
-		}
-
-		// --- Locking Transaction (Figure 12) ---
-		err := g.stm.AtomicallyOnce(func(tx *stm.Tx) error {
-			for j := 0; j < s; j++ {
-				if !b.changed[j] {
-					continue
-				}
-				if err := g.removeLockLT(tx, b, j); err != nil {
-					return err
-				}
-			}
-			return nil
-		})
-		if err == nil {
-			break
-		}
-		stmBackoff(attempt)
-	}
-
-	// --- Release and update (Figure 13) ---
-	for j := 0; j < s; j++ {
-		changed[j] = b.changed[j]
-		if !b.changed[j] {
-			continue
-		}
-		g.releaseRemoveLT(b, j)
-		g.retire(b.n[j])
-		if b.merge[j] {
-			g.retire(b.old1[j])
-		}
-	}
-}
-
-// removeSetupLT performs the naked search, merge decision and replacement
-// construction for one list (Figure 11).
-func (g *Group[V]) removeSetupLT(l *List[V], k uint64, b *batchState[V], j int) {
-	for attempt := 0; ; attempt++ {
-		b.merge[j] = false
-		searchNaked(l, k, b.pa[j], b.na[j])
-		old0 := b.na[j][0]
-		b.n[j] = old0 // reused as "node being replaced" for retire symmetry
-		if old0.find(k) < 0 {
-			b.changed[j] = false
-			b.old1[j] = nil
-			return
-		}
-		// Read the successor through any in-flight mark (lines 159-162);
-		// the postfix holding the mark is bounded, so spin briefly.
-		var old1 *node[V]
-		stale := false
-		for spin := 0; ; spin++ {
-			succ, tag := old0.next[0].Peek()
-			if tag != stm.TagMarked {
-				old1 = succ
-				break
-			}
-			if old0.live.Peek() == 0 {
-				stale = true
-				break
-			}
-			stmBackoff(spin)
-		}
-		if stale {
-			stmBackoff(attempt)
-			continue
-		}
-		b.old1[j] = old1
-		total := old0.count()
-		if old1 != nil {
-			total += old1.count()
-			if total <= g.cfg.NodeSize {
-				b.merge[j] = true
-			}
-		}
-		// Replacement level and bounds (line 168).
-		lvl := old0.level
-		if b.merge[j] && old1.level > lvl {
-			lvl = old1.level
-		}
-		repl := newNode[V](lvl)
-		// Late liveness checks (lines 169-170).
-		if old0.live.Peek() == 0 {
-			stmBackoff(attempt)
-			continue
-		}
-		if b.merge[j] && old1.live.Peek() == 0 {
-			stmBackoff(attempt)
-			continue
-		}
-		b.changed[j] = removeAndMerge(old0, old1, k, b.merge[j], repl)
-		b.new0[j] = repl
-		return
-	}
-}
-
-// removeLockLT validates and locks one list's slice of the batch inside
-// the Locking Transaction (Figure 12).
-func (g *Group[V]) removeLockLT(tx *stm.Tx, b *batchState[V], j int) error {
-	old0, old1, repl := b.n[j], b.old1[j], b.new0[j]
-	pa := b.pa[j]
-
-	if lv, err := old0.live.Load(tx); err != nil {
-		return err
-	} else if lv == 0 {
-		return stm.ErrConflict
-	}
-	if b.merge[j] {
-		if lv, err := old1.live.Load(tx); err != nil {
-			return err
-		} else if lv == 0 {
-			return stm.ErrConflict
-		}
-	}
-	// Predecessors still point at old0, predecessors are live, successors
-	// are live (lines 177-181).
-	for i := 0; i < old0.level; i++ {
-		p, _, err := pa[i].next[i].Load(tx)
-		if err != nil {
-			return err
-		}
-		if p != old0 {
-			return stm.ErrConflict
-		}
-		if lv, err := pa[i].live.Load(tx); err != nil {
-			return err
-		} else if lv == 0 {
-			return stm.ErrConflict
-		}
-		succ, _, err := old0.next[i].Load(tx)
-		if err != nil {
-			return err
-		}
-		if succ != nil && succ != old1 {
-			if lv, err := succ.live.Load(tx); err != nil {
-				return err
-			} else if lv == 0 {
-				return stm.ErrConflict
-			}
-		}
-	}
-	if b.merge[j] {
-		// old1 must still immediately follow old0 (line 183).
-		succ, _, err := old0.next[0].Load(tx)
-		if err != nil {
-			return err
-		}
-		if succ != old1 {
-			return stm.ErrConflict
-		}
-		// old1's successors must be live at every one of its levels, and
-		// where old1 is taller than old0 its predecessors are shared with
-		// the replacement (lines 184-197).
-		for i := 0; i < old1.level; i++ {
-			s1, _, err := old1.next[i].Load(tx)
-			if err != nil {
-				return err
-			}
-			if s1 != nil {
-				if lv, err := s1.live.Load(tx); err != nil {
-					return err
-				} else if lv == 0 {
-					return stm.ErrConflict
-				}
-			}
-		}
-		for i := old0.level; i < old1.level; i++ {
-			p, _, err := pa[i].next[i].Load(tx)
-			if err != nil {
-				return err
-			}
-			if p != old1 {
-				return stm.ErrConflict
-			}
-			if lv, err := pa[i].live.Load(tx); err != nil {
-				return err
-			} else if lv == 0 {
-				return stm.ErrConflict
-			}
-		}
-		// Mark old1's slots (lines 198-201).
-		for i := 0; i < old1.level; i++ {
-			if err := markSlot(tx, &old1.next[i]); err != nil {
-				return err
-			}
-		}
-	}
-	// Mark old0's slots and the predecessors' slots up to the replacement
-	// level (lines 203-210).
-	for i := 0; i < old0.level; i++ {
-		if err := markSlot(tx, &old0.next[i]); err != nil {
-			return err
-		}
-	}
-	for i := 0; i < repl.level; i++ {
-		if err := markSlot(tx, &pa[i].next[i]); err != nil {
-			return err
-		}
-	}
-	// Retire transactionally (lines 211-212).
-	if err := old0.live.Store(tx, 0); err != nil {
+	if err := slot.Store(tx, cur, stm.TagMarked); err != nil {
 		return err
 	}
-	if b.merge[j] {
-		return old1.live.Store(tx, 0)
+	b.marked = append(b.marked, slot)
+	if b.markedMap != nil {
+		b.markedMap[slot] = struct{}{}
+	} else if len(b.marked) > markedLinearMax {
+		b.markedMap = make(map[*stm.TaggedPtr[node[V]]]struct{}, 2*len(b.marked))
+		for _, s := range b.marked {
+			b.markedMap[s] = struct{}{}
+		}
 	}
 	return nil
 }
 
-// releaseRemoveLT is the postfix of Figure 13 for one list.
-func (g *Group[V]) releaseRemoveLT(b *batchState[V], j int) {
-	old0, old1, repl := b.n[j], b.old1[j], b.new0[j]
-	pa := b.pa[j]
+// releaseEntry is the non-transactional postfix for one write entry: wire
+// the replacement pieces' forward pointers from the frozen (marked) old
+// slots, swing the predecessors to the pieces, and set the pieces live.
+// It is shared with the RWLock variant, whose write lock makes the same
+// plain reads and direct stores trivially safe.
+//
+// Entries to the right in the same list have already released, so peeks
+// of the old nodes' slots observe their already-installed pieces; above
+// the old node's own level the successor is resolved through the batch
+// plan (succAt).
+func (g *Group[V]) releaseEntry(b *txState[V], t int) {
+	e := b.entries[t]
+	n := e.n
 
-	if b.merge[j] {
-		for i := 0; i < old1.level && i < repl.level; i++ {
-			repl.next[i].Init(old1.next[i].PeekPtr(), stm.TagNone)
-		}
-		for i := old1.level; i < old0.level; i++ {
-			repl.next[i].Init(old0.next[i].PeekPtr(), stm.TagNone)
+	if e.merge {
+		repl, old1 := e.pieces[0], e.old1
+		for i := 0; i < repl.level; i++ {
+			var s *node[V]
+			if i < old1.level {
+				s = old1.next[i].PeekPtr()
+			} else {
+				s = n.next[i].PeekPtr()
+			}
+			repl.next[i].Init(s, stm.TagNone)
 		}
 	} else {
-		for i := 0; i < old0.level; i++ {
-			repl.next[i].Init(old0.next[i].PeekPtr(), stm.TagNone)
+		for pi, p := range e.pieces {
+			for i := 0; i < p.level; i++ {
+				s := nextPiece(e.pieces, pi+1, i)
+				if s == nil {
+					if i < n.level {
+						s = n.next[i].PeekPtr()
+					} else {
+						s = b.succAt(t, i)
+					}
+				}
+				p.next[i].Init(s, stm.TagNone)
+			}
 		}
 	}
-	for i := 0; i < repl.level; i++ {
-		pa[i].next[i].DirectStore(repl, stm.TagNone)
+
+	// Swing the predecessors. The store of (piece, TagNone) publishes the
+	// pointer and releases the lock in one word — unless a group further
+	// left in this batch still has to write the same slot, in which case
+	// the mark must survive until its (final) store.
+	for i := 0; i < e.maxH; i++ {
+		tag := stm.TagNone
+		for u := t - 1; u >= 0; u-- {
+			f := b.entries[u]
+			if f.l != e.l {
+				break
+			}
+			if f.write && i < f.maxH && f.pa[i] == e.pa[i] {
+				tag = stm.TagMarked
+				break
+			}
+		}
+		e.pa[i].next[i].DirectStore(nextPiece(e.pieces, 0, i), tag)
 	}
-	repl.live.DirectStore(1)
+	for _, p := range e.pieces {
+		p.live.DirectStore(1)
+	}
 }
 
 // stmBackoff mirrors the STM's internal backoff for protocol-level

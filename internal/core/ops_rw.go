@@ -1,165 +1,62 @@
 package core
 
-import (
-	"sort"
+// This file implements the paper's Leap-rwlock variant over the
+// generalized batch: one reader-writer lock per list. Lookups and range
+// queries hold the read lock; a batch write-locks every list it touches,
+// acquired in list-creation order to exclude deadlock. Under the locks
+// the structure is quiescent, so groups are planned and applied
+// sequentially with plain reads and direct stores — each group's search
+// observes the splices of the groups before it — and no validation,
+// marking or versioning is needed.
 
-	"leaplist/internal/stm"
-)
-
-// This file implements the paper's Leap-rwlock variant: one reader-writer
-// lock per list. Lookups and range queries hold the read lock; updates and
-// removes hold the write locks of every list in their batch, acquired in
-// list-creation order to exclude deadlock. Under the lock the structure is
-// quiescent, so all accesses are plain (Peek/Init/DirectStore) and no
-// validation, marking or versioning is needed.
-
-// lockAll write-locks the batch's lists in id order.
-func lockAll[V any](ls []*List[V]) {
-	ordered := make([]*List[V], len(ls))
-	copy(ordered, ls)
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i].id < ordered[j].id })
-	for _, l := range ordered {
-		l.mu.Lock()
+// commitRW runs the generalized batch under the lists' write locks — or,
+// for an all-Get batch (a linearizable multi-key read), under their read
+// locks, so read-only transactions run concurrently with readers.
+func (g *Group[V]) commitRW(ops []Op[V], b *txState[V]) {
+	readOnly := true
+	for i := range ops {
+		if ops[i].Kind != OpGet {
+			readOnly = false
+			break
+		}
 	}
-}
-
-func unlockAll[V any](ls []*List[V]) {
-	for _, l := range ls {
-		l.mu.Unlock()
-	}
-}
-
-// updateRW is the composed update across the lists of one batch.
-func (g *Group[V]) updateRW(ls []*List[V], ks []uint64, vs []V) {
-	s := len(ls)
-	b := g.getBatch(s)
-	defer g.putBatch(b)
-
-	lockAll(ls)
-	defer unlockAll(ls)
-
-	for j := 0; j < s; j++ {
-		k := toInternal(ks[j])
-		searchRW(ls[j], k, b.pa[j], b.na[j])
-		n := b.na[j][0]
-		b.n[j] = n
-		var new0, new1 *node[V]
-		split := n.count() == g.cfg.NodeSize
-		if split {
-			new1 = newNode[V](n.level)
-			new0 = newNode[V](g.pickLevel())
+	b.collectLists(ops)
+	for _, l := range b.lists { // ascending id order: deadlock-free
+		if readOnly {
+			l.mu.RLock()
 		} else {
-			new0 = newNode[V](n.level)
-		}
-		createNewNodes(n, k, vs[j], split, new0, new1)
-		b.split[j], b.new0[j], b.new1[j] = split, new0, new1
-		b.maxH[j] = new0.level
-		if split && new1.level > b.maxH[j] {
-			b.maxH[j] = new1.level
-		}
-		g.spliceRW(b, j)
-		g.retire(n)
-	}
-}
-
-// spliceRW rewires one list under its write lock, mirroring the release
-// phase of Figure 10 without marks.
-func (g *Group[V]) spliceRW(b *batchState[V], j int) {
-	n, new0, new1 := b.n[j], b.new0[j], b.new1[j]
-	pa, na := b.pa[j], b.na[j]
-
-	if b.split[j] {
-		if new1.level > new0.level {
-			for i := 0; i < new0.level; i++ {
-				new0.next[i].Init(new1, stm.TagNone)
-				new1.next[i].Init(n.next[i].PeekPtr(), stm.TagNone)
-			}
-			for i := new0.level; i < new1.level; i++ {
-				new1.next[i].Init(n.next[i].PeekPtr(), stm.TagNone)
-			}
-		} else {
-			for i := 0; i < new1.level; i++ {
-				new0.next[i].Init(new1, stm.TagNone)
-				new1.next[i].Init(n.next[i].PeekPtr(), stm.TagNone)
-			}
-			for i := new1.level; i < new0.level; i++ {
-				if i < n.level {
-					new0.next[i].Init(n.next[i].PeekPtr(), stm.TagNone)
-				} else {
-					new0.next[i].Init(na[i], stm.TagNone)
-				}
-			}
-		}
-	} else {
-		for i := 0; i < new0.level; i++ {
-			new0.next[i].Init(n.next[i].PeekPtr(), stm.TagNone)
+			l.mu.Lock()
 		}
 	}
-	new0.live.Init(1)
-	if b.split[j] {
-		new1.live.Init(1)
-	}
-	for i := 0; i < new0.level; i++ {
-		pa[i].next[i].DirectStore(new0, stm.TagNone)
-	}
-	if b.split[j] && new1.level > new0.level {
-		for i := new0.level; i < new1.level; i++ {
-			pa[i].next[i].DirectStore(new1, stm.TagNone)
-		}
-	}
-	n.live.DirectStore(0)
-}
-
-// removeRW is the composed remove across the lists of one batch.
-func (g *Group[V]) removeRW(ls []*List[V], ks []uint64, changed []bool) {
-	s := len(ls)
-	b := g.getBatch(s)
-	defer g.putBatch(b)
-
-	lockAll(ls)
-	defer unlockAll(ls)
-
-	for j := 0; j < s; j++ {
-		k := toInternal(ks[j])
-		searchRW(ls[j], k, b.pa[j], b.na[j])
-		old0 := b.na[j][0]
-		if old0.find(k) < 0 {
-			changed[j] = false
-			continue
-		}
-		old1 := old0.next[0].PeekPtr()
-		merge := false
-		if old1 != nil && old0.count()+old1.count() <= g.cfg.NodeSize {
-			merge = true
-		}
-		lvl := old0.level
-		if merge && old1.level > lvl {
-			lvl = old1.level
-		}
-		repl := newNode[V](lvl)
-		changed[j] = removeAndMerge(old0, old1, k, merge, repl)
-
-		if merge {
-			for i := 0; i < old1.level && i < repl.level; i++ {
-				repl.next[i].Init(old1.next[i].PeekPtr(), stm.TagNone)
-			}
-			for i := old1.level; i < old0.level; i++ {
-				repl.next[i].Init(old0.next[i].PeekPtr(), stm.TagNone)
-			}
-		} else {
-			for i := 0; i < old0.level; i++ {
-				repl.next[i].Init(old0.next[i].PeekPtr(), stm.TagNone)
+	defer func() {
+		for _, l := range b.lists {
+			if readOnly {
+				l.mu.RUnlock()
+			} else {
+				l.mu.Unlock()
 			}
 		}
-		repl.live.Init(1)
-		for i := 0; i < repl.level; i++ {
-			b.pa[j][i].next[i].DirectStore(repl, stm.TagNone)
-		}
-		old0.live.DirectStore(0)
-		g.retire(old0)
-		if merge {
-			old1.live.DirectStore(0)
-			g.retire(old1)
-		}
-	}
+	}()
+
+	// Quiescent plan-and-apply: neither search nor buildEntry can fail or
+	// go stale under the write locks.
+	_ = g.planGroups(ops, b, planRWMode, nil,
+		func(l *List[V], k uint64, e *txEntry[V]) error {
+			searchRW(l, k, e.pa, e.na)
+			return nil
+		},
+		func(t int) error {
+			e := b.entries[t]
+			if !e.write {
+				return nil
+			}
+			g.releaseEntry(b, t)
+			e.n.live.DirectStore(0)
+			g.retire(e.n)
+			if e.merge {
+				e.old1.live.DirectStore(0)
+				g.retire(e.old1)
+			}
+			return nil
+		})
 }

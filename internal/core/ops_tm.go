@@ -4,111 +4,48 @@ import (
 	"leaplist/internal/stm"
 )
 
-// This file implements the paper's Leap-tm variant: the entire operation —
-// predecessor search included — runs inside one STM transaction, which the
-// STM re-executes on conflict. It reuses the transactional write halves of
-// the COP variant; the only difference is that the search phase is
-// instrumented too, so the per-operation read set covers the whole
-// traversal, which is exactly the overhead the paper measures against.
+// This file implements the paper's Leap-tm variant over the generalized
+// batch: the entire operation — predecessor searches included — runs
+// inside one STM transaction, which the STM re-executes on conflict.
+//
+// Because every read is instrumented and the transaction reads its own
+// buffered writes, groups are planned and applied sequentially: each
+// group's search traverses the structure as already modified by the
+// groups before it (buffered pointer swings bypass nodes the batch has
+// retired), so no cross-group resolution is needed — the per-group
+// validate/apply halves are shared with COP and hold trivially against
+// the transaction's own consistent view.
 
-// updateTM is the composed update across the lists of one batch.
-func (g *Group[V]) updateTM(ls []*List[V], ks []uint64, vs []V) {
-	s := len(ls)
-	b := g.getBatch(s)
-	defer g.putBatch(b)
-
-	// Atomically re-runs the whole closure on conflict; every attempt
-	// rebuilds its replacement nodes from freshly read state.
+// commitTM runs the generalized batch inside one transaction.
+func (g *Group[V]) commitTM(ops []Op[V], b *txState[V]) {
 	err := g.stm.Atomically(func(tx *stm.Tx) error {
-		for j := 0; j < s; j++ {
-			k := toInternal(ks[j])
-			if err := searchTx(tx, ls[j], k, b.pa[j], b.na[j]); err != nil {
-				return err
-			}
-			n := b.na[j][0]
-			b.n[j] = n
-			if n.count() == g.cfg.NodeSize {
-				b.split[j] = true
-				b.new1[j] = newNode[V](n.level)
-				b.new0[j] = newNode[V](g.pickLevel())
-				b.maxH[j] = max(b.new0[j].level, b.new1[j].level)
-			} else {
-				b.split[j] = false
-				b.new0[j] = newNode[V](n.level)
-				b.new1[j] = nil
-				b.maxH[j] = n.level
-			}
-			createNewNodes(n, k, vs[j], b.split[j], b.new0[j], b.new1[j])
-			if err := g.updateTxWrites(tx, b, j); err != nil {
-				return err
-			}
-		}
-		return nil
+		// Every attempt rebuilds its plan from freshly read state
+		// (planGroups resets the entry count).
+		return g.planGroups(ops, b, planTxMode, tx,
+			func(l *List[V], k uint64, e *txEntry[V]) error {
+				return searchTx(tx, l, k, e.pa, e.na)
+			},
+			func(t int) error {
+				if !b.entries[t].write {
+					return nil
+				}
+				if err := g.validateEntryTx(tx, b, t); err != nil {
+					return err
+				}
+				return g.applyEntryTx(tx, b, t)
+			})
 	})
 	if err != nil {
 		// Atomically only surfaces non-conflict errors, and the closure
 		// produces none besides conflicts.
-		panic("core: unreachable updateTM error: " + err.Error())
+		panic("core: unreachable commitTM error: " + err.Error())
 	}
-	for j := 0; j < s; j++ {
-		g.retire(b.n[j])
-	}
-}
-
-// removeTM is the composed remove across the lists of one batch.
-func (g *Group[V]) removeTM(ls []*List[V], ks []uint64, changed []bool) {
-	s := len(ls)
-	b := g.getBatch(s)
-	defer g.putBatch(b)
-
-	err := g.stm.Atomically(func(tx *stm.Tx) error {
-		for j := 0; j < s; j++ {
-			k := toInternal(ks[j])
-			if err := searchTx(tx, ls[j], k, b.pa[j], b.na[j]); err != nil {
-				return err
-			}
-			old0 := b.na[j][0]
-			b.n[j] = old0
-			if old0.find(k) < 0 {
-				b.changed[j] = false
-				b.old1[j] = nil
-				continue
-			}
-			old1, _, err := old0.next[0].Load(tx)
-			if err != nil {
-				return err
-			}
-			b.old1[j] = old1
-			b.merge[j] = false
-			total := old0.count()
-			if old1 != nil {
-				total += old1.count()
-				if total <= g.cfg.NodeSize {
-					b.merge[j] = true
-				}
-			}
-			lvl := old0.level
-			if b.merge[j] && old1.level > lvl {
-				lvl = old1.level
-			}
-			repl := newNode[V](lvl)
-			b.changed[j] = removeAndMerge(old0, old1, k, b.merge[j], repl)
-			b.new0[j] = repl
-			if err := g.removeTxWrites(tx, b, j); err != nil {
-				return err
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		panic("core: unreachable removeTM error: " + err.Error())
-	}
-	for j := 0; j < s; j++ {
-		changed[j] = b.changed[j]
-		if b.changed[j] {
-			g.retire(b.n[j])
-			if b.merge[j] {
-				g.retire(b.old1[j])
+	for t := 0; t < b.nEnt; t++ {
+		e := b.entries[t]
+		if e.write {
+			g.retire(e.n)
+			if e.merge {
+				g.retire(e.old1)
 			}
 		}
 	}

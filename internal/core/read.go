@@ -121,10 +121,13 @@ func (l *List[V]) Lookup(k uint64) (V, bool) {
 }
 
 // RangeQuery streams every pair with key in [lo, hi] to emit in ascending
-// key order and returns the number of pairs (paper Figure 5). The pairs
-// form one linearizable snapshot. emit runs after the snapshot is taken, so
-// it may be arbitrarily slow without extending any transaction.
-func (l *List[V]) RangeQuery(lo, hi uint64, emit func(k uint64, v V)) int {
+// key order and returns the number of pairs emitted (paper Figure 5). The
+// pairs form one linearizable snapshot. emit runs after the snapshot is
+// taken, so it may be arbitrarily slow without extending any transaction;
+// returning false from emit terminates the scan immediately — no further
+// pairs are visited or copied out of the snapshot. A nil emit counts the
+// whole interval.
+func (l *List[V]) RangeQuery(lo, hi uint64, emit func(k uint64, v V) bool) int {
 	if lo > hi {
 		return 0
 	}
@@ -225,9 +228,11 @@ func (l *List[V]) RangeQuery(lo, hi uint64, emit func(k uint64, v V)) int {
 			}
 			n = succ
 		}
-		count := emitRange(r.nodes, ilo, ihi, emit)
+		// Release before emitting: the snapshot nodes are immutable, and
+		// emit may be arbitrarily slow or call back into the map (a
+		// re-entrant write would deadlock against our own read lock).
 		l.mu.RUnlock()
-		return count
+		return emitRange(r.nodes, ilo, ihi, emit)
 
 	default:
 		panic("core: unknown variant")
@@ -235,18 +240,18 @@ func (l *List[V]) RangeQuery(lo, hi uint64, emit func(k uint64, v V)) int {
 }
 
 // emitRange extracts the pairs within [ilo, ihi] (internal keys) from the
-// snapshot nodes. Only the first node can hold keys below ilo and only the
-// last can hold keys above ihi, because node ranges partition the key
-// space.
-func emitRange[V any](nodes []*node[V], ilo, ihi uint64, emit func(k uint64, v V)) int {
+// snapshot nodes, stopping as soon as emit returns false. Only the first
+// node can hold keys below ilo and only the last can hold keys above ihi,
+// because node ranges partition the key space.
+func emitRange[V any](nodes []*node[V], ilo, ihi uint64, emit func(k uint64, v V) bool) int {
 	count := 0
 	for _, n := range nodes {
 		for i, k := range n.keys {
 			if k < ilo || k > ihi {
 				continue
 			}
-			if emit != nil {
-				emit(toPublic(k), n.vals[i])
+			if emit != nil && !emit(toPublic(k), n.vals[i]) {
+				return count + 1
 			}
 			count++
 		}
@@ -258,8 +263,9 @@ func emitRange[V any](nodes []*node[V], ilo, ihi uint64, emit func(k uint64, v V
 // snapshot as a slice.
 func (l *List[V]) CollectRange(lo, hi uint64) []KV[V] {
 	var out []KV[V]
-	l.RangeQuery(lo, hi, func(k uint64, v V) {
+	l.RangeQuery(lo, hi, func(k uint64, v V) bool {
 		out = append(out, KV[V]{Key: k, Value: v})
+		return true
 	})
 	return out
 }

@@ -162,14 +162,14 @@ func (t *Table) validate(rowID uint64, row Row) error {
 	return nil
 }
 
-// Put inserts or replaces the row stored under rowID. Inserting a new row
-// publishes the primary row and every index entry in ONE atomic Leap-List
-// batch. Replacing a row whose indexed values changed first retires the
-// stale index entries in a separate batch (a composed batch addresses each
-// list at most once, so remove-old and insert-new on the same index cannot
-// share one), leaving a brief window where a scan on that index misses the
-// row; inserts and whole-row deletes have no such window. CheckIndexes
-// always holds at quiescence.
+// Put inserts or replaces the row stored under rowID. The whole upsert —
+// retiring stale index entries, publishing new ones, and writing the
+// primary row — is ONE atomic mixed Leap-List batch (core.CommitOps with
+// deletes and sets, addressing the same index list twice when an indexed
+// value changes), so a scan on any index observes either the old row's
+// entries or the new row's, never a gap. Before the general transaction
+// API this required two batches and left a window where a re-indexed row
+// was invisible.
 func (t *Table) Put(rowID uint64, row Row) error {
 	if err := t.validate(rowID, row); err != nil {
 		return err
@@ -181,36 +181,28 @@ func (t *Table) Put(rowID uint64, row Row) error {
 
 	old, hadOld := t.primary.Lookup(rowID)
 
-	// Remove index entries whose packed key changes. (Within the row
+	ops := make([]core.Op[Row], 0, 1+2*len(t.ixCols))
+	// Retire index entries whose packed key changes. (Within the row
 	// stripe, no other writer touches this row's entries.)
 	if hadOld {
-		var staleLists []*core.List[Row]
-		var staleKeys []uint64
 		for i, c := range t.ixCols {
 			if old[c] != row[c] {
-				staleLists = append(staleLists, t.ixLists[i])
-				staleKeys = append(staleKeys, packIndexKey(old[c], rowID))
-			}
-		}
-		if len(staleLists) > 0 {
-			if err := t.group.Remove(staleLists, staleKeys, nil); err != nil {
-				return err
+				ops = append(ops, core.Op[Row]{
+					List: t.ixLists[i], Kind: core.OpDelete,
+					Key: packIndexKey(old[c], rowID),
+				})
 			}
 		}
 	}
-
-	lists := make([]*core.List[Row], 0, 1+len(t.ixCols))
-	keys := make([]uint64, 0, 1+len(t.ixCols))
-	vals := make([]Row, 0, 1+len(t.ixCols))
-	lists = append(lists, t.primary)
-	keys = append(keys, rowID)
-	vals = append(vals, row)
+	ops = append(ops, core.Op[Row]{List: t.primary, Kind: core.OpSet, Key: rowID, Val: row})
 	for i, c := range t.ixCols {
-		lists = append(lists, t.ixLists[i])
-		keys = append(keys, packIndexKey(row[c], rowID))
-		vals = append(vals, nil) // membership only; the key carries the id
+		ops = append(ops, core.Op[Row]{
+			List: t.ixLists[i], Kind: core.OpSet,
+			Key: packIndexKey(row[c], rowID),
+			// membership only; the key carries the id
+		})
 	}
-	return t.group.Update(lists, keys, vals)
+	return t.group.CommitOps(ops)
 }
 
 // Delete removes the row under rowID and all its index entries in one
@@ -227,15 +219,15 @@ func (t *Table) Delete(rowID uint64) (bool, error) {
 	if !ok {
 		return false, nil
 	}
-	lists := make([]*core.List[Row], 0, 1+len(t.ixCols))
-	keys := make([]uint64, 0, 1+len(t.ixCols))
-	lists = append(lists, t.primary)
-	keys = append(keys, rowID)
+	ops := make([]core.Op[Row], 0, 1+len(t.ixCols))
+	ops = append(ops, core.Op[Row]{List: t.primary, Kind: core.OpDelete, Key: rowID})
 	for i, c := range t.ixCols {
-		lists = append(lists, t.ixLists[i])
-		keys = append(keys, packIndexKey(old[c], rowID))
+		ops = append(ops, core.Op[Row]{
+			List: t.ixLists[i], Kind: core.OpDelete,
+			Key: packIndexKey(old[c], rowID),
+		})
 	}
-	return true, t.group.Remove(lists, keys, nil)
+	return true, t.group.CommitOps(ops)
 }
 
 // Get returns a copy of the row under rowID.
@@ -280,9 +272,10 @@ func (t *Table) SelectRange(col int, lo, hi uint64) ([]IndexEntry, error) {
 		hi = maxValue
 	}
 	var out []IndexEntry
-	t.ixLists[ix].RangeQuery(packIndexKey(lo, 0), packIndexKey(hi, maxRowID), func(k uint64, _ Row) {
+	t.ixLists[ix].RangeQuery(packIndexKey(lo, 0), packIndexKey(hi, maxRowID), func(k uint64, _ Row) bool {
 		v, id := unpackIndexKey(k)
 		out = append(out, IndexEntry{Value: v, RowID: id})
+		return true
 	})
 	return out, nil
 }
@@ -311,23 +304,26 @@ func (t *Table) SelectRows(col int, lo, hi uint64) ([]Row, error) {
 func (t *Table) CheckIndexes() error {
 	type rowInfo struct{ row Row }
 	rows := map[uint64]rowInfo{}
-	t.primary.RangeQuery(0, core.MaxKey, func(k uint64, v Row) {
+	t.primary.RangeQuery(0, core.MaxKey, func(k uint64, v Row) bool {
 		rows[k] = rowInfo{row: v}
+		return true
 	})
 	for i, c := range t.ixCols {
 		count := 0
 		var fail error
-		t.ixLists[i].RangeQuery(0, core.MaxKey, func(k uint64, _ Row) {
+		t.ixLists[i].RangeQuery(0, core.MaxKey, func(k uint64, _ Row) bool {
 			count++
 			val, id := unpackIndexKey(k)
 			info, ok := rows[id]
 			if !ok {
 				fail = fmt.Errorf("imdb: index col %d entry (%d,%d) has no row", c, val, id)
-				return
+				return false // stop scanning: the index is already broken
 			}
 			if info.row[c] != val {
 				fail = fmt.Errorf("imdb: index col %d entry (%d,%d) mismatches row value %d", c, val, id, info.row[c])
+				return false
 			}
+			return true
 		})
 		if fail != nil {
 			return fail

@@ -10,18 +10,29 @@
 // per key than a per-node skip-list scan — and, unlike the usual lock-free
 // alternatives, the result is a consistent snapshot.
 //
-// # Maps and groups
+// # Maps, groups and transactions
 //
 // A Map is one ordered uint64 → V dictionary. Maps created from the same
-// Group share a software-transactional-memory domain, and SetMany /
-// DeleteMany apply one key per map as a single atomic (linearizable)
-// operation across all of them — the paper's composed updates over L lists,
-// intended for keeping multiple database indexes coherent:
+// Group share a software-transactional-memory domain, and a transaction
+// built with Group.Txn applies any mix of Set, Delete and Get operations
+// — across any member maps, with any number of keys per map — as a single
+// atomic (linearizable) operation. This generalizes the paper's composed
+// updates over L lists into a real multi-key transaction API, intended
+// for keeping multiple database indexes coherent or moving values
+// atomically between keys:
 //
 //	g := leaplist.NewGroup[string]()
 //	byID, byTime := g.NewMap(), g.NewMap()
-//	err := g.SetMany([]*leaplist.Map[string]{byID, byTime},
-//	    []uint64{id, timestamp}, []string{payload, payload})
+//	tx := g.Txn()
+//	tx.Set(byID, id, payload).Set(byTime, timestamp, payload)
+//	tx.Delete(byID, oldID)
+//	err := tx.Commit()
+//
+// Within a Tx, ops on the same key apply in staging order (last write
+// wins) and staged Gets read their own transaction's earlier writes. Keys
+// that land in the same fat node are coalesced into one node replacement.
+// The legacy SetMany/DeleteMany entry points remain as thin wrappers over
+// Txn.
 //
 // Single-map usage needs no group:
 //
@@ -74,13 +85,30 @@ const (
 // MaxKey is the largest storable key.
 const MaxKey = core.MaxKey
 
-// Errors surfaced by the API; all originate in the core package.
+// Errors surfaced by the API. Each is an alias of (or wraps) the
+// corresponding core sentinel, so errors.Is works across both layers.
+//
+// Tx.Commit returns only ErrForeignMap (a staged map was nil or belongs
+// to another group), ErrKeyRange (a staged key was 2^64-1), or
+// ErrTxCommitted (the Tx was committed twice); contention never surfaces
+// as an error. The legacy SetMany/DeleteMany wrappers additionally return
+// ErrEmptyBatch, ErrBatchMismatch and ErrDuplicateMap for their
+// fixed-shape slice contracts.
 var (
-	ErrKeyRange      = core.ErrKeyRange
+	// ErrKeyRange aliases core.ErrKeyRange: key 2^64-1 is reserved.
+	ErrKeyRange = core.ErrKeyRange
+	// ErrBatchMismatch aliases core.ErrBatchMismatch: slice lengths differ.
 	ErrBatchMismatch = core.ErrBatchMismatch
-	ErrForeignMap    = core.ErrForeignList
-	ErrDuplicateMap  = core.ErrDuplicateList
-	ErrEmptyBatch    = core.ErrEmptyBatch
+	// ErrForeignMap aliases core.ErrForeignList: a map is nil or belongs
+	// to a different group.
+	ErrForeignMap = core.ErrForeignList
+	// ErrDuplicateMap aliases core.ErrDuplicateList: the legacy SetMany/
+	// DeleteMany shapes address each map at most once (use Txn for
+	// multi-key-per-map batches).
+	ErrDuplicateMap = core.ErrDuplicateList
+	// ErrEmptyBatch aliases core.ErrEmptyBatch: the legacy wrappers
+	// reject empty slices (an empty Tx, by contrast, is a no-op).
+	ErrEmptyBatch = core.ErrEmptyBatch
 )
 
 // KV is one key-value pair, as returned by Collect.
@@ -165,42 +193,74 @@ func (g *Group[V]) NewMap() *Map[V] {
 // SetMany atomically performs ms[j][ks[j]] = vs[j] for every j: either all
 // assignments are visible or none. The maps must be distinct members of
 // this group.
+//
+// Deprecated: SetMany is the legacy fixed-shape batch (one key per map,
+// sets only) and is kept as a thin wrapper over Txn; new code should
+// build a Tx, which also supports multiple keys per map, deletes and
+// reads in one atomic batch.
 func (g *Group[V]) SetMany(ms []*Map[V], ks []uint64, vs []V) error {
-	ls, err := g.lists(ms)
-	if err != nil {
+	if len(ms) == 0 {
+		return ErrEmptyBatch
+	}
+	if len(ks) != len(ms) || len(vs) != len(ms) {
+		return ErrBatchMismatch
+	}
+	if err := distinctMaps(ms); err != nil {
 		return err
 	}
-	return g.inner.Update(ls, ks, vs)
+	tx := g.Txn()
+	for j := range ms {
+		tx.Set(ms[j], ks[j], vs[j])
+	}
+	return tx.Commit()
 }
 
 // DeleteMany atomically deletes ks[j] from ms[j] for every j, returning
 // per-map whether the key was present.
+//
+// Deprecated: DeleteMany is the legacy fixed-shape batch (one key per
+// map, deletes only) and is kept as a thin wrapper over Txn; new code
+// should build a Tx.
 func (g *Group[V]) DeleteMany(ms []*Map[V], ks []uint64) ([]bool, error) {
-	ls, err := g.lists(ms)
-	if err != nil {
+	if len(ms) == 0 {
+		return nil, ErrEmptyBatch
+	}
+	if len(ks) != len(ms) {
+		return nil, ErrBatchMismatch
+	}
+	if err := distinctMaps(ms); err != nil {
+		return nil, err
+	}
+	tx := g.Txn()
+	dels := make([]TxDelete[V], len(ms))
+	for j := range ms {
+		dels[j] = tx.Delete(ms[j], ks[j])
+	}
+	if err := tx.Commit(); err != nil {
 		return nil, err
 	}
 	changed := make([]bool, len(ms))
-	if err := g.inner.Remove(ls, ks, changed); err != nil {
-		return nil, err
+	for j := range dels {
+		changed[j] = dels[j].Present()
 	}
 	return changed, nil
+}
+
+// distinctMaps enforces the legacy wrappers' one-key-per-map contract.
+func distinctMaps[V any](ms []*Map[V]) error {
+	for j, m := range ms {
+		for i := 0; i < j; i++ {
+			if ms[i] == m && m != nil {
+				return ErrDuplicateMap
+			}
+		}
+	}
+	return nil
 }
 
 // STMStats returns the group's STM counters (zero unless WithSTMStats).
 func (g *Group[V]) STMStats() stm.StatsSnapshot {
 	return g.stm.Stats()
-}
-
-func (g *Group[V]) lists(ms []*Map[V]) ([]*core.List[V], error) {
-	ls := make([]*core.List[V], len(ms))
-	for i, m := range ms {
-		if m == nil || m.group != g {
-			return nil, ErrForeignMap
-		}
-		ls[i] = m.list
-	}
-	return ls, nil
 }
 
 // Map is one concurrent ordered dictionary. All methods are safe for
@@ -237,20 +297,13 @@ func (m *Map[V]) Delete(k uint64) (bool, error) {
 }
 
 // Range streams one consistent snapshot of every pair with key in
-// [lo, hi], in ascending key order, stopping early if fn returns false.
-// The snapshot is taken before the first fn call, so fn may be slow, may
+// [lo, hi], in ascending key order, stopping early if fn returns false
+// (no further pairs are visited or copied out of the snapshot). The
+// snapshot is taken before the first fn call, so fn may be slow, may
 // call back into the map, and always observes a state that existed at one
 // linearization instant.
 func (m *Map[V]) Range(lo, hi uint64, fn func(k uint64, v V) bool) {
-	stopped := false
-	m.list.RangeQuery(lo, hi, func(k uint64, v V) {
-		if stopped {
-			return
-		}
-		if !fn(k, v) {
-			stopped = true
-		}
-	})
+	m.list.RangeQuery(lo, hi, fn)
 }
 
 // Count returns the number of keys in [lo, hi] at one linearization
@@ -262,8 +315,9 @@ func (m *Map[V]) Count(lo, hi uint64) int {
 // Collect returns one consistent snapshot of [lo, hi] as a slice.
 func (m *Map[V]) Collect(lo, hi uint64) []KV[V] {
 	var out []KV[V]
-	m.list.RangeQuery(lo, hi, func(k uint64, v V) {
+	m.list.RangeQuery(lo, hi, func(k uint64, v V) bool {
 		out = append(out, KV[V]{Key: k, Value: v})
+		return true
 	})
 	return out
 }

@@ -1,0 +1,155 @@
+package leaplist
+
+import (
+	"errors"
+
+	"leaplist/internal/core"
+)
+
+// ErrTxCommitted is returned (or recorded) when a Tx is used after Commit.
+var ErrTxCommitted = errors.New("leaplist: transaction already committed")
+
+// Tx is a declarative transaction builder: stage any mix of Set, Delete
+// and Get operations across any maps of one group — including multiple
+// keys in the same map — then Commit them as a single atomic,
+// linearizable operation under every synchronization variant.
+//
+// Semantics:
+//
+//   - Ops on the same (map, key) apply in staging order: later writes win
+//     ("last-write-wins"), and a staged Get observes exactly the writes
+//     staged before it (read-your-own-writes) on top of the map state at
+//     the commit's linearization point.
+//   - Keys landing in the same fat node coalesce into one node
+//     replacement, so a Tx touching k adjacent keys of one map costs one
+//     node copy, not k.
+//   - An empty Tx commits successfully as a no-op.
+//
+// A Tx is not safe for concurrent use and must be committed at most once.
+// Staging errors (foreign map, out-of-range key) are sticky: the first
+// one is reported by Commit and later stages are ignored.
+//
+//	tx := g.Txn()
+//	tx.Set(byID, id, v).Set(byTime, ts, v)
+//	del := tx.Delete(byID, oldID)
+//	if err := tx.Commit(); err != nil { ... }
+//	evicted := del.Present()
+type Tx[V any] struct {
+	g    *Group[V]
+	ops  []core.Op[V]
+	err  error
+	done bool
+}
+
+// Txn starts an empty transaction against the group.
+func (g *Group[V]) Txn() *Tx[V] {
+	return &Tx[V]{g: g}
+}
+
+// stage appends one op, recording the first staging error.
+func (t *Tx[V]) stage(m *Map[V], kind core.OpKind, k uint64, v V) int {
+	if t.err != nil {
+		return -1
+	}
+	if t.done {
+		t.err = ErrTxCommitted
+		return -1
+	}
+	if m == nil || m.group != t.g {
+		t.err = ErrForeignMap
+		return -1
+	}
+	if k > MaxKey {
+		t.err = ErrKeyRange
+		return -1
+	}
+	t.ops = append(t.ops, core.Op[V]{List: m.list, Kind: kind, Key: k, Val: v})
+	return len(t.ops) - 1
+}
+
+// Set stages m[k] = v, returning the Tx for chaining.
+func (t *Tx[V]) Set(m *Map[V], k uint64, v V) *Tx[V] {
+	t.stage(m, core.OpSet, k, v)
+	return t
+}
+
+// Delete stages the removal of k from m. The returned handle reports,
+// after a successful Commit, whether the key was present (as observed by
+// this op: a key Set earlier in the same Tx counts as present).
+func (t *Tx[V]) Delete(m *Map[V], k uint64) TxDelete[V] {
+	var zero V
+	return TxDelete[V]{t: t, i: t.stage(m, core.OpDelete, k, zero)}
+}
+
+// Get stages an atomic read of m[k] at the Tx's linearization point,
+// observing writes staged earlier in the same Tx. The returned handle
+// yields the value after a successful Commit.
+func (t *Tx[V]) Get(m *Map[V], k uint64) TxGet[V] {
+	var zero V
+	return TxGet[V]{t: t, i: t.stage(m, core.OpGet, k, zero)}
+}
+
+// Len returns the number of staged operations.
+func (t *Tx[V]) Len() int {
+	return len(t.ops)
+}
+
+// Err returns the first staging error, if any, without committing.
+func (t *Tx[V]) Err() error {
+	return t.err
+}
+
+// Commit applies every staged operation as one atomic, linearizable
+// batch: concurrent readers — lookups and range queries on any involved
+// map — observe either none or all of the Tx's effects.
+//
+// Commit returns nil on success (including for an empty Tx). It returns
+// ErrForeignMap or ErrKeyRange if a stage call was invalid, and
+// ErrTxCommitted if the Tx was already committed. There are no
+// conflict-flavored errors: contention is resolved internally by retry.
+func (t *Tx[V]) Commit() error {
+	if t.err != nil {
+		return t.err
+	}
+	if t.done {
+		return ErrTxCommitted
+	}
+	t.done = true
+	if len(t.ops) == 0 {
+		return nil
+	}
+	return t.g.inner.CommitOps(t.ops)
+}
+
+// TxGet is the handle of a staged Get; valid after its Tx commits.
+type TxGet[V any] struct {
+	t *Tx[V]
+	i int
+}
+
+// Value returns the read result. Before a successful Commit (or when the
+// stage itself failed) it returns the zero value and false.
+func (h TxGet[V]) Value() (V, bool) {
+	if h.t == nil || h.i < 0 || !h.t.done || h.t.err != nil {
+		var zero V
+		return zero, false
+	}
+	op := &h.t.ops[h.i]
+	return op.Out, op.Found
+}
+
+// TxDelete is the handle of a staged Delete; valid after its Tx commits.
+type TxDelete[V any] struct {
+	t *Tx[V]
+	i int
+}
+
+// Present reports whether the key was present when the delete applied.
+// Before a successful Commit (or when the stage itself failed) it
+// returns false.
+func (h TxDelete[V]) Present() bool {
+	if h.t == nil || h.i < 0 || !h.t.done || h.t.err != nil {
+		return false
+	}
+	return h.t.ops[h.i].Found
+}

@@ -1,0 +1,535 @@
+package leaplist
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+var txVariants = []Variant{LT, TM, COP, RWLock}
+
+func forEachTxVariant(t *testing.T, fn func(t *testing.T, v Variant)) {
+	for _, v := range txVariants {
+		t.Run(v.String(), func(t *testing.T) { fn(t, v) })
+	}
+}
+
+func TestTxMixedOpsAcrossMaps(t *testing.T) {
+	forEachTxVariant(t, func(t *testing.T, v Variant) {
+		g := NewGroup[string](WithVariant(v), WithNodeSize(4), WithMaxLevel(5))
+		m1, m2 := g.NewMap(), g.NewMap()
+		if err := m2.Set(30, "old"); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+
+		tx := g.Txn()
+		tx.Set(m1, 1, "a").Set(m1, 2, "b") // two keys, same map (same node)
+		del := tx.Delete(m2, 30)
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+		if !del.Present() {
+			t.Fatal("Delete.Present() = false, want true")
+		}
+		if v1, ok := m1.Get(1); !ok || v1 != "a" {
+			t.Fatalf("m1.Get(1) = (%q, %v)", v1, ok)
+		}
+		if v2, ok := m1.Get(2); !ok || v2 != "b" {
+			t.Fatalf("m1.Get(2) = (%q, %v)", v2, ok)
+		}
+		if _, ok := m2.Get(30); ok {
+			t.Fatal("m2 still has deleted key 30")
+		}
+	})
+}
+
+func TestTxDuplicateKeyLastWriteWins(t *testing.T) {
+	forEachTxVariant(t, func(t *testing.T, v Variant) {
+		g := NewGroup[int](WithVariant(v), WithNodeSize(4))
+		m := g.NewMap()
+		tx := g.Txn()
+		tx.Set(m, 7, 1).Set(m, 7, 2).Set(m, 7, 3)
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+		if got, ok := m.Get(7); !ok || got != 3 {
+			t.Fatalf("Get(7) = (%d, %v), want (3, true)", got, ok)
+		}
+		if m.Len() != 1 {
+			t.Fatalf("Len = %d, want 1", m.Len())
+		}
+	})
+}
+
+func TestTxSetThenDeleteSameKey(t *testing.T) {
+	forEachTxVariant(t, func(t *testing.T, v Variant) {
+		g := NewGroup[int](WithVariant(v), WithNodeSize(4))
+		m := g.NewMap()
+
+		// Set then Delete of an absent key: net no-op, delete sees the set.
+		tx := g.Txn()
+		tx.Set(m, 5, 50)
+		del := tx.Delete(m, 5)
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+		if !del.Present() {
+			t.Fatal("Delete after Set in same Tx: Present() = false, want true (read-your-own-writes)")
+		}
+		if _, ok := m.Get(5); ok {
+			t.Fatal("key 5 survived Set+Delete Tx")
+		}
+
+		// Delete then Set: key ends up present.
+		if err := m.Set(6, 60); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+		tx2 := g.Txn()
+		del2 := tx2.Delete(m, 6)
+		tx2.Set(m, 6, 66)
+		if err := tx2.Commit(); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+		if !del2.Present() {
+			t.Fatal("Delete of pre-existing key: Present() = false")
+		}
+		if got, ok := m.Get(6); !ok || got != 66 {
+			t.Fatalf("Get(6) = (%d, %v), want (66, true)", got, ok)
+		}
+	})
+}
+
+func TestTxGetReadYourOwnWrites(t *testing.T) {
+	forEachTxVariant(t, func(t *testing.T, v Variant) {
+		g := NewGroup[int](WithVariant(v), WithNodeSize(4))
+		m := g.NewMap()
+		if err := m.Set(1, 10); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+
+		tx := g.Txn()
+		before := tx.Get(m, 1) // observes pre-state
+		tx.Set(m, 1, 11)
+		after := tx.Get(m, 1) // observes the staged write
+		gone := tx.Get(m, 2)  // absent key
+		tx.Delete(m, 1)
+		afterDel := tx.Get(m, 1)
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+		if got, ok := before.Value(); !ok || got != 10 {
+			t.Fatalf("before = (%d, %v), want (10, true)", got, ok)
+		}
+		if got, ok := after.Value(); !ok || got != 11 {
+			t.Fatalf("after = (%d, %v), want (11, true)", got, ok)
+		}
+		if _, ok := gone.Value(); ok {
+			t.Fatal("Get of absent key reported present")
+		}
+		if _, ok := afterDel.Value(); ok {
+			t.Fatal("Get after staged Delete reported present")
+		}
+	})
+}
+
+func TestTxEmptyCommit(t *testing.T) {
+	g := NewGroup[int]()
+	tx := g.Txn()
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("empty Commit = %v, want nil (no-op)", err)
+	}
+	// A committed Tx cannot be reused.
+	tx.Set(g.NewMap(), 1, 1)
+	if err := tx.Commit(); !errors.Is(err, ErrTxCommitted) {
+		t.Fatalf("second Commit = %v, want ErrTxCommitted", err)
+	}
+}
+
+func TestTxForeignMapRejected(t *testing.T) {
+	g1, g2 := NewGroup[int](), NewGroup[int]()
+	m1, foreign := g1.NewMap(), g2.NewMap()
+
+	tx := g1.Txn()
+	tx.Set(m1, 1, 1).Set(foreign, 2, 2)
+	if err := tx.Commit(); !errors.Is(err, ErrForeignMap) {
+		t.Fatalf("Commit = %v, want ErrForeignMap", err)
+	}
+	// The batch must not have partially applied.
+	if _, ok := m1.Get(1); ok {
+		t.Fatal("failed Tx partially applied")
+	}
+
+	tx2 := g1.Txn()
+	tx2.Set(nil, 1, 1)
+	if err := tx2.Commit(); !errors.Is(err, ErrForeignMap) {
+		t.Fatalf("nil map Commit = %v, want ErrForeignMap", err)
+	}
+
+	tx3 := g1.Txn()
+	tx3.Set(m1, MaxKey+1, 1)
+	if err := tx3.Commit(); !errors.Is(err, ErrKeyRange) {
+		t.Fatalf("out-of-range Commit = %v, want ErrKeyRange", err)
+	}
+}
+
+// TestTxQuickOracle drives random transactions (random op mixes, random
+// maps, duplicate keys included) against per-map model maps applied with
+// the same last-write-wins rules, for every variant. Node size 2
+// maximizes split/merge/coalesce churn.
+func TestTxQuickOracle(t *testing.T) {
+	forEachTxVariant(t, func(t *testing.T, v Variant) {
+		f := func(seed uint64, txsRaw []uint32) bool {
+			const L = 3
+			g := NewGroup[uint64](WithVariant(v), WithNodeSize(2), WithMaxLevel(4))
+			maps := make([]*Map[uint64], L)
+			models := make([]map[uint64]uint64, L)
+			for i := range maps {
+				maps[i] = g.NewMap()
+				models[i] = map[uint64]uint64{}
+			}
+			r := rand.New(rand.NewPCG(seed, 13))
+			for _, raw := range txsRaw {
+				nops := int(raw%5) + 1
+				tx := g.Txn()
+				type staged struct {
+					kind int
+					mi   int
+					k    uint64
+					v    uint64
+					get  TxGet[uint64]
+					del  TxDelete[uint64]
+				}
+				ops := make([]staged, 0, nops)
+				for o := 0; o < nops; o++ {
+					s := staged{
+						kind: r.IntN(3),
+						mi:   r.IntN(L),
+						k:    r.Uint64N(16), // tiny space: lots of dup keys
+						v:    r.Uint64(),
+					}
+					switch s.kind {
+					case 0:
+						tx.Set(maps[s.mi], s.k, s.v)
+					case 1:
+						s.del = tx.Delete(maps[s.mi], s.k)
+					case 2:
+						s.get = tx.Get(maps[s.mi], s.k)
+					}
+					ops = append(ops, s)
+				}
+				if err := tx.Commit(); err != nil {
+					t.Logf("Commit: %v", err)
+					return false
+				}
+				// Replay against the models in staging order, verifying the
+				// Get and Delete results as we go.
+				for _, s := range ops {
+					model := models[s.mi]
+					mv, mok := model[s.k]
+					switch s.kind {
+					case 0:
+						model[s.k] = s.v
+					case 1:
+						if s.del.Present() != mok {
+							t.Logf("Delete(%d) Present=%v, model %v", s.k, s.del.Present(), mok)
+							return false
+						}
+						delete(model, s.k)
+					case 2:
+						gv, gok := s.get.Value()
+						if gok != mok || (gok && gv != mv) {
+							t.Logf("Get(%d) = (%d,%v), model (%d,%v)", s.k, gv, gok, mv, mok)
+							return false
+						}
+					}
+				}
+			}
+			// Final state must equal the models exactly.
+			for i := range maps {
+				if maps[i].Len() != len(models[i]) {
+					t.Logf("map %d Len=%d, model %d", i, maps[i].Len(), len(models[i]))
+					return false
+				}
+				bad := false
+				maps[i].Range(0, MaxKey, func(k, val uint64) bool {
+					if mv, ok := models[i][k]; !ok || mv != val {
+						bad = true
+						return false
+					}
+					return true
+				})
+				if bad {
+					return false
+				}
+			}
+			return true
+		}
+		cfg := &quick.Config{MaxCount: 30}
+		if testing.Short() {
+			cfg.MaxCount = 8
+		}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestTxConcurrentAtomicity is the acceptance stress: transactions commit
+// {Set k, Set k+1, Delete k} with k, k+1 in one map (often one node) and
+// the delete in a second map, while readers verify that the two same-map
+// keys are never observed out of sync. Writers tag values with a
+// per-commit stamp; since k and k+1 are always written together with the
+// same stamp by the owning worker, a snapshot that sees different stamps
+// for a worker's pair proves a torn batch.
+func TestTxConcurrentAtomicity(t *testing.T) {
+	forEachTxVariant(t, func(t *testing.T, v Variant) {
+		g := NewGroup[uint64](WithVariant(v), WithNodeSize(8), WithMaxLevel(6))
+		pairs, other := g.NewMap(), g.NewMap()
+		const workers = 4
+		iters := 400
+		if testing.Short() {
+			iters = 80
+		}
+
+		// Each worker owns the key pair (2w, 2w+1) in pairs.
+		for w := 0; w < workers; w++ {
+			tx := g.Txn()
+			tx.Set(pairs, uint64(2*w), 0).Set(pairs, uint64(2*w)+1, 0)
+			if err := tx.Commit(); err != nil {
+				t.Fatalf("seed Commit: %v", err)
+			}
+		}
+
+		var writerWG, readerWG sync.WaitGroup
+		stop := make(chan struct{})
+		var torn atomic.Bool
+
+		for w := 0; w < workers; w++ {
+			writerWG.Add(1)
+			go func(w int) {
+				defer writerWG.Done()
+				k := uint64(2 * w)
+				for i := 1; i <= iters; i++ {
+					stamp := uint64(i)
+					tx := g.Txn()
+					tx.Set(pairs, k, stamp).Set(pairs, k+1, stamp)
+					tx.Delete(other, uint64(w*100+i%7))
+					if err := tx.Commit(); err != nil {
+						t.Errorf("Commit: %v", err)
+						return
+					}
+				}
+			}(w)
+		}
+		for r := 0; r < 3; r++ {
+			readerWG.Add(1)
+			go func(seed uint64) {
+				defer readerWG.Done()
+				rng := rand.New(rand.NewPCG(seed, 1))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if rng.IntN(2) == 0 {
+						// One snapshot over every pair.
+						vals := make(map[uint64]uint64)
+						pairs.Range(0, uint64(2*workers)-1, func(k, val uint64) bool {
+							vals[k] = val
+							return true
+						})
+						for w := 0; w < workers; w++ {
+							a, aok := vals[uint64(2*w)]
+							b, bok := vals[uint64(2*w)+1]
+							if !aok || !bok || a != b {
+								torn.Store(true)
+								return
+							}
+						}
+					} else {
+						// Writers also interleave with other-map churn.
+						other.Range(0, 1000, func(k, val uint64) bool { return true })
+					}
+				}
+			}(uint64(r + 1))
+		}
+
+		writerWG.Wait()
+		close(stop)
+		readerWG.Wait()
+		if torn.Load() {
+			t.Fatal("torn transaction observed: pair keys diverged within one snapshot")
+		}
+		// Final state: every pair at its final stamp.
+		for w := 0; w < workers; w++ {
+			a, _ := pairs.Get(uint64(2 * w))
+			b, _ := pairs.Get(uint64(2*w) + 1)
+			if a != uint64(iters) || b != uint64(iters) {
+				t.Fatalf("worker %d final pair = (%d, %d), want (%d, %d)", w, a, b, iters, iters)
+			}
+		}
+	})
+}
+
+// TestTxCoalescesNodeWrites checks that many keys landing in one fat node
+// commit in one atomic step and end up correct (the per-node coalescing
+// path: one Tx inserting a whole node's worth of keys, plus interleaved
+// deletes).
+func TestTxCoalescesNodeWrites(t *testing.T) {
+	forEachTxVariant(t, func(t *testing.T, v Variant) {
+		g := NewGroup[uint64](WithVariant(v), WithNodeSize(8), WithMaxLevel(6))
+		m := g.NewMap()
+		for i := uint64(0); i < 8; i++ {
+			if err := m.Set(i, i); err != nil {
+				t.Fatalf("Set: %v", err)
+			}
+		}
+		// One Tx: overwrite half the node, delete the other half, and
+		// bulk-insert past capacity to force a multi-piece split.
+		tx := g.Txn()
+		for i := uint64(0); i < 8; i += 2 {
+			tx.Set(m, i, i*100)
+		}
+		for i := uint64(1); i < 8; i += 2 {
+			tx.Delete(m, i)
+		}
+		for i := uint64(100); i < 130; i++ {
+			tx.Set(m, i, i)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+		if got, want := m.Len(), 4+30; got != want {
+			t.Fatalf("Len = %d, want %d", got, want)
+		}
+		for i := uint64(0); i < 8; i += 2 {
+			if val, ok := m.Get(i); !ok || val != i*100 {
+				t.Fatalf("Get(%d) = (%d, %v)", i, val, ok)
+			}
+		}
+		for i := uint64(1); i < 8; i += 2 {
+			if _, ok := m.Get(i); ok {
+				t.Fatalf("deleted key %d still present", i)
+			}
+		}
+		for i := uint64(100); i < 130; i++ {
+			if val, ok := m.Get(i); !ok || val != i {
+				t.Fatalf("Get(%d) = (%d, %v)", i, val, ok)
+			}
+		}
+	})
+}
+
+// TestRangeCallbackReentrancy pins the documented contract that a Range
+// callback may call back into the map — including writes — under every
+// variant (under RWLock this deadlocked when emission happened inside
+// the read lock).
+func TestRangeCallbackReentrancy(t *testing.T) {
+	forEachTxVariant(t, func(t *testing.T, v Variant) {
+		m := New[uint64](WithVariant(v), WithNodeSize(4))
+		for i := uint64(0); i < 10; i++ {
+			if err := m.Set(i, i); err != nil {
+				t.Fatalf("Set: %v", err)
+			}
+		}
+		m.Range(0, 9, func(k, val uint64) bool {
+			if err := m.Set(100+k, val); err != nil {
+				t.Errorf("re-entrant Set: %v", err)
+				return false
+			}
+			return true
+		})
+		if got := m.Len(); got != 20 {
+			t.Fatalf("Len = %d, want 20", got)
+		}
+	})
+}
+
+// TestTxGetOnlyBatch commits transactions of only Gets — a linearizable
+// multi-key read (under RWLock this takes read locks, not write locks).
+func TestTxGetOnlyBatch(t *testing.T) {
+	forEachTxVariant(t, func(t *testing.T, v Variant) {
+		g := NewGroup[uint64](WithVariant(v), WithNodeSize(4))
+		m1, m2 := g.NewMap(), g.NewMap()
+		if err := m1.Set(1, 10); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+		if err := m2.Set(2, 20); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+		tx := g.Txn()
+		a := tx.Get(m1, 1)
+		b := tx.Get(m2, 2)
+		c := tx.Get(m1, 3)
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+		if av, ok := a.Value(); !ok || av != 10 {
+			t.Fatalf("a = (%d, %v)", av, ok)
+		}
+		if bv, ok := b.Value(); !ok || bv != 20 {
+			t.Fatalf("b = (%d, %v)", bv, ok)
+		}
+		if _, ok := c.Value(); ok {
+			t.Fatal("absent key reported present")
+		}
+	})
+}
+
+func ExampleGroup_Txn() {
+	g := NewGroup[string]()
+	byID := g.NewMap()
+	byTime := g.NewMap()
+	_ = byID.Set(6, "order-6")
+
+	// One atomic transaction: upsert into both indexes, evict a stale
+	// entry from one of them, and read a key back — including a write
+	// staged in this same transaction.
+	tx := g.Txn()
+	tx.Set(byID, 7, "order-7").Set(byTime, 1700000000, "order-7")
+	evicted := tx.Delete(byID, 6)
+	seen := tx.Get(byID, 7)
+	if err := tx.Commit(); err != nil {
+		panic(err)
+	}
+	v, _ := seen.Value()
+	fmt.Println(v, evicted.Present())
+	// Output:
+	// order-7 true
+}
+
+// TestLegacyWrappersOverTx pins the deprecated SetMany/DeleteMany
+// contracts now that they are wrappers over Txn.
+func TestLegacyWrappersOverTx(t *testing.T) {
+	g := NewGroup[uint64](WithNodeSize(8))
+	m1, m2 := g.NewMap(), g.NewMap()
+	ms := []*Map[uint64]{m1, m2}
+
+	if err := g.SetMany(nil, nil, nil); !errors.Is(err, ErrEmptyBatch) {
+		t.Fatalf("empty SetMany = %v, want ErrEmptyBatch", err)
+	}
+	if err := g.SetMany(ms, []uint64{1}, []uint64{1, 2}); !errors.Is(err, ErrBatchMismatch) {
+		t.Fatalf("mismatch SetMany = %v, want ErrBatchMismatch", err)
+	}
+	if err := g.SetMany([]*Map[uint64]{m1, m1}, []uint64{1, 2}, []uint64{1, 2}); !errors.Is(err, ErrDuplicateMap) {
+		t.Fatalf("dup SetMany = %v, want ErrDuplicateMap", err)
+	}
+	if _, err := g.DeleteMany([]*Map[uint64]{m1, m1}, []uint64{1, 2}); !errors.Is(err, ErrDuplicateMap) {
+		t.Fatalf("dup DeleteMany = %v, want ErrDuplicateMap", err)
+	}
+	if err := g.SetMany(ms, []uint64{4, 9}, []uint64{40, 90}); err != nil {
+		t.Fatalf("SetMany: %v", err)
+	}
+	changed, err := g.DeleteMany(ms, []uint64{4, 5})
+	if err != nil {
+		t.Fatalf("DeleteMany: %v", err)
+	}
+	if !changed[0] || changed[1] {
+		t.Fatalf("DeleteMany changed = %v, want [true false]", changed)
+	}
+}
