@@ -46,6 +46,7 @@ func runMixBench(b *testing.B, tgt harness.Target, mix workload.Mix, initN int) 
 	keySpace := uint64(initN)
 	var remaining atomic.Int64
 	remaining.Store(int64(b.N))
+	b.ReportAllocs() // allocs/op is a first-class metric of the write path
 	b.ResetTimer()
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -282,6 +283,7 @@ func BenchmarkTxMixed(b *testing.B) {
 			keySpace := uint64(benchInitSmall)
 			var remaining atomic.Int64
 			remaining.Store(int64(b.N))
+			b.ReportAllocs()
 			b.ResetTimer()
 			start := time.Now()
 			var wg sync.WaitGroup
@@ -309,6 +311,7 @@ func BenchmarkTxMixed(b *testing.B) {
 						if err := tx.Commit(); err != nil {
 							panic(err)
 						}
+						tx.Release() // recycle the builder (no handles held)
 					}
 				}(uint64(w + 1))
 			}

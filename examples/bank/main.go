@@ -146,7 +146,9 @@ func main() {
 					return
 				}
 				// Read-your-own-writes: the staged Get saw the debit.
-				if got, ok := readBack.Value(); !ok || got != fv-1 {
+				got, ok := readBack.Value()
+				tx.Release() // handles read; recycle the builder
+				if !ok || got != fv-1 {
 					failures <- fmt.Errorf("staged Get = (%d, %v), want (%d, true)", got, ok, fv-1)
 					return
 				}

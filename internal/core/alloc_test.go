@@ -1,0 +1,80 @@
+package core
+
+import "testing"
+
+// Allocation budgets of the zero-allocation write path, enforced as
+// regression tests. The numbers are steady-state amortized averages over
+// warmed pools:
+//
+//   - LT Lookup: 0 allocs/op — the naked lookup touches only pooled
+//     scratch.
+//   - LT value-only Update (overwrite of a present key): budget 1.0
+//     allocs/op, typically 0.0. The replacement shares the old node's
+//     keys array and trie, copies values into a recycled buffer, reuses a
+//     recycled shell, and the STM recycles its write records; the
+//     non-zero headroom covers epoch-cadence effects (donations return in
+//     bursts every few epochs) and sync.Pool behaviour across GCs.
+//
+// Before this path existed the same update cost 10 allocs/op (keys copy,
+// vals copy, trie rebuild ×2, node shell, next slots, STM write records,
+// op-slice box).
+const (
+	lookupAllocBudget          = 0.0
+	valueOnlyUpdateAllocBudget = 1.0
+)
+
+func TestAllocsLookupLT(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets are not meaningful under -race")
+	}
+	l := newLoadedLTList(t)
+	var k uint64
+	got := testing.AllocsPerRun(2000, func() {
+		l.Lookup(k % 10000)
+		k++
+	})
+	if got > lookupAllocBudget {
+		t.Fatalf("LT Lookup = %.2f allocs/op, budget %.2f", got, lookupAllocBudget)
+	}
+}
+
+func TestAllocsValueOnlyUpdateLT(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets are not meaningful under -race")
+	}
+	l := newLoadedLTList(t)
+	var k uint64
+	// Warm the recycler and scratch pools: the budget is steady-state.
+	for i := 0; i < 3000; i++ {
+		if err := l.Set(k%10000, k); err != nil {
+			t.Fatal(err)
+		}
+		k++
+	}
+	got := testing.AllocsPerRun(2000, func() {
+		if err := l.Set(k%10000, k); err != nil {
+			t.Fatal(err)
+		}
+		k++
+	})
+	if got > valueOnlyUpdateAllocBudget {
+		t.Fatalf("LT value-only Update = %.2f allocs/op, budget %.2f", got, valueOnlyUpdateAllocBudget)
+	}
+}
+
+// newLoadedLTList returns an LT list preloaded with keys 0..9999 (so every
+// Set in the tests above is a value-only overwrite).
+func newLoadedLTList(t *testing.T) *List[uint64] {
+	t.Helper()
+	g := NewGroup[uint64](Config{Variant: VariantLT}, nil)
+	l := g.NewList()
+	keys := make([]uint64, 10000)
+	vals := make([]uint64, 10000)
+	for i := range keys {
+		keys[i], vals[i] = uint64(i), uint64(i)
+	}
+	if err := l.BulkLoad(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}

@@ -2,8 +2,10 @@ package core
 
 import (
 	"errors"
+	"runtime"
 	"sort"
 
+	"leaplist/internal/epoch"
 	"leaplist/internal/stm"
 )
 
@@ -65,9 +67,10 @@ type txEntry[V any] struct {
 }
 
 // txState is the pooled scratch of one CommitOps call: the sorted op
-// order, the per-node entries, and shared buffers.
+// order, the per-node entries, shared buffers, and the epoch participant
+// the whole call runs pinned to.
 type txState[V any] struct {
-	order   []int         // op indexes sorted by (list id, key, staging order)
+	order   []int // op indexes sorted by (list id, key, staging order)
 	entries []*txEntry[V]
 	nEnt    int
 	used    int        // high-water mark of nEnt since the last putBatch
@@ -75,21 +78,37 @@ type txState[V any] struct {
 
 	marked    []*stm.TaggedPtr[node[V]]
 	markedMap map[*stm.TaggedPtr[node[V]]]struct{} // spill for wide batches
+
+	// part is the epoch participant this scratch pins for the duration of
+	// each CommitOps call (registered once per pooled scratch; released
+	// back to the collector by finalizer when the pool drops the scratch).
+	part *epoch.Participant
+
+	// ovIdx/ovVal stage the (index, value) overwrites of the value-only
+	// fast path, per entry.
+	ovIdx []int
+	ovVal []V
 }
 
-// getBatch returns pooled scratch for a batch.
+// getBatch returns pooled scratch for a batch, pinned to an epoch
+// participant: from here until putBatch, no retired node this operation
+// can observe will be recycled.
 func (g *Group[V]) getBatch() *txState[V] {
 	b, _ := g.pool.Get().(*txState[V])
 	if b == nil {
-		b = &txState[V]{}
+		b = &txState[V]{part: g.collector.Acquire()}
+		col := g.collector
+		runtime.SetFinalizer(b, func(dead *txState[V]) { col.Release(dead.part) })
 	}
+	b.part.Pin()
 	return b
 }
 
-// putBatch clears node and value references so the pooled state does not
-// pin dead nodes or values, then returns it to the pool. Only the entries
-// this batch touched (the high-water mark across retries) need clearing;
-// the rest were already cleared when their batch finished.
+// putBatch unpins and clears node and value references so the pooled
+// state does not pin dead nodes or values, then returns it to the pool.
+// Only the entries this batch touched (the high-water mark across
+// retries) need clearing; the rest were already cleared when their batch
+// finished.
 func (g *Group[V]) putBatch(b *txState[V]) {
 	for _, e := range b.entries[:b.used] {
 		e.n, e.old1 = nil, nil
@@ -109,6 +128,10 @@ func (g *Group[V]) putBatch(b *txState[V]) {
 	b.marked = b.marked[:0]
 	b.markedMap = nil
 	b.nEnt, b.used = 0, 0
+	b.ovIdx = b.ovIdx[:0]
+	clear(b.ovVal)
+	b.ovVal = b.ovVal[:0]
+	b.part.Unpin()
 	g.pool.Put(b)
 }
 
@@ -295,11 +318,23 @@ func (g *Group[V]) buildEntry(tx *stm.Tx, mode int, ops []Op[V], b *txState[V], 
 		return true, nil
 	}
 
+	// Value-only fast path: when every write lands as an overwrite of a
+	// key already present (no insert, no net delete), the replacement has
+	// the same keys, bounds and count as n — so it can share n's keys
+	// array and sealed trie outright, copying only the values. No trie
+	// rebuild, no keys copy, no split, no merge.
+	if done, ok := g.buildValueOnly(mode, ops, b, e); done {
+		if !ok {
+			return false, nil // stale: node died under us
+		}
+		return true, nil
+	}
+
 	// Merge the node's pairs with the batch's per-key outcomes, copying
 	// untouched segments wholesale. The buffer becomes the replacement
-	// nodes' backing storage.
-	newKeys := make([]uint64, 0, n.count()+sets)
-	newVals := make([]V, 0, n.count()+sets)
+	// nodes' backing storage (recycled from retired nodes when possible).
+	newKeys := g.getKeysBuf(n.count() + sets)
+	newVals := g.getValsBuf(n.count() + sets)
 	write := false
 	src := 0
 
@@ -315,27 +350,11 @@ func (g *Group[V]) buildEntry(tx *stm.Tx, mode int, ops []Op[V], b *txState[V], 
 		newVals = append(newVals, n.vals[src:pos]...)
 		src = pos
 		basePresent := src < len(n.keys) && n.keys[src] == k
-		cur := basePresent
-		var curV V
+		var baseV V
 		if basePresent {
-			curV = n.vals[src]
+			baseV = n.vals[src]
 		}
-		sawWrite := false
-		for q := run; q < runEnd; q++ {
-			op := &ops[b.order[q]]
-			switch op.Kind {
-			case OpGet:
-				op.Found, op.Out = cur, curV
-			case OpSet:
-				cur, curV = true, op.Val
-				sawWrite = true
-			case OpDelete:
-				op.Found = cur
-				var zero V
-				cur, curV = false, zero
-				sawWrite = true
-			}
-		}
+		cur, curV, sawWrite := foldRun(ops, b.order, run, runEnd, basePresent, baseV)
 		if sawWrite {
 			if cur {
 				newKeys = append(newKeys, k)
@@ -359,6 +378,9 @@ func (g *Group[V]) buildEntry(tx *stm.Tx, mode int, ops []Op[V], b *txState[V], 
 
 	e.write = write
 	if !write {
+		// The staged buffers never became node backing; hand them back.
+		g.putKeysBuf(newKeys)
+		g.putValsBuf(newVals)
 		return true, nil
 	}
 
@@ -413,6 +435,104 @@ func (g *Group[V]) buildEntry(tx *stm.Tx, mode int, ops []Op[V], b *txState[V], 
 	return true, nil
 }
 
+// buildValueOnly attempts the structure-sharing fast path for entry e:
+// it resolves every run against node n without staging a keys buffer and,
+// if every write turns out to be an overwrite of a present key (no
+// insert, no net delete of a present key), builds the single replacement
+// piece by borrowing n's keys array and sealed trie, copying only the
+// values. It reports done = false when the entry has a structural outcome
+// and the general path must run; when done, ok = false means the plan
+// went stale (planNakedMode only). Staged Get and Delete results are
+// written as a side effect either way (the general path recomputes them
+// identically on a bail-out).
+func (g *Group[V]) buildValueOnly(mode int, ops []Op[V], b *txState[V], e *txEntry[V]) (done, ok bool) {
+	n := e.n
+	b.ovIdx = b.ovIdx[:0]
+	clear(b.ovVal)
+	b.ovVal = b.ovVal[:0]
+
+	run := e.lo
+	for run < e.hi {
+		k := toInternal(ops[b.order[run]].Key)
+		runEnd := run
+		for runEnd < e.hi && toInternal(ops[b.order[runEnd]].Key) == k {
+			runEnd++
+		}
+		i := n.find(k)
+		var baseV V
+		if i >= 0 {
+			baseV = n.vals[i]
+		}
+		cur, curV, sawWrite := foldRun(ops, b.order, run, runEnd, i >= 0, baseV)
+		if sawWrite {
+			if cur {
+				if i < 0 {
+					return false, false // insert of an absent key: structural
+				}
+				b.ovIdx = append(b.ovIdx, i)
+				b.ovVal = append(b.ovVal, curV)
+			} else if i >= 0 {
+				return false, false // net delete of a present key: structural
+			}
+		}
+		run = runEnd
+	}
+
+	if len(b.ovIdx) == 0 {
+		// Every write was a no-op (deletes of absent keys); nothing to
+		// replace.
+		e.write = false
+		return true, true
+	}
+
+	e.write = true
+	if mode == planNakedMode && n.live.Peek() == 0 {
+		return true, false
+	}
+
+	vals := g.getValsBuf(n.count())
+	vals = append(vals, n.vals...)
+	for j, i := range b.ovIdx {
+		vals[i] = b.ovVal[j]
+	}
+	p := g.newShell(n.level)
+	p.keys, p.vals, p.tr = n.keys, vals, n.tr
+	p.high = n.high
+	p.ownsKV = false
+	n.lent.Store(true)
+	e.pieces = append(e.pieces, p)
+	e.maxH = p.level
+	return true, true
+}
+
+// foldRun applies the staged ops of one (list, key) run — ops[order[lo:hi]],
+// all on the same key — to the pre-state (present, presentV), writing Get
+// results and Delete presence flags into the ops as it goes. It returns
+// the key's final state and whether any write (Set or Delete) landed.
+// This fold is the single definition of per-run op semantics
+// (last-write-wins, read-your-own-writes), shared by the general merge
+// loop in buildEntry and the value-only fast path so the two can never
+// diverge.
+func foldRun[V any](ops []Op[V], order []int, lo, hi int, present bool, presentV V) (cur bool, curV V, sawWrite bool) {
+	cur, curV = present, presentV
+	for q := lo; q < hi; q++ {
+		op := &ops[order[q]]
+		switch op.Kind {
+		case OpGet:
+			op.Found, op.Out = cur, curV
+		case OpSet:
+			cur, curV = true, op.Val
+			sawWrite = true
+		case OpDelete:
+			op.Found = cur
+			var zero V
+			cur, curV = false, zero
+			sawWrite = true
+		}
+	}
+	return cur, curV, sawWrite
+}
+
 // lowerBound returns the first index i >= from with keys[i] >= k.
 func lowerBound(keys []uint64, from int, k uint64) int {
 	lo, hi := from, len(keys)
@@ -431,17 +551,18 @@ func lowerBound(keys []uint64, from int, k uint64) int {
 // replacement nodes, taking ownership of the buffers. The rightmost piece
 // inherits the replaced region's level and high bound (so the terminal
 // node stays terminal and every level the old node occupied stays
-// occupied); earlier pieces draw random levels like fresh inserts.
+// occupied); earlier pieces draw random levels like fresh inserts. Shells
+// and trie storage come from the group's recycler.
 func (g *Group[V]) buildPieces(b *txState[V], e *txEntry[V], keysBuf []uint64, valsBuf []V) {
 	n := e.n
 
 	if e.merge {
 		keysBuf = append(keysBuf, e.old1.keys...)
 		valsBuf = append(valsBuf, e.old1.vals...)
-		repl := newNode[V](max(n.level, e.old1.level))
+		repl := g.newShell(max(n.level, e.old1.level))
 		repl.keys, repl.vals = keysBuf, valsBuf
 		repl.high = e.old1.high
-		repl.seal()
+		repl.tr = g.buildTrie(repl.keys)
 		e.pieces = append(e.pieces, repl)
 		e.maxH = repl.level
 		return
@@ -450,17 +571,19 @@ func (g *Group[V]) buildPieces(b *txState[V], e *txEntry[V], keysBuf []uint64, v
 	total := len(keysBuf)
 	k := g.cfg.NodeSize
 	if total <= k {
-		p := newNode[V](n.level)
+		p := g.newShell(n.level)
 		p.keys, p.vals = keysBuf, valsBuf
 		p.high = n.high
-		p.seal()
+		p.tr = g.buildTrie(p.keys)
 		e.pieces = append(e.pieces, p)
 		e.maxH = p.level
 		return
 	}
 	// Split into pieces of roughly 3K/4 so coalesced bulk inserts leave
 	// room to grow; for the classic one-over split (total = K+1) this
-	// reproduces the legacy halving exactly.
+	// reproduces the legacy halving exactly. The pieces slice one shared
+	// backing pair with non-overlapping three-index sections; each
+	// section recycles independently (appends cannot cross its cap).
 	target := 3 * k / 4
 	if target < 1 {
 		target = 1
@@ -477,15 +600,15 @@ func (g *Group[V]) buildPieces(b *txState[V], e *txEntry[V], keysBuf []uint64, v
 		end := start + size
 		var p *node[V]
 		if pi == m-1 {
-			p = newNode[V](n.level)
+			p = g.newShell(n.level)
 			p.high = n.high
 		} else {
-			p = newNode[V](g.pickLevel())
+			p = g.newShell(g.pickLevel())
 			p.high = keysBuf[end-1]
 		}
 		p.keys = keysBuf[start:end:end]
 		p.vals = valsBuf[start:end:end]
-		p.seal()
+		p.tr = g.buildTrie(p.keys)
 		e.pieces = append(e.pieces, p)
 		if p.level > e.maxH {
 			e.maxH = p.level

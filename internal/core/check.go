@@ -121,6 +121,8 @@ func (l *List[V]) CheckInvariants() error {
 // Keys returns every key in the list in ascending order; a quiescent-state
 // helper for tests and tools.
 func (l *List[V]) Keys() []uint64 {
+	r := l.g.getRead() // pin: the walk must not race node recycling
+	defer l.g.putRead(r)
 	var out []uint64
 	for n := l.head.next[0].PeekPtr(); n != nil; n = n.next[0].PeekPtr() {
 		for _, k := range n.keys {
@@ -132,6 +134,8 @@ func (l *List[V]) Keys() []uint64 {
 
 // Len returns the number of keys by traversing level 0; O(n/K) node visits.
 func (l *List[V]) Len() int {
+	r := l.g.getRead() // pin: the walk must not race node recycling
+	defer l.g.putRead(r)
 	total := 0
 	for n := l.head.next[0].PeekPtr(); n != nil; n = n.next[0].PeekPtr() {
 		total += n.count()
@@ -142,6 +146,8 @@ func (l *List[V]) Len() int {
 // NodeCount returns the number of nodes on level 0 (excluding the head);
 // exposed for tests and capacity diagnostics.
 func (l *List[V]) NodeCount() int {
+	r := l.g.getRead() // pin: the walk must not race node recycling
+	defer l.g.putRead(r)
 	total := 0
 	for n := l.head.next[0].PeekPtr(); n != nil; n = n.next[0].PeekPtr() {
 		total++

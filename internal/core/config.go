@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"math/bits"
 	"math/rand/v2"
+	"reflect"
 	"sync"
 	"sync/atomic"
 
 	"leaplist/internal/epoch"
 	"leaplist/internal/stm"
+	"leaplist/internal/trie"
 )
 
 // Variant selects the synchronization protocol of a list group. See the
@@ -72,9 +74,13 @@ type Config struct {
 	MaxLevel int
 	// Variant selects the synchronization protocol.
 	Variant Variant
-	// Collector, when non-nil, receives a Retire call for every node
-	// replaced by an update or remove (the paper's "Deallocate unneeded
-	// nodes" step under Fraser's allocator).
+	// Collector, when non-nil, is the epoch domain the group runs on:
+	// every operation pins one of its participants and every replaced
+	// node is retired through it (the paper's "Deallocate unneeded nodes"
+	// step under Fraser's allocator), feeding the group's node recycler
+	// after the grace period. When nil the group creates a private
+	// collector; supplying one is for sharing a domain across groups or
+	// observing reclamation counters.
 	Collector *epoch.Collector
 	// levelFn overrides random level generation; tests use it for
 	// deterministic structure. nil means geometric with p = 1/2.
@@ -108,10 +114,36 @@ type Group[V any] struct {
 	cfg Config
 	stm *stm.STM
 
-	pool     sync.Pool     // *txState[V] scratch
-	opsPool  sync.Pool     // *[]Op[V] scratch for the legacy wrappers
-	readPool sync.Pool     // *readScratch[V] scratch
-	listIDs  atomic.Uint64 // lock-ordering ids for VariantRW
+	pool       sync.Pool     // *txState[V] scratch
+	opsPool    sync.Pool     // *kvBox[Op[V]] scratch for the legacy wrappers
+	opsBoxPool sync.Pool     // empty *kvBox[Op[V]] husks
+	readPool   sync.Pool     // *readScratch[V] scratch
+	listIDs    atomic.Uint64 // lock-ordering ids for VariantRW
+
+	// collector is the group's epoch domain: every operation runs pinned
+	// to one of its participants, and every replaced node is retired
+	// through it so the recycler pools below only ever receive memory no
+	// concurrent reader can still observe. Equal to cfg.Collector when
+	// the caller supplied one, otherwise private.
+	collector     *epoch.Collector
+	donateNode    func(any) // static epoch destructor: recycle one *node[V]
+	valsNeedClear bool      // V can hold pointers: clear donated vals arrays
+
+	// Recycler pools fed by donateNode and drained by the write path;
+	// see doc.go, "Node lifecycle and structure sharing".
+	shellPool   sync.Pool // *node[V] shells (struct + next slot array)
+	keysPool    sync.Pool // *kvBox[uint64]: retired keys arrays
+	valsPool    sync.Pool // *kvBox[V]: retired value arrays
+	keysBoxPool sync.Pool // empty *kvBox[uint64] husks: donation allocates nothing
+	valsBoxPool sync.Pool // empty *kvBox[V] husks
+	triePool    sync.Pool // *trie.Trie with reusable internal node storage
+}
+
+// kvBox carries a recycled backing array through a sync.Pool without
+// allocating a fresh slice-header box per donation: empty husks circulate
+// through the group's *BoxPool pools.
+type kvBox[T any] struct {
+	s []T
 }
 
 // NewGroup creates a group. A nil domain allocates a private STM.
@@ -120,7 +152,46 @@ func NewGroup[V any](cfg Config, domain *stm.STM) *Group[V] {
 	if domain == nil {
 		domain = stm.New()
 	}
-	return &Group[V]{cfg: cfg, stm: domain}
+	g := &Group[V]{cfg: cfg, stm: domain}
+	g.collector = cfg.Collector
+	if g.collector == nil {
+		g.collector = epoch.NewCollector()
+	}
+	g.donateNode = func(obj any) { g.recycleNode(obj.(*node[V])) }
+	var zero V
+	g.valsNeedClear = typeHasPointers(reflect.TypeOf(&zero).Elem())
+	return g
+}
+
+// typeHasPointers reports whether values of t can reference heap memory;
+// donated value arrays of pointer-free types skip the clearing pass (they
+// can pin nothing).
+func typeHasPointers(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Uintptr, reflect.Float32, reflect.Float64,
+		reflect.Complex64, reflect.Complex128:
+		return false
+	case reflect.Array:
+		return typeHasPointers(t.Elem())
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if typeHasPointers(t.Field(i).Type) {
+				return true
+			}
+		}
+		return false
+	default:
+		return true
+	}
+}
+
+// Collector returns the group's epoch collector (the configured one, or
+// the private collector every group otherwise runs on).
+func (g *Group[V]) Collector() *epoch.Collector {
+	return g.collector
 }
 
 // Config returns the group's normalized configuration.
@@ -147,9 +218,132 @@ func (g *Group[V]) pickLevel() int {
 	return lvl
 }
 
-// retire routes a replaced node to the collector, if configured.
-func (g *Group[V]) retire(n *node[V]) {
-	if c := g.cfg.Collector; c != nil && n != nil {
-		c.Retire(nil)
+// retireNode parks a replaced (already unlinked) node in the committing
+// operation's epoch participant; after the grace period recycleNode
+// donates its shell and unshared backing arrays to the group's pools.
+func (g *Group[V]) retireNode(b *txState[V], n *node[V]) {
+	if n == nil {
+		return
 	}
+	b.part.Retire(n, g.donateNode)
+}
+
+// recycleNode is the epoch destructor of a retired node: it runs only
+// after the grace period, when no pinned operation can still observe the
+// node, and donates whatever the node exclusively owns back to the
+// recycler pools. Keys and trie are donated only when the node owned them
+// (not a borrower) and never lent them to a value-only replacement —
+// backing arrays shared across a replacement chain simply stay out of the
+// pools and fall to the Go collector once the whole chain dies.
+func (g *Group[V]) recycleNode(n *node[V]) {
+	if n.ownsKV && !n.lent.Load() {
+		if cap(n.keys) > 0 {
+			g.putKeysBuf(n.keys)
+		}
+		if n.tr != nil {
+			g.triePool.Put(n.tr)
+		}
+	}
+	if cap(n.vals) > 0 {
+		g.putValsBuf(n.vals)
+	}
+	n.keys, n.vals, n.tr = nil, nil, nil
+	// Clear the slot array so the pooled shell pins no nodes. Entries
+	// beyond len(next) were cleared by earlier donations (or are zero
+	// from allocation), so clearing the live prefix suffices. Versions in
+	// the embedded vlocks are deliberately preserved: a version can only
+	// lag the global clock, which is a valid state for a fresh cell.
+	for i := range n.next {
+		n.next[i].Init(nil, stm.TagNone)
+	}
+	n.live.Init(0)
+	n.lent.Store(false)
+	n.ownsKV = false
+	g.shellPool.Put(n)
+}
+
+// newShell returns a node shell for a replacement piece, recycling a
+// retired one when the pool has it. The shell arrives with live = 0, no
+// backing arrays, and cleared next slots.
+func (g *Group[V]) newShell(level int) *node[V] {
+	n, _ := g.shellPool.Get().(*node[V])
+	if n == nil {
+		return newNode[V](level)
+	}
+	n.level = level
+	if cap(n.next) < level {
+		n.next = make([]stm.TaggedPtr[node[V]], level)
+	} else {
+		n.next = n.next[:level]
+	}
+	n.high = 0
+	n.ownsKV = true
+	return n
+}
+
+// getKeysBuf returns a zero-length keys buffer with capacity >= capacity,
+// recycled when possible. An undersized pooled buffer is dropped to the
+// Go collector rather than cycled back (sync.Pool self-cleans).
+func (g *Group[V]) getKeysBuf(capacity int) []uint64 {
+	if b, _ := g.keysPool.Get().(*kvBox[uint64]); b != nil {
+		s := b.s
+		b.s = nil
+		g.keysBoxPool.Put(b)
+		if cap(s) >= capacity {
+			return s[:0]
+		}
+	}
+	if capacity < g.cfg.NodeSize {
+		capacity = g.cfg.NodeSize
+	}
+	return make([]uint64, 0, capacity)
+}
+
+// putKeysBuf donates a keys array to the pool.
+func (g *Group[V]) putKeysBuf(s []uint64) {
+	b, _ := g.keysBoxPool.Get().(*kvBox[uint64])
+	if b == nil {
+		b = &kvBox[uint64]{}
+	}
+	b.s = s[:0]
+	g.keysPool.Put(b)
+}
+
+// getValsBuf returns a zero-length values buffer with capacity >=
+// capacity, recycled when possible.
+func (g *Group[V]) getValsBuf(capacity int) []V {
+	if b, _ := g.valsPool.Get().(*kvBox[V]); b != nil {
+		s := b.s
+		b.s = nil
+		g.valsBoxPool.Put(b)
+		if cap(s) >= capacity {
+			return s[:0]
+		}
+	}
+	if capacity < g.cfg.NodeSize {
+		capacity = g.cfg.NodeSize
+	}
+	return make([]V, 0, capacity)
+}
+
+// putValsBuf donates a values array, first clearing it when V can hold
+// pointers (so pooled buffers do not pin the values they once held);
+// pointer-free value types skip the pass.
+func (g *Group[V]) putValsBuf(s []V) {
+	if g.valsNeedClear {
+		clear(s)
+	}
+	b, _ := g.valsBoxPool.Get().(*kvBox[V])
+	if b == nil {
+		b = &kvBox[V]{}
+	}
+	b.s = s[:0]
+	g.valsPool.Put(b)
+}
+
+// buildTrie builds a trie over keys into recycled trie storage when the
+// pool has any.
+func (g *Group[V]) buildTrie(keys []uint64) *trie.Trie {
+	t, _ := g.triePool.Get().(*trie.Trie)
+	return trie.BuildInto(t, keys)
 }

@@ -75,4 +75,51 @@
 // with freshly built nodes, relinking predecessors. Only two mutable fields
 // exist, both transactional: the live flag and the (pointer, mark) pairs of
 // the next slots.
+//
+// # Node lifecycle and structure sharing
+//
+// The write path is engineered so that the common update — overwriting
+// the values of keys already present — commits with zero steady-state
+// allocations, without weakening the immutability contract above. Three
+// mechanisms cooperate:
+//
+// Structure sharing (value-only replacement). When every write of a node
+// group lands as an overwrite of a present key (no insert, no net
+// delete), the replacement node has the same keys, bounds, count and
+// level as the node it supplants — so it borrows the old node's keys
+// array and sealed trie outright and copies only the values
+// (buildValueOnly). What is shared: the keys backing array and the *Trie.
+// What is copied: the values array (always — a published values array is
+// never written). Why immutability still holds: no node ever writes
+// through a keys array or trie, whether it owns or borrows them, so a
+// reader holding either observes frozen content forever; the old node
+// remains fully intact for concurrent snapshot readers until the epoch
+// grace period ends. The borrower is marked ownsKV = false and the lender
+// lent = true, which together keep shared backing out of the recycler.
+//
+// Epoch-protected recycling. Every operation (lookup, range query,
+// commit) runs pinned to an epoch participant (internal/epoch); every
+// replaced node, already unlinked, is retired through the committing
+// operation's participant. Only after two epoch advances — when no pinned
+// operation can still hold a reference — does recycleNode donate the
+// node's shell (struct plus next slot array), its values array (cleared
+// first when V holds pointers), and, when owned and never lent, its keys
+// array and trie, into per-group pools consumed by newShell, getKeysBuf,
+// getValsBuf and buildTrie. Retirement itself is allocation-free:
+// participant-local buckets, a static destructor function, pooled boxes
+// for the slice headers. The pin is also what makes the naked LT lookup
+// and the post-transaction emitRange walk safe: without it, a donated
+// buffer could be rewritten mid-read.
+//
+// Pooled transaction metadata. The STM layer (internal/stm) recycles the
+// buffered write records of TaggedPtr stores on a per-descriptor free
+// list, so marking slots and swinging pointers allocates nothing in
+// steady state; the legacy Update/Remove wrappers and the facade Tx
+// builder recycle their op slices the same way.
+//
+// Versioned-lock state survives recycling unchanged: a recycled cell's
+// version can only lag the global clock, which is indistinguishable from
+// a fresh cell last written at that version, and the grace period rules
+// out ABA (no transaction can span a reuse, because transactions run
+// pinned).
 package core

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"leaplist/internal/stm"
 	"leaplist/internal/trie"
 )
@@ -18,7 +20,9 @@ func toPublic(k uint64) uint64   { return k - 1 }
 
 // node is one fat Leap-List node (paper Figure 2). keys, vals, tr, high and
 // level are immutable after publication; live and the next slots are the
-// only mutable fields and are transactional cells.
+// only mutable fields and are transactional cells. See doc.go, "Node
+// lifecycle and structure sharing", for who owns the backing arrays and
+// when they are recycled.
 type node[V any] struct {
 	high  uint64   // inclusive upper bound of the node's range, shifted space
 	level int      // number of forward pointers
@@ -26,14 +30,39 @@ type node[V any] struct {
 	vals  []V
 	tr    *trie.Trie
 
-	live stm.Word // 1 = reachable and current, 0 = replaced or unpublished
+	// ownsKV reports whether this node owns its keys array and trie. A
+	// value-only replacement borrows both from the node it supplants and
+	// has ownsKV = false. Immutable after construction.
+	ownsKV bool
+
+	// lent is set when a replacement node has borrowed this node's keys
+	// and trie (possibly by a planner whose commit later fails — the flag
+	// is conservative). A lent node never donates keys or trie to the
+	// recycler. Atomic because a concurrent planner may set it while the
+	// node's retirement-time donation check reads it.
+	lent atomic.Bool
+
+	// live and next are the only mutable fields. live is written by every
+	// replacement commit while everything above (and the next slice
+	// header) is read-hot, so live is isolated on its own cache line: the
+	// 48-byte pad below covers the line-start slack for any allocation
+	// alignment on the leading side, and stm.Word's internal trailing pad
+	// covers the trailing side — no field shares a line with live's hot
+	// words.
 	next []stm.TaggedPtr[node[V]]
+	_    [48]byte
+	live stm.Word // 1 = reachable and current, 0 = replaced or unpublished
 }
 
+// newNode allocates a fresh node shell. Hot paths obtain shells through
+// Group.newShell, which recycles retired ones; newNode remains for list
+// construction (head/tail sentinels, BulkLoad), which predates any
+// donations.
 func newNode[V any](level int) *node[V] {
 	return &node[V]{
-		level: level,
-		next:  make([]stm.TaggedPtr[node[V]], level),
+		level:  level,
+		ownsKV: true,
+		next:   make([]stm.TaggedPtr[node[V]], level),
 	}
 }
 
@@ -53,8 +82,10 @@ func (n *node[V]) find(k uint64) int {
 	return idx
 }
 
-// seal builds the node's trie from its final keys array. Must be called
-// exactly once, before publication.
+// seal builds the node's trie from its final keys array, allocating
+// fresh trie storage. Must be called exactly once, before publication.
+// Replacement pieces built on the hot path get their tries from the
+// group's recycler (buildPieces) instead.
 func (n *node[V]) seal() {
 	n.tr = trie.Build(n.keys)
 }

@@ -77,18 +77,29 @@ func (g *Group[V]) Remove(ls []*List[V], ks []uint64, changed []bool) error {
 }
 
 // getOps returns a pooled op slice of length n for the legacy wrappers.
+// Slices circulate boxed in kvBox husks so neither direction allocates a
+// slice-header box (the old `Put(&ops)` pattern cost one allocation per
+// call — one sixth of the remaining steady-state update allocations).
 func (g *Group[V]) getOps(n int) []Op[V] {
-	p, _ := g.opsPool.Get().(*[]Op[V])
-	if p == nil || cap(*p) < n {
-		s := make([]Op[V], n)
-		return s
+	if b, _ := g.opsPool.Get().(*kvBox[Op[V]]); b != nil {
+		s := b.s
+		b.s = nil
+		g.opsBoxPool.Put(b)
+		if cap(s) >= n {
+			return s[:n]
+		}
 	}
-	return (*p)[:n]
+	return make([]Op[V], n)
 }
 
 func (g *Group[V]) putOps(ops []Op[V]) {
 	clear(ops) // drop list pointers and values
-	g.opsPool.Put(&ops)
+	b, _ := g.opsBoxPool.Get().(*kvBox[Op[V]])
+	if b == nil {
+		b = &kvBox[Op[V]]{}
+	}
+	b.s = ops
+	g.opsPool.Put(b)
 }
 
 // Set is the single-list convenience form of Update.

@@ -67,9 +67,9 @@ func (g *Group[V]) commitLT(ops []Op[V], b *txState[V]) {
 			continue
 		}
 		g.releaseEntry(b, t)
-		g.retire(e.n)
+		g.retireNode(b, e.n)
 		if e.merge {
-			g.retire(e.old1)
+			g.retireNode(b, e.old1)
 		}
 	}
 }

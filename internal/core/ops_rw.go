@@ -52,10 +52,10 @@ func (g *Group[V]) commitRW(ops []Op[V], b *txState[V]) {
 			}
 			g.releaseEntry(b, t)
 			e.n.live.DirectStore(0)
-			g.retire(e.n)
+			g.retireNode(b, e.n)
 			if e.merge {
 				e.old1.live.DirectStore(0)
-				g.retire(e.old1)
+				g.retireNode(b, e.old1)
 			}
 			return nil
 		})

@@ -43,9 +43,9 @@ func (g *Group[V]) commitTM(ops []Op[V], b *txState[V]) {
 	for t := 0; t < b.nEnt; t++ {
 		e := b.entries[t]
 		if e.write {
-			g.retire(e.n)
+			g.retireNode(b, e.n)
 			if e.merge {
-				g.retire(e.old1)
+				g.retireNode(b, e.old1)
 			}
 		}
 	}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports that this binary was built with the race detector,
+// whose instrumentation allocates; allocation-budget tests skip.
+const raceEnabled = false

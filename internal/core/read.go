@@ -1,6 +1,9 @@
 package core
 
 import (
+	"runtime"
+
+	"leaplist/internal/epoch"
 	"leaplist/internal/stm"
 )
 
@@ -10,21 +13,29 @@ type KV[V any] struct {
 	Value V
 }
 
-// readScratch holds the per-goroutine buffers of read operations.
+// readScratch holds the per-goroutine buffers of read operations plus the
+// epoch participant the operation runs pinned to: from getRead until
+// putRead, no node this reader can observe is recycled, which is what
+// makes the naked LT lookup and the post-transaction emitRange walk safe
+// against the write path's buffer reuse.
 type readScratch[V any] struct {
 	pa, na []*node[V]
 	nodes  []*node[V] // range-query snapshot
+	part   *epoch.Participant
 }
 
 func (g *Group[V]) getRead() *readScratch[V] {
 	r, _ := g.readPool.Get().(*readScratch[V])
 	if r == nil {
-		r = &readScratch[V]{}
+		r = &readScratch[V]{part: g.collector.Acquire()}
+		col := g.collector
+		runtime.SetFinalizer(r, func(dead *readScratch[V]) { col.Release(dead.part) })
 	}
 	if len(r.pa) < g.cfg.MaxLevel {
 		r.pa = make([]*node[V], g.cfg.MaxLevel)
 		r.na = make([]*node[V], g.cfg.MaxLevel)
 	}
+	r.part.Pin()
 	return r
 }
 
@@ -36,6 +47,7 @@ func (g *Group[V]) putRead(r *readScratch[V]) {
 		r.nodes[i] = nil
 	}
 	r.nodes = r.nodes[:0]
+	r.part.Unpin()
 	g.readPool.Put(r)
 }
 
@@ -240,17 +252,29 @@ func (l *List[V]) RangeQuery(lo, hi uint64, emit func(k uint64, v V) bool) int {
 }
 
 // emitRange extracts the pairs within [ilo, ihi] (internal keys) from the
-// snapshot nodes, stopping as soon as emit returns false. Only the first
-// node can hold keys below ilo and only the last can hold keys above ihi,
-// because node ranges partition the key space.
+// snapshot nodes, stopping as soon as emit returns false. Node ranges
+// partition the key space, so only the first node can hold keys below ilo
+// and only the last can hold keys above ihi: both are trimmed once by
+// binary search and every node then emits compare-free, instead of
+// testing k < ilo || k > ihi on every key of every node.
 func emitRange[V any](nodes []*node[V], ilo, ihi uint64, emit func(k uint64, v V) bool) int {
 	count := 0
-	for _, n := range nodes {
-		for i, k := range n.keys {
-			if k < ilo || k > ihi {
-				continue
-			}
-			if emit != nil && !emit(toPublic(k), n.vals[i]) {
+	last := len(nodes) - 1
+	for ni, n := range nodes {
+		keys, vals := n.keys, n.vals
+		if ni == 0 {
+			lo := lowerBound(keys, 0, ilo)
+			keys, vals = keys[lo:], vals[lo:]
+		}
+		if ni == last && ihi != ^uint64(0) {
+			// Trim to the first index with key > ihi; when ihi is the
+			// maximal internal key no key can exceed it (and ihi+1 would
+			// wrap).
+			hi := lowerBound(keys, 0, ihi+1)
+			keys, vals = keys[:hi], vals[:hi]
+		}
+		for i, k := range keys {
+			if emit != nil && !emit(toPublic(k), vals[i]) {
 				return count + 1
 			}
 			count++

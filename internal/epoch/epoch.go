@@ -5,14 +5,26 @@
 // Under Go's garbage collector, reclamation is not needed for memory
 // safety: a naked traversal holding a pointer to a replaced node keeps the
 // node alive automatically, which is precisely the guarantee the paper
-// obtains from Fraser's allocator. What the collector contributes here is
-// the lifecycle accounting of the original system: retired nodes are held
-// until every thread that might still observe them has passed through a
-// grace period, at which point their deferred destructors run and the
-// reclamation counters advance. The Leap-List routes its "Deallocate
-// unneeded nodes" steps (paper Figures 6 and 7) through a Collector, making
-// allocation behaviour observable in benchmarks and letting tests assert
-// that replaced nodes are retired exactly once.
+// obtains from Fraser's allocator. What the collector contributes is the
+// lifecycle accounting of the original system — and, since the write-path
+// overhaul, the safety argument for *reuse*: retired nodes donate their
+// backing arrays and shells to allocation pools, and the grace period is
+// what guarantees no concurrent naked reader can still observe a buffer
+// when it is handed to a new node. Every Leap-List operation (lookup,
+// range query, commit) runs pinned to a Participant; an object retired at
+// epoch e is recycled only once the global epoch reaches e+2, by which
+// time every operation that could have held a reference has unpinned.
+//
+// Two retirement paths exist:
+//
+//   - Participant.Retire(obj, fn): the hot path. The retiree is parked in
+//     the participant's own epoch-tagged bucket with no locking at all;
+//     epoch advancement is attempted only every few retirements, and each
+//     participant runs the destructors of its own expired buckets. fn is
+//     a static function (typically one per pool), so a retirement performs
+//     zero allocations.
+//   - Collector.Retire(fn): the legacy accounting path (global buckets,
+//     one mutex round per call), kept for tests and coarse callers.
 package epoch
 
 import (
@@ -24,12 +36,21 @@ import (
 // reclaimed once the global epoch reaches e+2.
 const buckets = 3
 
+// advanceEvery rate-limits how often a retiring participant attempts the
+// (mutex-protected, participant-scanning) epoch advance.
+const advanceEvery = 8
+
 // Collector tracks a global epoch and the garbage retired under it.
 type Collector struct {
+	// The epoch word is bumped by every successful advance and read by
+	// every Pin; keep it off the cache line of the mutex-protected
+	// registration fields below.
 	epoch atomic.Uint64
+	_     [56]byte
 
 	mu    sync.Mutex
 	parts []*Participant
+	free  []*Participant // released participants available for Acquire
 
 	garbage [buckets]garbageBucket
 
@@ -42,6 +63,13 @@ type garbageBucket struct {
 	fns []func()
 }
 
+// retiree is one deferred (object, destructor) pair on the participant-
+// local path.
+type retiree struct {
+	obj any
+	fn  func(any)
+}
+
 // NewCollector returns an empty collector at epoch 1 (epoch 0 is reserved
 // as the "not pinned" marker in participant words).
 func NewCollector() *Collector {
@@ -51,15 +79,25 @@ func NewCollector() *Collector {
 }
 
 // Participant is one thread's (goroutine's) registration with a collector.
-// A Participant must not be shared between goroutines.
+// A Participant must not be shared between goroutines. Participants are
+// expected to be long-lived; callers that hand them around through object
+// pools should Release rather than Unregister, so the registration (and
+// any garbage still parked locally) is recycled instead of leaked.
 type Participant struct {
 	c *Collector
 	// word holds 0 when not pinned, otherwise the epoch observed at Pin.
 	word atomic.Uint64
+
+	// Participant-local deferred garbage, indexed by retirement epoch mod
+	// buckets. Only the owning goroutine touches these (Flush excepted,
+	// under its quiescence precondition).
+	local      [buckets][]retiree
+	localEpoch [buckets]uint64
+	pending    int
+	sinceTry   int
 }
 
-// Register adds a participant. Participants are expected to be long-lived
-// (one per worker goroutine); Unregister removes one.
+// Register adds a new participant.
 func (c *Collector) Register() *Participant {
 	p := &Participant{c: c}
 	c.mu.Lock()
@@ -68,7 +106,36 @@ func (c *Collector) Register() *Participant {
 	return p
 }
 
+// Acquire returns a released participant if one is available, registering
+// a fresh one otherwise. Pair with Release.
+func (c *Collector) Acquire() *Participant {
+	c.mu.Lock()
+	if n := len(c.free); n > 0 {
+		p := c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		c.mu.Unlock()
+		return p
+	}
+	p := &Participant{c: c}
+	c.parts = append(c.parts, p)
+	c.mu.Unlock()
+	return p
+}
+
+// Release returns an unpinned participant to the collector's free list;
+// it stays registered (unpinned participants never block advancement) and
+// keeps whatever local garbage it has parked until it is acquired and
+// retires again.
+func (c *Collector) Release(p *Participant) {
+	c.mu.Lock()
+	c.free = append(c.free, p)
+	c.mu.Unlock()
+}
+
 // Unregister removes a participant. The participant must be unpinned.
+// Any garbage still parked locally is abandoned to the Go collector
+// (memory-safe; the reclaimed counter simply never sees it).
 func (c *Collector) Unregister(p *Participant) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -82,9 +149,16 @@ func (c *Collector) Unregister(p *Participant) {
 
 // Pin enters a critical section: retirees of the current epoch will not be
 // reclaimed until this participant unpins. Pin/Unpin pairs are cheap (two
-// atomic stores) and wrap each data-structure operation.
+// atomic operations) and wrap each data-structure operation. Pin also
+// opportunistically runs the destructors of this participant's own
+// expired buckets, so recycled memory flows back on the path that
+// produced it.
 func (p *Participant) Pin() {
-	p.word.Store(p.c.epoch.Load())
+	e := p.c.epoch.Load()
+	p.word.Store(e)
+	if p.pending > 0 {
+		p.collect(e)
+	}
 }
 
 // Unpin leaves the critical section.
@@ -92,9 +166,61 @@ func (p *Participant) Unpin() {
 	p.word.Store(0)
 }
 
+// Retire parks (obj, fn) in the participant's bucket for the current
+// epoch; fn(obj) runs once two epochs have passed, guaranteeing no pinned
+// participant can still observe obj. No locks are taken and nothing is
+// allocated beyond bucket growth; every advanceEvery calls the global
+// epoch advance is attempted. fn must not be nil (use Collector.Retire
+// for accounting-only retirement).
+func (p *Participant) Retire(obj any, fn func(any)) {
+	e := p.c.epoch.Load()
+	b := int(e % buckets)
+	if p.localEpoch[b] != e {
+		// Whatever is parked here was retired at an epoch <= e-3, which
+		// is already older than the grace period requires.
+		p.reclaimBucket(b)
+		p.localEpoch[b] = e
+	}
+	p.local[b] = append(p.local[b], retiree{obj: obj, fn: fn})
+	p.pending++
+	p.c.retired.Add(1)
+	p.sinceTry++
+	if p.sinceTry >= advanceEvery {
+		p.sinceTry = 0
+		p.c.tryAdvance()
+		p.collect(p.c.epoch.Load())
+	}
+}
+
+// collect runs the destructors of every local bucket whose epoch is at
+// least two behind e.
+func (p *Participant) collect(e uint64) {
+	for b := 0; b < buckets; b++ {
+		if len(p.local[b]) > 0 && p.localEpoch[b]+2 <= e {
+			p.reclaimBucket(b)
+		}
+	}
+}
+
+// reclaimBucket runs and clears one local bucket.
+func (p *Participant) reclaimBucket(b int) {
+	rs := p.local[b]
+	if len(rs) == 0 {
+		return
+	}
+	for i := range rs {
+		rs[i].fn(rs[i].obj)
+		rs[i] = retiree{}
+	}
+	p.c.reclaimed.Add(uint64(len(rs)))
+	p.pending -= len(rs)
+	p.local[b] = rs[:0]
+}
+
 // Retire schedules fn to run once two epochs have passed, guaranteeing no
 // pinned participant can still observe the retired object. fn may be nil
-// when only the accounting is wanted.
+// when only the accounting is wanted. This is the legacy global-bucket
+// path; hot callers should retire through a Participant.
 func (c *Collector) Retire(fn func()) {
 	e := c.epoch.Load()
 	b := &c.garbage[e%buckets]
@@ -108,10 +234,16 @@ func (c *Collector) Retire(fn func()) {
 }
 
 // tryAdvance advances the epoch if every pinned participant has observed
-// the current one, then reclaims the bucket that is now two epochs old.
+// the current one, then reclaims the global bucket that is now two epochs
+// old (participant-local buckets are reclaimed by their owners).
+// Advancement is best-effort: if another goroutine holds the registration
+// lock (likely attempting the same advance), give up immediately rather
+// than serialize the hot retirement path behind a mutex convoy.
 func (c *Collector) tryAdvance() {
+	if !c.mu.TryLock() {
+		return
+	}
 	e := c.epoch.Load()
-	c.mu.Lock()
 	for _, p := range c.parts {
 		w := p.word.Load()
 		if w != 0 && w != e {
@@ -139,11 +271,24 @@ func (c *Collector) tryAdvance() {
 	}
 }
 
-// Flush forces reclamation of every pending retiree; callable only when no
-// participant is pinned (for example at shutdown or between test phases).
+// Flush forces reclamation of every pending retiree whose grace period can
+// be satisfied; callable only when no operation is in flight (for example
+// at shutdown or between test phases) — it reads participant-local state
+// that is otherwise owner-private. Participants still pinned keep blocking
+// both advancement and their garbage, preserving Retire's guarantee.
 func (c *Collector) Flush() {
 	for i := 0; i < buckets; i++ {
 		c.tryAdvance()
+	}
+	e := c.epoch.Load()
+	c.mu.Lock()
+	parts := make([]*Participant, len(c.parts))
+	copy(parts, c.parts)
+	c.mu.Unlock()
+	for _, p := range parts {
+		if p.pending > 0 {
+			p.collect(e)
+		}
 	}
 }
 

@@ -20,7 +20,16 @@ const (
 // one STM per data-structure group, as in the Leap-List groups that compose
 // updates across L lists).
 type STM struct {
+	// The global version clock is bumped by every read-write commit and
+	// read by every transaction begin — the hottest word in the system.
+	// The padding keeps it alone on its cache line so clock bumps do not
+	// invalidate the (read-mostly) configuration fields or the pool state
+	// below. Per-cell vlocks are deliberately not padded: they are
+	// embedded by the thousand inside data-structure nodes, where a
+	// 64-byte footprint per slot would multiply node memory; the clock is
+	// the one globally shared line worth isolating.
 	clock atomic.Uint64
+	_     [56]byte
 
 	extension bool
 	lockSpin  int
@@ -150,9 +159,12 @@ func backoff(attempt int) {
 	}
 }
 
-var relaxSink atomic.Uint64
-
-// cpuRelax is a portable stand-in for a PAUSE instruction.
+// cpuRelax is a portable stand-in for a PAUSE instruction. The noinline
+// pragma keeps calls (and the loops around them) from being optimized
+// away; unlike an atomic add on a shared sink, the delay touches no
+// shared cache line, so backing-off contenders do not create the very
+// coherence traffic the backoff exists to avoid.
+//
+//go:noinline
 func cpuRelax() {
-	relaxSink.Add(0)
 }

@@ -49,6 +49,10 @@ func (pw *pendingTagged[T]) apply() {
 	pw.tp.t.Store(pw.tag)
 }
 
+func (pw *pendingTagged[T]) reset() {
+	pw.tp, pw.p, pw.tag = nil, nil, 0
+}
+
 // Load returns the pair inside tx, recording the read for commit
 // validation.
 func (tp *TaggedPtr[T]) Load(tx *Tx) (p *T, tag uint64, err error) {
@@ -79,10 +83,22 @@ func (tp *TaggedPtr[T]) Store(tx *Tx, p *T, tag uint64) error {
 		pw.p, pw.tag = p, tag
 		return nil
 	}
-	tx.writes = append(tx.writes, writeEntry{
-		l:   &tp.l,
-		obj: &pendingTagged[T]{tp: tp, p: p, tag: tag},
-	})
+	// Reuse a recycled write record when the descriptor has one of the
+	// right element type; the common transaction then buffers pointer
+	// stores without allocating.
+	var pw *pendingTagged[T]
+	if rec := tx.getRec(); rec != nil {
+		if cand, ok := rec.(*pendingTagged[T]); ok {
+			pw = cand
+		} else {
+			tx.putRec(rec)
+		}
+	}
+	if pw == nil {
+		pw = &pendingTagged[T]{}
+	}
+	pw.tp, pw.p, pw.tag = tp, p, tag
+	tx.writes = append(tx.writes, writeEntry{l: &tp.l, obj: pw})
 	return nil
 }
 

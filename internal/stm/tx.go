@@ -9,9 +9,12 @@ type readEntry struct {
 
 // pendingPtr is implemented by the typed buffered-write records of generic
 // cells (TaggedPtr[T]); apply publishes the buffered value into the cell's
-// backing storage during commit write-back.
+// backing storage during commit write-back, and reset drops the record's
+// references so it can sit in a transaction's free list without pinning
+// anything.
 type pendingPtr interface {
 	apply()
+	reset()
 }
 
 // writeEntry is one buffered write. Word writes are stored inline (word,
@@ -37,6 +40,12 @@ type Tx struct {
 	writes []writeEntry
 	err    error // poisoned by the first conflict; sticky until finish
 	done   bool
+
+	// freeRecs recycles the typed buffered-write records of TaggedPtr
+	// stores across the transactions served by this (pooled) descriptor,
+	// so the common commit allocates no write records at all. Records are
+	// reset before parking here and therefore pin nothing.
+	freeRecs []pendingPtr
 }
 
 func newTx(s *STM) *Tx {
@@ -65,11 +74,23 @@ func (tx *Tx) abort(cause error) {
 	}
 }
 
+// maxFreeRecs bounds the per-descriptor write-record free list; a batch
+// that marked more slots than this donates only the first maxFreeRecs
+// records back.
+const maxFreeRecs = 64
+
 func (tx *Tx) finish() {
 	tx.done = true
-	// Drop buffered objects so the pooled Tx does not pin them.
+	// Recycle buffered write records into the free list (reset first so
+	// the pooled Tx does not pin cells or values through them).
 	for i := range tx.writes {
-		tx.writes[i].obj = nil
+		if obj := tx.writes[i].obj; obj != nil {
+			obj.reset()
+			if len(tx.freeRecs) < maxFreeRecs {
+				tx.freeRecs = append(tx.freeRecs, obj)
+			}
+			tx.writes[i].obj = nil
+		}
 		tx.writes[i].word = nil
 	}
 	// Oversized sets are not returned to the pool at their grown capacity;
@@ -81,6 +102,27 @@ func (tx *Tx) finish() {
 	if cap(tx.writes) > keepCap {
 		tx.writes = make([]writeEntry, 0, 16)
 	}
+}
+
+// getRec pops a recycled write record if the top of the free list has the
+// caller's concrete type (checked by the caller's type assertion); it
+// returns nil when the list is empty. Domains that interleave TaggedPtr
+// element types simply fall back to allocation on a type mismatch.
+func (tx *Tx) getRec() pendingPtr {
+	n := len(tx.freeRecs)
+	if n == 0 {
+		return nil
+	}
+	rec := tx.freeRecs[n-1]
+	tx.freeRecs[n-1] = nil
+	tx.freeRecs = tx.freeRecs[:n-1]
+	return rec
+}
+
+// putRec pushes back a record getRec handed out but the caller could not
+// use (wrong concrete type).
+func (tx *Tx) putRec(rec pendingPtr) {
+	tx.freeRecs = append(tx.freeRecs, rec)
 }
 
 // usable reports whether the transaction can accept further operations,

@@ -5,9 +5,17 @@ import "sync/atomic"
 // Word is a transactional 64-bit unsigned integer cell. The zero value holds
 // 0 at version 0 and is ready to use. The Leap-List stores each node's live
 // flag in a Word.
+//
+// The trailing pad rounds the cell to a full cache line: a Word is written
+// on every commit that touches it (the Leap-List live flag is cleared by
+// every node replacement) while the fields packed around it in the
+// embedding struct are typically read-hot and immutable; without the pad,
+// those reads share a line with the writes and every commit invalidates
+// every concurrent reader's cached copy of the neighbouring fields.
 type Word struct {
 	l vlock
 	v atomic.Uint64
+	_ [48]byte
 }
 
 // Init sets the cell's value without synchronization or version bump. It

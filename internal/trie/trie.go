@@ -43,7 +43,20 @@ type Trie struct {
 // constructor guarantees that invariant and silently mis-built tries would
 // corrupt lookups.
 func Build(keys []uint64) *Trie {
-	t := &Trie{n: len(keys)}
+	return BuildInto(nil, keys)
+}
+
+// BuildInto is Build recycling a retired trie's storage: the internal node
+// pool of t (which must no longer be shared — the caller guarantees no
+// concurrent reader, typically via an epoch grace period) is reused if its
+// capacity suffices. A nil t allocates as Build does. The returned trie is
+// t when t was non-nil.
+func BuildInto(t *Trie, keys []uint64) *Trie {
+	if t == nil {
+		t = &Trie{}
+	}
+	t.n = len(keys)
+	t.nodes = t.nodes[:0]
 	if len(keys) == 0 {
 		t.root = int32(NotFound)
 		return t
@@ -53,7 +66,7 @@ func Build(keys []uint64) *Trie {
 			panic("trie: keys must be strictly increasing")
 		}
 	}
-	if len(keys) > 1 {
+	if cap(t.nodes) < len(keys)-1 {
 		t.nodes = make([]node, 0, len(keys)-1)
 	}
 	t.root = t.build(keys, 0, len(keys), 63)

@@ -60,6 +60,8 @@
 package leaplist
 
 import (
+	"sync"
+
 	"leaplist/internal/core"
 	"leaplist/internal/epoch"
 	"leaplist/internal/stm"
@@ -152,8 +154,11 @@ func WithSTMStats(enabled bool) Option {
 	return func(o *options) { o.stats = enabled }
 }
 
-// WithCollector routes replaced nodes through an epoch collector, exposing
-// the reclamation accounting of the paper's allocator; optional.
+// WithCollector supplies the epoch collector the group runs on — every
+// operation pins it and every replaced node retires through it into the
+// group's node recycler — exposing the reclamation accounting of the
+// paper's allocator and letting several groups share one epoch domain.
+// Without this option the group uses a private collector.
 func WithCollector(c *epoch.Collector) Option {
 	return func(o *options) { o.collector = c }
 }
@@ -163,6 +168,8 @@ func WithCollector(c *epoch.Collector) Option {
 type Group[V any] struct {
 	inner *core.Group[V]
 	stm   *stm.STM
+
+	txPool sync.Pool // released *Tx[V] builders (see Tx.Release)
 }
 
 // NewGroup creates an empty group.
@@ -212,7 +219,9 @@ func (g *Group[V]) SetMany(ms []*Map[V], ks []uint64, vs []V) error {
 	for j := range ms {
 		tx.Set(ms[j], ks[j], vs[j])
 	}
-	return tx.Commit()
+	err := tx.Commit()
+	tx.Release()
+	return err
 }
 
 // DeleteMany atomically deletes ks[j] from ms[j] for every j, returning
@@ -237,12 +246,14 @@ func (g *Group[V]) DeleteMany(ms []*Map[V], ks []uint64) ([]bool, error) {
 		dels[j] = tx.Delete(ms[j], ks[j])
 	}
 	if err := tx.Commit(); err != nil {
+		tx.Release() // handles are never read on the error path
 		return nil, err
 	}
 	changed := make([]bool, len(ms))
 	for j := range dels {
 		changed[j] = dels[j].Present()
 	}
+	tx.Release() // after the handles above were read
 	return changed, nil
 }
 

@@ -34,6 +34,10 @@ var ErrTxCommitted = errors.New("leaplist: transaction already committed")
 //	del := tx.Delete(byID, oldID)
 //	if err := tx.Commit(); err != nil { ... }
 //	evicted := del.Present()
+//
+// Hot callers that do not hold Get/Delete handles past the commit can
+// recycle the builder with Release, making transaction construction
+// allocation-free in steady state.
 type Tx[V any] struct {
 	g    *Group[V]
 	ops  []core.Op[V]
@@ -41,9 +45,40 @@ type Tx[V any] struct {
 	done bool
 }
 
-// Txn starts an empty transaction against the group.
+// Txn starts an empty transaction against the group, reusing a released
+// builder when one is pooled.
 func (g *Group[V]) Txn() *Tx[V] {
+	if t, _ := g.txPool.Get().(*Tx[V]); t != nil {
+		t.g = g
+		return t
+	}
 	return &Tx[V]{g: g}
+}
+
+// Release returns the Tx to the group's builder pool for reuse by a later
+// Txn. It may be called whether or not the Tx was committed. After
+// Release the Tx and every TxGet/TxDelete handle obtained from it are
+// invalid and must not be used — the builder (including its staged-op
+// storage, where handle results live) is handed to the next Txn caller.
+// Releasing is optional: an un-Released Tx is simply garbage-collected.
+// A second Release of the same Tx is a no-op (but a Release while any
+// other use of the Tx is still possible remains the caller's bug).
+func (t *Tx[V]) Release() {
+	g := t.g
+	if g == nil {
+		return // already released
+	}
+	clear(t.ops) // drop map pointers and values before pooling
+	// Shrink-before-pooling, as core's scratch pools do: a one-off giant
+	// batch must not pin its op array for the rest of the process.
+	const keepCap = 1 << 12
+	if cap(t.ops) > keepCap {
+		t.ops = nil
+	} else {
+		t.ops = t.ops[:0]
+	}
+	t.g, t.err, t.done = nil, nil, false
+	g.txPool.Put(t)
 }
 
 // stage appends one op, recording the first staging error.
