@@ -325,6 +325,81 @@ func BenchmarkTxMixed(b *testing.B) {
 	}
 }
 
+// BenchmarkTxRange measures the staged range-op commit path per variant:
+// each Tx stages one GetRange over a paper-sized window plus one Set
+// (the atomic read-with-update the Tx range API exists for), and every
+// tenth Tx instead clears and repopulates a small interval with
+// DeleteRange + Sets. Tracked with -benchmem so range-commit allocations
+// are visible from day one.
+func BenchmarkTxRange(b *testing.B) {
+	for _, v := range []core.Variant{core.VariantLT, core.VariantCOP, core.VariantTM, core.VariantRW} {
+		b.Run(v.String(), func(b *testing.B) {
+			g := leaplist.NewGroup[uint64](
+				leaplist.WithVariant(v),
+				leaplist.WithNodeSize(harness.PaperNodeSize),
+				leaplist.WithMaxLevel(harness.PaperMaxLevel),
+			)
+			m := g.NewMap()
+			keys := make([]uint64, benchInitSmall)
+			vals := make([]uint64, benchInitSmall)
+			for i := range keys {
+				keys[i], vals[i] = uint64(i), uint64(i)
+			}
+			if err := m.BulkLoad(keys, vals); err != nil {
+				b.Fatal(err)
+			}
+			keySpace := uint64(benchInitSmall)
+			var remaining atomic.Int64
+			remaining.Store(int64(b.N))
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			for w := 0; w < benchWorkers; w++ {
+				wg.Add(1)
+				go func(seed uint64) {
+					defer wg.Done()
+					gen, err := workload.NewGenerator(workload.Config{
+						Mix:      workload.Mix{RangePct: 100},
+						KeySpace: keySpace,
+						RangeMin: harness.PaperRangeMin,
+						RangeMax: harness.PaperRangeMax,
+						Seed:     seed,
+					})
+					if err != nil {
+						panic(err)
+					}
+					i := 0
+					for remaining.Add(-1) >= 0 {
+						_, _, _, lo, hi := gen.Next()
+						tx := g.Txn()
+						if i++; i%10 == 0 {
+							span := lo + 8
+							tx.DeleteRange(m, lo, span)
+							for k := lo; k <= span; k++ {
+								tx.Set(m, k, k)
+							}
+						} else {
+							tx.GetRange(m, lo, hi)
+							tx.Set(m, lo, gen.Value())
+						}
+						if err := tx.Commit(); err != nil {
+							panic(err)
+						}
+						tx.Release()
+					}
+				}(uint64(w + 1))
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			b.StopTimer()
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N)/elapsed.Seconds(), "tx/s")
+			}
+		})
+	}
+}
+
 func sizeLabel(n int) string {
 	switch {
 	case n >= 1_000_000 && n%1_000_000 == 0:

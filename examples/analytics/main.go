@@ -129,6 +129,39 @@ func main() {
 			log.Fatalf("sensor %d has %d samples, want %d", s, n, samples)
 		}
 	}
+
+	// Retention: one transaction per sensor evicts everything older than
+	// the last window AND aggregates the survivors. Tx.DeleteRange and
+	// Tx.GetRange resolve at the same commit linearization point, so the
+	// aggregate can never observe a half-evicted series — the classic bug
+	// of running a scan and a trim as two separate operations.
+	g := m.Group()
+	var retained, evicted uint64
+	for s := uint64(0); s < sensors; s++ {
+		cutoff := uint64(samples - window)
+		tx := g.Txn()
+		dropped := tx.DeleteRange(m, key(s, 0), key(s, cutoff-1))
+		kept := tx.GetRange(m, key(s, cutoff), key(s, samples-1))
+		if err := tx.Commit(); err != nil {
+			log.Fatal(err)
+		}
+		if n := dropped.Count(); uint64(n) != cutoff {
+			log.Fatalf("sensor %d evicted %d readings, want %d", s, n, cutoff)
+		}
+		if n := kept.Count(); n != window {
+			log.Fatalf("sensor %d retained %d readings, want %d", s, n, window)
+		}
+		for _, kv := range kept.Pairs() {
+			if kv.Value != kv.Key*7 {
+				log.Fatalf("retention integrity: key %d holds %d, want %d", kv.Key, kv.Value, kv.Key*7)
+			}
+		}
+		retained += uint64(kept.Count())
+		evicted += uint64(dropped.Count())
+		tx.Release()
+	}
+
 	fmt.Printf("done: %d readings ingested, %d windows scanned (%d readings aggregated), all snapshots consistent\n",
 		sensors*samples, windowsScanned.Load(), readingsScanned.Load())
+	fmt.Printf("retention: %d readings evicted, %d retained, atomically per sensor\n", evicted, retained)
 }

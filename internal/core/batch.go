@@ -29,7 +29,20 @@ const (
 	// OpGet reads Key into (Out, Found) at the batch's linearization
 	// point, observing writes staged earlier in the same batch.
 	OpGet
+	// OpGetRange reads every pair with key in [Key, KeyHi] into Range
+	// (ascending) at the batch's linearization point, observing writes
+	// staged earlier in the same batch.
+	OpGetRange
+	// OpDeleteRange removes every pair with key in [Key, KeyHi],
+	// reporting the number removed in N.
+	OpDeleteRange
 )
+
+// isRange reports whether the kind addresses an interval rather than a
+// point key.
+func (k OpKind) isRange() bool {
+	return k == OpGetRange || k == OpDeleteRange
+}
 
 // Op is one staged operation of a composed batch. A batch is a slice of
 // ops over any member lists of one group — any mix of kinds, any number
@@ -38,17 +51,24 @@ const (
 //
 // Within a batch, ops on the same (list, key) apply in slice order:
 // later writes win ("last-write-wins") and a Get observes exactly the
-// writes staged before it. Ops landing in the same fat node coalesce
-// into one node replacement.
+// writes staged before it. Range ops participate per covered key at
+// their staged position: an OpGetRange observes point writes (and range
+// deletes) staged before it on every key it covers, and a later OpSet
+// survives an earlier OpDeleteRange. Ops landing in the same fat node
+// coalesce into one node replacement; a range spanning several adjacent
+// nodes plans one group per node.
 type Op[V any] struct {
-	List *List[V]
-	Kind OpKind
-	Key  uint64
-	Val  V // OpSet only
+	List  *List[V]
+	Kind  OpKind
+	Key   uint64
+	Val   V      // OpSet only
+	KeyHi uint64 // OpGetRange, OpDeleteRange: inclusive upper bound
 
 	// Results, written by CommitOps on success.
-	Found bool // OpGet: key present; OpDelete: key was present
-	Out   V    // OpGet: the value read
+	Found bool    // OpGet: key present; OpDelete: key was present
+	Out   V       // OpGet: the value read
+	N     int     // OpGetRange: pairs read; OpDeleteRange: pairs removed
+	Range []KV[V] // OpGetRange: the snapshot, ascending (reset, then appended)
 }
 
 // txEntry is the per-(list, node) unit of a batch plan: the ops that land
@@ -63,14 +83,17 @@ type txEntry[V any] struct {
 	pa, na []*node[V] // per-level predecessors/successors from the search
 	pieces []*node[V] // replacement nodes, left to right; empty when !write
 	maxH   int        // max level over pieces; pa slots [0, maxH) are swung
-	lo, hi int        // this entry's ops: b.order[lo:hi]
+	lo, hi int        // this entry's point ops: b.order[lo:hi]
+	rops   []int      // range ops overlapping this node, ascending op index
 }
 
 // txState is the pooled scratch of one CommitOps call: the sorted op
 // order, the per-node entries, shared buffers, and the epoch participant
 // the whole call runs pinned to.
 type txState[V any] struct {
-	order   []int // op indexes sorted by (list id, key, staging order)
+	order   []int // point-op indexes sorted by (list id, key, staging order)
+	rorder  []int // range-op indexes sorted by (list id, lo key, staging order)
+	active  []int // range ops whose interval extends past the last planned node
 	entries []*txEntry[V]
 	nEnt    int
 	used    int        // high-water mark of nEnt since the last putBatch
@@ -119,12 +142,15 @@ func (g *Group[V]) putBatch(b *txState[V]) {
 			e.pieces[i] = nil
 		}
 		e.pieces = e.pieces[:0]
+		e.rops = e.rops[:0]
 		e.l = nil
 	}
 	for i := range b.lists {
 		b.lists[i] = nil
 	}
 	b.lists = b.lists[:0]
+	b.rorder = b.rorder[:0]
+	b.active = b.active[:0]
 	b.marked = b.marked[:0]
 	b.markedMap = nil
 	b.nEnt, b.used = 0, 0
@@ -152,19 +178,32 @@ func (b *txState[V]) nextEntry(maxLevel int) *txEntry[V] {
 	e.n, e.old1 = nil, nil
 	e.merge, e.write = false, false
 	e.pieces = e.pieces[:0]
+	e.rops = e.rops[:0]
 	e.maxH = 0
 	return e
 }
 
-// sortOps fills b.order with op indexes sorted by (list id, key, staging
-// order). Stability in staging order is what gives same-key ops their
-// last-write-wins and read-your-own-writes semantics.
+// sortOps fills b.order with the point-op indexes and b.rorder with the
+// range-op indexes, each sorted by (list id, key, staging order) — for a
+// range op the sort key is its lo bound. Stability in staging order is
+// what gives same-key ops their last-write-wins and read-your-own-writes
+// semantics.
 func (b *txState[V]) sortOps(ops []Op[V]) {
 	b.order = b.order[:0]
+	b.rorder = b.rorder[:0]
 	for i := range ops {
-		b.order = append(b.order, i)
+		if ops[i].Kind.isRange() {
+			b.rorder = append(b.rorder, i)
+		} else {
+			b.order = append(b.order, i)
+		}
 	}
-	ord := b.order
+	sortOpIdx(ops, b.order)
+	sortOpIdx(ops, b.rorder)
+}
+
+// sortOpIdx sorts one op-index slice by (list id, key, staging order).
+func sortOpIdx[V any](ops []Op[V], ord []int) {
 	less := func(x, y int) bool {
 		ox, oy := &ops[x], &ops[y]
 		if ox.List != oy.List {
@@ -188,15 +227,69 @@ func (b *txState[V]) sortOps(ops []Op[V]) {
 	sort.Slice(ord, func(i, j int) bool { return less(ord[i], ord[j]) })
 }
 
+// insertOpIndex inserts x into the ascending op-index slice s, keeping it
+// sorted (entries' rops interleave with point runs by staging order).
+func insertOpIndex(s []int, x int) []int {
+	i := len(s)
+	for i > 0 && s[i-1] > x {
+		i--
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = x
+	return s
+}
+
+// headList returns the lower-id list heading the two sorted streams at
+// cursors pi/ri, or nil when both are exhausted — the shared "next list
+// to plan" rule of collectLists and planGroups.
+func (b *txState[V]) headList(ops []Op[V], pi, ri int) *List[V] {
+	var l *List[V]
+	if pi < len(b.order) {
+		l = ops[b.order[pi]].List
+	}
+	if ri < len(b.rorder) {
+		if rl := ops[b.rorder[ri]].List; l == nil || rl.id < l.id {
+			l = rl
+		}
+	}
+	return l
+}
+
+// headKey returns the smallest internal key heading the two streams
+// within their current list's bounds, or posInf when both are exhausted
+// — the shared "next key to plan" rule of planGroups.
+func (b *txState[V]) headKey(ops []Op[V], pi, pEnd, ri, rEnd int) uint64 {
+	k := posInf
+	if pi < pEnd {
+		k = toInternal(ops[b.order[pi]].Key)
+	}
+	if ri < rEnd {
+		if rk := toInternal(ops[b.rorder[ri]].Key); rk < k {
+			k = rk
+		}
+	}
+	return k
+}
+
 // collectLists fills b.lists with the batch's distinct lists in ascending
-// id order (b.order is already sorted by list id).
+// id order, merging the point and range streams (both already sorted by
+// list id).
 func (b *txState[V]) collectLists(ops []Op[V]) {
 	b.lists = b.lists[:0]
+	pi, ri := 0, 0
 	var prev *List[V]
-	for _, i := range b.order {
-		if l := ops[i].List; l != prev {
+	for pi < len(b.order) || ri < len(b.rorder) {
+		l := b.headList(ops, pi, ri)
+		if l != prev {
 			b.lists = append(b.lists, l)
 			prev = l
+		}
+		for pi < len(b.order) && ops[b.order[pi]].List == l {
+			pi++
+		}
+		for ri < len(b.rorder) && ops[b.rorder[ri]].List == l {
+			ri++
 		}
 	}
 }
@@ -246,28 +339,6 @@ func (b *txState[V]) succAt(t, i int) *node[V] {
 	return target
 }
 
-// checkOps validates a general batch.
-func (g *Group[V]) checkOps(ops []Op[V]) error {
-	if len(ops) == 0 {
-		return ErrEmptyBatch
-	}
-	for i := range ops {
-		op := &ops[i]
-		if op.List == nil || op.List.g != g {
-			return ErrForeignList
-		}
-		if op.Key > MaxKey {
-			return ErrKeyRange
-		}
-		switch op.Kind {
-		case OpSet, OpDelete, OpGet:
-		default:
-			return ErrOpKind
-		}
-	}
-	return nil
-}
-
 // Plan modes: how buildEntry reads the merge partner and reports
 // staleness.
 const (
@@ -277,14 +348,15 @@ const (
 )
 
 // buildEntry resolves entry e's ops against node n and constructs the
-// replacement plan: staged Gets and Delete presence flags are written
-// into the ops (observing earlier staged writes on the same key), the
-// node's surviving pairs are merged with the batch's final per-key
-// values, and the result is cut into replacement pieces (splitting when
-// it outgrows NodeSize, absorbing the successor when a net shrink leaves
-// room). hasNext/nextKey describe the next op beyond this entry in the
-// same list; a merge is vetoed when the successor is itself a batch
-// target.
+// replacement plan: staged Gets, GetRange snapshots and Delete(Range)
+// presence counts are written into the ops (observing earlier staged
+// writes on the same key), the node's surviving pairs are merged with
+// the batch's final per-key values, and the result is cut into
+// replacement pieces (splitting when it outgrows NodeSize, absorbing the
+// successor when a net shrink leaves room). hasNext/nextKey describe the
+// next op beyond this entry in the same list; a merge is vetoed when the
+// successor is itself a batch target (including the next node of a range
+// op's run, for which planGroups forces nextKey = n.high+1).
 //
 // In planNakedMode a false return means the plan went stale (a node died
 // mid-read) and the whole attempt must restart. In planTxMode a non-nil
@@ -292,8 +364,8 @@ const (
 func (g *Group[V]) buildEntry(tx *stm.Tx, mode int, ops []Op[V], b *txState[V], e *txEntry[V], hasNext bool, nextKey uint64) (bool, error) {
 	n := e.n
 
-	// Pre-scan: a Get-only entry resolves straight off the immutable node
-	// and builds nothing.
+	// Pre-scan: a read-only entry (Gets and GetRanges) resolves straight
+	// off the immutable node and builds nothing.
 	sets := 0
 	hasWriteOps := false
 	for q := e.lo; q < e.hi; q++ {
@@ -305,82 +377,192 @@ func (g *Group[V]) buildEntry(tx *stm.Tx, mode int, ops []Op[V], b *txState[V], 
 			hasWriteOps = true
 		}
 	}
-	if !hasWriteOps {
-		for q := e.lo; q < e.hi; q++ {
-			op := &ops[b.order[q]]
-			var zero V
-			op.Found, op.Out = false, zero
-			if i := n.find(toInternal(op.Key)); i >= 0 {
-				op.Found, op.Out = true, n.vals[i]
-			}
+	for _, oi := range e.rops {
+		if ops[oi].Kind == OpDeleteRange {
+			hasWriteOps = true
 		}
+	}
+	if !hasWriteOps {
+		g.resolveEntryReads(ops, b, e)
 		e.write = false
 		return true, nil
 	}
 
-	// Value-only fast path: when every write lands as an overwrite of a
-	// key already present (no insert, no net delete), the replacement has
-	// the same keys, bounds and count as n — so it can share n's keys
-	// array and sealed trie outright, copying only the values. No trie
-	// rebuild, no keys copy, no split, no merge.
-	if done, ok := g.buildValueOnly(mode, ops, b, e); done {
-		if !ok {
-			return false, nil // stale: node died under us
+	if len(e.rops) == 0 {
+		// Value-only fast path: when every write lands as an overwrite of
+		// a key already present (no insert, no net delete), the
+		// replacement has the same keys, bounds and count as n — so it can
+		// share n's keys array and sealed trie outright, copying only the
+		// values. No trie rebuild, no keys copy, no split, no merge.
+		if done, ok := g.buildValueOnly(mode, ops, b, e); done {
+			if !ok {
+				return false, nil // stale: node died under us
+			}
+			return true, nil
 		}
-		return true, nil
 	}
 
-	// Merge the node's pairs with the batch's per-key outcomes, copying
-	// untouched segments wholesale. The buffer becomes the replacement
-	// nodes' backing storage (recycled from retired nodes when possible).
+	// Merge the node's pairs with the batch's per-key outcomes. The
+	// buffer becomes the replacement nodes' backing storage (recycled
+	// from retired nodes when possible).
 	newKeys := g.getKeysBuf(n.count() + sets)
 	newVals := g.getValsBuf(n.count() + sets)
 	write := false
+	// valueOnly tracks whether every write of the range-aware merge landed
+	// as an overwrite of a present key; the point-only branch already
+	// exhausted its own fast path, so it can never reclaim one here.
+	valueOnly := false
 	src := 0
-
 	run := e.lo
-	for run < e.hi {
-		k := toInternal(ops[b.order[run]].Key)
-		runEnd := run
-		for runEnd < e.hi && toInternal(ops[b.order[runEnd]].Key) == k {
-			runEnd++
-		}
-		pos := lowerBound(n.keys, src, k)
-		newKeys = append(newKeys, n.keys[src:pos]...)
-		newVals = append(newVals, n.vals[src:pos]...)
-		src = pos
-		basePresent := src < len(n.keys) && n.keys[src] == k
-		var baseV V
-		if basePresent {
-			baseV = n.vals[src]
-		}
-		cur, curV, sawWrite := foldRun(ops, b.order, run, runEnd, basePresent, baseV)
-		if sawWrite {
-			if cur {
+
+	if len(e.rops) == 0 {
+		// Point-only merge: copy untouched segments wholesale.
+		for run < e.hi {
+			k := toInternal(ops[b.order[run]].Key)
+			runEnd := run
+			for runEnd < e.hi && toInternal(ops[b.order[runEnd]].Key) == k {
+				runEnd++
+			}
+			pos := lowerBound(n.keys, src, k)
+			newKeys = append(newKeys, n.keys[src:pos]...)
+			newVals = append(newVals, n.vals[src:pos]...)
+			src = pos
+			basePresent := src < len(n.keys) && n.keys[src] == k
+			var baseV V
+			if basePresent {
+				baseV = n.vals[src]
+			}
+			cur, curV, sawWrite := foldRun(ops, b.order, run, runEnd, basePresent, baseV)
+			if sawWrite {
+				if cur {
+					newKeys = append(newKeys, k)
+					newVals = append(newVals, curV)
+					write = true // a Set landed; values always replace
+				} else if basePresent {
+					write = true // net delete of a present key
+				}
+				if basePresent {
+					src++
+				}
+			} else if basePresent {
 				newKeys = append(newKeys, k)
 				newVals = append(newVals, curV)
-				write = true // a Set landed; values always replace
+				src++
+			}
+			run = runEnd
+		}
+		newKeys = append(newKeys, n.keys[src:]...)
+		newVals = append(newVals, n.vals[src:]...)
+	} else {
+		// Range-aware merge: walk the union of the node's keys and the
+		// entry's point-op keys, folding point ops and overlapping range
+		// ops per key in staging order. Base segments outside every
+		// interval's covered span and below the next point key cannot be
+		// touched by any staged op, so they copy wholesale like the
+		// point-only path's untouched segments.
+		valueOnly = true
+		rlo, rhi := posInf, negInf
+		for _, oi := range e.rops {
+			if il := toInternal(ops[oi].Key); il < rlo {
+				rlo = il
+			}
+			if ih := toInternal(ops[oi].KeyHi); ih > rhi {
+				rhi = ih
+			}
+		}
+		for src < len(n.keys) || run < e.hi {
+			if src < len(n.keys) {
+				bk := n.keys[src]
+				nextPoint := posInf
+				havePoint := run < e.hi
+				if havePoint {
+					nextPoint = toInternal(ops[b.order[run]].Key)
+				}
+				if bk < nextPoint && (bk < rlo || bk > rhi) {
+					var pos int
+					switch {
+					case bk > rhi && !havePoint:
+						pos = len(n.keys) // past every staged op: copy the rest
+					case bk > rhi:
+						pos = lowerBound(n.keys, src, nextPoint)
+					default:
+						stop := rlo
+						if nextPoint < stop {
+							stop = nextPoint
+						}
+						pos = lowerBound(n.keys, src, stop)
+					}
+					newKeys = append(newKeys, n.keys[src:pos]...)
+					newVals = append(newVals, n.vals[src:pos]...)
+					src = pos
+					continue
+				}
+			}
+			var k uint64
+			if src < len(n.keys) && (run >= e.hi || n.keys[src] <= toInternal(ops[b.order[run]].Key)) {
+				k = n.keys[src]
+			} else {
+				k = toInternal(ops[b.order[run]].Key)
+			}
+			basePresent := src < len(n.keys) && n.keys[src] == k
+			var baseV V
+			if basePresent {
+				baseV = n.vals[src]
+			}
+			runEnd := run
+			for runEnd < e.hi && toInternal(ops[b.order[runEnd]].Key) == k {
+				runEnd++
+			}
+			cur, curV, sawWrite := foldKeyRanged(ops, b.order, run, runEnd, e.rops, k, basePresent, baseV)
+			if sawWrite {
+				if cur {
+					newKeys = append(newKeys, k)
+					newVals = append(newVals, curV)
+					write = true
+					if !basePresent {
+						valueOnly = false // insert of an absent key
+					}
+				} else if basePresent {
+					write = true
+					valueOnly = false // net delete of a present key
+				}
 			} else if basePresent {
-				write = true // net delete of a present key
+				newKeys = append(newKeys, k)
+				newVals = append(newVals, curV)
 			}
 			if basePresent {
 				src++
 			}
-		} else if basePresent {
-			newKeys = append(newKeys, k)
-			newVals = append(newVals, curV)
-			src++
+			run = runEnd
 		}
-		run = runEnd
 	}
-	newKeys = append(newKeys, n.keys[src:]...)
-	newVals = append(newVals, n.vals[src:]...)
 
 	e.write = write
 	if !write {
 		// The staged buffers never became node backing; hand them back.
 		g.putKeysBuf(newKeys)
 		g.putValsBuf(newVals)
+		return true, nil
+	}
+
+	if valueOnly {
+		// Every write of the range-aware merge overwrote a present key:
+		// the replacement has the same keys, bounds and count as n, so —
+		// exactly like buildValueOnly — it borrows n's keys array and
+		// sealed trie, keeping only the merged values buffer. The staged
+		// keys buffer never becomes node backing.
+		g.putKeysBuf(newKeys)
+		if mode == planNakedMode && n.live.Peek() == 0 {
+			g.putValsBuf(newVals)
+			return false, nil // stale: node died under us
+		}
+		p := g.newShell(n.level)
+		p.keys, p.vals, p.tr = n.keys, newVals, n.tr
+		p.high = n.high
+		p.ownsKV = false
+		n.lent.Store(true)
+		e.pieces = append(e.pieces, p)
+		e.maxH = p.level
 		return true, nil
 	}
 
@@ -401,7 +583,12 @@ func (g *Group[V]) buildEntry(tx *stm.Tx, mode int, ops []Op[V], b *txState[V], 
 					break
 				}
 				if n.live.Peek() == 0 {
-					return false, nil // stale: node died under us
+					// Stale: node died under us. The staged buffers never
+					// became node backing; hand them back before the
+					// restart abandons them.
+					g.putKeysBuf(newKeys)
+					g.putValsBuf(newVals)
+					return false, nil
 				}
 				stmBackoff(spin)
 			}
@@ -411,6 +598,8 @@ func (g *Group[V]) buildEntry(tx *stm.Tx, mode int, ops []Op[V], b *txState[V], 
 			var err error
 			old1, _, err = n.next[0].Load(tx)
 			if err != nil {
+				g.putKeysBuf(newKeys)
+				g.putValsBuf(newVals)
 				return false, err
 			}
 		}
@@ -423,16 +612,40 @@ func (g *Group[V]) buildEntry(tx *stm.Tx, mode int, ops []Op[V], b *txState[V], 
 	if mode == planNakedMode {
 		// Late liveness checks cut doomed lock attempts short (the plan is
 		// still fully validated transactionally before committing).
-		if n.live.Peek() == 0 {
-			return false, nil
-		}
-		if e.merge && e.old1.live.Peek() == 0 {
+		if n.live.Peek() == 0 || (e.merge && e.old1.live.Peek() == 0) {
+			g.putKeysBuf(newKeys)
+			g.putValsBuf(newVals)
+			e.merge, e.old1 = false, nil
 			return false, nil
 		}
 	}
 
 	g.buildPieces(b, e, newKeys, newVals)
 	return true, nil
+}
+
+// resolveEntryReads resolves a read-only entry (point Gets and GetRange
+// clips, no writes anywhere in the entry) straight off the immutable
+// node. With no staged writes landing in the node, staging order cannot
+// matter: every read observes the node's committed pairs.
+func (g *Group[V]) resolveEntryReads(ops []Op[V], b *txState[V], e *txEntry[V]) {
+	n := e.n
+	for q := e.lo; q < e.hi; q++ {
+		op := &ops[b.order[q]]
+		var zero V
+		op.Found, op.Out = false, zero
+		if i := n.find(toInternal(op.Key)); i >= 0 {
+			op.Found, op.Out = true, n.vals[i]
+		}
+	}
+	for _, oi := range e.rops {
+		op := &ops[oi]
+		ks, vs := clipRange(n.keys, n.vals, toInternal(op.Key), toInternal(op.KeyHi))
+		for i, k := range ks {
+			op.Range = append(op.Range, KV[V]{Key: toPublic(k), Value: vs[i]})
+		}
+		op.N += len(ks)
+	}
 }
 
 // buildValueOnly attempts the structure-sharing fast path for entry e:
@@ -505,18 +718,39 @@ func (g *Group[V]) buildValueOnly(mode int, ops []Op[V], b *txState[V], e *txEnt
 	return true, true
 }
 
-// foldRun applies the staged ops of one (list, key) run — ops[order[lo:hi]],
-// all on the same key — to the pre-state (present, presentV), writing Get
-// results and Delete presence flags into the ops as it goes. It returns
-// the key's final state and whether any write (Set or Delete) landed.
-// This fold is the single definition of per-run op semantics
-// (last-write-wins, read-your-own-writes), shared by the general merge
-// loop in buildEntry and the value-only fast path so the two can never
-// diverge.
+// foldRun applies the staged point ops of one (list, key) run —
+// ops[order[lo:hi]], all on the same key — to the pre-state (present,
+// presentV). It is foldKeyRanged with no overlapping range ops, kept as
+// the entry point of the point-only paths (the general merge loop and
+// the value-only fast path).
 func foldRun[V any](ops []Op[V], order []int, lo, hi int, present bool, presentV V) (cur bool, curV V, sawWrite bool) {
+	return foldKeyRanged(ops, order, lo, hi, nil, 0, present, presentV)
+}
+
+// foldKeyRanged applies every staged op touching internal key k — the
+// point-op run ops[order[lo:hi]] interleaved, by staging (op index)
+// order, with the range ops rops whose interval covers k — to the
+// pre-state (present, presentV), writing Get results, GetRange pairs and
+// Delete(Range) presence counts into the ops as it goes. It returns the
+// key's final state and whether any write (Set, Delete or a covering
+// DeleteRange) landed. This fold is the single definition of per-key op
+// semantics (last-write-wins, read-your-own-writes), shared by every
+// merge path so they can never diverge.
+func foldKeyRanged[V any](ops []Op[V], order []int, lo, hi int, rops []int, k uint64, present bool, presentV V) (cur bool, curV V, sawWrite bool) {
 	cur, curV = present, presentV
-	for q := lo; q < hi; q++ {
-		op := &ops[order[q]]
+	q, ri := lo, 0
+	for q < hi || ri < len(rops) {
+		var op *Op[V]
+		if q < hi && (ri >= len(rops) || order[q] < rops[ri]) {
+			op = &ops[order[q]]
+			q++
+		} else {
+			op = &ops[rops[ri]]
+			ri++
+			if pk := toPublic(k); pk < op.Key || pk > op.KeyHi {
+				continue // interval does not cover this key
+			}
+		}
 		switch op.Kind {
 		case OpGet:
 			op.Found, op.Out = cur, curV
@@ -527,6 +761,18 @@ func foldRun[V any](ops []Op[V], order []int, lo, hi int, present bool, presentV
 			op.Found = cur
 			var zero V
 			cur, curV = false, zero
+			sawWrite = true
+		case OpGetRange:
+			if cur {
+				op.Range = append(op.Range, KV[V]{Key: toPublic(k), Value: curV})
+				op.N++
+			}
+		case OpDeleteRange:
+			if cur {
+				op.N++
+				var zero V
+				cur, curV = false, zero
+			}
 			sawWrite = true
 		}
 	}
@@ -630,36 +876,114 @@ var errStalePlan = errors.New("core: stale plan")
 // (TM, RW) this happens before the next group's search, so that search
 // observes the already-applied splices. Returns errStalePlan in naked
 // mode when a node died mid-plan, or the first search/build/emit error.
+//
+// A range op expands into the run of adjacent nodes its interval covers:
+// the op activates at the node containing its lo bound and, while any
+// active interval extends past the planned node's high bound, the walk
+// continues at the successor with a fresh entry, until the node covering
+// hi. A read-only continuation (active intervals all GetRange, nothing
+// writing into the next node) reaches the successor by stepping next[0]
+// — exactly the level-0 walk of RangeQuery, since read-only entries
+// never use pa/na; a continuation that writes re-searches as high+1
+// (against the already-applied splices in the sequential variants) to
+// position the predecessors its swings and validation need. Every run
+// node gets an entry either way, which is what makes commit-time
+// validation cover the whole interval: nodes are immutable, so a pair
+// appearing or vanishing inside the interval between plan and commit
+// implies some run node died, which validation (liveness of every
+// entry's node at the single commit instant) turns into a retry.
 func (g *Group[V]) planGroups(ops []Op[V], b *txState[V], mode int, tx *stm.Tx,
 	search func(l *List[V], k uint64, e *txEntry[V]) error,
 	emit func(t int) error) error {
 	maxLevel := g.cfg.MaxLevel
 	b.nEnt = 0
-	i := 0
-	for i < len(b.order) {
-		l := ops[b.order[i]].List
-		j := i
-		for j < len(b.order) && ops[b.order[j]].List == l {
-			j++
+	// Range-op results are side effects of planning; reset them so a
+	// retried plan (stale LT/COP setup, re-executed TM transaction) does
+	// not accumulate duplicates. Clear before truncating so pairs from an
+	// earlier commit of a reused ops slice (pointerful values included)
+	// do not stay live in the slice capacity.
+	for _, oi := range b.rorder {
+		op := &ops[oi]
+		clear(op.Range)
+		op.Range = op.Range[:0]
+		op.N = 0
+	}
+	pi, ri := 0, 0 // cursors into the point and range streams
+	for pi < len(b.order) || ri < len(b.rorder) {
+		l := b.headList(ops, pi, ri)
+		pEnd := pi
+		for pEnd < len(b.order) && ops[b.order[pEnd]].List == l {
+			pEnd++
 		}
-		idx := i
-		for idx < j {
-			k := toInternal(ops[b.order[idx]].Key)
+		rEnd := ri
+		for rEnd < len(b.rorder) && ops[b.rorder[rEnd]].List == l {
+			rEnd++
+		}
+		b.active = b.active[:0]
+		var prevHigh uint64
+		for pi < pEnd || ri < rEnd || len(b.active) > 0 {
+			var k uint64
+			if len(b.active) > 0 {
+				// An interval extends past the previous node: continue the
+				// run at its successor (prevHigh < posInf, or the terminal
+				// node would have completed every interval).
+				k = prevHigh + 1
+			} else {
+				k = b.headKey(ops, pi, pEnd, ri, rEnd)
+			}
 			e := b.nextEntry(maxLevel)
 			t := b.nEnt - 1
-			if err := search(l, k, e); err != nil {
-				return err
+			searched := true
+			if len(b.active) > 0 && t > 0 {
+				n, ok, err := g.stepRun(tx, mode, ops, b, b.entries[t-1].n, pi, pEnd, ri, rEnd)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return errStalePlan
+				}
+				if n != nil {
+					e.l, e.n = l, n
+					searched = false
+				}
 			}
-			e.l, e.n = l, e.na[0]
-			e.lo = idx
-			for idx < j && toInternal(ops[b.order[idx]].Key) <= e.n.high {
-				idx++
+			if searched {
+				if err := search(l, k, e); err != nil {
+					return err
+				}
+				e.l, e.n = l, e.na[0]
 			}
-			e.hi = idx
-			hasNext := idx < j
+			e.lo = pi
+			for pi < pEnd && toInternal(ops[b.order[pi]].Key) <= e.n.high {
+				pi++
+			}
+			e.hi = pi
+			// Ranges overlapping this node: every still-active interval
+			// continues into it, plus every interval starting at or below
+			// its high bound. rops stays sorted by op index so the per-key
+			// fold interleaves point and range ops in staging order.
+			e.rops = append(e.rops, b.active...)
+			for ri < rEnd && toInternal(ops[b.rorder[ri]].Key) <= e.n.high {
+				e.rops = insertOpIndex(e.rops, b.rorder[ri])
+				ri++
+			}
+			b.active = b.active[:0]
+			runContinues := false
+			for _, oi := range e.rops {
+				if toInternal(ops[oi].KeyHi) > e.n.high {
+					b.active = append(b.active, oi)
+					runContinues = true
+				}
+			}
+			hasNext := pi < pEnd || ri < rEnd
 			var nextKey uint64
 			if hasNext {
-				nextKey = toInternal(ops[b.order[idx]].Key)
+				nextKey = b.headKey(ops, pi, pEnd, ri, rEnd)
+			}
+			if runContinues {
+				// The successor node is the run's next entry: a merge into
+				// it must always be vetoed.
+				hasNext, nextKey = true, e.n.high+1
 			}
 			ok, err := g.buildEntry(tx, mode, ops, b, e, hasNext, nextKey)
 			if err != nil {
@@ -673,10 +997,96 @@ func (g *Group[V]) planGroups(ops []Op[V], b *txState[V], mode int, tx *stm.Tx,
 					return err
 				}
 			}
+			prevHigh = e.n.high
 		}
-		i = j
+		pi, ri = pEnd, rEnd
 	}
 	return nil
+}
+
+// stepRun resolves the continuation node of a read-only run by stepping
+// the previous run node's level-0 successor — the RangeQuery walk —
+// instead of a full top-down search. Only a continuation that stays
+// read-only may skip the search: a read-only entry never uses pa/na, but
+// an entry that writes needs them for validation and pointer swings. It
+// returns (nil, true, nil) when the caller must search after all (an
+// active interval deletes, or an op writing into the stepped node), and
+// ok = false when the naked walk found the successor dead (stale plan).
+//
+// Reading the slot through a mark is safe for the same reason it is in
+// RangeQuery: the pointer is the last committed successor, and the
+// commit-time liveness validation of every run node catches any change.
+// In the sequential modes the previous run node may already have been
+// replaced by its own entry's emit; its frozen level-0 slot still holds
+// the right successor (replacements preserve the high bound, and neither
+// applyEntryTx nor releaseEntry rewires a dying node's own slot 0 away
+// from it).
+func (g *Group[V]) stepRun(tx *stm.Tx, mode int, ops []Op[V], b *txState[V], prev *node[V], pi, pEnd, ri, rEnd int) (*node[V], bool, error) {
+	for _, oi := range b.active {
+		if ops[oi].Kind != OpGetRange {
+			return nil, true, nil // a deleting interval continues: must search
+		}
+	}
+	var n *node[V]
+	switch mode {
+	case planNakedMode:
+		n, _ = prev.next[0].Peek()
+		if n == nil || n.live.Peek() == 0 {
+			return nil, false, nil // stale: restart the attempt
+		}
+	case planRWMode:
+		n = prev.next[0].PeekPtr()
+	case planTxMode:
+		var err error
+		n, _, err = prev.next[0].Load(tx)
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	if n == nil {
+		return nil, true, nil
+	}
+	// Any write landing in the stepped node turns the entry structural.
+	for q := pi; q < pEnd; q++ {
+		op := &ops[b.order[q]]
+		if toInternal(op.Key) > n.high {
+			break
+		}
+		if op.Kind != OpGet {
+			return nil, true, nil
+		}
+	}
+	for q := ri; q < rEnd; q++ {
+		op := &ops[b.rorder[q]]
+		if toInternal(op.Key) > n.high {
+			break
+		}
+		if op.Kind != OpGetRange {
+			return nil, true, nil
+		}
+	}
+	return n, true, nil
+}
+
+// releasePlan returns the replacement pieces of an abandoned plan — a
+// stale naked setup, or a validation conflict restarting the attempt —
+// to the group's recycler instead of dropping them to the GC (the
+// ROADMAP's "unpublished-piece reclamation on retry"). The pieces were
+// never published (no live flag a reader could observe, no reachable
+// pointer), so they can be recycled immediately, without an epoch grace
+// period: recycleNode donates each piece's shell, its values array, and
+// — when the piece owned them rather than borrowing from the node it was
+// to replace — its keys array and trie. A lender's lent flag stays set:
+// the flag is deliberately conservative (another planner may have
+// borrowed the same backing concurrently).
+func (g *Group[V]) releasePlan(b *txState[V]) {
+	for _, e := range b.entries[:b.nEnt] {
+		for i, p := range e.pieces {
+			e.pieces[i] = nil
+			g.recycleNode(p)
+		}
+		e.pieces = e.pieces[:0]
+	}
 }
 
 // planNaked builds the full batch plan against naked searches (the COP

@@ -2,6 +2,33 @@ package core
 
 import "fmt"
 
+// checkOps validates a general batch: member lists, in-range keys,
+// known op kinds, and ordered interval bounds on range ops.
+func (g *Group[V]) checkOps(ops []Op[V]) error {
+	if len(ops) == 0 {
+		return ErrEmptyBatch
+	}
+	for i := range ops {
+		op := &ops[i]
+		if op.List == nil || op.List.g != g {
+			return ErrForeignList
+		}
+		if op.Key > MaxKey {
+			return ErrKeyRange
+		}
+		switch op.Kind {
+		case OpSet, OpDelete, OpGet:
+		case OpGetRange, OpDeleteRange:
+			if op.KeyHi > MaxKey || op.KeyHi < op.Key {
+				return ErrRangeBounds
+			}
+		default:
+			return ErrOpKind
+		}
+	}
+	return nil
+}
+
 // checkBatch validates the legacy fixed-shape batch inputs shared by
 // Update and Remove: equal-length slices, member lists, in-range keys,
 // and — unlike the general CommitOps path — at most one key per list.

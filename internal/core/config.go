@@ -61,6 +61,7 @@ const MaxKey = ^uint64(0) - 1
 // Errors returned by group and list operations.
 var (
 	ErrKeyRange      = errors.New("core: key out of range (2^64-1 is reserved)")
+	ErrRangeBounds   = errors.New("core: range op bounds invalid (KeyHi < Key or out of range)")
 	ErrBatchMismatch = errors.New("core: batch slice lengths differ")
 	ErrForeignList   = errors.New("core: list does not belong to this group")
 	ErrEmptyBatch    = errors.New("core: empty batch")

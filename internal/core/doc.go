@@ -3,8 +3,9 @@
 // PODC 2013): a skip-list with fat immutable nodes — each node holds up to
 // K key-value pairs from a contiguous key range plus an embedded bitwise
 // trie — supporting Lookup, a linearizable Range-Query, and general
-// composed batches (CommitOps): any mix of set, delete and get operations
-// over any lists of one group, committed as a single atomic operation.
+// composed batches (CommitOps): any mix of set, delete, get, get-range
+// and delete-range operations over any lists of one group, committed as
+// a single atomic operation.
 // The legacy Update/Remove entry points are fixed-shape wrappers over
 // CommitOps.
 //
@@ -19,6 +20,30 @@
 // replacement that outgrows NodeSize splits into several pieces; a net
 // shrink absorbs the successor node exactly like a legacy Remove, unless
 // that successor is itself addressed by the batch.
+//
+// Interval ops (OpGetRange, OpDeleteRange) generalize the grouping: an
+// interval expands into the run of adjacent nodes it covers — the same
+// level-0 walk RangeQuery performs — planning one group per run node and
+// participating in each group's per-key fold at its staged position, so
+// an interval observes exactly the point writes staged before it and a
+// point Set staged after an OpDeleteRange survives it. A fully covered
+// interior node is emptied in place (its replacement keeps the level and
+// high bound, so the run's geometry is preserved); the run's last node
+// may absorb its successor like any shrinking group, but a merge into a
+// node the run continues into is always vetoed. Because every run node
+// has an entry, commit-time validation covers the whole interval: node
+// contents are immutable and a live node's bounds cannot move, so a pair
+// appearing or vanishing inside the interval between plan and commit
+// implies some run node died — which validation (liveness of every
+// entry's node at the one commit instant) turns into a retry. An
+// OpGetRange therefore yields a snapshot at exactly the batch's
+// linearization point, shared with every point result of the batch.
+//
+// An abandoned plan — a stale naked setup or a conflicting validation —
+// hands its never-published replacement pieces straight back to the
+// recycler (releasePlan): they are unreachable by construction, so no
+// grace period is needed, and heavy contention cannot leak the
+// recycler's working set to the GC.
 //
 // The per-variant protocols generalize the paper's single-key-per-list
 // figures to many groups, including adjacent groups in one list (where

@@ -82,6 +82,21 @@ func (n *node[V]) find(k uint64) int {
 	return idx
 }
 
+// clipRange returns the subslices of keys/vals whose internal key lies in
+// [ilo, ihi]. Node key arrays are sorted, so both cuts are binary
+// searches; when ihi is the maximal internal key no key can exceed it
+// (and ihi+1 would wrap). Shared by the snapshot emission of range
+// queries (emitRange) and the GetRange resolution of read-only batch
+// entries.
+func clipRange[V any](keys []uint64, vals []V, ilo, ihi uint64) ([]uint64, []V) {
+	lo := lowerBound(keys, 0, ilo)
+	hi := len(keys)
+	if ihi != posInf {
+		hi = lowerBound(keys, lo, ihi+1)
+	}
+	return keys[lo:hi], vals[lo:hi]
+}
+
 // seal builds the node's trie from its final keys array, allocating
 // fresh trie storage. Must be called exactly once, before publication.
 // Replacement pieces built on the hot path get their tries from the

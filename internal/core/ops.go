@@ -1,16 +1,20 @@
 package core
 
 // CommitOps atomically applies a batch of staged operations — any mix of
-// OpSet, OpDelete and OpGet over any member lists, including several keys
-// in one list — as a single linearizable operation (the generalization of
-// the paper's composed Update/Remove over L lists). Results (Get values,
-// Delete presence) are written back into the ops slice.
+// OpSet, OpDelete, OpGet, OpGetRange and OpDeleteRange over any member
+// lists, including several keys in one list — as a single linearizable
+// operation (the generalization of the paper's composed Update/Remove
+// over L lists). Results (Get values, Delete presence, GetRange
+// snapshots, DeleteRange counts) are written back into the ops slice.
 //
 // Ops are applied in slice order per (list, key): later writes win and a
-// Get observes the writes staged before it. Keys landing in the same fat
-// node are coalesced into one node replacement. The linearization point
-// is the commit of the batch's single validation transaction (LT, COP,
-// TM) or the span of the write locks (RWLock).
+// Get observes the writes staged before it; a range op participates per
+// covered key at its staged position. Keys landing in the same fat node
+// are coalesced into one node replacement; a range op spanning several
+// adjacent nodes plans one group per node of its run. The linearization
+// point is the commit of the batch's single validation transaction (LT,
+// COP, TM) or the span of the write locks (RWLock) — a GetRange snapshot
+// and every point result of the batch share that single instant.
 func (g *Group[V]) CommitOps(ops []Op[V]) error {
 	if err := g.checkOps(ops); err != nil {
 		return err

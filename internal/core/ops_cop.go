@@ -26,6 +26,7 @@ import (
 func (g *Group[V]) commitCOP(ops []Op[V], b *txState[V]) {
 	for attempt := 0; ; attempt++ {
 		if !g.planNaked(ops, b) {
+			g.releasePlan(b) // recycle the pieces the dead plan already built
 			stmBackoff(attempt)
 			continue
 		}
@@ -47,6 +48,9 @@ func (g *Group[V]) commitCOP(ops []Op[V], b *txState[V]) {
 		if err == nil {
 			break
 		}
+		// The aborted transaction published nothing: recycle the stale
+		// plan's pieces before rebuilding.
+		g.releasePlan(b)
 		stmBackoff(attempt)
 	}
 	for t := 0; t < b.nEnt; t++ {

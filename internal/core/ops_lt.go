@@ -34,6 +34,7 @@ import (
 func (g *Group[V]) commitLT(ops []Op[V], b *txState[V]) {
 	for attempt := 0; ; attempt++ {
 		if !g.planNaked(ops, b) {
+			g.releasePlan(b) // recycle the pieces the dead plan already built
 			stmBackoff(attempt)
 			continue
 		}
@@ -55,7 +56,9 @@ func (g *Group[V]) commitLT(ops []Op[V], b *txState[V]) {
 		if err == nil {
 			break
 		}
-		// Only conflicts can surface here; restart from setup.
+		// Only conflicts can surface here; restart from setup, recycling
+		// the stale plan's unpublished pieces.
+		g.releasePlan(b)
 		stmBackoff(attempt)
 	}
 

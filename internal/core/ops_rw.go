@@ -10,12 +10,13 @@ package core
 // marking or versioning is needed.
 
 // commitRW runs the generalized batch under the lists' write locks — or,
-// for an all-Get batch (a linearizable multi-key read), under their read
-// locks, so read-only transactions run concurrently with readers.
+// for an all-read batch (Gets and GetRanges: a linearizable multi-key,
+// multi-interval read), under their read locks, so read-only
+// transactions run concurrently with readers.
 func (g *Group[V]) commitRW(ops []Op[V], b *txState[V]) {
 	readOnly := true
 	for i := range ops {
-		if ops[i].Kind != OpGet {
+		if ops[i].Kind != OpGet && ops[i].Kind != OpGetRange {
 			readOnly = false
 			break
 		}

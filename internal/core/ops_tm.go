@@ -20,7 +20,10 @@ import (
 func (g *Group[V]) commitTM(ops []Op[V], b *txState[V]) {
 	err := g.stm.Atomically(func(tx *stm.Tx) error {
 		// Every attempt rebuilds its plan from freshly read state
-		// (planGroups resets the entry count).
+		// (planGroups resets the entry count). A re-execution first
+		// recycles the pieces the aborted attempt built — its buffered
+		// writes were discarded, so they were never published.
+		g.releasePlan(b)
 		return g.planGroups(ops, b, planTxMode, tx,
 			func(l *List[V], k uint64, e *txEntry[V]) error {
 				return searchTx(tx, l, k, e.pa, e.na)

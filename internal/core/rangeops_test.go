@@ -1,0 +1,460 @@
+package core
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestCommitOpsRangeValidation pins the interval ops' input contract.
+func TestCommitOpsRangeValidation(t *testing.T) {
+	g := newTestGroup(t, VariantLT)
+	l := g.NewList()
+
+	if err := g.CommitOps([]Op[uint64]{{List: l, Kind: OpGetRange, Key: 5, KeyHi: 4}}); !errors.Is(err, ErrRangeBounds) {
+		t.Fatalf("inverted = %v, want ErrRangeBounds", err)
+	}
+	if err := g.CommitOps([]Op[uint64]{{List: l, Kind: OpDeleteRange, Key: 0, KeyHi: ^uint64(0)}}); !errors.Is(err, ErrRangeBounds) {
+		t.Fatalf("hi beyond MaxKey = %v, want ErrRangeBounds", err)
+	}
+	if err := g.CommitOps([]Op[uint64]{{List: l, Kind: OpGetRange, Key: 7, KeyHi: 7}}); err != nil {
+		t.Fatalf("single-key interval = %v, want nil", err)
+	}
+}
+
+// applyRangeModel replays ops in staging order against a model map and
+// returns, per op, the expected (Found, Out, N, Range) results.
+type rangeExpect struct {
+	found bool
+	out   uint64
+	n     int
+	pairs []KV[uint64]
+}
+
+func applyRangeModel(model map[uint64]uint64, ops []Op[uint64]) []rangeExpect {
+	exps := make([]rangeExpect, len(ops))
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case OpSet:
+			model[op.Key] = op.Val
+		case OpDelete:
+			_, exps[i].found = model[op.Key]
+			delete(model, op.Key)
+		case OpGet:
+			exps[i].out, exps[i].found = model[op.Key], false
+			_, exps[i].found = model[op.Key]
+		case OpGetRange, OpDeleteRange:
+			var ks []uint64
+			for k := range model {
+				if k >= op.Key && k <= op.KeyHi {
+					ks = append(ks, k)
+				}
+			}
+			sort.Slice(ks, func(a, b int) bool { return ks[a] < ks[b] })
+			exps[i].n = len(ks)
+			if op.Kind == OpGetRange {
+				for _, k := range ks {
+					exps[i].pairs = append(exps[i].pairs, KV[uint64]{Key: k, Value: model[k]})
+				}
+			} else {
+				for _, k := range ks {
+					delete(model, k)
+				}
+			}
+		}
+	}
+	return exps
+}
+
+func checkRangeResults(t *testing.T, round int, ops []Op[uint64], exps []rangeExpect) {
+	t.Helper()
+	for i := range ops {
+		op, exp := &ops[i], &exps[i]
+		switch op.Kind {
+		case OpDelete, OpGet:
+			if op.Found != exp.found || (op.Kind == OpGet && exp.found && op.Out != exp.out) {
+				t.Fatalf("round %d op %d %v(%d) = (%d, %v), want (%d, %v)",
+					round, i, op.Kind, op.Key, op.Out, op.Found, exp.out, exp.found)
+			}
+		case OpDeleteRange:
+			if op.N != exp.n {
+				t.Fatalf("round %d op %d DeleteRange[%d,%d].N = %d, want %d",
+					round, i, op.Key, op.KeyHi, op.N, exp.n)
+			}
+		case OpGetRange:
+			if op.N != exp.n || len(op.Range) != len(exp.pairs) {
+				t.Fatalf("round %d op %d GetRange[%d,%d] yielded %d pairs (N=%d), want %d",
+					round, i, op.Key, op.KeyHi, len(op.Range), op.N, len(exp.pairs))
+			}
+			for j, kv := range op.Range {
+				if kv != exp.pairs[j] {
+					t.Fatalf("round %d op %d GetRange pair %d = %+v, want %+v",
+						round, i, j, kv, exp.pairs[j])
+				}
+			}
+		}
+	}
+}
+
+// TestCommitOpsDeleteRangeSpansNodes drives a deterministic interval
+// removal across many adjacent nodes — including a fully covered
+// interior node (emptied in place), the partially covered boundary
+// nodes, and interleaved point ops — for every variant.
+func TestCommitOpsDeleteRangeSpansNodes(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, g *Group[uint64]) {
+		l := g.NewList()
+		model := map[uint64]uint64{}
+		for i := uint64(0); i < 64; i++ {
+			if err := l.Set(i, i*3); err != nil {
+				t.Fatalf("Set: %v", err)
+			}
+			model[i] = i * 3
+		}
+		ops := []Op[uint64]{
+			{List: l, Kind: OpSet, Key: 70, Val: 700},          // insert beyond the interval
+			{List: l, Kind: OpSet, Key: 20, Val: 999},          // overwrite inside, before the delete
+			{List: l, Kind: OpGetRange, Key: 10, KeyHi: 50},    // sees the 999 overwrite
+			{List: l, Kind: OpDeleteRange, Key: 10, KeyHi: 50}, // drops 41 keys incl. the overwrite
+			{List: l, Kind: OpSet, Key: 30, Val: 300},          // staged after: survives the removal
+			{List: l, Kind: OpGet, Key: 20},                    // gone
+			{List: l, Kind: OpGetRange, Key: 0, KeyHi: MaxKey},
+		}
+		exps := applyRangeModel(model, ops)
+		if err := g.CommitOps(ops); err != nil {
+			t.Fatalf("CommitOps: %v", err)
+		}
+		checkRangeResults(t, 0, ops, exps)
+		mustCheck(t, l)
+		if got, want := l.Len(), len(model); got != want {
+			t.Fatalf("Len = %d, want %d", got, want)
+		}
+		for _, kv := range l.CollectRange(0, MaxKey) {
+			if mv, ok := model[kv.Key]; !ok || mv != kv.Value {
+				t.Fatalf("key %d = %d, model (%d, %v)", kv.Key, kv.Value, mv, ok)
+			}
+		}
+		// A second interval removal over the already-thinned region (runs
+		// over emptied nodes) must also hold.
+		ops2 := []Op[uint64]{
+			{List: l, Kind: OpDeleteRange, Key: 0, KeyHi: MaxKey},
+			{List: l, Kind: OpGetRange, Key: 0, KeyHi: MaxKey},
+		}
+		exps2 := applyRangeModel(model, ops2)
+		if err := g.CommitOps(ops2); err != nil {
+			t.Fatalf("CommitOps: %v", err)
+		}
+		checkRangeResults(t, 1, ops2, exps2)
+		mustCheck(t, l)
+		if l.Len() != 0 {
+			t.Fatalf("Len = %d after full-range delete, want 0", l.Len())
+		}
+	})
+}
+
+// TestCommitOpsRangeAtMaxKey pins the +inf boundary: intervals ending at
+// MaxKey cover the terminal node without wrapping.
+func TestCommitOpsRangeAtMaxKey(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, g *Group[uint64]) {
+		l := g.NewList()
+		for _, k := range []uint64{0, 5, MaxKey - 1, MaxKey} {
+			if err := l.Set(k, k); err != nil {
+				t.Fatalf("Set: %v", err)
+			}
+		}
+		ops := []Op[uint64]{
+			{List: l, Kind: OpGetRange, Key: MaxKey - 1, KeyHi: MaxKey},
+			{List: l, Kind: OpDeleteRange, Key: MaxKey, KeyHi: MaxKey},
+		}
+		if err := g.CommitOps(ops); err != nil {
+			t.Fatalf("CommitOps: %v", err)
+		}
+		if ops[0].N != 2 || ops[0].Range[1].Key != MaxKey {
+			t.Fatalf("GetRange at MaxKey = %+v (N=%d)", ops[0].Range, ops[0].N)
+		}
+		if ops[1].N != 1 {
+			t.Fatalf("DeleteRange(MaxKey).N = %d, want 1", ops[1].N)
+		}
+		if _, ok := l.Lookup(MaxKey); ok {
+			t.Fatal("MaxKey survived its deletion")
+		}
+		mustCheck(t, l)
+	})
+}
+
+// TestCommitOpsRangeOracle drives random batches mixing point and
+// interval ops over two lists against a per-list model, for every
+// variant. Node size 4 keeps intervals spanning several nodes.
+func TestCommitOpsRangeOracle(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, g *Group[uint64]) {
+		const keySpace = 64
+		l1, l2 := g.NewList(), g.NewList()
+		lists := []*List[uint64]{l1, l2}
+		models := []map[uint64]uint64{{}, {}}
+		r := rand.New(rand.NewPCG(31, uint64(g.cfg.Variant)))
+		for li, l := range lists {
+			for i := uint64(0); i < keySpace; i += 2 {
+				if err := l.Set(i, i); err != nil {
+					t.Fatalf("Set: %v", err)
+				}
+				models[li][i] = i
+			}
+		}
+		rounds := 300
+		if testing.Short() {
+			rounds = 60
+		}
+		for round := 0; round < rounds; round++ {
+			nops := 1 + r.IntN(7)
+			ops := make([]Op[uint64], 0, nops)
+			for o := 0; o < nops; o++ {
+				li := r.IntN(2)
+				k := r.Uint64N(keySpace)
+				switch r.IntN(6) {
+				case 0, 1:
+					ops = append(ops, Op[uint64]{List: lists[li], Kind: OpSet, Key: k, Val: r.Uint64()})
+				case 2:
+					ops = append(ops, Op[uint64]{List: lists[li], Kind: OpDelete, Key: k})
+				case 3:
+					ops = append(ops, Op[uint64]{List: lists[li], Kind: OpGet, Key: k})
+				case 4:
+					ops = append(ops, Op[uint64]{List: lists[li], Kind: OpGetRange, Key: k, KeyHi: k + r.Uint64N(keySpace/2)})
+				default:
+					ops = append(ops, Op[uint64]{List: lists[li], Kind: OpDeleteRange, Key: k, KeyHi: k + r.Uint64N(keySpace/4)})
+				}
+			}
+			// Split the expectation replay per list but keep global staging
+			// order: feed each op to its own list's model in slice order.
+			exps := make([]rangeExpect, len(ops))
+			for li := range lists {
+				var sub []Op[uint64]
+				var idx []int
+				for i := range ops {
+					if ops[i].List == lists[li] {
+						sub = append(sub, ops[i])
+						idx = append(idx, i)
+					}
+				}
+				subExps := applyRangeModel(models[li], sub)
+				for j, i := range idx {
+					exps[i] = subExps[j]
+				}
+			}
+			if err := g.CommitOps(ops); err != nil {
+				t.Fatalf("round %d CommitOps: %v", round, err)
+			}
+			checkRangeResults(t, round, ops, exps)
+			if round%25 == 0 {
+				mustCheck(t, l1)
+				mustCheck(t, l2)
+			}
+		}
+		for li, l := range lists {
+			mustCheck(t, l)
+			if l.Len() != len(models[li]) {
+				t.Fatalf("list %d Len = %d, model %d", li, l.Len(), len(models[li]))
+			}
+			for _, kv := range l.CollectRange(0, MaxKey) {
+				if mv, ok := models[li][kv.Key]; !ok || mv != kv.Value {
+					t.Fatalf("list %d key %d = %d, model (%d, %v)", li, kv.Key, kv.Value, mv, ok)
+				}
+			}
+		}
+	})
+}
+
+// TestRangeValueOnlySharing pins that a GetRange riding along with an
+// overwrite-only Set in the same node keeps PR 2's structure sharing:
+// the replacement borrows the old node's keys array and trie instead of
+// rebuilding them, and the snapshot still observes staging order.
+func TestRangeValueOnlySharing(t *testing.T) {
+	g := newTestGroup(t, VariantLT)
+	l := g.NewList()
+	for i := uint64(0); i < 4; i++ { // NodeSize 4: one node (the terminal)
+		if err := l.Set(i, i); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+	}
+	n0 := l.head.next[0].PeekPtr()
+	keys0 := &n0.keys[0]
+	ops := []Op[uint64]{
+		{List: l, Kind: OpGetRange, Key: 0, KeyHi: 10}, // staged before the Set
+		{List: l, Kind: OpSet, Key: 2, Val: 22},        // overwrite of a present key
+	}
+	if err := g.CommitOps(ops); err != nil {
+		t.Fatalf("CommitOps: %v", err)
+	}
+	if ops[0].N != 4 || ops[0].Range[2].Value != 2 {
+		t.Fatalf("GetRange = %+v (N=%d), want pre-Set values", ops[0].Range, ops[0].N)
+	}
+	n1 := l.head.next[0].PeekPtr()
+	if n1 == n0 {
+		t.Fatal("node was not replaced")
+	}
+	if n1.ownsKV {
+		t.Fatal("replacement owns its keys: value-only sharing was not taken")
+	}
+	if &n1.keys[0] != keys0 || n1.tr != n0.tr {
+		t.Fatal("replacement did not borrow the old node's keys and trie")
+	}
+	if !n0.lent.Load() {
+		t.Fatal("lender not marked lent")
+	}
+	if v, ok := l.Lookup(2); !ok || v != 22 {
+		t.Fatalf("Lookup(2) = (%d, %v), want (22, true)", v, ok)
+	}
+	mustCheck(t, l)
+}
+
+// TestStalePlanReleasesPieces is the white-box regression for the
+// "unpublished-piece reclamation on retry" leak: a plan built by
+// planNaked and then abandoned (as the LT/COP stale and conflict paths
+// do) must donate every replacement shell back to the group's recycler,
+// leaving the live structure untouched.
+func TestStalePlanReleasesPieces(t *testing.T) {
+	g := newTestGroup(t, VariantLT)
+	l := g.NewList()
+	for i := uint64(0); i < 16; i++ {
+		if err := l.Set(i, i); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+	}
+	// A structural batch (inserts force fresh pieces, an interval delete
+	// forces a multi-node run) plus a value-only overwrite (its piece
+	// borrows the old node's keys and trie).
+	ops := []Op[uint64]{
+		{List: l, Kind: OpSet, Key: 100, Val: 1},
+		{List: l, Kind: OpSet, Key: 101, Val: 2},
+		{List: l, Kind: OpDeleteRange, Key: 4, KeyHi: 11},
+		{List: l, Kind: OpSet, Key: 0, Val: 42}, // overwrite: value-only piece
+	}
+	b := g.getBatch()
+	b.sortOps(ops)
+	if !g.planNaked(ops, b) {
+		t.Fatal("planNaked went stale with no contention")
+	}
+	donated := map[*node[uint64]]bool{}
+	for _, e := range b.entries[:b.nEnt] {
+		for _, p := range e.pieces {
+			donated[p] = true
+		}
+	}
+	if len(donated) == 0 {
+		t.Fatal("plan built no pieces")
+	}
+	g.releasePlan(b)
+	for _, e := range b.entries[:b.nEnt] {
+		if len(e.pieces) != 0 {
+			t.Fatal("releasePlan left pieces on an entry")
+		}
+	}
+	// Every piece must now be in the shell pool (released on this P, so
+	// Gets from the same goroutine drain them deterministically). Under
+	// the race detector sync.Pool deliberately drops a random fraction of
+	// Puts, so the exact count only holds in a normal build.
+	if !raceEnabled {
+		found := 0
+		for i := 0; i < 2*len(donated); i++ {
+			n, _ := g.shellPool.Get().(*node[uint64])
+			if n == nil {
+				break
+			}
+			if donated[n] {
+				found++
+			}
+		}
+		if found != len(donated) {
+			t.Fatalf("recycler holds %d of %d released shells", found, len(donated))
+		}
+	}
+	g.putBatch(b)
+	// The abandoned plan must not have perturbed the live list.
+	mustCheck(t, l)
+	for i := uint64(0); i < 16; i++ {
+		if v, ok := l.Lookup(i); !ok || v != i {
+			t.Fatalf("Lookup(%d) = (%d, %v) after released plan", i, v, ok)
+		}
+	}
+	// And the same batch still commits cleanly afterwards.
+	if err := g.CommitOps(ops); err != nil {
+		t.Fatalf("CommitOps after release: %v", err)
+	}
+	mustCheck(t, l)
+}
+
+// TestRangeOpsContention hammers interval ops against point churn and
+// range readers under every variant: tiny nodes force constant
+// split/merge/empty-node churn, and on LT/COP the contention constantly
+// drives the stale-plan release path (a double donation there would
+// surface as shared backing arrays, i.e. invariant or value-integrity
+// failures). Runs race-clean.
+func TestRangeOpsContention(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, g *Group[uint64]) {
+		l := g.NewList()
+		const keySpace = 64
+		const workers = 6
+		iters := stressIters(800)
+
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(seed uint64) {
+				defer wg.Done()
+				r := rand.New(rand.NewPCG(seed, 77))
+				for i := 0; i < iters; i++ {
+					lo := r.Uint64N(keySpace)
+					hi := lo + r.Uint64N(16)
+					switch r.IntN(4) {
+					case 0:
+						ops := []Op[uint64]{{List: l, Kind: OpDeleteRange, Key: lo, KeyHi: hi}}
+						if err := g.CommitOps(ops); err != nil {
+							t.Errorf("DeleteRange: %v", err)
+							return
+						}
+					case 1:
+						ops := []Op[uint64]{
+							{List: l, Kind: OpGetRange, Key: lo, KeyHi: hi},
+							{List: l, Kind: OpSet, Key: lo, Val: lo * 2},
+						}
+						if err := g.CommitOps(ops); err != nil {
+							t.Errorf("GetRange+Set: %v", err)
+							return
+						}
+						for _, kv := range ops[0].Range {
+							if kv.Value != kv.Key*2 {
+								t.Errorf("GetRange integrity: key %d holds %d", kv.Key, kv.Value)
+								return
+							}
+						}
+					case 2:
+						ops := make([]Op[uint64], 0, 4)
+						for j := uint64(0); j < 4; j++ {
+							ops = append(ops, Op[uint64]{List: l, Kind: OpSet, Key: (lo + j) % keySpace, Val: ((lo + j) % keySpace) * 2})
+						}
+						if err := g.CommitOps(ops); err != nil {
+							t.Errorf("Sets: %v", err)
+							return
+						}
+					default:
+						l.RangeQuery(lo, hi, func(k, v uint64) bool {
+							if v != k*2 {
+								t.Errorf("Range integrity: key %d holds %d", k, v)
+								return false
+							}
+							return true
+						})
+					}
+				}
+			}(uint64(w + 1))
+		}
+		wg.Wait()
+		mustCheck(t, l)
+		for _, kv := range l.CollectRange(0, MaxKey) {
+			if kv.Value != kv.Key*2 {
+				t.Fatalf("key %d holds %d, want %d", kv.Key, kv.Value, kv.Key*2)
+			}
+		}
+	})
+}

@@ -255,23 +255,22 @@ func (l *List[V]) RangeQuery(lo, hi uint64, emit func(k uint64, v V) bool) int {
 // snapshot nodes, stopping as soon as emit returns false. Node ranges
 // partition the key space, so only the first node can hold keys below ilo
 // and only the last can hold keys above ihi: both are trimmed once by
-// binary search and every node then emits compare-free, instead of
-// testing k < ilo || k > ihi on every key of every node.
+// clipRange's binary searches and every node then emits compare-free,
+// instead of testing k < ilo || k > ihi on every key of every node.
 func emitRange[V any](nodes []*node[V], ilo, ihi uint64, emit func(k uint64, v V) bool) int {
 	count := 0
 	last := len(nodes) - 1
 	for ni, n := range nodes {
 		keys, vals := n.keys, n.vals
-		if ni == 0 {
-			lo := lowerBound(keys, 0, ilo)
-			keys, vals = keys[lo:], vals[lo:]
-		}
-		if ni == last && ihi != ^uint64(0) {
-			// Trim to the first index with key > ihi; when ihi is the
-			// maximal internal key no key can exceed it (and ihi+1 would
-			// wrap).
-			hi := lowerBound(keys, 0, ihi+1)
-			keys, vals = keys[:hi], vals[:hi]
+		if ni == 0 || ni == last {
+			lo, hi := negInf, posInf
+			if ni == 0 {
+				lo = ilo
+			}
+			if ni == last {
+				hi = ihi
+			}
+			keys, vals = clipRange(keys, vals, lo, hi)
 		}
 		for i, k := range keys {
 			if emit != nil && !emit(toPublic(k), vals[i]) {

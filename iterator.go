@@ -50,6 +50,10 @@ func (it *Iterator[V]) Next() (kv KV[V], ok bool) {
 
 // refill takes the next snapshot chunk starting at nextKey.
 func (it *Iterator[V]) refill() {
+	// Zero the previous chunk before truncating: a bare buf[:0] would
+	// leave its KVs (including pointerful values) live in the slice
+	// capacity for the iterator's lifetime.
+	clear(it.buf)
 	it.buf = it.buf[:0]
 	it.pos = 0
 	it.m.Range(it.nextKey, it.hi, func(k uint64, v V) bool {

@@ -84,6 +84,40 @@ func TestIteratorMaxKeyBoundary(t *testing.T) {
 	}
 }
 
+// TestIteratorReleasesChunk is the regression for the buffer pin: refill
+// used to truncate with buf[:0], leaving the previous chunk's KVs —
+// including pointerful values — live in the slice capacity for the
+// iterator's lifetime. After a refill, every slot of the released tail
+// must be zero.
+func TestIteratorReleasesChunk(t *testing.T) {
+	m := New[*int](WithNodeSize(4)) // chunk = 8
+	const n = 10                    // first chunk 8 pairs, second chunk 2
+	for i := uint64(0); i < n; i++ {
+		v := int(i)
+		if err := m.Set(i, &v); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+	}
+	it := m.Iter(0, MaxKey)
+	seen := 0
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+		seen++
+	}
+	if seen != n {
+		t.Fatalf("iterated %d pairs, want %d", seen, n)
+	}
+	// The final refill drained 2 pairs into a buffer whose capacity held
+	// 8; the tail beyond len must not pin the first chunk's values.
+	for i := len(it.buf); i < cap(it.buf); i++ {
+		if kv := it.buf[:cap(it.buf)][i]; kv.Value != nil || kv.Key != 0 {
+			t.Fatalf("released buffer slot %d still pins %+v", i, kv)
+		}
+	}
+}
+
 // TestIteratorUnderConcurrentWrites checks the documented fuzziness
 // contract: keys present for the whole iteration must appear exactly once,
 // in order.

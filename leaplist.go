@@ -14,25 +14,32 @@
 //
 // A Map is one ordered uint64 → V dictionary. Maps created from the same
 // Group share a software-transactional-memory domain, and a transaction
-// built with Group.Txn applies any mix of Set, Delete and Get operations
-// — across any member maps, with any number of keys per map — as a single
-// atomic (linearizable) operation. This generalizes the paper's composed
-// updates over L lists into a real multi-key transaction API, intended
-// for keeping multiple database indexes coherent or moving values
-// atomically between keys:
+// built with Group.Txn applies any mix of Set, Delete, Get, GetRange and
+// DeleteRange operations — across any member maps, with any number of
+// keys per map — as a single atomic (linearizable) operation. This
+// generalizes the paper's composed updates over L lists into a real
+// multi-key transaction API, intended for keeping multiple database
+// indexes coherent or moving values atomically between keys:
 //
 //	g := leaplist.NewGroup[string]()
 //	byID, byTime := g.NewMap(), g.NewMap()
 //	tx := g.Txn()
 //	tx.Set(byID, id, payload).Set(byTime, timestamp, payload)
 //	tx.Delete(byID, oldID)
+//	window := tx.GetRange(byTime, since, timestamp)
 //	err := tx.Commit()
+//	// window.Pairs(): a snapshot at the same instant the writes landed
 //
 // Within a Tx, ops on the same key apply in staging order (last write
-// wins) and staged Gets read their own transaction's earlier writes. Keys
-// that land in the same fat node are coalesced into one node replacement.
-// The legacy SetMany/DeleteMany entry points remain as thin wrappers over
-// Txn.
+// wins) and staged Gets read their own transaction's earlier writes;
+// range ops follow the same rule per covered key, so a GetRange snapshot
+// reflects writes staged before it and a DeleteRange spares keys Set
+// after it. Every result of one Tx — point reads, range snapshots,
+// delete counts — is resolved at the single commit linearization point.
+// Keys that land in the same fat node are coalesced into one node
+// replacement; a range spanning several adjacent nodes replaces one node
+// per group of its run. The legacy SetMany/DeleteMany entry points
+// remain as thin wrappers over Txn.
 //
 // Single-map usage needs no group:
 //
@@ -113,11 +120,10 @@ var (
 	ErrEmptyBatch = core.ErrEmptyBatch
 )
 
-// KV is one key-value pair, as returned by Collect.
-type KV[V any] struct {
-	Key   uint64
-	Value V
-}
+// KV is one key-value pair, as returned by Collect, Iterator.Next and
+// TxRange.Pairs. It aliases the core type so range snapshots cross the
+// facade without copying.
+type KV[V any] = core.KV[V]
 
 // Option configures a Group (or the implicit group of New).
 type Option func(*options)
@@ -323,14 +329,11 @@ func (m *Map[V]) Count(lo, hi uint64) int {
 	return m.list.RangeQuery(lo, hi, nil)
 }
 
-// Collect returns one consistent snapshot of [lo, hi] as a slice.
+// Collect returns one consistent snapshot of [lo, hi] as a slice. For a
+// snapshot taken atomically with writes (or reads of other maps), stage
+// a Tx.GetRange instead.
 func (m *Map[V]) Collect(lo, hi uint64) []KV[V] {
-	var out []KV[V]
-	m.list.RangeQuery(lo, hi, func(k uint64, v V) bool {
-		out = append(out, KV[V]{Key: k, Value: v})
-		return true
-	})
-	return out
+	return m.list.CollectRange(lo, hi)
 }
 
 // Len returns the total number of keys; it traverses the node list

@@ -9,10 +9,10 @@ import (
 // ErrTxCommitted is returned (or recorded) when a Tx is used after Commit.
 var ErrTxCommitted = errors.New("leaplist: transaction already committed")
 
-// Tx is a declarative transaction builder: stage any mix of Set, Delete
-// and Get operations across any maps of one group — including multiple
-// keys in the same map — then Commit them as a single atomic,
-// linearizable operation under every synchronization variant.
+// Tx is a declarative transaction builder: stage any mix of Set, Delete,
+// Get, GetRange and DeleteRange operations across any maps of one group —
+// including multiple keys in the same map — then Commit them as a single
+// atomic, linearizable operation under every synchronization variant.
 //
 // Semantics:
 //
@@ -20,9 +20,15 @@ var ErrTxCommitted = errors.New("leaplist: transaction already committed")
 //     ("last-write-wins"), and a staged Get observes exactly the writes
 //     staged before it (read-your-own-writes) on top of the map state at
 //     the commit's linearization point.
+//   - Range ops follow the same rule per covered key: a GetRange snapshot
+//     reflects the point writes (and range deletes) staged before it, a
+//     Set staged after a DeleteRange survives it, and the snapshot of a
+//     GetRange is taken at the same linearization instant as every point
+//     result of the Tx.
 //   - Keys landing in the same fat node coalesce into one node
 //     replacement, so a Tx touching k adjacent keys of one map costs one
-//     node copy, not k.
+//     node copy, not k. A range spanning several adjacent nodes costs one
+//     replacement per node it modifies.
 //   - An empty Tx commits successfully as a no-op.
 //
 // A Tx is not safe for concurrent use and must be committed at most once.
@@ -57,7 +63,8 @@ func (g *Group[V]) Txn() *Tx[V] {
 
 // Release returns the Tx to the group's builder pool for reuse by a later
 // Txn. It may be called whether or not the Tx was committed. After
-// Release the Tx and every TxGet/TxDelete handle obtained from it are
+// Release the Tx and every handle obtained from it — TxGet, TxDelete,
+// TxRange (including slices returned by Pairs) and TxDeleteRange — are
 // invalid and must not be used — the builder (including its staged-op
 // storage, where handle results live) is handed to the next Txn caller.
 // Releasing is optional: an un-Released Tx is simply garbage-collected.
@@ -124,12 +131,61 @@ func (t *Tx[V]) Get(m *Map[V], k uint64) TxGet[V] {
 	return TxGet[V]{t: t, i: t.stage(m, core.OpGet, k, zero)}
 }
 
+// stageRange appends one interval op, normalizing the bounds the way
+// Map.Range does: hi is clamped to MaxKey, and an empty interval
+// (lo > hi, including lo beyond MaxKey) stages nothing — the handle then
+// reports an empty result rather than an error.
+func (t *Tx[V]) stageRange(m *Map[V], kind core.OpKind, lo, hi uint64) int {
+	if t.err != nil {
+		return -1
+	}
+	if t.done {
+		t.err = ErrTxCommitted
+		return -1
+	}
+	if m == nil || m.group != t.g {
+		t.err = ErrForeignMap
+		return -1
+	}
+	if hi > MaxKey {
+		hi = MaxKey
+	}
+	if lo > hi {
+		return -1 // empty interval: a staged no-op
+	}
+	t.ops = append(t.ops, core.Op[V]{List: m.list, Kind: kind, Key: lo, KeyHi: hi})
+	return len(t.ops) - 1
+}
+
+// GetRange stages an atomic read of every pair of m with key in [lo, hi].
+// The returned handle yields, after a successful Commit, one consistent
+// snapshot taken at the Tx's linearization point — the same instant as
+// every other result of the Tx — in ascending key order, reflecting the
+// writes staged earlier in the same Tx (a key Set before the GetRange
+// appears with its staged value; a key deleted before it does not
+// appear). Like Map.Range, an inverted interval is empty and hi is
+// clamped to MaxKey.
+func (t *Tx[V]) GetRange(m *Map[V], lo, hi uint64) TxRange[V] {
+	return TxRange[V]{t: t, i: t.stageRange(m, core.OpGetRange, lo, hi)}
+}
+
+// DeleteRange stages the atomic removal of every pair of m with key in
+// [lo, hi]. The returned handle reports, after a successful Commit, how
+// many pairs the removal observed at its staged position (a key Set
+// earlier in the same Tx counts; a key Set later survives the removal).
+// Like Map.Range, an inverted interval is empty and hi is clamped to
+// MaxKey.
+func (t *Tx[V]) DeleteRange(m *Map[V], lo, hi uint64) TxDeleteRange[V] {
+	return TxDeleteRange[V]{t: t, i: t.stageRange(m, core.OpDeleteRange, lo, hi)}
+}
+
 // Len returns the number of staged operations.
 func (t *Tx[V]) Len() int {
 	return len(t.ops)
 }
 
-// Err returns the first staging error, if any, without committing.
+// Err returns the first staging or commit error, if any, without
+// committing.
 func (t *Tx[V]) Err() error {
 	return t.err
 }
@@ -142,6 +198,10 @@ func (t *Tx[V]) Err() error {
 // ErrForeignMap or ErrKeyRange if a stage call was invalid, and
 // ErrTxCommitted if the Tx was already committed. There are no
 // conflict-flavored errors: contention is resolved internally by retry.
+//
+// A commit failure is recorded in the Tx: Err reports it, every handle
+// keeps returning its zero result, and a repeat Commit returns the same
+// error rather than ErrTxCommitted.
 func (t *Tx[V]) Commit() error {
 	if t.err != nil {
 		return t.err
@@ -153,7 +213,11 @@ func (t *Tx[V]) Commit() error {
 	if len(t.ops) == 0 {
 		return nil
 	}
-	return t.g.inner.CommitOps(t.ops)
+	if err := t.g.inner.CommitOps(t.ops); err != nil {
+		t.err = err
+		return err
+	}
+	return nil
 }
 
 // TxGet is the handle of a staged Get; valid after its Tx commits.
@@ -187,4 +251,47 @@ func (h TxDelete[V]) Present() bool {
 		return false
 	}
 	return h.t.ops[h.i].Found
+}
+
+// TxRange is the handle of a staged GetRange; valid after its Tx commits.
+type TxRange[V any] struct {
+	t *Tx[V]
+	i int
+}
+
+// Pairs returns the snapshot: every pair in [lo, hi] at the Tx's
+// linearization point (staged earlier writes included), ascending by
+// key. Before a successful Commit it returns nil; an empty interval
+// yields an empty snapshot. The slice is owned by the Tx — it is valid
+// until the Tx is Released and must not be appended to.
+func (h TxRange[V]) Pairs() []KV[V] {
+	if h.t == nil || h.i < 0 || !h.t.done || h.t.err != nil {
+		return nil
+	}
+	return h.t.ops[h.i].Range
+}
+
+// Count returns the number of pairs in the snapshot (0 before a
+// successful Commit).
+func (h TxRange[V]) Count() int {
+	if h.t == nil || h.i < 0 || !h.t.done || h.t.err != nil {
+		return 0
+	}
+	return h.t.ops[h.i].N
+}
+
+// TxDeleteRange is the handle of a staged DeleteRange; valid after its
+// Tx commits.
+type TxDeleteRange[V any] struct {
+	t *Tx[V]
+	i int
+}
+
+// Count returns how many pairs the removal deleted (0 before a
+// successful Commit).
+func (h TxDeleteRange[V]) Count() int {
+	if h.t == nil || h.i < 0 || !h.t.done || h.t.err != nil {
+		return 0
+	}
+	return h.t.ops[h.i].N
 }

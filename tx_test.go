@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -501,6 +502,360 @@ func ExampleGroup_Txn() {
 	fmt.Println(v, evicted.Present())
 	// Output:
 	// order-7 true
+}
+
+// TestTxCommitErrorRecorded is the regression for the swallowed commit
+// error: a CommitOps failure must be recorded in the Tx, so Err reports
+// it, handles stay zero, and a repeat Commit returns the failure rather
+// than ErrTxCommitted. The facade pre-validates stages, so the test
+// corrupts a staged op (white-box) to force the core rejection.
+func TestTxCommitErrorRecorded(t *testing.T) {
+	g := NewGroup[int]()
+	m := g.NewMap()
+	if err := m.Set(1, 10); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+
+	tx := g.Txn()
+	get := tx.Get(m, 1)
+	del := tx.Delete(m, 1)
+	rng := tx.GetRange(m, 0, 5)
+	tx.ops[0].Kind = 0 // corrupt: core.CommitOps must reject the batch
+
+	err := tx.Commit()
+	if err == nil {
+		t.Fatal("Commit of corrupted batch succeeded")
+	}
+	if got := tx.Err(); !errors.Is(got, err) {
+		t.Fatalf("Err() = %v, want the commit error %v", got, err)
+	}
+	if err2 := tx.Commit(); !errors.Is(err2, err) {
+		t.Fatalf("second Commit = %v, want the original commit error %v (not ErrTxCommitted)", err2, err)
+	}
+	if _, ok := get.Value(); ok {
+		t.Fatal("TxGet handle reported a value after a failed Commit")
+	}
+	if del.Present() {
+		t.Fatal("TxDelete handle reported presence after a failed Commit")
+	}
+	if rng.Pairs() != nil || rng.Count() != 0 {
+		t.Fatal("TxRange handle reported pairs after a failed Commit")
+	}
+	// The failed batch must not have partially applied.
+	if v, ok := m.Get(1); !ok || v != 10 {
+		t.Fatalf("map mutated by failed Commit: Get(1) = (%d, %v)", v, ok)
+	}
+}
+
+// TestTxRangeOps pins the staged range-op semantics for every variant:
+// snapshot at the linearization point, read-your-own-writes per covered
+// key, staging-order interaction between range and point ops, and the
+// interval normalization rules.
+func TestTxRangeOps(t *testing.T) {
+	forEachTxVariant(t, func(t *testing.T, v Variant) {
+		g := NewGroup[uint64](WithVariant(v), WithNodeSize(4), WithMaxLevel(5))
+		m1, m2 := g.NewMap(), g.NewMap()
+		for i := uint64(0); i < 20; i++ {
+			if err := m1.Set(i, i*10); err != nil {
+				t.Fatalf("Set: %v", err)
+			}
+		}
+
+		tx := g.Txn()
+		tx.Set(m1, 5, 555)                    // overwrite before the reads
+		before := tx.GetRange(m1, 3, 8)       // sees 555, spans nodes
+		delCount := tx.DeleteRange(m1, 4, 16) // drops 13 keys incl. the 555
+		after := tx.GetRange(m1, 0, MaxKey)   // sees the thinned map
+		tx.Set(m1, 10, 1000)                  // staged after the delete: survives
+		tx.Set(m2, 7, 70)                     // second map rides along atomically
+		empty := tx.GetRange(m1, 9, 2)        // inverted: empty, not an error
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+
+		wantBefore := []KV[uint64]{{Key: 3, Value: 30}, {Key: 4, Value: 40}, {Key: 5, Value: 555}, {Key: 6, Value: 60}, {Key: 7, Value: 70}, {Key: 8, Value: 80}}
+		gotBefore := before.Pairs()
+		if len(gotBefore) != len(wantBefore) || before.Count() != len(wantBefore) {
+			t.Fatalf("before = %v (count %d), want %v", gotBefore, before.Count(), wantBefore)
+		}
+		for i := range wantBefore {
+			if gotBefore[i] != wantBefore[i] {
+				t.Fatalf("before[%d] = %+v, want %+v", i, gotBefore[i], wantBefore[i])
+			}
+		}
+		if delCount.Count() != 13 {
+			t.Fatalf("DeleteRange count = %d, want 13", delCount.Count())
+		}
+		if after.Count() != 20-13 {
+			t.Fatalf("after count = %d, want %d", after.Count(), 20-13)
+		}
+		for _, kv := range after.Pairs() {
+			if kv.Key >= 4 && kv.Key <= 16 {
+				t.Fatalf("after snapshot still holds deleted key %d", kv.Key)
+			}
+		}
+		if empty.Pairs() != nil || empty.Count() != 0 {
+			t.Fatal("inverted interval yielded pairs")
+		}
+		// Post-commit state: the later Set survived the DeleteRange.
+		if val, ok := m1.Get(10); !ok || val != 1000 {
+			t.Fatalf("Get(10) = (%d, %v), want (1000, true)", val, ok)
+		}
+		if _, ok := m1.Get(5); ok {
+			t.Fatal("key 5 survived the DeleteRange")
+		}
+		if val, ok := m2.Get(7); !ok || val != 70 {
+			t.Fatalf("m2.Get(7) = (%d, %v)", val, ok)
+		}
+		if got, want := m1.Len(), 20-13+1; got != want {
+			t.Fatalf("m1.Len = %d, want %d", got, want)
+		}
+	})
+}
+
+// TestTxRangeQuickOracle drives random transactions mixing point and
+// range ops against per-map models applied with the same staging-order
+// rules, for every variant. Node size 2 maximizes node churn and
+// multi-node runs.
+func TestTxRangeQuickOracle(t *testing.T) {
+	forEachTxVariant(t, func(t *testing.T, v Variant) {
+		f := func(seed uint64, txsRaw []uint32) bool {
+			const L = 2
+			const keySpace = 32
+			g := NewGroup[uint64](WithVariant(v), WithNodeSize(2), WithMaxLevel(4))
+			maps := make([]*Map[uint64], L)
+			models := make([]map[uint64]uint64, L)
+			for i := range maps {
+				maps[i] = g.NewMap()
+				models[i] = map[uint64]uint64{}
+			}
+			r := rand.New(rand.NewPCG(seed, 17))
+			for _, raw := range txsRaw {
+				nops := int(raw%5) + 1
+				tx := g.Txn()
+				type staged struct {
+					kind   int
+					mi     int
+					k, hi  uint64
+					v      uint64
+					get    TxGet[uint64]
+					del    TxDelete[uint64]
+					rng    TxRange[uint64]
+					delRng TxDeleteRange[uint64]
+				}
+				ops := make([]staged, 0, nops)
+				for o := 0; o < nops; o++ {
+					s := staged{
+						kind: r.IntN(5),
+						mi:   r.IntN(L),
+						k:    r.Uint64N(keySpace),
+						v:    r.Uint64(),
+					}
+					s.hi = s.k + r.Uint64N(keySpace/2)
+					switch s.kind {
+					case 0:
+						tx.Set(maps[s.mi], s.k, s.v)
+					case 1:
+						s.del = tx.Delete(maps[s.mi], s.k)
+					case 2:
+						s.get = tx.Get(maps[s.mi], s.k)
+					case 3:
+						s.rng = tx.GetRange(maps[s.mi], s.k, s.hi)
+					default:
+						s.delRng = tx.DeleteRange(maps[s.mi], s.k, s.hi)
+					}
+					ops = append(ops, s)
+				}
+				if err := tx.Commit(); err != nil {
+					t.Logf("Commit: %v", err)
+					return false
+				}
+				// Replay against the models in staging order, verifying
+				// every handle as we go.
+				for _, s := range ops {
+					model := models[s.mi]
+					switch s.kind {
+					case 0:
+						model[s.k] = s.v
+					case 1:
+						_, mok := model[s.k]
+						if s.del.Present() != mok {
+							t.Logf("Delete(%d) Present=%v, model %v", s.k, s.del.Present(), mok)
+							return false
+						}
+						delete(model, s.k)
+					case 2:
+						mv, mok := model[s.k]
+						gv, gok := s.get.Value()
+						if gok != mok || (gok && gv != mv) {
+							t.Logf("Get(%d) = (%d,%v), model (%d,%v)", s.k, gv, gok, mv, mok)
+							return false
+						}
+					case 3, 4:
+						var ks []uint64
+						for k := range model {
+							if k >= s.k && k <= s.hi {
+								ks = append(ks, k)
+							}
+						}
+						sort.Slice(ks, func(a, b int) bool { return ks[a] < ks[b] })
+						if s.kind == 3 {
+							pairs := s.rng.Pairs()
+							if len(pairs) != len(ks) || s.rng.Count() != len(ks) {
+								t.Logf("GetRange[%d,%d] = %d pairs, model %d", s.k, s.hi, len(pairs), len(ks))
+								return false
+							}
+							for j, k := range ks {
+								if pairs[j].Key != k || pairs[j].Value != model[k] {
+									t.Logf("GetRange pair %d = %+v, model (%d,%d)", j, pairs[j], k, model[k])
+									return false
+								}
+							}
+						} else {
+							if s.delRng.Count() != len(ks) {
+								t.Logf("DeleteRange[%d,%d].Count = %d, model %d", s.k, s.hi, s.delRng.Count(), len(ks))
+								return false
+							}
+							for _, k := range ks {
+								delete(model, k)
+							}
+						}
+					}
+				}
+			}
+			// Final state must equal the models exactly.
+			for i := range maps {
+				if maps[i].Len() != len(models[i]) {
+					t.Logf("map %d Len=%d, model %d", i, maps[i].Len(), len(models[i]))
+					return false
+				}
+				bad := false
+				maps[i].Range(0, MaxKey, func(k, val uint64) bool {
+					if mv, ok := models[i][k]; !ok || mv != val {
+						bad = true
+						return false
+					}
+					return true
+				})
+				if bad {
+					return false
+				}
+			}
+			return true
+		}
+		cfg := &quick.Config{MaxCount: 25}
+		if testing.Short() {
+			cfg.MaxCount = 8
+		}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestTxRangeAllOrNone is the range-op acceptance stress: writers
+// alternate between atomically deleting a whole interval (DeleteRange)
+// and atomically re-populating it (one Tx of Sets), while concurrent
+// Range snapshots and Tx.GetRange reads must only ever observe the
+// interval completely full or completely empty — a partially deleted
+// interval proves a torn range commit.
+func TestTxRangeAllOrNone(t *testing.T) {
+	forEachTxVariant(t, func(t *testing.T, v Variant) {
+		g := NewGroup[uint64](WithVariant(v), WithNodeSize(4), WithMaxLevel(6))
+		m := g.NewMap()
+		const span = 24 // interval [0, span): spans many NodeSize-4 nodes
+		iters := 300
+		if testing.Short() {
+			iters = 60
+		}
+		fill := func() error {
+			tx := g.Txn()
+			for k := uint64(0); k < span; k++ {
+				tx.Set(m, k, k+1)
+			}
+			err := tx.Commit()
+			tx.Release()
+			return err
+		}
+		if err := fill(); err != nil {
+			t.Fatalf("seed fill: %v", err)
+		}
+
+		var writerWG, readerWG sync.WaitGroup
+		stop := make(chan struct{})
+		var torn atomic.Bool
+		tornf := func(format string, args ...any) {
+			if !torn.Swap(true) {
+				t.Errorf(format, args...)
+			}
+		}
+
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			for i := 0; i < iters; i++ {
+				tx := g.Txn()
+				del := tx.DeleteRange(m, 0, span-1)
+				if err := tx.Commit(); err != nil {
+					tornf("DeleteRange Commit: %v", err)
+					return
+				}
+				if n := del.Count(); n != span {
+					tornf("DeleteRange removed %d of %d (iteration %d)", n, span, i)
+					return
+				}
+				tx.Release()
+				if err := fill(); err != nil {
+					tornf("refill: %v", err)
+					return
+				}
+			}
+		}()
+
+		for r := 0; r < 3; r++ {
+			readerWG.Add(1)
+			go func(useTx bool) {
+				defer readerWG.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					var n int
+					if useTx {
+						tx := g.Txn()
+						h := tx.GetRange(m, 0, span-1)
+						if err := tx.Commit(); err != nil {
+							tornf("GetRange Commit: %v", err)
+							return
+						}
+						n = h.Count()
+						for _, kv := range h.Pairs() {
+							if kv.Value != kv.Key+1 {
+								tornf("GetRange integrity: key %d holds %d", kv.Key, kv.Value)
+								return
+							}
+						}
+						tx.Release()
+					} else {
+						n = m.Count(0, span-1)
+					}
+					if n != 0 && n != span {
+						tornf("partial interval observed: %d of %d keys", n, span)
+						return
+					}
+				}
+			}(r%2 == 0)
+		}
+
+		writerWG.Wait()
+		close(stop)
+		readerWG.Wait()
+		if torn.Load() {
+			t.Fatal("torn range operation observed")
+		}
+	})
 }
 
 // TestLegacyWrappersOverTx pins the deprecated SetMany/DeleteMany
