@@ -400,6 +400,75 @@ func BenchmarkTxRange(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedTx measures the sharded store's transaction path at
+// 1, 4 and 8 shards: each committed transaction stages two Sets on
+// random keys plus a read-back Get — at one shard every commit takes
+// the single-shard fast path (no coordination), at 4/8 shards most
+// commits are genuine two-phase cross-shard transactions. Tracked with
+// -benchmem so the coordination overhead's allocations are visible.
+func BenchmarkShardedTx(b *testing.B) {
+	for _, shards := range []int{1, 4, 8} {
+		b.Run("shards="+itoa(shards), func(b *testing.B) {
+			s := leaplist.NewSharded[uint64](shards,
+				leaplist.WithNodeSize(harness.PaperNodeSize),
+				leaplist.WithMaxLevel(harness.PaperMaxLevel),
+			)
+			// Spread the working set over the whole keyspace so every
+			// shard owns an equal slice of it.
+			stride := leaplist.MaxKey / uint64(benchInitSmall)
+			keys := make([]uint64, benchInitSmall)
+			vals := make([]uint64, benchInitSmall)
+			for i := range keys {
+				keys[i], vals[i] = uint64(i)*stride, uint64(i)
+			}
+			if err := s.BulkLoad(keys, vals); err != nil {
+				b.Fatal(err)
+			}
+			keySpace := uint64(benchInitSmall)
+			var remaining atomic.Int64
+			remaining.Store(int64(b.N))
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			for w := 0; w < benchWorkers; w++ {
+				wg.Add(1)
+				go func(seed uint64) {
+					defer wg.Done()
+					gen, err := workload.NewGenerator(workload.Config{
+						Mix:      workload.Mix{ModifyPct: 100},
+						KeySpace: keySpace,
+						RangeMin: harness.PaperRangeMin,
+						RangeMax: harness.PaperRangeMax,
+						Seed:     seed,
+					})
+					if err != nil {
+						panic(err)
+					}
+					for remaining.Add(-1) >= 0 {
+						k1 := gen.Key() * stride
+						k2 := gen.Key() * stride
+						tx := s.Txn()
+						tx.Set(k1, gen.Value())
+						tx.Set(k2, gen.Value())
+						tx.Get(k1)
+						if err := tx.Commit(); err != nil {
+							panic(err)
+						}
+						tx.Release()
+					}
+				}(uint64(w + 1))
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			b.StopTimer()
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N)/elapsed.Seconds(), "tx/s")
+			}
+		})
+	}
+}
+
 func sizeLabel(n int) string {
 	switch {
 	case n >= 1_000_000 && n%1_000_000 == 0:

@@ -1,32 +1,31 @@
-// Bank: multi-key transactional atomicity under fire.
+// Bank: cross-shard transactional atomicity under fire.
 //
-// Four maps hold account balances for four branches. Transfer operations
-// move money with Group.Txn transactions — the general form of the
-// paper's composed update across L Leap-Lists — while auditors
-// continuously sum every branch with linearizable range queries. Two
-// transfer shapes run concurrently:
+// One Sharded store with four shards holds account balances for four
+// branches, each branch's key range owned by a different shard — four
+// independent STM domains. Transfer operations move money with
+// Sharded.Txn cross-shard transactions (the two-phase commit built on
+// the commit pipeline's prepare/publish split), while auditors
+// continuously snapshot THE WHOLE BANK in one transaction. Two transfer
+// shapes run concurrently:
 //
 //   - cross-branch: debit (branch A, account) and credit (branch B,
-//     account) — two maps, one key each, the shape the legacy SetMany
-//     could already express;
-//   - intra-branch: debit one account and credit ANOTHER account of the
-//     SAME branch map — two keys in one map, impossible under the old
-//     one-key-per-map batch surface.
+//     account) — two shards, so the commit is a genuine two-phase
+//     prepare-all-then-publish-all across two STM domains;
+//   - intra-branch: debit one account and credit another account of the
+//     SAME branch — one shard, taking the coordination-free fast path.
 //
 // Each transaction also stages a Get of the debited account to
-// demonstrate read-your-own-writes: the value it reports is the balance
-// after the staged debit, observed atomically at the commit's
-// linearization point.
+// demonstrate read-your-own-writes across the 2PC: the value it reports
+// is the balance after the staged debit, observed atomically at the
+// transaction's atomicity point.
 //
-// The demo proves two properties at once:
-//
-//  1. Transactions are all-or-nothing: the grand total is conserved by
-//     every transfer, and each branch's quiescent sum equals its initial
-//     funds plus its cross-branch net — intra-branch transfers must
-//     conserve it exactly.
-//  2. Range queries are consistent snapshots: each auditor's per-branch
-//     sum is taken at one linearization instant, so a torn read inside a
-//     branch would be detected immediately.
+// The demo proves the two-phase commit's headline property live: every
+// auditor snapshot is one atomic cross-shard GetRange, so its grand
+// total must equal the bank's total EXACTLY, every time — a transfer
+// published on one shard but not yet the other would be caught
+// immediately. (The old single-group version of this example could only
+// audit one branch at a time and noted that cross-branch sums were not
+// atomic; the Sharded two-phase commit removes that caveat.)
 package main
 
 import (
@@ -34,7 +33,6 @@ import (
 	"log"
 	"math/rand/v2"
 	"sync"
-	"sync/atomic"
 
 	"leaplist"
 )
@@ -48,30 +46,35 @@ const (
 )
 
 func main() {
-	g := leaplist.NewGroup[uint64](leaplist.WithNodeSize(64), leaplist.WithSTMStats(true))
-	maps := make([]*leaplist.Map[uint64], branches)
-	for b := range maps {
-		maps[b] = g.NewMap()
+	bank := leaplist.NewSharded[uint64](branches,
+		leaplist.WithNodeSize(64), leaplist.WithSTMStats(true))
+
+	// Branch b's accounts live at the base of shard b's key range, so
+	// every branch is owned by a different shard (asserted below).
+	acctKey := func(branch int, acct uint64) uint64 {
+		lo, _ := bank.ShardRange(branch)
+		return lo + acct
+	}
+	for b := 0; b < branches; b++ {
+		if bank.ShardOf(acctKey(b, 0)) != b {
+			log.Fatalf("branch %d not on its own shard", b)
+		}
 		for a := uint64(0); a < accounts; a++ {
-			if err := maps[b].Set(a, initialFunds); err != nil {
+			if err := bank.Set(acctKey(b, a), initialFunds); err != nil {
 				log.Fatal(err)
 			}
 		}
 	}
-	branchTotal := uint64(accounts * initialFunds)
-	grandTotal := uint64(branches) * branchTotal
-	fmt.Printf("bank: %d branches x %d accounts, grand total %d\n",
-		branches, accounts, grandTotal)
+	grandTotal := uint64(branches) * accounts * initialFunds
+	fmt.Printf("bank: %d branches x %d accounts on %d shards, grand total %d\n",
+		branches, accounts, bank.Shards(), grandTotal)
 
 	var transferWG, auditWG sync.WaitGroup
 	stop := make(chan struct{})
 
-	// Net cross-branch flow per branch, for the quiescent audit:
-	// intra-branch transfers never change a branch's sum, so at the end
-	// each branch must hold exactly initial + crossNet.
-	var crossNet [branches]atomic.Int64
-
-	// Auditor: continuously snapshots whole branches.
+	// Auditor: one atomic snapshot of every branch per audit. Because
+	// the snapshot is a single cross-shard transaction, conservation
+	// must hold exactly — not just per branch, but across the bank.
 	audits := 0
 	auditWG.Add(1)
 	go func() {
@@ -82,17 +85,18 @@ func main() {
 				return
 			default:
 			}
-			b := audits % branches
+			tx := bank.Txn()
+			snap := tx.GetRange(0, leaplist.MaxKey)
+			if err := tx.Commit(); err != nil {
+				log.Fatalf("audit commit: %v", err)
+			}
 			var sum uint64
-			maps[b].Range(0, accounts-1, func(_ uint64, v uint64) bool {
-				sum += v
-				return true
-			})
-			// Money only moves between branches one unit at a time, so a
-			// branch sum beyond all money in the bank proves a torn
-			// snapshot of a transfer.
-			if sum > grandTotal {
-				log.Fatalf("torn snapshot: branch %d sums to %d > bank total %d", b, sum, grandTotal)
+			for _, kv := range snap.Pairs() {
+				sum += kv.Value
+			}
+			tx.Release()
+			if sum != grandTotal {
+				log.Fatalf("torn cross-shard snapshot: bank sums to %d, want %d", sum, grandTotal)
 			}
 			audits++
 		}
@@ -100,7 +104,7 @@ func main() {
 
 	// Transfer workers own disjoint account ranges, so their
 	// read-modify-write cycles need no extra locking; the transaction is
-	// what makes the multi-key write (and its staged read-back) atomic
+	// what makes the multi-shard write (and its staged read-back) atomic
 	// against the auditors.
 	perWorker := accounts / workers
 	failures := make(chan error, workers)
@@ -113,34 +117,34 @@ func main() {
 			for i := 0; i < transfers/workers; i++ {
 				from := r.IntN(branches)
 				acct := loA + r.Uint64N(hiA-loA+1)
-				fv, _ := maps[from].Get(acct)
+				fromKey := acctKey(from, acct)
+				fv, _ := bank.Get(fromKey)
 				if fv == 0 {
 					continue
 				}
 
-				tx := g.Txn()
-				var readBack leaplist.TxGet[uint64]
+				// Pick the credited key before building the transaction
+				// so a same-account collision never abandons a builder.
+				var toKey uint64
 				if i%2 == 0 {
-					// Cross-branch: same account, two maps.
+					// Cross-branch: same account, two branches — two
+					// shards, a genuine two-phase commit.
 					to := (from + 1 + r.IntN(branches-1)) % branches
-					tv, _ := maps[to].Get(acct)
-					tx.Set(maps[from], acct, fv-1)
-					tx.Set(maps[to], acct, tv+1)
-					readBack = tx.Get(maps[from], acct)
-					crossNet[from].Add(-1)
-					crossNet[to].Add(1)
+					toKey = acctKey(to, acct)
 				} else {
-					// Intra-branch: two accounts, ONE map — the batch shape
-					// the fixed SetMany surface could not express.
+					// Intra-branch: two accounts, one branch — single
+					// shard, the coordination-free fast path.
 					toAcct := loA + r.Uint64N(hiA-loA+1)
 					if toAcct == acct {
 						continue
 					}
-					tv, _ := maps[from].Get(toAcct)
-					tx.Set(maps[from], acct, fv-1)
-					tx.Set(maps[from], toAcct, tv+1)
-					readBack = tx.Get(maps[from], acct)
+					toKey = acctKey(from, toAcct)
 				}
+				tv, _ := bank.Get(toKey)
+				tx := bank.Txn()
+				tx.Set(fromKey, fv-1)
+				tx.Set(toKey, tv+1)
+				readBack := tx.Get(fromKey)
 				if err := tx.Commit(); err != nil {
 					failures <- err
 					return
@@ -165,24 +169,15 @@ func main() {
 	default:
 	}
 
-	// Quiescent audit: per-branch conservation and the exact grand total.
+	// Quiescent audit: the exact grand total, stitched shard by shard.
 	var total uint64
-	for b := range maps {
-		var sum uint64
-		maps[b].Range(0, accounts-1, func(_ uint64, v uint64) bool {
-			sum += v
-			return true
-		})
-		want := int64(branchTotal) + crossNet[b].Load()
-		if int64(sum) != want {
-			log.Fatalf("branch %d sums to %d, want %d (intra-branch transfers must conserve it)", b, sum, want)
-		}
-		total += sum
+	for _, kv := range bank.Collect(0, leaplist.MaxKey) {
+		total += kv.Value
 	}
-	st := g.STMStats()
-	fmt.Printf("done: %d transfers, %d audits, final grand total %d (conserved: %v)\n",
+	st := bank.STMStats()
+	fmt.Printf("done: %d transfers, %d atomic cross-shard audits, final grand total %d (conserved: %v)\n",
 		transfers, audits, total, total == grandTotal)
-	fmt.Printf("stm: %d commits, %d aborts (%.2f%%)\n",
+	fmt.Printf("stm (all shards): %d commits, %d aborts (%.2f%%)\n",
 		st.Commits, st.Aborts, 100*st.AbortRate())
 	if total != grandTotal {
 		log.Fatal("MONEY WAS CREATED OR DESTROYED")

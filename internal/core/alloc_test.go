@@ -18,9 +18,15 @@ import "testing"
 // Before this path existed the same update cost 10 allocs/op (keys copy,
 // vals copy, trie rebuild ×2, node shell, next slots, STM write records,
 // op-slice box).
+//   - LT CollectRangeInto with a caller-supplied buffer: 0 allocs/op —
+//     the snapshot walk uses pooled read scratch and the pooled read
+//     transaction, and extraction appends into the caller's capacity
+//     (no emit closure), so hot range-read loops run allocation-free
+//     like the write path (ROADMAP "GetRange result pooling").
 const (
 	lookupAllocBudget          = 0.0
 	valueOnlyUpdateAllocBudget = 1.0
+	collectIntoAllocBudget     = 0.0
 )
 
 func TestAllocsLookupLT(t *testing.T) {
@@ -59,6 +65,26 @@ func TestAllocsValueOnlyUpdateLT(t *testing.T) {
 	})
 	if got > valueOnlyUpdateAllocBudget {
 		t.Fatalf("LT value-only Update = %.2f allocs/op, budget %.2f", got, valueOnlyUpdateAllocBudget)
+	}
+}
+
+func TestAllocsCollectIntoLT(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets are not meaningful under -race")
+	}
+	l := newLoadedLTList(t)
+	buf := make([]KV[uint64], 0, 256)
+	var k uint64
+	got := testing.AllocsPerRun(2000, func() {
+		lo := k % 9000
+		buf = l.CollectRangeInto(lo, lo+100, buf[:0])
+		if len(buf) != 101 {
+			t.Fatalf("CollectRangeInto returned %d pairs, want 101", len(buf))
+		}
+		k++
+	})
+	if got > collectIntoAllocBudget {
+		t.Fatalf("LT CollectRangeInto = %.2f allocs/op, budget %.2f", got, collectIntoAllocBudget)
 	}
 }
 

@@ -102,6 +102,32 @@ type txState[V any] struct {
 	marked    []*stm.TaggedPtr[node[V]]
 	markedMap map[*stm.TaggedPtr[node[V]]]struct{} // spill for wide batches
 
+	// readMarkFrom is the index in marked where LT's read-stability
+	// marks begin (PrepareOpts.LockReads): slots marked purely so a
+	// prepared read-only group cannot be invalidated before Publish.
+	// Marks below the index are cleared by the publish postfix's own
+	// stores; the suffix must be released explicitly.
+	readMarkFrom int
+
+	// prep carries the COP/TM variants' prepared STM descriptor between
+	// the prepare and publish/abort phases: write locks held, read set
+	// validated (and locked, with LockReads), writes still buffered.
+	prep stm.PreparedTx
+
+	// rwRead records, for VariantRW, whether prepare took the lists'
+	// read locks (an all-read batch) or their write locks — the
+	// publish/abort phase must release the same kind.
+	rwRead bool
+
+	// spinBudget bounds the naked phases' wait loops (search restarts,
+	// the merge-partner mark spin) for a bounded prepare: a competitor
+	// in its own prepare window holds marks until ITS coordinator
+	// publishes, so a bounded prepare must stop waiting and report a
+	// conflict instead of spinning the attempt counter into
+	// irrelevance. 0 (the default, and every fused CommitOps) never
+	// gives up.
+	spinBudget int
+
 	// part is the epoch participant this scratch pins for the duration of
 	// each CommitOps call (registered once per pooled scratch; released
 	// back to the collector by finalizer when the pool drops the scratch).
@@ -153,6 +179,9 @@ func (g *Group[V]) putBatch(b *txState[V]) {
 	b.active = b.active[:0]
 	b.marked = b.marked[:0]
 	b.markedMap = nil
+	b.readMarkFrom = 0
+	b.rwRead = false
+	b.spinBudget = 0
 	b.nEnt, b.used = 0, 0
 	b.ovIdx = b.ovIdx[:0]
 	clear(b.ovVal)
@@ -576,16 +605,19 @@ func (g *Group[V]) buildEntry(tx *stm.Tx, mode int, ops []Op[V], b *txState[V], 
 		case planNakedMode:
 			// Read the successor through any in-flight mark; the postfix
 			// holding it is bounded, so spin briefly (paper lines 159-162).
+			// A bounded prepare (spinBudget > 0) may instead be waiting
+			// behind another prepare's held marks: give up as stale so
+			// the attempt counter advances.
 			for spin := 0; ; spin++ {
 				succ, tag := n.next[0].Peek()
 				if tag != stm.TagMarked {
 					old1 = succ
 					break
 				}
-				if n.live.Peek() == 0 {
-					// Stale: node died under us. The staged buffers never
-					// became node backing; hand them back before the
-					// restart abandons them.
+				if n.live.Peek() == 0 || (b.spinBudget > 0 && spin >= b.spinBudget) {
+					// Stale: node died under us (or the wait budget ran
+					// out). The staged buffers never became node backing;
+					// hand them back before the restart abandons them.
 					g.putKeysBuf(newKeys)
 					g.putValsBuf(newVals)
 					return false, nil
@@ -1091,11 +1123,14 @@ func (g *Group[V]) releasePlan(b *txState[V]) {
 
 // planNaked builds the full batch plan against naked searches (the COP
 // read phase shared by LT and COP). Returns false when a node died
-// mid-plan and the attempt must restart.
+// mid-plan — or, for a bounded prepare, when a search exhausted the
+// spin budget waiting behind held marks — and the attempt must restart.
 func (g *Group[V]) planNaked(ops []Op[V], b *txState[V]) bool {
 	err := g.planGroups(ops, b, planNakedMode, nil,
 		func(l *List[V], k uint64, e *txEntry[V]) error {
-			searchNaked(l, k, e.pa, e.na)
+			if !searchNakedBudget(l, k, e.pa, e.na, b.spinBudget) {
+				return errStalePlan
+			}
 			return nil
 		}, nil)
 	return err == nil

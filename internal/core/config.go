@@ -115,11 +115,17 @@ type Group[V any] struct {
 	cfg Config
 	stm *stm.STM
 
-	pool       sync.Pool     // *txState[V] scratch
-	opsPool    sync.Pool     // *kvBox[Op[V]] scratch for the legacy wrappers
-	opsBoxPool sync.Pool     // empty *kvBox[Op[V]] husks
-	readPool   sync.Pool     // *readScratch[V] scratch
-	listIDs    atomic.Uint64 // lock-ordering ids for VariantRW
+	// commit is the variant's three-phase commit state machine
+	// (prepare/publish/abort); bound once at construction so the hot
+	// CommitOps path pays one interface dispatch, no boxing.
+	commit committer[V]
+
+	pool         sync.Pool     // *txState[V] scratch
+	preparedPool sync.Pool     // *PreparedOps[V] descriptors
+	opsPool      sync.Pool     // *kvBox[Op[V]] scratch for the legacy wrappers
+	opsBoxPool   sync.Pool     // empty *kvBox[Op[V]] husks
+	readPool     sync.Pool     // *readScratch[V] scratch
+	listIDs      atomic.Uint64 // lock-ordering ids for VariantRW
 
 	// collector is the group's epoch domain: every operation runs pinned
 	// to one of its participants, and every replaced node is retired
@@ -154,6 +160,18 @@ func NewGroup[V any](cfg Config, domain *stm.STM) *Group[V] {
 		domain = stm.New()
 	}
 	g := &Group[V]{cfg: cfg, stm: domain}
+	switch cfg.Variant {
+	case VariantLT:
+		g.commit = ltCommitter[V]{g}
+	case VariantCOP:
+		g.commit = copCommitter[V]{g}
+	case VariantTM:
+		g.commit = tmCommitter[V]{g}
+	case VariantRW:
+		g.commit = rwCommitter[V]{g}
+	default:
+		panic("core: unknown variant")
+	}
 	g.collector = cfg.Collector
 	if g.collector == nil {
 		g.collector = epoch.NewCollector()

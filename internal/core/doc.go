@@ -45,29 +45,88 @@
 // grace period is needed, and heavy contention cannot leak the
 // recycler's working set to the GC.
 //
+// # The prepare/publish/abort pipeline
+//
+// Every variant commits through one three-phase state machine (the
+// committer interface):
+//
+//   - Prepare: search, plan, build the immutable replacement pieces,
+//     and acquire/validate — after a successful prepare the batch is
+//     guaranteed publishable, its results (staged gets, range
+//     snapshots, delete counts) are fully resolved, and its footprint
+//     is locked against competitors. A failed or conflicting prepare
+//     holds nothing.
+//   - Publish: swing the pointers — the batch's linearization point —
+//     release every lock and retire the replaced nodes. Cannot fail.
+//   - Abort: release every lock, restoring the pre-prepare structure
+//     exactly, and hand the never-published pieces straight back to the
+//     recycler. Cannot fail, and leaves no observable trace: between
+//     prepare and abort, competitors and transactional readers touching
+//     the locked footprint only ever retried.
+//
+// CommitOps is the trivial prepare-then-publish composition;
+// PrepareOps/Publish/Abort expose the phases for two-phase commits
+// across groups (the root package's Sharded coordinator): prepare one
+// batch per group in a deterministic group order — the lock-ordering
+// argument that excludes deadlock — then publish them all, or abort the
+// prepared prefix when a bounded prepare (PrepareOpts.MaxAttempts)
+// fails with ErrPrepareConflict. PrepareOpts.LockReads extends the held
+// footprint to the batch's reads, which a 2PC participant needs: a
+// prepared read must stay valid until every other group publishes, or
+// an observer could see a partial cross-group state.
+//
 // The per-variant protocols generalize the paper's single-key-per-list
 // figures to many groups, including adjacent groups in one list (where
 // one group's predecessors are another group's dying nodes):
 //
-//   - LT and COP plan against naked searches, then run one transaction
-//     that validates every group's search before any group writes (so all
-//     checks see the committed pre-state). LT's transaction only marks
-//     slots and clears live flags, installing the pieces in a direct-store
-//     postfix that walks groups right-to-left per list; slots shared by
-//     several groups stay marked until the leftmost group's final store.
-//     COP buffers the pointer swings themselves, right-to-left, reading
-//     chained wiring through the transaction's own write set.
+//   - LT and COP prepare against naked searches, then run one
+//     transaction that validates every group's search before any group
+//     writes (so all checks see the committed pre-state). LT's
+//     transaction only marks slots and clears live flags — prepare ends
+//     when it commits — and publish installs the pieces in a
+//     direct-store postfix that walks groups right-to-left per list;
+//     slots shared by several groups stay marked until the leftmost
+//     group's final store. LT's abort revives the killed live flags and
+//     clears the marks (the marks preserved the pointers), all under
+//     marks it still holds. With LockReads, LT additionally marks each
+//     read group's node's level-0 slot: every path that kills a node
+//     marks that slot first, so the held mark pins the read. A naked
+//     search whose level-0 walk crosses any held mark retries until
+//     publish (transactional readers read through marks), so the
+//     prepare-to-publish window — coordinator-bounded, no user code
+//     inside — briefly stalls naked readers of the pinned region,
+//     trading read latency under cross-group snapshots for their
+//     all-or-none guarantee.
+//   - COP buffers the pointer swings themselves, right-to-left, reading
+//     chained wiring through the transaction's own write set — but the
+//     transaction is left PREPARED (stm.PreparedTx: write locks held,
+//     read set validated, and locked under LockReads), so publish is
+//     the STM write-back and abort discards the buffered writes with
+//     every lock released at its old version.
 //   - TM plans, validates and applies groups sequentially inside one
-//     fully instrumented transaction; each group's search traverses the
-//     batch's own buffered writes, so no cross-group resolution is needed.
-//   - RWLock write-locks every touched list (in id order) and applies
-//     groups sequentially with plain stores.
+//     fully instrumented transaction, prepared the same way as COP;
+//     each group's search traverses the batch's own buffered writes, so
+//     no cross-group resolution is needed.
+//   - RWLock locks every touched list (write locks, or read locks for
+//     an all-read batch) in id order at prepare, plans every group
+//     against the quiescent pre-state, and publishes with the same
+//     right-to-left direct-store walk as LT's postfix before unlocking —
+//     strict two-phase locking, so LockReads is implied and prepare
+//     blocks instead of conflicting.
 //
-// The linearization point of a batch is the commit of its validation
-// transaction (LT: the locking transaction; COP/TM: the single
-// transaction) or, for RWLock, any point while all write locks are held.
-// Staged gets are resolved against node contents pinned by that commit:
-// node pairs are immutable, so validating liveness pins the values read.
+// The linearization point of a batch is its publish: the first
+// predecessor store of LT's and RW's right-to-left walk makes the batch
+// visible to readers (the remaining stores complete it behind marks or
+// the list lock), and COP's and TM's publish is the prepared
+// transaction's single write-back (one clock bump publishes every
+// buffered swing atomically). For the fused CommitOps this instant lies
+// inside the same protected window as the prepare-time validation —
+// locks are held continuously from validation to publish — which is
+// what lets a two-phase coordinator slide the publishes of several
+// groups together into one cross-group atomicity point. Staged gets are
+// resolved against node contents pinned at prepare: node pairs are
+// immutable, so holding liveness (validated, then locked) pins the
+// values read through publish.
 //
 // The package provides all four synchronization variants the paper
 // evaluates over one shared node representation:

@@ -1,5 +1,56 @@
 package core
 
+import "errors"
+
+// ErrPrepareConflict reports that a bounded Prepare (PrepareOpts.
+// MaxAttempts > 0) exhausted its conflict-retry budget without getting
+// the batch prepared. The batch had no effect; the caller may retry.
+// Two-phase coordinators use this to abort an already-prepared prefix
+// instead of spinning against a competitor that holds later shards.
+var ErrPrepareConflict = errors.New("core: prepare exhausted its conflict budget")
+
+// PrepareOpts tunes the prepare phase of a commit.
+type PrepareOpts struct {
+	// LockReads holds the batch's read validity until Publish: every
+	// node a read-only group resolved against stays pinned (marked under
+	// LT, its liveness cell locked under COP/TM, the list read-locked
+	// under RW) so no competitor can replace it between Prepare and
+	// Publish. A single-group CommitOps never needs this — it publishes
+	// immediately — but a two-phase commit spanning several groups does:
+	// without it, a competitor sneaking a commit between two shards'
+	// prepare points would let the transaction observe a partial
+	// cross-shard state.
+	LockReads bool
+	// MaxAttempts bounds the prepare phase's conflict retries; 0 retries
+	// until success. When the budget runs out Prepare fails with
+	// ErrPrepareConflict and nothing is held. VariantRW prepares by
+	// blocking on list locks in a global acquisition order rather than
+	// by optimistic retry, so the bound does not apply to it.
+	MaxAttempts int
+}
+
+// committer is the three-phase commit state machine every variant
+// implements behind CommitOps and PrepareOps:
+//
+//   - prepare: search, plan, build the replacement pieces, and
+//     acquire/validate — locks taken (LT marks, COP/TM write locks, RW
+//     list locks), every search re-validated at one instant. After a
+//     successful prepare the batch is guaranteed publishable and its
+//     footprint is protected from competitors.
+//   - publish: swing the pointers — the batch's linearization point —
+//     and retire the replaced nodes. Publish cannot fail.
+//   - abort: release every lock, restoring the pre-prepare structure
+//     exactly, and hand the never-published pieces back to the recycler
+//     via releasePlan. Abort cannot fail.
+//
+// One of publish/abort must follow every successful prepare, on the
+// same goroutine-owned txState.
+type committer[V any] interface {
+	prepare(ops []Op[V], b *txState[V], opt PrepareOpts) error
+	publish(ops []Op[V], b *txState[V])
+	abort(ops []Op[V], b *txState[V])
+}
+
 // CommitOps atomically applies a batch of staged operations — any mix of
 // OpSet, OpDelete, OpGet, OpGetRange and OpDeleteRange over any member
 // lists, including several keys in one list — as a single linearizable
@@ -12,9 +63,12 @@ package core
 // covered key at its staged position. Keys landing in the same fat node
 // are coalesced into one node replacement; a range op spanning several
 // adjacent nodes plans one group per node of its run. The linearization
-// point is the commit of the batch's single validation transaction (LT,
-// COP, TM) or the span of the write locks (RWLock) — a GetRange snapshot
-// and every point result of the batch share that single instant.
+// point is the publish phase of the variant's committer (see doc.go);
+// a GetRange snapshot and every point result of the batch share that
+// single instant.
+//
+// CommitOps is exactly Prepare followed by Publish with no gap: the
+// trivial composition of the three-phase pipeline PrepareOps exposes.
 func (g *Group[V]) CommitOps(ops []Op[V]) error {
 	if err := g.checkOps(ops); err != nil {
 		return err
@@ -22,19 +76,83 @@ func (g *Group[V]) CommitOps(ops []Op[V]) error {
 	b := g.getBatch()
 	defer g.putBatch(b)
 	b.sortOps(ops)
-	switch g.cfg.Variant {
-	case VariantLT:
-		g.commitLT(ops, b)
-	case VariantCOP:
-		g.commitCOP(ops, b)
-	case VariantTM:
-		g.commitTM(ops, b)
-	case VariantRW:
-		g.commitRW(ops, b)
-	default:
-		panic("core: unknown variant")
+	if err := g.commit.prepare(ops, b, PrepareOpts{}); err != nil {
+		// Unreachable with unbounded attempts; kept so a future bug
+		// surfaces as an error, not a corrupted structure.
+		return err
 	}
+	g.commit.publish(ops, b)
 	return nil
+}
+
+// PreparedOps is a batch that passed the prepare phase and now holds its
+// locks: planned, validated, replacement pieces built, nothing yet
+// visible to readers. Exactly one of Publish or Abort must follow — the
+// footprint stays locked (and the epoch participant pinned) until then,
+// so a prepared batch should be resolved promptly. A PreparedOps is not
+// safe for concurrent use and is invalid after Publish/Abort returns.
+type PreparedOps[V any] struct {
+	g   *Group[V]
+	ops []Op[V]
+	b   *txState[V]
+}
+
+// PrepareOps runs the prepare phase of the three-phase commit pipeline
+// on a batch and returns the prepared descriptor. On any error — a
+// validation error from checkOps, or ErrPrepareConflict when a bounded
+// prepare ran out of attempts — nothing is held and the batch had no
+// effect.
+//
+// This is the participant half of a two-phase commit: a coordinator
+// prepares one batch per group (in a deterministic group order, to
+// exclude deadlock), then publishes them all — every batch's results
+// then share one cross-group atomicity point — or aborts the prepared
+// prefix when a later prepare fails. The Sharded facade in the root
+// package is the canonical coordinator.
+func (g *Group[V]) PrepareOps(ops []Op[V], opt PrepareOpts) (*PreparedOps[V], error) {
+	if err := g.checkOps(ops); err != nil {
+		return nil, err
+	}
+	b := g.getBatch()
+	b.sortOps(ops)
+	if err := g.commit.prepare(ops, b, opt); err != nil {
+		g.putBatch(b)
+		return nil, err
+	}
+	p, _ := g.preparedPool.Get().(*PreparedOps[V])
+	if p == nil {
+		p = &PreparedOps[V]{}
+	}
+	p.g, p.ops, p.b = g, ops, b
+	return p, nil
+}
+
+// Publish swings the prepared batch's pointers — its linearization
+// point — releases every lock, and retires the replaced nodes. The
+// results of the batch's ops are valid once Publish returns.
+func (p *PreparedOps[V]) Publish() {
+	g := p.g
+	if g == nil {
+		panic("core: Publish of a completed PreparedOps")
+	}
+	g.commit.publish(p.ops, p.b)
+	g.putBatch(p.b)
+	p.g, p.ops, p.b = nil, nil, nil
+	g.preparedPool.Put(p)
+}
+
+// Abort releases every lock, restoring the pre-prepare structure
+// exactly, and returns the never-published replacement pieces to the
+// group's recycler (no grace period needed — no reader ever saw them).
+func (p *PreparedOps[V]) Abort() {
+	g := p.g
+	if g == nil {
+		panic("core: Abort of a completed PreparedOps")
+	}
+	g.commit.abort(p.ops, p.b)
+	g.putBatch(p.b)
+	p.g, p.ops, p.b = nil, nil, nil
+	g.preparedPool.Put(p)
 }
 
 // Update atomically applies, for every j, "set ks[j] to vs[j]" in list

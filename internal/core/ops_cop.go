@@ -5,13 +5,25 @@ import (
 )
 
 // This file implements the paper's Leap-COP variant over the generalized
-// batch plan: consistency-oblivious search prefix (no instrumentation),
-// then a single STM transaction that re-validates the prefix for every
-// group and performs every structural write transactionally. Unlike LT
-// there are no marks and no postfix — the pointer swings themselves are
-// buffered STM writes published at commit, which is safe for concurrent
-// naked searches because this STM is lazy-versioning (naked reads never
-// observe tentative data).
+// batch plan as the three-phase committer: a consistency-oblivious
+// search prefix (no instrumentation), then one STM transaction that
+// re-validates the prefix for every group and performs every structural
+// write transactionally — but prepared, not committed: the prepare
+// phase leaves the transaction holding its write locks with the read
+// set validated (stm.PreparedTx), and the publish phase is the STM
+// write-back, whose single clock bump is the batch's linearization
+// point. Unlike LT there are no marks and no postfix — the pointer
+// swings themselves are buffered STM writes published at write-back,
+// which is safe for concurrent naked searches because this STM is
+// lazy-versioning (naked reads never observe tentative data).
+//
+// Between prepare and publish the held write locks exclude every
+// competitor whose footprint overlaps (their validation reads some cell
+// this batch writes — a predecessor slot or a liveness flag — and
+// conflicts); with PrepareOpts.LockReads the read set's cells are
+// locked too, so even a batch that only reads a node pins it until
+// publish. Abort releases the locks at their old versions and discards
+// the buffered writes: nothing was ever visible.
 //
 // Validation runs for all groups before any writes, so every check reads
 // the committed pre-state; the write pass then walks groups right-to-left
@@ -22,15 +34,25 @@ import (
 // The validate and apply halves are shared with the TM variant, which
 // runs them after an instrumented search inside the same transaction.
 
-// commitCOP runs the generalized batch under COP.
-func (g *Group[V]) commitCOP(ops []Op[V], b *txState[V]) {
+// copCommitter drives the generalized batch under COP.
+type copCommitter[V any] struct{ g *Group[V] }
+
+func (c copCommitter[V]) prepare(ops []Op[V], b *txState[V], opt PrepareOpts) error {
+	g := c.g
+	b.spinBudget = 0
+	if opt.MaxAttempts > 0 {
+		b.spinBudget = boundedSpinBudget
+	}
 	for attempt := 0; ; attempt++ {
+		if opt.MaxAttempts > 0 && attempt >= opt.MaxAttempts {
+			return ErrPrepareConflict
+		}
 		if !g.planNaked(ops, b) {
 			g.releasePlan(b) // recycle the pieces the dead plan already built
 			stmBackoff(attempt)
 			continue
 		}
-		err := g.stm.AtomicallyOnce(func(tx *stm.Tx) error {
+		err := g.stm.PrepareOnce(&b.prep, opt.LockReads, func(tx *stm.Tx) error {
 			for t := 0; t < b.nEnt; t++ {
 				if err := g.validateEntryTx(tx, b, t); err != nil {
 					return err
@@ -46,13 +68,18 @@ func (g *Group[V]) commitCOP(ops []Op[V], b *txState[V]) {
 			return nil
 		})
 		if err == nil {
-			break
+			return nil
 		}
-		// The aborted transaction published nothing: recycle the stale
-		// plan's pieces before rebuilding.
+		// The failed prepare published nothing and holds nothing: recycle
+		// the stale plan's pieces before rebuilding.
 		g.releasePlan(b)
 		stmBackoff(attempt)
 	}
+}
+
+func (c copCommitter[V]) publish(ops []Op[V], b *txState[V]) {
+	g := c.g
+	b.prep.Publish()
 	for t := 0; t < b.nEnt; t++ {
 		e := b.entries[t]
 		if e.write {
@@ -62,6 +89,11 @@ func (g *Group[V]) commitCOP(ops []Op[V], b *txState[V]) {
 			}
 		}
 	}
+}
+
+func (c copCommitter[V]) abort(ops []Op[V], b *txState[V]) {
+	b.prep.Abort()
+	c.g.releasePlan(b)
 }
 
 // validateEntryTx re-validates one group's naked search results inside

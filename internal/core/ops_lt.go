@@ -6,33 +6,59 @@ import (
 
 // This file implements the paper's Locking-Transaction (LT) protocol,
 // generalized from one key per list (Figures 6-13) to arbitrary batches
-// of per-node groups. Each commit has three phases:
+// of per-node groups, as the three-phase committer:
 //
-//  1. setup — naked predecessor searches and construction of the
-//     immutable replacement pieces per (list, node) group, no
-//     synchronization at all (planNaked);
-//  2. one short STM transaction that re-validates everything the setup
-//     relied on and "locks" the affected state by marking the pointer
-//     slots and clearing the old nodes' live flags — the only tentative
-//     data a Locking Transaction ever writes are these locks. Validation
-//     runs for every group before any group marks, so all checks read the
-//     committed pre-state;
-//  3. a release postfix that installs the replacement pieces with direct
-//     (non-transactional) stores under the protection of the marks, then
-//     sets the new pieces live. Groups release right-to-left within each
-//     list so that a group whose predecessor is itself being replaced
-//     writes into the dying node's frozen slots first, and the dying
-//     node's own replacement then copies those already-updated pointers.
-//     A predecessor slot shared by several groups keeps its mark until
-//     the leftmost (last) group's store, which simultaneously publishes
-//     the final pointer and releases the lock.
+//  1. prepare — naked predecessor searches and construction of the
+//     immutable replacement pieces per (list, node) group with no
+//     synchronization at all (planNaked), then one short STM transaction
+//     that re-validates everything the setup relied on and "locks" the
+//     affected state by marking the pointer slots and clearing the old
+//     nodes' live flags — the only tentative data a Locking Transaction
+//     ever writes are these locks. Validation runs for every group
+//     before any group marks, so all checks read the committed
+//     pre-state. With PrepareOpts.LockReads, read-only groups mark
+//     their node's level-0 slot too: every path that can kill a node
+//     must first mark that slot, so the mark pins the read until
+//     publish. Naked readers whose level-0 walk crosses a marked slot
+//     retry until the coordinator publishes — the same stall any held
+//     mark causes — so the window is kept free of user code (prepare
+//     all, then publish all, nothing in between).
+//  2. publish — a release postfix that installs the replacement pieces
+//     with direct (non-transactional) stores under the protection of the
+//     marks, then sets the new pieces live. Groups release right-to-left
+//     within each list so that a group whose predecessor is itself being
+//     replaced writes into the dying node's frozen slots first, and the
+//     dying node's own replacement then copies those already-updated
+//     pointers. A predecessor slot shared by several groups keeps its
+//     mark until the leftmost (last) group's store, which simultaneously
+//     publishes the final pointer and releases the lock.
+//  3. abort — revive the replaced nodes' live flags and release every
+//     mark with direct stores (the marks preserved the pointers, so
+//     clearing the tags restores the pre-prepare structure exactly),
+//     then hand the never-published pieces back to the recycler.
 //
-// A conflict anywhere restarts the whole operation from setup, because
-// the replacement pieces were built from state that is no longer current.
+// A conflict anywhere in prepare restarts it from setup, because the
+// replacement pieces were built from state that is no longer current.
 
-// commitLT runs the generalized batch under Locking Transactions.
-func (g *Group[V]) commitLT(ops []Op[V], b *txState[V]) {
+// ltCommitter drives the generalized batch under Locking Transactions.
+type ltCommitter[V any] struct{ g *Group[V] }
+
+// boundedSpinBudget caps the naked wait loops of one bounded prepare
+// attempt (search restarts behind held marks, the merge-partner mark
+// spin), so MaxAttempts bounds wall time and a two-phase coordinator
+// can abort its prefix instead of waiting out another prepare window.
+const boundedSpinBudget = 256
+
+func (c ltCommitter[V]) prepare(ops []Op[V], b *txState[V], opt PrepareOpts) error {
+	g := c.g
+	b.spinBudget = 0
+	if opt.MaxAttempts > 0 {
+		b.spinBudget = boundedSpinBudget
+	}
 	for attempt := 0; ; attempt++ {
+		if opt.MaxAttempts > 0 && attempt >= opt.MaxAttempts {
+			return ErrPrepareConflict
+		}
 		if !g.planNaked(ops, b) {
 			g.releasePlan(b) // recycle the pieces the dead plan already built
 			stmBackoff(attempt)
@@ -51,17 +77,42 @@ func (g *Group[V]) commitLT(ops []Op[V], b *txState[V]) {
 					return err
 				}
 			}
+			b.readMarkFrom = len(b.marked)
+			if opt.LockReads {
+				// Pin every read-only group's node until publish: any
+				// competitor that would kill the node must mark its
+				// level-0 slot first (lockEntryLT marks every slot of a
+				// replaced node and of a merge partner), so holding this
+				// one mark blocks them. Naked searches crossing the slot
+				// retry until publish, exactly as behind a write mark;
+				// transactional readers (RangeQuery's collection walk)
+				// read through marks and are unaffected. markOnce dedups
+				// against slots the write phase already marked, so only
+				// pure read marks land past readMarkFrom.
+				for t := 0; t < b.nEnt; t++ {
+					e := b.entries[t]
+					if e.write {
+						continue
+					}
+					if err := b.markOnce(tx, &e.n.next[0]); err != nil {
+						return err
+					}
+				}
+			}
 			return nil
 		})
 		if err == nil {
-			break
+			return nil
 		}
 		// Only conflicts can surface here; restart from setup, recycling
 		// the stale plan's unpublished pieces.
 		g.releasePlan(b)
 		stmBackoff(attempt)
 	}
+}
 
+func (c ltCommitter[V]) publish(ops []Op[V], b *txState[V]) {
+	g := c.g
 	// Release and update: right-to-left within each list (entries are
 	// ordered by list then key, so a global reverse walk does both).
 	for t := b.nEnt - 1; t >= 0; t-- {
@@ -75,6 +126,38 @@ func (g *Group[V]) commitLT(ops []Op[V], b *txState[V]) {
 			g.retireNode(b, e.old1)
 		}
 	}
+	// Marks taken purely for read stability are on live, untouched
+	// nodes; no postfix store clears them, so release them explicitly
+	// (the pointer halves were never changed).
+	for _, s := range b.marked[b.readMarkFrom:] {
+		s.DirectStoreTag(stm.TagNone)
+	}
+}
+
+func (c ltCommitter[V]) abort(ops []Op[V], b *txState[V]) {
+	g := c.g
+	// Revive the nodes the locking transaction killed, then clear every
+	// mark. While any mark is held no competitor can lock the footprint,
+	// and transactional readers that observed a dead node or a marked
+	// slot just retry — so the intermediate states are invisible and the
+	// instant the last mark clears, the structure is exactly its
+	// pre-prepare self. The direct stores are safe for the same reason
+	// the release postfix's are: every cell written is covered by a mark
+	// this prepare still holds.
+	for t := 0; t < b.nEnt; t++ {
+		e := b.entries[t]
+		if !e.write {
+			continue
+		}
+		e.n.live.DirectStore(1)
+		if e.merge {
+			e.old1.live.DirectStore(1)
+		}
+	}
+	for _, s := range b.marked {
+		s.DirectStoreTag(stm.TagNone)
+	}
+	g.releasePlan(b)
 }
 
 // lockEntryLT acquires the locks for one write entry inside the Locking

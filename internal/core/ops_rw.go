@@ -1,19 +1,31 @@
 package core
 
 // This file implements the paper's Leap-rwlock variant over the
-// generalized batch: one reader-writer lock per list. Lookups and range
-// queries hold the read lock; a batch write-locks every list it touches,
-// acquired in list-creation order to exclude deadlock. Under the locks
-// the structure is quiescent, so groups are planned and applied
-// sequentially with plain reads and direct stores — each group's search
-// observes the splices of the groups before it — and no validation,
-// marking or versioning is needed.
+// generalized batch as the three-phase committer: one reader-writer lock
+// per list. Lookups and range queries hold the read lock; a batch
+// write-locks every list it touches, acquired in list-creation order to
+// exclude deadlock (a two-phase coordinator extends that order across
+// groups by preparing them in ascending group order). Under the locks
+// the structure is quiescent, so prepare plans every group against the
+// pre-state with plain reads — no validation, marking or versioning —
+// and publish installs the pieces with the same right-to-left direct-
+// store walk as the LT postfix, whose cross-group resolution (succAt,
+// frozen dying-node slots) the write lock makes trivially safe.
+//
+// The locks are held from prepare through publish/abort — strict
+// two-phase locking — so a prepared RW batch needs nothing extra for
+// read stability: PrepareOpts.LockReads is implied by the read lock an
+// all-read batch already holds, and prepare never conflicts (it blocks
+// on the lock instead), so PrepareOpts.MaxAttempts does not apply.
 
-// commitRW runs the generalized batch under the lists' write locks — or,
-// for an all-read batch (Gets and GetRanges: a linearizable multi-key,
-// multi-interval read), under their read locks, so read-only
-// transactions run concurrently with readers.
-func (g *Group[V]) commitRW(ops []Op[V], b *txState[V]) {
+// rwCommitter drives the generalized batch under the lists' rw-locks.
+type rwCommitter[V any] struct{ g *Group[V] }
+
+func (c rwCommitter[V]) prepare(ops []Op[V], b *txState[V], opt PrepareOpts) error {
+	g := c.g
+	// An all-read batch (Gets and GetRanges: a linearizable multi-key,
+	// multi-interval read) runs under the read locks, so read-only
+	// transactions run concurrently with readers.
 	readOnly := true
 	for i := range ops {
 		if ops[i].Kind != OpGet && ops[i].Kind != OpGetRange {
@@ -22,6 +34,7 @@ func (g *Group[V]) commitRW(ops []Op[V], b *txState[V]) {
 		}
 	}
 	b.collectLists(ops)
+	b.rwRead = readOnly
 	for _, l := range b.lists { // ascending id order: deadlock-free
 		if readOnly {
 			l.mu.RLock()
@@ -29,35 +42,70 @@ func (g *Group[V]) commitRW(ops []Op[V], b *txState[V]) {
 			l.mu.Lock()
 		}
 	}
+	// A panic past this point (a plan bug) must not strand the list
+	// locks: a caller that recovers would otherwise hang the whole
+	// group forever. Unlock, then re-panic.
 	defer func() {
-		for _, l := range b.lists {
-			if readOnly {
-				l.mu.RUnlock()
-			} else {
-				l.mu.Unlock()
-			}
+		if r := recover(); r != nil {
+			c.unlock(b)
+			panic(r)
 		}
 	}()
-
-	// Quiescent plan-and-apply: neither search nor buildEntry can fail or
-	// go stale under the write locks.
-	_ = g.planGroups(ops, b, planRWMode, nil,
+	// Quiescent plan: under the locks neither search nor buildEntry can
+	// fail or go stale, and the whole plan reads the pre-state (the
+	// splices land at publish, wired through succAt like LT's).
+	if err := g.planGroups(ops, b, planRWMode, nil,
 		func(l *List[V], k uint64, e *txEntry[V]) error {
 			searchRW(l, k, e.pa, e.na)
 			return nil
-		},
-		func(t int) error {
-			e := b.entries[t]
-			if !e.write {
-				return nil
-			}
-			g.releaseEntry(b, t)
-			e.n.live.DirectStore(0)
-			g.retireNode(b, e.n)
-			if e.merge {
-				e.old1.live.DirectStore(0)
-				g.retireNode(b, e.old1)
-			}
-			return nil
-		})
+		}, nil); err != nil {
+		panic("core: unreachable RW plan error: " + err.Error())
+	}
+	return nil
+}
+
+func (c rwCommitter[V]) publish(ops []Op[V], b *txState[V]) {
+	g := c.g
+	// As in prepare: never strand the list locks on a panic.
+	defer func() {
+		if r := recover(); r != nil {
+			c.unlock(b)
+			panic(r)
+		}
+	}()
+	// Install right-to-left within each list, exactly the LT postfix: a
+	// group whose predecessor is itself being replaced writes into the
+	// dying node's frozen slots first, and the dying node's own
+	// replacement then copies those already-updated pointers.
+	for t := b.nEnt - 1; t >= 0; t-- {
+		e := b.entries[t]
+		if !e.write {
+			continue
+		}
+		g.releaseEntry(b, t)
+		e.n.live.DirectStore(0)
+		g.retireNode(b, e.n)
+		if e.merge {
+			e.old1.live.DirectStore(0)
+			g.retireNode(b, e.old1)
+		}
+	}
+	c.unlock(b)
+}
+
+func (c rwCommitter[V]) abort(ops []Op[V], b *txState[V]) {
+	// Nothing was installed and the locks excluded every observer:
+	// recycling the pieces and unlocking restores the pre-prepare world.
+	c.g.releasePlan(b)
+	c.unlock(b)
+}
+
+func (c rwCommitter[V]) unlock(b *txState[V]) {
+	for _, l := range b.lists {
+		if b.rwRead {
+			l.mu.RUnlock()
+		} else {
+			l.mu.Unlock()
+		}
+	}
 }

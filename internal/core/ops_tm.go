@@ -5,8 +5,13 @@ import (
 )
 
 // This file implements the paper's Leap-tm variant over the generalized
-// batch: the entire operation — predecessor searches included — runs
-// inside one STM transaction, which the STM re-executes on conflict.
+// batch as the three-phase committer: the entire operation — predecessor
+// searches included — runs inside one STM transaction, re-executed from
+// scratch on conflict. The prepare phase leaves that transaction
+// prepared rather than committed (write locks held, read set validated
+// — and locked, under PrepareOpts.LockReads); publish is the STM
+// write-back, whose clock bump is the linearization point, and abort
+// discards the buffered writes with nothing ever visible.
 //
 // Because every read is instrumented and the transaction reads its own
 // buffered writes, groups are planned and applied sequentially: each
@@ -16,33 +21,53 @@ import (
 // validate/apply halves are shared with COP and hold trivially against
 // the transaction's own consistent view.
 
-// commitTM runs the generalized batch inside one transaction.
-func (g *Group[V]) commitTM(ops []Op[V], b *txState[V]) {
-	err := g.stm.Atomically(func(tx *stm.Tx) error {
+// tmCommitter drives the generalized batch inside one transaction.
+type tmCommitter[V any] struct{ g *Group[V] }
+
+func (c tmCommitter[V]) prepare(ops []Op[V], b *txState[V], opt PrepareOpts) error {
+	g := c.g
+	for attempt := 0; ; attempt++ {
+		if opt.MaxAttempts > 0 && attempt >= opt.MaxAttempts {
+			// The last failed attempt's pieces are still staged on the
+			// entries; recycle them before giving the batch up, exactly
+			// like the per-iteration release below.
+			g.releasePlan(b)
+			return ErrPrepareConflict
+		}
 		// Every attempt rebuilds its plan from freshly read state
-		// (planGroups resets the entry count). A re-execution first
-		// recycles the pieces the aborted attempt built — its buffered
-		// writes were discarded, so they were never published.
+		// (planGroups resets the entry count). A retry first recycles the
+		// pieces the failed attempt built — its buffered writes were
+		// discarded, so they were never published.
 		g.releasePlan(b)
-		return g.planGroups(ops, b, planTxMode, tx,
-			func(l *List[V], k uint64, e *txEntry[V]) error {
-				return searchTx(tx, l, k, e.pa, e.na)
-			},
-			func(t int) error {
-				if !b.entries[t].write {
-					return nil
-				}
-				if err := g.validateEntryTx(tx, b, t); err != nil {
-					return err
-				}
-				return g.applyEntryTx(tx, b, t)
-			})
-	})
-	if err != nil {
-		// Atomically only surfaces non-conflict errors, and the closure
-		// produces none besides conflicts.
-		panic("core: unreachable commitTM error: " + err.Error())
+		err := g.stm.PrepareOnce(&b.prep, opt.LockReads, func(tx *stm.Tx) error {
+			return g.planGroups(ops, b, planTxMode, tx,
+				func(l *List[V], k uint64, e *txEntry[V]) error {
+					return searchTx(tx, l, k, e.pa, e.na)
+				},
+				func(t int) error {
+					if !b.entries[t].write {
+						return nil
+					}
+					if err := g.validateEntryTx(tx, b, t); err != nil {
+						return err
+					}
+					return g.applyEntryTx(tx, b, t)
+				})
+		})
+		if err == nil {
+			return nil
+		}
+		if !stm.IsConflict(err) {
+			// The closure produces no errors besides conflicts.
+			panic("core: unreachable TM prepare error: " + err.Error())
+		}
+		stmBackoff(attempt)
 	}
+}
+
+func (c tmCommitter[V]) publish(ops []Op[V], b *txState[V]) {
+	g := c.g
+	b.prep.Publish()
 	for t := 0; t < b.nEnt; t++ {
 		e := b.entries[t]
 		if e.write {
@@ -52,4 +77,9 @@ func (g *Group[V]) commitTM(ops []Op[V], b *txState[V]) {
 			}
 		}
 	}
+}
+
+func (c tmCommitter[V]) abort(ops []Op[V], b *txState[V]) {
+	b.prep.Abort()
+	c.g.releasePlan(b)
 }

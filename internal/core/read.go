@@ -132,28 +132,16 @@ func (l *List[V]) Lookup(k uint64) (V, bool) {
 	}
 }
 
-// RangeQuery streams every pair with key in [lo, hi] to emit in ascending
-// key order and returns the number of pairs emitted (paper Figure 5). The
-// pairs form one linearizable snapshot. emit runs after the snapshot is
-// taken, so it may be arbitrarily slow without extending any transaction;
-// returning false from emit terminates the scan immediately — no further
-// pairs are visited or copied out of the snapshot. A nil emit counts the
-// whole interval.
-func (l *List[V]) RangeQuery(lo, hi uint64, emit func(k uint64, v V) bool) int {
-	if lo > hi {
-		return 0
-	}
-	if hi > MaxKey {
-		hi = MaxKey
-	}
-	if lo > MaxKey {
-		return 0
-	}
+// snapshotRun fills r.nodes with one consistent (linearizable) run of
+// nodes covering [ilo, ihi] in internal key space, per the group's
+// variant — the snapshot half shared by RangeQuery, CollectRange and
+// CollectRangeInto. The nodes are immutable, so once the run is taken
+// the caller may extract pairs at leisure: the epoch pin carried by r
+// keeps the backing arrays from being recycled mid-read. For VariantRW
+// the read lock is released before returning, so callers may run slow
+// or re-entrant extraction without deadlocking against writers.
+func (l *List[V]) snapshotRun(r *readScratch[V], ilo, ihi uint64) {
 	g := l.g
-	ilo, ihi := toInternal(lo), toInternal(hi)
-	r := g.getRead()
-	defer g.putRead(r)
-
 	switch g.cfg.Variant {
 	case VariantLT, VariantCOP:
 		// Figure 5: naked search to the start node, then one transaction
@@ -190,13 +178,12 @@ func (l *List[V]) RangeQuery(lo, hi uint64, emit func(k uint64, v V) bool) int {
 				}
 			})
 			if err == nil {
-				return emitRange(r.nodes, ilo, ihi, emit)
+				return
 			}
 			stmBackoff(attempt)
 		}
 
 	case VariantTM:
-		var count int
 		err := g.stm.Atomically(func(tx *stm.Tx) error {
 			r.nodes = r.nodes[:0]
 			if err := searchTx(tx, l, ilo, r.pa, r.na); err != nil {
@@ -219,10 +206,8 @@ func (l *List[V]) RangeQuery(lo, hi uint64, emit func(k uint64, v V) bool) int {
 			}
 		})
 		if err != nil {
-			panic("core: unreachable RangeQuery error: " + err.Error())
+			panic("core: unreachable snapshotRun error: " + err.Error())
 		}
-		count = emitRange(r.nodes, ilo, ihi, emit)
-		return count
 
 	case VariantRW:
 		l.mu.RLock()
@@ -240,15 +225,40 @@ func (l *List[V]) RangeQuery(lo, hi uint64, emit func(k uint64, v V) bool) int {
 			}
 			n = succ
 		}
-		// Release before emitting: the snapshot nodes are immutable, and
-		// emit may be arbitrarily slow or call back into the map (a
-		// re-entrant write would deadlock against our own read lock).
+		// Release before the caller extracts: the snapshot nodes are
+		// immutable, and extraction may be arbitrarily slow or call back
+		// into the map (a re-entrant write would deadlock against our
+		// own read lock).
 		l.mu.RUnlock()
-		return emitRange(r.nodes, ilo, ihi, emit)
 
 	default:
 		panic("core: unknown variant")
 	}
+}
+
+// RangeQuery streams every pair with key in [lo, hi] to emit in ascending
+// key order and returns the number of pairs emitted (paper Figure 5). The
+// pairs form one linearizable snapshot. emit runs after the snapshot is
+// taken, so it may be arbitrarily slow without extending any transaction;
+// returning false from emit terminates the scan immediately — no further
+// pairs are visited or copied out of the snapshot. A nil emit counts the
+// whole interval.
+func (l *List[V]) RangeQuery(lo, hi uint64, emit func(k uint64, v V) bool) int {
+	if lo > hi {
+		return 0
+	}
+	if hi > MaxKey {
+		hi = MaxKey
+	}
+	if lo > MaxKey {
+		return 0
+	}
+	g := l.g
+	ilo, ihi := toInternal(lo), toInternal(hi)
+	r := g.getRead()
+	defer g.putRead(r)
+	l.snapshotRun(r, ilo, ihi)
+	return emitRange(r.nodes, ilo, ihi, emit)
 }
 
 // emitRange extracts the pairs within [ilo, ihi] (internal keys) from the
@@ -282,13 +292,48 @@ func emitRange[V any](nodes []*node[V], ilo, ihi uint64, emit func(k uint64, v V
 	return count
 }
 
-// CollectRange is a convenience wrapper around RangeQuery that returns the
-// snapshot as a slice.
+// CollectRange is a convenience wrapper around CollectRangeInto that
+// returns the snapshot as a freshly grown slice.
 func (l *List[V]) CollectRange(lo, hi uint64) []KV[V] {
-	var out []KV[V]
-	l.RangeQuery(lo, hi, func(k uint64, v V) bool {
-		out = append(out, KV[V]{Key: k, Value: v})
-		return true
-	})
-	return out
+	return l.CollectRangeInto(lo, hi, nil)
+}
+
+// CollectRangeInto appends one consistent snapshot of every pair with
+// key in [lo, hi], ascending, to buf and returns the extended slice —
+// the caller-supplied-buffer form of CollectRange. Passing buf[:0] with
+// enough capacity makes the whole range read allocation-free in steady
+// state (pooled search scratch, pooled read transaction, no emit
+// closure), the read-path counterpart of the zero-allocation write
+// path; the alloc tests pin that budget. The snapshot is taken at one
+// linearization instant, exactly RangeQuery's.
+func (l *List[V]) CollectRangeInto(lo, hi uint64, buf []KV[V]) []KV[V] {
+	if lo > hi || lo > MaxKey {
+		return buf
+	}
+	if hi > MaxKey {
+		hi = MaxKey
+	}
+	g := l.g
+	ilo, ihi := toInternal(lo), toInternal(hi)
+	r := g.getRead()
+	defer g.putRead(r)
+	l.snapshotRun(r, ilo, ihi)
+	last := len(r.nodes) - 1
+	for ni, n := range r.nodes {
+		keys, vals := n.keys, n.vals
+		if ni == 0 || ni == last {
+			klo, khi := negInf, posInf
+			if ni == 0 {
+				klo = ilo
+			}
+			if ni == last {
+				khi = ihi
+			}
+			keys, vals = clipRange(keys, vals, klo, khi)
+		}
+		for i, k := range keys {
+			buf = append(buf, KV[V]{Key: toPublic(k), Value: vals[i]})
+		}
+	}
+	return buf
 }

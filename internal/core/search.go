@@ -18,6 +18,17 @@ import (
 // nodes. It cannot block: marks are cleared by a bounded postfix, and dead
 // nodes are already unlinked, so a retry makes progress.
 func searchNaked[V any](l *List[V], k uint64, pa, na []*node[V]) {
+	searchNakedBudget(l, k, pa, na, 0)
+}
+
+// searchNakedBudget is searchNaked with a restart budget: when budget > 0
+// and the traversal has restarted that many times without completing, it
+// gives up and reports false. A prepared-but-unpublished competitor (the
+// two-phase commit's prepare window) holds its marks until the
+// coordinator publishes — not a bounded postfix — so a bounded prepare
+// must be able to stop waiting behind one and abort its own prefix
+// instead. budget <= 0 never gives up (plain searchNaked).
+func searchNakedBudget[V any](l *List[V], k uint64, pa, na []*node[V], budget int) bool {
 	maxLevel := l.g.cfg.MaxLevel
 	spins := 0
 retry:
@@ -27,6 +38,9 @@ retry:
 			xn, tag := x.next[i].Peek()
 			if tag == stm.TagMarked || xn == nil || xn.live.Peek() == 0 {
 				spins++
+				if budget > 0 && spins >= budget {
+					return false
+				}
 				if spins%8 == 0 {
 					runtime.Gosched()
 				}
@@ -40,6 +54,7 @@ retry:
 			x = xn
 		}
 	}
+	return true
 }
 
 // searchRW is the Figure 3 traversal for the reader-writer-lock variant:

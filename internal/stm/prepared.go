@@ -1,0 +1,245 @@
+package stm
+
+// This file splits the TL2 commit into an explicit two-phase protocol:
+// PrepareOnce runs a transaction function and performs commit phase one
+// (acquire every write lock, validate the read set — and, on request,
+// lock the read set too), leaving a PreparedTx that the caller later
+// drives to Publish (commit phase two: clock bump, write-back, lock
+// release) or Abort (release everything, discard the buffered writes).
+//
+// A prepared transaction's write locks exclude every competitor that
+// reads or writes its write set, so the transaction's serialization
+// point is the prepare-time validation: anything committing between
+// Prepare and Publish either conflicts (and retries past Publish) or
+// serializes after the prepared transaction. That is exactly the fused
+// commit's argument with a longer lock hold, and is what lets a caller
+// compose several domains: prepare a sub-transaction per domain, then
+// publish them all (the two-phase commit of the Sharded facade).
+//
+// lockReads additionally acquires the versioned lock of every read-set
+// cell. A prepared transaction without read locks stays publishable, but
+// its *reads* can go stale before Publish — fine for a single-domain
+// prepare-then-publish, not for a participant in a multi-domain commit,
+// where a competitor sneaking a commit into one domain between two
+// prepare points would let observers see a partial cross-domain state.
+// Read locks pin the whole footprint until Publish; concurrent readers
+// of those cells conflict and retry, so the option is meant for the
+// occasional cross-domain transaction, not the hot path.
+
+// preparedRead is one read-set cell locked for read stability, with the
+// version to restore on release (read locks never bump versions).
+type preparedRead struct {
+	l   *vlock
+	ver uint64
+}
+
+// PreparedTx is a transaction that has passed commit phase one and now
+// holds its write locks (and, with lockReads, its read locks) until
+// Publish or Abort. The zero value is empty and reusable: PrepareOnce
+// fills it, Publish/Abort empty it again, so callers can embed one in
+// pooled scratch and prepare through it repeatedly without allocating.
+// A PreparedTx is not safe for concurrent use.
+type PreparedTx struct {
+	tx        *Tx
+	readLocks []preparedRead
+
+	// readLockSet is the dedup spill for wide read sets (a cross-shard
+	// range snapshot can read thousands of cells): past
+	// readLocksLinearMax the linear holdsReadLock scan switches to this
+	// map so lockReads stays linear in the read-set size.
+	readLockSet map[*vlock]struct{}
+}
+
+// Prepared reports whether p currently holds a prepared transaction.
+func (p *PreparedTx) Prepared() bool {
+	return p.tx != nil
+}
+
+// PrepareOnce executes fn inside a transaction and, instead of
+// committing, leaves the transaction prepared in p: every write lock
+// acquired, the read set validated (unconditionally — Publish may be
+// arbitrarily later, so the fused commit's "no intervening commit"
+// shortcut cannot apply), and with lockReads every distinct read-set
+// cell locked as well. On success the caller MUST eventually call
+// p.Publish or p.Abort — the locks are held until then. A conflict —
+// from a transactional read, from fn, or from phase one itself —
+// surfaces as an error wrapping ErrConflict with nothing held and p
+// left empty, exactly AtomicallyOnce's single-attempt contract.
+func (s *STM) PrepareOnce(p *PreparedTx, lockReads bool, fn func(tx *Tx) error) error {
+	if p.tx != nil {
+		panic("stm: PrepareOnce on an already prepared PreparedTx")
+	}
+	tx := s.txPool.Get().(*Tx)
+	tx.begin()
+	err := fn(tx)
+	if err == nil {
+		err = tx.prepare(p, lockReads)
+	} else {
+		tx.abort(err)
+	}
+	if err != nil {
+		tx.finish()
+		s.txPool.Put(tx)
+		return err
+	}
+	p.tx = tx
+	return nil
+}
+
+// prepare is commit phase one: acquire the write locks with bounded
+// spinning, then validate the read set and (with lockReads) lock it.
+// On failure everything acquired is released and the version words are
+// exactly as before.
+func (tx *Tx) prepare(p *PreparedTx, lockReads bool) error {
+	if tx.err != nil {
+		tx.abort(tx.err)
+		return tx.err
+	}
+	tx.done = true
+
+	if err := tx.acquireWriteLocks(); err != nil {
+		return err
+	}
+
+	p.readLocks = p.readLocks[:0]
+	p.readLockSet = nil
+	fail := func(err error) error {
+		for i := range p.readLocks {
+			p.readLocks[i].l.unlockRestore(p.readLocks[i].ver)
+		}
+		p.clearReadLocks()
+		tx.releaseLocked(len(tx.writes)) // acquireWriteLocks took them all
+		tx.abortWith(err)
+		return err
+	}
+	for i := range tx.reads {
+		r := &tx.reads[i]
+		ver, locked := r.l.sample()
+		if ver != r.ver {
+			return fail(errCommitVerify)
+		}
+		if locked && tx.findWrite(r.l) < 0 && !p.holdsReadLock(r.l) {
+			return fail(errCommitVerify)
+		}
+		if lockReads && tx.findWrite(r.l) < 0 && !p.holdsReadLock(r.l) {
+			// tryLock at the recorded version re-validates the read as a
+			// side effect of acquiring it.
+			if !r.l.tryLock(r.ver) {
+				return fail(errCommitVerify)
+			}
+			p.addReadLock(preparedRead{l: r.l, ver: r.ver})
+		}
+	}
+	return nil
+}
+
+// readLocksLinearMax bounds the linear dedup scan of holdsReadLock; a
+// wider prepared read set (a cross-shard range snapshot reads one cell
+// per run node, easily thousands) spills into readLockSet so lockReads
+// stays linear in the read-set size instead of quadratic.
+const readLocksLinearMax = 24
+
+// holdsReadLock reports whether p already read-locked the cell guarded
+// by l (the read set records every read, so one cell can appear several
+// times).
+func (p *PreparedTx) holdsReadLock(l *vlock) bool {
+	if p.readLockSet != nil {
+		_, ok := p.readLockSet[l]
+		return ok
+	}
+	for i := range p.readLocks {
+		if p.readLocks[i].l == l {
+			return true
+		}
+	}
+	return false
+}
+
+// addReadLock records an acquired read lock, spilling the dedup scan
+// into a map once the set outgrows the linear threshold.
+func (p *PreparedTx) addReadLock(r preparedRead) {
+	p.readLocks = append(p.readLocks, r)
+	if p.readLockSet != nil {
+		p.readLockSet[r.l] = struct{}{}
+	} else if len(p.readLocks) > readLocksLinearMax {
+		p.readLockSet = make(map[*vlock]struct{}, 2*len(p.readLocks))
+		for i := range p.readLocks {
+			p.readLockSet[p.readLocks[i].l] = struct{}{}
+		}
+	}
+}
+
+// Publish is commit phase two: take the write version from the clock,
+// apply the buffered writes, release the write locks at the new version
+// and the read locks at their original versions. It must be called
+// exactly once on a prepared descriptor; p is empty afterwards.
+func (p *PreparedTx) Publish() {
+	tx := p.tx
+	if tx == nil {
+		panic("stm: Publish of an unprepared transaction")
+	}
+	s := tx.s
+	if len(tx.writes) > 0 {
+		wv := s.clock.Add(1)
+		for i := range tx.writes {
+			e := &tx.writes[i]
+			if e.word != nil {
+				e.word.v.Store(e.val)
+			} else {
+				e.obj.apply()
+			}
+		}
+		for i := range tx.writes {
+			tx.writes[i].l.unlockTo(wv)
+		}
+	}
+	for i := range p.readLocks {
+		p.readLocks[i].l.unlockRestore(p.readLocks[i].ver)
+	}
+	if st := s.stats; st != nil {
+		st.Commits.Add(1)
+	}
+	p.clearReadLocks()
+	p.tx = nil
+	tx.finish()
+	s.txPool.Put(tx)
+}
+
+// Abort releases every lock at its pre-prepare version and discards the
+// buffered writes; the domain is exactly as if the transaction never
+// ran (modulo version bumps from the reads' sampling — none). It must
+// be called exactly once on a prepared descriptor; p is empty after.
+func (p *PreparedTx) Abort() {
+	tx := p.tx
+	if tx == nil {
+		panic("stm: Abort of an unprepared transaction")
+	}
+	s := tx.s
+	tx.releaseLocked(len(tx.writes))
+	for i := range p.readLocks {
+		p.readLocks[i].l.unlockRestore(p.readLocks[i].ver)
+	}
+	if st := s.stats; st != nil {
+		st.Aborts.Add(1)
+	}
+	p.clearReadLocks()
+	p.tx = nil
+	tx.finish()
+	s.txPool.Put(tx)
+}
+
+// clearReadLocks drops the vlock references (pooled descriptors must not
+// pin the nodes embedding those cells) and shrinks an outsized slice,
+// matching the descriptor pool's discipline in finish.
+func (p *PreparedTx) clearReadLocks() {
+	for i := range p.readLocks {
+		p.readLocks[i] = preparedRead{}
+	}
+	const keepCap = 1 << 12
+	if cap(p.readLocks) > keepCap {
+		p.readLocks = nil
+	} else {
+		p.readLocks = p.readLocks[:0]
+	}
+	p.readLockSet = nil
+}

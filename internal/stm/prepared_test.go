@@ -1,0 +1,195 @@
+package stm
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestPreparedPublish pins the split commit's visibility contract: a
+// prepared write is invisible (Peek and fresh transactions see the old
+// value), Publish makes it visible with a version bump, and the
+// descriptor is reusable afterwards.
+func TestPreparedPublish(t *testing.T) {
+	s := New()
+	var w Word
+	w.Init(1)
+
+	var p PreparedTx
+	if err := s.PrepareOnce(&p, false, func(tx *Tx) error {
+		v, err := w.Load(tx)
+		if err != nil {
+			return err
+		}
+		return w.Store(tx, v+41)
+	}); err != nil {
+		t.Fatalf("PrepareOnce: %v", err)
+	}
+	if !p.Prepared() {
+		t.Fatal("descriptor not prepared after PrepareOnce")
+	}
+	if got := w.Peek(); got != 1 {
+		t.Fatalf("prepared write already visible: Peek = %d, want 1", got)
+	}
+	// The write lock must exclude transactional readers of the cell.
+	err := s.AtomicallyOnce(func(tx *Tx) error {
+		_, err := w.Load(tx)
+		return err
+	})
+	if !IsConflict(err) {
+		t.Fatalf("read of prepared cell = %v, want conflict", err)
+	}
+	before := s.Now()
+	p.Publish()
+	if p.Prepared() {
+		t.Fatal("descriptor still prepared after Publish")
+	}
+	if got := w.Peek(); got != 42 {
+		t.Fatalf("Peek after Publish = %d, want 42", got)
+	}
+	if s.Now() != before+1 {
+		t.Fatalf("Publish bumped clock to %d, want %d", s.Now(), before+1)
+	}
+	if ver, locked := w.Version(); locked || ver != s.Now() {
+		t.Fatalf("cell at (ver=%d, locked=%v), want (%d, false)", ver, locked, s.Now())
+	}
+
+	// Reuse the same descriptor.
+	if err := s.PrepareOnce(&p, false, func(tx *Tx) error {
+		return w.Store(tx, 7)
+	}); err != nil {
+		t.Fatalf("second PrepareOnce: %v", err)
+	}
+	p.Publish()
+	if got := w.Peek(); got != 7 {
+		t.Fatalf("Peek after reuse = %d, want 7", got)
+	}
+}
+
+// TestPreparedAbort pins the abort contract: every lock released at its
+// pre-prepare version, the buffered write discarded, the clock
+// untouched.
+func TestPreparedAbort(t *testing.T) {
+	s := New()
+	var w Word
+	w.Init(5)
+	verBefore, _ := w.Version()
+	clockBefore := s.Now()
+
+	var p PreparedTx
+	if err := s.PrepareOnce(&p, false, func(tx *Tx) error {
+		return w.Store(tx, 99)
+	}); err != nil {
+		t.Fatalf("PrepareOnce: %v", err)
+	}
+	p.Abort()
+	if p.Prepared() {
+		t.Fatal("descriptor still prepared after Abort")
+	}
+	if got := w.Peek(); got != 5 {
+		t.Fatalf("Peek after Abort = %d, want 5", got)
+	}
+	if ver, locked := w.Version(); locked || ver != verBefore {
+		t.Fatalf("cell at (ver=%d, locked=%v) after Abort, want (%d, false)", ver, locked, verBefore)
+	}
+	if s.Now() != clockBefore {
+		t.Fatalf("Abort moved the clock: %d, want %d", s.Now(), clockBefore)
+	}
+	// The cell is free again: a normal commit must succeed.
+	if err := s.Atomically(func(tx *Tx) error { return w.Store(tx, 6) }); err != nil {
+		t.Fatalf("commit after Abort: %v", err)
+	}
+	if got := w.Peek(); got != 6 {
+		t.Fatalf("Peek = %d, want 6", got)
+	}
+}
+
+// TestPreparedLockReads pins the 2PC read-stability contract: with
+// lockReads a prepared transaction's read-only cells are locked, so a
+// competitor writing them conflicts until Publish/Abort releases them
+// at their original versions.
+func TestPreparedLockReads(t *testing.T) {
+	s := New()
+	var readCell, writeCell Word
+	readCell.Init(10)
+	writeCell.Init(20)
+	readVerBefore, _ := readCell.Version()
+
+	var p PreparedTx
+	if err := s.PrepareOnce(&p, true, func(tx *Tx) error {
+		if _, err := readCell.Load(tx); err != nil {
+			return err
+		}
+		// Load the read cell twice: the dedup path must not self-conflict.
+		if _, err := readCell.Load(tx); err != nil {
+			return err
+		}
+		return writeCell.Store(tx, 21)
+	}); err != nil {
+		t.Fatalf("PrepareOnce: %v", err)
+	}
+	// A competitor writing the read-locked cell must fail to commit.
+	err := s.AtomicallyOnce(func(tx *Tx) error { return readCell.Store(tx, 11) })
+	if !IsConflict(err) {
+		t.Fatalf("competitor on read-locked cell = %v, want conflict", err)
+	}
+	if got := readCell.Peek(); got != 10 {
+		t.Fatalf("read-locked cell changed: %d, want 10", got)
+	}
+	p.Publish()
+	// The read lock released at the ORIGINAL version: pure reads never
+	// invalidate other readers.
+	if ver, locked := readCell.Version(); locked || ver != readVerBefore {
+		t.Fatalf("read cell at (ver=%d, locked=%v), want (%d, false)", ver, locked, readVerBefore)
+	}
+	if got := writeCell.Peek(); got != 21 {
+		t.Fatalf("write cell = %d, want 21", got)
+	}
+	// And the competitor now succeeds.
+	if err := s.Atomically(func(tx *Tx) error { return readCell.Store(tx, 11) }); err != nil {
+		t.Fatalf("commit after Publish: %v", err)
+	}
+}
+
+// TestPreparedConflicts pins the failure modes of phase one: a write
+// lock held by another prepared transaction, and a read invalidated
+// between its load and the prepare.
+func TestPreparedConflicts(t *testing.T) {
+	s := New()
+	var w Word
+	w.Init(0)
+
+	var p1, p2 PreparedTx
+	if err := s.PrepareOnce(&p1, false, func(tx *Tx) error {
+		return w.Store(tx, 1)
+	}); err != nil {
+		t.Fatalf("first PrepareOnce: %v", err)
+	}
+	err := s.PrepareOnce(&p2, false, func(tx *Tx) error {
+		return w.Store(tx, 2)
+	})
+	if !IsConflict(err) {
+		t.Fatalf("second prepare of locked cell = %v, want conflict", err)
+	}
+	if p2.Prepared() {
+		t.Fatal("failed prepare left the descriptor prepared")
+	}
+	p1.Abort()
+
+	// Read invalidation: load w, then have a competitor commit to it
+	// before this transaction prepares.
+	err = s.PrepareOnce(&p2, false, func(tx *Tx) error {
+		if _, err := w.Load(tx); err != nil {
+			return err
+		}
+		if err := s.Atomically(func(tx2 *Tx) error { return w.Store(tx2, 3) }); err != nil {
+			t.Fatalf("competitor commit: %v", err)
+		}
+		return nil
+	})
+	if !IsConflict(err) {
+		t.Fatalf("prepare with stale read = %v, want conflict", err)
+	}
+	if errors.Is(err, ErrTxDone) {
+		t.Fatalf("stale read surfaced as ErrTxDone: %v", err)
+	}
+}

@@ -11,7 +11,13 @@ type Stats struct {
 	Extensions atomic.Uint64
 }
 
-// StatsSnapshot is a point-in-time copy of the counters.
+// StatsSnapshot is a point-in-time copy of the counters. It is a racy
+// aggregate: the fields are loaded one at a time while transactions keep
+// running, so the snapshot never corresponds to one global instant.
+// The loads are ordered so the snapshot is still internally consistent
+// for rate math — outcomes (Commits, Aborts) are read before Starts, and
+// every counted outcome had its start counted earlier, so a snapshot
+// always satisfies Commits+Aborts <= Starts even mid-flight.
 type StatsSnapshot struct {
 	Starts     uint64
 	Commits    uint64
@@ -20,11 +26,31 @@ type StatsSnapshot struct {
 }
 
 func (s *Stats) snapshot() StatsSnapshot {
-	return StatsSnapshot{
-		Starts:     s.Starts.Load(),
+	// Outcome counters first, Starts last (see StatsSnapshot): a
+	// transaction bumps Starts at begin and an outcome counter at the
+	// end, so loading outcomes first can only undercount outcomes
+	// relative to the Starts value loaded after them — never the
+	// inversion (AbortRate > 1, Commits+Aborts > Starts) that the old
+	// Starts-first order allowed.
+	snap := StatsSnapshot{
 		Commits:    s.Commits.Load(),
 		Aborts:     s.Aborts.Load(),
 		Extensions: s.Extensions.Load(),
+	}
+	snap.Starts = s.Starts.Load()
+	return snap
+}
+
+// Add returns the field-wise sum of s and o, for aggregating the
+// domains of several shards into one figure. The sum inherits each
+// addend's raciness but keeps the Commits+Aborts <= Starts invariant,
+// since every addend satisfies it.
+func (s StatsSnapshot) Add(o StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		Starts:     s.Starts + o.Starts,
+		Commits:    s.Commits + o.Commits,
+		Aborts:     s.Aborts + o.Aborts,
+		Extensions: s.Extensions + o.Extensions,
 	}
 }
 

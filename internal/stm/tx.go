@@ -219,25 +219,8 @@ func (tx *Tx) commit() error {
 		return nil
 	}
 
-	acquired := 0
-	for i := range tx.writes {
-		e := &tx.writes[i]
-		ok := false
-		for spin := 0; spin < tx.s.lockSpin; spin++ {
-			ver, locked := e.l.sample()
-			if !locked && e.l.tryLock(ver) {
-				e.prev = ver
-				ok = true
-				break
-			}
-			cpuRelax()
-		}
-		if !ok {
-			tx.releaseLocked(acquired)
-			tx.abortWith(errCommitLock)
-			return errCommitLock
-		}
-		acquired++
+	if err := tx.acquireWriteLocks(); err != nil {
+		return err
 	}
 
 	wv := tx.s.clock.Add(1)
@@ -247,7 +230,7 @@ func (tx *Tx) commit() error {
 			r := &tx.reads[i]
 			ver, locked := r.l.sample()
 			if ver != r.ver || (locked && tx.findWrite(r.l) < 0) {
-				tx.releaseLocked(acquired)
+				tx.releaseLocked(len(tx.writes)) // acquireWriteLocks took them all
 				tx.abortWith(errCommitVerify)
 				return errCommitVerify
 			}
@@ -267,6 +250,36 @@ func (tx *Tx) commit() error {
 	}
 	if st := tx.s.stats; st != nil {
 		st.Commits.Add(1)
+	}
+	return nil
+}
+
+// acquireWriteLocks is the first stage of both the fused commit and the
+// split prepare: acquire every write-set lock with bounded spinning,
+// recording each cell's prior version for restore-on-abort. On failure
+// everything acquired is released and the transaction is aborted with
+// errCommitLock. Shared so the two commit paths can never diverge in
+// acquisition policy.
+func (tx *Tx) acquireWriteLocks() error {
+	acquired := 0
+	for i := range tx.writes {
+		e := &tx.writes[i]
+		ok := false
+		for spin := 0; spin < tx.s.lockSpin; spin++ {
+			ver, locked := e.l.sample()
+			if !locked && e.l.tryLock(ver) {
+				e.prev = ver
+				ok = true
+				break
+			}
+			cpuRelax()
+		}
+		if !ok {
+			tx.releaseLocked(acquired)
+			tx.abortWith(errCommitLock)
+			return errCommitLock
+		}
+		acquired++
 	}
 	return nil
 }

@@ -48,6 +48,34 @@
 //	v, ok := m.Get(42)
 //	m.Range(40, 50, func(k uint64, v string) bool { return true })
 //
+// # Sharding and cross-shard transactions
+//
+// A transaction is atomic within one Group (one STM domain). To scale
+// past a single domain, Sharded partitions one logical ordered map by
+// key range over N independent Groups: point operations route to the
+// owning shard with zero cross-shard coordination, while Sharded.Txn
+// keeps full transactional semantics across shards — staged ops are
+// routed to per-shard sub-transactions (ranges split at shard
+// boundaries, their results stitched back in key order) and committed
+// by a deterministic two-phase protocol built on the commit pipeline's
+// prepare/publish split: every involved shard is prepared in ascending
+// shard order (search, build, validate, lock — deadlock excluded by the
+// global order), then all are published; a prepare failure aborts the
+// prepared prefix, restoring every shard exactly, and retries. A
+// prepared shard pins its reads as well as its writes until publish,
+// which is what makes a committed cross-shard transaction all-or-none
+// even against concurrent Sharded.Txn readers:
+//
+//	s := leaplist.NewSharded[uint64](8)
+//	tx := s.Txn()
+//	tx.Set(kA, debited).Set(kB, credited) // different shards
+//	total := tx.GetRange(0, leaplist.MaxKey) // one atomic snapshot of all shards
+//	err := tx.Commit()
+//
+// Transactions that touch a single shard skip the coordination
+// entirely, so occasional cross-shard transactions cost nothing on the
+// per-shard fast path.
+//
 // # Synchronization variants
 //
 // The package ships the four synchronization protocols the paper evaluates
@@ -334,6 +362,21 @@ func (m *Map[V]) Count(lo, hi uint64) int {
 // a Tx.GetRange instead.
 func (m *Map[V]) Collect(lo, hi uint64) []KV[V] {
 	return m.list.CollectRange(lo, hi)
+}
+
+// CollectInto appends one consistent snapshot of [lo, hi] to buf and
+// returns the extended slice — the caller-supplied-buffer form of
+// Collect. Passing buf[:0] with enough capacity makes hot range-read
+// loops allocation-free in steady state, the read-path counterpart of
+// the zero-allocation write path:
+//
+//	buf := make([]leaplist.KV[V], 0, 1024)
+//	for {
+//		buf = m.CollectInto(lo, hi, buf[:0])
+//		... // buf is valid until the next CollectInto
+//	}
+func (m *Map[V]) CollectInto(lo, hi uint64, buf []KV[V]) []KV[V] {
+	return m.list.CollectRangeInto(lo, hi, buf)
 }
 
 // Len returns the total number of keys; it traverses the node list

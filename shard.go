@@ -1,0 +1,567 @@
+package leaplist
+
+import (
+	"errors"
+	"sync"
+
+	"leaplist/internal/core"
+	"leaplist/internal/stm"
+)
+
+// Sharded is one logical ordered uint64 → V map partitioned by key range
+// over N independent Groups. Each shard is a full Group (its own STM
+// domain, epoch collector and recycler), so single-shard operations
+// scale with no cross-shard coordination at all; the keyspace
+// [0, MaxKey] is split into N equal contiguous segments, shard i owning
+// [i*span, (i+1)*span-1] (the last shard absorbing the remainder).
+//
+// Point operations (Set, Get, Delete) route to the owning shard and are
+// exactly as cheap as on a plain Map. Sharded.Txn builds a cross-shard
+// transaction: staged ops are routed to per-shard sub-batches, ranges
+// split at shard boundaries and their results stitched back in key
+// order, and Commit runs a deterministic two-phase protocol — prepare
+// every involved shard in ascending shard order (the global acquisition
+// order that excludes deadlock), then publish them all; a prepare
+// failure aborts the already-prepared prefix and retries with backoff.
+// Prepared shards hold their whole footprint (reads included) until
+// publish, so a committed ShardedTx is all-or-none even against
+// concurrent ShardedTx readers on every shard.
+//
+// Non-transactional reads spanning shards (Range, Collect, Count, Len)
+// stitch per-shard snapshots: each shard's segment is one linearizable
+// snapshot, but different shards are snapshotted at different instants.
+// For one atomic cross-shard snapshot, stage a GetRange in a Txn.
+type Sharded[V any] struct {
+	groups []*Group[V]
+	maps   []*Map[V]
+	span   uint64 // keys per shard; the last shard also owns the remainder
+
+	txPool sync.Pool // released *ShardedTx[V] builders
+}
+
+// NewSharded creates an empty sharded map with n shards (n < 1 is
+// treated as 1). Options apply to every shard's group.
+func NewSharded[V any](n int, opts ...Option) *Sharded[V] {
+	if n < 1 {
+		n = 1
+	}
+	s := &Sharded[V]{
+		groups: make([]*Group[V], n),
+		maps:   make([]*Map[V], n),
+		span:   MaxKey/uint64(n) + 1,
+	}
+	for i := range s.groups {
+		g := NewGroup[V](opts...)
+		s.groups[i] = g
+		s.maps[i] = g.NewMap()
+	}
+	return s
+}
+
+// Shards returns the number of shards.
+func (s *Sharded[V]) Shards() int {
+	return len(s.maps)
+}
+
+// ShardOf returns the index of the shard owning key k.
+func (s *Sharded[V]) ShardOf(k uint64) int {
+	if k > MaxKey {
+		k = MaxKey
+	}
+	i := int(k / s.span)
+	if i >= len(s.maps) {
+		i = len(s.maps) - 1
+	}
+	return i
+}
+
+// ShardRange returns the inclusive key range shard i owns.
+func (s *Sharded[V]) ShardRange(i int) (lo, hi uint64) {
+	lo = uint64(i) * s.span
+	hi = lo + s.span - 1
+	if i == len(s.maps)-1 || hi > MaxKey {
+		hi = MaxKey
+	}
+	return lo, hi
+}
+
+// STMStats returns the field-wise sum of every shard's STM counters
+// (zero unless the shards were built WithSTMStats). The aggregate is
+// racy — shards are snapshotted one after another while transactions
+// keep running — but each addend keeps Commits+Aborts <= Starts, so the
+// sum does too.
+func (s *Sharded[V]) STMStats() stm.StatsSnapshot {
+	var sum stm.StatsSnapshot
+	for _, g := range s.groups {
+		sum = sum.Add(g.STMStats())
+	}
+	return sum
+}
+
+// Set inserts or overwrites key k with value v in its owning shard.
+func (s *Sharded[V]) Set(k uint64, v V) error {
+	return s.maps[s.ShardOf(k)].Set(k, v)
+}
+
+// Get returns the value stored under k.
+func (s *Sharded[V]) Get(k uint64) (V, bool) {
+	return s.maps[s.ShardOf(k)].Get(k)
+}
+
+// Delete removes k, reporting whether it was present.
+func (s *Sharded[V]) Delete(k uint64) (bool, error) {
+	return s.maps[s.ShardOf(k)].Delete(k)
+}
+
+// Range streams every pair with key in [lo, hi] in ascending key order,
+// stopping early if fn returns false. Each shard's segment is one
+// consistent snapshot; the segments are snapshotted shard by shard (see
+// the type docs — use Txn + GetRange for one atomic cross-shard
+// snapshot).
+func (s *Sharded[V]) Range(lo, hi uint64, fn func(k uint64, v V) bool) {
+	if lo > hi || lo > MaxKey {
+		return
+	}
+	if hi > MaxKey {
+		hi = MaxKey
+	}
+	stopped := false
+	for sh := s.ShardOf(lo); sh <= s.ShardOf(hi) && !stopped; sh++ {
+		s.maps[sh].Range(lo, hi, func(k uint64, v V) bool {
+			if !fn(k, v) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// Count returns the number of keys in [lo, hi], summed over the
+// per-shard snapshots.
+func (s *Sharded[V]) Count(lo, hi uint64) int {
+	if lo > hi || lo > MaxKey {
+		return 0
+	}
+	if hi > MaxKey {
+		hi = MaxKey
+	}
+	total := 0
+	for sh := s.ShardOf(lo); sh <= s.ShardOf(hi); sh++ {
+		total += s.maps[sh].Count(lo, hi)
+	}
+	return total
+}
+
+// Collect returns the stitched per-shard snapshots of [lo, hi] as one
+// ascending slice.
+func (s *Sharded[V]) Collect(lo, hi uint64) []KV[V] {
+	return s.CollectInto(lo, hi, nil)
+}
+
+// CollectInto appends the stitched per-shard snapshots of [lo, hi] to
+// buf in ascending key order and returns the extended slice; the
+// caller-supplied-buffer form of Collect (see Map.CollectInto).
+func (s *Sharded[V]) CollectInto(lo, hi uint64, buf []KV[V]) []KV[V] {
+	if lo > hi || lo > MaxKey {
+		return buf
+	}
+	if hi > MaxKey {
+		hi = MaxKey
+	}
+	for sh := s.ShardOf(lo); sh <= s.ShardOf(hi); sh++ {
+		buf = s.maps[sh].CollectInto(lo, hi, buf)
+	}
+	return buf
+}
+
+// BulkLoad fills an empty, unshared sharded map from sorted, strictly
+// increasing keys, routing each contiguous segment to its owning
+// shard's BulkLoad (the half-full-node fast path). Only safe before the
+// map is shared.
+func (s *Sharded[V]) BulkLoad(keys []uint64, vals []V) error {
+	if len(keys) != len(vals) {
+		return ErrBatchMismatch
+	}
+	start := 0
+	for start < len(keys) {
+		sh := s.ShardOf(keys[start])
+		_, hi := s.ShardRange(sh)
+		end := start
+		for end < len(keys) && keys[end] <= hi {
+			end++
+		}
+		if err := s.maps[sh].BulkLoad(keys[start:end], vals[start:end]); err != nil {
+			return err
+		}
+		start = end
+	}
+	return nil
+}
+
+// Len returns the total number of keys, summed over shard-by-shard
+// traversals; like Map.Len it is not linearizable with concurrent
+// writers.
+func (s *Sharded[V]) Len() int {
+	total := 0
+	for _, m := range s.maps {
+		total += m.Len()
+	}
+	return total
+}
+
+// shardRef locates one staged sub-op: the part of a (possibly split)
+// logical op that landed in shard sh at index i of its sub-batch.
+type shardRef struct {
+	sh, i int
+}
+
+// ShardedTx is the cross-shard transaction builder: stage any mix of
+// Set, Delete, Get, GetRange and DeleteRange against the logical key
+// space, then Commit them as one atomic operation. Ops route to the
+// owning shard's sub-batch; a range op splits at shard boundaries into
+// one sub-op per covered shard, its results stitched back in key order
+// by the handle. Per-key semantics are Tx's exactly (staging order,
+// last-write-wins, read-your-own-writes): a key's ops all land in one
+// shard, in staging order.
+//
+// Commit is a deterministic two-phase commit over the involved shards
+// (see the Sharded type docs); a transaction touching a single shard
+// commits directly through that shard with no coordination overhead. A
+// ShardedTx is not safe for concurrent use and must be committed at
+// most once; staging errors are sticky, exactly as on Tx.
+type ShardedTx[V any] struct {
+	s     *Sharded[V]
+	per   [][]core.Op[V] // per-shard sub-batches, staged in tx order
+	parts []shardRef     // flattened range-op parts, grouped per handle
+	err   error
+	done  bool
+
+	prepared []*core.PreparedOps[V] // commit scratch: the prepared prefix
+}
+
+// Txn starts an empty cross-shard transaction, reusing a released
+// builder when one is pooled.
+func (s *Sharded[V]) Txn() *ShardedTx[V] {
+	if t, _ := s.txPool.Get().(*ShardedTx[V]); t != nil {
+		t.s = s
+		return t
+	}
+	return &ShardedTx[V]{s: s, per: make([][]core.Op[V], s.Shards())}
+}
+
+// Release returns the builder to the pool. After Release the ShardedTx
+// and every handle obtained from it are invalid; see Tx.Release for the
+// full contract (this is the same discipline).
+func (t *ShardedTx[V]) Release() {
+	s := t.s
+	if s == nil {
+		return // already released
+	}
+	const keepCap = 1 << 12
+	for sh := range t.per {
+		clear(t.per[sh]) // drop list pointers and values before pooling
+		if cap(t.per[sh]) > keepCap {
+			t.per[sh] = nil
+		} else {
+			t.per[sh] = t.per[sh][:0]
+		}
+	}
+	t.parts = t.parts[:0]
+	if cap(t.parts) > keepCap {
+		t.parts = nil
+	}
+	t.s, t.err, t.done = nil, nil, false
+	s.txPool.Put(t)
+}
+
+// stage appends one point op to the owning shard's sub-batch.
+func (t *ShardedTx[V]) stage(kind core.OpKind, k uint64, v V) shardRef {
+	if t.err != nil {
+		return shardRef{-1, -1}
+	}
+	if t.done {
+		t.err = ErrTxCommitted
+		return shardRef{-1, -1}
+	}
+	if k > MaxKey {
+		t.err = ErrKeyRange
+		return shardRef{-1, -1}
+	}
+	sh := t.s.ShardOf(k)
+	t.per[sh] = append(t.per[sh], core.Op[V]{List: t.s.maps[sh].list, Kind: kind, Key: k, Val: v})
+	return shardRef{sh, len(t.per[sh]) - 1}
+}
+
+// stageRange splits one interval op at shard boundaries, staging one
+// sub-op per covered shard; it returns the half-open parts interval
+// [from, to) in t.parts. Bounds normalize the way Tx.stageRange does:
+// hi clamps to MaxKey and an inverted interval stages nothing.
+func (t *ShardedTx[V]) stageRange(kind core.OpKind, lo, hi uint64) (from, to int) {
+	if t.err != nil {
+		return -1, -1
+	}
+	if t.done {
+		t.err = ErrTxCommitted
+		return -1, -1
+	}
+	if hi > MaxKey {
+		hi = MaxKey
+	}
+	if lo > hi {
+		return -1, -1 // empty interval: a staged no-op
+	}
+	from = len(t.parts)
+	for sh := t.s.ShardOf(lo); sh <= t.s.ShardOf(hi); sh++ {
+		slo, shi := t.s.ShardRange(sh)
+		if slo < lo {
+			slo = lo
+		}
+		if shi > hi {
+			shi = hi
+		}
+		t.per[sh] = append(t.per[sh], core.Op[V]{List: t.s.maps[sh].list, Kind: kind, Key: slo, KeyHi: shi})
+		t.parts = append(t.parts, shardRef{sh, len(t.per[sh]) - 1})
+	}
+	return from, len(t.parts)
+}
+
+// Set stages s[k] = v, returning the ShardedTx for chaining.
+func (t *ShardedTx[V]) Set(k uint64, v V) *ShardedTx[V] {
+	t.stage(core.OpSet, k, v)
+	return t
+}
+
+// Delete stages the removal of k. The handle reports, after a
+// successful Commit, whether the key was present as observed by this op
+// (a key Set earlier in the same transaction counts as present).
+func (t *ShardedTx[V]) Delete(k uint64) ShardedDelete[V] {
+	var zero V
+	return ShardedDelete[V]{t: t, ref: t.stage(core.OpDelete, k, zero)}
+}
+
+// Get stages an atomic read of k at the transaction's atomicity point,
+// observing writes staged earlier in the same transaction.
+func (t *ShardedTx[V]) Get(k uint64) ShardedGet[V] {
+	var zero V
+	return ShardedGet[V]{t: t, ref: t.stage(core.OpGet, k, zero)}
+}
+
+// GetRange stages an atomic read of every pair with key in [lo, hi]:
+// one consistent snapshot across every shard the interval covers, taken
+// at the transaction's atomicity point, in ascending key order,
+// reflecting writes staged earlier in the same transaction.
+func (t *ShardedTx[V]) GetRange(lo, hi uint64) ShardedRange[V] {
+	from, to := t.stageRange(core.OpGetRange, lo, hi)
+	return ShardedRange[V]{t: t, from: from, to: to}
+}
+
+// DeleteRange stages the atomic removal of every pair with key in
+// [lo, hi], across every shard the interval covers. The handle reports
+// how many pairs the removal observed at its staged position.
+func (t *ShardedTx[V]) DeleteRange(lo, hi uint64) ShardedDeleteRange[V] {
+	from, to := t.stageRange(core.OpDeleteRange, lo, hi)
+	return ShardedDeleteRange[V]{t: t, from: from, to: to}
+}
+
+// Len returns the number of staged sub-ops (a range op counts once per
+// shard it covers).
+func (t *ShardedTx[V]) Len() int {
+	n := 0
+	for sh := range t.per {
+		n += len(t.per[sh])
+	}
+	return n
+}
+
+// Err returns the first staging or commit error, if any, without
+// committing.
+func (t *ShardedTx[V]) Err() error {
+	return t.err
+}
+
+// shardPrepareAttempts bounds one shard's conflict retries inside the
+// two-phase commit before the coordinator gives the prepared prefix
+// back: spinning against a competitor that already holds a later shard
+// would otherwise stall both, while abort-and-retry with randomized
+// backoff lets one of them through.
+const shardPrepareAttempts = 8
+
+// Commit applies every staged operation as one atomic cross-shard
+// operation: prepare every involved shard in ascending shard order,
+// then publish them all. Once every shard is prepared, each shard's
+// whole footprint — written nodes and read nodes alike — is locked
+// against competitors, so no other transaction (sharded or per-shard)
+// can slip between the publishes: concurrent ShardedTx observers see
+// all of this transaction's effects or none.
+//
+// Commit returns nil on success (including for an empty transaction),
+// ErrKeyRange if a stage call was invalid, and ErrTxCommitted if the
+// transaction was already committed. Contention never surfaces as an
+// error; a failed prepare aborts the prepared prefix — restoring every
+// shard exactly and recycling the never-published pieces — and retries.
+func (t *ShardedTx[V]) Commit() error {
+	if t.err != nil {
+		return t.err
+	}
+	if t.done {
+		return ErrTxCommitted
+	}
+	t.done = true
+	staged, only := 0, -1
+	for sh := range t.per {
+		if len(t.per[sh]) > 0 {
+			staged++
+			only = sh
+		}
+	}
+	if staged == 0 {
+		return nil
+	}
+	if staged == 1 {
+		// Single-shard transaction: that shard's own commit is the
+		// atomicity point; no coordination needed.
+		if err := t.s.groups[only].inner.CommitOps(t.per[only]); err != nil {
+			t.err = err
+			return err
+		}
+		return nil
+	}
+	for attempt := 0; ; attempt++ {
+		t.prepared = t.prepared[:0]
+		var failed error
+		for sh := range t.per { // ascending shard order: deadlock-free
+			if len(t.per[sh]) == 0 {
+				continue
+			}
+			p, err := t.s.groups[sh].inner.PrepareOps(t.per[sh], core.PrepareOpts{
+				LockReads:   true,
+				MaxAttempts: shardPrepareAttempts,
+			})
+			if err != nil {
+				failed = err
+				break
+			}
+			t.prepared = append(t.prepared, p)
+		}
+		if failed == nil {
+			for i, p := range t.prepared {
+				p.Publish()
+				t.prepared[i] = nil
+			}
+			t.prepared = t.prepared[:0]
+			return nil
+		}
+		for i := len(t.prepared) - 1; i >= 0; i-- {
+			t.prepared[i].Abort()
+			t.prepared[i] = nil
+		}
+		t.prepared = t.prepared[:0]
+		if !errors.Is(failed, core.ErrPrepareConflict) {
+			// Unreachable: staging validated every key and interval, so
+			// prepare can only fail on contention. Surfaced, not
+			// swallowed, in case that ever changes.
+			t.err = failed
+			return failed
+		}
+		stm.Backoff(attempt)
+	}
+}
+
+// ShardedGet is the handle of a staged Get; valid after its transaction
+// commits.
+type ShardedGet[V any] struct {
+	t   *ShardedTx[V]
+	ref shardRef
+}
+
+// Value returns the read result. Before a successful Commit (or when
+// the stage itself failed) it returns the zero value and false.
+func (h ShardedGet[V]) Value() (V, bool) {
+	if h.t == nil || h.ref.i < 0 || !h.t.done || h.t.err != nil {
+		var zero V
+		return zero, false
+	}
+	op := &h.t.per[h.ref.sh][h.ref.i]
+	return op.Out, op.Found
+}
+
+// ShardedDelete is the handle of a staged Delete; valid after its
+// transaction commits.
+type ShardedDelete[V any] struct {
+	t   *ShardedTx[V]
+	ref shardRef
+}
+
+// Present reports whether the key was present when the delete applied.
+func (h ShardedDelete[V]) Present() bool {
+	if h.t == nil || h.ref.i < 0 || !h.t.done || h.t.err != nil {
+		return false
+	}
+	return h.t.per[h.ref.sh][h.ref.i].Found
+}
+
+// ShardedRange is the handle of a staged GetRange; valid after its
+// transaction commits.
+type ShardedRange[V any] struct {
+	t        *ShardedTx[V]
+	from, to int
+}
+
+// Pairs returns the snapshot: every pair in [lo, hi] at the
+// transaction's atomicity point, ascending by key, stitched across
+// shard boundaries. Before a successful Commit it returns nil. When the
+// interval fits one shard the sub-batch's slice is returned directly
+// (owned by the transaction, valid until Release, must not be appended
+// to); a multi-shard snapshot is stitched into a fresh slice.
+func (h ShardedRange[V]) Pairs() []KV[V] {
+	if h.t == nil || h.from < 0 || !h.t.done || h.t.err != nil {
+		return nil
+	}
+	if h.to-h.from == 1 {
+		ref := h.t.parts[h.from]
+		return h.t.per[ref.sh][ref.i].Range
+	}
+	total := 0
+	for _, ref := range h.t.parts[h.from:h.to] {
+		total += h.t.per[ref.sh][ref.i].N
+	}
+	out := make([]KV[V], 0, total)
+	for _, ref := range h.t.parts[h.from:h.to] {
+		out = append(out, h.t.per[ref.sh][ref.i].Range...)
+	}
+	return out
+}
+
+// Count returns the number of pairs in the snapshot (0 before a
+// successful Commit).
+func (h ShardedRange[V]) Count() int {
+	if h.t == nil || h.from < 0 || !h.t.done || h.t.err != nil {
+		return 0
+	}
+	n := 0
+	for _, ref := range h.t.parts[h.from:h.to] {
+		n += h.t.per[ref.sh][ref.i].N
+	}
+	return n
+}
+
+// ShardedDeleteRange is the handle of a staged DeleteRange; valid after
+// its transaction commits.
+type ShardedDeleteRange[V any] struct {
+	t        *ShardedTx[V]
+	from, to int
+}
+
+// Count returns how many pairs the removal deleted across every covered
+// shard (0 before a successful Commit).
+func (h ShardedDeleteRange[V]) Count() int {
+	if h.t == nil || h.from < 0 || !h.t.done || h.t.err != nil {
+		return 0
+	}
+	n := 0
+	for _, ref := range h.t.parts[h.from:h.to] {
+		n += h.t.per[ref.sh][ref.i].N
+	}
+	return n
+}

@@ -1,0 +1,574 @@
+package leaplist
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"leaplist/internal/core"
+)
+
+// shardSlots spreads logical slots over the whole uint64 keyspace so a
+// handful of test keys covers every shard of a small Sharded map.
+const shardSlots = 64
+
+func slotKey(slot uint64) uint64 {
+	return slot * (MaxKey / shardSlots)
+}
+
+// TestShardedRouting pins the key-range partition: every key routes to
+// exactly one shard, shard ranges tile [0, MaxKey], and point ops land
+// where ShardOf says.
+func TestShardedRouting(t *testing.T) {
+	for _, n := range []int{1, 3, 4, 8} {
+		s := NewSharded[uint64](n)
+		if s.Shards() != n {
+			t.Fatalf("Shards() = %d, want %d", s.Shards(), n)
+		}
+		var prevHi uint64
+		for i := 0; i < n; i++ {
+			lo, hi := s.ShardRange(i)
+			if i == 0 && lo != 0 {
+				t.Fatalf("shard 0 starts at %d", lo)
+			}
+			if i > 0 && lo != prevHi+1 {
+				t.Fatalf("shard %d starts at %d, want %d", i, lo, prevHi+1)
+			}
+			if s.ShardOf(lo) != i || s.ShardOf(hi) != i {
+				t.Fatalf("shard %d bounds route to (%d, %d)", i, s.ShardOf(lo), s.ShardOf(hi))
+			}
+			prevHi = hi
+		}
+		if prevHi != MaxKey {
+			t.Fatalf("last shard ends at %d, want MaxKey", prevHi)
+		}
+		for slot := uint64(0); slot < shardSlots; slot++ {
+			k := slotKey(slot)
+			if err := s.Set(k, slot); err != nil {
+				t.Fatalf("Set: %v", err)
+			}
+			if v, ok := s.Get(k); !ok || v != slot {
+				t.Fatalf("Get(%d) = (%d, %v)", k, v, ok)
+			}
+		}
+		if got := s.Len(); got != shardSlots {
+			t.Fatalf("Len = %d, want %d", got, shardSlots)
+		}
+	}
+}
+
+// TestShardedRangeStitching pins cross-shard range stitching on both the
+// non-transactional readers (Range, Collect, Count) and the transactional
+// snapshot (Txn + GetRange): ascending key order across shard boundaries,
+// early termination, boundary clipping.
+func TestShardedRangeStitching(t *testing.T) {
+	s := NewSharded[uint64](4)
+	for slot := uint64(0); slot < shardSlots; slot++ {
+		if err := s.Set(slotKey(slot), slot); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+	}
+	// Full stitched collect, ascending.
+	got := s.Collect(0, MaxKey)
+	if len(got) != shardSlots {
+		t.Fatalf("Collect len = %d, want %d", len(got), shardSlots)
+	}
+	for i, kv := range got {
+		if kv.Key != slotKey(uint64(i)) || kv.Value != uint64(i) {
+			t.Fatalf("Collect[%d] = %+v, want (%d, %d)", i, kv, slotKey(uint64(i)), i)
+		}
+	}
+	// Sub-interval spanning two shard boundaries.
+	lo, hi := slotKey(10), slotKey(50)
+	if n := s.Count(lo, hi); n != 41 {
+		t.Fatalf("Count = %d, want 41", n)
+	}
+	// Early termination mid-stitch.
+	seen := 0
+	s.Range(0, MaxKey, func(k, v uint64) bool {
+		seen++
+		return seen < 20
+	})
+	if seen != 20 {
+		t.Fatalf("Range visited %d pairs, want 20", seen)
+	}
+	// Transactional stitched snapshot.
+	tx := s.Txn()
+	r := tx.GetRange(lo, hi)
+	all := tx.GetRange(0, MaxKey)
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if r.Count() != 41 {
+		t.Fatalf("tx GetRange Count = %d, want 41", r.Count())
+	}
+	pairs := r.Pairs()
+	for i, kv := range pairs {
+		want := uint64(i + 10)
+		if kv.Key != slotKey(want) || kv.Value != want {
+			t.Fatalf("Pairs[%d] = %+v, want slot %d", i, kv, want)
+		}
+	}
+	if all.Count() != shardSlots || len(all.Pairs()) != shardSlots {
+		t.Fatalf("full tx range = %d pairs, want %d", all.Count(), shardSlots)
+	}
+	tx.Release()
+}
+
+// TestShardedTxEdgeCases pins the builder contract: empty commit, double
+// commit, sticky staging errors, single-shard fast path, pooling.
+func TestShardedTxEdgeCases(t *testing.T) {
+	s := NewSharded[uint64](4)
+
+	tx := s.Txn()
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("empty Commit: %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxCommitted) {
+		t.Fatalf("double Commit = %v, want ErrTxCommitted", err)
+	}
+	tx.Release()
+	tx.Release() // second release is a no-op
+
+	// Sticky staging error: bad key poisons the whole tx.
+	tx = s.Txn()
+	tx.Set(^uint64(0), 1)
+	tx.Set(1, 1)
+	if err := tx.Commit(); !errors.Is(err, ErrKeyRange) {
+		t.Fatalf("bad-key Commit = %v, want ErrKeyRange", err)
+	}
+	if _, ok := s.Get(1); ok {
+		t.Fatal("poisoned tx leaked a write")
+	}
+	tx.Release()
+
+	// Single-shard fast path with handles and RYOW.
+	tx = s.Txn()
+	tx.Set(5, 50)
+	g := tx.Get(5)
+	d := tx.Delete(5)
+	g2 := tx.Get(5)
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if v, ok := g.Value(); !ok || v != 50 {
+		t.Fatalf("staged Get = (%d, %v), want (50, true)", v, ok)
+	}
+	if !d.Present() {
+		t.Fatal("staged Delete saw no key")
+	}
+	if _, ok := g2.Value(); ok {
+		t.Fatal("Get after staged Delete still present")
+	}
+	tx.Release()
+
+	// Inverted and empty intervals.
+	tx = s.Txn()
+	r := tx.GetRange(10, 5)
+	dr := tx.DeleteRange(10, 5)
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if r.Pairs() != nil || r.Count() != 0 || dr.Count() != 0 {
+		t.Fatal("inverted interval not empty")
+	}
+	tx.Release()
+
+	// Cross-shard delete handles.
+	k0, k1 := slotKey(1), slotKey(40)
+	if err := s.Set(k0, 1); err != nil {
+		t.Fatal(err)
+	}
+	tx = s.Txn()
+	d0 := tx.Delete(k0)
+	d1 := tx.Delete(k1)
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if !d0.Present() || d1.Present() {
+		t.Fatalf("cross-shard deletes = (%v, %v), want (true, false)", d0.Present(), d1.Present())
+	}
+	tx.Release()
+}
+
+// TestShardedTxOracle drives randomized mixed transactions (point and
+// range ops, single- and cross-shard) against a mirror map on every
+// variant, checking every handle result against the fold semantics and
+// the final contents exactly.
+func TestShardedTxOracle(t *testing.T) {
+	forEachTxVariant(t, func(t *testing.T, v Variant) {
+		s := NewSharded[uint64](4, WithVariant(v), WithNodeSize(4), WithMaxLevel(5))
+		mirror := map[uint64]uint64{}
+		r := rand.New(rand.NewPCG(11, uint64(v)))
+		rounds := 300
+		if testing.Short() {
+			rounds = 60
+		}
+		for round := 0; round < rounds; round++ {
+			tx := s.Txn()
+			// Shadow overlay: nil pointer = deleted, else staged value.
+			shadow := map[uint64]*uint64{}
+			look := func(k uint64) (uint64, bool) {
+				if p, ok := shadow[k]; ok {
+					if p == nil {
+						return 0, false
+					}
+					return *p, true
+				}
+				val, ok := mirror[k]
+				return val, ok
+			}
+			type expGet struct {
+				h     ShardedGet[uint64]
+				v     uint64
+				found bool
+			}
+			type expDel struct {
+				h       ShardedDelete[uint64]
+				present bool
+			}
+			type expRange struct {
+				h     ShardedRange[uint64]
+				pairs []KV[uint64]
+			}
+			type expDelRange struct {
+				h ShardedDeleteRange[uint64]
+				n int
+			}
+			var gets []expGet
+			var dels []expDel
+			var ranges []expRange
+			var delRanges []expDelRange
+			nops := 1 + r.IntN(5)
+			for o := 0; o < nops; o++ {
+				slot := r.Uint64N(shardSlots)
+				k := slotKey(slot)
+				switch r.IntN(6) {
+				case 0, 1:
+					val := r.Uint64N(1 << 30)
+					tx.Set(k, val)
+					vv := val
+					shadow[k] = &vv
+				case 2:
+					_, present := look(k)
+					dels = append(dels, expDel{tx.Delete(k), present})
+					shadow[k] = nil
+				case 3:
+					val, found := look(k)
+					gets = append(gets, expGet{tx.Get(k), val, found})
+				case 4:
+					hiSlot := slot + r.Uint64N(24)
+					if hiSlot >= shardSlots {
+						hiSlot = shardSlots - 1
+					}
+					var want []KV[uint64]
+					for sl := slot; sl <= hiSlot; sl++ {
+						if val, ok := look(slotKey(sl)); ok {
+							want = append(want, KV[uint64]{Key: slotKey(sl), Value: val})
+						}
+					}
+					ranges = append(ranges, expRange{tx.GetRange(k, slotKey(hiSlot)), want})
+				default:
+					hiSlot := slot + r.Uint64N(24)
+					if hiSlot >= shardSlots {
+						hiSlot = shardSlots - 1
+					}
+					n := 0
+					for sl := slot; sl <= hiSlot; sl++ {
+						if _, ok := look(slotKey(sl)); ok {
+							n++
+							shadow[slotKey(sl)] = nil
+						}
+					}
+					delRanges = append(delRanges, expDelRange{tx.DeleteRange(k, slotKey(hiSlot)), n})
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatalf("round %d Commit: %v", round, err)
+			}
+			for i, e := range gets {
+				val, found := e.h.Value()
+				if found != e.found || (found && val != e.v) {
+					t.Fatalf("round %d get %d = (%d, %v), want (%d, %v)", round, i, val, found, e.v, e.found)
+				}
+			}
+			for i, e := range dels {
+				if e.h.Present() != e.present {
+					t.Fatalf("round %d delete %d present = %v, want %v", round, i, e.h.Present(), e.present)
+				}
+			}
+			for i, e := range ranges {
+				got := e.h.Pairs()
+				if len(got) != len(e.pairs) || e.h.Count() != len(e.pairs) {
+					t.Fatalf("round %d range %d: %d pairs (count %d), want %d", round, i, len(got), e.h.Count(), len(e.pairs))
+				}
+				for j := range got {
+					if got[j] != e.pairs[j] {
+						t.Fatalf("round %d range %d pair %d = %+v, want %+v", round, i, j, got[j], e.pairs[j])
+					}
+				}
+			}
+			for i, e := range delRanges {
+				if e.h.Count() != e.n {
+					t.Fatalf("round %d delrange %d count = %d, want %d", round, i, e.h.Count(), e.n)
+				}
+			}
+			tx.Release()
+			// Fold the overlay into the mirror.
+			for k, p := range shadow {
+				if p == nil {
+					delete(mirror, k)
+				} else {
+					mirror[k] = *p
+				}
+			}
+		}
+		// Final contents must equal the mirror exactly.
+		if got := s.Len(); got != len(mirror) {
+			t.Fatalf("Len = %d, mirror %d", got, len(mirror))
+		}
+		for _, kv := range s.Collect(0, MaxKey) {
+			if mv, ok := mirror[kv.Key]; !ok || mv != kv.Value {
+				t.Fatalf("key %d = %d, mirror (%d, %v)", kv.Key, kv.Value, mv, ok)
+			}
+		}
+	})
+}
+
+// TestShardedTxAllOrNone is the acceptance stress for cross-shard
+// atomicity: workers move units between their own keys in different
+// shards with cross-shard transactions while observers take atomic
+// whole-store snapshots (Txn + GetRange over every shard) and check
+// conservation — a snapshot straddling a half-published transfer would
+// break the invariant immediately. All four variants, race-clean.
+func TestShardedTxAllOrNone(t *testing.T) {
+	forEachTxVariant(t, func(t *testing.T, v Variant) {
+		const (
+			shards  = 4
+			workers = 4
+			initBal = 1000
+		)
+		s := NewSharded[uint64](shards, WithVariant(v), WithNodeSize(8))
+		key := func(shard, worker int) uint64 {
+			lo, _ := s.ShardRange(shard)
+			return lo + uint64(worker)
+		}
+		for sh := 0; sh < shards; sh++ {
+			for w := 0; w < workers; w++ {
+				if err := s.Set(key(sh, w), initBal); err != nil {
+					t.Fatalf("Set: %v", err)
+				}
+			}
+		}
+		total := uint64(shards * workers * initBal)
+		iters := 300
+		if testing.Short() {
+			iters = 60
+		}
+
+		var writerWG, readerWG sync.WaitGroup
+		stop := make(chan struct{})
+
+		// Observers: each snapshot is one cross-shard transaction, so it
+		// must see every transfer entirely or not at all.
+		for o := 0; o < 2; o++ {
+			readerWG.Add(1)
+			go func() {
+				defer readerWG.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					tx := s.Txn()
+					snap := tx.GetRange(0, MaxKey)
+					if err := tx.Commit(); err != nil {
+						t.Errorf("observer Commit: %v", err)
+						return
+					}
+					var sum uint64
+					pairs := snap.Pairs()
+					for _, kv := range pairs {
+						sum += kv.Value
+					}
+					tx.Release()
+					if len(pairs) != shards*workers || sum != total {
+						t.Errorf("torn snapshot: %d pairs summing to %d, want %d pairs summing to %d",
+							len(pairs), sum, shards*workers, total)
+						return
+					}
+				}
+			}()
+		}
+
+		// Transfer workers: worker w owns key(sh, w) in every shard, so
+		// its read-modify-write needs no extra locking; the cross-shard
+		// transaction is what must make the two writes atomic.
+		for w := 0; w < workers; w++ {
+			writerWG.Add(1)
+			go func(w int) {
+				defer writerWG.Done()
+				r := rand.New(rand.NewPCG(uint64(w+1), 99))
+				for i := 0; i < iters; i++ {
+					from := r.IntN(shards)
+					to := (from + 1 + r.IntN(shards-1)) % shards
+					fk, tk := key(from, w), key(to, w)
+					fv, _ := s.Get(fk)
+					if fv == 0 {
+						continue
+					}
+					tv, _ := s.Get(tk)
+					tx := s.Txn()
+					tx.Set(fk, fv-1).Set(tk, tv+1)
+					readBack := tx.Get(fk)
+					if err := tx.Commit(); err != nil {
+						t.Errorf("transfer Commit: %v", err)
+						return
+					}
+					if got, ok := readBack.Value(); !ok || got != fv-1 {
+						t.Errorf("staged Get = (%d, %v), want (%d, true)", got, ok, fv-1)
+						return
+					}
+					tx.Release()
+				}
+			}(w)
+		}
+
+		writerWG.Wait()
+		close(stop)
+		readerWG.Wait()
+
+		// Quiescent audit.
+		var sum uint64
+		for _, kv := range s.Collect(0, MaxKey) {
+			sum += kv.Value
+		}
+		if sum != total {
+			t.Fatalf("final sum = %d, want %d", sum, total)
+		}
+	})
+}
+
+// TestShardedTxMixedContention hammers cross-shard transactions of every
+// op kind against each other and against per-shard readers, then checks
+// value integrity (every surviving value tags its key). Race-clean.
+func TestShardedTxMixedContention(t *testing.T) {
+	forEachTxVariant(t, func(t *testing.T, v Variant) {
+		s := NewSharded[uint64](4, WithVariant(v), WithNodeSize(4), WithMaxLevel(5))
+		const workers = 4
+		iters := 200
+		if testing.Short() {
+			iters = 40
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(seed uint64) {
+				defer wg.Done()
+				r := rand.New(rand.NewPCG(seed, 7))
+				for i := 0; i < iters; i++ {
+					slot := r.Uint64N(shardSlots)
+					hiSlot := slot + r.Uint64N(32)
+					if hiSlot >= shardSlots {
+						hiSlot = shardSlots - 1
+					}
+					lo, hi := slotKey(slot), slotKey(hiSlot)
+					switch r.IntN(4) {
+					case 0:
+						tx := s.Txn()
+						for j := uint64(0); j < 3; j++ {
+							sl := (slot + j*16) % shardSlots // spread across shards
+							tx.Set(slotKey(sl), slotKey(sl)*2)
+						}
+						if err := tx.Commit(); err != nil {
+							t.Errorf("Sets: %v", err)
+							return
+						}
+						tx.Release()
+					case 1:
+						tx := s.Txn()
+						tx.DeleteRange(lo, hi)
+						if err := tx.Commit(); err != nil {
+							t.Errorf("DeleteRange: %v", err)
+							return
+						}
+						tx.Release()
+					case 2:
+						tx := s.Txn()
+						snap := tx.GetRange(lo, hi)
+						tx.Set(lo, lo*2)
+						if err := tx.Commit(); err != nil {
+							t.Errorf("GetRange+Set: %v", err)
+							return
+						}
+						for _, kv := range snap.Pairs() {
+							if kv.Value != kv.Key*2 {
+								t.Errorf("snapshot integrity: key %d holds %d", kv.Key, kv.Value)
+								return
+							}
+						}
+						tx.Release()
+					default:
+						s.Range(lo, hi, func(k, val uint64) bool {
+							if val != k*2 {
+								t.Errorf("range integrity: key %d holds %d", k, val)
+								return false
+							}
+							return true
+						})
+					}
+				}
+			}(uint64(w + 1))
+		}
+		wg.Wait()
+		for _, kv := range s.Collect(0, MaxKey) {
+			if kv.Value != kv.Key*2 {
+				t.Fatalf("key %d holds %d, want %d", kv.Key, kv.Value, kv.Key*2)
+			}
+		}
+	})
+}
+
+// TestShardedSTMStats pins the aggregated counters: transactions ran, and
+// the snapshot keeps its internal ordering invariant.
+func TestShardedSTMStats(t *testing.T) {
+	s := NewSharded[uint64](4, WithSTMStats(true))
+	for slot := uint64(0); slot < shardSlots; slot++ {
+		if err := s.Set(slotKey(slot), slot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx := s.Txn()
+	tx.Set(slotKey(1), 1).Set(slotKey(40), 2) // cross-shard
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx.Release()
+	st := s.STMStats()
+	if st.Starts == 0 || st.Commits == 0 {
+		t.Fatalf("stats empty: %+v", st)
+	}
+	if st.Commits+st.Aborts > st.Starts {
+		t.Fatalf("outcome counters exceed starts: %+v", st)
+	}
+}
+
+// TestShardedPrepareErrTypes pins the coordinator's error contract:
+// conflicts are retried internally and never surface from Commit —
+// in particular never as core.ErrPrepareConflict.
+func TestShardedPrepareErrTypes(t *testing.T) {
+	s := NewSharded[uint64](2)
+	for i := 0; i < 50; i++ {
+		tx := s.Txn()
+		tx.Set(slotKey(1), uint64(i)).Set(slotKey(40), uint64(i))
+		if err := tx.Commit(); err != nil {
+			if errors.Is(err, core.ErrPrepareConflict) {
+				t.Fatalf("Commit %d leaked the internal conflict sentinel: %v", i, err)
+			}
+			t.Fatalf("Commit %d: %v", i, err)
+		}
+		tx.Release()
+	}
+}
