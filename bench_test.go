@@ -14,6 +14,7 @@
 package leaplist_test
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -494,4 +495,146 @@ func itoa(n int) string {
 		n /= 10
 	}
 	return string(buf[i:])
+}
+
+// ---- Locality: finger-search A/B (see WithFingers) ----
+
+// localityMap builds a preloaded single map with fingers on or off.
+func localityMap(b *testing.B, v core.Variant, fingers bool, nodeSize int) (*leaplist.Group[uint64], *leaplist.Map[uint64]) {
+	b.Helper()
+	g := leaplist.NewGroup[uint64](
+		leaplist.WithVariant(v),
+		leaplist.WithNodeSize(nodeSize),
+		leaplist.WithMaxLevel(harness.PaperMaxLevel),
+		leaplist.WithFingers(fingers),
+	)
+	m := g.NewMap()
+	keys := make([]uint64, benchInitSmall)
+	vals := make([]uint64, benchInitSmall)
+	for i := range keys {
+		keys[i], vals[i] = uint64(i), uint64(i)
+	}
+	if err := m.BulkLoad(keys, vals); err != nil {
+		b.Fatal(err)
+	}
+	// Settle the heap before the timed loop: each sub-benchmark's bulk
+	// load leaves megabytes of garbage, and without a collection here the
+	// later-ordered sub of each on/off pair pays the previous sub's GC
+	// debt — a positional bias on the order of the finger delta itself.
+	runtime.GC()
+	runtime.GC()
+	return g, m
+}
+
+// localGen builds one worker's locality-skewed stream: Zipf over a small
+// window that strides upward, each worker anchored in its own region.
+// stride spaces consecutive draws: 2 for point streams (stay inside a
+// node), ~a node's worth for batch streams (each Tx key lands in the
+// next node over, the sorted-batch predecessor-reuse shape).
+func localGen(b *testing.B, id int, stride uint64) *workload.LocalGenerator {
+	b.Helper()
+	gen, err := workload.NewLocalGenerator(workload.LocalConfig{
+		KeySpace: benchInitSmall,
+		Window:   32,
+		Stride:   stride,
+		ZipfS:    1.1,
+		Seed:     uint64(id + 1),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Scatter anchors: each worker claims its own neighbourhood so the
+	// streams exhibit per-worker locality, not global contention on one
+	// window.
+	for i := 0; i < id*1000; i++ {
+		gen.Next()
+	}
+	return gen
+}
+
+// BenchmarkLocality measures the finger acceleration on locality-heavy
+// streams, fingers on vs off, per variant: "lookup" is the pure
+// read-locality stream (cursors, hot working sets — the shape where the
+// skipped descent is the whole op); "point" alternates lookups
+// and value-only sets over striding Zipf windows (read fingers + the
+// cross-batch write finger); "txbatch" commits a consistent
+// multi-read-with-update Tx per op — seven staged Gets plus one Set over
+// ascending keys about a node apart — the shape sorted-batch predecessor
+// reuse turns from eight full descents into one descent plus short
+// walks. Unlike the figure benchmarks this one runs a single worker:
+// it is a per-op cost A/B, and oversubscribing the host (the CI box has
+// one core) would bury the on/off delta in scheduler noise; contended
+// behaviour is covered by the figure benchmarks' parity requirement.
+// BENCH_*.json records the trajectory.
+func BenchmarkLocality(b *testing.B) {
+	variants := []core.Variant{core.VariantLT, core.VariantCOP, core.VariantTM, core.VariantRW}
+	for _, fam := range []string{"lookup", "point", "txbatch"} {
+		fam := fam
+		b.Run(fam, func(b *testing.B) {
+			for _, v := range variants {
+				v := v
+				b.Run(v.String(), func(b *testing.B) {
+					for _, fingers := range []bool{true, false} {
+						fingers := fingers
+						name := "fingers=on"
+						if !fingers {
+							name = "fingers=off"
+						}
+						b.Run(name, func(b *testing.B) {
+							// The point family runs the paper's node size;
+							// the batch family runs small nodes, where the
+							// structure is search-dominated (more, shorter
+							// nodes: longer per-level walks to skip, small
+							// value-only copies) — the regime multi-key
+							// predecessor reuse targets.
+							nodeSize := harness.PaperNodeSize
+							stride := uint64(2)
+							if fam == "txbatch" {
+								// BulkLoad leaves nodes half full
+								// (~nodeSize/2 keys), so this stride lands
+								// each successive batch key about one node
+								// further on.
+								nodeSize = 64
+								stride = uint64(nodeSize)
+							}
+							g, m := localityMap(b, v, fingers, nodeSize)
+							gen := localGen(b, 0, stride)
+							ks := make([]uint64, 8)
+							b.ReportAllocs()
+							b.ResetTimer()
+							if fam == "lookup" {
+								for i := 0; i < b.N; i++ {
+									m.Get(gen.Next())
+								}
+								return
+							}
+							if fam == "point" {
+								for i := 0; i < b.N; i++ {
+									k := gen.Next()
+									if i%2 == 0 {
+										m.Get(k)
+									} else if err := m.Set(k, gen.Value()); err != nil {
+										b.Fatal(err)
+									}
+								}
+								return
+							}
+							for i := 0; i < b.N; i++ {
+								gen.Batch(ks)
+								tx := g.Txn()
+								for _, k := range ks[:7] {
+									tx.Get(m, k%benchInitSmall)
+								}
+								tx.Set(m, ks[7]%benchInitSmall, ks[7])
+								if err := tx.Commit(); err != nil {
+									b.Fatal(err)
+								}
+								tx.Release()
+							}
+						})
+					}
+				})
+			}
+		})
+	}
 }

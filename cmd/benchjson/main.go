@@ -1,0 +1,152 @@
+// Command benchjson runs a benchmark set and emits a machine-readable
+// JSON perf record — the repository's bench trajectory files
+// (BENCH_<n>.json), so successive PRs can diff ns/op and allocs/op
+// without re-parsing `go test -bench` text.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson -out BENCH_5.json \
+//	    -bench 'Fig14a|TxMixed|Locality' -benchtime 20000x -count 1 .
+//
+// The trailing argument is the package to benchmark (default "."). The
+// tool shells out to `go test` (with -run '^$' -benchmem), parses the
+// standard benchmark output lines, and writes one JSON object per
+// benchmark with every reported metric (ns/op, B/op, allocs/op, plus
+// custom metrics like ops/s). Pass -in to parse an existing benchmark
+// log from a file ("-" for stdin) instead of running anything.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark's parsed record.
+type Result struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"` // unit → value (ns/op, allocs/op, ops/s, ...)
+}
+
+// File is the emitted document.
+type File struct {
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version,omitempty"`
+	Command     string   `json:"command,omitempty"`
+	Results     []Result `json:"results"`
+}
+
+// benchLine matches "BenchmarkName-8   123   456.7 ns/op   8 B/op ..."
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+func main() {
+	out := flag.String("out", "", "output JSON file (default stdout)")
+	in := flag.String("in", "", "parse this benchmark log instead of running go test (\"-\" for stdin)")
+	bench := flag.String("bench", ".", "-bench regexp passed to go test")
+	benchtime := flag.String("benchtime", "1x", "-benchtime passed to go test")
+	count := flag.Int("count", 1, "-count passed to go test")
+	timeout := flag.String("timeout", "30m", "-timeout passed to go test")
+	flag.Parse()
+
+	pkg := "."
+	if flag.NArg() > 0 {
+		pkg = flag.Arg(0)
+	}
+
+	doc := File{GeneratedAt: time.Now().UTC().Format(time.RFC3339)}
+
+	var r io.Reader
+	switch {
+	case *in == "-":
+		r = os.Stdin
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	default:
+		args := []string{"test", "-run", "^$", "-bench", *bench,
+			"-benchtime", *benchtime, "-benchmem",
+			"-count", strconv.Itoa(*count), "-timeout", *timeout, pkg}
+		doc.Command = "go " + strings.Join(args, " ")
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		outBytes, err := cmd.Output()
+		if err != nil {
+			fatal(fmt.Errorf("go test: %w\n%s", err, outBytes))
+		}
+		r = strings.NewReader(string(outBytes))
+	}
+	if gv, err := exec.Command("go", "env", "GOVERSION").Output(); err == nil {
+		doc.GoVersion = strings.TrimSpace(string(gv))
+	}
+
+	results, err := parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	doc.Results = results
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), *out)
+}
+
+// parse extracts benchmark result lines from a `go test -bench` log.
+// Repeated names (-count > 1) stay as separate entries; downstream
+// tooling can aggregate however it likes.
+func parse(r io.Reader) ([]Result, error) {
+	var results []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Name: m[1], Iters: iters, Metrics: map[string]float64{}}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			res.Metrics[fields[i+1]] = val
+		}
+		results = append(results, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -88,6 +88,43 @@ func TestAllocsCollectIntoLT(t *testing.T) {
 	}
 }
 
+// TestAllocsFingerPathsLT pins the finger machinery's allocation budget:
+// a locality stream whose lookups hit the finger fast path and whose
+// value-only sets save and seed the cross-batch write finger must stay
+// inside the same budgets as the head-descent paths (fingers live in
+// already-pooled scratch — saving one costs a slice swap, seeding one
+// costs comparisons, neither allocates).
+func TestAllocsFingerPathsLT(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets are not meaningful under -race")
+	}
+	l := newLoadedLTList(t)
+	var k uint64
+	got := testing.AllocsPerRun(2000, func() {
+		// Tight window: consecutive lookups land on the fingered node.
+		l.Lookup(k % 64)
+		k++
+	})
+	if got > lookupAllocBudget {
+		t.Fatalf("LT finger Lookup = %.2f allocs/op, budget %.2f", got, lookupAllocBudget)
+	}
+	for i := 0; i < 3000; i++ {
+		if err := l.Set(k%64+100, k); err != nil {
+			t.Fatal(err)
+		}
+		k++
+	}
+	got = testing.AllocsPerRun(2000, func() {
+		if err := l.Set(k%64+100, k); err != nil {
+			t.Fatal(err)
+		}
+		k++
+	})
+	if got > valueOnlyUpdateAllocBudget {
+		t.Fatalf("LT finger value-only Update = %.2f allocs/op, budget %.2f", got, valueOnlyUpdateAllocBudget)
+	}
+}
+
 // newLoadedLTList returns an LT list preloaded with keys 0..9999 (so every
 // Set in the tests above is a value-only overwrite).
 func newLoadedLTList(t *testing.T) *List[uint64] {

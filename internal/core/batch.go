@@ -133,6 +133,25 @@ type txState[V any] struct {
 	// back to the collector by finalizer when the pool drops the scratch).
 	part *epoch.Participant
 
+	// The cross-batch write finger: fpa holds, per level, the best known
+	// predecessor candidates around the last published batch's last
+	// entry (its search predecessors, topped by the replacement piece
+	// itself), fList the list they belong to, and fEra the pin era they
+	// were saved under (saveBatchFinger). getBatch validates the era on
+	// the next pin and sets fSeedOK; planGroups then seeds the batch's
+	// first descent into fList from fpa, so consecutive batches with key
+	// locality skip most of their horizontal walking. The pointers
+	// deliberately survive putBatch — they are the only cross-batch
+	// state — pinning at most MaxLevel node shells against the GC
+	// (their backing arrays are donated by the recycler regardless).
+	fpa   []*node[V]
+	fList *List[V]
+	fEra  uint64
+	// fSeedOK gates cross-batch seeding for the current call: the era
+	// guard passed at getBatch and no plan attempt has failed yet (a
+	// failed attempt disables seeding for its retries out of caution).
+	fSeedOK bool
+
 	// ovIdx/ovVal stage the (index, value) overwrites of the value-only
 	// fast path, per entry.
 	ovIdx []int
@@ -150,7 +169,55 @@ func (g *Group[V]) getBatch() *txState[V] {
 		runtime.SetFinalizer(b, func(dead *txState[V]) { col.Release(dead.part) })
 	}
 	b.part.Pin()
+	// The era is validated against a fresh epoch read after the pin
+	// store, not the participant word — see getRead for why the word
+	// alone can be two epochs stale.
+	b.fSeedOK = b.fList != nil && !g.cfg.NoFingers && g.collector.Epoch() == b.fEra
+	if !b.fSeedOK && b.fList != nil {
+		// The era moved on: the remembered nodes may have been recycled,
+		// so their fields must not be read again. Drop the references.
+		b.fList = nil
+		for i := range b.fpa {
+			b.fpa[i] = nil
+		}
+	}
 	return b
+}
+
+// saveBatchFinger records the just-published batch's last entry as the
+// cross-batch write finger: the entry's per-level search predecessors,
+// topped (at the levels it spans) by the node now owning the entry's
+// range — the last replacement piece, or the node itself for a read-only
+// entry. The next batch on this scratch seeds its first descent into the
+// same list from these, provided the epoch era has not moved (getBatch).
+func (g *Group[V]) saveBatchFinger(b *txState[V]) {
+	if g.cfg.NoFingers || b.nEnt == 0 {
+		return
+	}
+	e := b.entries[b.nEnt-1]
+	maxLevel := g.cfg.MaxLevel
+	if len(e.pa) < maxLevel {
+		return // pooled entry never searched (defensive; cannot happen)
+	}
+	// Steal the entry's pa array wholesale instead of copying it: the
+	// entry is about to be cleared by putBatch anyway, and handing it our
+	// previous fpa to clear avoids ten pointer stores (and their write
+	// barriers) on every commit.
+	b.fpa, e.pa = e.pa, b.fpa
+	if e.pa == nil {
+		e.pa = make([]*node[V], maxLevel)
+	}
+	top := e.n
+	if e.write && len(e.pieces) > 0 {
+		top = e.pieces[len(e.pieces)-1]
+	}
+	if top != nil {
+		for i := 0; i < top.level && i < maxLevel; i++ {
+			b.fpa[i] = top
+		}
+	}
+	b.fList = e.l
+	b.fEra = b.part.Era()
 }
 
 // putBatch unpins and clears node and value references so the pooled
@@ -588,6 +655,7 @@ func (g *Group[V]) buildEntry(tx *stm.Tx, mode int, ops []Op[V], b *txState[V], 
 		p := g.newShell(n.level)
 		p.keys, p.vals, p.tr = n.keys, newVals, n.tr
 		p.high = n.high
+		p.lid = e.l.id
 		p.ownsKV = false
 		n.lent.Store(true)
 		e.pieces = append(e.pieces, p)
@@ -743,6 +811,7 @@ func (g *Group[V]) buildValueOnly(mode int, ops []Op[V], b *txState[V], e *txEnt
 	p := g.newShell(n.level)
 	p.keys, p.vals, p.tr = n.keys, vals, n.tr
 	p.high = n.high
+	p.lid = e.l.id
 	p.ownsKV = false
 	n.lent.Store(true)
 	e.pieces = append(e.pieces, p)
@@ -840,6 +909,7 @@ func (g *Group[V]) buildPieces(b *txState[V], e *txEntry[V], keysBuf []uint64, v
 		repl := g.newShell(max(n.level, e.old1.level))
 		repl.keys, repl.vals = keysBuf, valsBuf
 		repl.high = e.old1.high
+		repl.lid = e.l.id
 		repl.tr = g.buildTrie(repl.keys)
 		e.pieces = append(e.pieces, repl)
 		e.maxH = repl.level
@@ -852,6 +922,7 @@ func (g *Group[V]) buildPieces(b *txState[V], e *txEntry[V], keysBuf []uint64, v
 		p := g.newShell(n.level)
 		p.keys, p.vals = keysBuf, valsBuf
 		p.high = n.high
+		p.lid = e.l.id
 		p.tr = g.buildTrie(p.keys)
 		e.pieces = append(e.pieces, p)
 		e.maxH = p.level
@@ -884,6 +955,7 @@ func (g *Group[V]) buildPieces(b *txState[V], e *txEntry[V], keysBuf []uint64, v
 			p = g.newShell(g.pickLevel())
 			p.high = keysBuf[end-1]
 		}
+		p.lid = e.l.id
 		p.keys = keysBuf[start:end:end]
 		p.vals = valsBuf[start:end:end]
 		p.tr = g.buildTrie(p.keys)
@@ -903,7 +975,11 @@ var errStalePlan = errors.New("core: stale plan")
 // visited in sorted order, one search per node group, consecutive keys
 // coalescing into the group while they fall under the found node's high
 // bound; each group is built (buildEntry) and then handed to emit.
-// search positions e.pa/e.na for the group's first key; emit (optional)
+// search positions e.pa/e.na for the group's first key, optionally
+// seeding each level of its descent from seed (the previous group's
+// predecessors for every group after a list's first — ops are sorted, so
+// the next key is always ahead — or the cross-batch finger for the
+// batch's first group into the fingered list); emit (optional)
 // applies the completed entry b.entries[t] — for the sequential variants
 // (TM, RW) this happens before the next group's search, so that search
 // observes the already-applied splices. Returns errStalePlan in naked
@@ -925,7 +1001,7 @@ var errStalePlan = errors.New("core: stale plan")
 // implies some run node died, which validation (liveness of every
 // entry's node at the single commit instant) turns into a retry.
 func (g *Group[V]) planGroups(ops []Op[V], b *txState[V], mode int, tx *stm.Tx,
-	search func(l *List[V], k uint64, e *txEntry[V]) error,
+	search func(l *List[V], k uint64, e *txEntry[V], seed []*node[V]) error,
 	emit func(t int) error) error {
 	maxLevel := g.cfg.MaxLevel
 	b.nEnt = 0
@@ -980,7 +1056,20 @@ func (g *Group[V]) planGroups(ops []Op[V], b *txState[V], mode int, tx *stm.Tx,
 				}
 			}
 			if searched {
-				if err := search(l, k, e); err != nil {
+				// Seed the descent: within a list, every group after the
+				// first reuses the previous group's predecessors (sorted
+				// ops make the next key always ahead); the first group of
+				// the batch's fingered list reuses the last batch's saved
+				// predecessors when the era guard passed.
+				var seed []*node[V]
+				if g.fingers() {
+					if t > 0 && b.entries[t-1].l == l {
+						seed = b.entries[t-1].pa
+					} else if b.fSeedOK && b.fList == l {
+						seed = b.fpa
+					}
+				}
+				if err := search(l, k, e, seed); err != nil {
 					return err
 				}
 				e.l, e.n = l, e.na[0]
@@ -1127,8 +1216,8 @@ func (g *Group[V]) releasePlan(b *txState[V]) {
 // spin budget waiting behind held marks — and the attempt must restart.
 func (g *Group[V]) planNaked(ops []Op[V], b *txState[V]) bool {
 	err := g.planGroups(ops, b, planNakedMode, nil,
-		func(l *List[V], k uint64, e *txEntry[V]) error {
-			if !searchNakedBudget(l, k, e.pa, e.na, b.spinBudget) {
+		func(l *List[V], k uint64, e *txEntry[V], seed []*node[V]) error {
+			if !searchNakedSeeded(l, k, e.pa, e.na, seed, l.id, b.spinBudget) {
 				return errStalePlan
 			}
 			return nil

@@ -75,6 +75,12 @@ type Config struct {
 	MaxLevel int
 	// Variant selects the synchronization protocol.
 	Variant Variant
+	// NoFingers disables the search-acceleration fingers (see doc.go,
+	// "Finger search and descent validation"): every predecessor search
+	// descends from the head, as the paper's Figure 3 does. The zero
+	// value keeps fingers enabled; the knob exists for A/B benchmarking
+	// and for bisecting suspected finger bugs.
+	NoFingers bool
 	// Collector, when non-nil, is the epoch domain the group runs on:
 	// every operation pins one of its participants and every replaced
 	// node is retired through it (the paper's "Deallocate unneeded nodes"
@@ -223,6 +229,11 @@ func (g *Group[V]) STM() *stm.STM {
 	return g.stm
 }
 
+// fingers reports whether the search-acceleration fingers are enabled.
+func (g *Group[V]) fingers() bool {
+	return !g.cfg.NoFingers
+}
+
 // pickLevel draws a skip-list level in [1, MaxLevel] with the usual
 // geometric p = 1/2 distribution.
 func (g *Group[V]) pickLevel() int {
@@ -296,6 +307,7 @@ func (g *Group[V]) newShell(level int) *node[V] {
 		n.next = n.next[:level]
 	}
 	n.high = 0
+	n.lid = 0
 	n.ownsKV = true
 	return n
 }

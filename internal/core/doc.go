@@ -144,6 +144,76 @@
 //     transactionally (the paper's Leap-COP).
 //   - VariantRW — a per-list reader-writer lock (the paper's Leap-rwlock).
 //
+// # Finger search and descent validation
+//
+// Every predecessor search in this package may be accelerated by a
+// finger — a remembered position from an earlier search — under one
+// contract: a finger is a hint, never an authority. Each use
+// re-validates it and falls back to the paper's plain head descent
+// (Figure 3), so a stale finger can cost a fallback but never change a
+// result. Config.NoFingers disables the whole mechanism for A/B runs.
+//
+// Two finger forms exist:
+//
+//   - Read fingers (readScratch.finger): the node a lookup landed on, or
+//     the last node of a range snapshot. When a later read's key
+//     provably lies in or beyond the finger's range, the search walks
+//     forward from the finger using only the finger's own levels; the
+//     upper descent is skipped outright. This is sound because read
+//     paths consume only the landing node (na[0]): a live node owns its
+//     key range exclusively, so walking live nodes forward from any live
+//     same-list node below the key reaches the same landing node a head
+//     descent would.
+//   - Write fingers and seeds (txState.fpa, and within a batch the
+//     previous group's pa): write paths need full-height pa/na for
+//     validation and pointer swings, so their descents still visit every
+//     level but may jump each level's start forward to a seed
+//     predecessor. Sorted batches make this cumulative: group t+1 seeds
+//     from group t's predecessors, turning an N-key ascending
+//     transaction into one descent plus N-1 short walks; consecutive
+//     batches chain the same way through the saved finger.
+//
+// What a finger may skip is bounded by what validation re-checks:
+//
+//   - LT/COP re-check exactly as the head restart path does — the naked
+//     walk restarts (falls back) on any marked slot or dead node, the
+//     landing node's liveness is re-verified transactionally (COP
+//     lookup, the snapshot walk, and every batch's validateEntryTx),
+//     and stale pa entries are caught because validation checks
+//     pa[i] liveness at every level a replacement occupies (maxH is
+//     always >= the replaced node's level).
+//   - TM reads the finger's liveness and every traversed slot through
+//     the transaction, so a finger start is validated by the normal
+//     read set: if the finger's node dies before commit, the
+//     transaction conflicts exactly as if the descent had traversed it.
+//   - RW checks the seed's liveness under the list lock (exact, since
+//     replacements need the write lock); past that, the quiescent walk
+//     needs no checks.
+//
+// Memory safety across operations is the one place fingers need more
+// than validation: between operations the scratch unpins its epoch
+// participant, so a remembered node's shell could in principle be
+// recycled and rewritten (plain stores in recycleNode/newShell) while a
+// later validation reads its immutable fields. The era guard closes
+// this: a finger is stamped with the pin-time epoch that saved it
+// (epoch.Participant.Era — the floor below which nothing it observed
+// can have been retired), and the next operation drops it unless a
+// fresh Collector.Epoch() read, taken after its own pin is published,
+// still equals that era. Equality proves by monotonicity that the
+// epoch never reached era+2 — reclamation requires two advances past
+// retirement — and the newly pinned word (published before the read,
+// hence no greater) blocks any future advance past era+1, so an
+// era-stable finger's memory — dead or alive — cannot have been handed
+// to a new owner. The participant's own stale word would not suffice:
+// Pin loads the epoch before publishing the word, and in that window
+// the epoch can advance freely. Within one pinned
+// operation (intra-batch seeds) no guard is needed. Past the guard, the
+// per-use checks — liveness, owning-list id (node.lid), level, bounds —
+// accept the remembered node only while it is a genuinely valid start
+// position (a value-only replacement, split, merge or range delete of
+// its region kills it and forces the fallback), which is all a hint
+// needs to be.
+//
 // # Structure invariants
 //
 // A list is a singly-forward-linked skip-list of immutable nodes. Node

@@ -1,0 +1,414 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"testing"
+)
+
+// The finger tests deliberately hammer the cases where a remembered
+// finger goes stale between operations: value-only replacement (the
+// fingered node dies but its successor owns the same range), splits and
+// merges (the range moves to differently-shaped nodes), DeleteRange
+// emptying fully covered nodes in place, and cross-list reuse of pooled
+// scratch. A finger is only ever a hint, so every one of these must
+// produce a fallback, never a wrong result.
+
+// TestFingerStaleDeterministic drives one goroutine's scratch through
+// systematic finger invalidation per variant, checking every read
+// against a mirror map. Single-goroutine means the same pooled scratch
+// (and so the same finger) is reused by consecutive operations, making
+// each staleness scenario deterministic.
+func TestFingerStaleDeterministic(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, g *Group[uint64]) {
+		l := g.NewList()
+		mirror := map[uint64]uint64{}
+		check := func(k uint64) {
+			t.Helper()
+			got, ok := l.Lookup(k)
+			want, wantOK := mirror[k]
+			if ok != wantOK || (ok && got != want) {
+				t.Fatalf("Lookup(%d) = (%d,%v), mirror (%d,%v)", k, got, ok, want, wantOK)
+			}
+		}
+		set := func(k, v uint64) {
+			t.Helper()
+			if err := l.Set(k, v); err != nil {
+				t.Fatalf("Set(%d): %v", k, err)
+			}
+			mirror[k] = v
+		}
+		del := func(k uint64) {
+			t.Helper()
+			if _, err := l.Delete(k); err != nil {
+				t.Fatalf("Delete(%d): %v", k, err)
+			}
+			delete(mirror, k)
+		}
+		delRange := func(lo, hi uint64) {
+			t.Helper()
+			ops := []Op[uint64]{{List: l, Kind: OpDeleteRange, Key: lo, KeyHi: hi}}
+			if err := g.CommitOps(ops); err != nil {
+				t.Fatalf("DeleteRange(%d,%d): %v", lo, hi, err)
+			}
+			for k := lo; k <= hi; k++ {
+				delete(mirror, k)
+			}
+		}
+
+		// Seed: keys 0..79 (NodeSize 4 → ~20+ nodes).
+		for k := uint64(0); k < 80; k++ {
+			set(k, k)
+		}
+
+		// 1. Value-only staleness: the lookup warms the finger on the
+		// node owning 40; the overwrite replaces that node (structure
+		// sharing), so the next lookups reuse a dead finger whose
+		// replacement owns the same range.
+		check(40)
+		set(40, 1000)
+		check(40)
+		check(41)
+
+		// 2. Split staleness: grow the fingered node past NodeSize so the
+		// replacement splits; nearby lookups then cross the new geometry.
+		check(50)
+		for k := uint64(200); k < 212; k++ {
+			set(k, k)
+		}
+		check(50)
+		check(51)
+		check(200)
+
+		// 3. Merge staleness: empty the fingered node's neighbourhood so
+		// shrinking replacements absorb successors.
+		check(20)
+		for k := uint64(16); k < 28; k++ {
+			del(k)
+		}
+		check(20)
+		check(28)
+
+		// 4. DeleteRange empty-in-place: the finger sits inside a fully
+		// covered interior node; the range leaves an empty replacement
+		// with the same bounds.
+		check(60)
+		delRange(56, 72)
+		check(60)
+		check(73)
+
+		// 5. Range continuation: a snapshot leaves the finger on the
+		// run's last node; delete that region and read through it again.
+		if got, want := l.RangeQuery(30, 50, nil), countRange(mirror, 30, 50); got != want {
+			t.Fatalf("RangeQuery(30,50) = %d, mirror %d", got, want)
+		}
+		delRange(44, 52)
+		if got, want := l.RangeQuery(30, 50, nil), countRange(mirror, 30, 50); got != want {
+			t.Fatalf("RangeQuery(30,50) after delete = %d, mirror %d", got, want)
+		}
+		check(43)
+
+		// 6. Backward movement: finger well past the key (fallback path).
+		check(75)
+		check(0)
+
+		// 7. Cross-list scratch reuse: the same pooled scratch serves a
+		// different list; the finger's list id must disqualify it.
+		l2 := g.NewList()
+		if err := l2.Set(40, 7); err != nil {
+			t.Fatal(err)
+		}
+		if v, ok := l2.Lookup(40); !ok || v != 7 {
+			t.Fatalf("l2.Lookup(40) = (%d,%v), want (7,true)", v, ok)
+		}
+		check(40)
+
+		mustCheck(t, l)
+		mustCheck(t, l2)
+	})
+}
+
+func countRange(m map[uint64]uint64, lo, hi uint64) int {
+	n := 0
+	for k := range m {
+		if k >= lo && k <= hi {
+			n++
+		}
+	}
+	return n
+}
+
+// TestFingerBatchSeedReuse drives multi-key ascending batches — the
+// sorted-batch predecessor-reuse path — through the same mirror
+// discipline, interleaving value-only, splitting, merging and
+// range-deleting batches so consecutive groups seed from predecessors
+// that the previous group (or batch) has since replaced.
+func TestFingerBatchSeedReuse(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, g *Group[uint64]) {
+		l := g.NewList()
+		mirror := map[uint64]uint64{}
+		r := rand.New(rand.NewPCG(97, uint64(g.cfg.Variant)))
+		const keySpace = 96
+		rounds := 400
+		if testing.Short() {
+			rounds = 80
+		}
+		for round := 0; round < rounds; round++ {
+			base := r.Uint64N(keySpace)
+			n := 2 + r.IntN(6)
+			ops := make([]Op[uint64], 0, n)
+			for j := 0; j < n; j++ {
+				k := (base + uint64(j)*uint64(1+r.IntN(4))) % keySpace
+				switch r.IntN(5) {
+				case 0, 1:
+					ops = append(ops, Op[uint64]{List: l, Kind: OpSet, Key: k, Val: r.Uint64()})
+				case 2:
+					ops = append(ops, Op[uint64]{List: l, Kind: OpDelete, Key: k})
+				case 3:
+					ops = append(ops, Op[uint64]{List: l, Kind: OpGet, Key: k})
+				default:
+					ops = append(ops, Op[uint64]{List: l, Kind: OpDeleteRange, Key: k, KeyHi: k + r.Uint64N(8)})
+				}
+			}
+			if err := g.CommitOps(ops); err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			// Replay on the mirror in staging order, checking Gets.
+			for i := range ops {
+				op := &ops[i]
+				switch op.Kind {
+				case OpSet:
+					mirror[op.Key] = op.Val
+				case OpDelete:
+					delete(mirror, op.Key)
+				case OpGet:
+					want, wantOK := mirror[op.Key]
+					if op.Found != wantOK || (wantOK && op.Out != want) {
+						t.Fatalf("round %d: staged Get(%d) = (%d,%v), mirror (%d,%v)",
+							round, op.Key, op.Out, op.Found, want, wantOK)
+					}
+				case OpDeleteRange:
+					for k := op.Key; k <= op.KeyHi; k++ {
+						delete(mirror, k)
+					}
+				}
+			}
+			if round%50 == 0 {
+				for k := uint64(0); k < keySpace; k++ {
+					got, ok := l.Lookup(k)
+					want, wantOK := mirror[k]
+					if ok != wantOK || (ok && got != want) {
+						t.Fatalf("round %d: Lookup(%d) = (%d,%v), mirror (%d,%v)", round, k, got, ok, want, wantOK)
+					}
+				}
+				mustCheck(t, l)
+			}
+		}
+		mustCheck(t, l)
+	})
+}
+
+// TestFingerInvalidationOracle is the concurrent randomized oracle:
+// workers own disjoint key residues (k % workers == id) of one shared
+// list, so every worker's locality-windowed point ops and ascending
+// batches constantly split, merge and replace the fat nodes holding the
+// other workers' keys — invalidating their fingers — while each worker's
+// own reads remain deterministic against its private mirror. A dedicated
+// churn worker runs DeleteRange/refill cycles over a private high region
+// (unlink/empty invalidation), and every worker's occasional whole-space
+// Count parks its read finger inside that churn region. Run with -race
+// in CI.
+func TestFingerInvalidationOracle(t *testing.T) {
+	for _, v := range allVariants {
+		t.Run(v.String(), func(t *testing.T) {
+			g := NewGroup[uint64](Config{NodeSize: 8, MaxLevel: 6, Variant: v}, nil)
+			l := g.NewList()
+			const (
+				workers   = 4
+				residues  = workers
+				stripeTop = uint64(512) // striped oracle region: [0, stripeTop)
+				churnLo   = uint64(600)
+				churnHi   = uint64(700)
+			)
+			iters := stressIters(400)
+			var wg sync.WaitGroup
+			errs := make(chan error, workers+1)
+
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(id uint64) {
+					defer wg.Done()
+					r := rand.New(rand.NewPCG(id+1, uint64(v)))
+					mirror := map[uint64]uint64{}
+					// Locality window: keys stride upward through the
+					// worker's residue class so fingers are hot.
+					anchor := uint64(0)
+					myKey := func() uint64 {
+						off := r.Uint64N(6)
+						return ((anchor+off)*residues + id) % stripeTop
+					}
+					for i := 0; i < iters; i++ {
+						anchor = (anchor + 1) % (stripeTop / residues)
+						switch r.IntN(10) {
+						case 0, 1, 2:
+							k := myKey()
+							v := r.Uint64()
+							if err := l.Set(k, v); err != nil {
+								errs <- err
+								return
+							}
+							mirror[k] = v
+						case 3:
+							k := myKey()
+							if _, err := l.Delete(k); err != nil {
+								errs <- err
+								return
+							}
+							delete(mirror, k)
+						case 4, 5, 6:
+							k := myKey()
+							got, ok := l.Lookup(k)
+							want, wantOK := mirror[k]
+							if ok != wantOK || (ok && got != want) {
+								errs <- fmt.Errorf("worker %d: Lookup(%d) = (%d,%v), mirror (%d,%v)", id, k, got, ok, want, wantOK)
+								return
+							}
+						case 7, 8:
+							// Ascending multi-key batch within the residue:
+							// staged Gets assert against the mirror at the
+							// batch's own atomic instant, exercising the
+							// seeded batch descents.
+							n := 2 + r.IntN(4)
+							ops := make([]Op[uint64], 0, n)
+							base := myKey()
+							for j := 0; j < n; j++ {
+								k := (base + uint64(j)*residues) % stripeTop
+								if k%residues != id {
+									k = (k - k%residues + id) % stripeTop
+								}
+								if r.IntN(3) == 0 {
+									ops = append(ops, Op[uint64]{List: l, Kind: OpGet, Key: k})
+								} else {
+									ops = append(ops, Op[uint64]{List: l, Kind: OpSet, Key: k, Val: r.Uint64()})
+								}
+							}
+							if err := g.CommitOps(ops); err != nil {
+								errs <- err
+								return
+							}
+							for j := range ops {
+								op := &ops[j]
+								if op.Kind == OpGet {
+									want, wantOK := mirror[op.Key]
+									if op.Found != wantOK || (wantOK && op.Out != want) {
+										errs <- fmt.Errorf("worker %d: staged Get(%d) = (%d,%v), mirror (%d,%v)", id, op.Key, op.Out, op.Found, want, wantOK)
+										return
+									}
+								} else {
+									mirror[op.Key] = op.Val
+								}
+							}
+						default:
+							// Whole-space count: parks the read finger on
+							// the churn region's terminal run node, so the
+							// next point read validates a finger from a
+							// region another goroutine is shredding.
+							l.RangeQuery(0, churnHi+50, nil)
+						}
+					}
+					// Final sweep: every owned key must match the mirror.
+					for k := id; k < stripeTop; k += residues {
+						got, ok := l.Lookup(k)
+						want, wantOK := mirror[k]
+						if ok != wantOK || (ok && got != want) {
+							errs <- fmt.Errorf("worker %d: final Lookup(%d) = (%d,%v), mirror (%d,%v)", id, k, got, ok, want, wantOK)
+							return
+						}
+					}
+				}(uint64(w))
+			}
+
+			// Churn worker: DeleteRange the private region (fully covering
+			// several nodes → empty-in-place replacements), then refill.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < iters/4; i++ {
+					ops := []Op[uint64]{{List: l, Kind: OpDeleteRange, Key: churnLo, KeyHi: churnHi}}
+					if err := g.CommitOps(ops); err != nil {
+						errs <- err
+						return
+					}
+					for k := churnLo; k <= churnHi; k += 3 {
+						if err := l.Set(k, k); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}
+			}()
+
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			mustCheck(t, l)
+		})
+	}
+}
+
+// TestFingerDisabledParity replays one deterministic mixed stream on a
+// fingers-on and a fingers-off group and requires identical results —
+// the Config knob changes cost, never semantics.
+func TestFingerDisabledParity(t *testing.T) {
+	for _, v := range allVariants {
+		t.Run(v.String(), func(t *testing.T) {
+			gOn := NewGroup[uint64](Config{NodeSize: 4, MaxLevel: 5, Variant: v}, nil)
+			gOff := NewGroup[uint64](Config{NodeSize: 4, MaxLevel: 5, Variant: v, NoFingers: true}, nil)
+			if gOn.fingers() == gOff.fingers() {
+				t.Fatal("NoFingers knob did not change Group.fingers()")
+			}
+			lOn, lOff := gOn.NewList(), gOff.NewList()
+			r := rand.New(rand.NewPCG(11, uint64(v)))
+			for i := 0; i < 500; i++ {
+				k := r.Uint64N(64)
+				switch r.IntN(4) {
+				case 0, 1:
+					val := r.Uint64()
+					if err := lOn.Set(k, val); err != nil {
+						t.Fatal(err)
+					}
+					if err := lOff.Set(k, val); err != nil {
+						t.Fatal(err)
+					}
+				case 2:
+					on, err := lOn.Delete(k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					off, err := lOff.Delete(k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if on != off {
+						t.Fatalf("Delete(%d) presence: fingers on %v, off %v", k, on, off)
+					}
+				default:
+					vOn, okOn := lOn.Lookup(k)
+					vOff, okOff := lOff.Lookup(k)
+					if okOn != okOff || vOn != vOff {
+						t.Fatalf("Lookup(%d): fingers on (%d,%v), off (%d,%v)", k, vOn, okOn, vOff, okOff)
+					}
+					hi := k + r.Uint64N(32)
+					if cOn, cOff := lOn.RangeQuery(k, hi, nil), lOff.RangeQuery(k, hi, nil); cOn != cOff {
+						t.Fatalf("RangeQuery(%d,%d): fingers on %d, off %d", k, hi, cOn, cOff)
+					}
+				}
+			}
+			mustCheck(t, lOn)
+			mustCheck(t, lOff)
+		})
+	}
+}

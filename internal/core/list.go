@@ -23,20 +23,23 @@ type List[V any] struct {
 // also at the maximum level so every per-level list terminates there.
 func (g *Group[V]) NewList() *List[V] {
 	maxLevel := g.cfg.MaxLevel
+	id := g.listIDs.Add(1)
 	head := newNode[V](maxLevel)
 	head.high = negInf
+	head.lid = id
 	head.seal()
 	head.live.Init(1)
 
 	tail := newNode[V](maxLevel)
 	tail.high = posInf
+	tail.lid = id
 	tail.seal()
 	tail.live.Init(1)
 
 	for i := 0; i < maxLevel; i++ {
 		head.next[i].Init(tail, stm.TagNone)
 	}
-	return &List[V]{g: g, head: head, id: g.listIDs.Add(1)}
+	return &List[V]{g: g, head: head, id: id}
 }
 
 // Group returns the group the list belongs to.
@@ -69,6 +72,7 @@ func (l *List[V]) BulkLoad(keys []uint64, vals []V) error {
 		}
 		lvl := l.g.pickLevel()
 		n := newNode[V](lvl)
+		n.lid = l.id
 		n.keys = make([]uint64, end-start)
 		n.vals = make([]V, end-start)
 		for i := start; i < end; i++ {

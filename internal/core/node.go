@@ -26,6 +26,7 @@ func toPublic(k uint64) uint64   { return k - 1 }
 type node[V any] struct {
 	high  uint64   // inclusive upper bound of the node's range, shifted space
 	level int      // number of forward pointers
+	lid   uint64   // id of the owning list; finger validation (see search.go)
 	keys  []uint64 // sorted, shifted space; len(keys) is the paper's count
 	vals  []V
 	tr    *trie.Trie

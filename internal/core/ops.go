@@ -82,6 +82,7 @@ func (g *Group[V]) CommitOps(ops []Op[V]) error {
 		return err
 	}
 	g.commit.publish(ops, b)
+	g.saveBatchFinger(b)
 	return nil
 }
 
@@ -136,6 +137,7 @@ func (p *PreparedOps[V]) Publish() {
 		panic("core: Publish of a completed PreparedOps")
 	}
 	g.commit.publish(p.ops, p.b)
+	g.saveBatchFinger(p.b)
 	g.putBatch(p.b)
 	p.g, p.ops, p.b = nil, nil, nil
 	g.preparedPool.Put(p)

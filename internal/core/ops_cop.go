@@ -49,6 +49,7 @@ func (c copCommitter[V]) prepare(ops []Op[V], b *txState[V], opt PrepareOpts) er
 		}
 		if !g.planNaked(ops, b) {
 			g.releasePlan(b) // recycle the pieces the dead plan already built
+			b.fSeedOK = false
 			stmBackoff(attempt)
 			continue
 		}
@@ -73,6 +74,7 @@ func (c copCommitter[V]) prepare(ops []Op[V], b *txState[V], opt PrepareOpts) er
 		// The failed prepare published nothing and holds nothing: recycle
 		// the stale plan's pieces before rebuilding.
 		g.releasePlan(b)
+		b.fSeedOK = false
 		stmBackoff(attempt)
 	}
 }

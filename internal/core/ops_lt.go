@@ -61,6 +61,7 @@ func (c ltCommitter[V]) prepare(ops []Op[V], b *txState[V], opt PrepareOpts) err
 		}
 		if !g.planNaked(ops, b) {
 			g.releasePlan(b) // recycle the pieces the dead plan already built
+			b.fSeedOK = false
 			stmBackoff(attempt)
 			continue
 		}
@@ -107,6 +108,7 @@ func (c ltCommitter[V]) prepare(ops []Op[V], b *txState[V], opt PrepareOpts) err
 		// Only conflicts can surface here; restart from setup, recycling
 		// the stale plan's unpublished pieces.
 		g.releasePlan(b)
+		b.fSeedOK = false
 		stmBackoff(attempt)
 	}
 }

@@ -55,8 +55,8 @@ func (c rwCommitter[V]) prepare(ops []Op[V], b *txState[V], opt PrepareOpts) err
 	// fail or go stale, and the whole plan reads the pre-state (the
 	// splices land at publish, wired through succAt like LT's).
 	if err := g.planGroups(ops, b, planRWMode, nil,
-		func(l *List[V], k uint64, e *txEntry[V]) error {
-			searchRW(l, k, e.pa, e.na)
+		func(l *List[V], k uint64, e *txEntry[V], seed []*node[V]) error {
+			searchRWSeeded(l, k, e.pa, e.na, seed, l.id)
 			return nil
 		}, nil); err != nil {
 		panic("core: unreachable RW plan error: " + err.Error())

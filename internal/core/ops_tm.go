@@ -41,8 +41,8 @@ func (c tmCommitter[V]) prepare(ops []Op[V], b *txState[V], opt PrepareOpts) err
 		g.releasePlan(b)
 		err := g.stm.PrepareOnce(&b.prep, opt.LockReads, func(tx *stm.Tx) error {
 			return g.planGroups(ops, b, planTxMode, tx,
-				func(l *List[V], k uint64, e *txEntry[V]) error {
-					return searchTx(tx, l, k, e.pa, e.na)
+				func(l *List[V], k uint64, e *txEntry[V], seed []*node[V]) error {
+					return searchTxSeeded(tx, l, k, e.pa, e.na, seed, l.id)
 				},
 				func(t int) error {
 					if !b.entries[t].write {
@@ -61,6 +61,7 @@ func (c tmCommitter[V]) prepare(ops []Op[V], b *txState[V], opt PrepareOpts) err
 			// The closure produces no errors besides conflicts.
 			panic("core: unreachable TM prepare error: " + err.Error())
 		}
+		b.fSeedOK = false
 		stmBackoff(attempt)
 	}
 }

@@ -22,6 +22,15 @@ type readScratch[V any] struct {
 	pa, na []*node[V]
 	nodes  []*node[V] // range-query snapshot
 	part   *epoch.Participant
+
+	// finger is the last node this scratch's reads landed on (the lookup
+	// hit, or the last node of a range snapshot), kept across operations
+	// so a key near the previous one skips the upper descent; fEra is
+	// the epoch era it was saved under. getRead drops the finger unless
+	// the new pin observes the same era — the guard that makes re-reading
+	// the remembered node's fields race-free (see epoch.Participant.Era).
+	finger *node[V]
+	fEra   uint64
 }
 
 func (g *Group[V]) getRead() *readScratch[V] {
@@ -36,7 +45,28 @@ func (g *Group[V]) getRead() *readScratch[V] {
 		r.na = make([]*node[V], g.cfg.MaxLevel)
 	}
 	r.part.Pin()
+	// Era guard, validated against a fresh read of the global epoch
+	// AFTER the pin store — not the participant's own word: Pin loads
+	// the epoch before publishing the word, and in that window the
+	// unpinned participant does not block advancement, so the word alone
+	// can be stale by two epochs (enough for a remembered node to have
+	// been reclaimed). A fresh load equal to the save-time era proves,
+	// by monotonicity, that the epoch never reached era+2 — nothing
+	// retired at or after the save is reclaimed yet — and the pinned
+	// word (<= that value) blocks any future advance past era+1.
+	if r.finger != nil && g.collector.Epoch() != r.fEra {
+		r.finger = nil
+	}
 	return r
+}
+
+// saveFinger remembers n (when fingers are enabled) for the next read on
+// this scratch, stamped with the current pin era.
+func (r *readScratch[V]) saveFinger(g *Group[V], n *node[V]) {
+	if g.cfg.NoFingers {
+		return
+	}
+	r.finger, r.fEra = n, r.part.Era()
 }
 
 func (g *Group[V]) putRead(r *readScratch[V]) {
@@ -67,18 +97,27 @@ func (l *List[V]) Lookup(k uint64) (V, bool) {
 
 	switch g.cfg.Variant {
 	case VariantLT:
-		searchNaked(l, ik, r.pa, r.na)
-		n := r.na[0]
+		n := fingerSeekNaked(l, ik, r.finger)
+		if n == nil {
+			searchNaked(l, ik, r.pa, r.na)
+			n = r.na[0]
+		}
+		r.saveFinger(g, n)
 		if i := n.find(ik); i >= 0 {
 			return n.vals[i], true
 		}
 		return zero, false
 
 	case VariantCOP:
+		n := fingerSeekNaked(l, ik, r.finger)
 		for attempt := 0; ; attempt++ {
-			searchNaked(l, ik, r.pa, r.na)
-			n := r.na[0]
+			if n == nil {
+				searchNaked(l, ik, r.pa, r.na)
+				n = r.na[0]
+			}
 			// COP verification transaction: the node must still be live.
+			// A finger-found node failing it falls back to a head search
+			// on the retry, exactly like a stale head search would.
 			err := g.stm.AtomicallyOnce(func(tx *stm.Tx) error {
 				lv, err := n.live.Load(tx)
 				if err != nil {
@@ -90,23 +129,33 @@ func (l *List[V]) Lookup(k uint64) (V, bool) {
 				return nil
 			})
 			if err == nil {
+				r.saveFinger(g, n)
 				if i := n.find(ik); i >= 0 {
 					return n.vals[i], true
 				}
 				return zero, false
 			}
+			n = nil
 			stmBackoff(attempt)
 		}
 
 	case VariantTM:
 		var val V
 		var ok bool
+		var found *node[V]
 		err := g.stm.Atomically(func(tx *stm.Tx) error {
 			val, ok = zero, false
-			if err := searchTx(tx, l, ik, r.pa, r.na); err != nil {
+			n, err := fingerSeekTx(tx, l, ik, r.finger)
+			if err != nil {
 				return err
 			}
-			n := r.na[0]
+			if n == nil {
+				if err := searchTx(tx, l, ik, r.pa, r.na); err != nil {
+					return err
+				}
+				n = r.na[0]
+			}
+			found = n
 			if i := n.find(ik); i >= 0 {
 				val, ok = n.vals[i], true
 			}
@@ -115,13 +164,18 @@ func (l *List[V]) Lookup(k uint64) (V, bool) {
 		if err != nil {
 			panic("core: unreachable Lookup error: " + err.Error())
 		}
+		r.saveFinger(g, found)
 		return val, ok
 
 	case VariantRW:
 		l.mu.RLock()
 		defer l.mu.RUnlock()
-		searchRW(l, ik, r.pa, r.na)
-		n := r.na[0]
+		n := fingerSeekRW(l, ik, r.finger)
+		if n == nil {
+			searchRW(l, ik, r.pa, r.na)
+			n = r.na[0]
+		}
+		r.saveFinger(g, n)
 		if i := n.find(ik); i >= 0 {
 			return n.vals[i], true
 		}
@@ -149,9 +203,19 @@ func (l *List[V]) snapshotRun(r *readScratch[V], ilo, ihi uint64) {
 		// Marked pointers are traversed through (line 41): the mark only
 		// means an update is in flight elsewhere; the pointer itself is
 		// the last committed value, and the read set catches any change.
+		// The finger (typically the previous snapshot's last node — the
+		// ascending-scan continuation) may supply the start node; its
+		// liveness is re-checked by the collection transaction exactly
+		// like a head-searched start, and any conflict retries with a
+		// full search.
+		fstart := fingerSeekNaked(l, ilo, r.finger)
 		for attempt := 0; ; attempt++ {
-			searchNaked(l, ilo, r.pa, r.na)
-			start := r.na[0]
+			start := fstart
+			fstart = nil
+			if start == nil {
+				searchNaked(l, ilo, r.pa, r.na)
+				start = r.na[0]
+			}
 			err := g.stm.AtomicallyOnce(func(tx *stm.Tx) error {
 				r.nodes = r.nodes[:0]
 				n := start
@@ -178,6 +242,9 @@ func (l *List[V]) snapshotRun(r *readScratch[V], ilo, ihi uint64) {
 				}
 			})
 			if err == nil {
+				if len(r.nodes) > 0 {
+					r.saveFinger(g, r.nodes[len(r.nodes)-1])
+				}
 				return
 			}
 			stmBackoff(attempt)
@@ -186,10 +253,16 @@ func (l *List[V]) snapshotRun(r *readScratch[V], ilo, ihi uint64) {
 	case VariantTM:
 		err := g.stm.Atomically(func(tx *stm.Tx) error {
 			r.nodes = r.nodes[:0]
-			if err := searchTx(tx, l, ilo, r.pa, r.na); err != nil {
-				return err
+			n, ferr := fingerSeekTx(tx, l, ilo, r.finger)
+			if ferr != nil {
+				return ferr
 			}
-			n := r.na[0]
+			if n == nil {
+				if err := searchTx(tx, l, ilo, r.pa, r.na); err != nil {
+					return err
+				}
+				n = r.na[0]
+			}
 			for {
 				r.nodes = append(r.nodes, n)
 				if n.high >= ihi {
@@ -208,11 +281,17 @@ func (l *List[V]) snapshotRun(r *readScratch[V], ilo, ihi uint64) {
 		if err != nil {
 			panic("core: unreachable snapshotRun error: " + err.Error())
 		}
+		if len(r.nodes) > 0 {
+			r.saveFinger(g, r.nodes[len(r.nodes)-1])
+		}
 
 	case VariantRW:
 		l.mu.RLock()
-		searchRW(l, ilo, r.pa, r.na)
-		n := r.na[0]
+		n := fingerSeekRW(l, ilo, r.finger)
+		if n == nil {
+			searchRW(l, ilo, r.pa, r.na)
+			n = r.na[0]
+		}
 		r.nodes = r.nodes[:0]
 		for {
 			r.nodes = append(r.nodes, n)
@@ -224,6 +303,9 @@ func (l *List[V]) snapshotRun(r *readScratch[V], ilo, ihi uint64) {
 				break
 			}
 			n = succ
+		}
+		if len(r.nodes) > 0 {
+			r.saveFinger(g, r.nodes[len(r.nodes)-1])
 		}
 		// Release before the caller extracts: the snapshot nodes are
 		// immutable, and extraction may be arbitrarily slow or call back

@@ -1,10 +1,54 @@
 package core
 
 import (
-	"runtime"
-
 	"leaplist/internal/stm"
 )
+
+// Finger search.
+//
+// Two acceleration mechanisms share the validation story documented in
+// doc.go ("Finger search and descent validation"):
+//
+//   - Read-path fingers (fingerSeek*): a remembered node from the last
+//     read on the same scratch. When the finger is live, belongs to the
+//     target list, and sits at-or-below the target key, the search walks
+//     forward from it using only the finger's own levels — the upper
+//     descent from the head is skipped entirely. Read paths consume only
+//     na[0], so the skipped upper predecessors are never missed.
+//   - Seeded descents (search*Seeded): a full-height head descent whose
+//     per-level start may jump forward to a seed predecessor — the
+//     previous group's pa of the same batch (planGroups visits keys in
+//     ascending order), or the previous batch's saved finger
+//     predecessors (txState.fpa). Every level is still positioned, so
+//     the result is a complete pa/na usable by the write paths.
+//
+// A seed or finger is only ever a hint: each use re-validates it (live,
+// owning-list id, tall enough for the level, strictly below the key, at
+// or ahead of the current position) and any anomaly falls back to the
+// plain head descent, so a stale finger can cost a fallback but never an
+// incorrect result. Memory safety across operations — the remembered
+// node's shell may otherwise be concurrently recycled — is guaranteed by
+// the epoch-era guard in getRead/getBatch: fingers are dropped unless
+// the new operation pins at the same epoch the finger was saved under.
+
+// fingerHopBudget caps the forward hops a read-path finger walk may take
+// before giving up and falling back to a head descent: with key
+// locality the walk is a handful of hops; without it, the bound keeps
+// the failed probe cheaper than the descent it tried to avoid.
+const fingerHopBudget = 32
+
+// seedAt reports whether candidate c can serve as the level-i start of a
+// descent for internal key k currently standing at x: it must be a node
+// of list lid, tall enough to have a level-i slot, strictly below k, and
+// at-or-ahead of x (live nodes' high bounds strictly increase along the
+// list, so comparing highs orders positions). Liveness is checked by the
+// caller in its mode's idiom. The immutable fields read here are safe
+// because the caller either observed c during the current pinned
+// operation or passed the epoch-era guard.
+func seedAt[V any](c, x *node[V], lid uint64, i int, k uint64) bool {
+	return c != nil && c != x && c.lid == lid && c.level > i &&
+		c.high < k && c.high >= x.high
+}
 
 // searchNaked is the paper's Search Predecessors (Figure 3) executed
 // without any transactional instrumentation — the COP read phase shared by
@@ -29,11 +73,30 @@ func searchNaked[V any](l *List[V], k uint64, pa, na []*node[V]) {
 // must be able to stop waiting behind one and abort its own prefix
 // instead. budget <= 0 never gives up (plain searchNaked).
 func searchNakedBudget[V any](l *List[V], k uint64, pa, na []*node[V], budget int) bool {
+	return searchNakedSeeded(l, k, pa, na, nil, 0, budget)
+}
+
+// searchNakedSeeded is searchNakedBudget with an optional per-level seed:
+// at each level i the start may jump forward to seed[i] when it validates
+// as a live predecessor of k in list lid (seedAt). Any restart — a marked
+// slot or dead node, whether reached through a seed or not — falls back
+// to a pure head descent, restoring exactly the unseeded protocol, so a
+// stale seed costs one wasted prefix and nothing else. Restarts are paced
+// by the escalating stm.RestartBackoff (the first restarts stay hot for
+// the bounded-postfix case; a pile-up behind a prepared-but-unpublished
+// window escalates to yields and brief sleeps).
+func searchNakedSeeded[V any](l *List[V], k uint64, pa, na []*node[V], seed []*node[V], lid uint64, budget int) bool {
 	maxLevel := l.g.cfg.MaxLevel
 	spins := 0
+	useSeed := seed != nil
 retry:
 	x := l.head
 	for i := maxLevel - 1; i >= 0; i-- {
+		if useSeed {
+			if c := seed[i]; seedAt(c, x, lid, i, k) && c.live.Peek() == 1 {
+				x = c
+			}
+		}
 		for {
 			xn, tag := x.next[i].Peek()
 			if tag == stm.TagMarked || xn == nil || xn.live.Peek() == 0 {
@@ -41,9 +104,8 @@ retry:
 				if budget > 0 && spins >= budget {
 					return false
 				}
-				if spins%8 == 0 {
-					runtime.Gosched()
-				}
+				useSeed = false
+				stm.RestartBackoff(spins)
 				goto retry
 			}
 			if xn.high >= k {
@@ -60,8 +122,24 @@ retry:
 // searchRW is the Figure 3 traversal for the reader-writer-lock variant:
 // the caller holds the list lock, so no mark or liveness checks are needed.
 func searchRW[V any](l *List[V], k uint64, pa, na []*node[V]) {
+	searchRWSeeded(l, k, pa, na, nil, 0)
+}
+
+// searchRWSeeded is searchRW with the optional per-level seed of
+// searchNakedSeeded. The list lock makes the walk itself check-free, but
+// a seed node must still prove it is live: a node replaced by an earlier
+// batch keeps its frozen forward pointers, and walking a stale chain
+// under the lock would position pa/na on dead nodes with no validation
+// phase to catch it. Under the lock the liveness peek is exact, so a
+// live seed is a current node and the jump is sound.
+func searchRWSeeded[V any](l *List[V], k uint64, pa, na []*node[V], seed []*node[V], lid uint64) {
 	x := l.head
 	for i := l.g.cfg.MaxLevel - 1; i >= 0; i-- {
+		if seed != nil {
+			if c := seed[i]; seedAt(c, x, lid, i, k) && c.live.Peek() == 1 {
+				x = c
+			}
+		}
 		for {
 			xn := x.next[i].PeekPtr()
 			if xn.high >= k {
@@ -80,8 +158,30 @@ func searchRW[V any](l *List[V], k uint64, pa, na []*node[V]) {
 // variant never marks slots, and node replacement is detected as a version
 // conflict on the slots read.
 func searchTx[V any](tx *stm.Tx, l *List[V], k uint64, pa, na []*node[V]) error {
+	return searchTxSeeded(tx, l, k, pa, na, nil, 0)
+}
+
+// searchTxSeeded is searchTx with the optional per-level seed of
+// searchNakedSeeded. A seed's liveness is read through the transaction,
+// so the jump is validated by the normal read set: if the seed node dies
+// before commit, the transaction conflicts exactly as if the descent had
+// traversed it. A seed that is already dead is simply skipped — the
+// descent continues from the current position, not an abort, since the
+// batch never depended on it.
+func searchTxSeeded[V any](tx *stm.Tx, l *List[V], k uint64, pa, na []*node[V], seed []*node[V], lid uint64) error {
 	x := l.head
 	for i := l.g.cfg.MaxLevel - 1; i >= 0; i-- {
+		if seed != nil {
+			if c := seed[i]; seedAt(c, x, lid, i, k) {
+				lv, err := c.live.Load(tx)
+				if err != nil {
+					return err
+				}
+				if lv == 1 {
+					x = c
+				}
+			}
+		}
 		for {
 			xn, _, err := x.next[i].Load(tx)
 			if err != nil {
@@ -93,6 +193,158 @@ func searchTx[V any](tx *stm.Tx, l *List[V], k uint64, pa, na []*node[V]) error 
 				break
 			}
 			x = xn
+		}
+	}
+	return nil
+}
+
+// fingerUsable performs the shared immutable-field validation of a
+// read-path finger f against list l and internal key k. It returns:
+//
+//	hit  — k provably lies in f's own range (f.keys[0] <= k <= f.high),
+//	       so f is the answer with no walk at all;
+//	walk — f sits strictly below k and the level-(f.level-1)..0 walk may
+//	       start from it.
+//
+// Both false means the finger cannot help (wrong list, key behind the
+// finger, or k possibly in the unprovable gap below f's first key) and
+// the caller must fall back to a head descent. Liveness is checked by
+// the caller in its variant's idiom, after this.
+func fingerUsable[V any](l *List[V], k uint64, f *node[V]) (hit, walk bool) {
+	if f == nil || f.lid != l.id {
+		return false, false
+	}
+	if f.high < k {
+		return false, true
+	}
+	// A node owns (prev.high, high]; prev.high is not stored, but keys[0]
+	// is inside the range, so keys[0] <= k <= high proves ownership.
+	if len(f.keys) > 0 && f.keys[0] <= k {
+		return true, false
+	}
+	return false, false
+}
+
+// fingerSeekNaked resolves the node owning internal key k by walking
+// forward from finger f — the naked read paths' (LT, COP) finger search.
+// It returns nil when the finger cannot be used: dead, wrong list, key
+// behind it, a marked slot or dead node crossed (the exact conditions
+// that restart a head descent), or the hop budget exhausted. The caller
+// then falls back to searchNaked; the result node carries the same
+// guarantee as a head descent's na[0] — observed live, owning a range
+// that contains k.
+func fingerSeekNaked[V any](l *List[V], k uint64, f *node[V]) *node[V] {
+	hit, walk := fingerUsable(l, k, f)
+	if !hit && !walk {
+		return nil
+	}
+	if f.live.Peek() == 0 {
+		return nil
+	}
+	if hit {
+		return f
+	}
+	hops := 0
+	x := f
+	for i := f.level - 1; i >= 0; i-- {
+		for {
+			xn, tag := x.next[i].Peek()
+			if tag == stm.TagMarked || xn == nil || xn.live.Peek() == 0 {
+				return nil
+			}
+			if xn.high >= k {
+				if i == 0 {
+					return xn
+				}
+				break
+			}
+			x = xn
+			if hops++; hops > fingerHopBudget {
+				return nil
+			}
+		}
+	}
+	return nil // unreachable: the i == 0 arm always returns
+}
+
+// fingerSeekTx is fingerSeekNaked for the fully transactional variant:
+// the finger's liveness and every traversed slot are read through tx, so
+// the finger start is validated by the normal read-set validation at
+// commit. A nil result with nil error means "fall back to searchTx"; an
+// error aborts the transaction as usual.
+func fingerSeekTx[V any](tx *stm.Tx, l *List[V], k uint64, f *node[V]) (*node[V], error) {
+	hit, walk := fingerUsable(l, k, f)
+	if !hit && !walk {
+		return nil, nil
+	}
+	lv, err := f.live.Load(tx)
+	if err != nil {
+		return nil, err
+	}
+	if lv == 0 {
+		return nil, nil
+	}
+	if hit {
+		return f, nil
+	}
+	hops := 0
+	x := f
+	for i := f.level - 1; i >= 0; i-- {
+		for {
+			xn, _, err := x.next[i].Load(tx)
+			if err != nil {
+				return nil, err
+			}
+			if xn == nil {
+				return nil, nil
+			}
+			if xn.high >= k {
+				if i == 0 {
+					return xn, nil
+				}
+				break
+			}
+			x = xn
+			if hops++; hops > fingerHopBudget {
+				return nil, nil
+			}
+		}
+	}
+	return nil, nil
+}
+
+// fingerSeekRW is fingerSeekNaked under the list's read lock: the
+// structure is quiescent, so a live finger is a current node and the
+// walk needs no mark or liveness checks past the start.
+func fingerSeekRW[V any](l *List[V], k uint64, f *node[V]) *node[V] {
+	hit, walk := fingerUsable(l, k, f)
+	if !hit && !walk {
+		return nil
+	}
+	if f.live.Peek() == 0 {
+		return nil
+	}
+	if hit {
+		return f
+	}
+	hops := 0
+	x := f
+	for i := f.level - 1; i >= 0; i-- {
+		for {
+			xn := x.next[i].PeekPtr()
+			if xn == nil {
+				return nil
+			}
+			if xn.high >= k {
+				if i == 0 {
+					return xn
+				}
+				break
+			}
+			x = xn
+			if hops++; hops > fingerHopBudget {
+				return nil
+			}
 		}
 	}
 	return nil

@@ -166,6 +166,28 @@ func (p *Participant) Unpin() {
 	p.word.Store(0)
 }
 
+// Era returns the epoch this participant is pinned at (0 when unpinned).
+// It is the conservative floor for anything observed during the pin: an
+// object live at any point during it is retired at an epoch >= Era(),
+// so its memory cannot be reclaimed before the global epoch reaches
+// Era()+2. The Leap-List's cross-operation search fingers record this
+// floor when saving a remembered node.
+//
+// Note that Era() alone cannot prove the global epoch has NOT moved: Pin
+// loads the epoch before publishing the word, and in that window the
+// still-unpinned participant does not block advancement, so the stored
+// word may lag the global epoch by two or more. A later operation that
+// wants to re-read memory remembered under an earlier era must instead
+// compare the saved floor against a fresh Collector.Epoch() read taken
+// after its own Pin: equality proves, by monotonicity, that the epoch
+// never reached floor+2 (nothing retired at or after the save is
+// reclaimed yet), and the newly pinned word — published before that
+// read, hence <= it — blocks any future advance past floor+1 for the
+// pin's duration.
+func (p *Participant) Era() uint64 {
+	return p.word.Load()
+}
+
 // Retire parks (obj, fn) in the participant's bucket for the current
 // epoch; fn(obj) runs once two epochs have passed, guaranteeing no pinned
 // participant can still observe obj. No locks are taken and nothing is

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Default tuning values; see the corresponding options.
@@ -156,6 +157,45 @@ func backoff(attempt int) {
 	iters := rand.Uint64N(limit + 1)
 	for i := uint64(0); i < iters; i++ {
 		cpuRelax()
+	}
+}
+
+// restartSleepCap bounds the sleep tier of RestartBackoff: long enough to
+// drain a prepared-but-unpublished window, short enough that a waiter
+// resumes promptly once it clears.
+const restartSleepCap = 100 * time.Microsecond
+
+// RestartBackoff paces the n-th consecutive restart of a protocol-level
+// busy loop — a naked search restarting behind a held mark, or the
+// sharded two-phase commit retrying a conflicted prepare — with an
+// escalating spin → yield → brief-sleep schedule. The first restarts
+// stay hot: the common cause is a mark held by a bounded release
+// postfix, which clears in nanoseconds, so yielding the processor there
+// (as the old flat spins%8 schedule did) only adds scheduler latency to
+// the single-restart case. Sustained restarts mean the holder is a
+// prepared-but-unpublished two-phase window (unbounded by this thread),
+// so the schedule escalates through Gosched to short sleeps instead of
+// burning a core against it.
+func RestartBackoff(n int) {
+	switch {
+	case n <= 3:
+		// Hot spin, growing: covers the bounded-postfix case without
+		// touching the scheduler.
+		iters := rand.Uint64N(uint64(16 << n))
+		for i := uint64(0); i < iters; i++ {
+			cpuRelax()
+		}
+	case n <= 16:
+		// Yield plus the randomized growing spin shared with
+		// transactional conflict retries.
+		backoff(n - 3)
+	default:
+		runtime.Gosched()
+		d := time.Duration(n-16) * 2 * time.Microsecond
+		if d > restartSleepCap {
+			d = restartSleepCap
+		}
+		time.Sleep(d)
 	}
 }
 

@@ -2,10 +2,17 @@
 // evaluation (§3): mixes of lookups, range queries and modifications
 // (updates and removes in equal parts) over a uniform key space, with
 // range-query spans drawn uniformly from [1000, 2000].
+//
+// Beyond the paper's uniform streams, LocalGenerator produces
+// locality-skewed key streams (Zipf over a striding window, degenerating
+// to pure ascending strides) — the access patterns the finger-search
+// acceleration exists for, used by BenchmarkLocality for its fingers
+// on/off A/B comparison.
 package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
 )
 
@@ -131,5 +138,123 @@ func (g *Generator) Key() uint64 {
 
 // Value draws a value.
 func (g *Generator) Value() uint64 {
+	return g.rng.Uint64()
+}
+
+// LocalConfig parameterizes a locality-skewed key stream: an anchor
+// strides upward through the key space, and each key is the anchor plus
+// a Zipf-skewed offset inside a small window, so consecutive keys are
+// usually close together (the access pattern finger caches pay off on —
+// cursors, time-ordered ingest, hot working sets). Window = 1 (or
+// ZipfS = 0 with Window = 1) degenerates to a pure ascending stride.
+type LocalConfig struct {
+	KeySpace uint64 // keys wrap modulo KeySpace
+	Window   uint64 // offsets are drawn from [0, Window); 0 means 1
+	Stride   uint64 // anchor advance per draw batch; 0 means 1
+	// AdvanceEvery is the number of draws between anchor advances; 0
+	// means every draw (a strict stride with windowed jitter).
+	AdvanceEvery int
+	// ZipfS is the Zipf skew exponent over the window (offset rank r
+	// weighted 1/(r+1)^s): 0 draws offsets uniformly; ~1.1 concentrates
+	// most draws on the first few offsets past the anchor.
+	ZipfS float64
+	Seed  uint64
+}
+
+// LocalGenerator produces a deterministic locality-skewed key stream for
+// one worker. Not safe for concurrent use; give each worker its own.
+type LocalGenerator struct {
+	cfg    LocalConfig
+	rng    *rand.Rand
+	anchor uint64
+	since  int
+	// cdf is the precomputed cumulative Zipf weight over window offsets;
+	// empty means uniform. math/rand/v2 has no Zipf sampler, so draws
+	// invert this table by binary search — the window is small, so the
+	// table is a few KB at most.
+	cdf []float64
+}
+
+// NewLocalGenerator validates cfg and builds a generator.
+func NewLocalGenerator(cfg LocalConfig) (*LocalGenerator, error) {
+	if cfg.KeySpace == 0 {
+		return nil, fmt.Errorf("workload: zero key space")
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 1
+	}
+	if cfg.Window > cfg.KeySpace {
+		cfg.Window = cfg.KeySpace
+	}
+	if cfg.Stride == 0 {
+		cfg.Stride = 1
+	}
+	if cfg.ZipfS < 0 {
+		return nil, fmt.Errorf("workload: negative Zipf exponent %v", cfg.ZipfS)
+	}
+	g := &LocalGenerator{
+		cfg: cfg,
+		rng: rand.New(rand.NewPCG(cfg.Seed, 0x9e3779b97f4a7c15)),
+	}
+	if cfg.ZipfS > 0 && cfg.Window > 1 {
+		g.cdf = make([]float64, cfg.Window)
+		sum := 0.0
+		for r := uint64(0); r < cfg.Window; r++ {
+			sum += 1 / math.Pow(float64(r+1), cfg.ZipfS)
+			g.cdf[r] = sum
+		}
+	}
+	return g, nil
+}
+
+// Next draws the next key: the current anchor plus a window offset,
+// wrapped into the key space, then advances the anchor on schedule.
+func (g *LocalGenerator) Next() uint64 {
+	var off uint64
+	switch {
+	case len(g.cdf) > 0:
+		u := g.rng.Float64() * g.cdf[len(g.cdf)-1]
+		lo, hi := 0, len(g.cdf)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if g.cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		off = uint64(lo)
+	case g.cfg.Window > 1:
+		off = g.rng.Uint64N(g.cfg.Window)
+	}
+	k := (g.anchor + off) % g.cfg.KeySpace
+	g.since++
+	if g.cfg.AdvanceEvery <= 0 || g.since >= g.cfg.AdvanceEvery {
+		g.since = 0
+		g.anchor = (g.anchor + g.cfg.Stride) % g.cfg.KeySpace
+	}
+	return k
+}
+
+// Batch fills ks with len(ks) consecutive draws in ascending order from
+// one anchor neighbourhood — the shape of a sorted multi-key transaction
+// (planGroups visits keys ascending, so this is the stream that
+// exercises sorted-batch predecessor reuse). Duplicate offsets are
+// nudged apart so the batch stages distinct keys.
+func (g *LocalGenerator) Batch(ks []uint64) {
+	if len(ks) == 0 {
+		return
+	}
+	base := g.anchor
+	for i := range ks {
+		ks[i] = base
+		base = (base + 1 + g.rng.Uint64N(g.cfg.Stride+1)) % g.cfg.KeySpace
+	}
+	g.since = 0
+	g.anchor = (g.anchor + g.cfg.Stride*uint64(len(ks))) % g.cfg.KeySpace
+}
+
+// Value draws a value.
+func (g *LocalGenerator) Value() uint64 {
 	return g.rng.Uint64()
 }

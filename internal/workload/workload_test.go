@@ -99,3 +99,68 @@ func TestOpString(t *testing.T) {
 		}
 	}
 }
+
+func TestLocalGeneratorLocality(t *testing.T) {
+	g, err := NewLocalGenerator(LocalConfig{
+		KeySpace: 1 << 20, Window: 256, Stride: 4, ZipfS: 1.1, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := g.Next()
+	near := 0
+	const draws = 10_000
+	for i := 1; i < draws; i++ {
+		k := g.Next()
+		d := k - prev
+		if prev > k {
+			d = prev - k
+		}
+		if d <= 512 {
+			near++
+		}
+		prev = k
+	}
+	// The stream is locality-skewed by construction: nearly every key is
+	// within two windows of its predecessor (the rare far jump is the
+	// key-space wrap).
+	if near < draws*9/10 {
+		t.Fatalf("only %d/%d consecutive draws were near each other", near, draws)
+	}
+}
+
+func TestLocalGeneratorAscendingStride(t *testing.T) {
+	g, err := NewLocalGenerator(LocalConfig{KeySpace: 1 << 30, Stride: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if got, want := g.Next(), uint64(i*3); got != want {
+			t.Fatalf("draw %d = %d, want %d (pure ascending stride)", i, got, want)
+		}
+	}
+}
+
+func TestLocalGeneratorDeterminismAndBatch(t *testing.T) {
+	cfg := LocalConfig{KeySpace: 1 << 16, Window: 64, Stride: 2, ZipfS: 0.9, Seed: 5}
+	g1, _ := NewLocalGenerator(cfg)
+	g2, _ := NewLocalGenerator(cfg)
+	for i := 0; i < 1000; i++ {
+		if g1.Next() != g2.Next() {
+			t.Fatalf("streams diverge at %d", i)
+		}
+	}
+	ks := make([]uint64, 8)
+	g1.Batch(ks)
+	for i := 1; i < len(ks); i++ {
+		if ks[i] <= ks[i-1] && ks[i-1] < cfg.KeySpace-cfg.Stride*8 {
+			t.Fatalf("batch not ascending at %d: %v", i, ks)
+		}
+	}
+	if _, err := NewLocalGenerator(LocalConfig{}); err == nil {
+		t.Fatal("zero key space accepted")
+	}
+	if _, err := NewLocalGenerator(LocalConfig{KeySpace: 1, ZipfS: -1}); err == nil {
+		t.Fatal("negative Zipf exponent accepted")
+	}
+}

@@ -161,6 +161,7 @@ type options struct {
 	maxLevel  int
 	variant   Variant
 	stats     bool
+	noFingers bool
 	collector *epoch.Collector
 }
 
@@ -186,6 +187,23 @@ func WithVariant(v Variant) Option {
 // readable through Group.STMStats.
 func WithSTMStats(enabled bool) Option {
 	return func(o *options) { o.stats = enabled }
+}
+
+// WithFingers toggles the search-acceleration fingers (default on).
+// Fingers remember where the last operation landed — per pooled read
+// scratch for Get/Range/Collect, per pooled commit scratch for Set/
+// Delete/Tx.Commit — and let a key near the previous one skip most of
+// its skip-list descent; a multi-key Tx additionally reuses each staged
+// key's predecessors for the next (ascending) key, costing one descent
+// plus short walks instead of one descent per key. Fingers are hints:
+// every reuse is re-validated (liveness, owning list, position) and
+// falls back to a full descent, so results are identical either way.
+// Disabling exists for A/B benchmarking (see BenchmarkLocality) and for
+// bisecting suspected regressions; workloads with no key locality lose
+// nothing measurable with fingers on. Sharded maps pass the option to
+// every shard, so cross-shard transactions keep per-shard fingers.
+func WithFingers(enabled bool) Option {
+	return func(o *options) { o.noFingers = !enabled }
 }
 
 // WithCollector supplies the epoch collector the group runs on — every
@@ -221,6 +239,7 @@ func NewGroup[V any](opts ...Option) *Group[V] {
 		NodeSize:  o.nodeSize,
 		MaxLevel:  o.maxLevel,
 		Variant:   o.variant,
+		NoFingers: o.noFingers,
 		Collector: o.collector,
 	}, domain)
 	return &Group[V]{inner: inner, stm: domain}

@@ -31,6 +31,11 @@ import (
 // stitch per-shard snapshots: each shard's segment is one linearizable
 // snapshot, but different shards are snapshotted at different instants.
 // For one atomic cross-shard snapshot, stage a GetRange in a Txn.
+//
+// Search fingers (WithFingers) stay per shard: each shard's group keeps
+// its own pooled read and commit fingers, so a cross-shard transaction's
+// per-shard sub-batches seed their descents independently and key
+// locality within any one shard is preserved across transactions.
 type Sharded[V any] struct {
 	groups []*Group[V]
 	maps   []*Map[V]
@@ -464,7 +469,11 @@ func (t *ShardedTx[V]) Commit() error {
 			t.err = failed
 			return failed
 		}
-		stm.Backoff(attempt)
+		// Escalating spin → yield → brief sleep, shared with the naked
+		// search's restart pacing: a conflicting coordinator that already
+		// holds later shards publishes in nanoseconds (stay hot), while a
+		// sustained pile-up of prepare windows stops burning cores.
+		stm.RestartBackoff(attempt)
 	}
 }
 
