@@ -1,0 +1,92 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //lint:allow directive suppresses findings of one analyzer:
+//
+//	//lint:allow epochpin pin ownership transfers to the PreparedOps
+//
+// A directive covers, in order of precedence:
+//
+//   - the line it sits on (trailing comment),
+//   - the line immediately below it (a comment on its own line),
+//   - the whole function body, when the directive appears in the doc
+//     comment of a function declaration.
+//
+// A directive with no reason text is malformed and is itself reported.
+type allowDirective struct {
+	analyzer string
+	file     string
+	// line-scoped: the covered line. Range-scoped: [fromLine, toLine].
+	fromLine, toLine int
+}
+
+type allowIndex struct {
+	directives []allowDirective
+	malformed  []Diagnostic
+}
+
+// buildAllowIndex scans every comment of every file for //lint:allow
+// directives.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
+	idx := &allowIndex{}
+	for _, f := range files {
+		// Map function declarations by doc comment so doc-scoped
+		// directives cover the whole body.
+		docRange := make(map[*ast.CommentGroup][2]int)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			from := fset.Position(fd.Pos()).Line
+			to := fset.Position(fd.End()).Line
+			docRange[fd.Doc] = [2]int{from, to}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					idx.malformed = append(idx.malformed, Diagnostic{
+						Pos:      pos,
+						Message:  "malformed //lint:allow directive: want \"//lint:allow <analyzer> <reason>\"",
+						Analyzer: "lint",
+					})
+					continue
+				}
+				d := allowDirective{analyzer: fields[0], file: pos.Filename}
+				if r, ok := docRange[cg]; ok {
+					d.fromLine, d.toLine = r[0], r[1]
+				} else {
+					// Cover the directive's own line and the next: a
+					// trailing comment suppresses its statement, a
+					// stand-alone comment suppresses the line below.
+					d.fromLine, d.toLine = pos.Line, pos.Line+1
+				}
+				idx.directives = append(idx.directives, d)
+			}
+		}
+	}
+	return idx
+}
+
+// allows reports whether a finding of the named analyzer at pos is
+// covered by a directive.
+func (idx *allowIndex) allows(analyzer string, pos token.Position) bool {
+	for _, d := range idx.directives {
+		if d.analyzer == analyzer && d.file == pos.Filename &&
+			pos.Line >= d.fromLine && pos.Line <= d.toLine {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,80 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func buildIndex(t *testing.T, src string) (*token.FileSet, *allowIndex) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "allow_input.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, buildAllowIndex(fset, []*ast.File{f})
+}
+
+func TestAllowDirectiveScopes(t *testing.T) {
+	src := `package p
+
+//lint:allow epochpin doc-scoped reason
+func covered() {
+	x := 1
+	_ = x
+}
+
+func uncovered() {
+	y := 2 //lint:allow poolhygiene trailing reason
+	z := 3
+	_, _ = y, z
+}
+`
+	_, idx := buildIndex(t, src)
+	if len(idx.malformed) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", idx.malformed)
+	}
+	pos := func(line int) token.Position {
+		return token.Position{Filename: "allow_input.go", Line: line}
+	}
+	// Doc-scoped directive covers the whole body of covered (lines 4-7).
+	if !idx.allows("epochpin", pos(5)) || !idx.allows("epochpin", pos(7)) {
+		t.Error("doc-scoped directive should cover the whole function body")
+	}
+	if idx.allows("epochpin", pos(10)) {
+		t.Error("doc-scoped directive must not leak into the next function")
+	}
+	// A trailing directive covers its own line (and the one below).
+	if !idx.allows("poolhygiene", pos(10)) {
+		t.Error("trailing directive should cover its own line")
+	}
+	if idx.allows("poolhygiene", pos(12)) {
+		t.Error("trailing directive must not cover two lines down")
+	}
+	// The analyzer name must match.
+	if idx.allows("eraguard", pos(10)) {
+		t.Error("directive for poolhygiene must not suppress eraguard")
+	}
+}
+
+func TestAllowDirectiveMalformed(t *testing.T) {
+	src := `package p
+
+//lint:allow epochpin
+func f() {}
+`
+	_, idx := buildIndex(t, src)
+	if len(idx.malformed) != 1 {
+		t.Fatalf("want 1 malformed directive, got %d", len(idx.malformed))
+	}
+	d := idx.malformed[0]
+	if d.Analyzer != "lint" || !strings.Contains(d.Message, "malformed") {
+		t.Errorf("unexpected malformed diagnostic: %v", d)
+	}
+	if d.Pos.Line != 3 {
+		t.Errorf("malformed directive reported at line %d, want 3", d.Pos.Line)
+	}
+}

@@ -1,0 +1,100 @@
+// Package lintkit is a self-contained miniature of the
+// golang.org/x/tools/go/analysis framework: an Analyzer/Pass/Diagnostic
+// vocabulary, a module-aware source loader, and the //lint:allow
+// suppression directive shared by every leaplint analyzer.
+//
+// It exists because this repository carries no third-party dependencies:
+// the analyzers are written against the same shape as go/analysis (a Run
+// function receiving a Pass with files, type info and a Report sink), so
+// porting them onto the real framework is a mechanical change of import
+// path, but they build and run with the standard library alone.
+package lintkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check. Name is the identifier used in
+// //lint:allow directives; Doc is a one-paragraph description of the
+// invariant the analyzer enforces.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information through an
+// analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// Run applies every analyzer to pkg and returns the surviving findings:
+// diagnostics suppressed by a //lint:allow directive are dropped, and
+// malformed directives (no reason) are themselves reported under the
+// pseudo-analyzer "lint". Findings are sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.PkgPath, err)
+		}
+	}
+	idx := buildAllowIndex(pkg.Fset, pkg.Files)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !idx.allows(d.Analyzer, d.Pos) {
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, idx.malformed...)
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Pos, kept[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept, nil
+}

@@ -1,0 +1,122 @@
+// Package linttest is an analysistest-style harness for lintkit
+// analyzers: testdata packages annotate expected findings with
+//
+//	// want "regexp"
+//
+// comments, and Run checks that the analyzer reports exactly the
+// expected diagnostics — after //lint:allow suppression, so testdata can
+// also prove that suppression works.
+package linttest
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"leaplist/cmd/leaplint/internal/lintkit"
+)
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the package in dir and applies the analyzers, comparing
+// findings against the package's // want annotations.
+func Run(t testing.TB, dir string, analyzers ...*lintkit.Analyzer) {
+	t.Helper()
+	loader, err := lintkit.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: load %s: %v", dir, err)
+	}
+	diags, err := lintkit.Run(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("linttest: run: %v", err)
+	}
+
+	wants := collectWants(t, pkg.Fset, pkg.Files)
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on the diagnostic's line
+// whose pattern matches.
+func claim(wants []*expectation, d lintkit.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses the // want "..." annotations of every file. A
+// single comment may carry several quoted patterns.
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+func collectWants(t testing.TB, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				ms := wantRE.FindAllStringSubmatch(rest, -1)
+				if len(ms) == 0 {
+					t.Errorf("%s: malformed want comment: %s", pos, c.Text)
+					continue
+				}
+				for _, m := range ms {
+					pat, err := unquotePattern(m[1])
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", pos, m[1], err)
+						continue
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// unquotePattern undoes the minimal escaping inside a want string:
+// \" and \\ only, so regexp metacharacters pass through untouched.
+func unquotePattern(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) && (s[i+1] == '"' || s[i+1] == '\\') {
+			i++
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,281 @@
+package lintkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Loader loads packages of the enclosing module from source, resolving
+// module-internal imports by loading them recursively and everything
+// else (the standard library) through the compiler-independent source
+// importer. It needs no network, no module cache, and no export data.
+type Loader struct {
+	ModulePath string
+	ModuleDir  string
+	Fset       *token.FileSet
+
+	ctx    build.Context
+	std    types.Importer
+	loaded map[string]*Package // keyed by import path
+}
+
+// NewLoader locates the enclosing module by walking up from dir to the
+// nearest go.mod.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+		if err == nil {
+			mod := modulePath(data)
+			if mod == "" {
+				return nil, fmt.Errorf("no module directive in %s/go.mod", root)
+			}
+			fset := token.NewFileSet()
+			l := &Loader{
+				ModulePath: mod,
+				ModuleDir:  root,
+				Fset:       fset,
+				ctx:        build.Default,
+				std:        importer.ForCompiler(fset, "source", nil),
+				loaded:     make(map[string]*Package),
+			}
+			return l, nil
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+}
+
+// modulePath extracts the module path from go.mod contents.
+func modulePath(gomod []byte) string {
+	for _, line := range strings.Split(string(gomod), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// Import implements types.Importer: module-internal paths load from
+// source within the module; all other paths are delegated to the
+// standard-library source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		pkg, err := l.loadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// loadPath loads a module-internal package by import path.
+func (l *Loader) loadPath(path string) (*Package, error) {
+	if pkg, ok := l.loaded[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		return pkg, nil
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+	dir := filepath.Join(l.ModuleDir, filepath.FromSlash(rel))
+	return l.loadDir(dir, path)
+}
+
+// LoadDir loads the package in dir (which must be inside the module).
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(l.ModuleDir, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("%s is outside module %s", dir, l.ModulePath)
+	}
+	path := l.ModulePath
+	if rel != "." {
+		path += "/" + filepath.ToSlash(rel)
+	}
+	return l.loadDir(abs, path)
+}
+
+func (l *Loader) loadDir(dir, path string) (*Package, error) {
+	if pkg, ok := l.loaded[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		return pkg, nil
+	}
+	l.loaded[path] = nil // cycle guard
+
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", dir, err)
+	}
+	var files []*ast.File
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	pkg := &Package{
+		PkgPath: path,
+		Dir:     dir,
+		Fset:    l.Fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}
+	l.loaded[path] = pkg
+	return pkg, nil
+}
+
+// LoadPatterns expands go-style package patterns ("./...", "./internal/core",
+// import paths) into loaded packages. Directories named testdata, vendor,
+// or starting with "." or "_" are skipped during ... expansion, as are
+// directories with no buildable Go files.
+func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var pkgs []*Package
+	seen := make(map[string]bool)
+	add := func(pkg *Package) {
+		if !seen[pkg.PkgPath] {
+			seen[pkg.PkgPath] = true
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case strings.HasSuffix(pat, "/...") || pat == "...":
+			base := strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+			if base == "" || base == "." {
+				base = "."
+			}
+			root := base
+			if !filepath.IsAbs(root) {
+				root = filepath.Join(l.ModuleDir, base)
+			}
+			dirs, err := walkGoDirs(root)
+			if err != nil {
+				return nil, err
+			}
+			for _, dir := range dirs {
+				pkg, err := l.LoadDir(dir)
+				if err != nil {
+					if isNoGoError(err) {
+						continue
+					}
+					return nil, err
+				}
+				add(pkg)
+			}
+		case strings.HasPrefix(pat, l.ModulePath):
+			pkg, err := l.loadPath(pat)
+			if err != nil {
+				return nil, err
+			}
+			add(pkg)
+		default:
+			dir := pat
+			if !filepath.IsAbs(dir) {
+				dir = filepath.Join(l.ModuleDir, pat)
+			}
+			pkg, err := l.LoadDir(dir)
+			if err != nil {
+				return nil, err
+			}
+			add(pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// walkGoDirs returns every directory under root that contains .go files,
+// skipping testdata, vendor, hidden, and underscore-prefixed directories.
+func walkGoDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				dirs = append(dirs, p)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+func isNoGoError(err error) bool {
+	var noGo *build.NoGoError
+	if e, ok := err.(interface{ Unwrap() error }); ok {
+		if as, ok := e.Unwrap().(*build.NoGoError); ok {
+			noGo = as
+		}
+	}
+	if noGo != nil {
+		return true
+	}
+	return strings.Contains(err.Error(), "no buildable Go source files")
+}

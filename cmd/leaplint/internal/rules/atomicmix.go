@@ -1,0 +1,108 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"leaplist/cmd/leaplint/internal/lintkit"
+)
+
+// Atomicmix flags mixed atomic/plain access: once a variable or field is
+// accessed through a sync/atomic function (atomic.LoadUint64(&x.f), ...),
+// every other access to the same variable must also be atomic. A plain
+// read can observe a torn or stale value; a plain write can be lost —
+// the bug class behind subtle lent/live-flag races.
+//
+// Fields declared with the atomic.* wrapper types (atomic.Uint64,
+// atomic.Bool, ...) are safe by construction — their only access path is
+// method calls — so the analyzer tracks only function-style atomics.
+var Atomicmix = &lintkit.Analyzer{
+	Name: "atomicmix",
+	Doc:  "a field accessed through sync/atomic must never be read or written with a plain load/store",
+	Run:  runAtomicmix,
+}
+
+func runAtomicmix(pass *lintkit.Pass) error {
+	// Pass 1: collect objects accessed atomically, and the exact ident
+	// nodes inside those atomic arguments (which are, by definition,
+	// sanctioned uses).
+	atomicObjs := make(map[types.Object]bool)
+	sanctioned := make(map[*ast.Ident]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSyncAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				target := ast.Unparen(un.X)
+				if obj := referencedObject(pass, target); obj != nil {
+					atomicObjs[obj] = true
+				}
+				// Every ident inside the &... argument is sanctioned.
+				ast.Inspect(un, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						sanctioned[id] = true
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+	// Pass 2: every other mention of those objects is a plain access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || sanctioned[id] {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || !atomicObjs[obj] {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"plain access to %s, which is accessed atomically elsewhere; use sync/atomic for every access", id.Name)
+			return true
+		})
+	}
+	return nil
+}
+
+// isSyncAtomicCall reports whether call invokes a function of the
+// sync/atomic package (atomic.LoadUint64, atomic.CompareAndSwapPointer, ...).
+func isSyncAtomicCall(pass *lintkit.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// referencedObject resolves the variable or field object an lvalue
+// expression names: x, x.f, x[i].f ... (the innermost selected object).
+func referencedObject(pass *lintkit.Pass, e ast.Expr) types.Object {
+	switch u := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[u]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[u.Sel]
+	case *ast.IndexExpr:
+		// &arr[i]: atomic access to an element; track the backing
+		// variable or field instead.
+		return referencedObject(pass, u.X)
+	}
+	return nil
+}

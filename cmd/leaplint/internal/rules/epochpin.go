@@ -1,0 +1,428 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"leaplist/cmd/leaplint/internal/lintkit"
+)
+
+// Epochpin enforces the epoch-reclamation protocol around *node memory:
+//
+//  1. pin balance — a function that acquires an epoch pin (Participant.Pin
+//     or pooled scratch acquisition via getRead/getBatch) must release it
+//     (Unpin/putRead/putBatch) on every return path, by defer or by an
+//     explicit release before each return; returning the acquired scratch
+//     transfers ownership and satisfies the obligation;
+//  2. no naked node access — a function in a node-declaring package that
+//     dereferences node memory must hold a pin, receive the node (or a
+//     pinned scratch) from its caller, or be working on nodes it just
+//     constructed;
+//  3. no use after Retire — a value passed to Retire/retireNode must not
+//     be used again afterwards in the same function.
+var Epochpin = &lintkit.Analyzer{
+	Name: "epochpin",
+	Doc:  "node memory must be reached under an epoch pin, released on every path, and never touched after Retire",
+	Run:  runEpochpin,
+}
+
+// Names that acquire a pin (directly or via pooled scratch) and names
+// that release one.
+var (
+	pinAcquires = map[string]bool{"getRead": true, "getBatch": true}
+	pinReleases = map[string]bool{"putRead": true, "putBatch": true}
+
+	// Types whose presence as a parameter or receiver means the caller
+	// already holds the pin that protects the node memory being touched.
+	pinnedCarrierTypes = map[string]bool{
+		"node": true, "readScratch": true, "txState": true, "txEntry": true,
+		"Tx": true, "PreparedOps": true, "PreparedTx": true, "Op": true,
+	}
+
+	// Constructors whose results are private until published.
+	nodeConstructors = map[string]bool{"newNode": true, "newShell": true}
+)
+
+func runEpochpin(pass *lintkit.Pass) error {
+	nodeScoped := declaresType(pass.Pkg, "node") && usesEpoch(pass.Pkg)
+	for _, fd := range funcDecls(pass.Files) {
+		if pinAcquires[fd.Name.Name] || pinReleases[fd.Name.Name] {
+			// The scratch lifecycle functions ARE the acquire/release
+			// protocol; the balance and access rules apply to their
+			// callers.
+			continue
+		}
+		checkPinBalance(pass, fd)
+		if nodeScoped && !nodeConstructors[fd.Name.Name] {
+			checkNodeAccess(pass, fd)
+		}
+		checkUseAfterRetire(pass, fd)
+	}
+	return nil
+}
+
+// usesEpoch reports whether the package is epoch-managed: it imports the
+// epoch package or declares a Participant itself (the testdata shape).
+// The baseline structures (btree, trie, skiplist) have their own node
+// types but no reclamation protocol, so epochpin stays quiet there.
+func usesEpoch(pkg *types.Package) bool {
+	if declaresType(pkg, "Participant") {
+		return true
+	}
+	for _, imp := range pkg.Imports() {
+		if imp.Name() == "epoch" {
+			return true
+		}
+	}
+	return false
+}
+
+// pinEvent is one acquire or release site within a function.
+type pinEvent struct {
+	pos      token.Pos
+	deferred bool
+	result   *ast.Ident // acquire only: the ident bound to the scratch
+}
+
+// scanPins collects pin acquire/release sites of fd, flagging acquisition
+// inside defer/closures conservatively as non-deferred top-level events.
+func scanPins(pass *lintkit.Pass, fd *ast.FuncDecl) (acquires, releases []pinEvent) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.DeferStmt:
+			if isPinRelease(pass, st.Call) {
+				releases = append(releases, pinEvent{pos: st.Pos(), deferred: true})
+			}
+			// Look inside deferred closures too.
+			if fl, ok := st.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(fl.Body, func(m ast.Node) bool {
+					if c, ok := m.(*ast.CallExpr); ok && isPinRelease(pass, c) {
+						releases = append(releases, pinEvent{pos: st.Pos(), deferred: true})
+					}
+					return true
+				})
+			}
+			return false
+		case *ast.CallExpr:
+			if isPinAcquire(pass, st) {
+				acquires = append(acquires, pinEvent{pos: st.Pos(), result: acquireResult(fd, st)})
+			} else if isPinRelease(pass, st) {
+				releases = append(releases, pinEvent{pos: st.Pos()})
+			}
+		}
+		return true
+	})
+	return acquires, releases
+}
+
+// isPinAcquire recognizes p.Pin() on a Participant and getRead/getBatch
+// calls.
+func isPinAcquire(pass *lintkit.Pass, call *ast.CallExpr) bool {
+	name := calleeName(call)
+	if pinAcquires[name] {
+		return true
+	}
+	if name == "Pin" {
+		if recv := calleeRecv(call); recv != nil {
+			return exprTypeName(pass, recv) == "Participant"
+		}
+	}
+	return false
+}
+
+func isPinRelease(pass *lintkit.Pass, call *ast.CallExpr) bool {
+	name := calleeName(call)
+	if pinReleases[name] {
+		return true
+	}
+	if name == "Unpin" {
+		if recv := calleeRecv(call); recv != nil {
+			return exprTypeName(pass, recv) == "Participant"
+		}
+	}
+	return false
+}
+
+// acquireResult finds the ident an acquire call's result is assigned to
+// (b := g.getBatch(...)), so ownership transfer via return can be seen.
+func acquireResult(fd *ast.FuncDecl, call *ast.CallExpr) *ast.Ident {
+	var out *ast.Ident
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+			return true
+		}
+		if ast.Unparen(as.Rhs[0]) == call {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok {
+				out = id
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkPinBalance enforces rule 1 on fd.
+func checkPinBalance(pass *lintkit.Pass, fd *ast.FuncDecl) {
+	acquires, releases := scanPins(pass, fd)
+	if len(acquires) == 0 {
+		return
+	}
+	// Ownership transfer: the acquired scratch is returned to the caller.
+	for _, a := range acquires {
+		if a.result != nil && returnsIdent(fd, a.result) {
+			return
+		}
+	}
+	for _, r := range releases {
+		if r.deferred {
+			return // a deferred release covers every return path
+		}
+	}
+	if len(releases) == 0 {
+		pass.Reportf(acquires[0].pos,
+			"%s acquires an epoch pin but never releases it (missing Unpin/putRead/putBatch)", fd.Name.Name)
+		return
+	}
+	// Non-deferred releases: every return after the first acquire must be
+	// preceded (in source order) by some release.
+	first := acquires[0].pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // returns inside closures are not fd's returns
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || ret.Pos() < first {
+			return true
+		}
+		covered := false
+		for _, r := range releases {
+			if r.pos > first && r.pos < ret.Pos() {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			pass.Reportf(ret.Pos(),
+				"return leaves %s without releasing the epoch pin acquired earlier (missing Unpin/putRead/putBatch)", fd.Name.Name)
+		}
+		return true
+	})
+	// A function that falls off the end is covered by the len(releases)>0
+	// check above.
+}
+
+// returnsIdent reports whether fd has a return statement whose results
+// mention id's object.
+func returnsIdent(fd *ast.FuncDecl, id *ast.Ident) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			ast.Inspect(res, func(m ast.Node) bool {
+				if rid, ok := m.(*ast.Ident); ok && rid.Name == id.Name {
+					found = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return found
+}
+
+// checkNodeAccess enforces rule 2: flag selector access to node-typed
+// expressions in functions with no pin and no pinned-carrier parameter.
+func checkNodeAccess(pass *lintkit.Pass, fd *ast.FuncDecl) {
+	if isPinExempt(pass, fd) {
+		return
+	}
+	// Track idents bound to freshly constructed nodes: those are private.
+	fresh := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !nodeConstructors[calleeName(call)] {
+				continue
+			}
+			if i < len(as.Lhs) {
+				if id, ok := as.Lhs[i].(*ast.Ident); ok {
+					fresh[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if exprTypeName(pass, sel.X) != "node" {
+			return true
+		}
+		if id := baseIdent(sel.X); id != nil && fresh[id.Name] {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"%s dereferences node memory without an epoch pin (no Pin/getRead/getBatch, and no pinned scratch or node parameter)", fd.Name.Name)
+		return true
+	})
+}
+
+// isPinExempt reports whether fd may touch node memory without pinning
+// itself: it is a node method, receives a pinned carrier, or acquires a
+// pin somewhere in its body.
+func isPinExempt(pass *lintkit.Pass, fd *ast.FuncDecl) bool {
+	if pinnedCarrierTypes[receiverTypeName(fd)] {
+		return true
+	}
+	if fd.Type.Params != nil {
+		for _, p := range fd.Type.Params.List {
+			if fieldTypeNamesCarrier(p.Type) {
+				return true
+			}
+		}
+	}
+	exempt := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isPinAcquire(pass, call) {
+			exempt = true
+		}
+		return !exempt
+	})
+	return exempt
+}
+
+// fieldTypeNamesCarrier reports whether a parameter type references a
+// pinned-carrier type (node, scratch, ...), through pointers, slices,
+// arrays and generic instantiation.
+func fieldTypeNamesCarrier(t ast.Expr) bool {
+	switch u := t.(type) {
+	case *ast.Ident:
+		return pinnedCarrierTypes[u.Name]
+	case *ast.StarExpr:
+		return fieldTypeNamesCarrier(u.X)
+	case *ast.ArrayType:
+		return fieldTypeNamesCarrier(u.Elt)
+	case *ast.IndexExpr:
+		return fieldTypeNamesCarrier(u.X)
+	case *ast.IndexListExpr:
+		return fieldTypeNamesCarrier(u.X)
+	case *ast.SelectorExpr:
+		return pinnedCarrierTypes[u.Sel.Name]
+	case *ast.Ellipsis:
+		return fieldTypeNamesCarrier(u.Elt)
+	}
+	return false
+}
+
+// checkUseAfterRetire enforces rule 3: after retireNode(x) or
+// part.Retire(x, fn), the expression x must not be used again (until its
+// base is reassigned).
+func checkUseAfterRetire(pass *lintkit.Pass, fd *ast.FuncDecl) {
+	type retirement struct {
+		expr string
+		pos  token.Pos
+		end  token.Pos
+	}
+	var retired []retirement
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		var victim ast.Expr
+		switch {
+		case name == "retireNode" && len(call.Args) >= 1:
+			// retireNode(n) as a method, or retireNode(b, n) as a helper:
+			// the victim is the last node-typed argument.
+			for _, a := range call.Args {
+				if exprTypeName(pass, a) == "node" {
+					victim = a
+				}
+			}
+			if victim == nil {
+				victim = call.Args[len(call.Args)-1]
+			}
+		case name == "Retire" && len(call.Args) >= 1:
+			if recv := calleeRecv(call); recv != nil && exprTypeName(pass, recv) == "Participant" {
+				victim = call.Args[0]
+			}
+		}
+		if victim != nil {
+			retired = append(retired, retirement{expr: exprString(victim), pos: call.Pos(), end: call.End()})
+		}
+		return true
+	})
+	if len(retired) == 0 {
+		return
+	}
+	// Reassignment of the retired expression's base between the Retire
+	// and the use cancels tracking (the name now holds a live value).
+	reassigned := func(r retirement, usePos token.Pos) bool {
+		ok := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, isAssign := n.(*ast.AssignStmt)
+			if !isAssign || as.Pos() <= r.end || as.Pos() >= usePos {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				if id := baseIdent(lhs); id != nil && hasPrefix(r.expr, id.Name) {
+					ok = true
+				}
+			}
+			return true
+		})
+		return ok
+	}
+	// A bare ident on an assignment's left side is a rebinding, not a use.
+	rebinds := make(map[*ast.Ident]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					rebinds[id] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && rebinds[id] {
+			return true
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		s := exprString(e)
+		for _, r := range retired {
+			if s != r.expr || e.Pos() <= r.end {
+				continue
+			}
+			if reassigned(r, e.Pos()) {
+				continue
+			}
+			pass.Reportf(e.Pos(), "use of %s after it was passed to Retire", s)
+			return false // one report per expression tree
+		}
+		return true
+	})
+}
+
+func hasPrefix(s, base string) bool {
+	if s == base {
+		return true
+	}
+	return len(s) > len(base) && s[:len(base)] == base && (s[len(base)] == '.' || s[len(base)] == '[')
+}

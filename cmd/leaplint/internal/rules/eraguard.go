@@ -1,0 +1,90 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+
+	"leaplist/cmd/leaplint/internal/lintkit"
+)
+
+// Eraguard protects the saved-finger protocol: a finger cached across
+// operations (readScratch.finger, txState.fpa/fList) points into node
+// memory that may have been reclaimed since it was saved, so it may only
+// be consumed through the helpers that validate the participant's era
+// first (fingerSeek*, seedAt, the seeded searches) or managed by the
+// scratch lifecycle functions that stamp and invalidate it. Any other
+// dereference is a latent use-after-reclaim.
+var Eraguard = &lintkit.Analyzer{
+	Name: "eraguard",
+	Doc:  "saved fingers may only be consumed through the era-validating fingerSeek*/seedAt helpers, never dereferenced directly",
+	Run:  runEraguard,
+}
+
+// fingerFields are the saved-finger fields of the two scratch types.
+var fingerFields = map[string]bool{"finger": true, "fpa": true, "fList": true}
+
+// fingerHolderTypes are the scratch types that carry saved fingers.
+var fingerHolderTypes = map[string]bool{"readScratch": true, "txState": true}
+
+// eraSafeFuncs are the lifecycle functions allowed to touch finger
+// fields directly: they stamp, validate, or invalidate the era.
+var eraSafeFuncs = map[string]bool{
+	"getRead": true, "putRead": true, "saveFinger": true,
+	"getBatch": true, "putBatch": true, "saveBatchFinger": true,
+	"planGroups": true,
+}
+
+// eraSafeCallees are the helpers that perform era validation before
+// following a finger; passing a finger field to them is the sanctioned
+// consumption path.
+var eraSafeCallees = map[string]bool{
+	"fingerSeekNaked": true, "fingerSeekTx": true, "fingerSeekRW": true,
+	"seedAt": true, "searchNakedSeeded": true, "searchRWSeeded": true,
+	"searchTxSeeded": true, "saveFinger": true, "fingerUsable": true,
+	"saveBatchFinger": true,
+}
+
+func runEraguard(pass *lintkit.Pass) error {
+	if !declaresType(pass.Pkg, "readScratch") && !declaresType(pass.Pkg, "txState") {
+		return nil
+	}
+	for _, fd := range funcDecls(pass.Files) {
+		if eraSafeFuncs[fd.Name.Name] {
+			continue
+		}
+		// Selector expressions that appear as direct arguments to an
+		// era-validating helper are sanctioned.
+		sanctioned := make(map[ast.Expr]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !eraSafeCallees[calleeName(call)] {
+				return true
+			}
+			for _, a := range call.Args {
+				a = ast.Unparen(a)
+				sanctioned[a] = true
+				if un, ok := a.(*ast.UnaryExpr); ok && un.Op == token.AND {
+					sanctioned[ast.Unparen(un.X)] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !fingerFields[sel.Sel.Name] {
+				return true
+			}
+			if !fingerHolderTypes[exprTypeName(pass, sel.X)] {
+				return true
+			}
+			if sanctioned[sel] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"%s consumes saved finger %s directly; fingers must go through an era-validating helper (fingerSeek*/seedAt/saveBatchFinger)",
+				fd.Name.Name, exprString(sel))
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,275 @@
+package rules
+
+import (
+	"go/ast"
+	"strings"
+
+	"leaplist/cmd/leaplint/internal/lintkit"
+)
+
+// Phaseorder enforces the two-phase commit shape around the committer
+// interface and the prepared-transaction descriptors:
+//
+//  1. a function that calls a committer's prepare must check prepare's
+//     result (never discard it) and must drive the protocol onward — a
+//     publish or abort call, or returning the prepared state to the
+//     caller who will;
+//  2. a function that obtains a PreparedOps/PreparedTx (PrepareOps /
+//     PrepareOnce) must contain both a Publish and an Abort call, or
+//     hand the descriptor outward by returning it — a prepared
+//     transaction must reach exactly one of the two outcomes;
+//  3. a prepare method that can fail must release its plan on the error
+//     path: any prepare method returning a non-nil error must also call
+//     releasePlan or abort somewhere, else locked entries leak.
+var Phaseorder = &lintkit.Analyzer{
+	Name: "phaseorder",
+	Doc:  "every successful prepare must be followed by exactly one publish-or-abort, and every prepare error path must release the plan",
+	Run:  runPhaseorder,
+}
+
+func runPhaseorder(pass *lintkit.Pass) error {
+	for _, fd := range funcDecls(pass.Files) {
+		checkPrepareCaller(pass, fd)
+		checkPreparedObtainer(pass, fd)
+		checkPrepareErrorPath(pass, fd)
+	}
+	return nil
+}
+
+// containsCallNamed reports whether fd's body calls a function/method
+// with one of the names.
+func containsCallNamed(fd *ast.FuncDecl, names ...string) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		got := calleeName(call)
+		for _, name := range names {
+			if got == name {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkPrepareCaller enforces rule 1 over calls to methods named
+// "prepare" (the committer interface's first phase).
+func checkPrepareCaller(pass *lintkit.Pass, fd *ast.FuncDecl) {
+	if fd.Name.Name == "prepare" {
+		return // a prepare implementation delegating internally
+	}
+	if strings.HasPrefix(fd.Name.Name, "Prepare") {
+		// A Prepare* API is itself phase one: its contract hands the
+		// publish/abort obligation to the caller.
+		return
+	}
+	var prepares []*ast.CallExpr
+	discarded := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok && isPrepareCall(call) {
+				discarded[call] = true
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isPrepareCall(call) {
+					continue
+				}
+				if len(st.Rhs) == len(st.Lhs) && i < len(st.Lhs) {
+					if id, ok := st.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						discarded[call] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if isPrepareCall(st) {
+				prepares = append(prepares, st)
+			}
+		}
+		return true
+	})
+	if len(prepares) == 0 {
+		return
+	}
+	for _, call := range prepares {
+		if discarded[call] {
+			pass.Reportf(call.Pos(),
+				"prepare result discarded in %s: a failed prepare must be observed so the plan is released and publish is skipped", fd.Name.Name)
+		}
+	}
+	if !containsCallNamed(fd, "publish", "abort", "Publish", "Abort") {
+		pass.Reportf(prepares[0].Pos(),
+			"%s calls prepare but never publish or abort: a successful prepare must reach exactly one of the two", fd.Name.Name)
+	}
+}
+
+// isPrepareCall matches method calls named exactly "prepare" (the
+// unexported committer phase; PrepareOps/PrepareOnce are rule 2's).
+func isPrepareCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "prepare"
+}
+
+// checkPreparedObtainer enforces rule 2 over PrepareOps/PrepareOnce
+// callers.
+func checkPreparedObtainer(pass *lintkit.Pass, fd *ast.FuncDecl) {
+	var obtain *ast.CallExpr
+	var bound []string // idents the prepared descriptor is assigned to
+	fieldStored := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if ok {
+			for i, rhs := range as.Rhs {
+				call, isCall := ast.Unparen(rhs).(*ast.CallExpr)
+				if !isCall {
+					continue
+				}
+				name := calleeName(call)
+				if name != "PrepareOps" && name != "PrepareOnce" {
+					continue
+				}
+				if obtain == nil {
+					obtain = call
+				}
+				if len(as.Lhs) > i {
+					switch lhs := ast.Unparen(as.Lhs[i]).(type) {
+					case *ast.Ident:
+						bound = append(bound, lhs.Name)
+					case *ast.SelectorExpr:
+						// b.prep = s.PrepareOnce(...): the descriptor is
+						// carried by a longer-lived state object to the
+						// publish/abort phase — ownership transfer.
+						fieldStored = true
+					}
+				}
+			}
+		}
+		if ret, isRet := n.(*ast.ReturnStmt); isRet {
+			// return d.PrepareOps(...) hands the descriptor straight to
+			// the caller — ownership transfer.
+			for _, res := range ret.Results {
+				if call, isCall := ast.Unparen(res).(*ast.CallExpr); isCall {
+					if name := calleeName(call); name == "PrepareOps" || name == "PrepareOnce" {
+						fieldStored = true
+					}
+				}
+			}
+		}
+		if call, isCall := n.(*ast.CallExpr); isCall && obtain == nil {
+			name := calleeName(call)
+			if name == "PrepareOps" || name == "PrepareOnce" {
+				obtain = call
+			}
+		}
+		return true
+	})
+	if obtain == nil || fieldStored {
+		return
+	}
+	for _, name := range bound {
+		if returnsName(fd, name) {
+			return // descriptor handed outward; the caller drives it
+		}
+		if storedIntoField(fd, name) {
+			return // parked in a longer-lived carrier (b.prep = p)
+		}
+	}
+	hasPublish := containsCallNamed(fd, "Publish")
+	hasAbort := containsCallNamed(fd, "Abort")
+	if hasPublish && hasAbort {
+		return
+	}
+	missing := "Publish and Abort"
+	if hasPublish {
+		missing = "Abort"
+	} else if hasAbort {
+		missing = "Publish"
+	}
+	pass.Reportf(obtain.Pos(),
+		"%s obtains a prepared transaction but has no %s path: a prepared transaction must reach exactly one of publish or abort", fd.Name.Name, missing)
+}
+
+// returnsName reports whether fd has a return statement mentioning the
+// named ident anywhere in its results.
+func returnsName(fd *ast.FuncDecl, name string) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			ast.Inspect(res, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return found
+}
+
+// storedIntoField reports whether fd assigns the named ident into a
+// selector (x.f = name).
+func storedIntoField(fd *ast.FuncDecl, name string) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			id, isID := ast.Unparen(rhs).(*ast.Ident)
+			if !isID || id.Name != name || i >= len(as.Lhs) {
+				continue
+			}
+			if _, isSel := ast.Unparen(as.Lhs[i]).(*ast.SelectorExpr); isSel {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkPrepareErrorPath enforces rule 3 over methods named "prepare".
+func checkPrepareErrorPath(pass *lintkit.Pass, fd *ast.FuncDecl) {
+	if fd.Name.Name != "prepare" || fd.Recv == nil {
+		return
+	}
+	// Does any return statement return something other than plain nil in
+	// an error-typed-looking position? (The committer prepare signature
+	// returns error last.)
+	hasErrReturn := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) == 0 {
+			return true
+		}
+		last := ast.Unparen(ret.Results[len(ret.Results)-1])
+		if id, ok := last.(*ast.Ident); ok && id.Name == "nil" {
+			return true
+		}
+		hasErrReturn = true
+		return true
+	})
+	if !hasErrReturn {
+		return
+	}
+	if containsCallNamed(fd, "releasePlan", "abort", "Abort") {
+		return
+	}
+	pass.Reportf(fd.Name.Pos(),
+		"prepare method %s.prepare has error returns but never calls releasePlan/abort: failed prepares leak their plan", receiverTypeName(fd))
+}

@@ -1,0 +1,313 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"leaplist/cmd/leaplint/internal/lintkit"
+)
+
+// Poolhygiene enforces the recycling discipline around sync.Pool and
+// pooled slices:
+//
+//  1. reset before Put — a value handed to sync.Pool.Put must have been
+//     reset in the same function (field/element assignment, clear,
+//     reslice, or a method/helper call on the value) so a later Get
+//     cannot observe — or pin — the previous op's state;
+//  2. clear before truncate — a pointerful slice must be cleared (clear
+//     or element nil-stores) somewhere in the function that truncates it
+//     with s = s[:0]; a bare truncation leaves the old elements live in
+//     the capacity, the PR 3 iterator-pinning bug generalized;
+//  3. no pooled escape — a value obtained from sync.Pool.Get must not be
+//     stored into a field of a longer-lived object unless the function
+//     also Puts it back or returns it (ownership transfer).
+var Poolhygiene = &lintkit.Analyzer{
+	Name: "poolhygiene",
+	Doc:  "pooled values must be reset before Put, pointerful slices cleared before truncation, and Get results must not leak into longer-lived fields",
+	Run:  runPoolhygiene,
+}
+
+func runPoolhygiene(pass *lintkit.Pass) error {
+	for _, fd := range funcDecls(pass.Files) {
+		checkResetBeforePut(pass, fd)
+		checkClearBeforeTruncate(pass, fd)
+		checkPooledEscape(pass, fd)
+	}
+	return nil
+}
+
+// isPoolMethodCall reports whether call is pool.<method>() on a
+// sync.Pool-typed receiver.
+func isPoolMethodCall(pass *lintkit.Pass, call *ast.CallExpr, method string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// checkResetBeforePut enforces rule 1.
+func checkResetBeforePut(pass *lintkit.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isPoolMethodCall(pass, call, "Put") || len(call.Args) != 1 {
+			return true
+		}
+		v := ast.Unparen(call.Args[0])
+		vs := exprString(v)
+		switch v.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+		default:
+			return true // untrackable argument (call result, composite, ...)
+		}
+		if hasResetEvidence(fd, call, vs) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"%s is handed to Pool.Put without being reset in %s (no field assignment, clear, or reset call on it)", vs, fd.Name.Name)
+		return true
+	})
+}
+
+// hasResetEvidence scans fd for any reset-shaped operation on the value
+// named vs, other than the Put call itself: an assignment to vs or into
+// vs (vs.f = ..., vs[i] = ..., vs = vs[:0]), clear(vs...), a method call
+// on vs, or vs passed to another function (a reset helper).
+func hasResetEvidence(fd *ast.FuncDecl, put *ast.CallExpr, vs string) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if hasPrefix(exprString(lhs), vs) {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if st == put {
+				return true
+			}
+			if name := calleeName(st); name == "clear" && len(st.Args) == 1 &&
+				hasPrefix(exprString(st.Args[0]), vs) {
+				found = true
+				return true
+			}
+			// Method call on the value: vs.reset(), vs.Release(), ...
+			if recv := calleeRecv(st); recv != nil && hasPrefix(exprString(recv), vs) {
+				found = true
+				return true
+			}
+			// vs passed to another function: a reset helper owns the work.
+			for _, a := range st.Args {
+				if exprString(ast.Unparen(a)) == vs {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkClearBeforeTruncate enforces rule 2 over s = s[:0] assignments.
+func checkClearBeforeTruncate(pass *lintkit.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		sl, ok := ast.Unparen(as.Rhs[0]).(*ast.SliceExpr)
+		if !ok || sl.Low != nil || sl.High == nil || sl.Max != nil {
+			return true
+		}
+		if lit, ok := ast.Unparen(sl.High).(*ast.BasicLit); !ok || lit.Value != "0" {
+			return true
+		}
+		ls, rs := exprString(as.Lhs[0]), exprString(sl.X)
+		if ls != rs {
+			return true
+		}
+		// Only pointerful element types pin memory past the truncation.
+		tv, ok := pass.TypesInfo.Types[sl.X]
+		if !ok {
+			return true
+		}
+		slice, ok := types.Unalias(tv.Type).Underlying().(*types.Slice)
+		if !ok || !typeHasPointers(slice.Elem()) {
+			return true
+		}
+		if hasClearEvidence(fd, ls) {
+			return true
+		}
+		pass.Reportf(as.Pos(),
+			"%s is truncated with [:0] but its pointerful elements are never cleared in %s; stale pointers stay live in the capacity (clear it first)", ls, fd.Name.Name)
+		return true
+	})
+}
+
+// hasClearEvidence scans fd for clear(s) or an element store s[i] = ...
+// on the slice named ls.
+func hasClearEvidence(fd *ast.FuncDecl, ls string) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.CallExpr:
+			if calleeName(st) == "clear" && len(st.Args) == 1 {
+				if as := exprString(ast.Unparen(st.Args[0])); as == ls || hasPrefix(as, ls) {
+					found = true
+				}
+			}
+		case *ast.AssignStmt:
+			// Element stores count, whether whole (s[i] = zero) or
+			// per-field (s[i].ptr = nil): both are the manual clearing
+			// loop idiom.
+			for _, lhs := range st.Lhs {
+				ast.Inspect(lhs, func(m ast.Node) bool {
+					if ix, ok := m.(*ast.IndexExpr); ok && exprString(ix.X) == ls {
+						found = true
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkPooledEscape enforces rule 3.
+func checkPooledEscape(pass *lintkit.Pass, fd *ast.FuncDecl) {
+	// Idents bound to a Pool.Get result (through a type assertion or not).
+	got := make(map[string]ast.Node)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isGetResult(pass, rhs) || i >= len(as.Lhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+				got[id.Name] = as
+			}
+		}
+		return true
+	})
+	if len(got) == 0 {
+		return
+	}
+	for name := range got {
+		if identIsPut(pass, fd, name) || returnsNameDirect(fd, name) {
+			delete(got, name)
+		}
+	}
+	// Remaining Get results must not be stored into fields of other
+	// objects (assignment or composite literal).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				id, ok := ast.Unparen(rhs).(*ast.Ident)
+				if !ok || got[id.Name] == nil || i >= len(st.Lhs) {
+					continue
+				}
+				sel, ok := ast.Unparen(st.Lhs[i]).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if base := baseIdent(sel.X); base != nil && base.Name == id.Name {
+					continue // v.next = v is self-linking, not escape
+				}
+				pass.Reportf(st.Pos(),
+					"pooled %s (from Pool.Get) is stored into %s, which outlives this op, without a matching Put or return", id.Name, exprString(st.Lhs[i]))
+			}
+		case *ast.CompositeLit:
+			for _, elt := range st.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if id, ok := ast.Unparen(kv.Value).(*ast.Ident); ok && got[id.Name] != nil {
+					pass.Reportf(kv.Pos(),
+						"pooled %s (from Pool.Get) is stored into a %s literal, which outlives this op, without a matching Put or return", id.Name, exprString(st.Type))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isGetResult reports whether e is pool.Get() or pool.Get().(T).
+func isGetResult(pass *lintkit.Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	return ok && isPoolMethodCall(pass, call, "Get")
+}
+
+// identIsPut reports whether fd contains Pool.Put(name) or passes name to
+// a put-style helper (putRead(r), g.putBatch(b), ...).
+func identIsPut(pass *lintkit.Pass, fd *ast.FuncDecl, name string) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		isPut := isPoolMethodCall(pass, call, "Put")
+		callee := calleeName(call)
+		isHelper := len(callee) >= 3 && callee[:3] == "put"
+		if !isPut && !isHelper {
+			return true
+		}
+		for _, a := range call.Args {
+			if id, ok := ast.Unparen(a).(*ast.Ident); ok && id.Name == name {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// returnsNameDirect reports whether fd returns the named ident as a
+// result value itself (return s). Returning a literal or struct that
+// merely embeds the value is NOT a transfer — that is rule 3's escape.
+func returnsNameDirect(fd *ast.FuncDecl, name string) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if id, ok := ast.Unparen(res).(*ast.Ident); ok && id.Name == name {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

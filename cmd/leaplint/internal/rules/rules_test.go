@@ -1,0 +1,61 @@
+package rules_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"leaplist/cmd/leaplint/internal/lintkit/linttest"
+	"leaplist/cmd/leaplint/internal/rules"
+)
+
+// testdataDir resolves cmd/leaplint/testdata/src/<name> relative to this
+// package's directory.
+func testdataDir(t *testing.T, name string) string {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("..", "..", "testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestEpochpin(t *testing.T) {
+	linttest.Run(t, testdataDir(t, "epochpin"), rules.Epochpin)
+}
+
+func TestAtomicmix(t *testing.T) {
+	linttest.Run(t, testdataDir(t, "atomicmix"), rules.Atomicmix)
+}
+
+func TestPoolhygiene(t *testing.T) {
+	linttest.Run(t, testdataDir(t, "poolhygiene"), rules.Poolhygiene)
+}
+
+func TestPhaseorder(t *testing.T) {
+	linttest.Run(t, testdataDir(t, "phaseorder"), rules.Phaseorder)
+}
+
+func TestEraguard(t *testing.T) {
+	linttest.Run(t, testdataDir(t, "eraguard"), rules.Eraguard)
+}
+
+// failRecorder wraps a real testing.TB but swallows Errorf, recording
+// only that a failure happened.
+type failRecorder struct {
+	testing.TB
+	failed bool
+}
+
+func (r *failRecorder) Errorf(string, ...any) { r.failed = true }
+
+// TestHarnessFailsOnMissedViolation proves the want machinery is live:
+// when an analyzer fails to report a seeded violation (here simulated by
+// running the wrong analyzer over a testdata package), the unmatched
+// want annotations must fail the test.
+func TestHarnessFailsOnMissedViolation(t *testing.T) {
+	rec := &failRecorder{TB: t}
+	linttest.Run(rec, testdataDir(t, "epochpin"), rules.Eraguard)
+	if !rec.failed {
+		t.Fatal("harness did not fail when seeded violations went unreported")
+	}
+}

@@ -1,0 +1,195 @@
+// Package rules holds the five leaplint analyzers. Each one is keyed to
+// the names and shapes of the leaplist protocol (node, Participant,
+// readScratch/txState, the committer methods, the pools), so the same
+// analyzers run unchanged over the real tree and over the self-contained
+// testdata packages that seed violations.
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"leaplist/cmd/leaplint/internal/lintkit"
+)
+
+// All returns every leaplint analyzer, in reporting order.
+func All() []*lintkit.Analyzer {
+	return []*lintkit.Analyzer{
+		Epochpin,
+		Atomicmix,
+		Poolhygiene,
+		Phaseorder,
+		Eraguard,
+	}
+}
+
+// namedTypeName returns the bare name of the named (or pointer-to-named,
+// possibly instantiated) type of t, or "".
+func namedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	t = types.Unalias(t)
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = types.Unalias(u.Elem())
+		case *types.Named:
+			return u.Obj().Name()
+		default:
+			return ""
+		}
+	}
+}
+
+// exprTypeName names the (deref'd) type of e under pass, or "".
+func exprTypeName(pass *lintkit.Pass, e ast.Expr) string {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return ""
+	}
+	return namedTypeName(tv.Type)
+}
+
+// calleeName returns the bare name of a call's callee: the method name
+// for x.m(...), the function name for f(...), "" otherwise.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := fn.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	case *ast.IndexListExpr:
+		if id, ok := fn.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}
+
+// calleeRecv returns the receiver expression of a method call, or nil.
+func calleeRecv(call *ast.CallExpr) ast.Expr {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return nil
+}
+
+// funcDecls yields every function declaration with a body.
+func funcDecls(files []*ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// declaresType reports whether the package declares a (possibly generic)
+// named type with the given bare name — the scoping test the
+// core-specific analyzers use to stay quiet in unrelated packages.
+func declaresType(pkg *types.Package, name string) bool {
+	if pkg == nil {
+		return false
+	}
+	obj := pkg.Scope().Lookup(name)
+	_, ok := obj.(*types.TypeName)
+	return ok
+}
+
+// typeHasPointers reports whether values of t can hold pointers —
+// the static mirror of core's runtime typeHasPointers. Type parameters
+// and interfaces count as pointerful (the conservative direction).
+func typeHasPointers(t types.Type) bool {
+	seen := make(map[types.Type]bool)
+	var walk func(types.Type) bool
+	walk = func(t types.Type) bool {
+		t = types.Unalias(t)
+		if seen[t] {
+			return false
+		}
+		seen[t] = true
+		switch u := t.Underlying().(type) {
+		case *types.Basic:
+			return u.Kind() == types.String || u.Kind() == types.UnsafePointer
+		case *types.Pointer, *types.Slice, *types.Map, *types.Chan,
+			*types.Signature, *types.Interface:
+			return true
+		case *types.Array:
+			return walk(u.Elem())
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if walk(u.Field(i).Type()) {
+					return true
+				}
+			}
+			return false
+		default:
+			// *types.TypeParam underlies to its constraint interface and
+			// is caught above; anything unknown is treated as pointerful.
+			return true
+		}
+	}
+	return walk(t)
+}
+
+// receiverTypeName returns the bare receiver type name of fd, or "".
+func receiverTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch u := t.(type) {
+		case *ast.StarExpr:
+			t = u.X
+		case *ast.IndexExpr:
+			t = u.X
+		case *ast.IndexListExpr:
+			t = u.X
+		case *ast.Ident:
+			return u.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// baseIdent returns the root identifier of a selector/index chain
+// (x in x.a.b[i].c), or nil.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch u := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return u
+		case *ast.SelectorExpr:
+			e = u.X
+		case *ast.IndexExpr:
+			e = u.X
+		case *ast.StarExpr:
+			e = u.X
+		default:
+			return nil
+		}
+	}
+}
+
+// exprString renders e compactly for identity comparisons.
+func exprString(e ast.Expr) string {
+	return types.ExprString(e)
+}
+
+// hasPrefixExpr reports whether the rendering of e extends base
+// (base itself, base.f, base[i]...).
+func hasPrefixExpr(e ast.Expr, base string) bool {
+	s := exprString(e)
+	return s == base || strings.HasPrefix(s, base+".") || strings.HasPrefix(s, base+"[")
+}

@@ -1,0 +1,219 @@
+// Command leaplint runs the leaplist-specific static analyzers: epochpin,
+// atomicmix, poolhygiene, phaseorder, and eraguard. See the analyzer docs
+// in internal/rules and the "Invariants and static enforcement" section of
+// internal/core/doc.go for the invariant each one enforces.
+//
+// Standalone usage (from anywhere inside the module):
+//
+//	go run ./cmd/leaplint ./...
+//	go run ./cmd/leaplint ./internal/core
+//
+// As a go vet tool:
+//
+//	go build -o /tmp/leaplint ./cmd/leaplint
+//	go vet -vettool=/tmp/leaplint ./...
+//
+// Findings are suppressed with a //lint:allow directive naming the
+// analyzer and a reason:
+//
+//	//lint:allow epochpin pin ownership transfers to the PreparedOps
+//
+// Exit status: 0 with no findings, 1 on findings, 2 on operational error.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"leaplist/cmd/leaplint/internal/lintkit"
+	"leaplist/cmd/leaplint/internal/rules"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// go vet protocol: the go command probes the tool's identity and
+	// flags before feeding it per-package .cfg files.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V=") {
+		printVersion()
+		return
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]") // no tool-specific flags
+		return
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVet(args[0]))
+	}
+
+	os.Exit(runStandalone(args))
+}
+
+// runStandalone loads package patterns from source and reports findings.
+func runStandalone(patterns []string) int {
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "leaplint:", err)
+		return 2
+	}
+	loader, err := lintkit.NewLoader(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "leaplint:", err)
+		return 2
+	}
+	pkgs, err := loader.LoadPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "leaplint:", err)
+		return 2
+	}
+	analyzers := rules.All()
+	exit := 0
+	for _, pkg := range pkgs {
+		diags, err := lintkit.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "leaplint:", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// printVersion answers go vet's -V=full identity probe: the output is
+// hashed into the build cache key, so it must change when the tool does.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	self, err := os.Executable()
+	var sum [32]byte
+	if err == nil {
+		if data, rerr := os.ReadFile(self); rerr == nil {
+			sum = sha256.Sum256(data)
+		}
+	}
+	fmt.Printf("%s version devel buildID=%x\n", name, sum[:16])
+}
+
+// vetConfig is the JSON unit description go vet hands to analysis tools.
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoVersion   string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// runVet analyzes one package unit described by a go vet .cfg file.
+func runVet(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "leaplint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "leaplint: parsing %s: %v\n", cfgFile, err)
+		return 2
+	}
+	// The facts file must exist even though leaplint computes no
+	// cross-package facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "leaplint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "leaplint:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tconf := types.Config{Importer: imp}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "leaplint: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	pkg := &lintkit.Package{
+		PkgPath: cfg.ImportPath,
+		Dir:     cfg.Dir,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}
+	diags, err := lintkit.Run(pkg, rules.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "leaplint:", err)
+		return 2
+	}
+	// go vet feeds the test variant of each package; leaplint enforces
+	// production protocol discipline, and tests legitimately probe half
+	// protocols (an Abort-only path, a white-box node walk), so findings
+	// in test files are dropped — matching the standalone loader, which
+	// never parses them.
+	n := 0
+	for _, d := range diags {
+		if strings.HasSuffix(d.Pos.Filename, "_test.go") {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+		n++
+	}
+	if n > 0 {
+		return 2 // any nonzero status makes go vet report failure
+	}
+	return 0
+}

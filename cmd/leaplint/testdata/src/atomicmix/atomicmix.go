@@ -1,0 +1,46 @@
+// Package atomicmix is testdata for the atomicmix analyzer: fields and
+// package variables accessed through sync/atomic in one place and with
+// plain loads/stores in another.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits   uint64 // accessed atomically: every access must be atomic
+	misses uint64 // never accessed atomically: plain access is fine
+}
+
+func recordHit(c *counters) {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func readHitsAtomicOK(c *counters) uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+func readHitsPlain(c *counters) uint64 {
+	return c.hits // want "plain access to hits"
+}
+
+func resetHitsPlain(c *counters) {
+	c.hits = 0 // want "plain access to hits"
+}
+
+func readMissesOK(c *counters) uint64 {
+	return c.misses
+}
+
+var shutdown uint32
+
+func requestShutdown() {
+	atomic.StoreUint32(&shutdown, 1)
+}
+
+func pollShutdownPlain() bool {
+	return shutdown == 1 // want "plain access to shutdown"
+}
+
+//lint:allow atomicmix single-threaded initialization before any goroutine starts
+func initCounters(c *counters) {
+	c.hits = 0
+}

@@ -1,0 +1,121 @@
+// Package epochpin is testdata for the epochpin analyzer: a miniature of
+// the core package's epoch protocol (Participant, node, pooled scratch)
+// with seeded violations of each sub-rule.
+package epochpin
+
+// Participant mirrors epoch.Participant's acquire/release/retire shape.
+type Participant struct{ pinned bool }
+
+func (p *Participant) Pin()                        { p.pinned = true }
+func (p *Participant) Unpin()                      { p.pinned = false }
+func (p *Participant) Retire(v *node, f func(any)) {}
+
+type node struct {
+	high uint64
+	next *node
+}
+
+type list struct {
+	head *node
+	part *Participant
+}
+
+type readScratch struct {
+	part  *Participant
+	nodes []*node
+}
+
+// getRead/putRead are the designated scratch lifecycle functions: exempt
+// by name, they ARE the acquire/release protocol.
+func getRead(p *Participant) *readScratch {
+	p.Pin()
+	return &readScratch{part: p}
+}
+
+func putRead(r *readScratch) {
+	r.part.Unpin()
+}
+
+func newNode(high uint64) *node { return &node{high: high} }
+
+// --- rule 1: pin balance ---
+
+func leakyPin(p *Participant, n *node) uint64 {
+	p.Pin() // want "acquires an epoch pin but never releases it"
+	return n.high
+}
+
+func earlyReturnLeak(p *Participant, n *node, fail bool) uint64 {
+	p.Pin()
+	if fail {
+		return 0 // want "without releasing the epoch pin"
+	}
+	p.Unpin()
+	return n.high
+}
+
+func deferredBalanceOK(p *Participant, n *node, fail bool) uint64 {
+	p.Pin()
+	defer p.Unpin()
+	if fail {
+		return 0
+	}
+	return n.high
+}
+
+func scratchTransferOK(p *Participant) *readScratch {
+	r := getRead(p)
+	return r // ownership moves to the caller: no release needed here
+}
+
+// --- rule 2: node access requires a pin ---
+
+func (l *list) lenNaked() int {
+	n := 0
+	for p := l.head; p != nil; p = p.next { // want "dereferences node memory without an epoch pin"
+		n++
+	}
+	return n
+}
+
+func (l *list) lenPinned() int {
+	l.part.Pin()
+	defer l.part.Unpin()
+	n := 0
+	for p := l.head; p != nil; p = p.next {
+		n++
+	}
+	return n
+}
+
+func (l *list) buildFreshOK() {
+	n := newNode(7)
+	n.next = l.head // a just-constructed node is private: no pin needed
+	l.head = n
+}
+
+//lint:allow epochpin pre-publication construction, the list is not shared yet
+func (l *list) bulkSeed(highs []uint64) {
+	cur := l.head
+	for _, h := range highs {
+		cur.next = &node{high: h}
+		cur = cur.next
+	}
+}
+
+// --- rule 3: no use after Retire ---
+
+func retireThenUse(p *Participant, n *node) uint64 {
+	p.Pin()
+	defer p.Unpin()
+	p.Retire(n, nil)
+	return n.high // want "use of n after it was passed to Retire"
+}
+
+func retireThenReassignOK(p *Participant, n *node) uint64 {
+	p.Pin()
+	defer p.Unpin()
+	p.Retire(n, nil)
+	n = newNode(1)
+	return n.high
+}

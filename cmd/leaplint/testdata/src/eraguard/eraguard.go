@@ -1,0 +1,82 @@
+// Package eraguard is testdata for the eraguard analyzer: saved fingers
+// on the scratch types consumed directly instead of through the
+// era-validating helpers.
+package eraguard
+
+type node struct {
+	high uint64
+	next *node
+}
+
+type readScratch struct {
+	finger []*node
+	fEra   uint64
+}
+
+type txState struct {
+	fpa     []*node
+	fList   *node
+	fEra    uint64
+	fSeedOK bool
+}
+
+// The era-validating consumption helpers (shape only).
+func fingerSeekNaked(lo uint64, finger []*node) *node { return nil }
+func seedAt(pa []*node, n *node)                      {}
+func fingerUsable(era uint64, finger []*node) bool    { return false }
+
+// The lifecycle functions may manage finger fields directly.
+func getRead() *readScratch {
+	r := &readScratch{}
+	r.finger = nil
+	return r
+}
+
+func putRead(r *readScratch) {
+	clear(r.finger)
+	r.finger = r.finger[:0]
+}
+
+func saveBatchFinger(b *txState, pa []*node) {
+	b.fpa = pa
+	b.fEra = 1
+}
+
+// --- sanctioned consumption ---
+
+func lookupOK(r *readScratch, lo uint64) *node {
+	return fingerSeekNaked(lo, r.finger)
+}
+
+func usableOK(r *readScratch) bool {
+	return fingerUsable(r.fEra, r.finger)
+}
+
+// --- violations ---
+
+func lookupNaked(r *readScratch, lo uint64) *node {
+	f := r.finger // want "consumes saved finger r.finger directly"
+	if len(f) > 0 && f[0].high >= lo {
+		return f[0]
+	}
+	return nil
+}
+
+func planNaked(b *txState) *node {
+	if b.fSeedOK && len(b.fpa) > 0 { // want "consumes saved finger b.fpa directly"
+		return b.fpa[0] // want "consumes saved finger b.fpa directly"
+	}
+	return nil
+}
+
+func chaseListNaked(b *txState) uint64 {
+	if b.fList != nil { // want "consumes saved finger b.fList directly"
+		return b.fList.high // want "consumes saved finger b.fList directly"
+	}
+	return 0
+}
+
+//lint:allow eraguard the scratch is thread-private while the batch seeds it
+func seedPrivately(b *txState, n *node) {
+	b.fList = n
+}

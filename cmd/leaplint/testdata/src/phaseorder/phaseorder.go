@@ -1,0 +1,131 @@
+// Package phaseorder is testdata for the phaseorder analyzer: the
+// committer prepare/publish/abort shape and the PrepareOps/PrepareOnce
+// prepared-descriptor shape, with seeded violations of each sub-rule.
+package phaseorder
+
+import "errors"
+
+var errConflict = errors.New("conflict")
+
+var oracle func() bool
+
+type group struct{}
+type batch struct{ planned bool }
+
+func (g *group) releasePlan(b *batch) { b.planned = false }
+
+// --- rule 3: prepare error paths must release the plan ---
+
+type goodCommitter struct{}
+
+func (c *goodCommitter) prepare(g *group, b *batch) error {
+	if oracle() {
+		g.releasePlan(b)
+		return errConflict
+	}
+	return nil
+}
+func (c *goodCommitter) publish(g *group, b *batch) {}
+func (c *goodCommitter) abort(g *group, b *batch)   {}
+
+type leakyCommitter struct{}
+
+func (c *leakyCommitter) prepare(g *group, b *batch) error { // want "error returns but never calls releasePlan"
+	if oracle() {
+		return errConflict
+	}
+	return nil
+}
+func (c *leakyCommitter) publish(g *group, b *batch) {}
+func (c *leakyCommitter) abort(g *group, b *batch)   {}
+
+// --- rule 1: prepare callers must observe the result and drive on ---
+
+func commitOK(c *goodCommitter, g *group, b *batch) error {
+	if err := c.prepare(g, b); err != nil {
+		return err
+	}
+	c.publish(g, b)
+	return nil
+}
+
+func commitDiscards(c *goodCommitter, g *group, b *batch) {
+	c.prepare(g, b) // want "prepare result discarded"
+	c.publish(g, b)
+}
+
+func commitNoOutcome(c *goodCommitter, g *group, b *batch) error {
+	return c.prepare(g, b) // want "calls prepare but never publish or abort"
+}
+
+//lint:allow phaseorder the outcome is driven by the caller through the batch
+func commitDeferred(c *goodCommitter, g *group, b *batch) error {
+	return c.prepare(g, b)
+}
+
+// --- rule 2: a prepared descriptor must reach publish or abort ---
+
+type prepared struct{}
+
+func (p *prepared) Publish() {}
+func (p *prepared) Abort()   {}
+
+type domain struct{}
+
+func (d *domain) PrepareOps(ops []int) (*prepared, error) {
+	if oracle() {
+		return nil, errConflict
+	}
+	return &prepared{}, nil
+}
+
+func twoPhaseOK(d *domain) error {
+	p, err := d.PrepareOps(nil)
+	if err != nil {
+		return err
+	}
+	if oracle() {
+		p.Abort()
+		return errConflict
+	}
+	p.Publish()
+	return nil
+}
+
+func publishOnly(d *domain) error {
+	p, err := d.PrepareOps(nil) // want "no Abort path"
+	if err != nil {
+		return err
+	}
+	p.Publish()
+	return nil
+}
+
+func abortOnly(d *domain) error {
+	p, err := d.PrepareOps(nil) // want "no Publish path"
+	if err != nil {
+		return err
+	}
+	p.Abort()
+	return nil
+}
+
+func handOffOK(d *domain) (*prepared, error) {
+	return d.PrepareOps(nil) // descriptor goes straight to the caller
+}
+
+func returnBoundOK(d *domain) (*prepared, error) {
+	p, err := d.PrepareOps(nil)
+	return p, err
+}
+
+type carrier struct{ prep *prepared }
+
+func fieldCarryOK(d *domain, c *carrier) error {
+	p, err := d.PrepareOps(nil)
+	if err != nil {
+		return err
+	}
+	c.prep = p
+	return nil
+}

@@ -1,0 +1,97 @@
+// Package poolhygiene is testdata for the poolhygiene analyzer: pooled
+// values Put without reset, pointerful slices truncated without clearing,
+// and Pool.Get results escaping into longer-lived fields.
+package poolhygiene
+
+import "sync"
+
+type scratch struct {
+	nodes []*int
+	n     int
+}
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+// --- rule 1: reset before Put ---
+
+func putNoReset(s *scratch) {
+	pool.Put(s) // want "handed to Pool.Put without being reset"
+}
+
+func putResetOK(s *scratch) {
+	clear(s.nodes)
+	s.nodes = s.nodes[:0]
+	s.n = 0
+	pool.Put(s)
+}
+
+func reset(s *scratch) {
+	clear(s.nodes)
+	s.nodes = s.nodes[:0]
+	s.n = 0
+}
+
+func putViaHelperOK(s *scratch) {
+	reset(s)
+	pool.Put(s)
+}
+
+//lint:allow poolhygiene the value is reset at reuse, not at release
+func putResetAtReuse(s *scratch) {
+	pool.Put(s)
+}
+
+// --- rule 2: clear before truncate ---
+
+func truncateNoClear(s *scratch) {
+	s.nodes = s.nodes[:0] // want "truncated with \\[:0\\] but its pointerful elements are never cleared"
+}
+
+func truncateWithClearOK(s *scratch) {
+	clear(s.nodes)
+	s.nodes = s.nodes[:0]
+}
+
+func truncateWithLoopOK(s *scratch) {
+	for i := range s.nodes {
+		s.nodes[i] = nil
+	}
+	s.nodes = s.nodes[:0]
+}
+
+func truncatePointerFreeOK(counts []int) []int {
+	return append(counts[:0], 1) // not a self-truncation; and ints pin nothing
+}
+
+func truncateIntsOK(s *scratch, counts []int) []int {
+	counts = counts[:0]
+	return counts
+}
+
+// --- rule 3: no pooled escape ---
+
+type server struct {
+	cached *scratch
+}
+
+func escapeIntoField(sv *server) {
+	s := pool.Get().(*scratch)
+	sv.cached = s // want "stored into sv.cached"
+}
+
+func escapeIntoLiteral() *server {
+	s := pool.Get().(*scratch)
+	return &server{cached: s} // want "stored into a server literal"
+}
+
+func borrowOK() int {
+	s := pool.Get().(*scratch)
+	n := s.n
+	s.n = 0
+	pool.Put(s)
+	return n
+}
+
+func transferOK() *scratch {
+	return pool.Get().(*scratch)
+}

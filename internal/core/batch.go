@@ -244,6 +244,11 @@ func (g *Group[V]) putBatch(b *txState[V]) {
 	b.lists = b.lists[:0]
 	b.rorder = b.rorder[:0]
 	b.active = b.active[:0]
+	// clear before truncating: a prepare retry that marked fewer nodes
+	// than an earlier attempt leaves stale TaggedPtr pointers beyond len,
+	// and this len-bounded path is the only one that ever touches them —
+	// a bare [:0] would pin those nodes for the pooled txState's lifetime.
+	clear(b.marked)
 	b.marked = b.marked[:0]
 	b.markedMap = nil
 	b.readMarkFrom = 0
@@ -273,6 +278,11 @@ func (b *txState[V]) nextEntry(maxLevel int) *txEntry[V] {
 	}
 	e.n, e.old1 = nil, nil
 	e.merge, e.write = false, false
+	// clear before truncating: on a replan this entry may carry pieces
+	// from a longer earlier attempt, and putBatch's clearing loop only
+	// ranges over the final len — stale node pointers beyond it would
+	// survive pooling.
+	clear(e.pieces)
 	e.pieces = e.pieces[:0]
 	e.rops = e.rops[:0]
 	e.maxH = 0
@@ -372,6 +382,10 @@ func (b *txState[V]) headKey(ops []Op[V], pi, pEnd, ri, rEnd int) uint64 {
 // id order, merging the point and range streams (both already sorted by
 // list id).
 func (b *txState[V]) collectLists(ops []Op[V]) {
+	// clear before truncating: a replan after a shorter earlier pass
+	// would otherwise leave stale *List pointers beyond len, invisible to
+	// putBatch's len-bounded clearing loop.
+	clear(b.lists)
 	b.lists = b.lists[:0]
 	pi, ri := 0, 0
 	var prev *List[V]

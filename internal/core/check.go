@@ -70,6 +70,8 @@ func (g *Group[V]) checkBatch(ls []*List[V], ks []uint64, nvals int) error {
 // It returns a descriptive error on the first violation. Tests run it after
 // every stress phase.
 func (l *List[V]) CheckInvariants() error {
+	r := l.g.getRead() // pin: the walk must not race node recycling
+	defer l.g.putRead(r)
 	maxLevel := l.g.cfg.MaxLevel
 	// Walk level 0, collecting the node sequence.
 	var seq []*node[V]

@@ -276,4 +276,47 @@
 // a fresh cell last written at that version, and the grace period rules
 // out ABA (no transaction can span a reuse, because transactions run
 // pinned).
+//
+// # Invariants and static enforcement
+//
+// The safety arguments above rest on discipline that the type system
+// cannot express, so cmd/leaplint (run in CI, and locally with
+//
+//	go run ./cmd/leaplint ./...
+//
+// or go vet -vettool) checks each of them statically:
+//
+//   - epochpin: every function that dereferences node memory must hold
+//     an epoch pin — its own Participant.Pin, or pooled scratch from
+//     getRead/getBatch (which pin on acquisition), released on every
+//     return path; and no node may be touched again after it was passed
+//     to Retire/retireNode. This is the recycling invariant: an unpinned
+//     walk races recycleNode rewriting a donated shell mid-read (the bug
+//     class CheckInvariants had before it pinned).
+//   - atomicmix: a field accessed through sync/atomic anywhere must be
+//     accessed through sync/atomic everywhere — one plain load of an
+//     atomically-published word is a data race even if it "only" reads.
+//   - poolhygiene: pooled objects must be reset before sync.Pool.Put,
+//     pointerful slices must be cleared before a [:0] truncation, and a
+//     Get result must not escape into longer-lived fields. The clearing
+//     rule is load-bearing for the len-bounded cleanup in putRead and
+//     putBatch: a retry or replan that shrinks a slice below an earlier
+//     attempt's length strands live pointers beyond len, and nothing
+//     ever clears them again — the pooled scratch silently pins dead
+//     nodes and their values (see poolclear_test.go for the runtime
+//     mirrors of this rule).
+//   - phaseorder: every successful prepare (committer.prepare,
+//     PrepareOps, PrepareOnce) must reach exactly one of publish or
+//     abort — held by the caller or handed outward with the descriptor —
+//     and every prepare error path must release its plan; a dropped
+//     prepared transaction holds versioned-lock marks forever.
+//   - eraguard: saved fingers (readScratch.finger, txState.fpa/fList)
+//     are only valid under the era-equality guard, so they may be
+//     consumed only through the validating helpers (fingerSeek*,
+//     seedAt, fingerUsable) or the scratch lifecycle itself — a naked
+//     read of a remembered node can touch recycled memory.
+//
+// Deliberate exceptions are annotated in place with
+// "//lint:allow <analyzer> <reason>"; the build gates on zero
+// unexplained findings.
 package core

@@ -52,6 +52,8 @@ func (l *List[V]) Group() *Group[V] {
 // the steady state that ascending insertion produces (each split leaves a
 // half-full left node behind) — so large benchmark initializations do not
 // pay the per-update node-copy cost. Only safe before the list is shared.
+//
+//lint:allow epochpin pre-publication construction: every node touched here is unreachable until this call returns
 func (l *List[V]) BulkLoad(keys []uint64, vals []V) error {
 	if len(keys) != len(vals) {
 		return ErrBatchMismatch

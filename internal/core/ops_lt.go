@@ -66,6 +66,12 @@ func (c ltCommitter[V]) prepare(ops []Op[V], b *txState[V], opt PrepareOpts) err
 			continue
 		}
 		err := g.stm.AtomicallyOnce(func(tx *stm.Tx) error {
+			// clear before truncating: a retry that marks fewer nodes
+			// than the aborted attempt would strand stale TaggedPtr
+			// pointers beyond len, past the reach of putBatch's
+			// len-bounded cleanup, pinning nodes for the pooled
+			// txState's lifetime.
+			clear(b.marked)
 			b.marked = b.marked[:0]
 			b.markedMap = nil
 			for t := 0; t < b.nEnt; t++ {

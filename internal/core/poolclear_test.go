@@ -1,0 +1,176 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"leaplist/internal/stm"
+)
+
+// These tests pin the pooled-scratch clearing invariant the leaplint
+// poolhygiene analyzer enforces statically: every [:0] truncation of a
+// pointerful slice is preceded by a clear, so the len-bounded cleanup in
+// putRead/putBatch leaves no live pointer beyond len. A violation does
+// not corrupt data — it silently pins retired nodes (and their values)
+// for the pooled scratch's lifetime.
+
+// tailNil fails the test if any element of s beyond len(s) is non-nil.
+func tailNil[T any](t *testing.T, name string, s []*T) {
+	t.Helper()
+	for i, p := range s[len(s):cap(s)] {
+		if p != nil {
+			t.Errorf("%s[%d] still set beyond len: pooled scratch pins a dead object", name, len(s)+i)
+		}
+	}
+}
+
+// TestSnapshotRunShrinkClearsNodes reruns snapshotRun on the same
+// scratch with a narrower range. The second run truncates r.nodes below
+// the first run's length; the clear-before-truncate in snapshotRun is
+// what keeps the stranded tail nil (putRead's loop only ranges over the
+// final len).
+func TestSnapshotRunShrinkClearsNodes(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, g *Group[uint64]) {
+		l := g.NewList()
+		for i := uint64(0); i < 64; i++ {
+			if err := l.Set(i, i); err != nil {
+				t.Fatalf("Set: %v", err)
+			}
+		}
+		r := g.getRead()
+		defer g.putRead(r)
+		l.snapshotRun(r, toInternal(0), toInternal(63)) // wide: many nodes
+		if len(r.nodes) < 2 {
+			t.Fatalf("wide snapshot collected %d nodes, want >= 2", len(r.nodes))
+		}
+		l.snapshotRun(r, toInternal(0), toInternal(0)) // narrow: one node
+		tailNil(t, "r.nodes", r.nodes)
+	})
+}
+
+// TestReplanClearsEntryPieces drives nextEntry the way a batch replan
+// does — hand out an entry, grow its pieces, rewind nEnt, hand the same
+// entry out again with fewer pieces — and checks the stale tail was
+// cleared rather than stranded beyond len.
+func TestReplanClearsEntryPieces(t *testing.T) {
+	g := newTestGroup(t, VariantLT)
+	b := g.getBatch()
+	defer g.putBatch(b)
+
+	e := b.nextEntry(g.cfg.MaxLevel)
+	e.pieces = append(e.pieces, &node[uint64]{}, &node[uint64]{}, &node[uint64]{})
+
+	b.nEnt = 0 // replan: the next attempt reuses the same pooled entry
+	e = b.nextEntry(g.cfg.MaxLevel)
+	e.pieces = append(e.pieces, &node[uint64]{})
+	tailNil(t, "e.pieces", e.pieces)
+}
+
+// TestPutBatchClearsPooledTails commits a real multi-list, multi-op
+// batch (populating marked, lists, and entry pieces), then pulls the
+// scratch back out of the pool and checks every pointerful slice is nil
+// across its full capacity, not just up to len.
+func TestPutBatchClearsPooledTails(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, g *Group[uint64]) {
+		l1, l2 := g.NewList(), g.NewList()
+		for i := uint64(0); i < 32; i++ {
+			if err := l1.Set(i, i); err != nil {
+				t.Fatalf("Set: %v", err)
+			}
+		}
+		ops := []Op[uint64]{
+			{List: l1, Kind: OpSet, Key: 3, Val: 30},
+			{List: l1, Kind: OpDelete, Key: 9},
+			{List: l1, Kind: OpDeleteRange, Key: 12, KeyHi: 20},
+			{List: l2, Kind: OpSet, Key: 5, Val: 50},
+			{List: l1, Kind: OpSet, Key: 40, Val: 400},
+		}
+		// Single goroutine, no intervening Put: the pool hands back the
+		// scratch the commit just parked. A GC between Put and Get can
+		// empty the pool, so retry the commit a few times before giving
+		// up.
+		var b *txState[uint64]
+		for attempt := 0; attempt < 5 && b == nil; attempt++ {
+			if err := g.CommitOps(ops); err != nil {
+				t.Fatalf("CommitOps: %v", err)
+			}
+			b, _ = g.pool.Get().(*txState[uint64])
+		}
+		if b == nil {
+			t.Skip("pool drained by GC on every attempt")
+		}
+		defer g.pool.Put(b)
+		tailNil(t, "b.marked", b.marked)
+		tailNil(t, "b.lists", b.lists)
+		for i, e := range b.entries {
+			if e == nil {
+				continue
+			}
+			tailNil(t, "entry.pieces", e.pieces)
+			for j, p := range e.pieces {
+				if p != nil {
+					t.Errorf("entries[%d].pieces[%d] still set after putBatch", i, j)
+				}
+			}
+		}
+	})
+}
+
+// TestFinishedTxLeavesNoSTMFootprint checks the same invariant one layer
+// down: after a committed batch, the STM descriptor parked in the shared
+// domain's pool must not retain vlock/cell pointers beyond len.
+func TestFinishedTxLeavesNoSTMFootprint(t *testing.T) {
+	s := stm.New()
+	g := NewGroup[uint64](Config{NodeSize: 4, MaxLevel: 5, Variant: VariantLT}, s)
+	l := g.NewList()
+	for i := uint64(0); i < 16; i++ {
+		if err := l.Set(i, i); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+	}
+	if leaked := stm.PooledTxFootprint(s); leaked != "" {
+		t.Fatalf("pooled Tx retains pointers: %s", leaked)
+	}
+}
+
+// TestCheckInvariantsConcurrent churns writers (whose deletes retire and
+// recycle nodes) against CheckInvariants walkers. The walker pins an
+// epoch participant; without the pin its naked node reads race node
+// recycling — run under -race to see the original failure.
+func TestCheckInvariantsConcurrent(t *testing.T) {
+	for _, v := range []Variant{VariantLT, VariantCOP} {
+		t.Run(v.String(), func(t *testing.T) {
+			g := newTestGroup(t, v)
+			l := g.NewList()
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(seed uint64) {
+					defer wg.Done()
+					k := seed
+					for !stop.Load() {
+						if err := l.Set(k%128, k); err != nil {
+							t.Errorf("Set: %v", err)
+							return
+						}
+						if _, err := l.Delete((k + 7) % 128); err != nil {
+							t.Errorf("Delete: %v", err)
+							return
+						}
+						k += 13
+					}
+				}(uint64(w) * 1000)
+			}
+			for i := 0; i < 400; i++ {
+				// Transient violations are expected mid-flight; the test
+				// is that the walk itself is race-free.
+				_ = l.CheckInvariants()
+			}
+			stop.Store(true)
+			wg.Wait()
+			mustCheck(t, l)
+		})
+	}
+}

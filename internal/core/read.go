@@ -217,6 +217,11 @@ func (l *List[V]) snapshotRun(r *readScratch[V], ilo, ihi uint64) {
 				start = r.na[0]
 			}
 			err := g.stm.AtomicallyOnce(func(tx *stm.Tx) error {
+				// clear before truncating: a shorter retry would leave
+				// stale node pointers beyond len, which putRead's
+				// len-bounded loop never reaches — the pooled scratch
+				// would pin them indefinitely.
+				clear(r.nodes)
 				r.nodes = r.nodes[:0]
 				n := start
 				for {
@@ -252,6 +257,9 @@ func (l *List[V]) snapshotRun(r *readScratch[V], ilo, ihi uint64) {
 
 	case VariantTM:
 		err := g.stm.Atomically(func(tx *stm.Tx) error {
+			// clear before truncating (see the LT/COP arm): retry shrink
+			// must not strand node pointers in the scratch capacity.
+			clear(r.nodes)
 			r.nodes = r.nodes[:0]
 			n, ferr := fingerSeekTx(tx, l, ilo, r.finger)
 			if ferr != nil {
@@ -292,6 +300,9 @@ func (l *List[V]) snapshotRun(r *readScratch[V], ilo, ihi uint64) {
 			searchRW(l, ilo, r.pa, r.na)
 			n = r.na[0]
 		}
+		// clear before truncating, as in the other arms: a shorter run on
+		// a reused scratch must not strand node pointers in the capacity.
+		clear(r.nodes)
 		r.nodes = r.nodes[:0]
 		for {
 			r.nodes = append(r.nodes, n)

@@ -180,6 +180,10 @@ func (sl *TM[V]) RangeQuery(lo, hi uint64, emit func(k uint64, v V)) int {
 	var vals []V
 	err := sl.s.Atomically(func(tx *stm.Tx) error {
 		keys = keys[:0]
+		// clear before truncating: a shorter retry would keep the longer
+		// attempt's (possibly pointerful) values alive in the capacity
+		// for the rest of the query.
+		clear(vals)
 		vals = vals[:0]
 		if err := sl.findTx(tx, lo, preds, succs); err != nil {
 			return err

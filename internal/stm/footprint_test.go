@@ -1,0 +1,52 @@
+package stm
+
+import "testing"
+
+// TestFinishClearsPooledFootprint asserts that finish leaves no live
+// pointers behind the truncated read and write sets: a pooled descriptor
+// must not pin dead node shells (through writeEntry.l / readEntry.l) or
+// cells (through writeEntry.word/obj) until the next transaction of the
+// same size happens to overwrite the entries.
+func TestFinishClearsPooledFootprint(t *testing.T) {
+	s := New()
+	var words [8]Word
+	var tp TaggedPtr[int]
+	v := 7
+	tp.Init(&v, 1)
+
+	err := s.AtomicallyOnce(func(tx *Tx) error {
+		for i := range words {
+			if _, err := words[i].Load(tx); err != nil {
+				return err
+			}
+			if err := words[i].Store(tx, uint64(i)); err != nil {
+				return err
+			}
+		}
+		if _, _, err := tp.Load(tx); err != nil {
+			return err
+		}
+		return tp.Store(tx, &v, 2)
+	})
+	if err != nil {
+		t.Fatalf("AtomicallyOnce: %v", err)
+	}
+
+	// Single goroutine, no intervening Put: Get returns the descriptor
+	// the transaction above just parked.
+	tx := s.txPool.Get().(*Tx)
+	defer s.txPool.Put(tx)
+	if len(tx.reads) != 0 || len(tx.writes) != 0 {
+		t.Fatalf("pooled Tx not truncated: len(reads)=%d len(writes)=%d", len(tx.reads), len(tx.writes))
+	}
+	for i, r := range tx.reads[:cap(tx.reads)] {
+		if r.l != nil {
+			t.Errorf("reads[%d].l still set beyond len: pooled Tx pins a vlock", i)
+		}
+	}
+	for i, w := range tx.writes[:cap(tx.writes)] {
+		if w.l != nil || w.word != nil || w.obj != nil {
+			t.Errorf("writes[%d] still populated beyond len (l=%p word=%p obj=%v): pooled Tx pins dead cells", i, w.l, w.word, w.obj)
+		}
+	}
+}

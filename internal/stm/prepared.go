@@ -101,8 +101,9 @@ func (tx *Tx) prepare(p *PreparedTx, lockReads bool) error {
 		return err
 	}
 
-	p.readLocks = p.readLocks[:0]
-	p.readLockSet = nil
+	// Defensive reset through the clearing helper: a bare [:0] would keep
+	// any stale lock pointers alive in the slice capacity.
+	p.clearReadLocks()
 	fail := func(err error) error {
 		for i := range p.readLocks {
 			p.readLocks[i].l.unlockRestore(p.readLocks[i].ver)

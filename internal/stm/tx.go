@@ -58,8 +58,8 @@ func newTx(s *STM) *Tx {
 
 func (tx *Tx) begin() {
 	tx.rv = tx.s.clock.Load()
-	tx.reads = tx.reads[:0]
-	tx.writes = tx.writes[:0]
+	// reads/writes are already empty: finish cleared and truncated them
+	// on every prior path, and a fresh descriptor starts at length zero.
 	tx.err = nil
 	tx.done = false
 	if st := tx.s.stats; st != nil {
@@ -92,7 +92,15 @@ func (tx *Tx) finish() {
 			tx.writes[i].obj = nil
 		}
 		tx.writes[i].word = nil
+		// The lock pointer reaches into a node shell's vlock; a pooled
+		// descriptor holding it would pin the dead shell until the next
+		// transaction of this size happens to overwrite the entry.
+		tx.writes[i].l = nil
 	}
+	// Same for the read set, whose entries are nothing but lock pointers.
+	clear(tx.reads)
+	tx.reads = tx.reads[:0]
+	tx.writes = tx.writes[:0]
 	// Oversized sets are not returned to the pool at their grown capacity;
 	// shrinking keeps pooled descriptors cheap for the common small tx.
 	const keepCap = 1 << 12
@@ -297,4 +305,44 @@ func (tx *Tx) abortWith(err error) {
 		st.Aborts.Add(1)
 	}
 	_ = tx.poison(err)
+}
+
+// PooledTxFootprint pulls one descriptor from the domain's pool and
+// reports (as a non-empty description) any pointer it retains beyond the
+// len of its read/write sets. Pooled descriptors must park with fully
+// cleared capacity tails — a populated tail pins dead node shells and
+// cells until the pool happens to recycle the entry. Intended for tests
+// and diagnostics; returns "" when the footprint is clean.
+func PooledTxFootprint(s *STM) string {
+	tx := s.txPool.Get().(*Tx)
+	defer s.txPool.Put(tx)
+	if len(tx.reads) != 0 || len(tx.writes) != 0 {
+		return "pooled Tx has non-empty read/write sets"
+	}
+	for i, r := range tx.reads[:cap(tx.reads)] {
+		if r.l != nil {
+			return "reads[" + itoa(i) + "].l set beyond len"
+		}
+	}
+	for i, w := range tx.writes[:cap(tx.writes)] {
+		if w.l != nil || w.word != nil || w.obj != nil {
+			return "writes[" + itoa(i) + "] populated beyond len"
+		}
+	}
+	return ""
+}
+
+// itoa is a tiny strconv.Itoa for the diagnostic above (non-negative).
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
 }

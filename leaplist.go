@@ -92,6 +92,21 @@
 // ErrKeyRange. Values are arbitrary; the structure stores them immutably
 // per version (an overwrite replaces the pair, never mutates it), which is
 // what makes range-query snapshots zero-coordination reads.
+//
+// # Static invariant checking (leaplint)
+//
+// The concurrency invariants this package depends on — epoch pins around
+// node access, all-atomic-or-all-plain field access, pooled-scratch
+// clearing before reuse, prepare/publish/abort pairing, and era-guarded
+// finger consumption — are enforced by a bundled static analysis suite:
+//
+//	go run ./cmd/leaplint ./...
+//	go vet -vettool=$(which leaplint) ./...
+//
+// CI gates on zero unsuppressed findings; deliberate exceptions carry a
+// "//lint:allow <analyzer> <reason>" annotation at the site. See the
+// internal/core package documentation ("Invariants and static
+// enforcement") for what each analyzer proves and why it matters.
 package leaplist
 
 import (
