@@ -552,6 +552,127 @@ func localGen(b *testing.B, id int, stride uint64) *workload.LocalGenerator {
 	return gen
 }
 
+// ---- Point path: hash-index A/B (see WithHashIndex) ----
+
+// pointIndexMap builds a preloaded single map with the hash index on or
+// off (fingers stay at their default: the index targets the streams
+// fingers cannot help with, and the A/B must show the delta on top of
+// the production configuration, not instead of it). Node size 16, the
+// search-dominated end of the ablation sweep: at the paper's K=300 a
+// 50K-element list is only ~300 nodes, the descent is cache-resident
+// and the cold in-node search dominates either way, so the probe has
+// almost nothing to skip; at small K the descent walks thousands of
+// cold nodes and is the cost the index collapses (same regime argument
+// as BenchmarkLocality's txbatch family).
+func pointIndexMap(b *testing.B, v core.Variant, index bool) (*leaplist.Group[uint64], *leaplist.Map[uint64]) {
+	b.Helper()
+	g := leaplist.NewGroup[uint64](
+		leaplist.WithVariant(v),
+		leaplist.WithNodeSize(16),
+		leaplist.WithMaxLevel(harness.PaperMaxLevel),
+		leaplist.WithHashIndex(index),
+	)
+	m := g.NewMap()
+	keys := make([]uint64, benchInitSmall)
+	vals := make([]uint64, benchInitSmall)
+	for i := range keys {
+		keys[i], vals[i] = uint64(i), uint64(i)
+	}
+	if err := m.BulkLoad(keys, vals); err != nil {
+		b.Fatal(err)
+	}
+	// Settle the heap before the timed loop (same positional-bias hazard
+	// as localityMap: the later sub of each on/off pair must not pay the
+	// earlier sub's GC debt).
+	runtime.GC()
+	runtime.GC()
+	return g, m
+}
+
+// pointIndexKeys precomputes the key stream so generator cost stays out
+// of the timed loop: uniform draws over the whole key space (the
+// finger-hostile stream the index exists for), or Zipf-skewed draws
+// (rank r weighted 1/(r+1)^1.1 from a striding anchor — a moving hot
+// set, the stream fingers already serve, where the index must at least
+// not hurt).
+func pointIndexKeys(b *testing.B, zipf bool) []uint64 {
+	b.Helper()
+	cfg := workload.LocalConfig{
+		KeySpace: benchInitSmall,
+		Window:   benchInitSmall,
+		Seed:     1,
+	}
+	if zipf {
+		cfg.ZipfS = 1.1
+	}
+	gen, err := workload.NewLocalGenerator(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ks := make([]uint64, 1<<16)
+	for i := range ks {
+		ks[i] = gen.Next()
+	}
+	return ks
+}
+
+// BenchmarkPointIndex measures the hash-index acceleration on point
+// streams, index on vs off, for the naked-read variant (LT) and the
+// transactional-read variant (TM): "lookup" is a bare Get per op —
+// uniform draws defeat the finger, so on a hit the whole descent
+// collapses to one probe plus one in-node search; "tx" commits a
+// two-Get point transaction per op — the provably-read-only group shape
+// planGroups serves from the index without seeding a descent. Like
+// BenchmarkLocality this is a single-worker per-op A/B (contended
+// behaviour is covered by the figure benchmarks' parity requirement);
+// BENCH_*.json records the trajectory.
+func BenchmarkPointIndex(b *testing.B) {
+	for _, dist := range []string{"uniform", "zipf"} {
+		dist := dist
+		b.Run(dist, func(b *testing.B) {
+			for _, fam := range []string{"lookup", "tx"} {
+				fam := fam
+				b.Run(fam, func(b *testing.B) {
+					for _, v := range []core.Variant{core.VariantLT, core.VariantTM} {
+						v := v
+						b.Run(v.String(), func(b *testing.B) {
+							for _, index := range []bool{true, false} {
+								index := index
+								name := "index=on"
+								if !index {
+									name = "index=off"
+								}
+								b.Run(name, func(b *testing.B) {
+									g, m := pointIndexMap(b, v, index)
+									ks := pointIndexKeys(b, dist == "zipf")
+									mask := len(ks) - 1
+									b.ReportAllocs()
+									b.ResetTimer()
+									if fam == "lookup" {
+										for i := 0; i < b.N; i++ {
+											m.Get(ks[i&mask])
+										}
+										return
+									}
+									for i := 0; i < b.N; i++ {
+										tx := g.Txn()
+										tx.Get(m, ks[(2*i)&mask])
+										tx.Get(m, ks[(2*i+1)&mask])
+										if err := tx.Commit(); err != nil {
+											b.Fatal(err)
+										}
+										tx.Release()
+									}
+								})
+							}
+						})
+					}
+				})
+			}
+		})
+	}
+}
+
 // BenchmarkLocality measures the finger acceleration on locality-heavy
 // streams, fingers on vs off, per variant: "lookup" is the pure
 // read-locality stream (cursors, hot working sets — the shape where the

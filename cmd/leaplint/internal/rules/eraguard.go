@@ -14,9 +14,15 @@ import (
 // first (fingerSeek*, seedAt, the seeded searches) or managed by the
 // scratch lifecycle functions that stamp and invalidate it. Any other
 // dereference is a latent use-after-reclaim.
+//
+// The same discipline covers the hash index's slot entries (idxSlot):
+// the stored (node, era) pair is a third-party hint into possibly
+// reclaimed node memory, so only the slot protocol helpers (idxPut,
+// idxDel, idxPeek, idxGrow) may touch the fields — every consumer must
+// go through idxProbe, whose fresh-epoch comparison is the era guard.
 var Eraguard = &lintkit.Analyzer{
 	Name: "eraguard",
-	Doc:  "saved fingers may only be consumed through the era-validating fingerSeek*/seedAt helpers, never dereferenced directly",
+	Doc:  "saved fingers may only be consumed through the era-validating fingerSeek*/seedAt helpers, never dereferenced directly; hash-index slot entries only through the idxPeek/idxProbe protocol",
 	Run:  runEraguard,
 }
 
@@ -44,11 +50,44 @@ var eraSafeCallees = map[string]bool{
 	"saveBatchFinger": true,
 }
 
+// idxEntryFields are the hint-carrying fields of a hash-index slot: the
+// remembered node and the era it was stamped under. (key and ver are
+// protocol words, not hints, and stay unrestricted.)
+var idxEntryFields = map[string]bool{"node": true, "era": true}
+
+// idxHolderTypes are the types whose node/era fields the index
+// discipline covers.
+var idxHolderTypes = map[string]bool{"idxSlot": true}
+
+// idxSafeFuncs are the slot-protocol functions allowed to touch entry
+// fields directly: the seqlock writers, the raw seqlock reader (whose
+// only caller is the era-validating idxProbe), and table migration.
+var idxSafeFuncs = map[string]bool{
+	"idxPut": true, "idxDel": true, "idxPeek": true, "idxGrow": true,
+}
+
 func runEraguard(pass *lintkit.Pass) error {
-	if !declaresType(pass.Pkg, "readScratch") && !declaresType(pass.Pkg, "txState") {
+	if !declaresType(pass.Pkg, "readScratch") && !declaresType(pass.Pkg, "txState") &&
+		!declaresType(pass.Pkg, "idxSlot") {
 		return nil
 	}
+	checkIdx := declaresType(pass.Pkg, "idxSlot")
 	for _, fd := range funcDecls(pass.Files) {
+		if checkIdx && !idxSafeFuncs[fd.Name.Name] {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || !idxEntryFields[sel.Sel.Name] {
+					return true
+				}
+				if !idxHolderTypes[exprTypeName(pass, sel.X)] {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"%s touches hash-index entry %s directly; entries must go through the slot protocol (idxPut/idxDel/idxPeek) and be consumed via idxProbe's era guard",
+					fd.Name.Name, exprString(sel))
+				return true
+			})
+		}
 		if eraSafeFuncs[fd.Name.Name] {
 			continue
 		}

@@ -80,3 +80,55 @@ func chaseListNaked(b *txState) uint64 {
 func seedPrivately(b *txState, n *node) {
 	b.fList = n
 }
+
+// --- hash-index slot entries ---
+
+// idxSlot mirrors the core slot shape: (node, era) is a stored hint into
+// possibly reclaimed node memory.
+type idxSlot struct {
+	key  uint64
+	ver  uint64
+	era  uint64
+	node *node
+}
+
+type idxTable struct {
+	slots []idxSlot
+}
+
+// The slot-protocol functions may touch entry fields directly.
+func idxPut(t *idxTable, ik uint64, n *node, era uint64) {
+	s := &t.slots[0]
+	s.node = n
+	s.era = era
+}
+
+func idxPeek(t *idxTable, ik uint64) (*node, uint64) {
+	s := &t.slots[0]
+	return s.node, s.era
+}
+
+func idxGrow(t *idxTable, nt *idxTable) {
+	for i := range t.slots {
+		nt.slots[i].node = t.slots[i].node
+		nt.slots[i].era = t.slots[i].era
+	}
+}
+
+// --- violations ---
+
+func probeNaked(t *idxTable, ik uint64) *node {
+	s := &t.slots[0]
+	return s.node // want "touches hash-index entry s.node directly"
+}
+
+func eraNaked(t *idxTable) uint64 {
+	return t.slots[0].era // want "touches hash-index entry t.slots\\[0\\].era directly"
+}
+
+//lint:allow eraguard table is private to this test helper, never shared
+func drainPrivately(t *idxTable) {
+	for i := range t.slots {
+		t.slots[i].node = nil
+	}
+}

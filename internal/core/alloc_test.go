@@ -125,6 +125,41 @@ func TestAllocsFingerPathsLT(t *testing.T) {
 	}
 }
 
+// TestAllocsHashIndexLookupLT pins the hash-index hit path's allocation
+// budget: a large-stride lookup stream defeats the finger (consecutive
+// keys land thousands of keys apart), so every hit comes from idxProbe —
+// BulkLoad populated the table — and must still cost 0 allocs/op. The
+// repair half is covered too: lookups after churn rewrite existing slots
+// in place (read-path repair never grows the table).
+func TestAllocsHashIndexLookupLT(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets are not meaningful under -race")
+	}
+	l := newLoadedLTList(t)
+	var k uint64
+	got := testing.AllocsPerRun(2000, func() {
+		l.Lookup(k * 2897 % 10000) // stride: finger misses, index hits
+		k++
+	})
+	if got > lookupAllocBudget {
+		t.Fatalf("LT index-hit Lookup = %.2f allocs/op, budget %.2f", got, lookupAllocBudget)
+	}
+	// Churn half the key space so index entries go stale, then measure the
+	// repairing lookups: fallback descent plus in-place slot rewrite.
+	for i := uint64(0); i < 5000; i++ {
+		if err := l.Set(i*2, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got = testing.AllocsPerRun(2000, func() {
+		l.Lookup(k * 2897 % 10000)
+		k++
+	})
+	if got > lookupAllocBudget {
+		t.Fatalf("LT repairing Lookup = %.2f allocs/op, budget %.2f", got, lookupAllocBudget)
+	}
+}
+
 // newLoadedLTList returns an LT list preloaded with keys 0..9999 (so every
 // Set in the tests above is a value-only overwrite).
 func newLoadedLTList(t *testing.T) *List[uint64] {

@@ -36,6 +36,12 @@ const (
 	// OpDeleteRange removes every pair with key in [Key, KeyHi],
 	// reporting the number removed in N.
 	OpDeleteRange
+	// OpSetIf stores Val under Key when If approves the key's pre-state
+	// (the value visible to this op after earlier staged writes),
+	// reporting in Found whether the write applied. If must be non-nil
+	// and pure: the plan may be re-executed on conflict, re-running the
+	// predicate against a fresh pre-state each time.
+	OpSetIf
 )
 
 // isRange reports whether the kind addresses an interval rather than a
@@ -61,11 +67,18 @@ type Op[V any] struct {
 	List  *List[V]
 	Kind  OpKind
 	Key   uint64
-	Val   V      // OpSet only
+	Val   V      // OpSet, OpSetIf only
 	KeyHi uint64 // OpGetRange, OpDeleteRange: inclusive upper bound
 
+	// If is OpSetIf's predicate over the key's pre-state: cur is the
+	// value this op observes (zero when absent), found its presence. The
+	// write applies iff If returns true. Must be pure — conflict retries
+	// and TM re-execution re-run it, possibly against a different
+	// pre-state.
+	If func(cur V, found bool) bool
+
 	// Results, written by CommitOps on success.
-	Found bool    // OpGet: key present; OpDelete: key was present
+	Found bool    // OpGet: key present; OpDelete: key was present; OpSetIf: write applied
 	Out   V       // OpGet: the value read
 	N     int     // OpGetRange: pairs read; OpDeleteRange: pairs removed
 	Range []KV[V] // OpGetRange: the snapshot, ascending (reset, then appended)
@@ -480,7 +493,7 @@ func (g *Group[V]) buildEntry(tx *stm.Tx, mode int, ops []Op[V], b *txState[V], 
 	hasWriteOps := false
 	for q := e.lo; q < e.hi; q++ {
 		switch ops[b.order[q]].Kind {
-		case OpSet:
+		case OpSet, OpSetIf:
 			sets++
 			hasWriteOps = true
 		case OpDelete:
@@ -872,6 +885,13 @@ func foldKeyRanged[V any](ops []Op[V], order []int, lo, hi int, rops []int, k ui
 		case OpSet:
 			cur, curV = true, op.Val
 			sawWrite = true
+		case OpSetIf:
+			applied := op.If(curV, cur)
+			op.Found = applied
+			if applied {
+				cur, curV = true, op.Val
+				sawWrite = true
+			}
 		case OpDelete:
 			op.Found = cur
 			var zero V
@@ -1069,6 +1089,37 @@ func (g *Group[V]) planGroups(ops []Op[V], b *txState[V], mode int, tx *stm.Tx,
 					searched = false
 				}
 			}
+			if searched && g.hashIndex() && len(b.active) == 0 {
+				// Hash-index fast path: a provably read-only point group —
+				// no active interval, the next range op (if any) starting
+				// past the candidate node, every point op landing in it an
+				// OpGet — needs no pa/na (read-only entries never swing or
+				// validate predecessors), so an index hit on the group's
+				// first key can stand in for the whole descent. Liveness is
+				// checked in-mode: the TM arm reads through the batch's own
+				// transaction, so a node this batch already buffered dead
+				// falls back cleanly to the search.
+				if c := l.idxProbe(k); c != nil {
+					if hit, _ := fingerUsable(l, k, c); hit &&
+						b.readOnlyRunWithin(ops, pi, pEnd, ri, rEnd, c.high) {
+						live := false
+						switch mode {
+						case planNakedMode, planRWMode:
+							live = c.live.Peek() == 1
+						case planTxMode:
+							lv, err := c.live.Load(tx)
+							if err != nil {
+								return err
+							}
+							live = lv == 1
+						}
+						if live {
+							e.l, e.n = l, c
+							searched = false
+						}
+					}
+				}
+			}
 			if searched {
 				// Seed the descent: within a list, every group after the
 				// first reuses the previous group's predecessors (sorted
@@ -1137,6 +1188,28 @@ func (g *Group[V]) planGroups(ops []Op[V], b *txState[V], mode int, tx *stm.Tx,
 		pi, ri = pEnd, rEnd
 	}
 	return nil
+}
+
+// readOnlyRunWithin reports whether the ops a node with the given high
+// bound would absorb — every point op at the cursors with key <= high,
+// and the next range op when it starts at or below high — are all reads
+// (OpGet only). True means the group's entry is provably read-only, so
+// an index-supplied node can stand in for the search (read-only entries
+// never touch pa/na).
+func (b *txState[V]) readOnlyRunWithin(ops []Op[V], pi, pEnd, ri, rEnd int, high uint64) bool {
+	if ri < rEnd && toInternal(ops[b.rorder[ri]].Key) <= high {
+		return false
+	}
+	for q := pi; q < pEnd; q++ {
+		op := &ops[b.order[q]]
+		if toInternal(op.Key) > high {
+			break
+		}
+		if op.Kind != OpGet {
+			return false
+		}
+	}
+	return true
 }
 
 // stepRun resolves the continuation node of a read-only run by stepping

@@ -18,6 +18,10 @@ func (g *Group[V]) checkOps(ops []Op[V]) error {
 		}
 		switch op.Kind {
 		case OpSet, OpDelete, OpGet:
+		case OpSetIf:
+			if op.If == nil {
+				return ErrNilPredicate
+			}
 		case OpGetRange, OpDeleteRange:
 			if op.KeyHi > MaxKey || op.KeyHi < op.Key {
 				return ErrRangeBounds

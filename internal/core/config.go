@@ -65,6 +65,7 @@ var (
 	ErrBatchMismatch = errors.New("core: batch slice lengths differ")
 	ErrForeignList   = errors.New("core: list does not belong to this group")
 	ErrEmptyBatch    = errors.New("core: empty batch")
+	ErrNilPredicate  = errors.New("core: OpSetIf with nil If predicate")
 )
 
 // Config holds the tunables of a list group.
@@ -81,6 +82,13 @@ type Config struct {
 	// value keeps fingers enabled; the knob exists for A/B benchmarking
 	// and for bisecting suspected finger bugs.
 	NoFingers bool
+	// NoHashIndex disables the per-list point-lookup hash index (see
+	// doc.go, "Hash index maintenance and validation"): Lookup and the
+	// point-op prepare always descend from the head (or a finger), and
+	// the publish phase maintains no key->node entries. The zero value
+	// keeps the index enabled; the knob exists for A/B benchmarking and
+	// for bisecting suspected index bugs.
+	NoHashIndex bool
 	// Collector, when non-nil, is the epoch domain the group runs on:
 	// every operation pins one of its participants and every replaced
 	// node is retired through it (the paper's "Deallocate unneeded nodes"
@@ -140,6 +148,7 @@ type Group[V any] struct {
 	// the caller supplied one, otherwise private.
 	collector     *epoch.Collector
 	donateNode    func(any) // static epoch destructor: recycle one *node[V]
+	donateIdx     func(any) // static epoch destructor: recycle one *idxTable[V]
 	valsNeedClear bool      // V can hold pointers: clear donated vals arrays
 
 	// Recycler pools fed by donateNode and drained by the write path;
@@ -150,6 +159,8 @@ type Group[V any] struct {
 	keysBoxPool sync.Pool // empty *kvBox[uint64] husks: donation allocates nothing
 	valsBoxPool sync.Pool // empty *kvBox[V] husks
 	triePool    sync.Pool // *trie.Trie with reusable internal node storage
+	idxPool     sync.Pool // *idxBox[V]: retired hash-index slot arrays, cleared
+	idxBoxPool  sync.Pool // empty *idxBox[V] husks
 }
 
 // kvBox carries a recycled backing array through a sync.Pool without
@@ -183,6 +194,7 @@ func NewGroup[V any](cfg Config, domain *stm.STM) *Group[V] {
 		g.collector = epoch.NewCollector()
 	}
 	g.donateNode = func(obj any) { g.recycleNode(obj.(*node[V])) }
+	g.donateIdx = func(obj any) { g.donateIdxSlots(obj.(*idxTable[V])) }
 	var zero V
 	g.valsNeedClear = typeHasPointers(reflect.TypeOf(&zero).Elem())
 	return g
@@ -232,6 +244,12 @@ func (g *Group[V]) STM() *stm.STM {
 // fingers reports whether the search-acceleration fingers are enabled.
 func (g *Group[V]) fingers() bool {
 	return !g.cfg.NoFingers
+}
+
+// hashIndex reports whether the per-list point-lookup hash index is
+// enabled.
+func (g *Group[V]) hashIndex() bool {
+	return !g.cfg.NoHashIndex
 }
 
 // pickLevel draws a skip-list level in [1, MaxLevel] with the usual

@@ -214,6 +214,52 @@
 // its region kills it and forces the fallback), which is all a hint
 // needs to be.
 //
+// # Hash index maintenance and validation
+//
+// Where fingers exploit locality between consecutive operations, the
+// per-list hash index (hashindex.go) accelerates the stream fingers
+// cannot help with: point operations on uniformly random keys. Each
+// list owns an open-addressed table mapping internal key -> the node
+// that held it when the entry was written, stamped with the era the
+// writer observed. Lookup and planGroups' per-key descent consult it
+// when the finger misses; a hit skips the whole descent. Like a finger,
+// an entry is a hint, never an authority — Config.NoHashIndex
+// (leaplist.WithHashIndex(false)) disables it for A/B runs.
+//
+// Maintenance rides the commit pipeline's single linearization point:
+// every variant's publish phase calls indexPublish after the pointer
+// swings, re-pointing exactly the batch's staged keys — a staged key
+// now found in a replacement piece maps to that piece, a staged key the
+// batch deleted is cleared, and keys covered by an OpDeleteRange are
+// dropped from the old nodes' contents. Keys that merely moved because
+// a neighbouring node split, merged or was absorbed are NOT re-pointed;
+// their entries go stale and are repaired lazily by the read path
+// (Lookup falls back to a head descent on a validation failure and
+// rewrites the entry in place). Table growth happens only on the
+// publish path, so the read path never allocates; retired slot arrays
+// go through the epoch collector like node shells.
+//
+// Validation mirrors the finger contract exactly. Each slot is a
+// seqlock (ver odd = writer active; readers retry-free: they simply
+// miss on a torn read, and writers skip a contended slot — an index
+// write is droppable by design). A probed entry passes through
+// idxProbe, the single era-validating gate: the entry is dropped unless
+// a fresh Collector.Epoch() read, taken after the reader's own pin is
+// published, still equals the entry's stamped era — the same
+// monotonicity argument as the finger era guard, proving the
+// remembered shell cannot have been recycled. Past the guard the hit
+// is validated like any finger (liveness, owning-list id, level-0
+// bounds) — in-mode, so TM reads liveness through its transaction and
+// a buffered kill is visible. planGroups additionally takes the index
+// path only for provably read-only point groups (no staged write at or
+// below the hit's bound, no active predecessor chain), because write
+// groups need the full-height pa/na a skipped descent cannot supply.
+//
+// Internal keys occupy [1, 2^64-1] (the public domain shifted by one),
+// so slot key 0 is free as the virgin marker; a claimed slot is never
+// re-keyed, deletion stores a nil node, and dead slots are purged only
+// when growth migrates the table.
+//
 // # Structure invariants
 //
 // A list is a singly-forward-linked skip-list of immutable nodes. Node
@@ -314,7 +360,10 @@
 //     are only valid under the era-equality guard, so they may be
 //     consumed only through the validating helpers (fingerSeek*,
 //     seedAt, fingerUsable) or the scratch lifecycle itself — a naked
-//     read of a remembered node can touch recycled memory.
+//     read of a remembered node can touch recycled memory. The same
+//     discipline covers hash-index slot entries (idxSlot.node/.era):
+//     only the slot protocol (idxPut, idxDel, idxPeek, idxGrow) may
+//     touch them, and every consumer goes through idxProbe's era guard.
 //
 // Deliberate exceptions are annotated in place with
 // "//lint:allow <analyzer> <reason>"; the build gates on zero

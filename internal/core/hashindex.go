@@ -1,0 +1,412 @@
+package core
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"leaplist/internal/epoch"
+)
+
+// Per-list point-lookup hash index (the Skip Hash idea adapted to fat
+// nodes): an open-addressed table mapping internal key -> the node shell
+// last known to own it, maintained by the commit pipeline's publish phase
+// and consulted at the top of Lookup and of planGroups' per-key descent.
+// See doc.go, "Hash index maintenance and validation", for the full
+// protocol; the essentials:
+//
+//   - An entry is only ever a hint. The reader validates the remembered
+//     node exactly like a search finger — epoch-era guard first (the
+//     entry's stamped era must equal a fresh Collector.Epoch() read taken
+//     after the reader's own pin; see epoch.Participant.Era), then
+//     liveness, owning-list id and level-0 bounds in the variant's idiom
+//     (fingerSeek*, or validateEntryTx's liveness check for batch plans).
+//     Any failure falls back to the head descent, which repairs the entry.
+//   - Writers (publish-phase maintenance, read-path repair) never block
+//     readers and never wait for each other: each slot is a tiny seqlock
+//     (ver odd while a writer rewrites the node/era pair), and a writer
+//     that loses the claim race simply skips — freshness is best-effort,
+//     the era guard and fallback provide correctness.
+//   - A claimed slot is never re-keyed: internal keys span [1, 2^64-1],
+//     leaving only 0 as the virgin marker, so deletion parks a nil node
+//     in the slot instead of freeing it (re-keying would break linear-
+//     probe chains and admit duplicate slots for one key). Dead slots are
+//     purged when the table grows.
+//   - Tables grow only on the publish path; read-path repair writes into
+//     the existing table or drops the entry, so Lookup stays
+//     allocation-free. Replaced slot arrays are epoch-retired and then
+//     recycled through the group's pool, like node backing arrays.
+
+const (
+	// idxMinSize is the initial table size (slots, a power of two).
+	idxMinSize = 256
+	// idxProbeBound caps the linear probe of every table operation: past
+	// it a reader reports a miss and a writer drops the update — both
+	// degrade to the head descent, never to an unbounded scan.
+	idxProbeBound = 64
+	// idxHashMul is the Fibonacci-hashing multiplier (2^64 / phi).
+	idxHashMul = 0x9E3779B97F4A7C15
+)
+
+// idxSlot is one open-addressed table slot. key is claimed once (0 is the
+// virgin marker — no internal key is 0) and never changed afterwards; the
+// (node, era) pair is rewritten under the ver seqlock, with node == nil
+// marking a deleted entry.
+type idxSlot[V any] struct {
+	key  atomic.Uint64
+	ver  atomic.Uint64 // seqlock: odd while a writer rewrites node/era
+	era  atomic.Uint64 // pin era of the op that stored node (era guard)
+	node atomic.Pointer[node[V]]
+}
+
+// idxTable is one immutable-geometry table generation: the slot array,
+// its power-of-two mask/shift, and the count of claimed (live or dead)
+// slots that triggers growth. A new generation replaces it wholesale
+// (idxGrow); the old slot array is epoch-retired.
+type idxTable[V any] struct {
+	slots []idxSlot[V]
+	mask  uint64
+	shift uint
+	used  atomic.Int64 // claimed keys, dead entries included
+}
+
+// idxBox carries a recycled slot array through a sync.Pool without a
+// fresh slice-header box per donation, exactly like kvBox.
+type idxBox[V any] struct {
+	s []idxSlot[V]
+}
+
+// idxNeedGrow reports whether the table's claimed-slot load has reached
+// the growth threshold (5/8, low enough that the bounded probe rarely
+// drops an update before the publish path grows the table).
+func (t *idxTable[V]) idxNeedGrow() bool {
+	return t.used.Load()*8 >= int64(len(t.slots))*5
+}
+
+// idxPut records ik -> (n, era), claiming a slot on first insert and
+// rewriting in place afterwards. Best-effort: a lost claim race to a
+// different key continues the probe; a seqlock already held (or the probe
+// bound exhausted) drops the update — the entry stays stale and the next
+// fallback lookup repairs it. Returns whether the table wants growing;
+// the read-path callers ignore it (growth allocates).
+func (t *idxTable[V]) idxPut(ik uint64, n *node[V], era uint64) (needGrow bool) {
+	h := (ik * idxHashMul) >> t.shift
+	for i := uint64(0); i < idxProbeBound; i++ {
+		s := &t.slots[(h+i)&t.mask]
+		k := s.key.Load()
+		if k == 0 {
+			if s.key.CompareAndSwap(0, ik) {
+				t.used.Add(1)
+			} else if s.key.Load() != ik {
+				continue // lost the claim to another key's insert
+			}
+			k = ik
+		}
+		if k != ik {
+			continue
+		}
+		v := s.ver.Load()
+		if v&1 != 0 || !s.ver.CompareAndSwap(v, v+1) {
+			break // a concurrent writer owns the slot: skip, not wait
+		}
+		s.node.Store(n)
+		s.era.Store(era)
+		s.ver.Store(v + 2)
+		break
+	}
+	return t.idxNeedGrow()
+}
+
+// idxDel marks ik's entry deleted (nil node). The slot stays claimed —
+// see the no-re-keying rule above — so the probe chain through it remains
+// intact; growth purges it.
+func (t *idxTable[V]) idxDel(ik uint64) {
+	h := (ik * idxHashMul) >> t.shift
+	for i := uint64(0); i < idxProbeBound; i++ {
+		s := &t.slots[(h+i)&t.mask]
+		k := s.key.Load()
+		if k == 0 {
+			return // virgin slot ends the probe chain: ik was never indexed
+		}
+		if k != ik {
+			continue
+		}
+		v := s.ver.Load()
+		if v&1 != 0 || !s.ver.CompareAndSwap(v, v+1) {
+			return // best-effort: the stale entry fails validation anyway
+		}
+		s.node.Store(nil)
+		s.ver.Store(v + 2)
+		return
+	}
+}
+
+// idxPeek reads ik's entry under the slot seqlock, returning the raw
+// (node, era) pair. It performs no era validation and must only be called
+// by idxProbe (and the table's own migration): every other consumer goes
+// through idxProbe so the era guard can never be skipped.
+func (t *idxTable[V]) idxPeek(ik uint64) (*node[V], uint64, bool) {
+	h := (ik * idxHashMul) >> t.shift
+	for i := uint64(0); i < idxProbeBound; i++ {
+		s := &t.slots[(h+i)&t.mask]
+		k := s.key.Load()
+		if k == 0 {
+			return nil, 0, false
+		}
+		if k != ik {
+			continue
+		}
+		v1 := s.ver.Load()
+		if v1&1 != 0 {
+			return nil, 0, false // writer mid-rewrite: treat as a miss
+		}
+		n := s.node.Load()
+		era := s.era.Load()
+		if s.ver.Load() != v1 {
+			return nil, 0, false // torn read: miss, not a retry loop
+		}
+		if n == nil {
+			return nil, 0, false // deleted entry
+		}
+		return n, era, true
+	}
+	return nil, 0, false
+}
+
+// idxProbe returns the index's candidate node for internal key ik, or nil
+// on a miss. This is the single era-validating gate onto index entries:
+// the caller must be pinned (getRead/getBatch), and the entry is returned
+// only when a fresh Collector.Epoch() read — taken here, after that pin —
+// still equals the era stamped when the entry was stored. Equality proves
+// (see epoch.Participant.Era) that nothing retired at or after the store
+// is reclaimed yet and the caller's pin keeps it that way, so the
+// candidate's immutable fields may be read; everything else about it
+// (liveness, list id, bounds) is still unvalidated and must go through
+// the same checks as a search finger (fingerSeek*, or a batch entry's
+// transactional liveness validation).
+func (l *List[V]) idxProbe(ik uint64) *node[V] {
+	t := l.idx.Load()
+	if t == nil {
+		return nil
+	}
+	n, era, ok := t.idxPeek(ik)
+	if !ok || l.g.collector.Epoch() != era {
+		return nil
+	}
+	return n
+}
+
+// idxInsert records ik -> n in the list's index, stamped with the calling
+// operation's pin era. Read-path repair entry point: never allocates,
+// never grows, and silently does nothing when the list has no table yet
+// (only the publish path creates tables).
+func (l *List[V]) idxInsert(ik uint64, n *node[V], era uint64) {
+	if t := l.idx.Load(); t != nil {
+		t.idxPut(ik, n, era)
+	}
+}
+
+// idxDelete drops ik's entry (read-path repair for a key a fallback
+// descent proved absent).
+func (l *List[V]) idxDelete(ik uint64) {
+	if t := l.idx.Load(); t != nil {
+		t.idxDel(ik)
+	}
+}
+
+// newIdxTable builds a table of the given power-of-two size, recycling a
+// pooled slot array (already cleared at donation) when one fits.
+func (g *Group[V]) newIdxTable(size int) *idxTable[V] {
+	var slots []idxSlot[V]
+	if b, _ := g.idxPool.Get().(*idxBox[V]); b != nil {
+		s := b.s
+		b.s = nil
+		g.idxBoxPool.Put(b)
+		if cap(s) >= size {
+			slots = s[:size]
+		}
+	}
+	if slots == nil {
+		slots = make([]idxSlot[V], size)
+	}
+	return &idxTable[V]{
+		slots: slots,
+		mask:  uint64(size - 1),
+		shift: uint(64 - bits.Len64(uint64(size-1))),
+	}
+}
+
+// donateIdxSlots is the epoch destructor of a replaced table: it runs
+// after the grace period, when no reader can still probe the old slots,
+// clears them (plain stores — the same post-grace discipline as
+// recycleNode's) and hands the array to the group's pool.
+func (g *Group[V]) donateIdxSlots(t *idxTable[V]) {
+	clear(t.slots)
+	b, _ := g.idxBoxPool.Get().(*idxBox[V])
+	if b == nil {
+		b = &idxBox[V]{}
+	}
+	b.s = t.slots[:0]
+	g.idxPool.Put(b)
+}
+
+// idxInit creates the list's table on first publish-path use.
+func (l *List[V]) idxInit() *idxTable[V] {
+	l.idxMu.Lock()
+	defer l.idxMu.Unlock()
+	if t := l.idx.Load(); t != nil {
+		return t
+	}
+	t := l.g.newIdxTable(idxMinSize)
+	l.idx.Store(t)
+	return t
+}
+
+// idxGrow replaces the list's table with one sized for its live entries,
+// migrating them (dead and mid-rewrite slots are purged or skipped — a
+// skipped entry is repaired by the next fallback lookup) and epoch-
+// retiring the old generation through the committing operation's
+// participant, so pinned readers can finish probing it.
+func (l *List[V]) idxGrow(part *epoch.Participant) {
+	g := l.g
+	l.idxMu.Lock()
+	defer l.idxMu.Unlock()
+	old := l.idx.Load()
+	if old == nil || !old.idxNeedGrow() {
+		return // a competitor already grew this generation
+	}
+	live := 0
+	for i := range old.slots {
+		s := &old.slots[i]
+		if s.key.Load() != 0 && s.node.Load() != nil {
+			live++
+		}
+	}
+	size := len(old.slots)
+	for live*2 >= size {
+		size *= 2
+	}
+	nt := g.newIdxTable(size)
+	for i := range old.slots {
+		s := &old.slots[i]
+		k := s.key.Load()
+		if k == 0 {
+			continue
+		}
+		v1 := s.ver.Load()
+		if v1&1 != 0 {
+			continue
+		}
+		n := s.node.Load()
+		era := s.era.Load()
+		if s.ver.Load() != v1 || n == nil {
+			continue
+		}
+		nt.idxPut(k, n, era)
+	}
+	l.idx.Store(nt)
+	part.Retire(old, g.donateIdx)
+}
+
+// ownerPiece returns the replacement piece whose range contains internal
+// key k — pieces are ordered left to right and partition the replaced
+// region, so it is the first piece with high >= k. nil when k lies past
+// every piece (cannot happen for keys staged into the entry).
+func ownerPiece[V any](pieces []*node[V], k uint64) *node[V] {
+	for _, p := range pieces {
+		if k <= p.high {
+			return p
+		}
+	}
+	return nil
+}
+
+// indexPublish refreshes the per-list hash index for every write entry of
+// a just-published batch. It runs inside the publish phase — after the
+// pointer swings, while the batch's participant is still pinned — which
+// is the single point where node membership changes, so the (node, era)
+// pairs it stores are valid the instant they land.
+//
+// Maintenance is deliberately partial: only the keys the batch itself
+// staged are re-pointed (to the replacement piece now owning them, found
+// from the pieces themselves so per-key fold order cannot matter), plus
+// the replaced node's keys a DeleteRange covered, which are dropped.
+// Unstaged keys that merely moved (a split's right half, a merge's
+// absorbed partner, every untouched key of a value-only overwrite) keep
+// their now-stale entries: the liveness validation fails them and the
+// fallback descent repairs them lazily, which keeps publish cost
+// proportional to the staged ops, not the node size.
+func (g *Group[V]) indexPublish(ops []Op[V], b *txState[V]) {
+	if !g.hashIndex() {
+		return
+	}
+	era := b.part.Era()
+	for t := 0; t < b.nEnt; t++ {
+		e := b.entries[t]
+		if !e.write {
+			continue
+		}
+		l := e.l
+		tb := l.idx.Load()
+		if tb == nil {
+			tb = l.idxInit()
+		}
+		needGrow := false
+		// Keys of the replaced node that a staged DeleteRange covered are
+		// gone; drop their entries. (The replaced node's memory is safe to
+		// read: it was only retired, and this operation is pinned.)
+		for _, oi := range e.rops {
+			op := &ops[oi]
+			if op.Kind != OpDeleteRange {
+				continue
+			}
+			ks, _ := clipRange(e.n.keys, e.n.vals, toInternal(op.Key), toInternal(op.KeyHi))
+			for _, k := range ks {
+				tb.idxDel(k)
+			}
+		}
+		// Staged point keys re-point to their owning piece — or drop, when
+		// the key ended the batch absent. The pieces are the published
+		// truth, so consulting them handles any interleaving of Set,
+		// Delete, SetIf and covering DeleteRange per key.
+		for q := e.lo; q < e.hi; {
+			k := toInternal(ops[b.order[q]].Key)
+			for q < e.hi && toInternal(ops[b.order[q]].Key) == k {
+				q++
+			}
+			if p := ownerPiece(e.pieces, k); p != nil && p.find(k) >= 0 {
+				if tb.idxPut(k, p, era) {
+					needGrow = true
+				}
+			} else {
+				tb.idxDel(k)
+			}
+		}
+		if needGrow {
+			l.idxGrow(b.part)
+		}
+	}
+}
+
+// idxBulkLoad builds the freshly loaded list's index in one pass: an
+// exact-size table (load factor <= 1/2, so steady-state lookups never
+// grow it) filled by walking the level-0 chain just constructed. Called
+// only from BulkLoad, before the list is shared, so plain epoch reads
+// suffice: every future retirement of these nodes is ordered after this
+// stamp, which is what the era guard needs.
+//
+//lint:allow epochpin pre-publication construction: every node walked here is unreachable until BulkLoad returns
+func (l *List[V]) idxBulkLoad(pairs int) {
+	g := l.g
+	size := idxMinSize
+	for size < 2*pairs {
+		size *= 2
+	}
+	t := g.newIdxTable(size)
+	era := g.collector.Epoch()
+	for n := l.head.next[0].PeekPtr(); n != nil; n = n.next[0].PeekPtr() {
+		for _, k := range n.keys {
+			t.idxPut(k, n, era)
+		}
+	}
+	l.idx.Store(t)
+}

@@ -1,0 +1,543 @@
+package core
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// newIdxTestGroups builds an index-on and an index-off group with
+// otherwise identical configuration — the A/B pair of the parity oracle.
+func newIdxTestGroups(v Variant) (on, off *Group[uint64]) {
+	on = NewGroup[uint64](Config{NodeSize: 4, MaxLevel: 5, Variant: v}, nil)
+	off = NewGroup[uint64](Config{NodeSize: 4, MaxLevel: 5, Variant: v, NoHashIndex: true}, nil)
+	return on, off
+}
+
+// TestHashIndexParityOracle drives an identical deterministic operation
+// mix against an index-on and an index-off list and requires every
+// result — lookups, range collections, delete reports — to agree. The
+// index is a pure accelerator: results must be identical either way.
+func TestHashIndexParityOracle(t *testing.T) {
+	for _, v := range allVariants {
+		t.Run(v.String(), func(t *testing.T) {
+			gOn, gOff := newIdxTestGroups(v)
+			lOn, lOff := gOn.NewList(), gOff.NewList()
+			r := rand.New(rand.NewPCG(7, 11))
+			for i := 0; i < 4000; i++ {
+				k := r.Uint64N(256)
+				switch r.IntN(5) {
+				case 0, 1:
+					val := r.Uint64()
+					if err := lOn.Set(k, val); err != nil {
+						t.Fatalf("Set on: %v", err)
+					}
+					if err := lOff.Set(k, val); err != nil {
+						t.Fatalf("Set off: %v", err)
+					}
+				case 2:
+					cOn, err := lOn.Delete(k)
+					if err != nil {
+						t.Fatalf("Delete on: %v", err)
+					}
+					cOff, err := lOff.Delete(k)
+					if err != nil {
+						t.Fatalf("Delete off: %v", err)
+					}
+					if cOn != cOff {
+						t.Fatalf("Delete(%d) = %v with index, %v without", k, cOn, cOff)
+					}
+				case 3:
+					vOn, okOn := lOn.Lookup(k)
+					vOff, okOff := lOff.Lookup(k)
+					if okOn != okOff || vOn != vOff {
+						t.Fatalf("Lookup(%d) = (%d,%v) with index, (%d,%v) without", k, vOn, okOn, vOff, okOff)
+					}
+				case 4:
+					lo := r.Uint64N(256)
+					hi := lo + r.Uint64N(32)
+					pOn := lOn.CollectRange(lo, hi)
+					pOff := lOff.CollectRange(lo, hi)
+					if len(pOn) != len(pOff) {
+						t.Fatalf("CollectRange(%d,%d): %d pairs with index, %d without", lo, hi, len(pOn), len(pOff))
+					}
+					for j := range pOn {
+						if pOn[j] != pOff[j] {
+							t.Fatalf("CollectRange(%d,%d)[%d] = %v with index, %v without", lo, hi, j, pOn[j], pOff[j])
+						}
+					}
+				}
+			}
+			mustCheck(t, lOn)
+			mustCheck(t, lOff)
+		})
+	}
+}
+
+// seedIndex performs lookups on every given key so the index holds an
+// entry for each (either from the publish path or from read repair).
+func seedIndex(t *testing.T, l *List[uint64], keys ...uint64) {
+	t.Helper()
+	for _, k := range keys {
+		l.Lookup(k)
+	}
+}
+
+// TestHashIndexStalenessMatrix walks every structural event that can
+// strand a stale index entry — value overwrite, node split, node merge, a
+// DeleteRange emptying the node, and a same-key entry from another list —
+// and requires lookups to stay correct through each (validation must fail
+// the stale entry and the fallback descent must repair it).
+func TestHashIndexStalenessMatrix(t *testing.T) {
+	for _, v := range allVariants {
+		t.Run(v.String(), func(t *testing.T) {
+			t.Run("overwrite", func(t *testing.T) {
+				g := newTestGroup(t, v)
+				l := g.NewList()
+				if err := l.Set(10, 1); err != nil {
+					t.Fatal(err)
+				}
+				seedIndex(t, l, 10)
+				if err := l.Set(10, 2); err != nil {
+					t.Fatal(err)
+				}
+				if val, ok := l.Lookup(10); !ok || val != 2 {
+					t.Fatalf("Lookup(10) after overwrite = (%d,%v), want (2,true)", val, ok)
+				}
+				mustCheck(t, l)
+			})
+
+			t.Run("split", func(t *testing.T) {
+				g := newTestGroup(t, v) // NodeSize 4: the fifth key splits
+				l := g.NewList()
+				for k := uint64(0); k < 4; k++ {
+					if err := l.Set(k*10, k); err != nil {
+						t.Fatal(err)
+					}
+				}
+				seedIndex(t, l, 0, 10, 20, 30)
+				if err := l.Set(15, 99); err != nil { // overflows the node
+					t.Fatal(err)
+				}
+				for k := uint64(0); k < 4; k++ {
+					if val, ok := l.Lookup(k * 10); !ok || val != k {
+						t.Fatalf("Lookup(%d) after split = (%d,%v), want (%d,true)", k*10, val, ok, k)
+					}
+				}
+				if val, ok := l.Lookup(15); !ok || val != 99 {
+					t.Fatalf("Lookup(15) after split = (%d,%v), want (99,true)", val, ok)
+				}
+				mustCheck(t, l)
+			})
+
+			t.Run("merge", func(t *testing.T) {
+				g := newTestGroup(t, v)
+				l := g.NewList()
+				for k := uint64(0); k < 12; k++ {
+					if err := l.Set(k, k+100); err != nil {
+						t.Fatal(err)
+					}
+				}
+				keys := make([]uint64, 12)
+				for i := range keys {
+					keys[i] = uint64(i)
+				}
+				seedIndex(t, l, keys...)
+				// Deleting most keys shrinks nodes until merges absorb
+				// successors; surviving keys' entries point at dead nodes.
+				for k := uint64(0); k < 12; k += 2 {
+					if _, err := l.Delete(k); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for k := uint64(0); k < 12; k++ {
+					val, ok := l.Lookup(k)
+					if k%2 == 0 {
+						if ok {
+							t.Fatalf("Lookup(%d) found deleted key", k)
+						}
+					} else if !ok || val != k+100 {
+						t.Fatalf("Lookup(%d) after merges = (%d,%v), want (%d,true)", k, val, ok, k+100)
+					}
+				}
+				mustCheck(t, l)
+			})
+
+			t.Run("deleterange-emptied", func(t *testing.T) {
+				g := newTestGroup(t, v)
+				l := g.NewList()
+				for k := uint64(0); k < 16; k++ {
+					if err := l.Set(k, k); err != nil {
+						t.Fatal(err)
+					}
+				}
+				keys := make([]uint64, 16)
+				for i := range keys {
+					keys[i] = uint64(i)
+				}
+				seedIndex(t, l, keys...)
+				ops := []Op[uint64]{{List: l, Kind: OpDeleteRange, Key: 2, KeyHi: 13}}
+				if err := g.CommitOps(ops); err != nil {
+					t.Fatalf("DeleteRange: %v", err)
+				}
+				if ops[0].N != 12 {
+					t.Fatalf("DeleteRange removed %d, want 12", ops[0].N)
+				}
+				for k := uint64(0); k < 16; k++ {
+					val, ok := l.Lookup(k)
+					if k >= 2 && k <= 13 {
+						if ok {
+							t.Fatalf("Lookup(%d) found range-deleted key", k)
+						}
+					} else if !ok || val != k {
+						t.Fatalf("Lookup(%d) = (%d,%v), want (%d,true)", k, val, ok, k)
+					}
+				}
+				mustCheck(t, l)
+			})
+
+			t.Run("cross-list", func(t *testing.T) {
+				// Two lists of one group share keys; each list's index must
+				// resolve to its own nodes (the lid check, exactly as for
+				// fingers).
+				g := newTestGroup(t, v)
+				l1, l2 := g.NewList(), g.NewList()
+				for k := uint64(0); k < 8; k++ {
+					if err := l1.Set(k, k+1000); err != nil {
+						t.Fatal(err)
+					}
+					if err := l2.Set(k, k+2000); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for k := uint64(0); k < 8; k++ {
+					if val, ok := l1.Lookup(k); !ok || val != k+1000 {
+						t.Fatalf("l1.Lookup(%d) = (%d,%v), want (%d,true)", k, val, ok, k+1000)
+					}
+					if val, ok := l2.Lookup(k); !ok || val != k+2000 {
+						t.Fatalf("l2.Lookup(%d) = (%d,%v), want (%d,true)", k, val, ok, k+2000)
+					}
+				}
+				mustCheck(t, l1)
+				mustCheck(t, l2)
+			})
+		})
+	}
+}
+
+// TestHashIndexGrow drives enough publish-path inserts through one list
+// to force several table growths and checks every key still resolves —
+// including after deletions leave dead slots for the growth to purge.
+func TestHashIndexGrow(t *testing.T) {
+	g := NewGroup[uint64](Config{NodeSize: 16, MaxLevel: 8, Variant: VariantLT}, nil)
+	l := g.NewList()
+	const n = 2000 // far past idxMinSize * 5/8: multiple growths
+	for k := uint64(0); k < n; k++ {
+		if err := l.Set(k, k*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tb := l.idx.Load()
+	if tb == nil {
+		t.Fatal("no index table after publish-path inserts")
+	}
+	if len(tb.slots) <= idxMinSize {
+		t.Fatalf("table still %d slots after %d inserts, expected growth", len(tb.slots), n)
+	}
+	for k := uint64(0); k < n; k++ {
+		if val, ok := l.Lookup(k); !ok || val != k*3 {
+			t.Fatalf("Lookup(%d) = (%d,%v), want (%d,true)", k, val, ok, k*3)
+		}
+	}
+	for k := uint64(0); k < n; k += 2 {
+		if _, err := l.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-inserting grows over the dead slots; the rebuild must purge them.
+	for k := uint64(n); k < 2*n; k++ {
+		if err := l.Set(k, k*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := uint64(0); k < 2*n; k++ {
+		val, ok := l.Lookup(k)
+		switch {
+		case k < n && k%2 == 0:
+			if ok {
+				t.Fatalf("Lookup(%d) found deleted key", k)
+			}
+		default:
+			if !ok || val != k*3 {
+				t.Fatalf("Lookup(%d) = (%d,%v), want (%d,true)", k, val, ok, k*3)
+			}
+		}
+	}
+	mustCheck(t, l)
+}
+
+// TestHashIndexBulkLoad checks that BulkLoad's one-pass index covers the
+// loaded keys (no repair descents needed for a warmed table) and stays
+// correct through subsequent churn.
+func TestHashIndexBulkLoad(t *testing.T) {
+	g := NewGroup[uint64](Config{NodeSize: 8, MaxLevel: 6, Variant: VariantLT}, nil)
+	l := g.NewList()
+	const n = 500
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i], vals[i] = uint64(i*2), uint64(i)
+	}
+	if err := l.BulkLoad(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	if l.idx.Load() == nil {
+		t.Fatal("BulkLoad built no index")
+	}
+	for i, k := range keys {
+		if val, ok := l.Lookup(k); !ok || val != vals[i] {
+			t.Fatalf("Lookup(%d) = (%d,%v), want (%d,true)", k, val, ok, vals[i])
+		}
+	}
+	if err := l.Set(999999, 7); err != nil {
+		t.Fatal(err)
+	}
+	if val, ok := l.Lookup(999999); !ok || val != 7 {
+		t.Fatalf("Lookup(999999) = (%d,%v), want (7,true)", val, ok)
+	}
+}
+
+// TestHashIndexDisabled checks the gate: with NoHashIndex no table is
+// ever created, by any path.
+func TestHashIndexDisabled(t *testing.T) {
+	g := NewGroup[uint64](Config{NodeSize: 4, MaxLevel: 5, Variant: VariantLT, NoHashIndex: true}, nil)
+	l := g.NewList()
+	for k := uint64(0); k < 100; k++ {
+		if err := l.Set(k, k); err != nil {
+			t.Fatal(err)
+		}
+		if val, ok := l.Lookup(k); !ok || val != k {
+			t.Fatalf("Lookup(%d) = (%d,%v)", k, val, ok)
+		}
+	}
+	if l.idx.Load() != nil {
+		t.Fatal("NoHashIndex group built an index table")
+	}
+	l2 := g.NewList()
+	keys := []uint64{1, 2, 3}
+	if err := l2.BulkLoad(keys, keys); err != nil {
+		t.Fatal(err)
+	}
+	if l2.idx.Load() != nil {
+		t.Fatal("NoHashIndex BulkLoad built an index table")
+	}
+}
+
+// TestHashIndexConcurrentChurn runs uniform-random readers against churn
+// writers that split, merge and range-delete nodes continuously, across
+// every variant. Values are a pure function of their key, so a reader can
+// verify any hit without coordination; the race detector (race_on builds)
+// checks the slot protocol, and the final sweep checks the index against
+// a sequential model.
+func TestHashIndexConcurrentChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn test is slow in -short mode")
+	}
+	const (
+		keySpace = 1 << 10
+		readers  = 4
+		writers  = 2
+	)
+	valOf := func(k uint64) uint64 { return k*2654435761 + 1 }
+	for _, v := range allVariants {
+		t.Run(v.String(), func(t *testing.T) {
+			g := NewGroup[uint64](Config{NodeSize: 8, MaxLevel: 6, Variant: v}, nil)
+			l := g.NewList()
+			for k := uint64(0); k < keySpace; k += 2 {
+				if err := l.Set(k, valOf(k)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			errs := make(chan error, readers+writers)
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(seed uint64) {
+					defer wg.Done()
+					r := rand.New(rand.NewPCG(seed, 99))
+					for !stop.Load() {
+						k := r.Uint64N(keySpace)
+						switch r.IntN(4) {
+						case 0, 1:
+							if err := l.Set(k, valOf(k)); err != nil {
+								errs <- err
+								return
+							}
+						case 2:
+							if _, err := l.Delete(k); err != nil {
+								errs <- err
+								return
+							}
+						case 3:
+							lo := r.Uint64N(keySpace)
+							ops := []Op[uint64]{{List: l, Kind: OpDeleteRange, Key: lo, KeyHi: lo + r.Uint64N(64)}}
+							if err := g.CommitOps(ops); err != nil {
+								errs <- err
+								return
+							}
+						}
+					}
+				}(uint64(w + 1))
+			}
+			for rd := 0; rd < readers; rd++ {
+				wg.Add(1)
+				go func(seed uint64) {
+					defer wg.Done()
+					r := rand.New(rand.NewPCG(seed, 7))
+					for !stop.Load() {
+						k := r.Uint64N(keySpace)
+						if val, ok := l.Lookup(k); ok && val != valOf(k) {
+							errs <- errStalePlan // any sentinel: value integrity broke
+							return
+						}
+					}
+				}(uint64(rd + 100))
+			}
+			iters := 30000
+			if raceEnabled {
+				iters = 2000 // backoff under instrumentation makes churn slow
+			}
+			// Drive a deterministic churn stream on the main goroutine so
+			// the test has a bounded duration on any scheduler.
+			r := rand.New(rand.NewPCG(42, 42))
+			for i := 0; i < iters; i++ {
+				k := r.Uint64N(keySpace)
+				if i%2 == 0 {
+					if err := l.Set(k, valOf(k)); err != nil {
+						t.Fatal(err)
+					}
+				} else if _, err := l.Delete(k); err != nil {
+					t.Fatal(err)
+				}
+			}
+			stop.Store(true)
+			wg.Wait()
+			select {
+			case err := <-errs:
+				t.Fatalf("worker failed: %v", err)
+			default:
+			}
+			mustCheck(t, l)
+			// Quiescent sweep: every present key must read back its value
+			// through the (now heavily churned) index.
+			for _, k := range l.Keys() {
+				if val, ok := l.Lookup(k); !ok || val != valOf(k) {
+					t.Fatalf("post-churn Lookup(%d) = (%d,%v), want (%d,true)", k, val, ok, valOf(k))
+				}
+			}
+		})
+	}
+}
+
+// TestSetIfCore exercises OpSetIf through CommitOps: predicate outcomes,
+// Found reporting, staging-order interaction with other writes, and the
+// nil-predicate rejection.
+func TestSetIfCore(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, g *Group[uint64]) {
+		l := g.NewList()
+		if err := l.Set(1, 10); err != nil {
+			t.Fatal(err)
+		}
+
+		eq := func(want uint64) func(cur uint64, found bool) bool {
+			return func(cur uint64, found bool) bool { return found && cur == want }
+		}
+		absent := func(cur uint64, found bool) bool { return !found }
+
+		// Applied: the pre-state matches.
+		ops := []Op[uint64]{{List: l, Kind: OpSetIf, Key: 1, Val: 11, If: eq(10)}}
+		if err := g.CommitOps(ops); err != nil {
+			t.Fatal(err)
+		}
+		if !ops[0].Found {
+			t.Fatal("SetIf(1, expect 10) did not apply")
+		}
+		if val, _ := l.Lookup(1); val != 11 {
+			t.Fatalf("Lookup(1) = %d, want 11", val)
+		}
+
+		// Not applied: wrong expectation leaves the value alone.
+		ops = []Op[uint64]{{List: l, Kind: OpSetIf, Key: 1, Val: 99, If: eq(10)}}
+		if err := g.CommitOps(ops); err != nil {
+			t.Fatal(err)
+		}
+		if ops[0].Found {
+			t.Fatal("SetIf(1, expect 10) applied against value 11")
+		}
+		if val, _ := l.Lookup(1); val != 11 {
+			t.Fatalf("Lookup(1) = %d, want 11 unchanged", val)
+		}
+
+		// SetNX semantics: applies only on an absent key.
+		ops = []Op[uint64]{
+			{List: l, Kind: OpSetIf, Key: 1, Val: 50, If: absent},
+			{List: l, Kind: OpSetIf, Key: 2, Val: 20, If: absent},
+		}
+		if err := g.CommitOps(ops); err != nil {
+			t.Fatal(err)
+		}
+		if ops[0].Found || !ops[1].Found {
+			t.Fatalf("SetNX results = (%v,%v), want (false,true)", ops[0].Found, ops[1].Found)
+		}
+		if val, ok := l.Lookup(2); !ok || val != 20 {
+			t.Fatalf("Lookup(2) = (%d,%v), want (20,true)", val, ok)
+		}
+
+		// Staging order: the conditional observes earlier staged writes on
+		// its key, and later writes win over it.
+		ops = []Op[uint64]{
+			{List: l, Kind: OpSet, Key: 3, Val: 30},
+			{List: l, Kind: OpSetIf, Key: 3, Val: 31, If: eq(30)}, // sees the staged 30
+			{List: l, Kind: OpSetIf, Key: 3, Val: 77, If: eq(30)}, // sees 31: not applied
+			{List: l, Kind: OpGet, Key: 3},
+		}
+		if err := g.CommitOps(ops); err != nil {
+			t.Fatal(err)
+		}
+		if !ops[1].Found || ops[2].Found {
+			t.Fatalf("staged SetIf results = (%v,%v), want (true,false)", ops[1].Found, ops[2].Found)
+		}
+		if !ops[3].Found || ops[3].Out != 31 {
+			t.Fatalf("staged Get = (%d,%v), want (31,true)", ops[3].Out, ops[3].Found)
+		}
+
+		// A conditional covered by an earlier DeleteRange sees the key
+		// absent; one staged before the DeleteRange sees it present.
+		if err := l.Set(4, 40); err != nil {
+			t.Fatal(err)
+		}
+		ops = []Op[uint64]{
+			{List: l, Kind: OpSetIf, Key: 4, Val: 41, If: eq(40)},
+			{List: l, Kind: OpDeleteRange, Key: 0, KeyHi: 100},
+			{List: l, Kind: OpSetIf, Key: 4, Val: 42, If: absent},
+		}
+		if err := g.CommitOps(ops); err != nil {
+			t.Fatal(err)
+		}
+		if !ops[0].Found || !ops[2].Found {
+			t.Fatalf("SetIf around DeleteRange = (%v,%v), want (true,true)", ops[0].Found, ops[2].Found)
+		}
+		if val, ok := l.Lookup(4); !ok || val != 42 {
+			t.Fatalf("Lookup(4) = (%d,%v), want (42,true)", val, ok)
+		}
+
+		// Nil predicate is rejected up front.
+		err := g.CommitOps([]Op[uint64]{{List: l, Kind: OpSetIf, Key: 5, Val: 1}})
+		if err != ErrNilPredicate {
+			t.Fatalf("nil-predicate CommitOps = %v, want ErrNilPredicate", err)
+		}
+		mustCheck(t, l)
+	})
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"leaplist/internal/stm"
 )
@@ -16,6 +17,12 @@ type List[V any] struct {
 
 	// mu is the whole-list lock of VariantRW; unused by other variants.
 	mu sync.RWMutex
+
+	// idx is the list's point-lookup hash index generation (nil until
+	// the first publish-path insert or BulkLoad); idxMu serializes table
+	// creation and growth. See hashindex.go.
+	idx   atomic.Pointer[idxTable[V]]
+	idxMu sync.Mutex
 }
 
 // NewList creates an empty list: a head sentinel (high = -inf, no keys, at
@@ -95,6 +102,9 @@ func (l *List[V]) BulkLoad(keys []uint64, vals []V) error {
 			last[i].next[i].DirectStore(n, stm.TagNone)
 			last[i] = n
 		}
+	}
+	if l.g.hashIndex() && len(keys) > 0 {
+		l.idxBulkLoad(len(keys))
 	}
 	return nil
 }

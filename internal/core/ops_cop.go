@@ -91,6 +91,7 @@ func (c copCommitter[V]) publish(ops []Op[V], b *txState[V]) {
 			}
 		}
 	}
+	g.indexPublish(ops, b)
 }
 
 func (c copCommitter[V]) abort(ops []Op[V], b *txState[V]) {

@@ -140,6 +140,7 @@ func (c ltCommitter[V]) publish(ops []Op[V], b *txState[V]) {
 	for _, s := range b.marked[b.readMarkFrom:] {
 		s.DirectStoreTag(stm.TagNone)
 	}
+	g.indexPublish(ops, b)
 }
 
 func (c ltCommitter[V]) abort(ops []Op[V], b *txState[V]) {

@@ -90,6 +90,7 @@ func (c rwCommitter[V]) publish(ops []Op[V], b *txState[V]) {
 			g.retireNode(b, e.old1)
 		}
 	}
+	g.indexPublish(ops, b)
 	c.unlock(b)
 }
 

@@ -78,6 +78,7 @@ func (c tmCommitter[V]) publish(ops []Op[V], b *txState[V]) {
 			}
 		}
 	}
+	g.indexPublish(ops, b)
 }
 
 func (c tmCommitter[V]) abort(ops []Op[V], b *txState[V]) {

@@ -98,22 +98,42 @@ func (l *List[V]) Lookup(k uint64) (V, bool) {
 	switch g.cfg.Variant {
 	case VariantLT:
 		n := fingerSeekNaked(l, ik, r.finger)
+		if n == nil && g.hashIndex() {
+			if c := l.idxProbe(ik); c != nil {
+				n = fingerSeekNaked(l, ik, c)
+			}
+		}
+		repair := false
 		if n == nil {
 			searchNaked(l, ik, r.pa, r.na)
 			n = r.na[0]
+			repair = g.hashIndex()
 		}
 		r.saveFinger(g, n)
 		if i := n.find(ik); i >= 0 {
+			if repair {
+				l.idxInsert(ik, n, r.part.Era())
+			}
 			return n.vals[i], true
+		}
+		if repair {
+			l.idxDelete(ik)
 		}
 		return zero, false
 
 	case VariantCOP:
 		n := fingerSeekNaked(l, ik, r.finger)
+		if n == nil && g.hashIndex() {
+			if c := l.idxProbe(ik); c != nil {
+				n = fingerSeekNaked(l, ik, c)
+			}
+		}
+		repair := false
 		for attempt := 0; ; attempt++ {
 			if n == nil {
 				searchNaked(l, ik, r.pa, r.na)
 				n = r.na[0]
+				repair = g.hashIndex()
 			}
 			// COP verification transaction: the node must still be live.
 			// A finger-found node failing it falls back to a head search
@@ -131,7 +151,13 @@ func (l *List[V]) Lookup(k uint64) (V, bool) {
 			if err == nil {
 				r.saveFinger(g, n)
 				if i := n.find(ik); i >= 0 {
+					if repair {
+						l.idxInsert(ik, n, r.part.Era())
+					}
 					return n.vals[i], true
+				}
+				if repair {
+					l.idxDelete(ik)
 				}
 				return zero, false
 			}
@@ -143,17 +169,29 @@ func (l *List[V]) Lookup(k uint64) (V, bool) {
 		var val V
 		var ok bool
 		var found *node[V]
+		var repair bool
 		err := g.stm.Atomically(func(tx *stm.Tx) error {
 			val, ok = zero, false
+			repair = false
 			n, err := fingerSeekTx(tx, l, ik, r.finger)
 			if err != nil {
 				return err
+			}
+			if n == nil && g.hashIndex() {
+				c := l.idxProbe(ik)
+				if c != nil {
+					n, err = fingerSeekTx(tx, l, ik, c)
+					if err != nil {
+						return err
+					}
+				}
 			}
 			if n == nil {
 				if err := searchTx(tx, l, ik, r.pa, r.na); err != nil {
 					return err
 				}
 				n = r.na[0]
+				repair = g.hashIndex()
 			}
 			found = n
 			if i := n.find(ik); i >= 0 {
@@ -165,19 +203,39 @@ func (l *List[V]) Lookup(k uint64) (V, bool) {
 			panic("core: unreachable Lookup error: " + err.Error())
 		}
 		r.saveFinger(g, found)
+		if repair {
+			if ok {
+				l.idxInsert(ik, found, r.part.Era())
+			} else {
+				l.idxDelete(ik)
+			}
+		}
 		return val, ok
 
 	case VariantRW:
 		l.mu.RLock()
 		defer l.mu.RUnlock()
 		n := fingerSeekRW(l, ik, r.finger)
+		if n == nil && g.hashIndex() {
+			if c := l.idxProbe(ik); c != nil {
+				n = fingerSeekRW(l, ik, c)
+			}
+		}
+		repair := false
 		if n == nil {
 			searchRW(l, ik, r.pa, r.na)
 			n = r.na[0]
+			repair = g.hashIndex()
 		}
 		r.saveFinger(g, n)
 		if i := n.find(ik); i >= 0 {
+			if repair {
+				l.idxInsert(ik, n, r.part.Era())
+			}
 			return n.vals[i], true
+		}
+		if repair {
+			l.idxDelete(ik)
 		}
 		return zero, false
 

@@ -172,12 +172,13 @@ type KV[V any] = core.KV[V]
 type Option func(*options)
 
 type options struct {
-	nodeSize  int
-	maxLevel  int
-	variant   Variant
-	stats     bool
-	noFingers bool
-	collector *epoch.Collector
+	nodeSize    int
+	maxLevel    int
+	variant     Variant
+	stats       bool
+	noFingers   bool
+	noHashIndex bool
+	collector   *epoch.Collector
 }
 
 // WithNodeSize sets K, the maximum pairs per node (default 300, the
@@ -221,6 +222,22 @@ func WithFingers(enabled bool) Option {
 	return func(o *options) { o.noFingers = !enabled }
 }
 
+// WithHashIndex toggles the per-map point-lookup hash index (default
+// on). Each map keeps an open-addressed key→node table maintained at
+// the commit pipeline's publish phase; Get and the point-op half of a
+// Tx consult it to skip the skip-list descent for keys it remembers.
+// Entries are hints: every hit is re-validated (epoch era, liveness,
+// owning list, key-range bounds) and falls back to a full descent, so
+// results are identical either way — the index only changes where the
+// level-0 walk starts. Unlike fingers, which help only local/ascending
+// access, the index accelerates uniform-random point reads (see
+// BenchmarkPointIndex). Disabling exists for A/B benchmarking and for
+// bisecting suspected regressions. Sharded maps pass the option to
+// every shard, so each shard keeps its own per-map index.
+func WithHashIndex(enabled bool) Option {
+	return func(o *options) { o.noHashIndex = !enabled }
+}
+
 // WithCollector supplies the epoch collector the group runs on — every
 // operation pins it and every replaced node retires through it into the
 // group's node recycler — exposing the reclamation accounting of the
@@ -251,11 +268,12 @@ func NewGroup[V any](opts ...Option) *Group[V] {
 	}
 	domain := stm.New(stmOpts...)
 	inner := core.NewGroup[V](core.Config{
-		NodeSize:  o.nodeSize,
-		MaxLevel:  o.maxLevel,
-		Variant:   o.variant,
-		NoFingers: o.noFingers,
-		Collector: o.collector,
+		NodeSize:    o.nodeSize,
+		MaxLevel:    o.maxLevel,
+		Variant:     o.variant,
+		NoFingers:   o.noFingers,
+		NoHashIndex: o.noHashIndex,
+		Collector:   o.collector,
 	}, domain)
 	return &Group[V]{inner: inner, stm: domain}
 }

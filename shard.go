@@ -36,6 +36,12 @@ import (
 // its own pooled read and commit fingers, so a cross-shard transaction's
 // per-shard sub-batches seed their descents independently and key
 // locality within any one shard is preserved across transactions.
+//
+// The hash index (WithHashIndex) likewise composes per shard: each
+// shard's list maintains its own key->node table, updated at that
+// shard's publish — including the publish leg of a cross-shard 2PC
+// commit — so point reads and read-only point sub-batches take the
+// index fast path on whichever shard owns the key.
 type Sharded[V any] struct {
 	groups []*Group[V]
 	maps   []*Map[V]

@@ -9,8 +9,9 @@ import (
 // ErrTxCommitted is returned (or recorded) when a Tx is used after Commit.
 var ErrTxCommitted = errors.New("leaplist: transaction already committed")
 
-// Tx is a declarative transaction builder: stage any mix of Set, Delete,
-// Get, GetRange and DeleteRange operations across any maps of one group —
+// Tx is a declarative transaction builder: stage any mix of Set, SetIf,
+// SetNX, Delete, Get, GetRange and DeleteRange operations across any
+// maps of one group —
 // including multiple keys in the same map — then Commit them as a single
 // atomic, linearizable operation under every synchronization variant.
 //
@@ -64,7 +65,7 @@ func (g *Group[V]) Txn() *Tx[V] {
 // Release returns the Tx to the group's builder pool for reuse by a later
 // Txn. It may be called whether or not the Tx was committed. After
 // Release the Tx and every handle obtained from it — TxGet, TxDelete,
-// TxRange (including slices returned by Pairs) and TxDeleteRange — are
+// TxCond, TxRange (including slices returned by Pairs) and TxDeleteRange — are
 // invalid and must not be used — the builder (including its staged-op
 // storage, where handle results live) is handed to the next Txn caller.
 // Releasing is optional: an un-Released Tx is simply garbage-collected.
@@ -129,6 +130,37 @@ func (t *Tx[V]) Delete(m *Map[V], k uint64) TxDelete[V] {
 func (t *Tx[V]) Get(m *Map[V], k uint64) TxGet[V] {
 	var zero V
 	return TxGet[V]{t: t, i: t.stage(m, core.OpGet, k, zero)}
+}
+
+// SetIf stages a compare-and-set: m[k] = v applies only when the key is
+// present and its value (as observed by this op — a value Set earlier
+// in the same Tx counts) equals expect. The comparison uses Go's ==
+// through an interface conversion, so it panics at commit time if V's
+// dynamic type is not comparable (a slice-valued map, say) — exactly
+// the values Go's == itself rejects. The returned handle reports, after
+// a successful Commit, whether the write applied. The decision is made
+// atomically at the Tx's linearization point: no concurrent writer can
+// change the value between the comparison and the store.
+func (t *Tx[V]) SetIf(m *Map[V], k uint64, expect, v V) TxCond[V] {
+	i := t.stage(m, core.OpSetIf, k, v)
+	if i >= 0 {
+		t.ops[i].If = func(cur V, found bool) bool {
+			return found && any(cur) == any(expect)
+		}
+	}
+	return TxCond[V]{t: t, i: i}
+}
+
+// SetNX stages a set-if-absent: m[k] = v applies only when the key is
+// absent (as observed by this op — a key Set earlier in the same Tx
+// counts as present, a key deleted earlier as absent). The returned
+// handle reports, after a successful Commit, whether the write applied.
+func (t *Tx[V]) SetNX(m *Map[V], k uint64, v V) TxCond[V] {
+	i := t.stage(m, core.OpSetIf, k, v)
+	if i >= 0 {
+		t.ops[i].If = func(cur V, found bool) bool { return !found }
+	}
+	return TxCond[V]{t: t, i: i}
 }
 
 // stageRange appends one interval op, normalizing the bounds the way
@@ -247,6 +279,22 @@ type TxDelete[V any] struct {
 // Before a successful Commit (or when the stage itself failed) it
 // returns false.
 func (h TxDelete[V]) Present() bool {
+	if h.t == nil || h.i < 0 || !h.t.done || h.t.err != nil {
+		return false
+	}
+	return h.t.ops[h.i].Found
+}
+
+// TxCond is the handle of a staged SetIf or SetNX; valid after its Tx
+// commits.
+type TxCond[V any] struct {
+	t *Tx[V]
+	i int
+}
+
+// Applied reports whether the conditional write landed. Before a
+// successful Commit (or when the stage itself failed) it returns false.
+func (h TxCond[V]) Applied() bool {
 	if h.t == nil || h.i < 0 || !h.t.done || h.t.err != nil {
 		return false
 	}

@@ -888,3 +888,121 @@ func TestLegacyWrappersOverTx(t *testing.T) {
 		t.Fatalf("DeleteMany changed = %v, want [true false]", changed)
 	}
 }
+
+func TestTxSetIfSetNX(t *testing.T) {
+	forEachTxVariant(t, func(t *testing.T, v Variant) {
+		g := NewGroup[string](WithVariant(v), WithNodeSize(4), WithMaxLevel(5))
+		m := g.NewMap()
+		if err := m.Set(1, "a"); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+
+		// SetIf applies on a matching value, not otherwise.
+		tx := g.Txn()
+		hit := tx.SetIf(m, 1, "a", "b")
+		miss := tx.SetIf(m, 1, "zzz", "c")
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+		if !hit.Applied() {
+			t.Fatal("SetIf(1, expect a) not applied")
+		}
+		if miss.Applied() {
+			t.Fatal("SetIf(1, expect zzz) applied")
+		}
+		if got, _ := m.Get(1); got != "b" {
+			t.Fatalf("Get(1) = %q, want b", got)
+		}
+
+		// SetNX applies only on an absent key; within one Tx it observes
+		// earlier staged writes.
+		tx = g.Txn()
+		taken := tx.SetNX(m, 1, "x")
+		first := tx.SetNX(m, 2, "y")
+		second := tx.SetNX(m, 2, "z") // key 2 staged just above: present now
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+		if taken.Applied() {
+			t.Fatal("SetNX(1) applied over a present key")
+		}
+		if !first.Applied() || second.Applied() {
+			t.Fatalf("SetNX(2) twice = (%v,%v), want (true,false)", first.Applied(), second.Applied())
+		}
+		if got, _ := m.Get(2); got != "y" {
+			t.Fatalf("Get(2) = %q, want y", got)
+		}
+
+		// SetIf observes a write staged earlier in the same Tx, and a Get
+		// staged after it reads the conditional's outcome.
+		tx = g.Txn()
+		tx.Set(m, 3, "pre")
+		cond := tx.SetIf(m, 3, "pre", "post")
+		get := tx.Get(m, 3)
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+		if !cond.Applied() {
+			t.Fatal("SetIf over staged write not applied")
+		}
+		if got, ok := get.Value(); !ok || got != "post" {
+			t.Fatalf("staged Get = (%q,%v), want (post,true)", got, ok)
+		}
+
+		// Handles report false before commit and after a failed stage.
+		tx = g.Txn()
+		pending := tx.SetNX(m, 4, "w")
+		if pending.Applied() {
+			t.Fatal("Applied() true before Commit")
+		}
+		bad := tx.SetIf(nil, 5, "", "")
+		if err := tx.Commit(); !errors.Is(err, ErrForeignMap) {
+			t.Fatalf("Commit with nil map = %v, want ErrForeignMap", err)
+		}
+		if pending.Applied() || bad.Applied() {
+			t.Fatal("Applied() true after failed commit")
+		}
+	})
+}
+
+// TestTxSetIfAtomicCounter is the classic CAS-loop exercise: concurrent
+// incrementers over one key, each retrying SetIf until its expected value
+// wins. Every increment must land exactly once.
+func TestTxSetIfAtomicCounter(t *testing.T) {
+	g := NewGroup[uint64]()
+	m := g.NewMap()
+	if err := m.Set(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	const (
+		workers = 4
+		perW    = 200
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				for {
+					cur, _ := m.Get(0)
+					tx := g.Txn()
+					done := tx.SetIf(m, 0, cur, cur+1)
+					if err := tx.Commit(); err != nil {
+						t.Error(err)
+						return
+					}
+					ok := done.Applied()
+					tx.Release()
+					if ok {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got, _ := m.Get(0); got != workers*perW {
+		t.Fatalf("counter = %d, want %d", got, workers*perW)
+	}
+}
