@@ -141,6 +141,32 @@ func benchVsSkiplists(b *testing.B, mix workload.Mix) {
 func BenchmarkFig14a(b *testing.B) { benchLeapVariants(b, mix100Modify, benchInitSmall) }
 func BenchmarkFig14b(b *testing.B) { benchLeapVariants(b, mix404020, benchInitSmall) }
 
+// BenchmarkFig14aBundles is the write-path A/B for the versioned links
+// (abl-bundles): the 100%-modify panel with bundle stamping on and off,
+// bounding what the publish-phase record prepends/fills cost writers.
+func BenchmarkFig14aBundles(b *testing.B) {
+	for _, bundles := range []bool{true, false} {
+		label := "off"
+		if bundles {
+			label = "on"
+		}
+		b.Run("bundles="+label, func(b *testing.B) {
+			for _, v := range []core.Variant{core.VariantLT, core.VariantCOP, core.VariantTM, core.VariantRW} {
+				b.Run(v.String(), func(b *testing.B) {
+					tgt := harness.NewLeapTarget(harness.LeapOptions{
+						Variant:   v,
+						Lists:     harness.PaperLists,
+						NodeSize:  harness.PaperNodeSize,
+						MaxLevel:  harness.PaperMaxLevel,
+						NoBundles: !bundles,
+					})
+					runMixBench(b, tgt, mix100Modify, benchInitSmall)
+				})
+			}
+		})
+	}
+}
+
 // ---- Figure 15: variants, element sweep ----
 
 func BenchmarkFig15a(b *testing.B) {
@@ -467,6 +493,93 @@ func BenchmarkShardedTx(b *testing.B) {
 				b.ReportMetric(float64(b.N)/elapsed.Seconds(), "tx/s")
 			}
 		})
+	}
+}
+
+// ---- Snapshot scans under churn: bundles A/B across shard counts ----
+
+// BenchmarkSnapshotScan drives the scan-heavy mixed stream (two thirds
+// long range scans spanning a quarter to half of the key space, the
+// rest modify churn) against a Sharded store at 1 and 4 shards, with
+// versioned links on and off. With bundles on every scan resolves one
+// frozen timestamped cut and never retries; with bundles off a scan
+// that races a structural change restarts its snapshot run, so the A/B
+// exposes retry-driven collapse directly. Tracked with -benchmem so the
+// timestamped path's scan allocations stay visible.
+func BenchmarkSnapshotScan(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		for _, bundles := range []bool{true, false} {
+			label := "off"
+			if bundles {
+				label = "on"
+			}
+			b.Run("shards="+itoa(shards)+"/bundles="+label, func(b *testing.B) {
+				runSnapshotScanBench(b, shards, bundles)
+			})
+		}
+	}
+}
+
+func runSnapshotScanBench(b *testing.B, shards int, bundles bool) {
+	const initN = 20_000
+	s := leaplist.NewSharded[uint64](shards,
+		leaplist.WithNodeSize(harness.PaperNodeSize),
+		leaplist.WithMaxLevel(harness.PaperMaxLevel),
+		leaplist.WithBundles(bundles),
+	)
+	// Spread the working set over the whole keyspace so every shard
+	// owns an equal slice and every long scan crosses shard boundaries.
+	stride := leaplist.MaxKey / uint64(initN)
+	keys := make([]uint64, initN)
+	vals := make([]uint64, initN)
+	for i := range keys {
+		keys[i], vals[i] = uint64(i)*stride, uint64(i)
+	}
+	if err := s.BulkLoad(keys, vals); err != nil {
+		b.Fatal(err)
+	}
+	var remaining atomic.Int64
+	remaining.Store(int64(b.N))
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < benchWorkers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			gen, err := workload.NewScanHeavyGenerator(initN, seed)
+			if err != nil {
+				panic(err)
+			}
+			buf := make([]leaplist.KV[uint64], 0, initN)
+			for remaining.Add(-1) >= 0 {
+				op, key, val, lo, hi := gen.Next()
+				switch op {
+				case workload.OpLookup:
+					s.Get(key * stride)
+				case workload.OpRange:
+					if hi >= initN { // clamp to the loaded grid: hi*stride must not wrap
+						hi = initN - 1
+					}
+					buf = s.CollectInto(lo*stride, hi*stride, buf[:0])
+				case workload.OpUpdate:
+					if err := s.Set(key*stride, val); err != nil {
+						panic(err)
+					}
+				case workload.OpRemove:
+					if _, err := s.Delete(key * stride); err != nil {
+						panic(err)
+					}
+				}
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N)/elapsed.Seconds(), "ops/s")
 	}
 }
 

@@ -1,0 +1,124 @@
+package rules
+
+import (
+	"go/ast"
+
+	"leaplist/cmd/leaplint/internal/lintkit"
+)
+
+// Bundleproto protects the versioned-link ("bundle") protocol of the
+// timestamped read path. A bundle record's words (ts, death, to, older,
+// supersededEra) encode a link's history under a strict publish
+// discipline: records are prepended PENDING and filled with the batch
+// timestamp inside the commit pipeline's publish phase, while the
+// affected links are still marked or locked, and readers resolve them
+// only through the timestamp-validating helpers (bunNextAsOf,
+// bunRecoverAsOf), which spin through pending records and compare
+// against the reader's snapshot instant. Any other read can observe a
+// half-published record or prefer a superseded one; any other write
+// breaks the per-link newest-first ordering the whole reader proof
+// rests on. The rule enforces three facets:
+//
+//   - record fields may be touched only by the bundle protocol
+//     functions themselves (and the recyclers, whose grace periods
+//     prove quiescence);
+//   - a node's bundle head (node.bun) is owned by the same functions;
+//   - the stamping entry points (bunPublishStart, bunPrepend,
+//     bunFillAll, bunInit, bunTruncate) may be called only from
+//     publish-phase code (or list construction, for bunInit), and a
+//     node's born field is stored only by the fill pass and the shell
+//     recycler.
+var Bundleproto = &lintkit.Analyzer{
+	Name: "bundleproto",
+	Doc:  "bundle records are read only through the timestamp-validating bunNextAsOf/bunRecoverAsOf helpers and stamped only inside the commit pipeline's publish phase",
+	Run:  runBundleproto,
+}
+
+// recFields are the protocol words of a bundle record.
+var recFields = map[string]bool{
+	"ts": true, "death": true, "to": true, "older": true, "supersededEra": true,
+}
+
+// recHolderTypes scope the field check to the record type.
+var recHolderTypes = map[string]bool{"bundleRec": true}
+
+// bunProtoFuncs are the bundle protocol functions: the only code allowed
+// to touch record fields or a node's bundle head directly. recycleNode
+// and recycleBundleRec ride along because their grace periods prove no
+// reader can still observe the chain they dismantle.
+var bunProtoFuncs = map[string]bool{
+	"recycleBundleRec": true, "recycleBundleChain": true, "bunInit": true,
+	"bunPrepend": true, "bunFillAll": true, "bunTruncate": true,
+	"bunNextAsOf": true, "bunRecoverAsOf": true, "recycleNode": true,
+}
+
+// bunStampCallees are the stamping entry points of the protocol; calling
+// one outside a publish phase would create records with no serialization
+// against the links' marks/locks.
+var bunStampCallees = map[string]bool{
+	"bunPublishStart": true, "bunPrepend": true, "bunFillAll": true,
+	"bunInit": true, "bunTruncate": true,
+}
+
+// bunPublishPhaseFuncs are the sanctioned callers of the stamping entry
+// points: the four committers' publish halves, the swing helpers that
+// wire birth records at piece-publication time, the coordinated publish
+// split, the protocol's own internals, and list construction (bunInit
+// before the list is shared).
+var bunPublishPhaseFuncs = map[string]bool{
+	"publish": true, "publishAt": true, "install": true,
+	"releaseEntry": true, "applyEntryTx": true, "PublishStart": true,
+	"bunPublishStart": true, "bunFillAll": true,
+	"NewList": true, "BulkLoad": true,
+}
+
+// bornStampFuncs are the functions allowed to store a node's born field:
+// the publish fill pass (the only place a real timestamp is known) and
+// the shell lifecycle, which parks born at the pending sentinel.
+var bornStampFuncs = map[string]bool{
+	"bunFillAll": true, "recycleNode": true, "newShell": true,
+}
+
+func runBundleproto(pass *lintkit.Pass) error {
+	if !declaresType(pass.Pkg, "bundleRec") {
+		return nil
+	}
+	for _, fd := range funcDecls(pass.Files) {
+		name := fd.Name.Name
+		proto := bunProtoFuncs[name]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				callee := calleeName(call)
+				if bunStampCallees[callee] && !bunPublishPhaseFuncs[name] {
+					pass.Reportf(call.Pos(),
+						"%s calls %s outside a publish phase; bundle records are prepended and filled only inside the commit pipeline's publish (or list construction, for bunInit)",
+						name, callee)
+				}
+				if callee == "Store" && !bornStampFuncs[name] {
+					if sel, ok := calleeRecv(call).(*ast.SelectorExpr); ok &&
+						sel.Sel.Name == "born" && exprTypeName(pass, sel.X) == "node" {
+						pass.Reportf(call.Pos(),
+							"%s stamps %s outside the publish fill pass; born is written only by bunFillAll and the shell recycler",
+							name, exprString(sel))
+					}
+				}
+			}
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || proto {
+				return true
+			}
+			if recFields[sel.Sel.Name] && recHolderTypes[exprTypeName(pass, sel.X)] {
+				pass.Reportf(sel.Pos(),
+					"%s touches bundle record field %s directly; records are resolved only through the timestamp-validating bunNextAsOf/bunRecoverAsOf helpers or mutated by the publish-phase protocol",
+					name, exprString(sel))
+			}
+			if sel.Sel.Name == "bun" && exprTypeName(pass, sel.X) == "node" {
+				pass.Reportf(sel.Pos(),
+					"%s touches bundle link %s directly; the link head is owned by the bundle protocol (bunPrepend/bunTruncate/bunNextAsOf/bunRecoverAsOf)",
+					name, exprString(sel))
+			}
+			return true
+		})
+	}
+	return nil
+}

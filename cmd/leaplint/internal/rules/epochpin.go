@@ -35,9 +35,12 @@ var (
 
 	// Types whose presence as a parameter or receiver means the caller
 	// already holds the pin that protects the node memory being touched.
+	// ReadPin wraps a pinned scratch by construction (PinReads/Unpin are
+	// its lifecycle), so its methods run under the pin it carries.
 	pinnedCarrierTypes = map[string]bool{
 		"node": true, "readScratch": true, "txState": true, "txEntry": true,
 		"Tx": true, "PreparedOps": true, "PreparedTx": true, "Op": true,
+		"ReadPin": true,
 	}
 
 	// Constructors whose results are private until published.

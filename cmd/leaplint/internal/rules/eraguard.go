@@ -42,12 +42,14 @@ var eraSafeFuncs = map[string]bool{
 
 // eraSafeCallees are the helpers that perform era validation before
 // following a finger; passing a finger field to them is the sanctioned
-// consumption path.
+// consumption path. asOfSeed is the timestamped read path's validator:
+// getRead's era guard plus hintAsOf's list/born/range checks stand in
+// for the live path's fEra comparison.
 var eraSafeCallees = map[string]bool{
 	"fingerSeekNaked": true, "fingerSeekTx": true, "fingerSeekRW": true,
 	"seedAt": true, "searchNakedSeeded": true, "searchRWSeeded": true,
 	"searchTxSeeded": true, "saveFinger": true, "fingerUsable": true,
-	"saveBatchFinger": true,
+	"saveBatchFinger": true, "asOfSeed": true,
 }
 
 // idxEntryFields are the hint-carrying fields of a hash-index slot: the

@@ -39,6 +39,10 @@ func TestEraguard(t *testing.T) {
 	linttest.Run(t, testdataDir(t, "eraguard"), rules.Eraguard)
 }
 
+func TestBundleproto(t *testing.T) {
+	linttest.Run(t, testdataDir(t, "bundleproto"), rules.Bundleproto)
+}
+
 // failRecorder wraps a real testing.TB but swallows Errorf, recording
 // only that a failure happened.
 type failRecorder struct {

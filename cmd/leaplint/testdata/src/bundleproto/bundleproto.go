@@ -1,0 +1,189 @@
+// Package bundleproto is testdata for the bundleproto analyzer: bundle
+// record words touched outside the protocol functions, the stamping
+// entry points called outside a publish phase, and born stores outside
+// the fill pass.
+package bundleproto
+
+import "sync/atomic"
+
+type node struct {
+	high uint64
+	born atomic.Uint64
+	bun  atomic.Pointer[bundleRec]
+}
+
+type bundleRec struct {
+	ts            atomic.Uint64
+	death         bool
+	to            *node
+	older         atomic.Pointer[bundleRec]
+	supersededEra atomic.Uint64
+}
+
+type txState struct {
+	fills []*bundleRec
+}
+
+// --- the protocol functions (shape only): sanctioned direct access ---
+
+func bunInit(n, to *node) {
+	rec := &bundleRec{to: to}
+	rec.ts.Store(0)
+	n.bun.Store(rec)
+}
+
+func bunPrepend(b *txState, n, to *node, death bool) {
+	rec := &bundleRec{death: death, to: to}
+	rec.ts.Store(^uint64(0))
+	rec.older.Store(n.bun.Load())
+	n.bun.Store(rec)
+	b.fills = append(b.fills, rec)
+}
+
+func bunFillAll(b *txState, n *node, ts uint64) {
+	n.born.Store(ts)
+	for _, rec := range b.fills {
+		rec.ts.Store(ts)
+	}
+	bunTruncate(n, 3)
+}
+
+func bunTruncate(n *node, nowEra uint64) {
+	prev := n.bun.Load()
+	for prev != nil {
+		rec := prev.older.Load()
+		if rec != nil && rec.supersededEra.Load()+2 <= nowEra {
+			prev.older.Store(nil)
+			return
+		}
+		prev = rec
+	}
+}
+
+func bunNextAsOf(n *node, s uint64) *node {
+	for rec := n.bun.Load(); rec != nil; rec = rec.older.Load() {
+		if rec.ts.Load() <= s {
+			return rec.to
+		}
+	}
+	return nil
+}
+
+func bunRecoverAsOf(n *node, s uint64) *node {
+	for {
+		rec := n.bun.Load()
+		if rec == nil || !rec.death || rec.ts.Load() > s {
+			return n
+		}
+		n = rec.to
+	}
+}
+
+func recycleNode(n *node) {
+	for rec := n.bun.Load(); rec != nil; {
+		next := rec.older.Load()
+		rec.older.Store(nil)
+		rec = next
+	}
+	n.bun.Store(nil)
+	n.born.Store(^uint64(0))
+}
+
+func newShell() *node {
+	n := &node{}
+	n.born.Store(^uint64(0))
+	return n
+}
+
+// --- publish-phase callers: sanctioned stamping ---
+
+func bunPublishStart(b *txState, n *node) {
+	bunPrepend(b, n, nil, true)
+}
+
+func publish(b *txState, n *node) {
+	bunPublishStart(b, n)
+	bunFillAll(b, n, 7)
+}
+
+func publishAt(b *txState, n *node, ts uint64) {
+	bunFillAll(b, n, ts)
+}
+
+func releaseEntry(b *txState, p *node) {
+	bunPrepend(b, p, nil, false)
+}
+
+func applyEntryTx(b *txState, p *node) {
+	bunPrepend(b, p, nil, false)
+}
+
+func NewList() *node {
+	head, tail := &node{}, &node{high: ^uint64(0)}
+	bunInit(head, tail)
+	return head
+}
+
+// --- sanctioned reads: timestamp-validating helpers only ---
+
+func seekOK(n *node, s uint64) *node {
+	n = bunRecoverAsOf(n, s)
+	for n.high < s {
+		n = bunNextAsOf(n, s)
+	}
+	return n
+}
+
+func anchorOK(n *node, s uint64) bool {
+	return n.born.Load() <= s // born reads are free; only stores are gated
+}
+
+// --- violations: raw record reads ---
+
+func peekTimestamp(n *node) uint64 {
+	rec := n.bun.Load() // want "peekTimestamp touches bundle link n.bun directly"
+	return rec.ts.Load() // want "peekTimestamp touches bundle record field rec.ts directly"
+}
+
+func chaseRaw(rec *bundleRec, s uint64) *node {
+	for rec != nil {
+		if !rec.death { // want "chaseRaw touches bundle record field rec.death directly"
+			return rec.to // want "chaseRaw touches bundle record field rec.to directly"
+		}
+		rec = rec.older.Load() // want "chaseRaw touches bundle record field rec.older directly"
+	}
+	return nil
+}
+
+func expireEarly(rec *bundleRec, era uint64) {
+	rec.supersededEra.Store(era) // want "expireEarly touches bundle record field rec.supersededEra directly"
+}
+
+// --- violations: stamping outside a publish phase ---
+
+func seekAndPatch(b *txState, n *node) {
+	bunPrepend(b, n, nil, false) // want "seekAndPatch calls bunPrepend outside a publish phase"
+}
+
+func refreshDuringRead(b *txState, n *node) {
+	bunFillAll(b, n, 9) // want "refreshDuringRead calls bunFillAll outside a publish phase"
+}
+
+func compactInline(n *node) {
+	bunTruncate(n, 5) // want "compactInline calls bunTruncate outside a publish phase"
+}
+
+func adoptBorn(n *node, ts uint64) {
+	n.born.Store(ts) // want "adoptBorn stamps n.born outside the publish fill pass"
+}
+
+// --- suppression: a deliberate white-box escape hatch ---
+
+//lint:allow bundleproto test-only inspection of a quiesced chain
+func dumpChain(n *node) int {
+	count := 0
+	for rec := n.bun.Load(); rec != nil; rec = rec.older.Load() {
+		count++
+	}
+	return count
+}

@@ -1,0 +1,369 @@
+package core
+
+// Timestamped ("as-of") traversal: the read half of the versioned-link
+// protocol in bundle.go. A reader pins an epoch, draws one snapshot
+// timestamp S from the group's clock, and resolves every hop through the
+// newest bundle record at or before S — it observes exactly the state
+// the structure had at instant S, never validates liveness, and never
+// restarts on structural churn. The only waiting it ever does is the
+// bounded spin on a pending record inside a concurrent publish postfix;
+// writers never wait for readers at all.
+//
+// Chain membership is inductive: the head sentinel (born 0) is in every
+// as-of-S chain; an in-chain node's newest record with ts <= S names its
+// successor at instant S, which is in-chain too (had that successor died
+// at some ts' <= S, the node would carry a newer record with ts' <= S —
+// the replacing batch prepends one on every surviving predecessor — or
+// be dead itself). Arbitrary hints (search fingers, hash-index probes,
+// descent results) are promoted into the chain by bunRecoverAsOf's
+// death-record chase, so the hint source never needs to be consistent.
+//
+// Reclamation safety: every node an as-of traversal touches is readable
+// under the reader's pin. Hints are reached through the live graph during
+// the pin (the standard epoch grace argument); a death record's target
+// was live when the record was stamped, which happened no earlier than
+// one epoch before the dead node's own reclaim horizon; and an in-chain
+// hop's target is alive as of S >= the reader's pin instant, so if it
+// dies at all it is retired after the pin began.
+//
+// Pin before timestamp — the one ordering rule every as-of reader must
+// observe: S is drawn from the clock AFTER the reader's epoch pin is in
+// place (for a multi-list or multi-group read, after every involved
+// pin). Bundle truncation cuts a superseded record only once the global
+// epoch has advanced twice past the superseding fill, which a pin taken
+// before S blocks: while the reader stays pinned the epoch cannot reach
+// the record's cut horizon, and any record superseded after the pin
+// began was displaced by a fill the pinned reader's S already covers.
+// An S drawn before the pin can be arbitrarily stale by the time the
+// pin lands, and the records it needs may be gone — that is exactly
+// what ReadPin exists to prevent for coordinated cross-group reads.
+
+// bunMustNext is bunNextAsOf with the protocol invariant enforced: an
+// in-chain node always has a record at or before its chain's timestamp
+// (its own birth record if nothing newer), so nil is a protocol bug, not
+// a recoverable condition.
+func bunMustNext[V any](n *node[V], s uint64) *node[V] {
+	nxt := bunNextAsOf(n, s)
+	if nxt == nil {
+		panic("core: bundle protocol violation: node without a record at or before its snapshot timestamp")
+	}
+	return nxt
+}
+
+// hintAsOf reports whether hint h can seed an as-of-s seek toward
+// internal key ik: h must belong to l, have been published at or before
+// s, and its range must begin at or before ik — h.high < ik proves that
+// outright, and otherwise h's first key bounds the (immutable) left
+// boundary from above. A usable hint, after death-record recovery, is an
+// in-chain node from which forward hops reach ik's owner.
+func hintAsOf[V any](h *node[V], l *List[V], ik, s uint64) bool {
+	return h != nil && h.lid == l.id && h.born.Load() <= s &&
+		(h.high < ik || (len(h.keys) > 0 && h.keys[0] <= ik))
+}
+
+// asOfSeed is the sanctioned consumer of a saved finger on the
+// timestamped path (listed in leaplint eraguard's era-validating
+// helpers): getRead's era guard already dropped any finger saved under
+// an older epoch, so h — when non-nil — points at unreclaimed memory,
+// and hintAsOf's list/born/range checks reject recycled or unusable
+// nodes before recovery lifts the hint into the as-of-s chain. nil
+// means the seek must descend from the head.
+func asOfSeed[V any](h *node[V], l *List[V], ik, s uint64) *node[V] {
+	if !hintAsOf(h, l, ik, s) {
+		return nil
+	}
+	return bunRecoverAsOf(h, s)
+}
+
+// anchorAsOf returns a node of l's as-of-s chain whose range begins at
+// or before internal key ik. The scratch finger is tried first; otherwise
+// a naked descent over the live index levels collects the rightmost node
+// with born <= s and high < ik. The descent never restarts: it reads
+// through marks (the pointer half is the last committed value) and
+// through dead nodes (frozen slots still point rightward at readable
+// nodes, and high strictly increases along every level), and nodes the
+// snapshot must not see — born > s, or born still pending inside a
+// publish — are simply not promoted to anchor. Recovery then lifts the
+// anchor into the chain.
+func (l *List[V]) anchorAsOf(r *readScratch[V], ik, s uint64) *node[V] {
+	if !l.g.cfg.NoFingers {
+		if n := asOfSeed(r.finger, l, ik, s); n != nil {
+			return n
+		}
+	}
+	anchor := l.head
+	x := l.head
+	for i := x.level - 1; i >= 0; i-- {
+		for {
+			nxt := x.next[i].PeekPtr()
+			if nxt == nil || nxt.high >= ik {
+				break
+			}
+			x = nxt
+			if x.born.Load() <= s {
+				anchor = x
+			}
+		}
+	}
+	return bunRecoverAsOf(anchor, s)
+}
+
+// seekAsOf returns the node owning internal key ik in l's as-of-s chain.
+// The hash index may supply the start hint (a node that once contained
+// ik has a left boundary at or before it, recovery included).
+func (l *List[V]) seekAsOf(r *readScratch[V], ik, s uint64) *node[V] {
+	var n *node[V]
+	if l.g.hashIndex() {
+		n = asOfSeed(l.idxProbe(ik), l, ik, s)
+	}
+	if n == nil {
+		n = l.anchorAsOf(r, ik, s)
+	}
+	for n.high < ik {
+		n = bunMustNext(n, s)
+	}
+	r.saveFinger(l.g, n)
+	return n
+}
+
+// snapshotRunAsOf fills r.nodes with the run of as-of-s chain nodes
+// covering [ilo, ihi] in internal key space: the timestamped counterpart
+// of snapshotRun, with no transaction, no liveness checks and no
+// retries. The collected nodes are immutable and pinned by r's epoch
+// participant, so extraction afterwards is unhurried, exactly as for the
+// transactional run.
+func (l *List[V]) snapshotRunAsOf(r *readScratch[V], ilo, ihi, s uint64) {
+	n := l.anchorAsOf(r, ilo, s)
+	// clear before truncating, as in snapshotRun: a shorter run on a
+	// reused scratch must not strand node pointers in the capacity.
+	clear(r.nodes)
+	r.nodes = r.nodes[:0]
+	for {
+		if n.high >= ilo {
+			r.nodes = append(r.nodes, n)
+			if n.high >= ihi {
+				break
+			}
+		}
+		n = bunMustNext(n, s)
+	}
+	r.saveFinger(l.g, r.nodes[len(r.nodes)-1])
+}
+
+// appendRun appends the pairs of a collected node run clipped to
+// [ilo, ihi] (internal keys) to buf: the extraction half shared by
+// CollectRangeInto, CollectRangeIntoAsOf and the read-only batch fast
+// path. Only the first and last node can hold out-of-range keys, so the
+// interior emits compare-free (see emitRange).
+func appendRun[V any](nodes []*node[V], ilo, ihi uint64, buf []KV[V]) []KV[V] {
+	last := len(nodes) - 1
+	for ni, n := range nodes {
+		keys, vals := n.keys, n.vals
+		if ni == 0 || ni == last {
+			klo, khi := negInf, posInf
+			if ni == 0 {
+				klo = ilo
+			}
+			if ni == last {
+				khi = ihi
+			}
+			keys, vals = clipRange(keys, vals, klo, khi)
+		}
+		for i, k := range keys {
+			buf = append(buf, KV[V]{Key: toPublic(k), Value: vals[i]})
+		}
+	}
+	return buf
+}
+
+// ReadPin is an epoch pin held open across a coordinated as-of read. A
+// coordinator spanning several groups (the Sharded facade) pins every
+// involved group FIRST, then draws one snapshot timestamp from the
+// shared clock, then resolves each group's reads through its pin: the
+// pin-before-timestamp rule (see the package comment above) is what
+// keeps every record the frozen cut needs alive until the last read
+// finishes. The zero value is invalid; obtain one from PinReads and
+// release it with Unpin exactly once. A ReadPin is single-goroutine,
+// like the scratch it wraps.
+type ReadPin[V any] struct {
+	g *Group[V]
+	r *readScratch[V]
+}
+
+// PinReads acquires a read scratch — pinning the group's epoch — for a
+// coordinated as-of read. Reclamation of everything currently reachable
+// in the group is deferred until Unpin, so a pin should span one read,
+// not be cached.
+func (g *Group[V]) PinReads() ReadPin[V] {
+	r := g.getRead()
+	return ReadPin[V]{g: g, r: r}
+}
+
+// Unpin releases the pin (and its finger scratch back to the pool).
+func (p ReadPin[V]) Unpin() {
+	p.g.putRead(p.r)
+}
+
+// RangeQueryAsOf is RangeQuery resolved against l's as-of-s chain: the
+// emitted pairs are the list's state at clock instant s. s must have
+// been drawn from the group's clock after this pin was acquired (for a
+// cross-group read, after every involved group's pin); several lists or
+// groups read at the same s form one consistent snapshot with no
+// further coordination. l must belong to the pinned group, which must
+// have bundles enabled.
+func (p ReadPin[V]) RangeQueryAsOf(l *List[V], lo, hi, s uint64, emit func(k uint64, v V) bool) int {
+	if lo > hi || lo > MaxKey {
+		return 0
+	}
+	if hi > MaxKey {
+		hi = MaxKey
+	}
+	ilo, ihi := toInternal(lo), toInternal(hi)
+	l.snapshotRunAsOf(p.r, ilo, ihi, s)
+	return emitRange(p.r.nodes, ilo, ihi, emit)
+}
+
+// CollectRangeIntoAsOf is CollectRangeInto resolved against l's as-of-s
+// chain; see RangeQueryAsOf for the timestamp contract.
+func (p ReadPin[V]) CollectRangeIntoAsOf(l *List[V], lo, hi, s uint64, buf []KV[V]) []KV[V] {
+	if lo > hi || lo > MaxKey {
+		return buf
+	}
+	if hi > MaxKey {
+		hi = MaxKey
+	}
+	ilo, ihi := toInternal(lo), toInternal(hi)
+	l.snapshotRunAsOf(p.r, ilo, ihi, s)
+	return appendRun(p.r.nodes, ilo, ihi, buf)
+}
+
+// CollectChunkAsOf appends to buf the pairs of [lo, hi] (public keys)
+// in l's as-of-s chain, stopping after the node that brings the chunk
+// to at least max pairs. It returns the extended slice, the public key
+// to resume from, and whether anything remains: the refill primitive of
+// a snapshot iterator. Successive calls with the returned resume key
+// (same pin, same s) walk the chain exactly once in total — the pin's
+// finger remembers the last visited node, so each refill anchors in
+// O(1) and hops only the nodes it emits — and together observe the
+// single frozen cut at s, because the chain at a fixed timestamp never
+// changes. The timestamp contract is RangeQueryAsOf's: s drawn after
+// this pin was acquired, and the pin held across every refill (its pin
+// is what keeps the cut's records from being truncated mid-iteration).
+func (p ReadPin[V]) CollectChunkAsOf(l *List[V], lo, hi, s uint64, max int, buf []KV[V]) ([]KV[V], uint64, bool) {
+	if lo > hi || lo > MaxKey {
+		return buf, 0, false
+	}
+	if hi > MaxKey {
+		hi = MaxKey
+	}
+	r := p.r
+	ilo, ihi := toInternal(lo), toInternal(hi)
+	n := l.anchorAsOf(r, ilo, s)
+	for n.high < ilo {
+		n = bunMustNext(n, s)
+	}
+	base := len(buf)
+	for {
+		keys, vals := clipRange(n.keys, n.vals, ilo, ihi)
+		for i, k := range keys {
+			buf = append(buf, KV[V]{Key: toPublic(k), Value: vals[i]})
+		}
+		if n.high >= ihi {
+			r.saveFinger(l.g, n)
+			return buf, 0, false
+		}
+		if len(buf)-base >= max {
+			r.saveFinger(l.g, n)
+			// n.high is n's public high plus one: the first public key
+			// owned by the chain's next node.
+			return buf, n.high, true
+		}
+		n = bunMustNext(n, s)
+	}
+}
+
+// Now returns the current value of the group's global clock: a snapshot
+// timestamp under which as-of reads observe everything published at or
+// before this instant. Groups created with a shared STM clock (the
+// Sharded facade) return the same clock's value. A timestamp intended
+// for an as-of read must be drawn after the read's pin is in place (pin
+// before timestamp; see the package comment).
+func (g *Group[V]) Now() uint64 {
+	return g.stm.Clock().Now()
+}
+
+// readOnlyOps reports whether every op of the batch is a pure read —
+// eligible for the timestamped fast path, which resolves the whole batch
+// at one clock instant with no prepare phase at all.
+func readOnlyOps[V any](ops []Op[V]) bool {
+	for i := range ops {
+		if ops[i].Kind != OpGet && ops[i].Kind != OpGetRange {
+			return false
+		}
+	}
+	return true
+}
+
+// readOps resolves a batch of pure reads as of clock instant s, writing
+// results into the ops exactly as CommitOps would: every OpGet and
+// OpGetRange across every list shares the single instant s, which is the
+// batch's linearization point — atomicity needs no sorting, grouping,
+// locks or validation, because nothing traversed can disagree with the
+// frozen cut. Caller guarantees checkOps passed, bundles are on, and s
+// was drawn after r's pin (pin before timestamp).
+func (g *Group[V]) readOps(r *readScratch[V], ops []Op[V], s uint64) {
+	for i := range ops {
+		op := &ops[i]
+		l := op.List
+		switch op.Kind {
+		case OpGet:
+			ik := toInternal(op.Key)
+			n := l.seekAsOf(r, ik, s)
+			var zero V
+			op.Out, op.Found = zero, false
+			if j := n.find(ik); j >= 0 {
+				op.Out, op.Found = n.vals[j], true
+			}
+		case OpGetRange:
+			// Reset results exactly as sortOps does for the planned path:
+			// clear before truncating so pairs from an earlier commit of a
+			// reused ops slice do not stay live in the slice capacity.
+			clear(op.Range)
+			op.Range = op.Range[:0]
+			op.N = 0
+			if op.Key > op.KeyHi {
+				continue
+			}
+			ilo, ihi := toInternal(op.Key), toInternal(op.KeyHi)
+			l.snapshotRunAsOf(r, ilo, ihi, s)
+			op.Range = appendRun(r.nodes, ilo, ihi, op.Range)
+			op.N = len(op.Range)
+		}
+	}
+}
+
+// ReadOps resolves a batch of pure reads (OpGet, OpGetRange) as one
+// linearizable snapshot taken at clock instant s, with no prepare phase,
+// no locks and no aborts — the cross-group half of the timestamped read
+// path. A coordinator spanning several groups that share one clock (the
+// Sharded facade) acquires a pin per involved group, picks s once from
+// the shared clock, and calls ReadOps on each pin: every group then
+// resolves against the same frozen cut, so the combined result is a
+// single consistent snapshot without two-phase commit. The pinned group
+// must have bundles enabled and s must have been drawn after every
+// involved pin was acquired (pin before timestamp — an earlier s may
+// need records the groups have already reclaimed).
+func (p ReadPin[V]) ReadOps(ops []Op[V], s uint64) error {
+	g := p.g
+	if err := g.checkOps(ops); err != nil {
+		return err
+	}
+	if !g.bundles() {
+		return ErrNoBundles
+	}
+	if !readOnlyOps(ops) {
+		return ErrNotReadOnly
+	}
+	g.readOps(p.r, ops, s)
+	return nil
+}

@@ -169,6 +169,12 @@ type txState[V any] struct {
 	// fast path, per entry.
 	ovIdx []int
 	ovVal []V
+
+	// bunFills collects the versioned-link records this batch prepended
+	// (pred-link, death, and piece birth records) for the publish fill
+	// pass; see bundle.go. Cleared by releasePlan (a failed COP/TM attempt
+	// recycles its pieces' birth records) and by putBatch.
+	bunFills []bunFill[V]
 }
 
 // getBatch returns pooled scratch for a batch, pinned to an epoch
@@ -271,6 +277,10 @@ func (g *Group[V]) putBatch(b *txState[V]) {
 	b.ovIdx = b.ovIdx[:0]
 	clear(b.ovVal)
 	b.ovVal = b.ovVal[:0]
+	// clear before truncating, as for marked: pooled record pointers
+	// beyond len would pin recycled bundle records indefinitely.
+	clear(b.bunFills)
+	b.bunFills = b.bunFills[:0]
 	b.part.Unpin()
 	g.pool.Put(b)
 }
@@ -733,6 +743,42 @@ func (g *Group[V]) buildEntry(tx *stm.Tx, mode int, ops []Op[V], b *txState[V], 
 		if old1 != nil && n.count()+old1.count() <= g.cfg.NodeSize &&
 			!(hasNext && nextKey <= old1.high) {
 			e.merge, e.old1 = true, old1
+		}
+	}
+
+	// Opportunistic compaction: a successor left empty (a DeleteRange
+	// replacement that kept no keys) is absorbed into any rewrite of its
+	// predecessor with room, even without a net shrink, so emptied nodes
+	// disappear on the next write touching their left neighbor instead of
+	// lingering as permanent hops. The probe never blocks — a marked or
+	// locked successor just skips the splice (it is being replaced anyway)
+	// — and a hit rides the entry's normal merge machinery, including the
+	// prepare-phase re-validation every variant already does for merges.
+	if !e.merge && newCount <= g.cfg.NodeSize && n.high != posInf {
+		var succ *node[V]
+		switch mode {
+		case planNakedMode:
+			if sc, tag := n.next[0].Peek(); tag != stm.TagMarked {
+				succ = sc
+			}
+		case planRWMode:
+			succ = n.next[0].PeekPtr()
+		case planTxMode:
+			// Peek first so only an actual empty successor costs a
+			// transactional read (and its validation footprint).
+			if sc, _ := n.next[0].Peek(); sc != nil && sc.count() == 0 {
+				var err error
+				succ, _, err = n.next[0].Load(tx)
+				if err != nil {
+					g.putKeysBuf(newKeys)
+					g.putValsBuf(newVals)
+					return false, err
+				}
+			}
+		}
+		if succ != nil && succ.count() == 0 && succ.high != posInf &&
+			!(hasNext && nextKey <= succ.high) {
+			e.merge, e.old1 = true, succ
 		}
 	}
 
@@ -1295,6 +1341,11 @@ func (g *Group[V]) releasePlan(b *txState[V]) {
 		}
 		e.pieces = e.pieces[:0]
 	}
+	// The recycled pieces' birth records went back to the pool with them
+	// (recycleNode walks each bundle chain); drop the stale fill
+	// obligations so a later publish cannot stamp a recycled record.
+	clear(b.bunFills)
+	b.bunFills = b.bunFills[:0]
 }
 
 // planNaked builds the full batch plan against naked searches (the COP

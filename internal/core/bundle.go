@@ -1,0 +1,303 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"leaplist/internal/stm"
+)
+
+// Versioned level-0 links ("bundles", after Nelson-Slivon et al.'s Bundled
+// References). Every node carries a short newest-first list of
+// {timestamp, *node} records describing what its level-0 next pointer was
+// as of each global-clock instant, plus one death record stamped when the
+// node itself is replaced. Records are prepended PENDING inside the
+// publish phase before the batch draws its timestamp from the clock and
+// filled after the pointer swings land, so a reader holding snapshot
+// timestamp S either finds a filled record and decides by comparison, or
+// finds a pending one and spins for the bounded remainder of the writer's
+// publish postfix — it never restarts, and writers never wait for it.
+//
+// Reader protocol (bunSeekAsOf / bunRecoverAsOf): a node X in the as-of-S
+// chain (born <= S, death timestamp > S) has, by construction, a record
+// for every change of X.next[0] up to S; the newest record with ts <= S
+// therefore names X's successor at instant S, which is itself in the
+// as-of-S chain. Any node pointer observed during the current epoch pin
+// with born <= S can be promoted into the chain by chasing death records
+// (each names the replacement piece covering the dead node's left
+// boundary, which never moves), so a descent over the live structure only
+// needs to produce a hint — it never needs to be consistent itself.
+//
+// Reclamation: a record superseded by a newer one on the same link is
+// stamped with the epoch era of the superseding publish; once the global
+// epoch has advanced twice past that era, no pinned reader can still
+// prefer it (its S would have to predate the superseding record's
+// timestamp, which was filled before the reader could have pinned), so
+// the fill pass truncates the tail and retires the cut records through
+// the batch's epoch participant, exactly like retired nodes. A dying
+// node's whole bundle is recycled by recycleNode after the node's own
+// grace period.
+
+// bunPending marks a record (or a node's born field) whose timestamp has
+// not been filled yet; readers spin through it, anchors reject it.
+const bunPending = ^uint64(0)
+
+// bundleRec is one versioned-link record. ts and the reclamation fields
+// are atomic; death and to are immutable once the record is reachable.
+type bundleRec[V any] struct {
+	ts atomic.Uint64 // clock timestamp; bunPending until the fill pass
+
+	// death marks the terminal record of a replaced node: to names the
+	// replacement piece whose range starts at the dead node's (immutable)
+	// left boundary, not a successor.
+	death bool
+	to    *node[V]
+	older atomic.Pointer[bundleRec[V]]
+
+	// supersededEra is 0 while the record heads its link's bundle, and the
+	// epoch era observed by the publish that displaced it afterwards; the
+	// truncation rule cuts it (and everything older) once the global epoch
+	// reaches supersededEra+2.
+	supersededEra atomic.Uint64
+}
+
+// bunFill is one deferred fill obligation recorded by a publish phase:
+// rec gets the batch timestamp, superseded (the link's previous head, for
+// pred-link records) gets era-stamped, and link (the bundle's owner) gets
+// a truncation attempt.
+type bunFill[V any] struct {
+	rec        *bundleRec[V]
+	superseded *bundleRec[V]
+	link       *node[V]
+}
+
+// getBundleRec returns a cleared record, recycled when the pool has one.
+func (g *Group[V]) getBundleRec() *bundleRec[V] {
+	rec, _ := g.bunPool.Get().(*bundleRec[V])
+	if rec == nil {
+		rec = &bundleRec[V]{}
+	}
+	return rec
+}
+
+// recycleBundleRec clears every reference of a quiesced record and
+// returns it to the pool. Called by recycleNode (the node's own grace
+// period proves quiescence), by releasePlan for records of
+// never-published pieces, and by the chain destructor below.
+func (g *Group[V]) recycleBundleRec(obj any) {
+	rec := obj.(*bundleRec[V])
+	rec.ts.Store(bunPending)
+	rec.death = false
+	rec.to = nil
+	rec.older.Store(nil)
+	rec.supersededEra.Store(0)
+	g.bunPool.Put(rec)
+}
+
+// recycleBundleChain is the epoch destructor of a truncated bundle tail:
+// the tail stays internally linked by its older pointers, so one
+// retirement covers the whole cut — the fill pass pays one Retire per
+// truncation instead of one per record.
+func (g *Group[V]) recycleBundleChain(obj any) {
+	rec := obj.(*bundleRec[V])
+	for rec != nil {
+		next := rec.older.Load()
+		g.recycleBundleRec(rec)
+		rec = next
+	}
+}
+
+// bunInit installs a single filled record {ts: 0, to: to} as n's entire
+// bundle, dropping any previous chain to the Go collector. Only legal
+// before n is shared (list construction, BulkLoad).
+func (g *Group[V]) bunInit(n, to *node[V]) {
+	rec := g.getBundleRec()
+	rec.ts.Store(0)
+	rec.to = to
+	n.bun.Store(rec)
+}
+
+// bunPrepend prepends a PENDING record onto n's bundle and records the
+// fill obligation in b. Callable only from a publish phase: the commit
+// protocol's marks/locks serialize every writer of n's bundle, so the
+// plain load/store pair cannot race another prepend. death selects a
+// death record (see bundleRec); pred selects pred-link bookkeeping (era
+// stamping of the displaced head and truncation at fill time), which
+// death records and birth records — whose bundles die with their node or
+// start empty — do not need.
+func (g *Group[V]) bunPrepend(b *txState[V], n, to *node[V], death, pred bool) {
+	rec := g.getBundleRec()
+	rec.ts.Store(bunPending)
+	rec.death = death
+	rec.to = to
+	old := n.bun.Load()
+	rec.older.Store(old)
+	n.bun.Store(rec)
+	f := bunFill[V]{rec: rec}
+	if pred {
+		f.superseded = old
+		f.link = n
+	}
+	b.bunFills = append(b.bunFills, f)
+}
+
+// bunPublishStart is publish phase A, run before the batch draws its
+// timestamp: prepend a PENDING pred-link record on every write entry's
+// level-0 predecessor (naming the entry's leftmost piece, the link's
+// value once the swings land) and a PENDING death record on every dying
+// node (naming the piece that inherits its immutable left boundary).
+// A predecessor that itself dies in this batch gets no pred-link record:
+// its replacement's birth record carries the link instead, and a dead
+// node's bundle must end at its death record.
+func (g *Group[V]) bunPublishStart(b *txState[V]) {
+	for t := 0; t < b.nEnt; t++ {
+		e := b.entries[t]
+		if !e.write {
+			continue
+		}
+		if !b.predDying(t) {
+			g.bunPrepend(b, e.pa[0], e.pieces[0], false, true)
+		}
+		g.bunPrepend(b, e.n, e.pieces[0], true, false)
+		if e.merge {
+			g.bunPrepend(b, e.old1, e.pieces[0], true, false)
+		}
+	}
+}
+
+// predDying reports whether entry t's level-0 predecessor is replaced by
+// this same batch. Entries are ordered by list then key and pa[0] is the
+// immediate level-0 predecessor of e.n, so the only batch nodes that can
+// occupy it are the previous entry's n or its merge partner: any earlier
+// entry's n lies strictly left of entry t-1's, and an earlier entry's
+// merge partner is its immediate successor, which cannot reach past a
+// nearer batch node (merges into batch targets are vetoed by buildEntry).
+func (b *txState[V]) predDying(t int) bool {
+	if t == 0 {
+		return false
+	}
+	e, f := b.entries[t], b.entries[t-1]
+	if f.l != e.l || !f.write {
+		return false
+	}
+	return f.n == e.pa[0] || (f.merge && f.old1 == e.pa[0])
+}
+
+// bunFillAll is the publish fill pass: stamp every record this batch
+// prepended with the batch timestamp ts, stamp every published piece's
+// born, era-mark the displaced pred-link heads, and truncate expired
+// tails. Runs after the pointer swings of the publish (readers spin on
+// the pending records until here) and before the batch's scratch is
+// released.
+func (g *Group[V]) bunFillAll(b *txState[V], ts uint64) {
+	if len(b.bunFills) == 0 && b.nEnt == 0 {
+		return
+	}
+	for t := 0; t < b.nEnt; t++ {
+		e := b.entries[t]
+		if !e.write {
+			continue
+		}
+		for _, p := range e.pieces {
+			p.born.Store(ts)
+		}
+	}
+	if len(b.bunFills) == 0 {
+		return
+	}
+	for i := range b.bunFills {
+		b.bunFills[i].rec.ts.Store(ts)
+	}
+	// Era-stamp displaced heads with a fresh epoch read: the displacement
+	// happened earlier in this publish, so the current epoch is a
+	// conservative (never-early) stamp for the truncation rule.
+	era := g.collector.Epoch()
+	for i := range b.bunFills {
+		f := &b.bunFills[i]
+		if f.superseded != nil {
+			f.superseded.supersededEra.Store(era)
+		}
+		if f.link != nil {
+			g.bunTruncate(b, f.link, era)
+		}
+	}
+}
+
+// bunTruncate cuts the expired tail of n's bundle: the first record
+// superseded at least two epochs ago — no pinned reader can still prefer
+// it or anything older — is unlinked together with its whole tail, and
+// the tail is retired through the batch's epoch participant as one
+// still-linked chain (recycleBundleChain). The bundle head is never
+// superseded, so the cut always keeps at least one record. Serialized
+// per node like every bundle write.
+func (g *Group[V]) bunTruncate(b *txState[V], n *node[V], nowEra uint64) {
+	prev := n.bun.Load()
+	if prev == nil {
+		return
+	}
+	for {
+		rec := prev.older.Load()
+		if rec == nil {
+			return
+		}
+		if e := rec.supersededEra.Load(); e == 0 || e+2 > nowEra {
+			prev = rec
+			continue
+		}
+		prev.older.Store(nil)
+		b.part.Retire(rec, g.donateBundle)
+		return
+	}
+}
+
+// bunNextAsOf returns n's level-0 successor at clock instant s. n must be
+// in the as-of-s chain (born <= s, death after s): then its bundle covers
+// every link change through s and the newest record with ts <= s names
+// the successor at s — which is in the chain too, so hops compose without
+// re-validation. A pending record is the bounded publish window of a
+// concurrent writer; the spin escalates like every protocol-level busy
+// wait. Returns nil only on a protocol violation (checked by the caller).
+func bunNextAsOf[V any](n *node[V], s uint64) *node[V] {
+	rec := n.bun.Load()
+	spins := 0
+	for rec != nil {
+		ts := rec.ts.Load()
+		for ts == bunPending {
+			spins++
+			stm.RestartBackoff(spins)
+			ts = rec.ts.Load()
+		}
+		if ts <= s {
+			return rec.to
+		}
+		rec = rec.older.Load()
+	}
+	return nil
+}
+
+// bunRecoverAsOf promotes a hint node — any pointer observed during the
+// current epoch pin with born <= s — into the as-of-s chain by chasing
+// death records: a hint that died at a timestamp <= s was replaced by a
+// piece covering the same left boundary, recursively until a node that
+// was alive at instant s is reached. The chase is finite (each hop's born
+// strictly increases toward s) and restart-free.
+func bunRecoverAsOf[V any](n *node[V], s uint64) *node[V] {
+	spins := 0
+	for {
+		rec := n.bun.Load()
+		if rec == nil || !rec.death {
+			// A node's death record, once stamped, is its newest record
+			// forever; no death record at the head means none exists.
+			return n
+		}
+		ts := rec.ts.Load()
+		for ts == bunPending {
+			spins++
+			stm.RestartBackoff(spins)
+			ts = rec.ts.Load()
+		}
+		if ts > s {
+			return n // died after s: in the as-of-s chain
+		}
+		n = rec.to
+	}
+}

@@ -89,6 +89,14 @@ type Config struct {
 	// keeps the index enabled; the knob exists for A/B benchmarking and
 	// for bisecting suspected index bugs.
 	NoHashIndex bool
+	// NoBundles disables the versioned level-0 links (see doc.go,
+	// "Versioned links and timestamped traversal"): publish phases stamp
+	// no bundle records, and every snapshot read falls back to the
+	// retry-based pre-bundle paths. The zero value keeps bundles enabled;
+	// the knob exists for A/B benchmarking and for bisecting suspected
+	// bundle bugs. Fixed at construction: lists built without bundles
+	// have no records to read, so the group never consults them.
+	NoBundles bool
 	// Collector, when non-nil, is the epoch domain the group runs on:
 	// every operation pins one of its participants and every replaced
 	// node is retired through it (the paper's "Deallocate unneeded nodes"
@@ -149,6 +157,7 @@ type Group[V any] struct {
 	collector     *epoch.Collector
 	donateNode    func(any) // static epoch destructor: recycle one *node[V]
 	donateIdx     func(any) // static epoch destructor: recycle one *idxTable[V]
+	donateBundle  func(any) // static epoch destructor: recycle a *bundleRec[V] chain
 	valsNeedClear bool      // V can hold pointers: clear donated vals arrays
 
 	// Recycler pools fed by donateNode and drained by the write path;
@@ -161,6 +170,7 @@ type Group[V any] struct {
 	triePool    sync.Pool // *trie.Trie with reusable internal node storage
 	idxPool     sync.Pool // *idxBox[V]: retired hash-index slot arrays, cleared
 	idxBoxPool  sync.Pool // empty *idxBox[V] husks
+	bunPool     sync.Pool // *bundleRec[V]: retired versioned-link records, cleared
 }
 
 // kvBox carries a recycled backing array through a sync.Pool without
@@ -195,6 +205,7 @@ func NewGroup[V any](cfg Config, domain *stm.STM) *Group[V] {
 	}
 	g.donateNode = func(obj any) { g.recycleNode(obj.(*node[V])) }
 	g.donateIdx = func(obj any) { g.donateIdxSlots(obj.(*idxTable[V])) }
+	g.donateBundle = g.recycleBundleChain
 	var zero V
 	g.valsNeedClear = typeHasPointers(reflect.TypeOf(&zero).Elem())
 	return g
@@ -252,6 +263,19 @@ func (g *Group[V]) hashIndex() bool {
 	return !g.cfg.NoHashIndex
 }
 
+// bundles reports whether the versioned level-0 links (and with them the
+// timestamped snapshot-read paths) are enabled.
+func (g *Group[V]) bundles() bool {
+	return !g.cfg.NoBundles
+}
+
+// Bundles reports whether the group maintains versioned level-0 links;
+// the Sharded facade consults it before taking its timestamped read-only
+// commit fast path.
+func (g *Group[V]) Bundles() bool {
+	return g.bundles()
+}
+
 // pickLevel draws a skip-list level in [1, MaxLevel] with the usual
 // geometric p = 1/2 distribution.
 func (g *Group[V]) pickLevel() int {
@@ -296,6 +320,19 @@ func (g *Group[V]) recycleNode(n *node[V]) {
 		g.putValsBuf(n.vals)
 	}
 	n.keys, n.vals, n.tr = nil, nil, nil
+	// Recycle the node's entire bundle chain directly: the node's own
+	// grace period already proves no pinned reader can still be walking
+	// its records, so they skip a second epoch round trip.
+	for rec := n.bun.Load(); rec != nil; {
+		next := rec.older.Load()
+		g.recycleBundleRec(rec)
+		rec = next
+	}
+	n.bun.Store(nil)
+	// born resets to pending, not zero: a recycled shell rewired as a new
+	// piece must not look ancient to the timestamped read path's anchor
+	// check before its publishing batch fills the real timestamp.
+	n.born.Store(bunPending)
 	// Clear the slot array so the pooled shell pins no nodes. Entries
 	// beyond len(next) were cleared by earlier donations (or are zero
 	// from allocation), so clearing the live prefix suffices. Versions in
@@ -316,7 +353,12 @@ func (g *Group[V]) recycleNode(n *node[V]) {
 func (g *Group[V]) newShell(level int) *node[V] {
 	n, _ := g.shellPool.Get().(*node[V])
 	if n == nil {
-		return newNode[V](level)
+		n = newNode[V](level)
+		// A freshly allocated piece shell starts with born pending, like a
+		// recycled one: zero would make an unfilled piece look ancient to
+		// the timestamped read path's anchor check (see recycleNode).
+		n.born.Store(bunPending)
+		return n
 	}
 	n.level = level
 	if cap(n.next) < level {

@@ -323,6 +323,55 @@
 // out ABA (no transaction can span a reuse, because transactions run
 // pinned).
 //
+// # Versioned links and timestamped traversal
+//
+// With bundles enabled (Config.NoBundles false, the default), every
+// level-0 link additionally carries a bundle: a short newest-first list
+// of {timestamp, *node} records (bundle.go) headed at node.bun, plus a
+// birth instant node.born. A record with death set marks the node's
+// removal from its chain and points at its continuation. Records are
+// created inside the commit pipeline's publish phase, bracketing the
+// batch's linearization point:
+//
+//   - Pend (bunPublishStart, all four variants): before any link
+//     swings, a PENDING record (ts = ^0) is prepended on every level-0
+//     pred link the batch will rewrite and a PENDING death record on
+//     every node it replaces or absorbs; fresh pieces get PENDING birth
+//     records as they are wired in (releaseEntry / applyEntryTx).
+//     PENDING compares greater than every snapshot timestamp, so a
+//     concurrent timestamped reader keeps resolving the pre-batch
+//     state until the fill lands.
+//   - Timestamp draw: the batch timestamp comes from the group's STM
+//     version clock, so bundle timestamps and transaction versions
+//     form one order. LT and RW tick the clock between pend and the
+//     swings; COP and TM reuse the STM commit's own write-version
+//     (PreparedTx.Publish); the coordinated cross-shard publish
+//     (PreparedOps.PublishStart + PublishAt) pends on every shard
+//     while all prepare locks are held, draws one shared tick, and
+//     fills every leg at that instant — one cross-shard cut, no torn
+//     transfers.
+//   - Fill (bunFillAll): after the swings, every pended record and
+//     every fresh piece's born field is stamped with the batch
+//     timestamp, each superseded head record is era-stamped, and each
+//     filled link's expired tail (supersededEra + 2 <= current era) is
+//     truncated and retired through the epoch collector.
+//
+// The reader validation rule: a snapshot read at timestamp s resolves
+// each link to its newest record with ts <= s (bunNextAsOf), anchors
+// only on nodes with born <= s, and lifts a dead anchor into the
+// chain by following death records with ts <= s (bunRecoverAsOf) — no
+// locks, no retries, regardless of concurrent structural churn.
+// Timestamps obey the pin-before-timestamp rule (asof.go): s is drawn
+// after the reader's epoch pin (for a multi-group read, after every
+// involved pin), which is what keeps every record the cut needs alive.
+//
+// The reclamation argument mirrors the node lifecycle: a record is
+// truncated only once the era that superseded it is two advances old,
+// a pinned reader blocks the second advance, and a post-pin timestamp
+// covers every record superseded since the pin began; a recycled
+// node's chain is severed and donated only after the node's own grace
+// period. asof.go carries the chain-membership induction in full.
+//
 // # Invariants and static enforcement
 //
 // The safety arguments above rest on discipline that the type system
@@ -359,11 +408,19 @@
 //   - eraguard: saved fingers (readScratch.finger, txState.fpa/fList)
 //     are only valid under the era-equality guard, so they may be
 //     consumed only through the validating helpers (fingerSeek*,
-//     seedAt, fingerUsable) or the scratch lifecycle itself — a naked
-//     read of a remembered node can touch recycled memory. The same
+//     seedAt, fingerUsable, asOfSeed) or the scratch lifecycle itself —
+//     a naked read of a remembered node can touch recycled memory. The same
 //     discipline covers hash-index slot entries (idxSlot.node/.era):
 //     only the slot protocol (idxPut, idxDel, idxPeek, idxGrow) may
 //     touch them, and every consumer goes through idxProbe's era guard.
+//   - bundleproto: bundle record words (ts, death, to, older,
+//     supersededEra) and the node.bun link head are touched only by the
+//     bundle protocol functions; the stamping entry points
+//     (bunPublishStart, bunPrepend, bunFillAll, bunInit, bunTruncate)
+//     are called only from publish-phase code or list construction; and
+//     node.born is stored only by the fill pass and the shell
+//     lifecycle. Every other reader goes through the
+//     timestamp-validating bunNextAsOf/bunRecoverAsOf helpers.
 //
 // Deliberate exceptions are annotated in place with
 // "//lint:allow <analyzer> <reason>"; the build gates on zero

@@ -46,6 +46,12 @@ func (g *Group[V]) NewList() *List[V] {
 	for i := 0; i < maxLevel; i++ {
 		head.next[i].Init(tail, stm.TagNone)
 	}
+	if g.bundles() {
+		// Birth record of the head's level-0 link (timestamp 0: the link
+		// predates every batch). The tail needs none — no reader ever hops
+		// past high = +inf. Both sentinels keep born = 0 from newNode.
+		g.bunInit(head, tail)
+	}
 	return &List[V]{g: g, head: head, id: id}
 }
 
@@ -101,6 +107,18 @@ func (l *List[V]) BulkLoad(keys []uint64, vals []V) error {
 			n.next[i].Init(last[i].next[i].PeekPtr(), stm.TagNone)
 			last[i].next[i].DirectStore(n, stm.TagNone)
 			last[i] = n
+		}
+	}
+	if l.g.bundles() {
+		// Rebuild the level-0 birth records in one pass: splicing above
+		// rewired each node's successor as later nodes arrived, so the
+		// records are installed against the final chain. Timestamp 0 and
+		// born 0 (from newNode) are right: like the sentinels, BulkLoad
+		// nodes predate sharing, hence every possible snapshot timestamp.
+		for x := l.head; x.high != posInf; {
+			succ := x.next[0].PeekPtr()
+			l.g.bunInit(x, succ)
+			x = succ
 		}
 	}
 	if l.g.hashIndex() && len(keys) > 0 {

@@ -43,6 +43,23 @@ type node[V any] struct {
 	// node's retirement-time donation check reads it.
 	lent atomic.Bool
 
+	// born is the global-clock timestamp at which this node was published
+	// (the timestamp of the batch that wired it), bunPending until the
+	// publishing batch's fill pass, and 0 for sentinels and BulkLoad
+	// nodes, which predate sharing. Together with the invariant that a
+	// node's left range boundary never moves while it lives, born <= S
+	// proves the node belongs to the as-of-S chain of the timestamped
+	// read path (see doc.go, "Versioned links and timestamped traversal").
+	born atomic.Uint64
+
+	// bun heads the node's bundle: the newest-first list of
+	// {timestamp, successor} records versioning this node's level-0 link,
+	// plus the death record terminating the node's own lifetime. Written
+	// only inside publish phases (serialized per node by the commit
+	// protocol's marks/locks) and read through the timestamp-validating
+	// helpers in bundle.go.
+	bun atomic.Pointer[bundleRec[V]]
+
 	// live and next are the only mutable fields. live is written by every
 	// replacement commit while everything above (and the next slice
 	// header) is read-hot, so live is isolated on its own cache line: the

@@ -9,6 +9,14 @@ import "errors"
 // instead of spinning against a competitor that holds later shards.
 var ErrPrepareConflict = errors.New("core: prepare exhausted its conflict budget")
 
+// ErrNoBundles reports a timestamped read against a group built with
+// NoBundles: without versioned links there is no as-of chain to resolve.
+var ErrNoBundles = errors.New("core: group has versioned links disabled")
+
+// ErrNotReadOnly reports a ReadOps batch containing a mutating op; the
+// timestamped fast path resolves pure reads only.
+var ErrNotReadOnly = errors.New("core: batch is not read-only")
+
 // PrepareOpts tunes the prepare phase of a commit.
 type PrepareOpts struct {
 	// LockReads holds the batch's read validity until Publish: every
@@ -45,9 +53,18 @@ type PrepareOpts struct {
 //
 // One of publish/abort must follow every successful prepare, on the
 // same goroutine-owned txState.
+//
+// publishAt is the coordinated form of publish, split for the bundled
+// two-phase commit: the caller has already run bundle phase A
+// (bunPublishStart) on every participating batch and drawn one shared
+// timestamp ts from the common clock; publishAt performs the swings and
+// the fill pass at that timestamp. ts == 0 means "draw your own" (only
+// legal when the batch pended no records — a read-only leg or bundles
+// off). publish is exactly bunPublishStart + tick + publishAt.
 type committer[V any] interface {
 	prepare(ops []Op[V], b *txState[V], opt PrepareOpts) error
 	publish(ops []Op[V], b *txState[V])
+	publishAt(ops []Op[V], b *txState[V], ts uint64)
 	abort(ops []Op[V], b *txState[V])
 }
 
@@ -73,6 +90,16 @@ func (g *Group[V]) CommitOps(ops []Op[V]) error {
 	if err := g.checkOps(ops); err != nil {
 		return err
 	}
+	if g.bundles() && readOnlyOps(ops) {
+		// Pure reads resolve against the as-of chain at one clock instant
+		// — no prepare, no locks, no aborts (see asof.go). Pin first,
+		// then draw the timestamp: the pin is what keeps every record the
+		// chosen instant needs from being truncated mid-read.
+		r := g.getRead()
+		g.readOps(r, ops, g.stm.Clock().Now())
+		g.putRead(r)
+		return nil
+	}
 	b := g.getBatch()
 	defer g.putBatch(b)
 	b.sortOps(ops)
@@ -96,6 +123,11 @@ type PreparedOps[V any] struct {
 	g   *Group[V]
 	ops []Op[V]
 	b   *txState[V]
+
+	// started marks a PublishStart without its PublishAt yet: pending
+	// bundle records are out on the live structure, so only PublishAt is
+	// legal — an abort would strand them and deadlock timestamped readers.
+	started bool
 }
 
 // PrepareOps runs the prepare phase of the three-phase commit pipeline
@@ -136,10 +168,63 @@ func (p *PreparedOps[V]) Publish() {
 	if g == nil {
 		panic("core: Publish of a completed PreparedOps")
 	}
+	if p.started {
+		panic("core: Publish after PublishStart (use PublishAt)")
+	}
 	g.commit.publish(p.ops, p.b)
 	g.saveBatchFinger(p.b)
 	g.putBatch(p.b)
 	p.g, p.ops, p.b = nil, nil, nil
+	g.preparedPool.Put(p)
+}
+
+// PublishStart begins the publish phase without making anything
+// visible: with bundles on it prepends the batch's PENDING records on
+// every level-0 link the batch will change. From that point a
+// timestamped reader whose snapshot is at or after the batch's eventual
+// timestamp blocks on those links instead of reading past the batch, so
+// a coordinator spanning several groups calls PublishStart on every
+// prepared batch, draws ONE timestamp from the shared clock, and then
+// finishes each batch with PublishAt — the combined publish is then
+// atomic to timestamped readers: no reader holding the coordinator's
+// timestamp can cross any affected link of any group until that group's
+// PublishAt fills it, and every group fills with the same timestamp.
+// With bundles off PublishStart is a no-op and PublishAt(0) degenerates
+// to Publish.
+//
+// After PublishStart only PublishAt may follow (the pended records are
+// already on the live structure; an abort would strand them forever).
+func (p *PreparedOps[V]) PublishStart() {
+	g := p.g
+	if g == nil {
+		panic("core: PublishStart of a completed PreparedOps")
+	}
+	if p.started {
+		panic("core: PublishStart called twice")
+	}
+	if g.bundles() {
+		g.bunPublishStart(p.b)
+	}
+	p.started = true
+}
+
+// PublishAt completes a publish begun by PublishStart, swinging the
+// pointers and filling the pended records with the coordinator's shared
+// timestamp ts (a Tick on the groups' common clock drawn after every
+// participating batch's PublishStart, while every batch still holds its
+// prepare-phase locks). See PublishStart for the coordination contract.
+func (p *PreparedOps[V]) PublishAt(ts uint64) {
+	g := p.g
+	if g == nil {
+		panic("core: PublishAt of a completed PreparedOps")
+	}
+	if !p.started {
+		panic("core: PublishAt without PublishStart")
+	}
+	g.commit.publishAt(p.ops, p.b, ts)
+	g.saveBatchFinger(p.b)
+	g.putBatch(p.b)
+	p.g, p.ops, p.b, p.started = nil, nil, nil, false
 	g.preparedPool.Put(p)
 }
 
@@ -150,6 +235,9 @@ func (p *PreparedOps[V]) Abort() {
 	g := p.g
 	if g == nil {
 		panic("core: Abort of a completed PreparedOps")
+	}
+	if p.started {
+		panic("core: Abort after PublishStart (the pended bundle records are live; only PublishAt may follow)")
 	}
 	g.commit.abort(p.ops, p.b)
 	g.putBatch(p.b)

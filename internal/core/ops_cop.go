@@ -81,7 +81,34 @@ func (c copCommitter[V]) prepare(ops []Op[V], b *txState[V], opt PrepareOpts) er
 
 func (c copCommitter[V]) publish(ops []Op[V], b *txState[V]) {
 	g := c.g
-	b.prep.Publish()
+	if g.bundles() {
+		// Bundle phase A under the prepared write locks: any competitor
+		// touching these links conflicts on the locked slots (or the dying
+		// nodes' locked liveness) until Publish releases them, so prepend
+		// order and write-version order agree per link.
+		g.bunPublishStart(b)
+	}
+	c.publishAt(ops, b, 0)
+}
+
+// publishAt is the post-phase-A half of publish. ts == 0 draws the
+// batch's own write version from prep.Publish — that clock bump is the
+// batch's linearization point and, with bundles on, the timestamp
+// stamped into every record prepended in phase A and into the birth
+// records applyEntryTx staged at prepare time. A nonzero ts is the
+// coordinated two-phase form: one shared tick drawn by the coordinator
+// after every participating batch's phase A, while all write locks are
+// still held, published through prep.PublishAt.
+func (c copCommitter[V]) publishAt(ops []Op[V], b *txState[V], ts uint64) {
+	g := c.g
+	if ts == 0 {
+		ts = b.prep.Publish()
+	} else {
+		b.prep.PublishAt(ts)
+	}
+	if g.bundles() {
+		g.bunFillAll(b, ts)
+	}
 	for t := 0; t < b.nEnt; t++ {
 		e := b.entries[t]
 		if e.write {
@@ -284,6 +311,17 @@ func (g *Group[V]) applyEntryTx(tx *stm.Tx, b *txState[V], t int) error {
 	}
 	for _, p := range e.pieces {
 		p.live.Init(1)
+	}
+
+	if g.bundles() {
+		// Birth records on the still-private pieces. The wired successors
+		// were read through the transaction, so prepare-time validation
+		// (and the locks held through Publish) pin them as the links'
+		// post-publish values; the records stay pending until the publish
+		// fill pass, and an abort recycles them with the pieces.
+		for _, p := range e.pieces {
+			g.bunPrepend(b, p, p.next[0].PeekPtr(), false, false)
+		}
 	}
 
 	// Transactional pointer swings; published atomically at commit. A

@@ -121,6 +121,31 @@ func (c ltCommitter[V]) prepare(ops []Op[V], b *txState[V], opt PrepareOpts) err
 
 func (c ltCommitter[V]) publish(ops []Op[V], b *txState[V]) {
 	g := c.g
+	var ts uint64
+	if g.bundles() {
+		// Bundle phase A: pending pred-link and death records, prepended
+		// while every affected link's mark is still held. The timestamp is
+		// drawn before the first swing releases a mark, so on any one link
+		// prepend order and timestamp order agree and bundles stay
+		// newest-first; readers that meet a pending record spin out the
+		// remainder of this postfix.
+		g.bunPublishStart(b)
+		if len(b.bunFills) > 0 {
+			ts = g.stm.Clock().Tick()
+		}
+	}
+	c.publishAt(ops, b, ts)
+}
+
+// publishAt is the post-timestamp half of publish: pointer swings, the
+// bundle fill pass at ts, and the index update. In the coordinated
+// two-phase form the caller ran bunPublishStart on every participating
+// batch and drew ts from the shared clock afterwards — still before any
+// batch's first swing released a mark, so the per-link ordering
+// argument above holds across the whole coordinated publish.
+func (c ltCommitter[V]) publishAt(ops []Op[V], b *txState[V], ts uint64) {
+	g := c.g
+	bundles := g.bundles()
 	// Release and update: right-to-left within each list (entries are
 	// ordered by list then key, so a global reverse walk does both).
 	for t := b.nEnt - 1; t >= 0; t-- {
@@ -133,6 +158,12 @@ func (c ltCommitter[V]) publish(ops []Op[V], b *txState[V]) {
 		if e.merge {
 			g.retireNode(b, e.old1)
 		}
+	}
+	if bundles {
+		// Bundle fill pass: stamp the pending records and the pieces' born
+		// fields with the batch timestamp, era-mark displaced heads and
+		// truncate expired tails (phase D).
+		g.bunFillAll(b, ts)
 	}
 	// Marks taken purely for read stability are on live, untouched
 	// nodes; no postfix store clears them, so release them explicitly
@@ -287,6 +318,15 @@ func (g *Group[V]) releaseEntry(b *txState[V], t int) {
 				}
 				p.next[i].Init(s, stm.TagNone)
 			}
+		}
+	}
+
+	if g.bundles() {
+		// Birth records, prepended before the swings make the pieces
+		// reachable: each piece's level-0 link is versioned from its first
+		// instant, pending until the batch's fill pass.
+		for _, p := range e.pieces {
+			g.bunPrepend(b, p, p.next[0].PeekPtr(), false, false)
 		}
 	}
 

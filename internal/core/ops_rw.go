@@ -73,6 +73,38 @@ func (c rwCommitter[V]) publish(ops []Op[V], b *txState[V]) {
 			panic(r)
 		}
 	}()
+	var ts uint64
+	if g.bundles() {
+		// Bundle phase A and the batch timestamp, both under the list
+		// write locks that serialize every publish touching these links.
+		g.bunPublishStart(b)
+		if len(b.bunFills) > 0 {
+			ts = g.stm.Clock().Tick()
+		}
+	}
+	c.install(ops, b, ts)
+	c.unlock(b)
+}
+
+// publishAt is the coordinated post-phase-A half of publish: the
+// coordinator already ran PublishStart (bunPublishStart under this
+// list's write lock, which stays held until here) and drew ts from the
+// shared clock.
+func (c rwCommitter[V]) publishAt(ops []Op[V], b *txState[V], ts uint64) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.unlock(b)
+			panic(r)
+		}
+	}()
+	c.install(ops, b, ts)
+	c.unlock(b)
+}
+
+// install performs the pointer swings, retirements, bundle fill pass
+// and index update of a publish, without touching the list locks.
+func (c rwCommitter[V]) install(ops []Op[V], b *txState[V], ts uint64) {
+	g := c.g
 	// Install right-to-left within each list, exactly the LT postfix: a
 	// group whose predecessor is itself being replaced writes into the
 	// dying node's frozen slots first, and the dying node's own
@@ -90,8 +122,10 @@ func (c rwCommitter[V]) publish(ops []Op[V], b *txState[V]) {
 			g.retireNode(b, e.old1)
 		}
 	}
+	if g.bundles() {
+		g.bunFillAll(b, ts)
+	}
 	g.indexPublish(ops, b)
-	c.unlock(b)
 }
 
 func (c rwCommitter[V]) abort(ops []Op[V], b *txState[V]) {

@@ -68,7 +68,29 @@ func (c tmCommitter[V]) prepare(ops []Op[V], b *txState[V], opt PrepareOpts) err
 
 func (c tmCommitter[V]) publish(ops []Op[V], b *txState[V]) {
 	g := c.g
-	b.prep.Publish()
+	if g.bundles() {
+		// Bundle phase A under the prepared write locks, as in COP. A TM
+		// entry's pa[0] can be an earlier entry's still-private piece (the
+		// transactional search walks the batch's own buffered swings); the
+		// pred-link record then lands above that piece's birth record with
+		// the same timestamp, and newest-first order picks the right one.
+		g.bunPublishStart(b)
+	}
+	c.publishAt(ops, b, 0)
+}
+
+// publishAt is the post-phase-A half of publish; ts semantics exactly
+// as for copCommitter.publishAt.
+func (c tmCommitter[V]) publishAt(ops []Op[V], b *txState[V], ts uint64) {
+	g := c.g
+	if ts == 0 {
+		ts = b.prep.Publish()
+	} else {
+		b.prep.PublishAt(ts)
+	}
+	if g.bundles() {
+		g.bunFillAll(b, ts)
+	}
 	for t := 0; t < b.nEnt; t++ {
 		e := b.entries[t]
 		if e.write {

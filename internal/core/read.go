@@ -254,6 +254,13 @@ func (l *List[V]) Lookup(k uint64) (V, bool) {
 // or re-entrant extraction without deadlocking against writers.
 func (l *List[V]) snapshotRun(r *readScratch[V], ilo, ihi uint64) {
 	g := l.g
+	if g.bundles() {
+		// Timestamped traversal (asof.go): one clock read is the
+		// linearization point, the run is the chain as of that instant,
+		// and structural churn never forces a retry — for every variant.
+		l.snapshotRunAsOf(r, ilo, ihi, g.stm.Clock().Now())
+		return
+	}
 	switch g.cfg.Variant {
 	case VariantLT, VariantCOP:
 		// Figure 5: naked search to the start node, then one transaction
@@ -469,22 +476,5 @@ func (l *List[V]) CollectRangeInto(lo, hi uint64, buf []KV[V]) []KV[V] {
 	r := g.getRead()
 	defer g.putRead(r)
 	l.snapshotRun(r, ilo, ihi)
-	last := len(r.nodes) - 1
-	for ni, n := range r.nodes {
-		keys, vals := n.keys, n.vals
-		if ni == 0 || ni == last {
-			klo, khi := negInf, posInf
-			if ni == 0 {
-				klo = ilo
-			}
-			if ni == last {
-				khi = ihi
-			}
-			keys, vals = clipRange(keys, vals, klo, khi)
-		}
-		for i, k := range keys {
-			buf = append(buf, KV[V]{Key: toPublic(k), Value: vals[i]})
-		}
-	}
-	return buf
+	return appendRun(r.nodes, ilo, ihi, buf)
 }

@@ -22,6 +22,9 @@ type LeapOptions struct {
 	Stats    bool
 	// Extension toggles STM timestamp extension (abl-ext ablation).
 	ExtensionOff bool
+	// NoBundles disables the versioned level-0 links (abl-bundles
+	// ablation: the write-path cost of bundle stamping on Fig14a).
+	NoBundles bool
 }
 
 // NewLeapTarget builds a fresh Leap-List group for one experiment cell.
@@ -38,9 +41,10 @@ func NewLeapTarget(opts LeapOptions) *LeapTarget {
 	}
 	domain := stm.New(stmOpts...)
 	g := core.NewGroup[uint64](core.Config{
-		NodeSize: opts.NodeSize,
-		MaxLevel: opts.MaxLevel,
-		Variant:  opts.Variant,
+		NodeSize:  opts.NodeSize,
+		MaxLevel:  opts.MaxLevel,
+		Variant:   opts.Variant,
+		NoBundles: opts.NoBundles,
 	}, domain)
 	ls := make([]*core.List[uint64], opts.Lists)
 	for i := range ls {

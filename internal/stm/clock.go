@@ -1,0 +1,37 @@
+package stm
+
+import "sync/atomic"
+
+// Clock is a shareable global version clock: a monotone counter bumped by
+// every read-write commit of the domains running on it and — since the
+// bundled-reference read path — by every batch publish, so one counter
+// orders both the TL2 version space and the snapshot timestamps of the
+// versioned level-0 links. A Clock may be shared by several STM domains
+// (stm.WithClock): TL2 stays correct because sharing only makes versions
+// skip ahead, which every validation path already tolerates, and sharing
+// is what makes one snapshot timestamp valid across every shard of a
+// Sharded map.
+type Clock struct {
+	// The counter is the hottest globally shared word in the system; the
+	// padding keeps it alone on its cache line so bumps do not invalidate
+	// whatever the Clock is allocated next to.
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// NewClock returns a clock at zero.
+func NewClock() *Clock {
+	return &Clock{}
+}
+
+// Now returns the current clock value.
+func (c *Clock) Now() uint64 {
+	return c.v.Load()
+}
+
+// Tick advances the clock and returns the new value. Committing
+// transactions tick through their domain; the Leap-List's lock-based
+// variants tick directly at their publish linearization point.
+func (c *Clock) Tick() uint64 {
+	return c.v.Add(1)
+}

@@ -174,14 +174,50 @@ func (p *PreparedTx) addReadLock(r preparedRead) {
 // apply the buffered writes, release the write locks at the new version
 // and the read locks at their original versions. It must be called
 // exactly once on a prepared descriptor; p is empty afterwards.
-func (p *PreparedTx) Publish() {
+//
+// Publish returns the write version the buffered writes were released
+// at — the transaction's position on the global clock, which the
+// Leap-List's bundled read path uses as the batch's snapshot timestamp.
+// A transaction with no buffered writes bumps nothing and returns the
+// current clock value instead.
+func (p *PreparedTx) Publish() uint64 {
 	tx := p.tx
 	if tx == nil {
 		panic("stm: Publish of an unprepared transaction")
 	}
+	wv := tx.s.clock.Now()
+	if len(tx.writes) > 0 {
+		wv = tx.s.clock.Tick()
+	}
+	p.publishAt(wv)
+	return wv
+}
+
+// PublishAt is Publish with a caller-supplied write version instead of a
+// fresh clock tick: the fan-in of a multi-domain commit. A coordinator
+// holding several prepared sub-transactions (every write and read lock
+// of every domain still held) draws ONE tick from the domains' shared
+// clock and publishes every sub-transaction at it, so the combined
+// commit occupies a single position on that clock. wv must come from a
+// Tick on the domain's clock taken after every sub-transaction
+// prepared: ticking while all locks are held keeps wv strictly above
+// every version a competitor could have published on these cells (a
+// competitor's tick on the shared clock either preceded ours or its
+// write-back waits for our locks), which is all TL2's validation needs.
+func (p *PreparedTx) PublishAt(wv uint64) {
+	if p.tx == nil {
+		panic("stm: PublishAt of an unprepared transaction")
+	}
+	p.publishAt(wv)
+}
+
+// publishAt is commit phase two at a fixed write version: apply the
+// buffered writes, release the write locks at wv and the read locks at
+// their original versions, and empty the descriptor.
+func (p *PreparedTx) publishAt(wv uint64) {
+	tx := p.tx
 	s := tx.s
 	if len(tx.writes) > 0 {
-		wv := s.clock.Add(1)
 		for i := range tx.writes {
 			e := &tx.writes[i]
 			if e.word != nil {

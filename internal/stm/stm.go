@@ -4,7 +4,6 @@ import (
 	"math/rand/v2"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 )
 
@@ -23,14 +22,14 @@ const (
 type STM struct {
 	// The global version clock is bumped by every read-write commit and
 	// read by every transaction begin — the hottest word in the system.
-	// The padding keeps it alone on its cache line so clock bumps do not
-	// invalidate the (read-mostly) configuration fields or the pool state
-	// below. Per-cell vlocks are deliberately not padded: they are
+	// It lives in its own padded Clock allocation (see clock.go) so clock
+	// bumps do not invalidate the (read-mostly) configuration fields or
+	// the pool state below, and so several domains can share one clock
+	// (WithClock). Per-cell vlocks are deliberately not padded: they are
 	// embedded by the thousand inside data-structure nodes, where a
 	// 64-byte footprint per slot would multiply node memory; the clock is
 	// the one globally shared line worth isolating.
-	clock atomic.Uint64
-	_     [56]byte
+	clock *Clock
 
 	extension bool
 	lockSpin  int
@@ -61,6 +60,19 @@ func WithLockSpin(n int) Option {
 	}
 }
 
+// WithClock runs the domain on a caller-supplied version clock instead of
+// a private one, letting several domains (the shards of a Sharded map)
+// share one version/timestamp space. Sharing is TL2-safe — a foreign bump
+// only makes versions skip ahead — and makes one snapshot timestamp drawn
+// from the clock valid against every sharing domain at once.
+func WithClock(c *Clock) Option {
+	return func(s *STM) {
+		if c != nil {
+			s.clock = c
+		}
+	}
+}
+
 // WithStats enables statistics collection. Disabled by default: the
 // counters are updated once or twice per transaction, which is measurable
 // on the benchmark fast path.
@@ -83,6 +95,9 @@ func New(opts ...Option) *STM {
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.clock == nil {
+		s.clock = NewClock()
+	}
 	s.txPool.New = func() any { return newTx(s) }
 	return s
 }
@@ -99,7 +114,15 @@ func (s *STM) Stats() StatsSnapshot {
 // Now returns the current value of the global version clock. Exposed for
 // tests and diagnostics.
 func (s *STM) Now() uint64 {
-	return s.clock.Load()
+	return s.clock.Now()
+}
+
+// Clock returns the domain's version clock — private unless the domain
+// was built with WithClock. The Leap-List's timestamped read path reads
+// snapshot timestamps from it, and its lock-based variants tick it at
+// their publish linearization point.
+func (s *STM) Clock() *Clock {
+	return s.clock
 }
 
 // Atomically executes fn inside a transaction, retrying with randomized

@@ -57,7 +57,7 @@ func newTx(s *STM) *Tx {
 }
 
 func (tx *Tx) begin() {
-	tx.rv = tx.s.clock.Load()
+	tx.rv = tx.s.clock.Now()
 	// reads/writes are already empty: finish cleared and truncated them
 	// on every prior path, and a fresh descriptor starts at length zero.
 	tx.err = nil
@@ -194,7 +194,7 @@ func (tx *Tx) extend() bool {
 	if !tx.s.extension {
 		return false
 	}
-	now := tx.s.clock.Load()
+	now := tx.s.clock.Now()
 	for i := range tx.reads {
 		ver, locked := tx.reads[i].l.sample()
 		if locked || ver != tx.reads[i].ver {
@@ -231,7 +231,7 @@ func (tx *Tx) commit() error {
 		return err
 	}
 
-	wv := tx.s.clock.Add(1)
+	wv := tx.s.clock.Tick()
 	if wv != tx.rv+1 {
 		// At least one other commit intervened: validate the read set.
 		for i := range tx.reads {

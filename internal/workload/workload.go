@@ -141,6 +141,25 @@ func (g *Generator) Value() uint64 {
 	return g.rng.Uint64()
 }
 
+// NewScanHeavyGenerator builds the stream of the snapshot-scan
+// evaluation: almost two thirds of the operations are long range scans —
+// spans drawn from [KeySpace/4, KeySpace/2] instead of the paper's
+// [1000, 2000] — and most of the rest is modify churn, so every scan
+// runs against continuous structural turnover (splits, merges, node
+// replacements). BenchmarkSnapshotScan drives this mix for its bundles
+// on/off A/B: with versioned links a scan traverses one frozen cut and
+// never retries; without them each structural change it races restarts
+// the snapshot run.
+func NewScanHeavyGenerator(keySpace, seed uint64) (*Generator, error) {
+	return NewGenerator(Config{
+		Mix:      Mix{LookupPct: 5, RangePct: 65, ModifyPct: 30},
+		KeySpace: keySpace,
+		RangeMin: keySpace / 4,
+		RangeMax: keySpace / 2,
+		Seed:     seed,
+	})
+}
+
 // LocalConfig parameterizes a locality-skewed key stream: an anchor
 // strides upward through the key space, and each key is the anchor plus
 // a Zipf-skewed offset inside a small window, so consecutive keys are

@@ -164,3 +164,27 @@ func TestLocalGeneratorDeterminismAndBatch(t *testing.T) {
 		t.Fatal("negative Zipf exponent accepted")
 	}
 }
+
+func TestScanHeavyGenerator(t *testing.T) {
+	const keySpace = 1 << 16
+	g, err := NewScanHeavyGenerator(keySpace, 7)
+	if err != nil {
+		t.Fatalf("NewScanHeavyGenerator: %v", err)
+	}
+	counts := make(map[Op]int)
+	for i := 0; i < 20_000; i++ {
+		op, _, _, lo, hi := g.Next()
+		counts[op]++
+		if op == OpRange {
+			if span := hi - lo; span < keySpace/4 || span > keySpace/2 {
+				t.Fatalf("range span %d outside [KeySpace/4, KeySpace/2]", span)
+			}
+		}
+	}
+	if counts[OpRange] < 12_000 {
+		t.Fatalf("scan-heavy stream produced only %d range ops of 20000", counts[OpRange])
+	}
+	if counts[OpUpdate]+counts[OpRemove] == 0 {
+		t.Fatal("scan-heavy stream produced no modify churn")
+	}
+}

@@ -1,12 +1,23 @@
 package leaplist
 
-// Iterator walks a key interval in ascending order by taking consecutive
-// range-query snapshots of bounded size. Each chunk is internally
-// consistent (a linearizable snapshot, like Range); across chunk
-// boundaries the iteration is fuzzy in the usual sense of concurrent
-// ordered-map iterators: keys inserted behind the cursor are not
-// revisited, keys inserted ahead may or may not appear. Unlike holding a
-// lock or one giant transaction, iteration cost to writers is zero.
+import "leaplist/internal/core"
+
+// Iterator walks a key interval in ascending order in bounded-size
+// chunks. With bundles on (the default) the whole iteration is ONE
+// consistent snapshot: the iterator pins the map's epoch and draws one
+// timestamp when created, and every refill resolves the next chunk
+// against that frozen instant through the timestamped read path — no
+// retries under churn, no re-pinning per refill, and keys that move
+// concurrently neither vanish from nor appear in the iteration. The
+// price is that the pin delays memory reclamation for the whole map
+// while the iterator is live, so iterate promptly and call Close if
+// you abandon an unexhausted iterator (exhausting it releases the pin
+// automatically).
+//
+// With WithBundles(false) each chunk is an independent snapshot and the
+// iteration is fuzzy in the usual sense of concurrent ordered-map
+// iterators: keys inserted behind the cursor are not revisited, keys
+// inserted ahead may or may not appear. No pin is held across chunks.
 //
 // A zero chunk size defaults to twice the map's node capacity, so each
 // refill costs roughly two node visits.
@@ -18,6 +29,14 @@ type Iterator[V any] struct {
 	buf     []KV[V]
 	pos     int
 	done    bool
+
+	// Timestamped iteration state (bundles on): one pin and one snapshot
+	// timestamp for the iterator's whole life. The pin's finger remembers
+	// the node the previous refill stopped in, so each refill anchors in
+	// O(1) and the iteration walks the frozen chain exactly once.
+	pinned bool
+	pin    core.ReadPin[V]
+	s      uint64
 }
 
 // Iter returns an iterator over [lo, hi].
@@ -29,6 +48,14 @@ func (m *Map[V]) Iter(lo, hi uint64) *Iterator[V] {
 	it := &Iterator[V]{m: m, hi: hi, nextKey: lo, chunk: chunk}
 	if lo > hi || lo > MaxKey {
 		it.done = true
+		return it
+	}
+	if g := m.group.inner; g.Bundles() {
+		// Pin before timestamp: the pin keeps every record the frozen
+		// cut needs alive until the iteration (or Close) releases it.
+		it.pin = g.PinReads()
+		it.s = g.Now()
+		it.pinned = true
 	}
 	return it
 }
@@ -48,7 +75,28 @@ func (it *Iterator[V]) Next() (kv KV[V], ok bool) {
 	}
 }
 
-// refill takes the next snapshot chunk starting at nextKey.
+// Close releases the iterator's epoch pin (bundles on) without draining
+// it. Safe to call at any time, more than once, and on an exhausted
+// iterator; the iterator yields no further pairs afterwards.
+func (it *Iterator[V]) Close() {
+	it.done = true
+	// Drop the buffered tail so a closed iterator does not keep its
+	// values live, mirroring refill's clear-before-truncate.
+	clear(it.buf)
+	it.buf = it.buf[:0]
+	it.pos = 0
+	it.unpin()
+}
+
+func (it *Iterator[V]) unpin() {
+	if it.pinned {
+		it.pinned = false
+		it.pin.Unpin()
+		it.pin = core.ReadPin[V]{}
+	}
+}
+
+// refill takes the next chunk starting at nextKey.
 func (it *Iterator[V]) refill() {
 	// Zero the previous chunk before truncating: a bare buf[:0] would
 	// leave its KVs (including pointerful values) live in the slice
@@ -56,6 +104,16 @@ func (it *Iterator[V]) refill() {
 	clear(it.buf)
 	it.buf = it.buf[:0]
 	it.pos = 0
+	if it.pinned {
+		var more bool
+		it.buf, it.nextKey, more = it.pin.CollectChunkAsOf(
+			it.m.list, it.nextKey, it.hi, it.s, it.chunk, it.buf)
+		if !more {
+			it.done = true
+			it.unpin()
+		}
+		return
+	}
 	it.m.Range(it.nextKey, it.hi, func(k uint64, v V) bool {
 		it.buf = append(it.buf, KV[V]{Key: k, Value: v})
 		return len(it.buf) < it.chunk

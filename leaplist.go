@@ -178,7 +178,9 @@ type options struct {
 	stats       bool
 	noFingers   bool
 	noHashIndex bool
+	noBundles   bool
 	collector   *epoch.Collector
+	clock       *stm.Clock
 }
 
 // WithNodeSize sets K, the maximum pairs per node (default 300, the
@@ -238,6 +240,30 @@ func WithHashIndex(enabled bool) Option {
 	return func(o *options) { o.noHashIndex = !enabled }
 }
 
+// WithBundles toggles the versioned level-0 links and the timestamped
+// read path built on them (default on). With bundles on, every commit
+// stamps the level-0 links it changes with a global-clock timestamp at
+// its publish phase, and snapshot reads — Range, Collect, Count, the
+// Iterator, and read-only transactions — resolve against the chain as
+// of one clock instant: they never retry under structural churn, never
+// take locks, and writers never wait for them (the only wait a reader
+// ever does is a bounded spin inside a concurrent commit's publish
+// window). On a Sharded map the shards share one clock, so a read-only
+// Sharded.Txn commits against a single frozen cut of every shard with
+// no two-phase coordination and zero aborts. Disabling reverts every
+// read to the variant's classic validate-and-retry path and exists for
+// A/B benchmarking (see BenchmarkSnapshotScan); fixed at construction.
+func WithBundles(enabled bool) Option {
+	return func(o *options) { o.noBundles = !enabled }
+}
+
+// withClock supplies the STM clock the group's domain runs on; used by
+// NewSharded to give every shard one global clock, which is what makes
+// a single timestamp meaningful across shards.
+func withClock(c *stm.Clock) Option {
+	return func(o *options) { o.clock = c }
+}
+
 // WithCollector supplies the epoch collector the group runs on — every
 // operation pins it and every replaced node retires through it into the
 // group's node recycler — exposing the reclamation accounting of the
@@ -266,6 +292,9 @@ func NewGroup[V any](opts ...Option) *Group[V] {
 	if o.stats {
 		stmOpts = append(stmOpts, stm.WithStats(true))
 	}
+	if o.clock != nil {
+		stmOpts = append(stmOpts, stm.WithClock(o.clock))
+	}
 	domain := stm.New(stmOpts...)
 	inner := core.NewGroup[V](core.Config{
 		NodeSize:    o.nodeSize,
@@ -273,6 +302,7 @@ func NewGroup[V any](opts ...Option) *Group[V] {
 		Variant:     o.variant,
 		NoFingers:   o.noFingers,
 		NoHashIndex: o.noHashIndex,
+		NoBundles:   o.noBundles,
 		Collector:   o.collector,
 	}, domain)
 	return &Group[V]{inner: inner, stm: domain}

@@ -27,10 +27,16 @@ import (
 // publish, so a committed ShardedTx is all-or-none even against
 // concurrent ShardedTx readers on every shard.
 //
-// Non-transactional reads spanning shards (Range, Collect, Count, Len)
-// stitch per-shard snapshots: each shard's segment is one linearizable
-// snapshot, but different shards are snapshotted at different instants.
-// For one atomic cross-shard snapshot, stage a GetRange in a Txn.
+// The shards share one global timestamp clock. With bundles on (the
+// default, see WithBundles), reads spanning shards — Range, Collect,
+// Count, a read-only Txn — freeze one clock instant and resolve every
+// shard's segment as of it: one consistent cross-shard snapshot with no
+// locks, no prepare phase and no aborts, concurrent writers never
+// blocked. A read-only Txn.Commit therefore skips the two-phase
+// protocol entirely. With WithBundles(false), stitched reads revert to
+// per-shard instants (each segment consistent on its own; Len is always
+// per-shard) and only Txn + GetRange gives an atomic cross-shard
+// snapshot, through the 2PC read-lock path.
 //
 // Search fingers (WithFingers) stay per shard: each shard's group keeps
 // its own pooled read and commit fingers, so a cross-shard transaction's
@@ -47,11 +53,21 @@ type Sharded[V any] struct {
 	maps   []*Map[V]
 	span   uint64 // keys per shard; the last shard also owns the remainder
 
-	txPool sync.Pool // released *ShardedTx[V] builders
+	// clock is the global timestamp clock shared by every shard's STM
+	// domain. With bundles on (the default) one Now() read freezes a cut
+	// of all shards at once: the timestamped read paths resolve every
+	// shard as of that instant, which is what makes stitched reads and
+	// read-only cross-shard transactions consistent without two-phase
+	// coordination.
+	clock *stm.Clock
+
+	txPool  sync.Pool // released *ShardedTx[V] builders
+	pinPool sync.Pool // *[]core.ReadPin[V] scratch for stitched reads
 }
 
 // NewSharded creates an empty sharded map with n shards (n < 1 is
-// treated as 1). Options apply to every shard's group.
+// treated as 1). Options apply to every shard's group; the shards share
+// one global clock, so snapshot timestamps are comparable across them.
 func NewSharded[V any](n int, opts ...Option) *Sharded[V] {
 	if n < 1 {
 		n = 1
@@ -60,13 +76,47 @@ func NewSharded[V any](n int, opts ...Option) *Sharded[V] {
 		groups: make([]*Group[V], n),
 		maps:   make([]*Map[V], n),
 		span:   MaxKey/uint64(n) + 1,
+		clock:  stm.NewClock(),
 	}
+	shardOpts := append(append(make([]Option, 0, len(opts)+1), opts...), withClock(s.clock))
 	for i := range s.groups {
-		g := NewGroup[V](opts...)
+		g := NewGroup[V](shardOpts...)
 		s.groups[i] = g
 		s.maps[i] = g.NewMap()
 	}
 	return s
+}
+
+// bundled reports whether the shards run with versioned links (every
+// shard gets the same options, so checking one is checking all).
+func (s *Sharded[V]) bundled() bool {
+	return s.groups[0].inner.Bundles()
+}
+
+// pinShards pins shards [from, to] for a stitched as-of read. The pins
+// must all be in place before the snapshot timestamp is drawn (pin
+// before timestamp; see core.ReadPin) — they are what keep the records
+// the frozen cut needs alive on every shard, including the ones read
+// last. Release with unpinShards.
+func (s *Sharded[V]) pinShards(from, to int) []core.ReadPin[V] {
+	var pins []core.ReadPin[V]
+	if p, _ := s.pinPool.Get().(*[]core.ReadPin[V]); p != nil {
+		pins = (*p)[:0]
+	}
+	for sh := from; sh <= to; sh++ {
+		pins = append(pins, s.groups[sh].inner.PinReads())
+	}
+	return pins
+}
+
+// unpinShards releases every pin and recycles the slice.
+func (s *Sharded[V]) unpinShards(pins []core.ReadPin[V]) {
+	for i := range pins {
+		pins[i].Unpin()
+		pins[i] = core.ReadPin[V]{}
+	}
+	pins = pins[:0]
+	s.pinPool.Put(&pins)
 }
 
 // Shards returns the number of shards.
@@ -125,16 +175,38 @@ func (s *Sharded[V]) Delete(k uint64) (bool, error) {
 }
 
 // Range streams every pair with key in [lo, hi] in ascending key order,
-// stopping early if fn returns false. Each shard's segment is one
-// consistent snapshot; the segments are snapshotted shard by shard (see
-// the type docs — use Txn + GetRange for one atomic cross-shard
-// snapshot).
+// stopping early if fn returns false. With bundles on (the default) the
+// whole stream is one consistent cross-shard snapshot: a single clock
+// read freezes the cut and every shard's segment resolves as of that
+// instant. With WithBundles(false) each shard's segment is consistent
+// on its own but the segments are snapshotted at different instants
+// (use Txn + GetRange for an atomic cross-shard snapshot there).
 func (s *Sharded[V]) Range(lo, hi uint64, fn func(k uint64, v V) bool) {
 	if lo > hi || lo > MaxKey {
 		return
 	}
 	if hi > MaxKey {
 		hi = MaxKey
+	}
+	if s.bundled() {
+		from, to := s.ShardOf(lo), s.ShardOf(hi)
+		pins := s.pinShards(from, to)
+		defer s.unpinShards(pins)
+		at := s.clock.Now()
+		for sh := from; sh <= to; sh++ {
+			stopped := false
+			pins[sh-from].RangeQueryAsOf(s.maps[sh].list, lo, hi, at, func(k uint64, v V) bool {
+				if fn != nil && !fn(k, v) {
+					stopped = true
+					return false
+				}
+				return true
+			})
+			if stopped {
+				return
+			}
+		}
+		return
 	}
 	stopped := false
 	for sh := s.ShardOf(lo); sh <= s.ShardOf(hi) && !stopped; sh++ {
@@ -148,8 +220,8 @@ func (s *Sharded[V]) Range(lo, hi uint64, fn func(k uint64, v V) bool) {
 	}
 }
 
-// Count returns the number of keys in [lo, hi], summed over the
-// per-shard snapshots.
+// Count returns the number of keys in [lo, hi]: one frozen cross-shard
+// cut with bundles on, the sum of per-shard snapshots otherwise.
 func (s *Sharded[V]) Count(lo, hi uint64) int {
 	if lo > hi || lo > MaxKey {
 		return 0
@@ -158,6 +230,16 @@ func (s *Sharded[V]) Count(lo, hi uint64) int {
 		hi = MaxKey
 	}
 	total := 0
+	if s.bundled() {
+		from, to := s.ShardOf(lo), s.ShardOf(hi)
+		pins := s.pinShards(from, to)
+		defer s.unpinShards(pins)
+		at := s.clock.Now()
+		for sh := from; sh <= to; sh++ {
+			total += pins[sh-from].RangeQueryAsOf(s.maps[sh].list, lo, hi, at, nil)
+		}
+		return total
+	}
 	for sh := s.ShardOf(lo); sh <= s.ShardOf(hi); sh++ {
 		total += s.maps[sh].Count(lo, hi)
 	}
@@ -172,13 +254,25 @@ func (s *Sharded[V]) Collect(lo, hi uint64) []KV[V] {
 
 // CollectInto appends the stitched per-shard snapshots of [lo, hi] to
 // buf in ascending key order and returns the extended slice; the
-// caller-supplied-buffer form of Collect (see Map.CollectInto).
+// caller-supplied-buffer form of Collect (see Map.CollectInto). With
+// bundles on the stitched result is one consistent cross-shard snapshot
+// (see Range).
 func (s *Sharded[V]) CollectInto(lo, hi uint64, buf []KV[V]) []KV[V] {
 	if lo > hi || lo > MaxKey {
 		return buf
 	}
 	if hi > MaxKey {
 		hi = MaxKey
+	}
+	if s.bundled() {
+		from, to := s.ShardOf(lo), s.ShardOf(hi)
+		pins := s.pinShards(from, to)
+		defer s.unpinShards(pins)
+		at := s.clock.Now()
+		for sh := from; sh <= to; sh++ {
+			buf = pins[sh-from].CollectRangeIntoAsOf(s.maps[sh].list, lo, hi, at, buf)
+		}
+		return buf
 	}
 	for sh := s.ShardOf(lo); sh <= s.ShardOf(hi); sh++ {
 		buf = s.maps[sh].CollectInto(lo, hi, buf)
@@ -249,6 +343,7 @@ type ShardedTx[V any] struct {
 	done  bool
 
 	prepared []*core.PreparedOps[V] // commit scratch: the prepared prefix
+	pins     []core.ReadPin[V]      // commit scratch: read-only fast-path pins
 }
 
 // Txn starts an empty cross-shard transaction, reusing a released
@@ -391,6 +486,20 @@ func (t *ShardedTx[V]) Err() error {
 	return t.err
 }
 
+// readOnly reports whether every staged sub-op is a pure read (Get or
+// GetRange): eligible, with bundles on, for the timestamped commit fast
+// path that needs no two-phase coordination.
+func (t *ShardedTx[V]) readOnly() bool {
+	for sh := range t.per {
+		for i := range t.per[sh] {
+			if k := t.per[sh][i].Kind; k != core.OpGet && k != core.OpGetRange {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // shardPrepareAttempts bounds one shard's conflict retries inside the
 // two-phase commit before the coordinator gives the prepared prefix
 // back: spinning against a competitor that already holds a later shard
@@ -438,6 +547,42 @@ func (t *ShardedTx[V]) Commit() error {
 		}
 		return nil
 	}
+	if t.s.bundled() && t.readOnly() {
+		// Read-only cross-shard transaction: one clock read freezes a cut
+		// of every shard — the transaction's atomicity point — and each
+		// shard resolves its sub-batch against that instant's chain. No
+		// prepare phase, no read locks, no aborts: concurrent writers
+		// commit freely on every shard and this transaction still observes
+		// all-or-none of each of them. Every involved shard is pinned
+		// BEFORE the timestamp is drawn — the pins are what keep the
+		// records the frozen cut needs from being truncated while later
+		// shards are still being read.
+		t.pins = t.pins[:0]
+		for sh := range t.per {
+			if len(t.per[sh]) > 0 {
+				t.pins = append(t.pins, t.s.groups[sh].inner.PinReads())
+			}
+		}
+		at := t.s.clock.Now()
+		i := 0
+		for sh := range t.per {
+			if len(t.per[sh]) == 0 {
+				continue
+			}
+			if err := t.pins[i].ReadOps(t.per[sh], at); err != nil && t.err == nil {
+				// Unreachable: staging validated every op and the path is
+				// gated on bundled() && readOnly(). Finish the unpins.
+				t.err = err
+			}
+			i++
+		}
+		for j := range t.pins {
+			t.pins[j].Unpin()
+			t.pins[j] = core.ReadPin[V]{}
+		}
+		t.pins = t.pins[:0]
+		return t.err
+	}
 	for attempt := 0; ; attempt++ {
 		t.prepared = t.prepared[:0]
 		var failed error
@@ -456,9 +601,27 @@ func (t *ShardedTx[V]) Commit() error {
 			t.prepared = append(t.prepared, p)
 		}
 		if failed == nil {
-			for i, p := range t.prepared {
-				p.Publish()
-				t.prepared[i] = nil
+			if t.s.bundled() {
+				// Coordinated publish: pend every shard's bundle records
+				// while all shards' prepare locks are still held, then draw
+				// ONE timestamp and publish every leg at it. Timestamped
+				// readers holding a snapshot at or past wv block on the
+				// pended links of every shard until the owning leg fills
+				// them, so the cross-shard commit is a single instant to
+				// them — no leg can be observed without the others.
+				for _, p := range t.prepared {
+					p.PublishStart()
+				}
+				wv := t.s.clock.Tick()
+				for i, p := range t.prepared {
+					p.PublishAt(wv)
+					t.prepared[i] = nil
+				}
+			} else {
+				for i, p := range t.prepared {
+					p.Publish()
+					t.prepared[i] = nil
+				}
 			}
 			t.prepared = t.prepared[:0]
 			return nil
