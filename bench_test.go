@@ -22,6 +22,7 @@ import (
 
 	"leaplist"
 	"leaplist/internal/core"
+	"leaplist/internal/epoch"
 	"leaplist/internal/harness"
 	"leaplist/internal/workload"
 )
@@ -491,6 +492,93 @@ func BenchmarkShardedTx(b *testing.B) {
 			b.StopTimer()
 			if elapsed > 0 {
 				b.ReportMetric(float64(b.N)/elapsed.Seconds(), "tx/s")
+			}
+		})
+	}
+}
+
+// ---- Interval deletes: run-unlink scaling across span sizes ----
+
+// BenchmarkDeleteRange measures one committed DeleteRange transaction
+// over spans covering ~1, ~16 and ~256 nodes, per variant, with bundles
+// on and off. The run-unlink commit path replaces per-node rebuilds with
+// one predecessor swing per level and retires the covered interior as a
+// single chain, so the O(deleted keys) rebuild/copy cost is gone:
+// allocs/op stays flat from nodes=16 to nodes=256 and ns/op grows only
+// with the residual per-node validation floor (each covered node still
+// contributes a liveness kill plus one mark per level — a few inline STM
+// records — because competitors validate against the exact slots they
+// read; see lockEntry's run branch), far below proportional. The refill
+// and the epoch-reclamation drain between iterations run with the timer
+// stopped so deferred recycling of the previous run chain is not billed
+// to the delete. Like BenchmarkLocality this is a single-worker per-op
+// A/B; BENCH_*.json records the trajectory.
+func BenchmarkDeleteRange(b *testing.B) {
+	const nodeSize = 64
+	fill := uint64(nodeSize / 2) // BulkLoad leaves nodes half full
+	for _, bundles := range []bool{true, false} {
+		label := "off"
+		if bundles {
+			label = "on"
+		}
+		b.Run("bundles="+label, func(b *testing.B) {
+			for _, v := range []core.Variant{core.VariantLT, core.VariantCOP, core.VariantTM, core.VariantRW} {
+				v := v
+				b.Run(v.String(), func(b *testing.B) {
+					for _, nodes := range []int{1, 16, 256} {
+						nodes := nodes
+						b.Run("nodes="+itoa(nodes), func(b *testing.B) {
+							col := epoch.NewCollector()
+							g := leaplist.NewGroup[uint64](
+								leaplist.WithVariant(v),
+								leaplist.WithNodeSize(nodeSize),
+								leaplist.WithMaxLevel(harness.PaperMaxLevel),
+								leaplist.WithBundles(bundles),
+								leaplist.WithCollector(col),
+							)
+							m := g.NewMap()
+							const initN = 16_384 // 512 half-full nodes
+							keys := make([]uint64, initN)
+							vals := make([]uint64, initN)
+							for i := range keys {
+								keys[i], vals[i] = uint64(i), uint64(i)
+							}
+							if err := m.BulkLoad(keys, vals); err != nil {
+								b.Fatal(err)
+							}
+							// Span in the middle of the key space so both
+							// boundary searches descend a populated structure.
+							lo := uint64(initN) / 2
+							hi := lo + uint64(nodes)*fill - 1
+							runtime.GC()
+							b.ReportAllocs()
+							b.ResetTimer()
+							for i := 0; i < b.N; i++ {
+								tx := g.Txn()
+								tx.DeleteRange(m, lo, hi)
+								if err := tx.Commit(); err != nil {
+									b.Fatal(err)
+								}
+								tx.Release()
+								b.StopTimer()
+								tx = g.Txn()
+								for k := lo; k <= hi; k++ {
+									tx.Set(m, k, k)
+								}
+								if err := tx.Commit(); err != nil {
+									b.Fatal(err)
+								}
+								tx.Release()
+								// Drain deferred epoch reclamation (the
+								// previous delete's retired run chain and its
+								// pool donations) while untimed, so it cannot
+								// land inside the next timed window.
+								col.Flush()
+								b.StartTimer()
+							}
+						})
+					}
+				})
 			}
 		})
 	}

@@ -212,6 +212,138 @@ func TestSnapshotFrozenCutUnderChurn(t *testing.T) {
 	})
 }
 
+// TestSnapshotFrozenCutUnderRunUnlink is the frozen-cut oracle aimed
+// squarely at the O(boundary) DeleteRange splice: each flip deletes a
+// 512-key stripe whose refill lands entirely in one half, so the other
+// half — hundreds of keys across ~128 NodeSize-4 nodes with no staged
+// point op inside — is unlinked as one spliced run per flip. With
+// bundles on, a concurrent timestamped scan must still observe, per
+// stripe, either nothing or exactly one complete half from a single
+// round: a reader that crosses a half-swung splice, meets a run node
+// whose folded death words are torn, or loses part of the run's frozen
+// chain mid-walk breaks that oracle. With bundles off the lock-free
+// scan has no frozen-cut guarantee — it may legitimately mix rounds —
+// so the off arm asserts the weaker structural oracle instead: every
+// observed pair is individually plausible (its key sits in the half
+// its round's parity dictates) and keys ascend strictly, which a
+// reader stranded on a recycled or half-spliced run chain would break.
+func TestSnapshotFrozenCutUnderRunUnlink(t *testing.T) {
+	for _, bundles := range []bool{true, false} {
+		name := "bundles-on"
+		if !bundles {
+			name = "bundles-off"
+		}
+		t.Run(name, func(t *testing.T) {
+			forEachTxVariant(t, func(t *testing.T, v Variant) {
+				g := NewGroup[uint64](WithVariant(v), WithNodeSize(4), WithMaxLevel(8), WithBundles(bundles))
+				m := g.NewMap()
+
+				const (
+					stripes    = 2
+					stripeBase = uint64(1) << 20
+					half       = uint64(256)
+				)
+				rounds := 40
+				if testing.Short() {
+					rounds = 10
+				}
+
+				validate := func(pairs []KV[uint64]) {
+					var byStripe [stripes][]KV[uint64]
+					prev := uint64(0)
+					for j, kv := range pairs {
+						s := kv.Key / stripeBase
+						if s >= stripes {
+							t.Errorf("scan surfaced foreign key %d", kv.Key)
+							return
+						}
+						if j > 0 && kv.Key <= prev {
+							t.Errorf("scan keys not strictly ascending: %d after %d", kv.Key, prev)
+							return
+						}
+						prev = kv.Key
+						byStripe[s] = append(byStripe[s], kv)
+					}
+					for s, sp := range byStripe {
+						if len(sp) == 0 {
+							continue // stripe not yet populated
+						}
+						if !bundles {
+							// No frozen cut without bundles: check each pair
+							// stands on its own — placement matches its
+							// round's parity and the round is real.
+							for _, kv := range sp {
+								r := kv.Value
+								off := (r % 2) * half
+								lo := uint64(s)*stripeBase + off
+								if r < 1 || r > uint64(rounds) || kv.Key < lo || kv.Key >= lo+half {
+									t.Errorf("stripe %d: implausible pair (%d,%d)", s, kv.Key, kv.Value)
+									return
+								}
+							}
+							continue
+						}
+						r := sp[0].Value
+						off := (r % 2) * half
+						lo := uint64(s)*stripeBase + off
+						if len(sp) != int(half) {
+							t.Errorf("stripe %d: torn cut with %d pairs at round %d, want %d", s, len(sp), r, half)
+							return
+						}
+						for i, kv := range sp {
+							if kv.Value != r || kv.Key != lo+uint64(i) {
+								t.Errorf("stripe %d: mixed rounds in one cut: pair (%d,%d), round %d",
+									s, kv.Key, kv.Value, r)
+								return
+							}
+						}
+					}
+				}
+
+				var writers sync.WaitGroup
+				var done atomic.Bool
+				for s := 0; s < stripes; s++ {
+					writers.Add(1)
+					go func(s int) {
+						defer writers.Done()
+						lo := uint64(s) * stripeBase
+						for r := 1; r <= rounds; r++ {
+							tx := g.Txn()
+							tx.DeleteRange(m, lo, lo+2*half-1)
+							off := (uint64(r) % 2) * half
+							for k := uint64(0); k < half; k++ {
+								tx.Set(m, lo+off+k, uint64(r))
+							}
+							if err := tx.Commit(); err != nil {
+								t.Errorf("flip Commit: %v", err)
+								return
+							}
+							tx.Release()
+						}
+					}(s)
+				}
+
+				var readers sync.WaitGroup
+				for i := 0; i < 2; i++ {
+					readers.Add(1)
+					go func(viaIterator bool) {
+						defer readers.Done()
+						for !done.Load() {
+							validate(collectPairs(m, viaIterator))
+						}
+					}(i == 0)
+				}
+
+				writers.Wait()
+				done.Store(true)
+				readers.Wait()
+				validate(collectPairs(m, false))
+				validate(collectPairs(m, true))
+			})
+		})
+	}
+}
+
 // TestShardedReadOnlyTxnNoSTMActivity checks the wait-free claim of the
 // sharded read-only fast path: with bundles on, a cross-shard all-read
 // transaction never starts an STM transaction at all — no prepare, no

@@ -7,7 +7,7 @@ import (
 )
 
 // Bundleproto protects the versioned-link ("bundle") protocol of the
-// timestamped read path. A bundle record's words (ts, death, to, older,
+// timestamped read path. A bundle record's words (ts, to, older,
 // supersededEra) encode a link's history under a strict publish
 // discipline: records are prepended PENDING and filled with the batch
 // timestamp inside the commit pipeline's publish phase, while the
@@ -17,17 +17,22 @@ import (
 // against the reader's snapshot instant. Any other read can observe a
 // half-published record or prefer a superseded one; any other write
 // breaks the per-link newest-first ordering the whole reader proof
-// rests on. The rule enforces three facets:
+// rests on. The rule enforces five facets:
 //
 //   - record fields may be touched only by the bundle protocol
 //     functions themselves (and the recyclers, whose grace periods
 //     prove quiescence);
-//   - a node's bundle head (node.bun) is owned by the same functions;
-//   - the stamping entry points (bunPublishStart, bunPrepend,
+//   - a node's bundle head (node.bun) and its inline record pair
+//     (node.inl/node.inlUsed) are owned by the same functions;
+//   - the stamping entry points (bunPublishStart, bunPrepend, bunBirth,
 //     bunFillAll, bunInit, bunTruncate) may be called only from
 //     publish-phase code (or list construction, for bunInit), and a
 //     node's born field is stored only by the fill pass and the shell
-//     recycler.
+//     recycler;
+//   - the folded death words are stamped only by the publish phase that
+//     swings the node's predecessor: node.repl is stored only by phase
+//     A (bunPublishStart) and the node lifecycle, node.died only by the
+//     fill pass and the node lifecycle.
 var Bundleproto = &lintkit.Analyzer{
 	Name: "bundleproto",
 	Doc:  "bundle records are read only through the timestamp-validating bunNextAsOf/bunRecoverAsOf helpers and stamped only inside the commit pipeline's publish phase",
@@ -36,7 +41,7 @@ var Bundleproto = &lintkit.Analyzer{
 
 // recFields are the protocol words of a bundle record.
 var recFields = map[string]bool{
-	"ts": true, "death": true, "to": true, "older": true, "supersededEra": true,
+	"ts": true, "to": true, "older": true, "supersededEra": true, "inline": true,
 }
 
 // recHolderTypes scope the field check to the record type.
@@ -45,19 +50,44 @@ var recHolderTypes = map[string]bool{"bundleRec": true}
 // bunProtoFuncs are the bundle protocol functions: the only code allowed
 // to touch record fields or a node's bundle head directly. recycleNode
 // and recycleBundleRec ride along because their grace periods prove no
-// reader can still observe the chain they dismantle.
+// reader can still observe the chain they dismantle; newNode constructs
+// the inline pair before the node is shared.
 var bunProtoFuncs = map[string]bool{
 	"recycleBundleRec": true, "recycleBundleChain": true, "bunInit": true,
 	"bunPrepend": true, "bunFillAll": true, "bunTruncate": true,
 	"bunNextAsOf": true, "bunRecoverAsOf": true, "recycleNode": true,
+	"bunSlot": true, "bunBirth": true, "newNode": true,
 }
 
 // bunStampCallees are the stamping entry points of the protocol; calling
 // one outside a publish phase would create records with no serialization
 // against the links' marks/locks.
 var bunStampCallees = map[string]bool{
-	"bunPublishStart": true, "bunPrepend": true, "bunFillAll": true,
-	"bunInit": true, "bunTruncate": true,
+	"bunPublishStart": true, "bunPrepend": true, "bunBirth": true,
+	"bunFillAll": true, "bunInit": true, "bunTruncate": true,
+}
+
+// replStampFuncs are the functions allowed to store a node's repl word
+// (the folded death record's replacement pointer): publish phase A —
+// the phase that swings the node's predecessor under the same marks or
+// locks — and the node lifecycle, which parks it at nil.
+var replStampFuncs = map[string]bool{
+	"bunPublishStart": true, "recycleNode": true,
+}
+
+// diedStampFuncs are the functions allowed to store a node's died word:
+// the publish fill pass (the only place a real timestamp is known) and
+// the node lifecycle, which parks it at the pending sentinel.
+var diedStampFuncs = map[string]bool{
+	"bunFillAll": true, "recycleNode": true, "newNode": true, "newShell": true,
+}
+
+// inlOwnerFuncs are the functions allowed to touch a node's inline
+// record pair (inl, inlUsed): slot hand-out, the birth installers, the
+// fill pass's inline timestamp stamp, and the node lifecycle.
+var inlOwnerFuncs = map[string]bool{
+	"bunSlot": true, "bunInit": true, "bunBirth": true, "bunFillAll": true,
+	"recycleNode": true, "newNode": true,
 }
 
 // bunPublishPhaseFuncs are the sanctioned callers of the stamping entry
@@ -67,6 +97,10 @@ var bunStampCallees = map[string]bool{
 // before the list is shared).
 var bunPublishPhaseFuncs = map[string]bool{
 	"publish": true, "publishAt": true, "install": true,
+	// finish is the RW committer's post-unlock tail of publish (fill
+	// pass + index update) — still the publish phase, just past the
+	// rw-lock critical section, like LT's fill after mark release.
+	"finish":       true,
 	"releaseEntry": true, "applyEntryTx": true, "PublishStart": true,
 	"bunPublishStart": true, "bunFillAll": true,
 	"NewList": true, "BulkLoad": true,
@@ -94,17 +128,37 @@ func runBundleproto(pass *lintkit.Pass) error {
 						"%s calls %s outside a publish phase; bundle records are prepended and filled only inside the commit pipeline's publish (or list construction, for bunInit)",
 						name, callee)
 				}
-				if callee == "Store" && !bornStampFuncs[name] {
+				if callee == "Store" {
 					if sel, ok := calleeRecv(call).(*ast.SelectorExpr); ok &&
-						sel.Sel.Name == "born" && exprTypeName(pass, sel.X) == "node" {
-						pass.Reportf(call.Pos(),
-							"%s stamps %s outside the publish fill pass; born is written only by bunFillAll and the shell recycler",
-							name, exprString(sel))
+						exprTypeName(pass, sel.X) == "node" {
+						switch {
+						case sel.Sel.Name == "born" && !bornStampFuncs[name]:
+							pass.Reportf(call.Pos(),
+								"%s stamps %s outside the publish fill pass; born is written only by bunFillAll and the shell recycler",
+								name, exprString(sel))
+						case sel.Sel.Name == "repl" && !replStampFuncs[name]:
+							pass.Reportf(call.Pos(),
+								"%s stores %s outside publish phase A; the folded replacement pointer is written only by bunPublishStart (under the predecessor's marks/locks) and the node recycler",
+								name, exprString(sel))
+						case sel.Sel.Name == "died" && !diedStampFuncs[name]:
+							pass.Reportf(call.Pos(),
+								"%s stores %s outside the publish fill pass; the folded death timestamp is written only by bunFillAll and the node lifecycle",
+								name, exprString(sel))
+						}
 					}
 				}
 			}
 			sel, ok := n.(*ast.SelectorExpr)
-			if !ok || proto {
+			if !ok {
+				return true
+			}
+			if (sel.Sel.Name == "inl" || sel.Sel.Name == "inlUsed") &&
+				exprTypeName(pass, sel.X) == "node" && !inlOwnerFuncs[name] {
+				pass.Reportf(sel.Pos(),
+					"%s touches inline record pair %s directly; a node's inline bundle slots are owned by the protocol (bunSlot/bunInit/bunBirth/bunFillAll) and the node lifecycle",
+					name, exprString(sel))
+			}
+			if proto {
 				return true
 			}
 			if recFields[sel.Sel.Name] && recHolderTypes[exprTypeName(pass, sel.X)] {

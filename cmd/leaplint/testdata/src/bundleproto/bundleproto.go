@@ -1,23 +1,28 @@
 // Package bundleproto is testdata for the bundleproto analyzer: bundle
 // record words touched outside the protocol functions, the stamping
-// entry points called outside a publish phase, and born stores outside
-// the fill pass.
+// entry points called outside a publish phase, born/repl/died stores
+// outside their owning phases, and the inline record pair touched
+// outside the protocol.
 package bundleproto
 
 import "sync/atomic"
 
 type node struct {
-	high uint64
-	born atomic.Uint64
-	bun  atomic.Pointer[bundleRec]
+	high    uint64
+	born    atomic.Uint64
+	bun     atomic.Pointer[bundleRec]
+	inl     [2]bundleRec
+	inlUsed uint8
+	repl    atomic.Pointer[node]
+	died    atomic.Uint64
 }
 
 type bundleRec struct {
 	ts            atomic.Uint64
-	death         bool
 	to            *node
 	older         atomic.Pointer[bundleRec]
 	supersededEra atomic.Uint64
+	inline        bool
 }
 
 type txState struct {
@@ -26,14 +31,42 @@ type txState struct {
 
 // --- the protocol functions (shape only): sanctioned direct access ---
 
-func bunInit(n, to *node) {
-	rec := &bundleRec{to: to}
-	rec.ts.Store(0)
-	n.bun.Store(rec)
+func newNode() *node {
+	n := &node{}
+	n.inl[0].inline = true
+	n.inl[1].inline = true
+	n.died.Store(^uint64(0))
+	return n
 }
 
-func bunPrepend(b *txState, n, to *node, death bool) {
-	rec := &bundleRec{death: death, to: to}
+func bunSlot(n *node) *bundleRec {
+	if n.inlUsed < 2 {
+		rec := &n.inl[n.inlUsed]
+		n.inlUsed++
+		return rec
+	}
+	return &bundleRec{}
+}
+
+func bunInit(n, to *node) {
+	rec := &n.inl[0]
+	rec.to = to
+	rec.ts.Store(0)
+	n.bun.Store(rec)
+	n.inlUsed = 1
+}
+
+func bunBirth(p, to *node) {
+	rec := &p.inl[0]
+	rec.ts.Store(^uint64(0))
+	rec.to = to
+	p.bun.Store(rec)
+	p.inlUsed = 1
+}
+
+func bunPrepend(b *txState, n, to *node) {
+	rec := bunSlot(n)
+	rec.to = to
 	rec.ts.Store(^uint64(0))
 	rec.older.Store(n.bun.Load())
 	n.bun.Store(rec)
@@ -42,6 +75,8 @@ func bunPrepend(b *txState, n, to *node, death bool) {
 
 func bunFillAll(b *txState, n *node, ts uint64) {
 	n.born.Store(ts)
+	n.inl[0].ts.Store(ts)
+	n.died.Store(ts)
 	for _, rec := range b.fills {
 		rec.ts.Store(ts)
 	}
@@ -71,21 +106,24 @@ func bunNextAsOf(n *node, s uint64) *node {
 
 func bunRecoverAsOf(n *node, s uint64) *node {
 	for {
-		rec := n.bun.Load()
-		if rec == nil || !rec.death || rec.ts.Load() > s {
+		r := n.repl.Load()
+		if r == nil || n.died.Load() > s {
 			return n
 		}
-		n = rec.to
+		n = r
 	}
 }
 
 func recycleNode(n *node) {
-	for rec := n.bun.Load(); rec != nil; {
+	for rec := n.bun.Load(); rec != nil && !rec.inline; {
 		next := rec.older.Load()
 		rec.older.Store(nil)
 		rec = next
 	}
 	n.bun.Store(nil)
+	n.inlUsed = 0
+	n.repl.Store(nil)
+	n.died.Store(^uint64(0))
 	n.born.Store(^uint64(0))
 }
 
@@ -97,12 +135,13 @@ func newShell() *node {
 
 // --- publish-phase callers: sanctioned stamping ---
 
-func bunPublishStart(b *txState, n *node) {
-	bunPrepend(b, n, nil, true)
+func bunPublishStart(b *txState, n, succ *node) {
+	bunPrepend(b, n, succ)
+	n.repl.Store(succ)
 }
 
 func publish(b *txState, n *node) {
-	bunPublishStart(b, n)
+	bunPublishStart(b, n, nil)
 	bunFillAll(b, n, 7)
 }
 
@@ -111,11 +150,11 @@ func publishAt(b *txState, n *node, ts uint64) {
 }
 
 func releaseEntry(b *txState, p *node) {
-	bunPrepend(b, p, nil, false)
+	bunBirth(p, nil)
 }
 
 func applyEntryTx(b *txState, p *node) {
-	bunPrepend(b, p, nil, false)
+	bunBirth(p, nil)
 }
 
 func NewList() *node {
@@ -135,7 +174,8 @@ func seekOK(n *node, s uint64) *node {
 }
 
 func anchorOK(n *node, s uint64) bool {
-	return n.born.Load() <= s // born reads are free; only stores are gated
+	// born/repl/died loads are free; only stores are gated.
+	return n.born.Load() <= s && n.repl.Load() == nil && n.died.Load() > s
 }
 
 // --- violations: raw record reads ---
@@ -147,7 +187,7 @@ func peekTimestamp(n *node) uint64 {
 
 func chaseRaw(rec *bundleRec, s uint64) *node {
 	for rec != nil {
-		if !rec.death { // want "chaseRaw touches bundle record field rec.death directly"
+		if rec.ts.Load() <= s { // want "chaseRaw touches bundle record field rec.ts directly"
 			return rec.to // want "chaseRaw touches bundle record field rec.to directly"
 		}
 		rec = rec.older.Load() // want "chaseRaw touches bundle record field rec.older directly"
@@ -159,10 +199,18 @@ func expireEarly(rec *bundleRec, era uint64) {
 	rec.supersededEra.Store(era) // want "expireEarly touches bundle record field rec.supersededEra directly"
 }
 
+func stealPooled(rec *bundleRec) bool {
+	return rec.inline // want "stealPooled touches bundle record field rec.inline directly"
+}
+
 // --- violations: stamping outside a publish phase ---
 
 func seekAndPatch(b *txState, n *node) {
-	bunPrepend(b, n, nil, false) // want "seekAndPatch calls bunPrepend outside a publish phase"
+	bunPrepend(b, n, nil) // want "seekAndPatch calls bunPrepend outside a publish phase"
+}
+
+func birthLate(p *node) {
+	bunBirth(p, nil) // want "birthLate calls bunBirth outside a publish phase"
 }
 
 func refreshDuringRead(b *txState, n *node) {
@@ -175,6 +223,24 @@ func compactInline(n *node) {
 
 func adoptBorn(n *node, ts uint64) {
 	n.born.Store(ts) // want "adoptBorn stamps n.born outside the publish fill pass"
+}
+
+// --- violations: folded death words stamped outside their phases ---
+
+func reviveManually(n *node) {
+	n.repl.Store(nil) // want "reviveManually stores n.repl outside publish phase A"
+}
+
+func killEarly(n *node, succ *node, ts uint64) {
+	n.repl.Store(succ) // want "killEarly stores n.repl outside publish phase A"
+	n.died.Store(ts)   // want "killEarly stores n.died outside the publish fill pass"
+}
+
+// --- violations: inline pair touched outside the protocol ---
+
+func pilferSlot(n *node) *bundleRec {
+	n.inlUsed = 1    // want "pilferSlot touches inline record pair n.inlUsed directly"
+	return &n.inl[1] // want "pilferSlot touches inline record pair n.inl directly"
 }
 
 // --- suppression: a deliberate white-box escape hatch ---

@@ -1,0 +1,144 @@
+package core
+
+import "testing"
+
+// findEmptyPair walks l's level-0 chain and returns the highs of the
+// first two adjacent empty non-terminal nodes, or ok = false.
+func findEmptyPair(l *List[uint64]) (h1, h2 uint64, ok bool) {
+	for x := l.head.next[0].PeekPtr(); x != nil && x.high != posInf; x = x.next[0].PeekPtr() {
+		if x.count() != 0 {
+			continue
+		}
+		nx := x.next[0].PeekPtr()
+		if nx != nil && nx.high != posInf && nx.count() == 0 {
+			return x.high, nx.high, true
+		}
+	}
+	return 0, 0, false
+}
+
+// countEmpties counts the empty non-terminal nodes of l's level-0 chain.
+func countEmpties(l *List[uint64]) int {
+	n := 0
+	for x := l.head.next[0].PeekPtr(); x != nil && x.high != posInf; x = x.next[0].PeekPtr() {
+		if x.count() == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// TestAbsorbHintSplicesLingeringEmpties drives the scheduled-absorb
+// cycle end to end: two exact-node DeleteRanges leave two adjacent
+// empty nodes that no opportunistic absorb reaches, a snapshot read
+// detects them and posts the hint, a write batch planning PAST the
+// region drops the hint without splicing (the batch re-planned that
+// area), a second snapshot re-detects, and a write batch planning
+// BEFORE the region consumes the hint and splices the whole empty run
+// out with one injected entry. Read-only traffic must leave the hint
+// alone throughout.
+func TestAbsorbHintSplicesLingeringEmpties(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, g *Group[uint64]) {
+		l := g.NewList()
+		// Seed in one batch: the coalesced insert splits into 3-key
+		// pieces (3K/4 of NodeSize 4), unlike ascending single Sets
+		// whose steady state is 2-key nodes that any absorb could merge.
+		const n = 200
+		seed := make([]Op[uint64], n)
+		for k := uint64(0); k < n; k++ {
+			seed[k] = Op[uint64]{List: l, Kind: OpSet, Key: k, Val: k}
+		}
+		if err := g.CommitOps(seed); err != nil {
+			t.Fatalf("seed CommitOps: %v", err)
+		}
+		// Pick adjacent interior nodes A, B whose neighbor counts veto
+		// every merge path (A+B > NodeSize and B+C > NodeSize), so
+		// emptying A then B leaves both replacements lingering.
+		var a, bn, c *node[uint64]
+		for x := l.head.next[0].PeekPtr(); x != nil && x.high != posInf; x = x.next[0].PeekPtr() {
+			nx := x.next[0].PeekPtr()
+			if nx == nil || nx.high == posInf {
+				break
+			}
+			nnx := nx.next[0].PeekPtr()
+			if nnx == nil || nnx.high == posInf {
+				break
+			}
+			if x.count()+nx.count() > g.cfg.NodeSize && nx.count()+nnx.count() > g.cfg.NodeSize &&
+				x.keys[0] > 0 {
+				a, bn, c = x, nx, nnx
+				break
+			}
+		}
+		if a == nil {
+			t.Fatalf("no merge-proof adjacent node pair in a %d-key seed", n)
+		}
+		_ = c
+		aHigh, bHigh := a.high, bn.high
+		for _, span := range [][2]uint64{
+			{toPublic(a.keys[0]), toPublic(a.high)},
+			{toPublic(bn.keys[0]), toPublic(bn.high)},
+		} {
+			ops := []Op[uint64]{{List: l, Kind: OpDeleteRange, Key: span[0], KeyHi: span[1]}}
+			if err := g.CommitOps(ops); err != nil {
+				t.Fatalf("DeleteRange [%d,%d]: %v", span[0], span[1], err)
+			}
+		}
+		if h1, h2, ok := findEmptyPair(l); !ok || h1 != aHigh || h2 != bHigh {
+			t.Fatalf("exact-node deletes left empty pair (%d,%d,%v); want (%d,%d,true)",
+				h1, h2, ok, aHigh, bHigh)
+		}
+
+		// A snapshot read crossing the pair posts the hint.
+		if got := l.absorbHint.Load(); got != 0 {
+			t.Fatalf("hint set to %d before any snapshot", got)
+		}
+		l.CollectRange(0, MaxKey)
+		if got := l.absorbHint.Load(); got != aHigh {
+			t.Fatalf("snapshot posted hint %d, want first empty's high %d", got, aHigh)
+		}
+
+		// Read-only batches leave the hint for a real writer.
+		rops := []Op[uint64]{{List: l, Kind: OpGet, Key: 0}}
+		if err := g.CommitOps(rops); err != nil {
+			t.Fatalf("read-only CommitOps: %v", err)
+		}
+		if got := l.absorbHint.Load(); got != aHigh {
+			t.Fatalf("read-only batch moved the hint to %d", got)
+		}
+
+		// A write planning past the region drops the hint unconsumed.
+		if err := l.Set(n-1, 1); err != nil {
+			t.Fatalf("Set past region: %v", err)
+		}
+		if got := l.absorbHint.Load(); got != 0 {
+			t.Fatalf("write past the region left hint %d", got)
+		}
+		if h1, _, ok := findEmptyPair(l); !ok || h1 != aHigh {
+			t.Fatalf("write past the region spliced the empties (pair %d, ok=%v)", h1, ok)
+		}
+
+		// Re-detect, then a write planning before the region consumes the
+		// hint: the injected entry splices the whole empty run.
+		l.CollectRange(0, MaxKey)
+		if got := l.absorbHint.Load(); got != aHigh {
+			t.Fatalf("second snapshot posted hint %d, want %d", got, aHigh)
+		}
+		if err := l.Set(0, 1); err != nil {
+			t.Fatalf("Set before region: %v", err)
+		}
+		if got := l.absorbHint.Load(); got != 0 {
+			t.Fatalf("consuming write left hint %d", got)
+		}
+		if got := countEmpties(l); got != 0 {
+			t.Fatalf("%d empty nodes linger after the scheduled absorb", got)
+		}
+		mustCheck(t, l)
+		if v, ok := l.Lookup(0); !ok || v != 1 {
+			t.Errorf("Lookup(0) = %d,%v after absorb; want 1,true", v, ok)
+		}
+		if _, ok := l.Lookup(toPublic(aHigh)); ok {
+			t.Errorf("deleted key %d reappeared after absorb", toPublic(aHigh))
+		}
+	})
+}

@@ -148,6 +148,7 @@ func (l *List[V]) snapshotRunAsOf(r *readScratch[V], ilo, ihi, s uint64) {
 		n = bunMustNext(n, s)
 	}
 	r.saveFinger(l.g, r.nodes[len(r.nodes)-1])
+	noteLingeringEmpties(l, r.nodes)
 }
 
 // appendRun appends the pairs of a collected node run clipped to

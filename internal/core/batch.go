@@ -98,6 +98,18 @@ type txEntry[V any] struct {
 	maxH   int        // max level over pieces; pa slots [0, maxH) are swung
 	lo, hi int        // this entry's point ops: b.order[lo:hi]
 	rops   []int      // range ops overlapping this node, ascending op index
+
+	// runEnd marks a splice-run entry: the consecutive level-0 nodes
+	// [n, runEnd] are fully covered by a deleting interval (or are all
+	// empty, for a scheduled absorb) and are unlinked wholesale — no
+	// replacement pieces, one predecessor swing per level. maxH is then
+	// the max level over the run's nodes, and runSucc[i] (i < maxH) the
+	// plan-time first node past the run at level i, re-resolved through
+	// later batch entries at publish (succTarget). nil for ordinary
+	// entries.
+	runEnd  *node[V]
+	runSucc []*node[V]
+	runCnt  int // pairs the planned run holds; re-counted at validation
 }
 
 // txState is the pooled scratch of one CommitOps call: the sorted op
@@ -246,9 +258,12 @@ func (g *Group[V]) saveBatchFinger(b *txState[V]) {
 // finished.
 func (g *Group[V]) putBatch(b *txState[V]) {
 	for _, e := range b.entries[:b.used] {
-		e.n, e.old1 = nil, nil
+		e.n, e.old1, e.runEnd = nil, nil, nil
 		for i := range e.pa {
 			e.pa[i], e.na[i] = nil, nil
+		}
+		for i := range e.runSucc {
+			e.runSucc[i] = nil
 		}
 		for i := range e.pieces {
 			e.pieces[i] = nil
@@ -269,7 +284,15 @@ func (g *Group[V]) putBatch(b *txState[V]) {
 	// a bare [:0] would pin those nodes for the pooled txState's lifetime.
 	clear(b.marked)
 	b.marked = b.marked[:0]
-	b.markedMap = nil
+	// Retain the dedup map cleared (emptying drops its node pins) so a
+	// wide-batch domain — a DeleteRange splicing long runs every commit —
+	// builds it once instead of reallocating per transaction; an outsized
+	// one is dropped, matching the slice-shrink discipline above.
+	if len(b.markedMap) > markedMapKeepCap {
+		b.markedMap = nil
+	} else {
+		clear(b.markedMap)
+	}
 	b.readMarkFrom = 0
 	b.rwRead = false
 	b.spinBudget = 0
@@ -299,7 +322,7 @@ func (b *txState[V]) nextEntry(maxLevel int) *txEntry[V] {
 		e.pa = make([]*node[V], maxLevel)
 		e.na = make([]*node[V], maxLevel)
 	}
-	e.n, e.old1 = nil, nil
+	e.n, e.old1, e.runEnd = nil, nil, nil
 	e.merge, e.write = false, false
 	// clear before truncating: on a replan this entry may carry pieces
 	// from a longer earlier attempt, and putBatch's clearing loop only
@@ -447,12 +470,37 @@ func nextPiece[V any](pieces []*node[V], from, i int) *node[V] {
 // na[i] itself is replaced (as another entry's node or merge partner),
 // its replacement stands in.
 func (b *txState[V]) succAt(t, i int) *node[V] {
+	return b.succTarget(t, i, b.entries[t].na[i])
+}
+
+// succTarget resolves a plan-time level-i successor candidate of entry t
+// against the later entries of the same batch (the body of succAt,
+// parameterized over the starting target): a target replaced by a later
+// entry resolves to that entry's first tall-enough piece, a target
+// spliced out inside a later entry's run resolves to the run's own
+// level-i successor and keeps resolving, and a nearer tall piece of an
+// intermediate entry preempts the target entirely. Splice-run entries
+// use it at publish time to re-resolve their plan-time runSucc targets.
+func (b *txState[V]) succTarget(t, i int, target *node[V]) *node[V] {
 	e := b.entries[t]
-	target := e.na[i]
 	for u := t + 1; u < b.nEnt; u++ {
 		f := b.entries[u]
 		if f.l != e.l {
 			break
+		}
+		if f.runEnd != nil {
+			// A splice run contributes no pieces; a target inside it
+			// vanishes with it, so the run's own level-i successor (tall
+			// enough by construction: the target's level exceeds i and it
+			// is one of the run's nodes) stands in and resolution
+			// continues — it may itself be a later entry's node.
+			if f.n.high > target.high {
+				break // run starts past the target
+			}
+			if target.high <= f.runEnd.high {
+				target = f.runSucc[i]
+			}
+			continue
 		}
 		if f.n == target {
 			if !f.write {
@@ -1185,6 +1233,40 @@ func (g *Group[V]) planGroups(ops []Op[V], b *txState[V], mode int, tx *stm.Tx,
 				}
 				e.l, e.n = l, e.na[0]
 			}
+			if searched && len(b.active) == 1 && ops[b.active[0]].Kind == OpDeleteRange {
+				// A lone deleting interval continuing into freshly searched
+				// territory: try to splice out the whole run of fully
+				// covered nodes with one entry instead of one replacement
+				// per node. The first covered node (where the interval
+				// activated) always planned as a normal boundary entry, so
+				// a splice only ever starts at a continuation step.
+				planned, ok, err := g.planRun(tx, mode, ops, b, t, b.headKey(ops, pi, pEnd, ri, rEnd))
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return errStalePlan
+				}
+				if planned {
+					op := &ops[b.active[0]]
+					op.N += e.runCnt
+					e.lo, e.hi = pi, pi
+					oi := b.active[0]
+					b.active = b.active[:0]
+					if toInternal(op.KeyHi) > e.runEnd.high {
+						// The interval outlives the run: the next iteration
+						// continues at the first ineligible node.
+						b.active = append(b.active, oi)
+					}
+					if emit != nil {
+						if err := emit(t); err != nil {
+							return err
+						}
+					}
+					prevHigh = e.runEnd.high
+					continue
+				}
+			}
 			e.lo = pi
 			for pi < pEnd && toInternal(ops[b.order[pi]].Key) <= e.n.high {
 				pi++
@@ -1231,9 +1313,81 @@ func (g *Group[V]) planGroups(ops []Op[V], b *txState[V], mode int, tx *stm.Tx,
 			}
 			prevHigh = e.n.high
 		}
+		// Scheduled absorb (see List.absorbHint): when this batch already
+		// writes into l, one extra splice-run entry unlinks the run of
+		// consecutive empty nodes a snapshot reader reported. The run
+		// must lie strictly past everything planned above — entries stay
+		// in ascending position, which succTarget and the sequential
+		// emits rely on; a hint at or below prevHigh is dropped instead,
+		// since the batch just re-planned that region and its own absorb
+		// machinery dealt with whatever lingered there. Read-only batches
+		// never consume the hint (their prepare takes no write locks),
+		// and the CompareAndSwap consumes it exactly once even across
+		// plan retries — a retry that lost the hint simply plans without
+		// the injection, and a later snapshot re-detects.
+		if h := l.absorbHint.Load(); h != 0 && b.listWrites(l) {
+			// The planned span extends past prevHigh when the list's last
+			// entry absorbs its successor: only a list's final entry can
+			// merge (buildEntry vetoes a merge reaching the next staged
+			// key), and injecting a run that starts at the merge partner
+			// would have two entries retire the same node — the merge
+			// replacement would then copy the spliced node's frozen links
+			// and wire itself to a dead successor.
+			if last := b.entries[b.nEnt-1]; last.l == l && last.merge && last.old1.high > prevHigh {
+				prevHigh = last.old1.high
+			}
+			if h <= prevHigh {
+				l.absorbHint.CompareAndSwap(h, 0)
+			} else if l.absorbHint.CompareAndSwap(h, 0) {
+				e := b.nextEntry(maxLevel)
+				t := b.nEnt - 1
+				var seed []*node[V]
+				if g.fingers() {
+					seed = b.entries[t-1].pa
+				}
+				if err := search(l, h, e, seed); err != nil {
+					return err
+				}
+				e.l, e.n = l, e.na[0]
+				planned, ok, err := g.planAbsorbRun(tx, mode, b, t)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return errStalePlan
+				}
+				if planned {
+					e.lo, e.hi = pi, pi
+					if emit != nil {
+						if err := emit(t); err != nil {
+							return err
+						}
+					}
+				} else {
+					// The hinted region changed under the hint (already
+					// absorbed, or refilled): nothing to splice.
+					b.nEnt--
+				}
+			}
+		}
 		pi, ri = pEnd, rEnd
 	}
 	return nil
+}
+
+// listWrites reports whether any entry planned for l — entries for one
+// list are contiguous at the tail while its section is being planned —
+// changes the structure. The scheduled-absorb injection requires one:
+// it guarantees the prepare phase holds write-side locks (VariantRW
+// read-locks an all-read batch) and keeps pure readers from turning
+// into writers.
+func (b *txState[V]) listWrites(l *List[V]) bool {
+	for t := b.nEnt - 1; t >= 0 && b.entries[t].l == l; t-- {
+		if b.entries[t].write {
+			return true
+		}
+	}
+	return false
 }
 
 // readOnlyRunWithin reports whether the ops a node with the given high
@@ -1320,6 +1474,103 @@ func (g *Group[V]) stepRun(tx *stm.Tx, mode int, ops []Op[V], b *txState[V], pre
 		}
 	}
 	return n, true, nil
+}
+
+// planRun attempts to turn continuation entry t — whose search just
+// positioned pa/na at the deleting interval's resume key — into a
+// splice-run entry: the maximal run of consecutive level-0 nodes
+// starting at e.n that are each fully covered by the interval, absorb no
+// other staged op, and are not the terminal node, is unlinked wholesale
+// by one predecessor swing per level instead of one empty replacement
+// per node. It records the run's end, pair count and max level on the
+// entry, resolves the plan-time per-level successors (the first node
+// past the run at each level the run occupies), and reports planned =
+// false when not even e.n qualifies (the normal per-node path takes
+// over). ok = false restarts a naked attempt whose run died mid-walk.
+//
+// For i < e.maxH the search successor na[i] is itself a run node (some
+// run node occupies level i, run nodes are consecutive from na[0], and
+// na[i] is the first level-i node past the resume key), so swinging
+// pa[i] to the run's level-i successor removes every run node from the
+// level-i chain — commit-time validation re-walks exactly these chains.
+func (g *Group[V]) planRun(tx *stm.Tx, mode int, ops []Op[V], b *txState[V], t int, nextOp uint64) (bool, bool, error) {
+	op := &ops[b.active[0]]
+	hi := toInternal(op.KeyHi)
+	return g.planRunWhile(tx, mode, b, t, func(x *node[V]) bool {
+		return x.high <= hi && x.high < nextOp
+	})
+}
+
+// planAbsorbRun is planRun's covered rule for a scheduled absorb (a
+// consumed absorbHint): the run is the consecutive empty nodes at the
+// injected entry's position. A hinted region that changed — the first
+// node is no longer empty — plans nothing and the injection is
+// discarded.
+func (g *Group[V]) planAbsorbRun(tx *stm.Tx, mode int, b *txState[V], t int) (bool, bool, error) {
+	return g.planRunWhile(tx, mode, b, t, func(x *node[V]) bool {
+		return x.count() == 0
+	})
+}
+
+// planRunWhile is the shared splice-run planner of planRun and
+// planAbsorbRun: starting at entry t's node it extends the run while
+// covered approves each consecutive level-0 node, then resolves the
+// per-level successors. See planRun for the contract.
+func (g *Group[V]) planRunWhile(tx *stm.Tx, mode int, b *txState[V], t int, covered func(*node[V]) bool) (bool, bool, error) {
+	e := b.entries[t]
+	cnt, maxH := 0, 0
+	var end *node[V]
+	for x := e.n; x != nil && x.high != posInf && covered(x); {
+		if mode == planNakedMode && x.live.Peek() == 0 {
+			return false, false, nil // stale: run node died under us
+		}
+		cnt += x.count()
+		if x.level > maxH {
+			maxH = x.level
+		}
+		end = x
+		var err error
+		if x, err = g.runNext(tx, mode, x, 0); err != nil {
+			return false, false, err
+		}
+	}
+	if end == nil {
+		return false, true, nil // e.n is a boundary (or terminal) node
+	}
+	e.write, e.merge = true, false
+	e.runEnd, e.runCnt, e.maxH = end, cnt, maxH
+	if len(e.runSucc) < len(e.pa) {
+		e.runSucc = make([]*node[V], len(e.pa))
+	}
+	for i := 0; i < maxH; i++ {
+		y := e.na[i]
+		for y != nil && y.high <= end.high {
+			var err error
+			if y, err = g.runNext(tx, mode, y, i); err != nil {
+				return false, false, err
+			}
+		}
+		if y == nil {
+			return false, false, nil // torn naked walk; validation would
+			// conflict anyway, restart now
+		}
+		e.runSucc[i] = y
+	}
+	return true, true, nil
+}
+
+// runNext reads x's level-i successor in the planning mode's read
+// discipline (naked peeks read the committed pointer half through any
+// held mark, exactly as stepRun's; TM loads join the transaction's read
+// set).
+func (g *Group[V]) runNext(tx *stm.Tx, mode int, x *node[V], i int) (*node[V], error) {
+	switch mode {
+	case planTxMode:
+		n, _, err := x.next[i].Load(tx)
+		return n, err
+	default:
+		return x.next[i].PeekPtr(), nil
+	}
 }
 
 // releasePlan returns the replacement pieces of an abandoned plan — a

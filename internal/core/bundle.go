@@ -9,23 +9,54 @@ import (
 // Versioned level-0 links ("bundles", after Nelson-Slivon et al.'s Bundled
 // References). Every node carries a short newest-first list of
 // {timestamp, *node} records describing what its level-0 next pointer was
-// as of each global-clock instant, plus one death record stamped when the
-// node itself is replaced. Records are prepended PENDING inside the
-// publish phase before the batch draws its timestamp from the clock and
-// filled after the pointer swings land, so a reader holding snapshot
+// as of each global-clock instant. Records are prepended PENDING inside
+// the publish phase before the batch draws its timestamp from the clock
+// and filled after the pointer swings land, so a reader holding snapshot
 // timestamp S either finds a filled record and decides by comparison, or
 // finds a pending one and spins for the bounded remainder of the writer's
 // publish postfix — it never restarts, and writers never wait for it.
 //
-// Reader protocol (bunSeekAsOf / bunRecoverAsOf): a node X in the as-of-S
-// chain (born <= S, death timestamp > S) has, by construction, a record
-// for every change of X.next[0] up to S; the newest record with ts <= S
+// The folded record layout (PR 9) cuts the per-write record traffic to
+// one prepend per write entry:
+//
+//   - A node's death is not a chain record at all. It is folded into two
+//     per-node words (node.repl, node.died): publish phase A stores the
+//     replacement pointer, the fill pass stamps the timestamp — the same
+//     PENDING-then-fill discipline a chain record would get, with the
+//     same bounded reader spin. The dying node's own chain stays frozen
+//     at its pre-death contents, which is exactly what readers with
+//     S < death need.
+//   - A piece's birth record is not prepended either: the wiring code
+//     installs the piece's inline slot 0 (see below) while the piece is
+//     still private, and the fill pass stamps it from the batch scratch
+//     in the same walk that stamps the piece's born.
+//   - What remains on the heap-capable prepend path is one pred-link
+//     record per write entry (on the entry's level-0 predecessor, naming
+//     the entry's leftmost piece), and even that lands in the
+//     predecessor's inline slot 1 the first time around.
+//
+// Each node embeds a two-record inline pair (node.inl): slot 0 serves
+// the node's birth, slot 1 its first pred-link; only after both are
+// spent does bunPrepend fall back to pooled heap records. Steady-state
+// overwrites — replace a node, link it from a fresh predecessor piece —
+// therefore allocate zero bundle records. Inline slots are single-use
+// per node lifetime: truncation can cut them off the chain, and the
+// chain destructor stops when it reaches one (the immutable inline flag
+// identifies it even if the shell was since recycled), leaving the slot
+// for recycleNode to reset under the node's own grace period.
+//
+// Reader protocol (bunNextAsOf / bunRecoverAsOf): a node X in the
+// as-of-S chain (born <= S, died > S) has, by construction, a record for
+// every change of X.next[0] up to S; the newest record with ts <= S
 // therefore names X's successor at instant S, which is itself in the
 // as-of-S chain. Any node pointer observed during the current epoch pin
-// with born <= S can be promoted into the chain by chasing death records
-// (each names the replacement piece covering the dead node's left
-// boundary, which never moves), so a descent over the live structure only
-// needs to produce a hint — it never needs to be consistent itself.
+// with born <= S can be promoted into the chain by chasing repl pointers
+// of nodes with died <= S: the target either covers the dead node's left
+// boundary (ordinary replacement) or sits just past a fully deleted run
+// — in both cases every key between is absent at every S >= died, so a
+// forward walk from the target resolves the same result set. The chase
+// is finite (each hop's died strictly increases toward S) and
+// restart-free.
 //
 // Reclamation: a record superseded by a newer one on the same link is
 // stamped with the epoch era of the superseding publish; once the global
@@ -37,19 +68,15 @@ import (
 // node's whole bundle is recycled by recycleNode after the node's own
 // grace period.
 
-// bunPending marks a record (or a node's born field) whose timestamp has
-// not been filled yet; readers spin through it, anchors reject it.
+// bunPending marks a record (or a node's born/died field) whose timestamp
+// has not been filled yet; readers spin through it, anchors reject it.
 const bunPending = ^uint64(0)
 
 // bundleRec is one versioned-link record. ts and the reclamation fields
-// are atomic; death and to are immutable once the record is reachable.
+// are atomic; to is immutable once the record is reachable.
 type bundleRec[V any] struct {
 	ts atomic.Uint64 // clock timestamp; bunPending until the fill pass
 
-	// death marks the terminal record of a replaced node: to names the
-	// replacement piece whose range starts at the dead node's (immutable)
-	// left boundary, not a successor.
-	death bool
 	to    *node[V]
 	older atomic.Pointer[bundleRec[V]]
 
@@ -58,19 +85,27 @@ type bundleRec[V any] struct {
 	// truncation rule cuts it (and everything older) once the global epoch
 	// reaches supersededEra+2.
 	supersededEra atomic.Uint64
+
+	// inline marks a record embedded in a node's inline pair (node.inl).
+	// Set once at shell construction and never cleared — not even across
+	// shell recycling — so the chain destructor can recognize a cut-off
+	// inline record at any later time and stop instead of pooling it.
+	inline bool
 }
 
 // bunFill is one deferred fill obligation recorded by a publish phase:
-// rec gets the batch timestamp, superseded (the link's previous head, for
-// pred-link records) gets era-stamped, and link (the bundle's owner) gets
-// a truncation attempt.
+// rec gets the batch timestamp, superseded (the link's previous head)
+// gets era-stamped, and link (the bundle's owner) gets a truncation
+// attempt. Only pred-link records flow through here; births are stamped
+// by the fill pass's entry walk and deaths live in the node words.
 type bunFill[V any] struct {
 	rec        *bundleRec[V]
 	superseded *bundleRec[V]
 	link       *node[V]
 }
 
-// getBundleRec returns a cleared record, recycled when the pool has one.
+// getBundleRec returns a cleared heap record, recycled when the pool has
+// one.
 func (g *Group[V]) getBundleRec() *bundleRec[V] {
 	rec, _ := g.bunPool.Get().(*bundleRec[V])
 	if rec == nil {
@@ -79,87 +114,133 @@ func (g *Group[V]) getBundleRec() *bundleRec[V] {
 	return rec
 }
 
+// bunSlot hands out the next record for a prepend onto n's bundle: the
+// node's inline slots while any remain, pooled heap records afterwards.
+// Inline slots are handed out oldest-position-first, so a chain is
+// always [heap records..., inline records] newest-first — a truncation
+// cut never strands a heap record below an inline one. Callable only
+// under the publish phase's per-node serialization (inlUsed is plain).
+func (g *Group[V]) bunSlot(n *node[V]) *bundleRec[V] {
+	if n.inlUsed < 2 {
+		rec := &n.inl[n.inlUsed]
+		n.inlUsed++
+		return rec
+	}
+	return g.getBundleRec()
+}
+
 // recycleBundleRec clears every reference of a quiesced record and
-// returns it to the pool. Called by recycleNode (the node's own grace
-// period proves quiescence), by releasePlan for records of
-// never-published pieces, and by the chain destructor below.
+// returns it to the pool; inline records are cleared in place and left
+// with their shell (recycleNode resets inlUsed). Called by recycleNode
+// (the node's own grace period proves quiescence) and by releasePlan for
+// records of never-published pieces.
 func (g *Group[V]) recycleBundleRec(obj any) {
 	rec := obj.(*bundleRec[V])
 	rec.ts.Store(bunPending)
-	rec.death = false
 	rec.to = nil
 	rec.older.Store(nil)
 	rec.supersededEra.Store(0)
-	g.bunPool.Put(rec)
+	if !rec.inline {
+		g.bunPool.Put(rec)
+	}
 }
 
 // recycleBundleChain is the epoch destructor of a truncated bundle tail:
 // the tail stays internally linked by its older pointers, so one
 // retirement covers the whole cut — the fill pass pays one Retire per
-// truncation instead of one per record.
+// truncation instead of one per record. The walk stops at the first
+// inline record: a cut-off inline slot belongs to its (possibly still
+// live, possibly since-recycled) owner node and is reset only by that
+// node's own recycleNode; everything below it in the cut is inline too
+// (bunSlot's hand-out order), so stopping strands nothing poolable.
 func (g *Group[V]) recycleBundleChain(obj any) {
 	rec := obj.(*bundleRec[V])
-	for rec != nil {
+	for rec != nil && !rec.inline {
 		next := rec.older.Load()
 		g.recycleBundleRec(rec)
 		rec = next
 	}
 }
 
-// bunInit installs a single filled record {ts: 0, to: to} as n's entire
-// bundle, dropping any previous chain to the Go collector. Only legal
-// before n is shared (list construction, BulkLoad).
+// bunInit installs a single filled record {ts: 0, to: to} — the node's
+// inline birth slot — as n's entire bundle. Only legal before n is
+// shared (list construction, BulkLoad).
 func (g *Group[V]) bunInit(n, to *node[V]) {
-	rec := g.getBundleRec()
+	rec := &n.inl[0]
 	rec.ts.Store(0)
 	rec.to = to
+	rec.older.Store(nil)
 	n.bun.Store(rec)
+	n.inlUsed = 1
 }
 
-// bunPrepend prepends a PENDING record onto n's bundle and records the
-// fill obligation in b. Callable only from a publish phase: the commit
-// protocol's marks/locks serialize every writer of n's bundle, so the
-// plain load/store pair cannot race another prepend. death selects a
-// death record (see bundleRec); pred selects pred-link bookkeeping (era
-// stamping of the displaced head and truncation at fill time), which
-// death records and birth records — whose bundles die with their node or
-// start empty — do not need.
-func (g *Group[V]) bunPrepend(b *txState[V], n, to *node[V], death, pred bool) {
-	rec := g.getBundleRec()
+// bunBirth installs p's birth record — its inline slot 0, PENDING —
+// naming the level-0 successor the wiring just gave it. Called by the
+// publish-phase wiring code while p is still private (no allocation, no
+// fill obligation: the fill pass stamps every published piece's birth
+// record in the same walk that stamps its born). The record becomes
+// newest-first correct automatically: any pred-link record a later
+// publish prepends onto p lands above it.
+func bunBirth[V any](p, to *node[V]) {
+	rec := &p.inl[0]
 	rec.ts.Store(bunPending)
-	rec.death = death
+	rec.to = to
+	rec.older.Store(nil)
+	p.bun.Store(rec)
+	p.inlUsed = 1
+}
+
+// bunPrepend prepends a PENDING pred-link record onto n's bundle and
+// records the fill obligation in b — the one heap-capable prepend of the
+// protocol. Callable only from a publish phase: the commit protocol's
+// marks/locks serialize every writer of n's bundle, so the plain
+// load/store pair cannot race another prepend.
+func (g *Group[V]) bunPrepend(b *txState[V], n, to *node[V]) {
+	rec := g.bunSlot(n)
+	rec.ts.Store(bunPending)
 	rec.to = to
 	old := n.bun.Load()
 	rec.older.Store(old)
 	n.bun.Store(rec)
-	f := bunFill[V]{rec: rec}
-	if pred {
-		f.superseded = old
-		f.link = n
-	}
-	b.bunFills = append(b.bunFills, f)
+	b.bunFills = append(b.bunFills, bunFill[V]{rec: rec, superseded: old, link: n})
 }
 
 // bunPublishStart is publish phase A, run before the batch draws its
 // timestamp: prepend a PENDING pred-link record on every write entry's
 // level-0 predecessor (naming the entry's leftmost piece, the link's
-// value once the swings land) and a PENDING death record on every dying
-// node (naming the piece that inherits its immutable left boundary).
-// A predecessor that itself dies in this batch gets no pred-link record:
-// its replacement's birth record carries the link instead, and a dead
-// node's bundle must end at its death record.
+// value once the swings land) and store every dying node's replacement
+// pointer — the pointer half of the folded death record; the fill pass
+// supplies the timestamp half. A predecessor that itself dies in this
+// batch gets no pred-link record: its replacement's birth record carries
+// the link instead, and a dead node's chain stays frozen at its
+// pre-death contents. A splice-run entry folds the same way: one
+// pred-link record on the run's level-0 predecessor, and every run
+// node's repl pointing straight at the run's surviving successor.
 func (g *Group[V]) bunPublishStart(b *txState[V]) {
 	for t := 0; t < b.nEnt; t++ {
 		e := b.entries[t]
 		if !e.write {
 			continue
 		}
-		if !b.predDying(t) {
-			g.bunPrepend(b, e.pa[0], e.pieces[0], false, true)
+		if e.runEnd != nil {
+			succ := b.succTarget(t, 0, e.runSucc[0])
+			if !b.predDying(t) {
+				g.bunPrepend(b, e.pa[0], succ)
+			}
+			for x := e.n; ; x = x.next[0].PeekPtr() {
+				x.repl.Store(succ)
+				if x == e.runEnd {
+					break
+				}
+			}
+			continue
 		}
-		g.bunPrepend(b, e.n, e.pieces[0], true, false)
+		if !b.predDying(t) {
+			g.bunPrepend(b, e.pa[0], e.pieces[0])
+		}
+		e.n.repl.Store(e.pieces[0])
 		if e.merge {
-			g.bunPrepend(b, e.old1, e.pieces[0], true, false)
+			e.old1.repl.Store(e.pieces[0])
 		}
 	}
 }
@@ -167,7 +248,8 @@ func (g *Group[V]) bunPublishStart(b *txState[V]) {
 // predDying reports whether entry t's level-0 predecessor is replaced by
 // this same batch. Entries are ordered by list then key and pa[0] is the
 // immediate level-0 predecessor of e.n, so the only batch nodes that can
-// occupy it are the previous entry's n or its merge partner: any earlier
+// occupy it are the previous entry's n, its merge partner, or — when the
+// previous entry splices out a run — the run's last node: any earlier
 // entry's n lies strictly left of entry t-1's, and an earlier entry's
 // merge partner is its immediate successor, which cannot reach past a
 // nearer batch node (merges into batch targets are vetoed by buildEntry).
@@ -179,26 +261,41 @@ func (b *txState[V]) predDying(t int) bool {
 	if f.l != e.l || !f.write {
 		return false
 	}
+	if f.runEnd != nil {
+		return f.runEnd == e.pa[0]
+	}
 	return f.n == e.pa[0] || (f.merge && f.old1 == e.pa[0])
 }
 
-// bunFillAll is the publish fill pass: stamp every record this batch
-// prepended with the batch timestamp ts, stamp every published piece's
-// born, era-mark the displaced pred-link heads, and truncate expired
-// tails. Runs after the pointer swings of the publish (readers spin on
-// the pending records until here) and before the batch's scratch is
-// released.
+// bunFillAll is the publish fill pass: stamp every pred-link record this
+// batch prepended with the batch timestamp ts, stamp every published
+// piece's born and inline birth record, stamp every dying node's died
+// word (completing the folded death records phase A pointed), era-mark
+// the displaced pred-link heads, and truncate expired tails. Runs after
+// the pointer swings of the publish (readers spin on the pending records
+// and died words until here) and before the batch's scratch is released.
 func (g *Group[V]) bunFillAll(b *txState[V], ts uint64) {
-	if len(b.bunFills) == 0 && b.nEnt == 0 {
-		return
-	}
 	for t := 0; t < b.nEnt; t++ {
 		e := b.entries[t]
 		if !e.write {
 			continue
 		}
+		if e.runEnd != nil {
+			for x := e.n; ; x = x.next[0].PeekPtr() {
+				x.died.Store(ts)
+				if x == e.runEnd {
+					break
+				}
+			}
+			continue
+		}
 		for _, p := range e.pieces {
 			p.born.Store(ts)
+			p.inl[0].ts.Store(ts)
+		}
+		e.n.died.Store(ts)
+		if e.merge {
+			e.old1.died.Store(ts)
 		}
 	}
 	if len(b.bunFills) == 0 {
@@ -250,7 +347,7 @@ func (g *Group[V]) bunTruncate(b *txState[V], n *node[V], nowEra uint64) {
 }
 
 // bunNextAsOf returns n's level-0 successor at clock instant s. n must be
-// in the as-of-s chain (born <= s, death after s): then its bundle covers
+// in the as-of-s chain (born <= s, died after s): then its bundle covers
 // every link change through s and the newest record with ts <= s names
 // the successor at s — which is in the chain too, so hops compose without
 // re-validation. A pending record is the bounded publish window of a
@@ -276,28 +373,34 @@ func bunNextAsOf[V any](n *node[V], s uint64) *node[V] {
 
 // bunRecoverAsOf promotes a hint node — any pointer observed during the
 // current epoch pin with born <= s — into the as-of-s chain by chasing
-// death records: a hint that died at a timestamp <= s was replaced by a
-// piece covering the same left boundary, recursively until a node that
-// was alive at instant s is reached. The chase is finite (each hop's born
-// strictly increases toward s) and restart-free.
+// folded death records: a hint whose died <= s was either replaced by a
+// piece covering the same left boundary or spliced out inside a fully
+// deleted run whose successor repl names directly; in both cases every
+// key between the hint's left boundary and the target is absent at every
+// instant >= died, so the chase lands in the chain without skipping any
+// live pair. A non-nil repl with a pending died is a concurrent publish
+// mid-postfix; the spin is bounded like every pending-record wait. The
+// chase is finite (each hop's died strictly increases toward s) and
+// restart-free.
 func bunRecoverAsOf[V any](n *node[V], s uint64) *node[V] {
 	spins := 0
 	for {
-		rec := n.bun.Load()
-		if rec == nil || !rec.death {
-			// A node's death record, once stamped, is its newest record
-			// forever; no death record at the head means none exists.
+		r := n.repl.Load()
+		if r == nil {
+			// repl is stored before died is stamped and never cleared
+			// while any reader can hold n; no replacement pointer means
+			// the node is alive.
 			return n
 		}
-		ts := rec.ts.Load()
+		ts := n.died.Load()
 		for ts == bunPending {
 			spins++
 			stm.RestartBackoff(spins)
-			ts = rec.ts.Load()
+			ts = n.died.Load()
 		}
 		if ts > s {
 			return n // died after s: in the as-of-s chain
 		}
-		n = rec.to
+		n = r
 	}
 }

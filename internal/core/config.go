@@ -158,6 +158,7 @@ type Group[V any] struct {
 	donateNode    func(any) // static epoch destructor: recycle one *node[V]
 	donateIdx     func(any) // static epoch destructor: recycle one *idxTable[V]
 	donateBundle  func(any) // static epoch destructor: recycle a *bundleRec[V] chain
+	donateRun     func(any) // static epoch destructor: recycle a *runRetire[V] chain
 	valsNeedClear bool      // V can hold pointers: clear donated vals arrays
 
 	// Recycler pools fed by donateNode and drained by the write path;
@@ -206,6 +207,10 @@ func NewGroup[V any](cfg Config, domain *stm.STM) *Group[V] {
 	g.donateNode = func(obj any) { g.recycleNode(obj.(*node[V])) }
 	g.donateIdx = func(obj any) { g.donateIdxSlots(obj.(*idxTable[V])) }
 	g.donateBundle = g.recycleBundleChain
+	g.donateRun = func(obj any) {
+		r := obj.(*runRetire[V])
+		g.recycleRunChain(r.first, r.end)
+	}
 	var zero V
 	g.valsNeedClear = typeHasPointers(reflect.TypeOf(&zero).Elem())
 	return g
@@ -300,6 +305,36 @@ func (g *Group[V]) retireNode(b *txState[V], n *node[V]) {
 	b.part.Retire(n, g.donateNode)
 }
 
+// runRetire carries one spliced-out DeleteRange run [first, end] through
+// the epoch collector as a single retirement: the destructor walks the
+// run's frozen level-0 chain recycling each node, so unlinking an N-node
+// run costs one Retire instead of N.
+type runRetire[V any] struct {
+	first, end *node[V]
+}
+
+// retireRun parks a spliced run in the committing operation's epoch
+// participant as one retirement object.
+func (g *Group[V]) retireRun(b *txState[V], first, end *node[V]) {
+	b.part.Retire(&runRetire[V]{first: first, end: end}, g.donateRun)
+}
+
+// recycleRunChain is the body of a runRetire's epoch destructor: it runs
+// after the grace period and recycles each run node in chain order. Each
+// next pointer is read before recycling its holder (recycleNode scrubs
+// the slot array); the run's level-0 chain is frozen — dead nodes' links
+// are never rewritten — so PeekPtr is exact.
+func (g *Group[V]) recycleRunChain(first, end *node[V]) {
+	for x := first; ; {
+		nx := x.next[0].PeekPtr()
+		g.recycleNode(x)
+		if x == end {
+			break
+		}
+		x = nx
+	}
+}
+
 // recycleNode is the epoch destructor of a retired node: it runs only
 // after the grace period, when no pinned operation can still observe the
 // node, and donates whatever the node exclusively owns back to the
@@ -322,13 +357,25 @@ func (g *Group[V]) recycleNode(n *node[V]) {
 	n.keys, n.vals, n.tr = nil, nil, nil
 	// Recycle the node's entire bundle chain directly: the node's own
 	// grace period already proves no pinned reader can still be walking
-	// its records, so they skip a second epoch round trip.
+	// its records, so they skip a second epoch round trip. The chain's
+	// records are heap records plus the node's own inline slots
+	// (recycleBundleRec pools the former and clears the latter in place);
+	// inline slots that truncation already cut off the chain are cleared
+	// by the unconditional reset below, and the pair becomes reusable
+	// only here — single-use per node lifetime.
 	for rec := n.bun.Load(); rec != nil; {
 		next := rec.older.Load()
 		g.recycleBundleRec(rec)
 		rec = next
 	}
 	n.bun.Store(nil)
+	g.recycleBundleRec(&n.inl[0])
+	g.recycleBundleRec(&n.inl[1])
+	n.inlUsed = 0
+	// Reset the folded death record: the pair (repl, died) reads as
+	// "alive" again for the shell's next life.
+	n.repl.Store(nil)
+	n.died.Store(bunPending)
 	// born resets to pending, not zero: a recycled shell rewired as a new
 	// piece must not look ancient to the timestamped read path's anchor
 	// check before its publishing batch fills the real timestamp.

@@ -311,11 +311,13 @@
 // and the post-transaction emitRange walk safe: without it, a donated
 // buffer could be rewritten mid-read.
 //
-// Pooled transaction metadata. The STM layer (internal/stm) recycles the
-// buffered write records of TaggedPtr stores on a per-descriptor free
-// list, so marking slots and swinging pointers allocates nothing in
-// steady state; the legacy Update/Remove wrappers and the facade Tx
-// builder recycle their op slices the same way.
+// Pooled transaction metadata. The STM layer (internal/stm) buffers
+// every write — Word value or TaggedPtr (pointer, tag) pair — inline in
+// the transaction's write-entry array, so marking slots and swinging
+// pointers allocates nothing no matter how wide the write set grows (a
+// run splice marks hundreds of slots in one transaction); the legacy
+// Update/Remove wrappers and the facade Tx builder recycle their op
+// slices the same way.
 //
 // Versioned-lock state survives recycling unchanged: a recycled cell's
 // version can only lag the global clock, which is indistinguishable from
@@ -327,20 +329,42 @@
 //
 // With bundles enabled (Config.NoBundles false, the default), every
 // level-0 link additionally carries a bundle: a short newest-first list
-// of {timestamp, *node} records (bundle.go) headed at node.bun, plus a
-// birth instant node.born. A record with death set marks the node's
-// removal from its chain and points at its continuation. Records are
-// created inside the commit pipeline's publish phase, bracketing the
-// batch's linearization point:
+// of {timestamp, *node} records (bundle.go) headed at node.bun, plus
+// three per-node versioning words — the birth instant node.born and the
+// folded death pair (node.repl, node.died) naming the node's
+// continuation and the instant it left its chain. The folded layout
+// (PR 9) spends roughly one record per write entry instead of three:
+//
+//   - Death is not a chain record. Publish stores the replacement
+//     pointer into node.repl with died PENDING; the fill pass stamps
+//     died — the same PENDING-then-fill discipline a record would get.
+//     The dying node's own chain stays frozen at its pre-death
+//     contents, which is exactly what readers with s < died need.
+//   - Birth is not a prepend. Each fresh piece's inline slot 0 is
+//     installed while the piece is still private, and the fill pass
+//     stamps it together with the piece's born in one walk over the
+//     batch scratch.
+//   - The one real prepend per write entry is the pred-link record on
+//     the entry's level-0 predecessor, and it lands in the
+//     predecessor's embedded two-record inline pair (node.inl, slot 1)
+//     before spilling to pooled heap records — steady-state overwrites
+//     allocate zero bundle records.
+//   - A run splice (a DeleteRange whose interval fully covers a run of
+//     nodes) is one death fold per covered node, all naming the first
+//     node past the run, plus the boundary pred-link record — no
+//     per-node replacement pieces, no birth records for the covered
+//     interior.
+//
+// Records and folds are created inside the commit pipeline's publish
+// phase, bracketing the batch's linearization point:
 //
 //   - Pend (bunPublishStart, all four variants): before any link
 //     swings, a PENDING record (ts = ^0) is prepended on every level-0
-//     pred link the batch will rewrite and a PENDING death record on
-//     every node it replaces or absorbs; fresh pieces get PENDING birth
-//     records as they are wired in (releaseEntry / applyEntryTx).
-//     PENDING compares greater than every snapshot timestamp, so a
-//     concurrent timestamped reader keeps resolving the pre-batch
-//     state until the fill lands.
+//     pred link the batch will rewrite and every dying node's repl/died
+//     pair is set PENDING; fresh pieces carry PENDING births as they
+//     are wired in. PENDING compares greater than every snapshot
+//     timestamp, so a concurrent timestamped reader keeps resolving
+//     the pre-batch state until the fill lands.
 //   - Timestamp draw: the batch timestamp comes from the group's STM
 //     version clock, so bundle timestamps and transaction versions
 //     form one order. LT and RW tick the clock between pend and the
@@ -350,27 +374,32 @@
 //     while all prepare locks are held, draws one shared tick, and
 //     fills every leg at that instant — one cross-shard cut, no torn
 //     transfers.
-//   - Fill (bunFillAll): after the swings, every pended record and
-//     every fresh piece's born field is stamped with the batch
-//     timestamp, each superseded head record is era-stamped, and each
-//     filled link's expired tail (supersededEra + 2 <= current era) is
+//   - Fill (bunFillAll): after the swings, every pended record, death
+//     fold and fresh piece's born is stamped with the batch timestamp,
+//     each superseded head record is era-stamped, and each filled
+//     link's expired tail (supersededEra + 2 <= current era) is
 //     truncated and retired through the epoch collector.
 //
 // The reader validation rule: a snapshot read at timestamp s resolves
 // each link to its newest record with ts <= s (bunNextAsOf), anchors
-// only on nodes with born <= s, and lifts a dead anchor into the
-// chain by following death records with ts <= s (bunRecoverAsOf) — no
-// locks, no retries, regardless of concurrent structural churn.
-// Timestamps obey the pin-before-timestamp rule (asof.go): s is drawn
-// after the reader's epoch pin (for a multi-group read, after every
-// involved pin), which is what keeps every record the cut needs alive.
+// only on nodes with born <= s, and lifts a dead anchor into the chain
+// by chasing repl pointers of nodes with died <= s (bunRecoverAsOf) —
+// no locks, no retries, regardless of concurrent structural churn. A
+// chased target either covers the dead node's left boundary (ordinary
+// replacement) or sits just past a fully deleted run, and in both
+// cases the forward walk resolves the same result set. Timestamps obey
+// the pin-before-timestamp rule (asof.go): s is drawn after the
+// reader's epoch pin (for a multi-group read, after every involved
+// pin), which is what keeps every record the cut needs alive.
 //
 // The reclamation argument mirrors the node lifecycle: a record is
 // truncated only once the era that superseded it is two advances old,
 // a pinned reader blocks the second advance, and a post-pin timestamp
 // covers every record superseded since the pin began; a recycled
-// node's chain is severed and donated only after the node's own grace
-// period. asof.go carries the chain-membership induction in full.
+// node's chain — including its inline pair, which the chain destructor
+// never frees past — is severed and reset only after the node's own
+// grace period. asof.go carries the chain-membership induction in
+// full.
 //
 // # Invariants and static enforcement
 //
@@ -413,13 +442,16 @@
 //     discipline covers hash-index slot entries (idxSlot.node/.era):
 //     only the slot protocol (idxPut, idxDel, idxPeek, idxGrow) may
 //     touch them, and every consumer goes through idxProbe's era guard.
-//   - bundleproto: bundle record words (ts, death, to, older,
-//     supersededEra) and the node.bun link head are touched only by the
-//     bundle protocol functions; the stamping entry points
-//     (bunPublishStart, bunPrepend, bunFillAll, bunInit, bunTruncate)
-//     are called only from publish-phase code or list construction; and
-//     node.born is stored only by the fill pass and the shell
-//     lifecycle. Every other reader goes through the
+//   - bundleproto: bundle record words (ts, to, older, supersededEra,
+//     inline), the node.bun link head and the inline pair
+//     (node.inl/node.inlUsed) are touched only by the bundle protocol
+//     functions; the stamping entry points (bunPublishStart,
+//     bunPrepend, bunFillAll, bunInit, bunTruncate) are called only
+//     from publish-phase code or list construction; the folded death
+//     words are stamped only by the phase that swings the node's
+//     predecessor (node.repl by phase A and the lifecycle, node.died by
+//     the fill pass); and node.born is stored only by the fill pass and
+//     the shell lifecycle. Every other reader goes through the
 //     timestamp-validating bunNextAsOf/bunRecoverAsOf helpers.
 //
 // Deliberate exceptions are annotated in place with

@@ -350,6 +350,18 @@ func (g *Group[V]) indexPublish(ops []Op[V], b *txState[V]) {
 		if tb == nil {
 			tb = l.idxInit()
 		}
+		if e.runEnd != nil {
+			// A spliced-out run deletes every key of every run node, but
+			// dropping them here would make the splice O(deleted keys) —
+			// the one cost profile the run path exists to avoid. Leave the
+			// entries stale instead: each points at a retired node, so the
+			// era guard or the liveness check fails the next probe and the
+			// fallback descent repairs the entry (idxDelete), exactly the
+			// lazy path unstaged moved keys already take. Nothing is lost
+			// on the table side either — idxDel keeps the slot claimed, so
+			// eager deletion would not have lowered the load factor.
+			continue
+		}
 		needGrow := false
 		// Keys of the replaced node that a staged DeleteRange covered are
 		// gone; drop their entries. (The replaced node's memory is safe to

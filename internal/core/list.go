@@ -23,6 +23,16 @@ type List[V any] struct {
 	// creation and growth. See hashindex.go.
 	idx   atomic.Pointer[idxTable[V]]
 	idxMu sync.Mutex
+
+	// absorbHint schedules compaction of lingering empty nodes: a
+	// snapshot read that walks two or more consecutive empty nodes posts
+	// the first one's internal high here (noteLingeringEmpties), and the
+	// next write batch planning past that position splices the whole
+	// empty run out with one extra entry (planGroups's scheduled-absorb
+	// injection). 0 means no hint. Best-effort on both sides: readers
+	// overwrite freely, writers consume with a CompareAndSwap, and a
+	// dropped hint is simply re-detected by a later snapshot.
+	absorbHint atomic.Uint64
 }
 
 // NewList creates an empty list: a head sentinel (high = -inf, no keys, at

@@ -53,12 +53,35 @@ type node[V any] struct {
 	born atomic.Uint64
 
 	// bun heads the node's bundle: the newest-first list of
-	// {timestamp, successor} records versioning this node's level-0 link,
-	// plus the death record terminating the node's own lifetime. Written
-	// only inside publish phases (serialized per node by the commit
-	// protocol's marks/locks) and read through the timestamp-validating
-	// helpers in bundle.go.
+	// {timestamp, successor} records versioning this node's level-0 link.
+	// Written only inside publish phases (serialized per node by the
+	// commit protocol's marks/locks) and read through the
+	// timestamp-validating helpers in bundle.go.
 	bun atomic.Pointer[bundleRec[V]]
+
+	// inl is the node's inline record pair, handed out before the bundle
+	// spills to heap records: slot 0 is the node's own birth record
+	// (installed while the piece is still private), slot 1 the first
+	// pred-link record prepended onto the node. Slots are single-use per
+	// node lifetime (inlUsed counts hand-outs and only recycleNode resets
+	// it); each slot's inline flag is set once at shell construction and
+	// never cleared, so a truncation destructor that reaches a cut-off
+	// inline record — even one whose shell has since been recycled and
+	// reused — can recognize it and stop without touching it.
+	inl     [2]bundleRec[V]
+	inlUsed uint8
+
+	// repl and died are the folded death record: repl == nil means the
+	// node is alive; a non-nil repl names the chain node covering this
+	// node's range boundary after its death (the replacement piece
+	// inheriting its immutable left boundary, or — for a node spliced out
+	// inside a fully deleted run — the run's surviving successor), and
+	// died carries the death timestamp, bunPending from repl's store in
+	// publish phase A until the fill pass stamps it. Written only by the
+	// publish phases (and reset by recycleNode); read through
+	// bunRecoverAsOf.
+	repl atomic.Pointer[node[V]]
+	died atomic.Uint64
 
 	// live and next are the only mutable fields. live is written by every
 	// replacement commit while everything above (and the next slice
@@ -77,11 +100,15 @@ type node[V any] struct {
 // construction (head/tail sentinels, BulkLoad), which predates any
 // donations.
 func newNode[V any](level int) *node[V] {
-	return &node[V]{
+	n := &node[V]{
 		level:  level,
 		ownsKV: true,
 		next:   make([]stm.TaggedPtr[node[V]], level),
 	}
+	n.inl[0].inline = true
+	n.inl[1].inline = true
+	n.died.Store(bunPending)
+	return n
 }
 
 // count returns the number of key-value pairs in the node.

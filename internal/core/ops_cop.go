@@ -112,6 +112,10 @@ func (c copCommitter[V]) publishAt(ops []Op[V], b *txState[V], ts uint64) {
 	for t := 0; t < b.nEnt; t++ {
 		e := b.entries[t]
 		if e.write {
+			if e.runEnd != nil {
+				g.retireRun(b, e.n, e.runEnd)
+				continue
+			}
 			g.retireNode(b, e.n)
 			if e.merge {
 				g.retireNode(b, e.old1)
@@ -144,6 +148,74 @@ func (g *Group[V]) validateEntryTx(tx *stm.Tx, b *txState[V], t int) error {
 		return nil
 	}
 	pa, na := e.pa, e.na
+
+	if e.runEnd != nil {
+		// Splice-run entry: the planned chain [n, runEnd] must still be
+		// exactly a run of live, consecutive nodes with the planned pair
+		// count and max level (any drift — a concurrent split, merge or
+		// delete inside the interval — re-plans), the predecessors must
+		// still point at their search successors and be live, and the
+		// plan-time per-level successors must still be the first nodes
+		// past the run (the re-walk also pins the run-internal links in
+		// the read set until commit).
+		cnt, maxH := 0, 0
+		for x := n; ; {
+			if lv, err := x.live.Load(tx); err != nil {
+				return err
+			} else if lv == 0 {
+				return stm.ErrConflict
+			}
+			cnt += x.count()
+			if x.level > maxH {
+				maxH = x.level
+			}
+			if x == e.runEnd {
+				break
+			}
+			nx, _, err := x.next[0].Load(tx)
+			if err != nil {
+				return err
+			}
+			if nx == nil || nx.high > e.runEnd.high {
+				return stm.ErrConflict
+			}
+			x = nx
+		}
+		if cnt != e.runCnt || maxH != e.maxH {
+			return stm.ErrConflict
+		}
+		for i := 0; i < e.maxH; i++ {
+			p, _, err := pa[i].next[i].Load(tx)
+			if err != nil {
+				return err
+			}
+			if p != na[i] {
+				return stm.ErrConflict
+			}
+			if lv, err := pa[i].live.Load(tx); err != nil {
+				return err
+			} else if lv == 0 {
+				return stm.ErrConflict
+			}
+			y := na[i]
+			for y != nil && y.high <= e.runEnd.high {
+				ny, _, err := y.next[i].Load(tx)
+				if err != nil {
+					return err
+				}
+				y = ny
+			}
+			if y != e.runSucc[i] {
+				return stm.ErrConflict
+			}
+			if lv, err := y.live.Load(tx); err != nil {
+				return err
+			} else if lv == 0 {
+				return stm.ErrConflict
+			}
+		}
+		return nil
+	}
 
 	if e.merge {
 		old1 := e.old1
@@ -275,6 +347,33 @@ func (g *Group[V]) applyEntryTx(tx *stm.Tx, b *txState[V], t int) error {
 	e := b.entries[t]
 	n := e.n
 
+	if e.runEnd != nil {
+		// Splice-run entry: no replacement pieces. One predecessor swing
+		// per level routes around the whole run (the swing target is the
+		// plan-time successor unless a group to the right replaced it),
+		// then every run node is killed transactionally. Validation
+		// already pinned the run-internal links in the read set, so the
+		// interior chain stays frozen exactly as planned until commit.
+		for i := 0; i < e.maxH; i++ {
+			if err := e.pa[i].next[i].Store(tx, b.succTarget(t, i, e.runSucc[i]), stm.TagNone); err != nil {
+				return err
+			}
+		}
+		for x := n; ; {
+			if err := x.live.Store(tx, 0); err != nil {
+				return err
+			}
+			if x == e.runEnd {
+				return nil
+			}
+			nx, _, err := x.next[0].Load(tx)
+			if err != nil {
+				return err
+			}
+			x = nx
+		}
+	}
+
 	if e.merge {
 		repl, old1 := e.pieces[0], e.old1
 		for i := 0; i < repl.level; i++ {
@@ -314,13 +413,14 @@ func (g *Group[V]) applyEntryTx(tx *stm.Tx, b *txState[V], t int) error {
 	}
 
 	if g.bundles() {
-		// Birth records on the still-private pieces. The wired successors
-		// were read through the transaction, so prepare-time validation
-		// (and the locks held through Publish) pin them as the links'
-		// post-publish values; the records stay pending until the publish
-		// fill pass, and an abort recycles them with the pieces.
+		// Birth records in the still-private pieces' inline slot 0. The
+		// wired successors were read through the transaction, so
+		// prepare-time validation (and the locks held through Publish)
+		// pin them as the links' post-publish values; the records stay
+		// pending until the publish fill pass stamps them through the
+		// piece walk, and an abort recycles them with the pieces.
 		for _, p := range e.pieces {
-			g.bunPrepend(b, p, p.next[0].PeekPtr(), false, false)
+			bunBirth(p, p.next[0].PeekPtr())
 		}
 	}
 

@@ -73,7 +73,7 @@ func (c ltCommitter[V]) prepare(ops []Op[V], b *txState[V], opt PrepareOpts) err
 			// txState's lifetime.
 			clear(b.marked)
 			b.marked = b.marked[:0]
-			b.markedMap = nil
+			clear(b.markedMap)
 			for t := 0; t < b.nEnt; t++ {
 				if err := g.validateEntryTx(tx, b, t); err != nil {
 					return err
@@ -154,6 +154,10 @@ func (c ltCommitter[V]) publishAt(ops []Op[V], b *txState[V], ts uint64) {
 			continue
 		}
 		g.releaseEntry(b, t)
+		if e.runEnd != nil {
+			g.retireRun(b, e.n, e.runEnd)
+			continue
+		}
 		g.retireNode(b, e.n)
 		if e.merge {
 			g.retireNode(b, e.old1)
@@ -189,6 +193,17 @@ func (c ltCommitter[V]) abort(ops []Op[V], b *txState[V]) {
 		if !e.write {
 			continue
 		}
+		if e.runEnd != nil {
+			// The run's interior links are all marked by this prepare, so
+			// the frozen pointer halves are exact.
+			for x := e.n; ; x = x.next[0].PeekPtr() {
+				x.live.DirectStore(1)
+				if x == e.runEnd {
+					break
+				}
+			}
+			continue
+		}
 		e.n.live.DirectStore(1)
 		if e.merge {
 			e.old1.live.DirectStore(1)
@@ -211,6 +226,38 @@ func (g *Group[V]) lockEntryLT(tx *stm.Tx, b *txState[V], t int) error {
 		return nil
 	}
 	n := e.n
+	if e.runEnd != nil {
+		// Splice-run entry: mark every run node's slots — freezing the
+		// interior chain exactly as validated and blocking any competitor
+		// whose footprint touches the run — and kill every run node; the
+		// only slots the postfix will swing are the predecessors', marked
+		// below. The walk reads the level-0 links through the transaction
+		// (our own marks read back from the write set).
+		for x := n; ; {
+			for i := 0; i < x.level; i++ {
+				if err := b.markOnce(tx, &x.next[i]); err != nil {
+					return err
+				}
+			}
+			if err := x.live.Store(tx, 0); err != nil {
+				return err
+			}
+			if x == e.runEnd {
+				break
+			}
+			nx, _, err := x.next[0].Load(tx)
+			if err != nil {
+				return err
+			}
+			x = nx
+		}
+		for i := 0; i < e.maxH; i++ {
+			if err := b.markOnce(tx, &e.pa[i].next[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	for i := 0; i < n.level; i++ {
 		if err := b.markOnce(tx, &n.next[i]); err != nil {
 			return err
@@ -239,8 +286,12 @@ func (g *Group[V]) lockEntryLT(tx *stm.Tx, b *txState[V], t int) error {
 
 // markedLinearMax bounds the linear dedup scan of markOnce; wider
 // batches spill into a map so lock acquisition stays linear in the
-// number of slots.
-const markedLinearMax = 24
+// number of slots. A spilled map is retained (cleared) by putBatch up
+// to markedMapKeepCap entries so steady wide batches reuse it.
+const (
+	markedLinearMax  = 24
+	markedMapKeepCap = 1 << 12
+)
 
 // markOnce transactionally sets the mark on a slot, aborting if a
 // committed competitor already holds it. Slots shared between groups of
@@ -294,6 +345,30 @@ func (g *Group[V]) releaseEntry(b *txState[V], t int) {
 	e := b.entries[t]
 	n := e.n
 
+	if e.runEnd != nil {
+		// Splice-run entry: no pieces to wire — one predecessor swing per
+		// level routes around the whole run (the target is the plan-time
+		// successor unless a group further right replaced it). The run's
+		// own slots are never rewritten: they stay frozen in the dead
+		// nodes, where bundle chases and as-of snapshot walks still
+		// traverse them until reclamation.
+		for i := 0; i < e.maxH; i++ {
+			tag := stm.TagNone
+			for u := t - 1; u >= 0; u-- {
+				f := b.entries[u]
+				if f.l != e.l {
+					break
+				}
+				if f.write && i < f.maxH && f.pa[i] == e.pa[i] {
+					tag = stm.TagMarked
+					break
+				}
+			}
+			e.pa[i].next[i].DirectStore(b.succTarget(t, i, e.runSucc[i]), tag)
+		}
+		return
+	}
+
 	if e.merge {
 		repl, old1 := e.pieces[0], e.old1
 		for i := 0; i < repl.level; i++ {
@@ -322,11 +397,12 @@ func (g *Group[V]) releaseEntry(b *txState[V], t int) {
 	}
 
 	if g.bundles() {
-		// Birth records, prepended before the swings make the pieces
-		// reachable: each piece's level-0 link is versioned from its first
-		// instant, pending until the batch's fill pass.
+		// Birth records in the pieces' inline slot 0, installed before the
+		// swings make the pieces reachable: each piece's level-0 link is
+		// versioned from its first instant, pending until the batch's fill
+		// pass stamps it through the piece walk.
 		for _, p := range e.pieces {
-			g.bunPrepend(b, p, p.next[0].PeekPtr(), false, false)
+			bunBirth(p, p.next[0].PeekPtr())
 		}
 	}
 

@@ -67,9 +67,12 @@ func (c rwCommitter[V]) prepare(ops []Op[V], b *txState[V], opt PrepareOpts) err
 func (c rwCommitter[V]) publish(ops []Op[V], b *txState[V]) {
 	g := c.g
 	// As in prepare: never strand the list locks on a panic.
+	unlocked := false
 	defer func() {
 		if r := recover(); r != nil {
-			c.unlock(b)
+			if !unlocked {
+				c.unlock(b)
+			}
 			panic(r)
 		}
 	}()
@@ -82,8 +85,10 @@ func (c rwCommitter[V]) publish(ops []Op[V], b *txState[V]) {
 			ts = g.stm.Clock().Tick()
 		}
 	}
-	c.install(ops, b, ts)
+	c.install(b)
 	c.unlock(b)
+	unlocked = true
+	c.finish(ops, b, ts)
 }
 
 // publishAt is the coordinated post-phase-A half of publish: the
@@ -91,19 +96,41 @@ func (c rwCommitter[V]) publish(ops []Op[V], b *txState[V]) {
 // list's write lock, which stays held until here) and drew ts from the
 // shared clock.
 func (c rwCommitter[V]) publishAt(ops []Op[V], b *txState[V], ts uint64) {
+	unlocked := false
 	defer func() {
 		if r := recover(); r != nil {
-			c.unlock(b)
+			if !unlocked {
+				c.unlock(b)
+			}
 			panic(r)
 		}
 	}()
-	c.install(ops, b, ts)
+	c.install(b)
 	c.unlock(b)
+	unlocked = true
+	c.finish(ops, b, ts)
 }
 
-// install performs the pointer swings, retirements, bundle fill pass
-// and index update of a publish, without touching the list locks.
-func (c rwCommitter[V]) install(ops []Op[V], b *txState[V], ts uint64) {
+// install performs the pointer swings and retirements of a publish,
+// under the list write locks (acquired by prepare, released by the
+// caller). The bundle fill pass and the index update run after the
+// locks drop (finish): both already tolerate competitor publishes — LT
+// runs them after its marks are released — and keeping them out of the
+// critical section keeps the lock hold time O(swings), which matters
+// under write contention (the rw-lock convoy is this variant's
+// bottleneck). Readers meeting a still-PENDING record spin for the
+// bounded remainder of this goroutine's postfix exactly as under LT,
+// and the batch's epoch pin (held until the scratch is returned) keeps
+// truncation away from records the unlocked fill still owns.
+func (c rwCommitter[V]) finish(ops []Op[V], b *txState[V], ts uint64) {
+	g := c.g
+	if g.bundles() {
+		g.bunFillAll(b, ts)
+	}
+	g.indexPublish(ops, b)
+}
+
+func (c rwCommitter[V]) install(b *txState[V]) {
 	g := c.g
 	// Install right-to-left within each list, exactly the LT postfix: a
 	// group whose predecessor is itself being replaced writes into the
@@ -115,6 +142,19 @@ func (c rwCommitter[V]) install(ops []Op[V], b *txState[V], ts uint64) {
 			continue
 		}
 		g.releaseEntry(b, t)
+		if e.runEnd != nil {
+			// Splice-run entry: the swings above already routed around the
+			// run; kill the run nodes (the write lock makes the plain walk
+			// and stores safe) and retire the whole chain as one object.
+			for x := e.n; ; x = x.next[0].PeekPtr() {
+				x.live.DirectStore(0)
+				if x == e.runEnd {
+					break
+				}
+			}
+			g.retireRun(b, e.n, e.runEnd)
+			continue
+		}
 		e.n.live.DirectStore(0)
 		g.retireNode(b, e.n)
 		if e.merge {
@@ -122,10 +162,6 @@ func (c rwCommitter[V]) install(ops []Op[V], b *txState[V], ts uint64) {
 			g.retireNode(b, e.old1)
 		}
 	}
-	if g.bundles() {
-		g.bunFillAll(b, ts)
-	}
-	g.indexPublish(ops, b)
 }
 
 func (c rwCommitter[V]) abort(ops []Op[V], b *txState[V]) {

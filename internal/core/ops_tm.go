@@ -94,6 +94,10 @@ func (c tmCommitter[V]) publishAt(ops []Op[V], b *txState[V], ts uint64) {
 	for t := 0; t < b.nEnt; t++ {
 		e := b.entries[t]
 		if e.write {
+			if e.runEnd != nil {
+				g.retireRun(b, e.n, e.runEnd)
+				continue
+			}
 			g.retireNode(b, e.n)
 			if e.merge {
 				g.retireNode(b, e.old1)

@@ -244,6 +244,34 @@ func (l *List[V]) Lookup(k uint64) (V, bool) {
 	}
 }
 
+// noteLingeringEmpties scans a collected snapshot run for two or more
+// consecutive empty non-sentinel nodes and posts the first one's high
+// bound as the list's scheduled-absorb hint. A single empty node is
+// left alone — the opportunistic absorb of any write touching its left
+// neighbor already compacts it — but a run of empties means DeleteRange
+// boundaries emptied a region no write has come near since, and every
+// future read pays the dead hops until a write batch consumes the hint
+// (see planGroups). The nodes may be a timestamped chain's — possibly
+// already spliced out — which is harmless: a stale hint fails the
+// injection's emptiness walk and is discarded.
+func noteLingeringEmpties[V any](l *List[V], nodes []*node[V]) {
+	run := 0
+	var first *node[V]
+	for _, n := range nodes {
+		if n.count() == 0 && n.high != posInf && n.high != negInf {
+			if run == 0 {
+				first = n
+			}
+			run++
+			if run == 2 && l.absorbHint.Load() != first.high {
+				l.absorbHint.Store(first.high)
+			}
+		} else {
+			run = 0
+		}
+	}
+}
+
 // snapshotRun fills r.nodes with one consistent (linearizable) run of
 // nodes covering [ilo, ihi] in internal key space, per the group's
 // variant — the snapshot half shared by RangeQuery, CollectRange and
@@ -315,6 +343,7 @@ func (l *List[V]) snapshotRun(r *readScratch[V], ilo, ihi uint64) {
 				if len(r.nodes) > 0 {
 					r.saveFinger(g, r.nodes[len(r.nodes)-1])
 				}
+				noteLingeringEmpties(l, r.nodes)
 				return
 			}
 			stmBackoff(attempt)
@@ -357,6 +386,7 @@ func (l *List[V]) snapshotRun(r *readScratch[V], ilo, ihi uint64) {
 		if len(r.nodes) > 0 {
 			r.saveFinger(g, r.nodes[len(r.nodes)-1])
 		}
+		noteLingeringEmpties(l, r.nodes)
 
 	case VariantRW:
 		l.mu.RLock()
@@ -383,6 +413,7 @@ func (l *List[V]) snapshotRun(r *readScratch[V], ilo, ihi uint64) {
 		if len(r.nodes) > 0 {
 			r.saveFinger(g, r.nodes[len(r.nodes)-1])
 		}
+		noteLingeringEmpties(l, r.nodes)
 		// Release before the caller extracts: the snapshot nodes are
 		// immutable, and extraction may be arbitrarily slow or call back
 		// into the map (a re-entrant write would deadlock against our

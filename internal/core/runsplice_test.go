@@ -1,0 +1,184 @@
+package core
+
+import "testing"
+
+// TestFoldedWriteRecordBudget is the write-path record-budget white-box
+// test for the folded bundle protocol: a steady-state batch of
+// overwrites must stage exactly one pred-link record per write entry in
+// bunFills (the death record is folded into the dying node's repl/died
+// words and the birth record into each piece's inline slot 0), and
+// every piece's birth record must live in the inline pair — zero heap
+// bundle records for the whole batch.
+func TestFoldedWriteRecordBudget(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, g *Group[uint64]) {
+		l := g.NewList()
+		for k := uint64(0); k < 120; k++ {
+			if err := l.Set(k, k); err != nil {
+				t.Fatalf("seed Set: %v", err)
+			}
+		}
+		// Overwrites of present keys spread over distinct nodes: the
+		// steady-state write shape (value-only replacement per node).
+		ops := []Op[uint64]{
+			{List: l, Kind: OpSet, Key: 10, Val: 1},
+			{List: l, Kind: OpSet, Key: 50, Val: 1},
+			{List: l, Kind: OpSet, Key: 90, Val: 1},
+		}
+		p, err := g.PrepareOps(ops, PrepareOpts{})
+		if err != nil {
+			t.Fatalf("PrepareOps: %v", err)
+		}
+		p.PublishStart()
+		b := p.b
+		writes := 0
+		var pieces []*node[uint64]
+		for i := 0; i < b.nEnt; i++ {
+			if b.entries[i].write {
+				writes++
+				pieces = append(pieces, b.entries[i].pieces...)
+			}
+		}
+		if writes == 0 {
+			t.Fatal("no write entries planned for the overwrite batch")
+		}
+		// One pred-link per write entry is the whole staged footprint: the
+		// death record is folded into node words (never staged) and births
+		// are stamped through the piece walk (never staged). The pred-link
+		// itself may be a pooled heap record — the predecessors are old
+		// nodes whose single-use inline slots were consumed long ago.
+		if got := len(b.bunFills); got > writes {
+			t.Errorf("bunFills stages %d records for %d write entries; the folded protocol budgets one pred-link per entry", got, writes)
+		}
+		p.PublishAt(g.stm.Clock().Tick())
+		// The pieces are published now; each one's newest record must be
+		// its inline birth (slot 0), never a heap allocation.
+		for _, piece := range pieces {
+			rec := piece.bun.Load()
+			if rec == nil {
+				t.Fatal("published piece has no birth record")
+			}
+			if !rec.inline {
+				t.Error("piece birth record was heap-allocated; births fold into inline slot 0")
+			}
+		}
+		mustCheck(t, l)
+	})
+}
+
+// TestDeleteRangeRunBudget is the O(boundary) white-box test for
+// interval-delete planning: a DeleteRange spanning dozens of nodes must
+// plan a constant number of entries — the boundary nodes plus one
+// splice-run entry per maximal fully-covered run — rather than one
+// empty replacement per covered node, and the staged bundle records
+// stay within one per entry.
+func TestDeleteRangeRunBudget(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, g *Group[uint64]) {
+		l := g.NewList()
+		const n = 300
+		for k := uint64(0); k < n; k++ {
+			if err := l.Set(k, k); err != nil {
+				t.Fatalf("seed Set: %v", err)
+			}
+		}
+		ops := []Op[uint64]{{List: l, Kind: OpDeleteRange, Key: 20, KeyHi: 280}}
+		p, err := g.PrepareOps(ops, PrepareOpts{})
+		if err != nil {
+			t.Fatalf("PrepareOps: %v", err)
+		}
+		p.PublishStart()
+		b := p.b
+		splices, runNodes := 0, 0
+		for i := 0; i < b.nEnt; i++ {
+			e := b.entries[i]
+			if e.runEnd == nil {
+				continue
+			}
+			splices++
+			for x := e.n; ; x = x.next[0].PeekPtr() {
+				runNodes++
+				if x == e.runEnd {
+					break
+				}
+			}
+		}
+		if splices == 0 {
+			t.Fatal("wide DeleteRange planned no splice-run entry")
+		}
+		if b.nEnt > 4 {
+			t.Errorf("wide DeleteRange planned %d entries; want boundary nodes plus a splice run (<= 4)", b.nEnt)
+		}
+		if runNodes < 10 {
+			t.Errorf("splice run spans only %d nodes; the interval covers dozens", runNodes)
+		}
+		if got := len(b.bunFills); got > b.nEnt {
+			t.Errorf("bunFills stages %d records for %d entries; a spliced run pends one pred-link for the whole chain", got, b.nEnt)
+		}
+		p.PublishAt(g.stm.Clock().Tick())
+		if ops[0].N != 261 {
+			t.Errorf("DeleteRange removed %d pairs, want 261", ops[0].N)
+		}
+		mustCheck(t, l)
+		for _, k := range []uint64{0, 19, 281, n - 1} {
+			if _, ok := l.Lookup(k); !ok {
+				t.Errorf("surviving key %d missing after splice", k)
+			}
+		}
+		for _, k := range []uint64{20, 150, 280} {
+			if _, ok := l.Lookup(k); ok {
+				t.Errorf("deleted key %d still present after splice", k)
+			}
+		}
+	})
+}
+
+// TestDeleteRangeRunWithNeighbors drives splices in composed batches —
+// point writes left and right of the interval, and a second interval in
+// the same batch — so the cross-entry resolution (succTarget through a
+// run, predDying against a run end) is exercised under every committer.
+func TestDeleteRangeRunWithNeighbors(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, g *Group[uint64]) {
+		l := g.NewList()
+		const n = 400
+		for k := uint64(0); k < n; k++ {
+			if err := l.Set(k, k); err != nil {
+				t.Fatalf("seed Set: %v", err)
+			}
+		}
+		ops := []Op[uint64]{
+			{List: l, Kind: OpSet, Key: 10, Val: 1},
+			{List: l, Kind: OpDeleteRange, Key: 30, KeyHi: 170},
+			{List: l, Kind: OpSet, Key: 180, Val: 2},
+			{List: l, Kind: OpDeleteRange, Key: 200, KeyHi: 370},
+			{List: l, Kind: OpSet, Key: 390, Val: 3},
+		}
+		if err := g.CommitOps(ops); err != nil {
+			t.Fatalf("CommitOps: %v", err)
+		}
+		if ops[1].N != 141 || ops[3].N != 171 {
+			t.Errorf("DeleteRange counts = %d, %d; want 141, 171", ops[1].N, ops[3].N)
+		}
+		mustCheck(t, l)
+		want := map[uint64]uint64{10: 1, 180: 2, 390: 3, 29: 29, 171: 171, 199: 199, 371: 371}
+		for k, v := range want {
+			got, ok := l.Lookup(k)
+			if !ok || got != v {
+				t.Errorf("Lookup(%d) = %d,%v; want %d", k, got, ok, v)
+			}
+		}
+		for _, k := range []uint64{30, 100, 170, 200, 300, 370} {
+			if _, ok := l.Lookup(k); ok {
+				t.Errorf("deleted key %d still present", k)
+			}
+		}
+		// The structure stays fully usable: refill the holes and check.
+		for k := uint64(30); k <= 170; k++ {
+			if err := l.Set(k, k+1); err != nil {
+				t.Fatalf("refill Set: %v", err)
+			}
+		}
+		mustCheck(t, l)
+		if got, ok := l.Lookup(100); !ok || got != 101 {
+			t.Errorf("refilled Lookup(100) = %d,%v; want 101", got, ok)
+		}
+	})
+}

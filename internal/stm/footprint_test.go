@@ -45,8 +45,8 @@ func TestFinishClearsPooledFootprint(t *testing.T) {
 		}
 	}
 	for i, w := range tx.writes[:cap(tx.writes)] {
-		if w.l != nil || w.word != nil || w.obj != nil {
-			t.Errorf("writes[%d] still populated beyond len (l=%p word=%p obj=%v): pooled Tx pins dead cells", i, w.l, w.word, w.obj)
+		if w.l != nil || w.word != nil || w.tagged != nil || w.pval != nil {
+			t.Errorf("writes[%d] still populated beyond len (l=%p word=%p tagged=%p pval=%p): pooled Tx pins dead cells", i, w.l, w.word, w.tagged, w.pval)
 		}
 	}
 }

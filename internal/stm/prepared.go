@@ -219,12 +219,7 @@ func (p *PreparedTx) publishAt(wv uint64) {
 	s := tx.s
 	if len(tx.writes) > 0 {
 		for i := range tx.writes {
-			e := &tx.writes[i]
-			if e.word != nil {
-				e.word.v.Store(e.val)
-			} else {
-				e.obj.apply()
-			}
+			applyWrite(&tx.writes[i])
 		}
 		for i := range tx.writes {
 			tx.writes[i].l.unlockTo(wv)

@@ -1,6 +1,9 @@
 package stm
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"unsafe"
+)
 
 // TaggedPtr is a transactional (pointer, tag) pair versioned as a single
 // unit. It reproduces, under a garbage collector that forbids stealing
@@ -18,10 +21,28 @@ import "sync/atomic"
 //
 // The zero value holds (nil, 0) at version 0.
 type TaggedPtr[T any] struct {
+	b taggedBase
+}
+
+// taggedBase is the type-erased core of a TaggedPtr: the vlock and the
+// (pointer, tag) pair with the pointer half held as an unsafe.Pointer
+// (still precisely traced by the collector; accessed through the legacy
+// sync/atomic pointer functions). Buffered writes reference the base,
+// not the generic wrapper, so a write record is three plain words
+// inlined into the transaction's writeEntry — no per-store boxed
+// record, which is what keeps wide write sets (a DeleteRange run splice
+// marking hundreds of slots) allocation-free. Only the generic methods
+// of TaggedPtr convert between *T and unsafe.Pointer, so the type-erased
+// representation never escapes this file and tx.go's apply switch.
+type taggedBase struct {
 	l vlock
-	p atomic.Pointer[T]
+	p unsafe.Pointer // atomic; LoadPointer/StorePointer only
 	t atomic.Uint64
 }
+
+// load and store are the atomic accessors of the pointer half.
+func (b *taggedBase) load() unsafe.Pointer   { return atomic.LoadPointer(&b.p) }
+func (b *taggedBase) store(p unsafe.Pointer) { atomic.StorePointer(&b.p, p) }
 
 // Tag values used by the Leap-List. The tag space is a full uint64; these
 // are just the two values the marking protocol needs.
@@ -33,24 +54,8 @@ const (
 // Init sets the pair without synchronization or version bump. It may only
 // be used before the cell is reachable by other goroutines.
 func (tp *TaggedPtr[T]) Init(p *T, tag uint64) {
-	tp.p.Store(p)
-	tp.t.Store(tag)
-}
-
-// pendingTagged is the buffered write record for a TaggedPtr.
-type pendingTagged[T any] struct {
-	tp  *TaggedPtr[T]
-	p   *T
-	tag uint64
-}
-
-func (pw *pendingTagged[T]) apply() {
-	pw.tp.p.Store(pw.p)
-	pw.tp.t.Store(pw.tag)
-}
-
-func (pw *pendingTagged[T]) reset() {
-	pw.tp, pw.p, pw.tag = nil, nil, 0
+	tp.b.store(unsafe.Pointer(p))
+	tp.b.t.Store(tag)
 }
 
 // Load returns the pair inside tx, recording the read for commit
@@ -59,13 +64,13 @@ func (tp *TaggedPtr[T]) Load(tx *Tx) (p *T, tag uint64, err error) {
 	if err := tx.usable(); err != nil {
 		return nil, 0, err
 	}
-	if i := tx.findWrite(&tp.l); i >= 0 {
-		pw := tx.writes[i].obj.(*pendingTagged[T])
-		return pw.p, pw.tag, nil
+	if i := tx.findWrite(&tp.b.l); i >= 0 {
+		e := &tx.writes[i]
+		return (*T)(e.pval), e.val, nil
 	}
-	if _, err := tx.readVersioned(&tp.l, func() {
-		p = tp.p.Load()
-		tag = tp.t.Load()
+	if _, err := tx.readVersioned(&tp.b.l, func() {
+		p = (*T)(tp.b.load())
+		tag = tp.b.t.Load()
 	}); err != nil {
 		return nil, 0, err
 	}
@@ -73,32 +78,18 @@ func (tp *TaggedPtr[T]) Load(tx *Tx) (p *T, tag uint64, err error) {
 }
 
 // Store buffers a write of the pair (p, tag); it becomes visible only if tx
-// commits.
+// commits. The buffered pair lives inline in the transaction's write
+// entry, so storing never allocates.
 func (tp *TaggedPtr[T]) Store(tx *Tx, p *T, tag uint64) error {
 	if err := tx.usable(); err != nil {
 		return err
 	}
-	if i := tx.findWrite(&tp.l); i >= 0 {
-		pw := tx.writes[i].obj.(*pendingTagged[T])
-		pw.p, pw.tag = p, tag
+	if i := tx.findWrite(&tp.b.l); i >= 0 {
+		e := &tx.writes[i]
+		e.pval, e.val = unsafe.Pointer(p), tag
 		return nil
 	}
-	// Reuse a recycled write record when the descriptor has one of the
-	// right element type; the common transaction then buffers pointer
-	// stores without allocating.
-	var pw *pendingTagged[T]
-	if rec := tx.getRec(); rec != nil {
-		if cand, ok := rec.(*pendingTagged[T]); ok {
-			pw = cand
-		} else {
-			tx.putRec(rec)
-		}
-	}
-	if pw == nil {
-		pw = &pendingTagged[T]{}
-	}
-	pw.tp, pw.p, pw.tag = tp, p, tag
-	tx.writes = append(tx.writes, writeEntry{l: &tp.l, obj: pw})
+	tx.recordWrite(writeEntry{l: &tp.b.l, tagged: &tp.b, pval: unsafe.Pointer(p), val: tag})
 	return nil
 }
 
@@ -108,19 +99,19 @@ func (tp *TaggedPtr[T]) Store(tx *Tx, p *T, tag uint64) error {
 // Leap-List traversal protocol treats as "retry", never as a usable pair.
 // Callers needing a consistent pair must read inside a transaction.
 func (tp *TaggedPtr[T]) Peek() (p *T, tag uint64) {
-	tag = tp.t.Load()
-	p = tp.p.Load()
+	tag = tp.b.t.Load()
+	p = (*T)(tp.b.load())
 	return p, tag
 }
 
 // PeekPtr returns only the pointer half.
 func (tp *TaggedPtr[T]) PeekPtr() *T {
-	return tp.p.Load()
+	return (*T)(tp.b.load())
 }
 
 // PeekTag returns only the tag half.
 func (tp *TaggedPtr[T]) PeekTag() uint64 {
-	return tp.t.Load()
+	return tp.b.t.Load()
 }
 
 // DirectStore writes the pair without a transaction and without a version
@@ -128,22 +119,22 @@ func (tp *TaggedPtr[T]) PeekTag() uint64 {
 // published before the tag so that a concurrent Peek never observes the old
 // pointer with the new (cleared) tag.
 func (tp *TaggedPtr[T]) DirectStore(p *T, tag uint64) {
-	tp.p.Store(p)
-	tp.t.Store(tag)
+	tp.b.store(unsafe.Pointer(p))
+	tp.b.t.Store(tag)
 }
 
 // DirectStorePtr writes only the pointer half, leaving the tag in place.
 func (tp *TaggedPtr[T]) DirectStorePtr(p *T) {
-	tp.p.Store(p)
+	tp.b.store(unsafe.Pointer(p))
 }
 
 // DirectStoreTag writes only the tag half, leaving the pointer in place.
 func (tp *TaggedPtr[T]) DirectStoreTag(tag uint64) {
-	tp.t.Store(tag)
+	tp.b.t.Store(tag)
 }
 
 // Version returns the cell's current version and lock state; used by tests
 // and invariant checkers.
 func (tp *TaggedPtr[T]) Version() (ver uint64, locked bool) {
-	return tp.l.sample()
+	return tp.b.l.sample()
 }

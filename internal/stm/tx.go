@@ -1,5 +1,7 @@
 package stm
 
+import "unsafe"
+
 // readEntry records one transactional read: the cell's lock and the version
 // the value was read at.
 type readEntry struct {
@@ -7,27 +9,33 @@ type readEntry struct {
 	ver uint64
 }
 
-// pendingPtr is implemented by the typed buffered-write records of generic
-// cells (TaggedPtr[T]); apply publishes the buffered value into the cell's
-// backing storage during commit write-back, and reset drops the record's
-// references so it can sit in a transaction's free list without pinning
-// anything.
-type pendingPtr interface {
-	apply()
-	reset()
-}
-
-// writeEntry is one buffered write. Word writes are stored inline (word,
-// val) to avoid an allocation; TaggedPtr writes carry their typed record in
-// obj. Exactly one of word and obj is set.
+// writeEntry is one buffered write, stored entirely inline so that
+// buffering a write never allocates no matter how wide the write set
+// grows (a DeleteRange run splice marks hundreds of slots in one
+// transaction). Word writes use (word, val); TaggedPtr writes use
+// (tagged, pval) with val carrying the buffered tag. Exactly one of word
+// and tagged is set.
 type writeEntry struct {
 	l    *vlock
 	prev uint64 // version restored if the commit aborts after locking
 
 	word *Word
-	val  uint64
+	val  uint64 // Word value, or the buffered tag of a TaggedPtr write
 
-	obj pendingPtr
+	tagged *taggedBase
+	pval   unsafe.Pointer // buffered pointer half of a TaggedPtr write
+}
+
+// applyWrite publishes one buffered write into its cell's backing storage
+// during commit write-back; shared by the fused commit and the split
+// prepare/publish path so the two can never diverge.
+func applyWrite(e *writeEntry) {
+	if e.word != nil {
+		e.word.v.Store(e.val)
+	} else {
+		e.tagged.store(e.pval)
+		e.tagged.t.Store(e.val)
+	}
 }
 
 // Tx is a transaction descriptor. A Tx is only valid inside the function
@@ -41,11 +49,11 @@ type Tx struct {
 	err    error // poisoned by the first conflict; sticky until finish
 	done   bool
 
-	// freeRecs recycles the typed buffered-write records of TaggedPtr
-	// stores across the transactions served by this (pooled) descriptor,
-	// so the common commit allocates no write records at all. Records are
-	// reset before parking here and therefore pin nothing.
-	freeRecs []pendingPtr
+	// writeIdx indexes the write set by cell once it outgrows the linear
+	// scan (see findWrite); nil for the common small transaction. The map
+	// is retained (cleared) across the transactions served by this pooled
+	// descriptor so wide-batch domains build it once.
+	writeIdx map[*vlock]int
 }
 
 func newTx(s *STM) *Tx {
@@ -74,30 +82,13 @@ func (tx *Tx) abort(cause error) {
 	}
 }
 
-// maxFreeRecs bounds the per-descriptor write-record free list; a batch
-// that marked more slots than this donates only the first maxFreeRecs
-// records back.
-const maxFreeRecs = 64
-
 func (tx *Tx) finish() {
 	tx.done = true
-	// Recycle buffered write records into the free list (reset first so
-	// the pooled Tx does not pin cells or values through them).
-	for i := range tx.writes {
-		if obj := tx.writes[i].obj; obj != nil {
-			obj.reset()
-			if len(tx.freeRecs) < maxFreeRecs {
-				tx.freeRecs = append(tx.freeRecs, obj)
-			}
-			tx.writes[i].obj = nil
-		}
-		tx.writes[i].word = nil
-		// The lock pointer reaches into a node shell's vlock; a pooled
-		// descriptor holding it would pin the dead shell until the next
-		// transaction of this size happens to overwrite the entry.
-		tx.writes[i].l = nil
-	}
-	// Same for the read set, whose entries are nothing but lock pointers.
+	// Entries hold pointers reaching into node shells (vlocks, buffered
+	// pointer halves); a pooled descriptor retaining them would pin dead
+	// shells until the next transaction of this size happens to overwrite
+	// the entry. The read set's entries are nothing but lock pointers.
+	clear(tx.writes)
 	clear(tx.reads)
 	tx.reads = tx.reads[:0]
 	tx.writes = tx.writes[:0]
@@ -110,27 +101,13 @@ func (tx *Tx) finish() {
 	if cap(tx.writes) > keepCap {
 		tx.writes = make([]writeEntry, 0, 16)
 	}
-}
-
-// getRec pops a recycled write record if the top of the free list has the
-// caller's concrete type (checked by the caller's type assertion); it
-// returns nil when the list is empty. Domains that interleave TaggedPtr
-// element types simply fall back to allocation on a type mismatch.
-func (tx *Tx) getRec() pendingPtr {
-	n := len(tx.freeRecs)
-	if n == 0 {
-		return nil
+	if tx.writeIdx != nil {
+		if len(tx.writeIdx) > keepCap {
+			tx.writeIdx = nil
+		} else {
+			clear(tx.writeIdx)
+		}
 	}
-	rec := tx.freeRecs[n-1]
-	tx.freeRecs[n-1] = nil
-	tx.freeRecs = tx.freeRecs[:n-1]
-	return rec
-}
-
-// putRec pushes back a record getRec handed out but the caller could not
-// use (wrong concrete type).
-func (tx *Tx) putRec(rec pendingPtr) {
-	tx.freeRecs = append(tx.freeRecs, rec)
 }
 
 // usable reports whether the transaction can accept further operations,
@@ -155,17 +132,49 @@ func (tx *Tx) recordRead(l *vlock, ver uint64) {
 	tx.reads = append(tx.reads, readEntry{l: l, ver: ver})
 }
 
+// writeIdxSpill is the write-set size past which findWrite switches from
+// the linear scan to the writeIdx map. The common transaction (a handful
+// of marks and a live flag per list) stays under it and never builds the
+// map; a run-splice transaction marking hundreds of slots spills once
+// and gets O(1) lookups, keeping lock acquisition linear in the number
+// of slots instead of quadratic.
+const writeIdxSpill = 32
+
 // findWrite returns the index of the buffered write to the cell guarded by
-// l, or -1. Write sets in this codebase are small (the Leap-LT transaction
-// writes a handful of marks and a live flag per list), so a linear scan
-// beats any map.
+// l, or -1.
 func (tx *Tx) findWrite(l *vlock) int {
+	if tx.writeIdx != nil && len(tx.writes) > writeIdxSpill {
+		i, ok := tx.writeIdx[l]
+		if !ok {
+			return -1
+		}
+		return i
+	}
 	for i := range tx.writes {
 		if tx.writes[i].l == l {
 			return i
 		}
 	}
 	return -1
+}
+
+// recordWrite appends a buffered write, maintaining the spilled index
+// when the write set is past the linear-scan bound.
+func (tx *Tx) recordWrite(e writeEntry) {
+	tx.writes = append(tx.writes, e)
+	if len(tx.writes) <= writeIdxSpill {
+		return
+	}
+	if tx.writeIdx == nil {
+		tx.writeIdx = make(map[*vlock]int, 2*len(tx.writes))
+	}
+	if len(tx.writeIdx) == 0 {
+		for i := range tx.writes {
+			tx.writeIdx[tx.writes[i].l] = i
+		}
+		return
+	}
+	tx.writeIdx[e.l] = len(tx.writes) - 1
 }
 
 // readVersioned performs the TL2 sandwich read protocol around loadVal and
@@ -246,12 +255,7 @@ func (tx *Tx) commit() error {
 	}
 
 	for i := range tx.writes {
-		e := &tx.writes[i]
-		if e.word != nil {
-			e.word.v.Store(e.val)
-		} else {
-			e.obj.apply()
-		}
+		applyWrite(&tx.writes[i])
 	}
 	for i := range tx.writes {
 		tx.writes[i].l.unlockTo(wv)
@@ -325,7 +329,7 @@ func PooledTxFootprint(s *STM) string {
 		}
 	}
 	for i, w := range tx.writes[:cap(tx.writes)] {
-		if w.l != nil || w.word != nil || w.obj != nil {
+		if w.l != nil || w.word != nil || w.tagged != nil || w.pval != nil {
 			return "writes[" + itoa(i) + "] populated beyond len"
 		}
 	}

@@ -51,7 +51,7 @@ func (w *Word) Store(tx *Tx, v uint64) error {
 		tx.writes[i].val = v
 		return nil
 	}
-	tx.writes = append(tx.writes, writeEntry{l: &w.l, word: w, val: v})
+	tx.recordWrite(writeEntry{l: &w.l, word: w, val: v})
 	return nil
 }
 

@@ -37,9 +37,14 @@
 // after it. Every result of one Tx — point reads, range snapshots,
 // delete counts — is resolved at the single commit linearization point.
 // Keys that land in the same fat node are coalesced into one node
-// replacement; a range spanning several adjacent nodes replaces one node
-// per group of its run. The legacy SetMany/DeleteMany entry points
-// remain as thin wrappers over Txn.
+// replacement, and an interval delete costs O(levels + boundary), not
+// O(deleted keys): the run of nodes fully covered by the interval is
+// spliced out with one predecessor pointer swing per skip-list level
+// and retired as a single chain, so only the two partially covered
+// boundary nodes are actually rebuilt — deleting a million-key span
+// touches the same handful of cells as deleting a hundred-key one. The
+// legacy SetMany/DeleteMany entry points remain as thin wrappers over
+// Txn.
 //
 // Single-map usage needs no group:
 //

@@ -206,7 +206,10 @@ func (t *Tx[V]) GetRange(m *Map[V], lo, hi uint64) TxRange[V] {
 // many pairs the removal observed at its staged position (a key Set
 // earlier in the same Tx counts; a key Set later survives the removal).
 // Like Map.Range, an inverted interval is empty and hi is clamped to
-// MaxKey.
+// MaxKey. Commit cost is O(levels + boundary) in the interval's extent:
+// nodes fully inside [lo, hi] are spliced out as a run with one pointer
+// swing per level rather than rebuilt per node, so arbitrarily wide
+// deletes stay cheap (see BenchmarkDeleteRange).
 func (t *Tx[V]) DeleteRange(m *Map[V], lo, hi uint64) TxDeleteRange[V] {
 	return TxDeleteRange[V]{t: t, i: t.stageRange(m, core.OpDeleteRange, lo, hi)}
 }
