@@ -44,7 +44,7 @@ func run() error {
 		reps     = flag.Int("reps", 1, "repetitions per cell, averaged (paper: 3)")
 		threads  = flag.String("threads", "", "comma-separated thread counts (default: paper's 1..80 sweep)")
 		quick    = flag.Bool("quick", false, "shrink the largest initializations for a fast pass")
-		stats    = flag.Bool("stats", false, "collect STM abort counts per cell")
+		stats    = flag.Bool("stats", false, "collect STM counters per cell (aborts, prepare conflicts, timeout aborts, retry high-water)")
 		csvPath  = flag.String("csv", "", "append CSV rows to this file")
 		lat      = flag.String("lat", "", "latency profile one target: lt|cop|tm|rw|skip-cas|skip-tm|btree-lock|btree-lookup")
 		plot     = flag.Bool("plot", false, "also render each table as an ASCII chart")
@@ -113,6 +113,11 @@ func run() error {
 		}
 		if err := table.WriteText(os.Stdout); err != nil {
 			return err
+		}
+		if *stats {
+			if err := table.WriteStats(os.Stdout); err != nil {
+				return err
+			}
 		}
 		if *plot {
 			if err := table.WritePlot(os.Stdout, 16); err != nil {

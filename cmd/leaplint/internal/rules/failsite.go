@@ -1,0 +1,86 @@
+package rules
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+
+	"leaplist/cmd/leaplint/internal/lintkit"
+)
+
+// Failsite confines fault injection to the build-tag-gated shim files.
+// The failpoint framework (internal/failpoint) is wired into production
+// code exclusively through per-package fpEval/fpHit shims that exist in
+// a tagged/untagged file pair (//go:build failpoint and !failpoint), so
+// the normal build never links, imports, or pays for the registry. A
+// file that imports internal/failpoint without carrying a failpoint
+// build constraint would leak the framework into the normal build —
+// exactly the zero-cost guarantee the shims exist to protect.
+//
+// The rule: any file importing a path ending in "internal/failpoint"
+// must carry a //go:build (or legacy // +build) constraint mentioning
+// the failpoint tag, positively or negatively. The failpoint package
+// itself is exempt, as are _test.go files (chaos suites import the
+// registry directly and are already excluded from normal builds by
+// their own //go:build failpoint constraint, which the suites carry for
+// the tagged test binary).
+var Failsite = &lintkit.Analyzer{
+	Name: "failsite",
+	Doc:  "files importing internal/failpoint must be gated by a failpoint build constraint",
+	Run:  runFailsite,
+}
+
+func runFailsite(pass *lintkit.Pass) error {
+	if pass.Pkg != nil && strings.HasSuffix(pass.Pkg.Path(), "internal/failpoint") {
+		return nil // the framework itself
+	}
+	for _, f := range pass.Files {
+		spec := failpointImport(f)
+		if spec == nil {
+			continue
+		}
+		name := pass.Fset.Position(f.Package).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if hasFailpointConstraint(f) {
+			continue
+		}
+		pass.Reportf(spec.Pos(),
+			"file imports internal/failpoint without a failpoint build constraint: injection shims must live in //go:build failpoint / !failpoint file pairs so the normal build stays zero-cost")
+	}
+	return nil
+}
+
+// failpointImport returns f's import of the failpoint framework, if any.
+func failpointImport(f *ast.File) *ast.ImportSpec {
+	for _, spec := range f.Imports {
+		path, err := strconv.Unquote(spec.Path.Value)
+		if err != nil {
+			continue
+		}
+		if strings.HasSuffix(path, "internal/failpoint") {
+			return spec
+		}
+	}
+	return nil
+}
+
+// hasFailpointConstraint reports whether f carries a build constraint
+// mentioning the failpoint tag before its package clause.
+func hasFailpointConstraint(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break // constraints precede the package clause
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if strings.HasPrefix(text, "//go:build ") || strings.HasPrefix(text, "// +build ") {
+				if strings.Contains(text, "failpoint") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

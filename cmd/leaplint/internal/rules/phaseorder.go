@@ -10,14 +10,18 @@ import (
 // Phaseorder enforces the two-phase commit shape around the committer
 // interface and the prepared-transaction descriptors:
 //
-//  1. a function that calls a committer's prepare must check prepare's
+//  1. a function that calls a committer's prepare — or a coordinator
+//     helper named prepare* (prepareShards) — must check prepare's
 //     result (never discard it) and must drive the protocol onward — a
-//     publish or abort call, or returning the prepared state to the
-//     caller who will;
+//     publish/abort call (exact, or a prefix-named helper such as
+//     publishShards/abortPrepared), or returning the prepared state to
+//     the caller who will; this is what keeps every Commit/CommitContext
+//     path funnelled into exactly one of abort-or-publish;
 //  2. a function that obtains a PreparedOps/PreparedTx (PrepareOps /
 //     PrepareOnce) must contain both a Publish and an Abort call, or
-//     hand the descriptor outward by returning it — a prepared
-//     transaction must reach exactly one of the two outcomes;
+//     hand the descriptor outward by returning it or parking it in a
+//     longer-lived carrier (x.f = p, or x.f = append(x.f, p)) — a
+//     prepared transaction must reach exactly one of the two outcomes;
 //  3. a prepare method that can fail must release its plan on the error
 //     path: any prepare method returning a non-nil error must also call
 //     releasePlan or abort somewhere, else locked entries leak.
@@ -57,10 +61,12 @@ func containsCallNamed(fd *ast.FuncDecl, names ...string) bool {
 }
 
 // checkPrepareCaller enforces rule 1 over calls to methods named
-// "prepare" (the committer interface's first phase).
+// "prepare" (the committer interface's first phase) and prefix-named
+// coordinator helpers (prepareShards).
 func checkPrepareCaller(pass *lintkit.Pass, fd *ast.FuncDecl) {
-	if fd.Name.Name == "prepare" {
-		return // a prepare implementation delegating internally
+	if strings.HasPrefix(fd.Name.Name, "prepare") {
+		return // a prepare implementation or phase-one helper: the
+		// publish/abort obligation lands on its caller
 	}
 	if strings.HasPrefix(fd.Name.Name, "Prepare") {
 		// A Prepare* API is itself phase one: its contract hands the
@@ -103,17 +109,40 @@ func checkPrepareCaller(pass *lintkit.Pass, fd *ast.FuncDecl) {
 				"prepare result discarded in %s: a failed prepare must be observed so the plan is released and publish is skipped", fd.Name.Name)
 		}
 	}
-	if !containsCallNamed(fd, "publish", "abort", "Publish", "Abort") {
+	if !containsCallPrefixed(fd, "publish", "abort", "Publish", "Abort") {
 		pass.Reportf(prepares[0].Pos(),
 			"%s calls prepare but never publish or abort: a successful prepare must reach exactly one of the two", fd.Name.Name)
 	}
 }
 
-// isPrepareCall matches method calls named exactly "prepare" (the
-// unexported committer phase; PrepareOps/PrepareOnce are rule 2's).
+// containsCallPrefixed reports whether fd's body calls a function or
+// method whose name starts with one of the prefixes. This is how the
+// coordinator's composed legs (publishShards, abortPrepared) satisfy
+// rule 1's drive-onward obligation for commit/CommitContext.
+func containsCallPrefixed(fd *ast.FuncDecl, prefixes ...string) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		got := calleeName(call)
+		for _, p := range prefixes {
+			if strings.HasPrefix(got, p) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isPrepareCall matches method calls named "prepare" or prefixed with
+// it — the unexported committer phase and coordinator phase-one helpers
+// like prepareShards (PrepareOps/PrepareOnce are rule 2's).
 func isPrepareCall(call *ast.CallExpr) bool {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	return ok && sel.Sel.Name == "prepare"
+	return ok && strings.HasPrefix(sel.Sel.Name, "prepare")
 }
 
 // checkPreparedObtainer enforces rule 2 over PrepareOps/PrepareOnce
@@ -218,7 +247,9 @@ func returnsName(fd *ast.FuncDecl, name string) bool {
 }
 
 // storedIntoField reports whether fd assigns the named ident into a
-// selector (x.f = name).
+// selector, either directly (x.f = name) or by appending it into a
+// field-held slice (x.f = append(x.f, name)) — the shape a multi-shard
+// coordinator uses to carry the prepared prefix to publish/abort.
 func storedIntoField(fd *ast.FuncDecl, name string) bool {
 	found := false
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -227,12 +258,26 @@ func storedIntoField(fd *ast.FuncDecl, name string) bool {
 			return true
 		}
 		for i, rhs := range as.Rhs {
-			id, isID := ast.Unparen(rhs).(*ast.Ident)
-			if !isID || id.Name != name || i >= len(as.Lhs) {
+			if i >= len(as.Lhs) {
 				continue
 			}
-			if _, isSel := ast.Unparen(as.Lhs[i]).(*ast.SelectorExpr); isSel {
-				found = true
+			if _, isSel := ast.Unparen(as.Lhs[i]).(*ast.SelectorExpr); !isSel {
+				continue
+			}
+			switch r := ast.Unparen(rhs).(type) {
+			case *ast.Ident:
+				if r.Name == name {
+					found = true
+				}
+			case *ast.CallExpr:
+				if calleeName(r) != "append" {
+					continue
+				}
+				for _, arg := range r.Args {
+					if id, isID := ast.Unparen(arg).(*ast.Ident); isID && id.Name == name {
+						found = true
+					}
+				}
 			}
 		}
 		return true

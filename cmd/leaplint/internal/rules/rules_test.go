@@ -43,6 +43,10 @@ func TestBundleproto(t *testing.T) {
 	linttest.Run(t, testdataDir(t, "bundleproto"), rules.Bundleproto)
 }
 
+func TestFailsite(t *testing.T) {
+	linttest.Run(t, testdataDir(t, "failsite"), rules.Failsite)
+}
+
 // failRecorder wraps a real testing.TB but swallows Errorf, recording
 // only that a failure happened.
 type failRecorder struct {

@@ -1,4 +1,4 @@
-// Package rules holds the six leaplint analyzers. Each one is keyed to
+// Package rules holds the seven leaplint analyzers. Each one is keyed to
 // the names and shapes of the leaplist protocol (node, Participant,
 // readScratch/txState, the committer methods, the pools), so the same
 // analyzers run unchanged over the real tree and over the self-contained
@@ -22,6 +22,7 @@ func All() []*lintkit.Analyzer {
 		Phaseorder,
 		Eraguard,
 		Bundleproto,
+		Failsite,
 	}
 }
 

@@ -1,5 +1,5 @@
 // Command leaplint runs the leaplist-specific static analyzers: epochpin,
-// atomicmix, poolhygiene, phaseorder, eraguard, and bundleproto. See the analyzer docs
+// atomicmix, poolhygiene, phaseorder, eraguard, bundleproto, and failsite. See the analyzer docs
 // in internal/rules and the "Invariants and static enforcement" section of
 // internal/core/doc.go for the invariant each one enforces.
 //

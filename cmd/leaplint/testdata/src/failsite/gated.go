@@ -1,0 +1,12 @@
+//go:build !failpoint
+
+// Package failsite is testdata for the failsite analyzer: importing
+// internal/failpoint is legal only in files gated by a failpoint build
+// constraint (either polarity).
+package failsite
+
+import "leaplist/internal/failpoint"
+
+// fpEval is the canonical shim shape: this file is the !failpoint half
+// of the pair, so the import is properly gated.
+func fpEval(site string) error { return failpoint.Eval(site) }

@@ -1,0 +1,7 @@
+package failsite
+
+import "leaplist/internal/failpoint" // want "imports internal/failpoint without a failpoint build constraint"
+
+// fpHit leaks the framework into the normal build: no constraint gates
+// this file, so every build links the registry.
+func fpHit(site string) { _ = failpoint.Eval(site) }

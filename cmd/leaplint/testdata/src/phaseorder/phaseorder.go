@@ -129,3 +129,61 @@ func fieldCarryOK(d *domain, c *carrier) error {
 	c.prep = p
 	return nil
 }
+
+// Appending into a field-held slice is the multi-shard coordinator's
+// carry shape: the prepared prefix lives in the carrier until a later
+// publish/abort pass walks it.
+type multiCarrier struct{ preps []*prepared }
+
+func appendCarryOK(d *domain, c *multiCarrier) error {
+	p, err := d.PrepareOps(nil)
+	if err != nil {
+		return err
+	}
+	c.preps = append(c.preps, p)
+	return nil
+}
+
+func appendLocalLeaks(d *domain) error {
+	var preps []*prepared
+	p, err := d.PrepareOps(nil) // want "no Publish and Abort path"
+	if err != nil {
+		return err
+	}
+	preps = append(preps, p)
+	_ = preps
+	return nil
+}
+
+// --- rule 1 over prefix-named coordinator helpers ---
+
+type coordinator struct{ preps []*prepared }
+
+func (c *coordinator) prepareShards(d *domain) error {
+	p, err := d.PrepareOps(nil)
+	if err != nil {
+		return err
+	}
+	c.preps = append(c.preps, p)
+	return nil
+}
+func (c *coordinator) publishShards() {}
+func (c *coordinator) abortPrepared() {}
+
+func (c *coordinator) commit(d *domain) error {
+	if err := c.prepareShards(d); err != nil {
+		c.abortPrepared()
+		return err
+	}
+	c.publishShards()
+	return nil
+}
+
+func (c *coordinator) commitNoOutcome(d *domain) error {
+	return c.prepareShards(d) // want "calls prepare but never publish or abort"
+}
+
+func (c *coordinator) commitDiscards(d *domain) {
+	c.prepareShards(d) // want "prepare result discarded"
+	c.publishShards()
+}

@@ -14,6 +14,13 @@
 //   - intra-branch: debit one account and credit another account of the
 //     SAME branch — one shard, taking the coordination-free fast path.
 //
+// Cross-branch transfers run bounded: CommitContext with a short
+// deadline. A coordinated commit that cannot win every shard in time is
+// cleanly abandoned (ErrTxTimeout — nothing held, nothing published)
+// and the worker degrades gracefully, shedding the transfer to the
+// single-branch fast path instead. Money is conserved either way; the
+// shed count and the STM timeout counter are reported at the end.
+//
 // Each transaction also stages a Get of the debited account to
 // demonstrate read-your-own-writes across the 2PC: the value it reports
 // is the balance after the staged debit, observed atomically at the
@@ -29,10 +36,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"math/rand/v2"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"leaplist"
 )
@@ -43,6 +54,9 @@ const (
 	initialFunds = 100
 	transfers    = 30_000
 	workers      = 4
+	// crossDeadline bounds each cross-branch (two-shard) commit; a miss
+	// sheds the transfer to the single-branch fast path.
+	crossDeadline = 2 * time.Millisecond
 )
 
 func main() {
@@ -108,6 +122,7 @@ func main() {
 	// against the auditors.
 	perWorker := accounts / workers
 	failures := make(chan error, workers)
+	var sheds atomic.Uint64
 	for w := 0; w < workers; w++ {
 		transferWG.Add(1)
 		go func(w int) {
@@ -123,29 +138,59 @@ func main() {
 					continue
 				}
 
-				// Pick the credited key before building the transaction
+				// Pick the credited keys before building the transaction
 				// so a same-account collision never abandons a builder.
-				var toKey uint64
-				if i%2 == 0 {
+				// The intra-branch key doubles as the shed target when a
+				// cross-branch commit misses its deadline.
+				toAcct := loA + r.Uint64N(hiA-loA+1)
+				if toAcct == acct {
+					continue
+				}
+				intraKey := acctKey(from, toAcct)
+				cross := i%2 == 0
+				toKey := intraKey
+				if cross {
 					// Cross-branch: same account, two branches — two
 					// shards, a genuine two-phase commit.
 					to := (from + 1 + r.IntN(branches-1)) % branches
 					toKey = acctKey(to, acct)
-				} else {
-					// Intra-branch: two accounts, one branch — single
-					// shard, the coordination-free fast path.
-					toAcct := loA + r.Uint64N(hiA-loA+1)
-					if toAcct == acct {
-						continue
-					}
-					toKey = acctKey(from, toAcct)
 				}
 				tv, _ := bank.Get(toKey)
 				tx := bank.Txn()
 				tx.Set(fromKey, fv-1)
 				tx.Set(toKey, tv+1)
 				readBack := tx.Get(fromKey)
-				if err := tx.Commit(); err != nil {
+				var err error
+				if cross {
+					// Bounded two-phase commit: if the coordinated path
+					// cannot win both shards within crossDeadline it is
+					// cleanly abandoned — every prepared shard aborted,
+					// balances untouched.
+					ctx, cancel := context.WithTimeout(context.Background(), crossDeadline)
+					err = tx.CommitContext(ctx)
+					cancel()
+					if errors.Is(err, leaplist.ErrTxTimeout) {
+						// Graceful degradation: shed the transfer to the
+						// single-branch fast path. Balances may have moved
+						// while we waited, so re-read both sides.
+						tx.Release()
+						sheds.Add(1)
+						if fv, _ = bank.Get(fromKey); fv == 0 {
+							continue
+						}
+						tv, _ = bank.Get(intraKey)
+						tx = bank.Txn()
+						tx.Set(fromKey, fv-1)
+						tx.Set(intraKey, tv+1)
+						readBack = tx.Get(fromKey)
+						err = tx.Commit()
+					}
+				} else {
+					// Intra-branch: two accounts, one branch — single
+					// shard, the coordination-free fast path.
+					err = tx.Commit()
+				}
+				if err != nil {
 					failures <- err
 					return
 				}
@@ -179,6 +224,8 @@ func main() {
 		transfers, audits, total, total == grandTotal)
 	fmt.Printf("stm (all shards): %d commits, %d aborts (%.2f%%)\n",
 		st.Commits, st.Aborts, 100*st.AbortRate())
+	fmt.Printf("bounded commits: %d cross-branch transfers shed to single-branch (deadline %s), %d timeout aborts counted\n",
+		sheds.Load(), crossDeadline, st.TimeoutAborts)
 	if total != grandTotal {
 		log.Fatal("MONEY WAS CREATED OR DESTROYED")
 	}

@@ -1,0 +1,9 @@
+//go:build !failpoint
+
+package leaplist
+
+// Normal-build failpoint shims: both inline to nothing.
+
+func fpEval(string) error { return nil }
+
+func fpHit(string) {}

@@ -1,0 +1,13 @@
+//go:build failpoint
+
+package leaplist
+
+import "leaplist/internal/failpoint"
+
+// fpEval evaluates a failpoint site whose injected error the caller
+// propagates (the 2PC prepare legs).
+func fpEval(site string) error { return failpoint.Eval(site) }
+
+// fpHit evaluates a failpoint site on a path with no error return
+// (publish/abort legs); armed errors are swallowed.
+func fpHit(site string) { _ = failpoint.Eval(site) }

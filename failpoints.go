@@ -1,0 +1,22 @@
+package leaplist
+
+// Failpoint site names for the Sharded two-phase commit legs. Armed by
+// shard_chaos_test.go under -tags failpoint; no-ops in normal builds
+// (see internal/failpoint).
+const (
+	// fpShardPrepareLeg fires before each ascending per-shard prepare.
+	// Arming it with ActError{After: k, Count: 1} injects a failure at
+	// exactly shard position k, driving the prefix-abort path.
+	fpShardPrepareLeg = "shard/2pc/prepare-leg"
+	// fpShardPublishStartLeg / fpShardPublishAtLeg bracket the two
+	// halves of the coordinated bundled publish (phase A on each shard,
+	// then one shared timestamp, then fill on each shard).
+	fpShardPublishStartLeg = "shard/2pc/publish-start-leg"
+	fpShardPublishAtLeg    = "shard/2pc/publish-at-leg"
+	// fpShardPublishLeg fires before each per-shard publish when
+	// bundles are off (uncoordinated timestamps).
+	fpShardPublishLeg = "shard/2pc/publish-leg"
+	// fpShardAbortLeg fires before each prepared shard's abort in the
+	// reverse-order prefix release.
+	fpShardAbortLeg = "shard/2pc/abort-leg"
+)

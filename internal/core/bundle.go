@@ -217,6 +217,9 @@ func (g *Group[V]) bunPrepend(b *txState[V], n, to *node[V]) {
 // pred-link record on the run's level-0 predecessor, and every run
 // node's repl pointing straight at the run's surviving successor.
 func (g *Group[V]) bunPublishStart(b *txState[V]) {
+	// Pause-safe: nothing is pended yet, so stalling here freezes the
+	// batch before any reader can block on its PENDING records.
+	fpHit(fpBundlePend)
 	for t := 0; t < b.nEnt; t++ {
 		e := b.entries[t]
 		if !e.write {
@@ -275,11 +278,18 @@ func (b *txState[V]) predDying(t int) bool {
 // the pointer swings of the publish (readers spin on the pending records
 // and died words until here) and before the batch's scratch is released.
 func (g *Group[V]) bunFillAll(b *txState[V], ts uint64) {
+	// Yield/error actions only at this site and the death-fold one below:
+	// the batch's PENDING records are already on the live structure here,
+	// and timestamped readers spin until the fill stamps them — an
+	// ActPause would turn that bounded spin into a deadlock. (Use the
+	// publish sites, before phase A, to stall a commit safely.)
+	fpHit(fpBundleFill)
 	for t := 0; t < b.nEnt; t++ {
 		e := b.entries[t]
 		if !e.write {
 			continue
 		}
+		fpHit(fpBundleDeathFold)
 		if e.runEnd != nil {
 			for x := e.n; ; x = x.next[0].PeekPtr() {
 				x.died.Store(ts)

@@ -1,0 +1,345 @@
+//go:build failpoint
+
+package core
+
+// Chaos suite for the core commit pipeline, built only with -tags
+// failpoint. Each scenario arms named sites (see failpoints.go) and
+// proves a pipeline-level invariant holds under the injected fault:
+// errors surface without corrupting state, aborts restore the exact
+// pre-state and leak no pooled pieces, a stalled publish leaves the
+// frozen cut readable, and a deliberately broken abort (the mutation
+// switch) is caught — evidence the suite's oracles have teeth.
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"leaplist/internal/failpoint"
+)
+
+// variantSites returns the prepare/publish/abort site names of v.
+func variantSites(v Variant) (prepare, publish, abort string) {
+	switch v {
+	case VariantLT:
+		return fpLTPrepare, fpLTPublish, fpLTAbort
+	case VariantCOP:
+		return fpCOPPrepare, fpCOPPublish, fpCOPAbort
+	case VariantTM:
+		return fpTMPrepare, fpTMPublish, fpTMAbort
+	case VariantRW:
+		return fpRWPrepare, fpRWPublish, fpRWAbort
+	}
+	panic("unknown variant")
+}
+
+// collectAll snapshots a list's full contents for exact-state oracles.
+func collectAll(l *List[uint64]) []KV[uint64] {
+	return l.CollectRange(0, MaxKey)
+}
+
+func sameKVs(a, b []KV[uint64]) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// waitPausedAt polls until n goroutines are blocked at the site.
+func waitPausedAt(t *testing.T, site string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for failpoint.PausedAt(site) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("no goroutine paused at %s within 5s", site)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestChaosInjectedPrepareError proves an injected prepare failure on
+// every variant surfaces to the caller, leaves the list exactly in its
+// pre-batch state with the footprint fully unlocked, and that the same
+// batch commits cleanly once the site is disarmed.
+func TestChaosInjectedPrepareError(t *testing.T) {
+	errBoom := errors.New("chaos: injected prepare fault")
+	forEachVariant(t, func(t *testing.T, g *Group[uint64]) {
+		failpoint.Reset()
+		t.Cleanup(failpoint.Reset)
+		l := loadSixteen(t, g)
+		before := collectAll(l)
+		prepare, _, _ := variantSites(g.cfg.Variant)
+		failpoint.Arm(prepare, failpoint.Spec{
+			Action: failpoint.ActError, Err: errBoom, Count: 1,
+		})
+		ops := []Op[uint64]{
+			{List: l, Kind: OpDeleteRange, Key: 4, KeyHi: 11},
+			{List: l, Kind: OpSet, Key: 100, Val: 100},
+		}
+		if err := g.CommitOps(ops); !errors.Is(err, errBoom) {
+			t.Fatalf("CommitOps under injection = %v, want %v", err, errBoom)
+		}
+		if got := collectAll(l); !sameKVs(got, before) {
+			t.Fatalf("injected prepare error changed state: %v, want %v", got, before)
+		}
+		mustCheck(t, l)
+		// The failed prepare held nothing: the identical batch commits.
+		failpoint.Disarm(prepare)
+		if err := g.CommitOps(ops); err != nil {
+			t.Fatalf("CommitOps after disarm: %v", err)
+		}
+		if _, ok := l.Lookup(7); ok {
+			t.Fatal("key 7 survived the re-committed DeleteRange")
+		}
+		mustCheck(t, l)
+	})
+}
+
+// TestChaosStalledPublishFrozenCut pauses a commit at the publish
+// boundary — prepared, invisible — and proves a snapshot drawn during
+// the stall is the exact pre-batch cut, stays that cut after the
+// publish completes, and that the new state appears under a fresh
+// timestamp. VariantRW is exempt: its paused publish still holds the
+// list write locks, so only the timestamped chain (which the paused
+// batch has not touched yet) would be readable, and the variant's
+// all-or-none behavior is covered by the facade chaos suite.
+func TestChaosStalledPublishFrozenCut(t *testing.T) {
+	for _, v := range []Variant{VariantLT, VariantCOP, VariantTM} {
+		t.Run(v.String(), func(t *testing.T) {
+			failpoint.Reset()
+			t.Cleanup(failpoint.Reset)
+			g := newTestGroup(t, v)
+			l := loadSixteen(t, g)
+			before := collectAll(l)
+			_, publish, _ := variantSites(v)
+			failpoint.Arm(publish, failpoint.Spec{
+				Action: failpoint.ActPause, Count: 1,
+			})
+			done := make(chan error, 1)
+			go func() {
+				done <- g.CommitOps([]Op[uint64]{
+					{List: l, Kind: OpSet, Key: 5, Val: 500},
+					{List: l, Kind: OpSet, Key: 100, Val: 100},
+				})
+			}()
+			waitPausedAt(t, publish, 1)
+
+			// The batch is prepared but invisible: a snapshot timestamp
+			// drawn now must resolve to the exact pre-batch cut.
+			pin := g.PinReads()
+			s := g.Now()
+			frozen := pin.CollectRangeIntoAsOf(l, 0, MaxKey, s, nil)
+			if !sameKVs(frozen, before) {
+				t.Errorf("frozen cut during stalled publish = %v, want %v", frozen, before)
+			}
+			// (Naked lookups of replaced nodes legitimately wait out the
+			// publish; disjoint-region availability during a held prepare
+			// is covered by TestPreparedWindowConcurrentReaders. The
+			// timestamped path above never waits: it reads through marks
+			// and dead nodes by construction.)
+
+			failpoint.Release(publish)
+			if err := <-done; err != nil {
+				t.Fatalf("stalled CommitOps: %v", err)
+			}
+			// The old cut is immutable: re-reading at s under the same pin
+			// still yields the pre-batch state, while current reads see
+			// the published batch.
+			frozen = pin.CollectRangeIntoAsOf(l, 0, MaxKey, s, frozen[:0])
+			if !sameKVs(frozen, before) {
+				t.Errorf("cut at %d changed after publish: %v, want %v", s, frozen, before)
+			}
+			pin.Unpin()
+			if got, ok := l.Lookup(5); !ok || got != 500 {
+				t.Fatalf("Lookup(5) after release = (%d, %v), want (500, true)", got, ok)
+			}
+			if got, ok := l.Lookup(100); !ok || got != 100 {
+				t.Fatalf("Lookup(100) after release = (%d, %v), want (100, true)", got, ok)
+			}
+			mustCheck(t, l)
+		})
+	}
+}
+
+// TestChaosAbortUnderYieldRestoresAndRecycles aborts a structural batch
+// while yield storms stretch the abort and bundle windows, then checks
+// the exact-undo and piece-recycling oracles from the untagged suite
+// still hold: nothing about scheduling pressure may change what abort
+// restores or leaks.
+func TestChaosAbortUnderYieldRestoresAndRecycles(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, g *Group[uint64]) {
+		failpoint.Reset()
+		t.Cleanup(failpoint.Reset)
+		_, _, abort := variantSites(g.cfg.Variant)
+		for _, site := range []string{abort, fpBundlePend, fpBundleFill, fpBundleDeathFold} {
+			failpoint.Arm(site, failpoint.Spec{Action: failpoint.ActYield, Yield: 4})
+		}
+		l := loadSixteen(t, g)
+		before := collectAll(l)
+		ops := []Op[uint64]{
+			{List: l, Kind: OpDeleteRange, Key: 4, KeyHi: 11},
+			{List: l, Kind: OpSet, Key: 0, Val: 42},
+			{List: l, Kind: OpSet, Key: 20, Val: 20},
+		}
+		p, err := g.PrepareOps(ops, PrepareOpts{})
+		if err != nil {
+			t.Fatalf("PrepareOps: %v", err)
+		}
+		donated := map[*node[uint64]]bool{}
+		for _, e := range p.b.entries[:p.b.nEnt] {
+			for _, piece := range e.pieces {
+				donated[piece] = true
+			}
+		}
+		if len(donated) == 0 {
+			t.Fatal("prepare built no pieces")
+		}
+		p.Abort()
+		if failpoint.Hits(abort) == 0 {
+			t.Fatalf("abort site %s never evaluated", abort)
+		}
+		if got := collectAll(l); !sameKVs(got, before) {
+			t.Fatalf("abort under yield changed state: %v, want %v", got, before)
+		}
+		mustCheck(t, l)
+		// Under the race detector sync.Pool drops a random fraction of
+		// Puts, so the exact recycler count only holds in a normal build.
+		if !raceEnabled {
+			found := 0
+			for i := 0; i < 2*len(donated); i++ {
+				n, _ := g.shellPool.Get().(*node[uint64])
+				if n == nil {
+					break
+				}
+				if donated[n] {
+					found++
+				}
+			}
+			if found != len(donated) {
+				t.Fatalf("recycler holds %d of %d aborted pieces", found, len(donated))
+			}
+		}
+	})
+}
+
+// TestChaosYieldStormCoverage arms every core pipeline site plus the
+// epoch sites with yield storms and drives concurrent mixed load plus
+// explicit prepare/abort cycles over every variant, then asserts the
+// storm actually evaluated at least 12 distinct sites — the floor that
+// keeps the suite honest about exercising the whole pipeline rather
+// than a corner of it.
+func TestChaosYieldStormCoverage(t *testing.T) {
+	failpoint.Reset()
+	t.Cleanup(failpoint.Reset)
+	shared := []string{
+		fpBundlePend, fpBundleFill, fpBundleDeathFold, fpIndexPublish,
+		"epoch/advance", "epoch/retire",
+	}
+	var tracked []string
+	tracked = append(tracked, shared...)
+	for _, site := range shared {
+		failpoint.Arm(site, failpoint.Spec{Action: failpoint.ActYield, Yield: 2})
+	}
+	for _, v := range allVariants {
+		prepare, publish, abort := variantSites(v)
+		tracked = append(tracked, prepare, publish, abort)
+		for _, site := range []string{prepare, publish, abort} {
+			failpoint.Arm(site, failpoint.Spec{Action: failpoint.ActYield, Yield: 2})
+		}
+		g := newTestGroup(t, v)
+		l := loadSixteen(t, g)
+		var wg sync.WaitGroup
+		var fails atomic.Uint64
+		iters := 120
+		if testing.Short() {
+			iters = 30
+		}
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(seed uint64) {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					k := (seed*131 + uint64(i)*7) % 64
+					switch i % 3 {
+					case 0:
+						if err := g.CommitOps([]Op[uint64]{
+							{List: l, Kind: OpSet, Key: k, Val: k + 1},
+							{List: l, Kind: OpDelete, Key: (k + 32) % 64},
+						}); err != nil {
+							fails.Add(1)
+						}
+					case 1:
+						p, err := g.PrepareOps([]Op[uint64]{
+							{List: l, Kind: OpSet, Key: k + 100, Val: k},
+						}, PrepareOpts{MaxAttempts: 1 << 16})
+						if err != nil {
+							// A bounded prepare may legitimately conflict
+							// under the storm; anything else is a failure.
+							if !errors.Is(err, ErrPrepareConflict) {
+								fails.Add(1)
+							}
+							continue
+						}
+						p.Abort()
+					case 2:
+						l.Lookup(k)
+						l.CollectRange(k, k+8)
+					}
+				}
+			}(uint64(w))
+		}
+		wg.Wait()
+		if n := fails.Load(); n > 0 {
+			t.Fatalf("%s: %d operations failed under pure yield injection (no errors were armed)", v, n)
+		}
+		mustCheck(t, l)
+	}
+	covered := 0
+	for _, site := range tracked {
+		if failpoint.Hits(site) > 0 {
+			covered++
+		} else {
+			t.Logf("site %s: no hits", site)
+		}
+	}
+	if covered < 12 {
+		t.Fatalf("yield storm evaluated %d distinct sites, want >= 12 (of %d tracked)", covered, len(tracked))
+	}
+}
+
+// TestChaosMutationBrokenAbortCaught arms the mutation switch that makes
+// the LT abort skip its revive pass — a deliberately broken undo — and
+// proves the suite's oracle catches the damage: the aborted footprint's
+// nodes stay dead, which CheckInvariants must report. If this test ever
+// finds the invariant checker silent, the chaos oracles have lost their
+// teeth.
+func TestChaosMutationBrokenAbortCaught(t *testing.T) {
+	failpoint.Reset()
+	t.Cleanup(failpoint.Reset)
+	g := newTestGroup(t, VariantLT)
+	l := loadSixteen(t, g)
+	p, err := g.PrepareOps([]Op[uint64]{
+		{List: l, Kind: OpDeleteRange, Key: 4, KeyHi: 11},
+		{List: l, Kind: OpDelete, Key: 15},
+	}, PrepareOpts{})
+	if err != nil {
+		t.Fatalf("PrepareOps: %v", err)
+	}
+	failpoint.Arm(fpLTAbortSkipRevive, failpoint.Spec{
+		Action: failpoint.ActError, Count: 1,
+	})
+	p.Abort()
+	if err := l.CheckInvariants(); err == nil {
+		t.Fatal("CheckInvariants accepted a broken abort (revive pass skipped): the mutation went undetected")
+	} else if got := err.Error(); !strings.Contains(got, "not live") {
+		t.Fatalf("CheckInvariants = %q, want a dead-node finding", got)
+	}
+}

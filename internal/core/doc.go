@@ -453,8 +453,44 @@
 //     the fill pass); and node.born is stored only by the fill pass and
 //     the shell lifecycle. Every other reader goes through the
 //     timestamp-validating bunNextAsOf/bunRecoverAsOf helpers.
+//   - failsite: any file importing internal/failpoint must carry a
+//     failpoint build constraint — injection shims live in paired
+//     //go:build failpoint / !failpoint files so the normal build's
+//     fpEval/fpHit compile to nothing and pipeline code never imports
+//     the registry directly.
 //
 // Deliberate exceptions are annotated in place with
 // "//lint:allow <analyzer> <reason>"; the build gates on zero
 // unexplained findings.
+//
+// # Failure model, deadlines, and fault injection
+//
+// The commit pipeline's safety story is phrased around one rule: a
+// transaction that does not publish must leave the structure exactly as
+// it found it. Prepare can fail (conflict, cancellation, injected
+// fault) and abort must then restore every mark, revive every
+// transactionally-deleted node and recycle every never-published piece;
+// publish cannot fail — once the first publish step of a batch runs,
+// the only legal continuation is to finish.
+//
+// Cancellation is a first-class prepare outcome. PrepareOpts carries an
+// optional Done channel and Deadline; each variant's prepare checks
+// them at the top of its retry loop and gives up with ErrCanceled after
+// a clean abort of anything partially acquired (under the RW variant,
+// which blocks on locks rather than retrying, the check runs before
+// any lock is taken). MaxAttempts likewise bounds the conflict-retry
+// loop, surfacing ErrPrepareConflict when exhausted. Both paths are
+// counted in the STM stats (TimeoutAborts, PrepareConflicts).
+//
+// The failpoint build tag (-tags failpoint) compiles in the named
+// injection sites threaded through the pipeline — prepare, publish and
+// abort of every variant committer, the bundle pend/fill/death-fold
+// steps, the hash-index publish hook and the epoch advance/retire paths
+// (site names and placement rules are in failpoints.go). In the normal
+// build the per-package fpEval/fpHit shims are empty functions the
+// compiler erases. chaos_test.go arms the sites to prove the rule
+// above: injected prepare errors restore pre-state exactly, a stalled
+// publish cannot tear a timestamped snapshot, yield storms at every
+// site perturb nothing, and a deliberately broken abort (the
+// abort-skip-revive mutation switch) is caught by CheckInvariants.
 package core

@@ -1,0 +1,10 @@
+//go:build !failpoint
+
+package core
+
+// Normal-build failpoint shims: both inline to nothing, so instrumented
+// pipeline sites cost zero. See internal/failpoint.
+
+func fpEval(string) error { return nil }
+
+func fpHit(string) {}

@@ -1,0 +1,14 @@
+//go:build failpoint
+
+package core
+
+import "leaplist/internal/failpoint"
+
+// fpEval evaluates a failpoint site whose injected error the caller
+// propagates (prepare-style sites).
+func fpEval(site string) error { return failpoint.Eval(site) }
+
+// fpHit evaluates a failpoint site on a path with no error return
+// (publish/abort-style sites): pause, panic, and yield actions still
+// apply; an armed error is swallowed.
+func fpHit(site string) { _ = failpoint.Eval(site) }

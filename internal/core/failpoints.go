@@ -1,0 +1,46 @@
+package core
+
+// Failpoint site names for the core commit pipeline. Each constant
+// marks one fpEval/fpHit call site; the chaos suite (chaos_test.go,
+// built with -tags failpoint) arms them by name. Normal builds compile
+// every site to nothing — see internal/failpoint.
+//
+// Naming: core/<variant-or-subsystem>/<phase>.
+const (
+	// Per-variant phase boundaries. prepare sites sit at the top of the
+	// retry loop (nothing held), so an injected error surfaces before
+	// any locks/marks are taken on that attempt; publish sites sit
+	// before phase A (bunPublishStart), the last point where the batch
+	// is still invisible; abort sites sit at abort entry.
+	fpLTPrepare = "core/lt/prepare"
+	fpLTPublish = "core/lt/publish"
+	fpLTAbort   = "core/lt/abort"
+	// fpLTAbortSkipRevive is the mutation site: arming it with ActError
+	// makes the LT abort skip reviving the live flags it cleared — a
+	// deliberately broken undo the chaos suite must catch.
+	fpLTAbortSkipRevive = "core/lt/abort-skip-revive"
+
+	fpCOPPrepare = "core/cop/prepare"
+	fpCOPPublish = "core/cop/publish"
+	fpCOPAbort   = "core/cop/abort"
+
+	fpTMPrepare = "core/tm/prepare"
+	fpTMPublish = "core/tm/publish"
+	fpTMAbort   = "core/tm/abort"
+
+	fpRWPrepare = "core/rw/prepare"
+	fpRWPublish = "core/rw/publish"
+	fpRWAbort   = "core/rw/abort"
+
+	// Bundle protocol: the pend→fill window. fpBundlePend fires before
+	// phase A prepends the PENDING records; fpBundleFill fires before
+	// the fill pass stamps them (Yield/error only — a Pause here would
+	// deadlock readers spinning on PENDING, see bunFillAll); and
+	// fpBundleDeathFold fires per write entry as its death words fold.
+	fpBundlePend      = "core/bundle/pend"
+	fpBundleFill      = "core/bundle/fill"
+	fpBundleDeathFold = "core/bundle/death-fold"
+
+	// Hash-index maintenance at publish.
+	fpIndexPublish = "core/index/publish"
+)

@@ -339,6 +339,10 @@ func (g *Group[V]) indexPublish(ops []Op[V], b *txState[V]) {
 	if !g.hashIndex() {
 		return
 	}
+	// The batch is already published (swings done, marks/locks released);
+	// yields here interleave index maintenance with probes that must
+	// tolerate the not-yet-updated index via lazy repair.
+	fpHit(fpIndexPublish)
 	era := b.part.Era()
 	for t := 0; t < b.nEnt; t++ {
 		e := b.entries[t]

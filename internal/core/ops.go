@@ -1,6 +1,9 @@
 package core
 
-import "errors"
+import (
+	"errors"
+	"time"
+)
 
 // ErrPrepareConflict reports that a bounded Prepare (PrepareOpts.
 // MaxAttempts > 0) exhausted its conflict-retry budget without getting
@@ -8,6 +11,12 @@ import "errors"
 // Two-phase coordinators use this to abort an already-prepared prefix
 // instead of spinning against a competitor that holds later shards.
 var ErrPrepareConflict = errors.New("core: prepare exhausted its conflict budget")
+
+// ErrCanceled reports that a prepare observed its PrepareOpts.Done
+// channel closed or its Deadline passed before succeeding. Like
+// ErrPrepareConflict, nothing is held and the batch had no effect; the
+// root facade maps it to leaplist.ErrTxTimeout.
+var ErrCanceled = errors.New("core: prepare canceled")
 
 // ErrNoBundles reports a timestamped read against a group built with
 // NoBundles: without versioned links there is no as-of chain to resolve.
@@ -35,6 +44,38 @@ type PrepareOpts struct {
 	// blocking on list locks in a global acquisition order rather than
 	// by optimistic retry, so the bound does not apply to it.
 	MaxAttempts int
+	// Done, when non-nil, cancels the prepare: each conflict-retry
+	// iteration checks it (closed ⇒ ErrCanceled, nothing held). Wire a
+	// context's Done() here for bounded-time commits. VariantRW checks
+	// only on entry — once it starts blocking on the list locks in
+	// acquisition order there is no safe preemption point.
+	Done <-chan struct{}
+	// Deadline, when nonzero, is an absolute wall-clock bound checked
+	// alongside Done; past it prepare fails with ErrCanceled.
+	Deadline time.Time
+}
+
+// bounded reports whether this prepare may give up (and so should run
+// with a bounded naked-search spin budget rather than spinning forever
+// against a stalled competitor).
+func (o *PrepareOpts) bounded() bool {
+	return o.MaxAttempts > 0 || o.Done != nil || !o.Deadline.IsZero()
+}
+
+// cancelErr returns ErrCanceled once the opts' Done channel is closed
+// or the Deadline has passed, nil otherwise.
+func (o *PrepareOpts) cancelErr() error {
+	if o.Done != nil {
+		select {
+		case <-o.Done:
+			return ErrCanceled
+		default:
+		}
+	}
+	if !o.Deadline.IsZero() && !time.Now().Before(o.Deadline) {
+		return ErrCanceled
+	}
+	return nil
 }
 
 // committer is the three-phase commit state machine every variant
@@ -87,6 +128,16 @@ type committer[V any] interface {
 // CommitOps is exactly Prepare followed by Publish with no gap: the
 // trivial composition of the three-phase pipeline PrepareOps exposes.
 func (g *Group[V]) CommitOps(ops []Op[V]) error {
+	return g.CommitOpsOpt(ops, PrepareOpts{})
+}
+
+// CommitOpsOpt is CommitOps with explicit prepare options: a bounded or
+// cancelable single-group commit. With a Done channel or Deadline set,
+// a prepare that cannot win before the bound fails with ErrCanceled
+// (with MaxAttempts, ErrPrepareConflict) and the batch had no effect —
+// the structure is exactly as before the call. LockReads is pointless
+// here (publish follows prepare immediately) but harmless.
+func (g *Group[V]) CommitOpsOpt(ops []Op[V], opt PrepareOpts) error {
 	if err := g.checkOps(ops); err != nil {
 		return err
 	}
@@ -103,9 +154,11 @@ func (g *Group[V]) CommitOps(ops []Op[V]) error {
 	b := g.getBatch()
 	defer g.putBatch(b)
 	b.sortOps(ops)
-	if err := g.commit.prepare(ops, b, PrepareOpts{}); err != nil {
-		// Unreachable with unbounded attempts; kept so a future bug
-		// surfaces as an error, not a corrupted structure.
+	if err := g.commit.prepare(ops, b, opt); err != nil {
+		// Reachable only under a bounded/cancelable opt (ErrPrepareConflict,
+		// ErrCanceled) or an armed failpoint; with the zero opt of
+		// CommitOps, prepare retries until success and this branch exists
+		// so a future bug surfaces as an error, not a corrupted structure.
 		return err
 	}
 	g.commit.publish(ops, b)

@@ -40,12 +40,22 @@ type copCommitter[V any] struct{ g *Group[V] }
 func (c copCommitter[V]) prepare(ops []Op[V], b *txState[V], opt PrepareOpts) error {
 	g := c.g
 	b.spinBudget = 0
-	if opt.MaxAttempts > 0 {
+	if opt.bounded() {
 		b.spinBudget = boundedSpinBudget
 	}
 	for attempt := 0; ; attempt++ {
+		// Loop top holds nothing: every exit here (cancel, budget, armed
+		// failpoint) leaves the structure untouched by this attempt.
+		if err := opt.cancelErr(); err != nil {
+			g.stm.NoteTimeoutAbort()
+			return err
+		}
 		if opt.MaxAttempts > 0 && attempt >= opt.MaxAttempts {
+			g.stm.NotePrepareConflict()
 			return ErrPrepareConflict
+		}
+		if err := fpEval(fpCOPPrepare); err != nil {
+			return err
 		}
 		if !g.planNaked(ops, b) {
 			g.releasePlan(b) // recycle the pieces the dead plan already built
@@ -69,6 +79,9 @@ func (c copCommitter[V]) prepare(ops []Op[V], b *txState[V], opt PrepareOpts) er
 			return nil
 		})
 		if err == nil {
+			if attempt > 0 {
+				g.stm.NoteRetries(uint64(attempt))
+			}
 			return nil
 		}
 		// The failed prepare published nothing and holds nothing: recycle
@@ -81,6 +94,9 @@ func (c copCommitter[V]) prepare(ops []Op[V], b *txState[V], opt PrepareOpts) er
 
 func (c copCommitter[V]) publish(ops []Op[V], b *txState[V]) {
 	g := c.g
+	// Last point where the batch is still invisible (the prepared write
+	// locks are held but nothing is published).
+	fpHit(fpCOPPublish)
 	if g.bundles() {
 		// Bundle phase A under the prepared write locks: any competitor
 		// touching these links conflicts on the locked slots (or the dying
@@ -126,6 +142,7 @@ func (c copCommitter[V]) publishAt(ops []Op[V], b *txState[V], ts uint64) {
 }
 
 func (c copCommitter[V]) abort(ops []Op[V], b *txState[V]) {
+	fpHit(fpCOPAbort)
 	b.prep.Abort()
 	c.g.releasePlan(b)
 }

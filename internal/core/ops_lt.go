@@ -52,12 +52,22 @@ const boundedSpinBudget = 256
 func (c ltCommitter[V]) prepare(ops []Op[V], b *txState[V], opt PrepareOpts) error {
 	g := c.g
 	b.spinBudget = 0
-	if opt.MaxAttempts > 0 {
+	if opt.bounded() {
 		b.spinBudget = boundedSpinBudget
 	}
 	for attempt := 0; ; attempt++ {
+		// Loop top holds nothing: every exit here (cancel, budget, armed
+		// failpoint) leaves the structure untouched by this attempt.
+		if err := opt.cancelErr(); err != nil {
+			g.stm.NoteTimeoutAbort()
+			return err
+		}
 		if opt.MaxAttempts > 0 && attempt >= opt.MaxAttempts {
+			g.stm.NotePrepareConflict()
 			return ErrPrepareConflict
+		}
+		if err := fpEval(fpLTPrepare); err != nil {
+			return err
 		}
 		if !g.planNaked(ops, b) {
 			g.releasePlan(b) // recycle the pieces the dead plan already built
@@ -109,6 +119,9 @@ func (c ltCommitter[V]) prepare(ops []Op[V], b *txState[V], opt PrepareOpts) err
 			return nil
 		})
 		if err == nil {
+			if attempt > 0 {
+				g.stm.NoteRetries(uint64(attempt))
+			}
 			return nil
 		}
 		// Only conflicts can surface here; restart from setup, recycling
@@ -121,6 +134,10 @@ func (c ltCommitter[V]) prepare(ops []Op[V], b *txState[V], opt PrepareOpts) err
 
 func (c ltCommitter[V]) publish(ops []Op[V], b *txState[V]) {
 	g := c.g
+	// Last point where the batch is still invisible: an ActPause here
+	// freezes a fully prepared, unpublished commit (the stalled-publish
+	// chaos scenario); readers are unaffected until phase A pends.
+	fpHit(fpLTPublish)
 	var ts uint64
 	if g.bundles() {
 		// Bundle phase A: pending pred-link and death records, prepended
@@ -180,6 +197,7 @@ func (c ltCommitter[V]) publishAt(ops []Op[V], b *txState[V], ts uint64) {
 
 func (c ltCommitter[V]) abort(ops []Op[V], b *txState[V]) {
 	g := c.g
+	fpHit(fpLTAbort)
 	// Revive the nodes the locking transaction killed, then clear every
 	// mark. While any mark is held no competitor can lock the footprint,
 	// and transactional readers that observed a dead node or a marked
@@ -188,6 +206,21 @@ func (c ltCommitter[V]) abort(ops []Op[V], b *txState[V]) {
 	// pre-prepare self. The direct stores are safe for the same reason
 	// the release postfix's are: every cell written is covered by a mark
 	// this prepare still holds.
+	//
+	// The fpEval gate below is the chaos suite's mutation switch: arming
+	// core/lt/abort-skip-revive with an error makes this abort skip the
+	// revive loop — a deliberately broken undo the suite must detect.
+	if fpEval(fpLTAbortSkipRevive) == nil {
+		c.abortRevive(b)
+	}
+	for _, s := range b.marked {
+		s.DirectStoreTag(stm.TagNone)
+	}
+	g.releasePlan(b)
+}
+
+// abortRevive restores the live flags the locking transaction cleared.
+func (c ltCommitter[V]) abortRevive(b *txState[V]) {
 	for t := 0; t < b.nEnt; t++ {
 		e := b.entries[t]
 		if !e.write {
@@ -209,10 +242,6 @@ func (c ltCommitter[V]) abort(ops []Op[V], b *txState[V]) {
 			e.old1.live.DirectStore(1)
 		}
 	}
-	for _, s := range b.marked {
-		s.DirectStoreTag(stm.TagNone)
-	}
-	g.releasePlan(b)
 }
 
 // lockEntryLT acquires the locks for one write entry inside the Locking

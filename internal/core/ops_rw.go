@@ -21,8 +21,26 @@ package core
 // rwCommitter drives the generalized batch under the lists' rw-locks.
 type rwCommitter[V any] struct{ g *Group[V] }
 
+// prepare blocks on the list locks and cannot fail after acquiring
+// them; its only error returns (cancellation, fault injection) fire
+// before any lock is taken or plan built, so there is nothing to
+// release on those paths.
+//
+//lint:allow phaseorder error returns precede lock acquisition and planning; no plan exists to release
 func (c rwCommitter[V]) prepare(ops []Op[V], b *txState[V], opt PrepareOpts) error {
 	g := c.g
+	// RW prepares by blocking on the list locks, so cancellation is
+	// checked only here at entry (nothing is held yet): once the ordered
+	// acquisition starts there is no safe preemption point, and prepare
+	// cannot conflict afterwards. A deadline can therefore overshoot by
+	// one lock convoy — bounded by competitors' O(swings) hold times.
+	if err := opt.cancelErr(); err != nil {
+		g.stm.NoteTimeoutAbort()
+		return err
+	}
+	if err := fpEval(fpRWPrepare); err != nil {
+		return err
+	}
 	// An all-read batch (Gets and GetRanges: a linearizable multi-key,
 	// multi-interval read) runs under the read locks, so read-only
 	// transactions run concurrently with readers.
@@ -66,6 +84,11 @@ func (c rwCommitter[V]) prepare(ops []Op[V], b *txState[V], opt PrepareOpts) err
 
 func (c rwCommitter[V]) publish(ops []Op[V], b *txState[V]) {
 	g := c.g
+	// Last point where the batch is still invisible. An ActPause here
+	// stalls the publish with the list write locks held: lock-based
+	// readers block (unlike LT/COP/TM, whose readers run on), which is
+	// exactly this variant's failure surface.
+	fpHit(fpRWPublish)
 	// As in prepare: never strand the list locks on a panic.
 	unlocked := false
 	defer func() {
@@ -165,6 +188,7 @@ func (c rwCommitter[V]) install(b *txState[V]) {
 }
 
 func (c rwCommitter[V]) abort(ops []Op[V], b *txState[V]) {
+	fpHit(fpRWAbort)
 	// Nothing was installed and the locks excluded every observer:
 	// recycling the pieces and unlocking restores the pre-prepare world.
 	c.g.releasePlan(b)

@@ -27,12 +27,22 @@ type tmCommitter[V any] struct{ g *Group[V] }
 func (c tmCommitter[V]) prepare(ops []Op[V], b *txState[V], opt PrepareOpts) error {
 	g := c.g
 	for attempt := 0; ; attempt++ {
-		if opt.MaxAttempts > 0 && attempt >= opt.MaxAttempts {
-			// The last failed attempt's pieces are still staged on the
-			// entries; recycle them before giving the batch up, exactly
-			// like the per-iteration release below.
+		// Exit paths here must first recycle the last failed attempt's
+		// pieces, still staged on the entries — exactly like the
+		// per-iteration release below.
+		if err := opt.cancelErr(); err != nil {
 			g.releasePlan(b)
+			g.stm.NoteTimeoutAbort()
+			return err
+		}
+		if opt.MaxAttempts > 0 && attempt >= opt.MaxAttempts {
+			g.releasePlan(b)
+			g.stm.NotePrepareConflict()
 			return ErrPrepareConflict
+		}
+		if err := fpEval(fpTMPrepare); err != nil {
+			g.releasePlan(b)
+			return err
 		}
 		// Every attempt rebuilds its plan from freshly read state
 		// (planGroups resets the entry count). A retry first recycles the
@@ -55,6 +65,9 @@ func (c tmCommitter[V]) prepare(ops []Op[V], b *txState[V], opt PrepareOpts) err
 				})
 		})
 		if err == nil {
+			if attempt > 0 {
+				g.stm.NoteRetries(uint64(attempt))
+			}
 			return nil
 		}
 		if !stm.IsConflict(err) {
@@ -68,6 +81,9 @@ func (c tmCommitter[V]) prepare(ops []Op[V], b *txState[V], opt PrepareOpts) err
 
 func (c tmCommitter[V]) publish(ops []Op[V], b *txState[V]) {
 	g := c.g
+	// Last point where the batch is still invisible (write locks held,
+	// nothing published).
+	fpHit(fpTMPublish)
 	if g.bundles() {
 		// Bundle phase A under the prepared write locks, as in COP. A TM
 		// entry's pa[0] can be an earlier entry's still-private piece (the
@@ -108,6 +124,7 @@ func (c tmCommitter[V]) publishAt(ops []Op[V], b *txState[V], ts uint64) {
 }
 
 func (c tmCommitter[V]) abort(ops []Op[V], b *txState[V]) {
+	fpHit(fpTMAbort)
 	b.prep.Abort()
 	c.g.releasePlan(b)
 }

@@ -195,6 +195,7 @@ func (p *Participant) Era() uint64 {
 // epoch advance is attempted. fn must not be nil (use Collector.Retire
 // for accounting-only retirement).
 func (p *Participant) Retire(obj any, fn func(any)) {
+	fpHit(fpRetire)
 	e := p.c.epoch.Load()
 	b := int(e % buckets)
 	if p.localEpoch[b] != e {
@@ -262,6 +263,7 @@ func (c *Collector) Retire(fn func()) {
 // lock (likely attempting the same advance), give up immediately rather
 // than serialize the hot retirement path behind a mutex convoy.
 func (c *Collector) tryAdvance() {
+	fpHit(fpAdvance)
 	if !c.mu.TryLock() {
 		return
 	}

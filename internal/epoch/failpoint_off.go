@@ -1,0 +1,6 @@
+//go:build !failpoint
+
+package epoch
+
+// Normal-build failpoint shim: inlines to nothing.
+func fpHit(string) {}

@@ -1,0 +1,9 @@
+//go:build failpoint
+
+package epoch
+
+import "leaplist/internal/failpoint"
+
+// fpHit evaluates a failpoint site on a path with no error return;
+// armed errors are swallowed (pause/panic/yield still apply).
+func fpHit(site string) { _ = failpoint.Eval(site) }

@@ -1,0 +1,12 @@
+package epoch
+
+// Failpoint site names for the reclamation layer. Armed by the chaos
+// suite under -tags failpoint; no-ops otherwise (see internal/failpoint).
+const (
+	// fpAdvance fires at Collector.tryAdvance entry, before the TryLock:
+	// yields here widen the window where retirement outpaces the scan.
+	fpAdvance = "epoch/advance"
+	// fpRetire fires at Participant.Retire entry: yields here interleave
+	// retirement with concurrent pin/unpin and advancement.
+	fpRetire = "epoch/retire"
+)

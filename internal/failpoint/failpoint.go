@@ -1,0 +1,253 @@
+//go:build failpoint
+
+package failpoint
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Enabled reports whether this build links the live registry. Tests use
+// it to skip suites that need injection when built without the tag.
+const Enabled = true
+
+// site is one named injection point's registry entry.
+type site struct {
+	hits    uint64 // total Eval calls, armed or not
+	armed   bool
+	spec    Spec
+	seen    uint64        // Eval calls since Arm (for Spec.After)
+	fired   uint64        // action firings since Arm (for Spec.Count)
+	pause   chan struct{} // ActPause: Eval blocks until closed
+	waiting int           // goroutines currently blocked in pause
+}
+
+var (
+	mu    sync.Mutex
+	sites = map[string]*site{}
+)
+
+func get(name string) *site {
+	s := sites[name]
+	if s == nil {
+		s = &site{}
+		sites[name] = s
+	}
+	return s
+}
+
+// Eval is the per-site hook the pipeline shims call. It always counts
+// the hit; if the site is armed and its After/Count window admits this
+// evaluation, the armed action fires. The returned error is non-nil
+// only for ActError.
+func Eval(name string) error {
+	mu.Lock()
+	s := get(name)
+	s.hits++
+	if !s.armed {
+		mu.Unlock()
+		return nil
+	}
+	s.seen++
+	if s.seen <= s.spec.After ||
+		(s.spec.Count > 0 && s.fired >= s.spec.Count) {
+		mu.Unlock()
+		return nil
+	}
+	s.fired++
+	spec := s.spec
+	pause := s.pause
+	if spec.Action == ActPause {
+		s.waiting++
+	}
+	mu.Unlock()
+
+	switch spec.Action {
+	case ActError:
+		if spec.Err != nil {
+			return spec.Err
+		}
+		return ErrInjected
+	case ActPanic:
+		panic("failpoint: " + name)
+	case ActPause:
+		<-pause
+		mu.Lock()
+		s.waiting--
+		mu.Unlock()
+	case ActYield:
+		n := spec.Yield
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			runtime.Gosched()
+		}
+	}
+	return nil
+}
+
+// Arm installs spec at the named site, resetting its After/Count window
+// (but not its lifetime hit counter). Arming over a paused site releases
+// the old waiters first.
+func Arm(name string, spec Spec) {
+	mu.Lock()
+	s := get(name)
+	if s.pause != nil {
+		close(s.pause)
+		s.pause = nil
+	}
+	s.armed = spec.Action != ActOff
+	s.spec = spec
+	s.seen, s.fired = 0, 0
+	if spec.Action == ActPause {
+		s.pause = make(chan struct{})
+	}
+	mu.Unlock()
+}
+
+// Disarm turns the named site back into a counting no-op, releasing any
+// paused goroutines.
+func Disarm(name string) { Arm(name, Spec{}) }
+
+// Release unblocks every goroutine currently paused at the named site
+// and re-arms the pause for later arrivals (subject to the remaining
+// Count window).
+func Release(name string) {
+	mu.Lock()
+	s := get(name)
+	if s.pause != nil {
+		close(s.pause)
+		s.pause = make(chan struct{})
+	}
+	mu.Unlock()
+}
+
+// Reset disarms every site and zeroes all counters. Chaos tests call it
+// between scenarios so coverage assertions see only their own hits.
+func Reset() {
+	mu.Lock()
+	for _, s := range sites {
+		if s.pause != nil {
+			close(s.pause)
+		}
+	}
+	sites = map[string]*site{}
+	mu.Unlock()
+}
+
+// Hits returns the lifetime evaluation count of the named site (armed
+// or not) since the last Reset.
+func Hits(name string) uint64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if s := sites[name]; s != nil {
+		return s.hits
+	}
+	return 0
+}
+
+// PausedAt returns how many goroutines are currently blocked at the
+// named ActPause site. Tests poll it to rendezvous with a stalled
+// publish before probing the frozen state.
+func PausedAt(name string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if s := sites[name]; s != nil {
+		return s.waiting
+	}
+	return 0
+}
+
+// Sites returns the names of every site evaluated or armed since the
+// last Reset, sorted.
+func Sites() []string {
+	mu.Lock()
+	names := make([]string, 0, len(sites))
+	for name := range sites {
+		names = append(names, name)
+	}
+	mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// Script arms sites from a deterministic one-line description:
+//
+//	site=action;site=action(k:v,k:v);...
+//
+// where action is off|error|panic|pause|yield and the optional keys are
+// after:<n>, count:<n>, yield:<n>. Example:
+//
+//	core/lt/prepare=error(count:1);shard/2pc/abort-leg=yield(yield:8)
+//
+// Script exists so a chaos scenario — or a future env-var hook — can be
+// stated as data and replayed exactly.
+func Script(script string) error {
+	for _, term := range strings.Split(script, ";") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(term, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("failpoint: bad term %q (want site=action)", term)
+		}
+		spec, err := parseSpec(rest)
+		if err != nil {
+			return fmt.Errorf("failpoint: site %q: %w", name, err)
+		}
+		Arm(name, spec)
+	}
+	return nil
+}
+
+func parseSpec(s string) (Spec, error) {
+	var spec Spec
+	action := s
+	if i := strings.IndexByte(s, '('); i >= 0 {
+		if !strings.HasSuffix(s, ")") {
+			return spec, fmt.Errorf("unbalanced args in %q", s)
+		}
+		action = s[:i]
+		for _, kv := range strings.Split(s[i+1:len(s)-1], ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(kv), ":")
+			if !ok {
+				return spec, fmt.Errorf("bad arg %q (want k:v)", kv)
+			}
+			n, err := strconv.ParseUint(strings.TrimSpace(v), 10, 64)
+			if err != nil {
+				return spec, fmt.Errorf("bad arg %q: %v", kv, err)
+			}
+			switch strings.TrimSpace(k) {
+			case "after":
+				spec.After = n
+			case "count":
+				spec.Count = n
+			case "yield":
+				spec.Yield = int(n)
+			default:
+				return spec, fmt.Errorf("unknown arg key %q", k)
+			}
+		}
+	}
+	switch action {
+	case "off":
+		spec.Action = ActOff
+	case "error":
+		spec.Action = ActError
+	case "panic":
+		spec.Action = ActPanic
+	case "pause":
+		spec.Action = ActPause
+	case "yield":
+		spec.Action = ActYield
+	default:
+		return spec, fmt.Errorf("unknown action %q", action)
+	}
+	return spec, nil
+}

@@ -1,0 +1,23 @@
+//go:build !failpoint
+
+package failpoint
+
+// Enabled reports whether this build links the live registry.
+const Enabled = false
+
+// Eval is a no-op in normal builds; the compiler inlines it (and the
+// per-package fpEval/fpHit shims around it) to nothing, so instrumented
+// sites cost zero on the hot path.
+func Eval(string) error { return nil }
+
+// The rest of the API is stubbed so tooling that references it (chaos
+// harness helpers, scripts) compiles in both modes.
+
+func Arm(string, Spec)    {}
+func Disarm(string)       {}
+func Release(string)      {}
+func Reset()              {}
+func Hits(string) uint64  { return 0 }
+func PausedAt(string) int { return 0 }
+func Sites() []string     { return nil }
+func Script(string) error { return nil }

@@ -1,0 +1,152 @@
+//go:build failpoint
+
+package failpoint
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEvalDisarmedCountsHits(t *testing.T) {
+	Reset()
+	for i := 0; i < 3; i++ {
+		if err := Eval("x"); err != nil {
+			t.Fatalf("disarmed Eval: %v", err)
+		}
+	}
+	if got := Hits("x"); got != 3 {
+		t.Fatalf("Hits = %d, want 3", got)
+	}
+}
+
+func TestErrorAfterCount(t *testing.T) {
+	Reset()
+	want := errors.New("boom")
+	Arm("x", Spec{Action: ActError, Err: want, After: 2, Count: 1})
+	for i := 0; i < 2; i++ {
+		if err := Eval("x"); err != nil {
+			t.Fatalf("eval %d inside After window: %v", i, err)
+		}
+	}
+	if err := Eval("x"); err != want {
+		t.Fatalf("eval 3 = %v, want %v", err, want)
+	}
+	// Count:1 exhausted — back to no-op, hits keep counting.
+	if err := Eval("x"); err != nil {
+		t.Fatalf("eval past Count: %v", err)
+	}
+	if got := Hits("x"); got != 4 {
+		t.Fatalf("Hits = %d, want 4", got)
+	}
+}
+
+func TestDefaultErrIsErrInjected(t *testing.T) {
+	Reset()
+	Arm("x", Spec{Action: ActError})
+	if err := Eval("x"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Eval = %v, want ErrInjected", err)
+	}
+}
+
+func TestPanic(t *testing.T) {
+	Reset()
+	Arm("x", Spec{Action: ActPanic})
+	defer func() {
+		if r := recover(); r != "failpoint: x" {
+			t.Fatalf("recover = %v", r)
+		}
+	}()
+	Eval("x")
+	t.Fatal("no panic")
+}
+
+func TestPauseAndRelease(t *testing.T) {
+	Reset()
+	Arm("x", Spec{Action: ActPause, Count: 1})
+	done := make(chan struct{})
+	go func() {
+		Eval("x")
+		close(done)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for PausedAt("x") != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("goroutine never paused")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	Release("x")
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Release did not unblock")
+	}
+	// Count:1 used up — later arrivals sail through.
+	if err := Eval("x"); err != nil {
+		t.Fatalf("post-Count Eval: %v", err)
+	}
+}
+
+func TestDisarmReleasesPaused(t *testing.T) {
+	Reset()
+	Arm("x", Spec{Action: ActPause})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			Eval("x")
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for PausedAt("x") != 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("paused = %d, want 3", PausedAt("x"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	Disarm("x")
+	wg.Wait()
+}
+
+func TestYieldKeepsControlFlow(t *testing.T) {
+	Reset()
+	Arm("x", Spec{Action: ActYield, Yield: 4})
+	if err := Eval("x"); err != nil {
+		t.Fatalf("yield Eval: %v", err)
+	}
+}
+
+func TestScript(t *testing.T) {
+	Reset()
+	err := Script("a=error(count:2); b=yield(yield:3); c=pause(after:1); d=off")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Eval("a"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("a: %v", err)
+	}
+	if err := Eval("c"); err != nil { // After:1 — first eval passes
+		t.Fatalf("c: %v", err)
+	}
+	if err := Eval("d"); err != nil {
+		t.Fatalf("d: %v", err)
+	}
+	got := Sites()
+	want := []string{"a", "b", "c", "d"}
+	if len(got) != len(want) {
+		t.Fatalf("Sites = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sites = %v, want %v", got, want)
+		}
+	}
+	for _, bad := range []string{"=error", "a=explode", "a=error(count)", "a=error(count:1"} {
+		if err := Script(bad); err == nil {
+			t.Fatalf("Script(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Package failpoint is a build-tag-gated fault injection framework for
+// the commit pipeline. Normal builds compile every site to a no-op: the
+// per-package shims (fpEval/fpHit) call the stub Eval below, which the
+// compiler inlines to nothing, so the pipeline pays zero cost. Under
+// `go test -tags failpoint` the real registry (failpoint.go) is linked
+// instead and each named site can be armed to return an error, panic,
+// pause until released, or yield the scheduler N times — with per-site
+// hit counters so a chaos suite can assert coverage, and a script
+// parser (Script) for arming many sites deterministically.
+//
+// Sites are plain string names, declared as constants next to the code
+// they instrument (see failpoints.go in internal/core and the root
+// package). The convention is <layer>/<variant-or-subsystem>/<phase>,
+// e.g. "core/lt/prepare" or "shard/2pc/abort-leg".
+//
+// This file is untagged: the Action/Spec vocabulary and ErrInjected are
+// shared by both builds so tests and tools can reference them without
+// caring which registry is linked.
+package failpoint
+
+import "errors"
+
+// ErrInjected is the default error returned by a site armed with
+// ActError and no explicit Err.
+var ErrInjected = errors.New("failpoint: injected error")
+
+// Action is what an armed site does when evaluated.
+type Action int
+
+const (
+	// ActOff leaves the site disarmed (hit counting only).
+	ActOff Action = iota
+	// ActError makes Eval return Spec.Err (or ErrInjected).
+	ActError
+	// ActPanic makes Eval panic with "failpoint: <site>".
+	ActPanic
+	// ActPause blocks Eval until Release(site) / Disarm / Reset.
+	ActPause
+	// ActYield calls runtime.Gosched() Spec.Yield times (min 1),
+	// widening race windows without changing control flow.
+	ActYield
+)
+
+// String names the action for logs and script round-trips.
+func (a Action) String() string {
+	switch a {
+	case ActOff:
+		return "off"
+	case ActError:
+		return "error"
+	case ActPanic:
+		return "panic"
+	case ActPause:
+		return "pause"
+	case ActYield:
+		return "yield"
+	}
+	return "unknown"
+}
+
+// Spec configures an armed site.
+type Spec struct {
+	Action Action
+	// Err is returned by ActError; nil means ErrInjected.
+	Err error
+	// After skips the first After evaluations before the action fires.
+	After uint64
+	// Count limits how many evaluations fire the action (0 = unlimited).
+	// After the Count-th firing the site keeps counting hits but acts
+	// as ActOff.
+	Count uint64
+	// Yield is the Gosched repetition for ActYield (min 1).
+	Yield int
+}

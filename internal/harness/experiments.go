@@ -30,7 +30,7 @@ type Params struct {
 	Reps     int           // repetitions averaged; the paper used 3
 	Threads  []int         // thread sweep override (nil = paper's)
 	Quick    bool          // shrink the largest element counts for smoke runs
-	Stats    bool          // collect STM abort counts per cell
+	Stats    bool          // collect STM counters per cell (aborts, bounded-commit stats)
 }
 
 func (p Params) normalize() Params {
@@ -52,6 +52,13 @@ type Point struct {
 	XLabel  string
 	OpsPerS float64
 	Aborts  uint64
+	// Bounded-commit counters (collected with Params.Stats, averaged
+	// over reps like Aborts; MaxRetry aggregates by maximum): prepares
+	// that exhausted a retry budget, commits abandoned at a deadline,
+	// and the largest per-commit retry count observed.
+	PrepareConflicts uint64
+	TimeoutAborts    uint64
+	MaxRetry         uint64
 }
 
 // Series is one algorithm's curve.
@@ -109,20 +116,30 @@ func FindExperiment(id string) (Experiment, bool) {
 // paper's legend order.
 var leapVariants = []core.Variant{core.VariantTM, core.VariantRW, core.VariantCOP, core.VariantLT}
 
-// runCell builds a fresh target, runs reps, and averages ops/s.
-func runCell(cfg Config, reps int, build func() Target) (float64, uint64, error) {
+// runCell builds a fresh target, runs reps, and returns one Point with
+// ops/s and the STM counters averaged over the reps (MaxRetry by
+// maximum — it is a high-water gauge). The caller fills X and XLabel.
+func runCell(cfg Config, reps int, build func() Target) (Point, error) {
+	var pt Point
 	var sum float64
-	var aborts uint64
+	var aborts, conflicts, timeouts uint64
 	for r := 0; r < reps; r++ {
 		cfg.Seed = uint64(r+1) * 0x5851f42d
 		res, err := Run(cfg, build())
 		if err != nil {
-			return 0, 0, err
+			return Point{}, err
 		}
 		sum += res.OpsPerS
 		aborts += res.Aborts
+		conflicts += res.PrepareConflicts
+		timeouts += res.TimeoutAborts
+		pt.MaxRetry = max(pt.MaxRetry, res.MaxRetry)
 	}
-	return sum / float64(reps), aborts / uint64(reps), nil
+	pt.OpsPerS = sum / float64(reps)
+	pt.Aborts = aborts / uint64(reps)
+	pt.PrepareConflicts = conflicts / uint64(reps)
+	pt.TimeoutAborts = timeouts / uint64(reps)
+	return pt, nil
 }
 
 func fig14(mix workload.Mix, id string) func(Params) (Table, error) {
@@ -142,7 +159,7 @@ func fig14(mix workload.Mix, id string) func(Params) (Table, error) {
 					RangeMax: PaperRangeMax,
 					Mix:      mix,
 				}
-				ops, ab, err := runCell(cfg, p.Reps, func() Target {
+				pt, err := runCell(cfg, p.Reps, func() Target {
 					return NewLeapTarget(LeapOptions{
 						Variant: v, Lists: PaperLists,
 						NodeSize: PaperNodeSize, MaxLevel: PaperMaxLevel,
@@ -152,9 +169,8 @@ func fig14(mix workload.Mix, id string) func(Params) (Table, error) {
 				if err != nil {
 					return table, err
 				}
-				series.Points = append(series.Points, Point{
-					X: float64(th), XLabel: fmt.Sprint(th), OpsPerS: ops, Aborts: ab,
-				})
+				pt.X, pt.XLabel = float64(th), fmt.Sprint(th)
+				series.Points = append(series.Points, pt)
 			}
 			table.Series = append(table.Series, series)
 		}
@@ -191,7 +207,7 @@ func fig15(mix workload.Mix, id string) func(Params) (Table, error) {
 					RangeMax: PaperRangeMax,
 					Mix:      mix,
 				}
-				ops, ab, err := runCell(cfg, p.Reps, func() Target {
+				pt, err := runCell(cfg, p.Reps, func() Target {
 					return NewLeapTarget(LeapOptions{
 						Variant: v, Lists: PaperLists,
 						NodeSize: PaperNodeSize, MaxLevel: PaperMaxLevel,
@@ -201,9 +217,8 @@ func fig15(mix workload.Mix, id string) func(Params) (Table, error) {
 				if err != nil {
 					return table, err
 				}
-				series.Points = append(series.Points, Point{
-					X: float64(n), XLabel: fmt.Sprint(n), OpsPerS: ops, Aborts: ab,
-				})
+				pt.X, pt.XLabel = float64(n), fmt.Sprint(n)
+				series.Points = append(series.Points, pt)
 			}
 			table.Series = append(table.Series, series)
 		}
@@ -241,7 +256,7 @@ func fig16(rangeSweep bool) func(Params) (Table, error) {
 					RangeMax: PaperRangeMax,
 					Mix:      mix,
 				}
-				ops, ab, err := runCell(cfg, p.Reps, func() Target {
+				pt, err := runCell(cfg, p.Reps, func() Target {
 					return NewLeapTarget(LeapOptions{
 						Variant: v, Lists: PaperLists,
 						NodeSize: PaperNodeSize, MaxLevel: PaperMaxLevel,
@@ -251,9 +266,8 @@ func fig16(rangeSweep bool) func(Params) (Table, error) {
 				if err != nil {
 					return table, err
 				}
-				series.Points = append(series.Points, Point{
-					X: float64(pct), XLabel: fmt.Sprint(pct), OpsPerS: ops, Aborts: ab,
-				})
+				pt.X, pt.XLabel = float64(pct), fmt.Sprint(pct)
+				series.Points = append(series.Points, pt)
 			}
 			table.Series = append(table.Series, series)
 		}
@@ -296,13 +310,12 @@ func fig17(mix workload.Mix, id string) func(Params) (Table, error) {
 					RangeMax: PaperRangeMax,
 					Mix:      mix,
 				}
-				ops, ab, err := runCell(cfg, p.Reps, bld.build)
+				pt, err := runCell(cfg, p.Reps, bld.build)
 				if err != nil {
 					return table, err
 				}
-				series.Points = append(series.Points, Point{
-					X: float64(th), XLabel: fmt.Sprint(th), OpsPerS: ops, Aborts: ab,
-				})
+				pt.X, pt.XLabel = float64(th), fmt.Sprint(th)
+				series.Points = append(series.Points, pt)
 			}
 			table.Series = append(table.Series, series)
 		}
@@ -334,7 +347,7 @@ func ablExtension(p Params) (Table, error) {
 				RangeMax: PaperRangeMax,
 				Mix:      mix,
 			}
-			ops, ab, err := runCell(cfg, p.Reps, func() Target {
+			pt, err := runCell(cfg, p.Reps, func() Target {
 				return NewLeapTarget(LeapOptions{
 					Variant: core.VariantLT, Lists: PaperLists,
 					NodeSize: PaperNodeSize, MaxLevel: PaperMaxLevel,
@@ -344,9 +357,8 @@ func ablExtension(p Params) (Table, error) {
 			if err != nil {
 				return table, err
 			}
-			series.Points = append(series.Points, Point{
-				X: float64(th), XLabel: fmt.Sprint(th), OpsPerS: ops, Aborts: ab,
-			})
+			pt.X, pt.XLabel = float64(th), fmt.Sprint(th)
+			series.Points = append(series.Points, pt)
 		}
 		table.Series = append(table.Series, series)
 	}
@@ -371,7 +383,7 @@ func ablLists(p Params) (Table, error) {
 				RangeMax: PaperRangeMax,
 				Mix:      workload.Mix{ModifyPct: 100},
 			}
-			ops, ab, err := runCell(cfg, p.Reps, func() Target {
+			pt, err := runCell(cfg, p.Reps, func() Target {
 				return NewLeapTarget(LeapOptions{
 					Variant: v, Lists: lists,
 					NodeSize: PaperNodeSize, MaxLevel: PaperMaxLevel,
@@ -381,9 +393,8 @@ func ablLists(p Params) (Table, error) {
 			if err != nil {
 				return table, err
 			}
-			series.Points = append(series.Points, Point{
-				X: float64(lists), XLabel: fmt.Sprint(lists), OpsPerS: ops, Aborts: ab,
-			})
+			pt.X, pt.XLabel = float64(lists), fmt.Sprint(lists)
+			series.Points = append(series.Points, pt)
 		}
 		table.Series = append(table.Series, series)
 	}
@@ -426,13 +437,12 @@ func ablBTree(p Params) (Table, error) {
 				RangeMax: PaperRangeMax,
 				Mix:      mix,
 			}
-			ops, ab, err := runCell(cfg, p.Reps, bld.build)
+			pt, err := runCell(cfg, p.Reps, bld.build)
 			if err != nil {
 				return table, err
 			}
-			series.Points = append(series.Points, Point{
-				X: float64(th), XLabel: fmt.Sprint(th), OpsPerS: ops, Aborts: ab,
-			})
+			pt.X, pt.XLabel = float64(th), fmt.Sprint(th)
+			series.Points = append(series.Points, pt)
 		}
 		table.Series = append(table.Series, series)
 	}

@@ -49,14 +49,22 @@ type Config struct {
 
 // Result is one measured cell.
 type Result struct {
-	Target   string
-	Workers  int
-	Ops      uint64
-	Elapsed  time.Duration
-	OpsPerS  float64
-	Aborts   uint64 // STM aborts during the measured window
-	Commits  uint64
-	RangeSum uint64 // pairs returned by range queries (keeps them un-elided)
+	Target  string
+	Workers int
+	Ops     uint64
+	Elapsed time.Duration
+	OpsPerS float64
+	Aborts  uint64 // STM aborts during the measured window
+	Commits uint64
+	// PrepareConflicts / TimeoutAborts / MaxRetry mirror the bounded-
+	// commit counters (see stm.StatsSnapshot): prepares that exhausted a
+	// retry budget, commits abandoned at a deadline, and the largest
+	// per-commit retry count seen. MaxRetry is a high-water gauge over
+	// the target's lifetime, not a windowed delta.
+	PrepareConflicts uint64
+	TimeoutAborts    uint64
+	MaxRetry         uint64
+	RangeSum         uint64 // pairs returned by range queries (keeps them un-elided)
 	// Latencies holds per-operation-type summaries when
 	// Config.TrackLatency was set; keys are workload.Op strings.
 	Latencies map[string]latency.Summary
@@ -153,14 +161,17 @@ func Run(cfg Config, t Target) (Result, error) {
 
 	ops := totalOps.Load()
 	res := Result{
-		Target:   t.Name(),
-		Workers:  cfg.Workers,
-		Ops:      ops,
-		Elapsed:  elapsed,
-		OpsPerS:  float64(ops) / elapsed.Seconds(),
-		Aborts:   statsAfter.Aborts - statsBefore.Aborts,
-		Commits:  statsAfter.Commits - statsBefore.Commits,
-		RangeSum: totalRange.Load(),
+		Target:           t.Name(),
+		Workers:          cfg.Workers,
+		Ops:              ops,
+		Elapsed:          elapsed,
+		OpsPerS:          float64(ops) / elapsed.Seconds(),
+		Aborts:           statsAfter.Aborts - statsBefore.Aborts,
+		Commits:          statsAfter.Commits - statsBefore.Commits,
+		PrepareConflicts: statsAfter.PrepareConflicts - statsBefore.PrepareConflicts,
+		TimeoutAborts:    statsAfter.TimeoutAborts - statsBefore.TimeoutAborts,
+		MaxRetry:         statsAfter.MaxRetry,
+		RangeSum:         totalRange.Load(),
 	}
 	if cfg.TrackLatency {
 		res.Latencies = make(map[string]latency.Summary, 4)

@@ -46,19 +46,58 @@ func (t *Table) WriteText(w io.Writer) error {
 	return err
 }
 
-// WriteCSV renders the table as CSV: xaxis,series,x,ops_per_sec,aborts.
+// WriteCSV renders the table as CSV:
+// xaxis,series,x,ops_per_sec,aborts,prepare_conflicts,timeout_aborts,max_retry.
 func (t *Table) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintf(w, "experiment,series,%s,ops_per_sec,aborts\n", t.XAxis); err != nil {
+	if _, err := fmt.Fprintf(w, "experiment,series,%s,ops_per_sec,aborts,prepare_conflicts,timeout_aborts,max_retry\n", t.XAxis); err != nil {
 		return err
 	}
 	for _, s := range t.Series {
 		for _, p := range s.Points {
-			if _, err := fmt.Fprintf(w, "%s,%s,%s,%.0f,%d\n", t.ID, s.Name, p.XLabel, p.OpsPerS, p.Aborts); err != nil {
+			if _, err := fmt.Fprintf(w, "%s,%s,%s,%.0f,%d,%d,%d,%d\n",
+				t.ID, s.Name, p.XLabel, p.OpsPerS, p.Aborts,
+				p.PrepareConflicts, p.TimeoutAborts, p.MaxRetry); err != nil {
 				return err
 			}
 		}
 	}
 	return nil
+}
+
+// WriteStats renders the STM counter view of the table — aborts,
+// bounded-prepare conflicts, deadline aborts and the retry high-water
+// mark summed (MaxRetry: maximized) per series over the sweep. A
+// no-op unless some counter is nonzero (they are collected only with
+// Params.Stats / leapbench -stats).
+func (t *Table) WriteStats(w io.Writer) error {
+	any := false
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			if p.Aborts|p.PrepareConflicts|p.TimeoutAborts|p.MaxRetry != 0 {
+				any = true
+			}
+		}
+	}
+	if !any {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — STM counters per series (summed over %s sweep)\n", t.ID, t.XAxis)
+	fmt.Fprintf(&b, "%-14s %-12s %-18s %-14s %-10s\n",
+		"series", "aborts", "prepare_conflicts", "timeout_aborts", "max_retry")
+	for _, s := range t.Series {
+		var aborts, conflicts, timeouts, maxRetry uint64
+		for _, p := range s.Points {
+			aborts += p.Aborts
+			conflicts += p.PrepareConflicts
+			timeouts += p.TimeoutAborts
+			maxRetry = max(maxRetry, p.MaxRetry)
+		}
+		fmt.Fprintf(&b, "%-14s %-12d %-18d %-14d %-10d\n",
+			s.Name, aborts, conflicts, timeouts, maxRetry)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
 }
 
 // WritePlot renders the table as an ASCII chart in the shape of the

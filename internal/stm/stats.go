@@ -9,6 +9,19 @@ type Stats struct {
 	Commits    atomic.Uint64
 	Aborts     atomic.Uint64
 	Extensions atomic.Uint64
+	// PrepareConflicts counts bounded prepares that exhausted their
+	// conflict budget (core.ErrPrepareConflict) — each one is a 2PC leg
+	// giving way so a prefix abort can release its shards.
+	PrepareConflicts atomic.Uint64
+	// TimeoutAborts counts commits abandoned because a deadline or
+	// cancellation fired (core.ErrCanceled → leaplist.ErrTxTimeout) or a
+	// retry ceiling was hit; each one performed a clean prefix abort.
+	TimeoutAborts atomic.Uint64
+	// MaxRetry is a high-water gauge, not a counter: the largest number
+	// of whole-commit retries any single transaction was observed to
+	// need. A rising value under load is the overload signal bounded
+	// commits exist to surface.
+	MaxRetry atomic.Uint64
 }
 
 // StatsSnapshot is a point-in-time copy of the counters. It is a racy
@@ -23,6 +36,11 @@ type StatsSnapshot struct {
 	Commits    uint64
 	Aborts     uint64
 	Extensions uint64
+	// See the matching Stats fields. MaxRetry aggregates by maximum in
+	// Add (it is a gauge); the others sum.
+	PrepareConflicts uint64
+	TimeoutAborts    uint64
+	MaxRetry         uint64
 }
 
 func (s *Stats) snapshot() StatsSnapshot {
@@ -33,9 +51,12 @@ func (s *Stats) snapshot() StatsSnapshot {
 	// inversion (AbortRate > 1, Commits+Aborts > Starts) that the old
 	// Starts-first order allowed.
 	snap := StatsSnapshot{
-		Commits:    s.Commits.Load(),
-		Aborts:     s.Aborts.Load(),
-		Extensions: s.Extensions.Load(),
+		Commits:          s.Commits.Load(),
+		Aborts:           s.Aborts.Load(),
+		Extensions:       s.Extensions.Load(),
+		PrepareConflicts: s.PrepareConflicts.Load(),
+		TimeoutAborts:    s.TimeoutAborts.Load(),
+		MaxRetry:         s.MaxRetry.Load(),
 	}
 	snap.Starts = s.Starts.Load()
 	return snap
@@ -47,10 +68,13 @@ func (s *Stats) snapshot() StatsSnapshot {
 // since every addend satisfies it.
 func (s StatsSnapshot) Add(o StatsSnapshot) StatsSnapshot {
 	return StatsSnapshot{
-		Starts:     s.Starts + o.Starts,
-		Commits:    s.Commits + o.Commits,
-		Aborts:     s.Aborts + o.Aborts,
-		Extensions: s.Extensions + o.Extensions,
+		Starts:           s.Starts + o.Starts,
+		Commits:          s.Commits + o.Commits,
+		Aborts:           s.Aborts + o.Aborts,
+		Extensions:       s.Extensions + o.Extensions,
+		PrepareConflicts: s.PrepareConflicts + o.PrepareConflicts,
+		TimeoutAborts:    s.TimeoutAborts + o.TimeoutAborts,
+		MaxRetry:         max(s.MaxRetry, o.MaxRetry),
 	}
 }
 

@@ -111,6 +111,36 @@ func (s *STM) Stats() StatsSnapshot {
 	return s.stats.snapshot()
 }
 
+// NotePrepareConflict counts a bounded prepare giving up its conflict
+// budget. No-op when statistics are disabled.
+func (s *STM) NotePrepareConflict() {
+	if s.stats != nil {
+		s.stats.PrepareConflicts.Add(1)
+	}
+}
+
+// NoteTimeoutAbort counts a commit abandoned on deadline/cancel or a
+// retry ceiling, after a clean abort. No-op when statistics are disabled.
+func (s *STM) NoteTimeoutAbort() {
+	if s.stats != nil {
+		s.stats.TimeoutAborts.Add(1)
+	}
+}
+
+// NoteRetries raises the MaxRetry high-water gauge to n if n exceeds
+// it. No-op when statistics are disabled.
+func (s *STM) NoteRetries(n uint64) {
+	if s.stats == nil {
+		return
+	}
+	for {
+		cur := s.stats.MaxRetry.Load()
+		if n <= cur || s.stats.MaxRetry.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // Now returns the current value of the global version clock. Exposed for
 // tests and diagnostics.
 func (s *STM) Now() uint64 {

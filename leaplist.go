@@ -98,12 +98,51 @@
 // per version (an overwrite replaces the pair, never mutates it), which is
 // what makes range-query snapshots zero-coordination reads.
 //
+// # Failure model, deadlines, and fault injection
+//
+// A transaction that does not commit leaves every involved map exactly
+// as it found it: prepare failures (contention, cancellation) abort by
+// restoring pre-state and recycling every never-published piece, and
+// once a commit starts publishing it always finishes. On that footing
+// the package offers bounded-time commits as graceful degradation
+// rather than a correctness hazard:
+//
+//   - Tx.CommitContext / ShardedTx.CommitContext bound one commit by a
+//     context. If the deadline passes (or the context is canceled)
+//     before the commit wins its prepare — or, for a cross-shard
+//     transaction, before the two-phase protocol wins every shard — the
+//     attempt is cleanly abandoned and the call returns an error
+//     wrapping ErrTxTimeout. Nothing is held afterwards: a prepared
+//     prefix of shards is fully aborted before returning.
+//   - WithCommitDeadline bounds every commit of a Group or Sharded the
+//     same way, with no context plumbing.
+//   - WithCommitAttempts caps the cross-shard retry loop by rounds
+//     instead of wall time; exhaustion also surfaces ErrTxTimeout.
+//
+// A timed-out transaction is the one commit error the caller is meant
+// to handle: retry with a fresh Tx, or degrade to a smaller footprint
+// (examples/bank sheds a cross-branch transfer to single-branch
+// operations when the coordinated path cannot meet its deadline). The
+// STM stats (WithSTMStats) count timeouts, bounded-prepare conflicts
+// and the retry high-water mark.
+//
+// These guarantees are tested by fault injection rather than luck: the
+// failpoint build tag (-tags failpoint, internal/failpoint) compiles
+// named injection sites into every stage of the commit pipeline — the
+// prepare/publish/abort of each variant, the bundle publish steps, the
+// epoch machinery and every leg of the sharded two-phase commit — and
+// the chaos suites arm them to inject errors, crash-panics, stalls and
+// scheduler churn at each site, proving abort-exactness, all-or-none
+// cross-shard recovery and bounded-time failure under the race
+// detector. Normal builds compile the sites to nothing.
+//
 // # Static invariant checking (leaplint)
 //
 // The concurrency invariants this package depends on — epoch pins around
 // node access, all-atomic-or-all-plain field access, pooled-scratch
-// clearing before reuse, prepare/publish/abort pairing, and era-guarded
-// finger consumption — are enforced by a bundled static analysis suite:
+// clearing before reuse, prepare/publish/abort pairing, era-guarded
+// finger consumption, and build-tag gating of the fault-injection
+// shims — are enforced by a bundled static analysis suite:
 //
 //	go run ./cmd/leaplint ./...
 //	go vet -vettool=$(which leaplint) ./...
@@ -116,6 +155,7 @@ package leaplist
 
 import (
 	"sync"
+	"time"
 
 	"leaplist/internal/core"
 	"leaplist/internal/epoch"
@@ -177,15 +217,17 @@ type KV[V any] = core.KV[V]
 type Option func(*options)
 
 type options struct {
-	nodeSize    int
-	maxLevel    int
-	variant     Variant
-	stats       bool
-	noFingers   bool
-	noHashIndex bool
-	noBundles   bool
-	collector   *epoch.Collector
-	clock       *stm.Clock
+	nodeSize       int
+	maxLevel       int
+	variant        Variant
+	stats          bool
+	noFingers      bool
+	noHashIndex    bool
+	noBundles      bool
+	collector      *epoch.Collector
+	clock          *stm.Clock
+	commitDeadline time.Duration
+	commitAttempts int
 }
 
 // WithNodeSize sets K, the maximum pairs per node (default 300, the
@@ -262,6 +304,30 @@ func WithBundles(enabled bool) Option {
 	return func(o *options) { o.noBundles = !enabled }
 }
 
+// WithCommitDeadline bounds every commit of the group (or of each shard
+// group of a Sharded) to d of wall time, measured from the Commit /
+// CommitContext call: a commit that cannot win its prepare within d is
+// cleanly abandoned and fails with an error wrapping ErrTxTimeout, the
+// structure untouched. CommitContext deadlines compose — the earlier
+// bound wins. Zero (the default) leaves plain Commit unbounded. This is
+// the backstop for "no transaction may stall the serving path forever":
+// under sustained overload the timeout surfaces as a fast, clean error
+// the caller can shed on, instead of an unbounded convoy.
+func WithCommitDeadline(d time.Duration) Option {
+	return func(o *options) { o.commitDeadline = d }
+}
+
+// WithCommitAttempts caps the cross-shard two-phase commit's retry loop
+// at n whole prepare-all rounds (default DefaultCommitAttempts, a
+// generous bound that only overload can reach). When the cap is hit the
+// prepared prefix has been aborted and Commit fails with an error
+// wrapping ErrTxTimeout that reports the attempt count. Applies to
+// Sharded groups only; single-group commits bound time with
+// WithCommitDeadline or CommitContext instead.
+func WithCommitAttempts(n int) Option {
+	return func(o *options) { o.commitAttempts = n }
+}
+
 // withClock supplies the STM clock the group's domain runs on; used by
 // NewSharded to give every shard one global clock, which is what makes
 // a single timestamp meaningful across shards.
@@ -283,6 +349,10 @@ func WithCollector(c *epoch.Collector) Option {
 type Group[V any] struct {
 	inner *core.Group[V]
 	stm   *stm.STM
+
+	// commitDeadline, when nonzero, bounds every commit's wall time
+	// (WithCommitDeadline); exceeded bounds surface as ErrTxTimeout.
+	commitDeadline time.Duration
 
 	txPool sync.Pool // released *Tx[V] builders (see Tx.Release)
 }
@@ -310,7 +380,7 @@ func NewGroup[V any](opts ...Option) *Group[V] {
 		NoBundles:   o.noBundles,
 		Collector:   o.collector,
 	}, domain)
-	return &Group[V]{inner: inner, stm: domain}
+	return &Group[V]{inner: inner, stm: domain, commitDeadline: o.commitDeadline}
 }
 
 // NewMap creates an empty map in the group.

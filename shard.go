@@ -1,8 +1,11 @@
 package leaplist
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"sync"
+	"time"
 
 	"leaplist/internal/core"
 	"leaplist/internal/stm"
@@ -61,6 +64,11 @@ type Sharded[V any] struct {
 	// coordination.
 	clock *stm.Clock
 
+	// commitDeadline / commitAttempts bound the two-phase commit (see
+	// WithCommitDeadline / WithCommitAttempts); zero means "default".
+	commitDeadline time.Duration
+	commitAttempts int
+
 	txPool  sync.Pool // released *ShardedTx[V] builders
 	pinPool sync.Pool // *[]core.ReadPin[V] scratch for stitched reads
 }
@@ -78,6 +86,12 @@ func NewSharded[V any](n int, opts ...Option) *Sharded[V] {
 		span:   MaxKey/uint64(n) + 1,
 		clock:  stm.NewClock(),
 	}
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	s.commitDeadline = o.commitDeadline
+	s.commitAttempts = o.commitAttempts
 	shardOpts := append(append(make([]Option, 0, len(opts)+1), opts...), withClock(s.clock))
 	for i := range s.groups {
 		g := NewGroup[V](shardOpts...)
@@ -507,6 +521,16 @@ func (t *ShardedTx[V]) readOnly() bool {
 // backoff lets one of them through.
 const shardPrepareAttempts = 8
 
+// DefaultCommitAttempts is the ceiling on whole prepare-all rounds of
+// one cross-shard Commit when WithCommitAttempts is not given. Each
+// round is shardPrepareAttempts conflict retries per shard plus an
+// escalating backoff, so the default is hours of sustained total
+// conflict — unreachable except under pathological overload, where
+// failing with ErrTxTimeout (after a clean prefix abort) beats
+// spinning forever. It exists so the retry loop is bounded even for
+// callers that never pass a context.
+const DefaultCommitAttempts = 1 << 16
+
 // Commit applies every staged operation as one atomic cross-shard
 // operation: prepare every involved shard in ascending shard order,
 // then publish them all. Once every shard is prepared, each shard's
@@ -521,6 +545,28 @@ const shardPrepareAttempts = 8
 // error; a failed prepare aborts the prepared prefix — restoring every
 // shard exactly and recycling the never-published pieces — and retries.
 func (t *ShardedTx[V]) Commit() error {
+	return t.commit(core.PrepareOpts{}, nil)
+}
+
+// CommitContext is Commit bounded by ctx: when the context is canceled
+// or its deadline passes before every shard is prepared, the attempt is
+// abandoned with a clean prefix abort — every already-prepared shard
+// released exactly, nothing published anywhere — and CommitContext
+// returns an error wrapping ErrTxTimeout and ctx's cause. A Sharded
+// deadline from WithCommitDeadline applies in addition (the earlier
+// bound wins), and the WithCommitAttempts ceiling still caps the retry
+// rounds. The timeout is recorded in the transaction like any commit
+// error; the caller may retry with a fresh transaction or degrade to
+// single-shard operations (see examples/bank).
+func (t *ShardedTx[V]) CommitContext(ctx context.Context) error {
+	opt := core.PrepareOpts{Done: ctx.Done()}
+	if d, ok := ctx.Deadline(); ok {
+		opt.Deadline = d
+	}
+	return t.commit(opt, ctx)
+}
+
+func (t *ShardedTx[V]) commit(opt core.PrepareOpts, ctx context.Context) error {
 	if t.err != nil {
 		return t.err
 	}
@@ -528,11 +574,19 @@ func (t *ShardedTx[V]) Commit() error {
 		return ErrTxCommitted
 	}
 	t.done = true
-	staged, only := 0, -1
+	if d := t.s.commitDeadline; d > 0 {
+		if dl := time.Now().Add(d); opt.Deadline.IsZero() || dl.Before(opt.Deadline) {
+			opt.Deadline = dl
+		}
+	}
+	staged, only, first := 0, -1, -1
 	for sh := range t.per {
 		if len(t.per[sh]) > 0 {
 			staged++
 			only = sh
+			if first < 0 {
+				first = sh
+			}
 		}
 	}
 	if staged == 0 {
@@ -541,7 +595,10 @@ func (t *ShardedTx[V]) Commit() error {
 	if staged == 1 {
 		// Single-shard transaction: that shard's own commit is the
 		// atomicity point; no coordination needed.
-		if err := t.s.groups[only].inner.CommitOps(t.per[only]); err != nil {
+		if err := t.s.groups[only].inner.CommitOpsOpt(t.per[only], opt); err != nil {
+			if errors.Is(err, core.ErrCanceled) {
+				err = txTimeoutErr(ctx)
+			}
 			t.err = err
 			return err
 		}
@@ -583,58 +640,65 @@ func (t *ShardedTx[V]) Commit() error {
 		t.pins = t.pins[:0]
 		return t.err
 	}
+	maxAttempts := t.s.commitAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = DefaultCommitAttempts
+	}
+	legOpt := opt
+	legOpt.LockReads = true
+	legOpt.MaxAttempts = shardPrepareAttempts
+	statSTM := t.s.groups[first].stm
 	for attempt := 0; ; attempt++ {
-		t.prepared = t.prepared[:0]
-		var failed error
-		for sh := range t.per { // ascending shard order: deadlock-free
-			if len(t.per[sh]) == 0 {
-				continue
+		// The coordinator observes cancellation between rounds itself:
+		// a round can fail before any prepare leg runs its own deadline
+		// check (an injected leg fault, an empty prefix), and an already
+		// expired context must fail fast without touching a shard. Every
+		// prior round ended in a full prefix abort, so returning here
+		// leaves nothing prepared anywhere.
+		if commitCanceled(opt) {
+			statSTM.NoteTimeoutAbort()
+			if attempt > 0 {
+				statSTM.NoteRetries(uint64(attempt))
 			}
-			p, err := t.s.groups[sh].inner.PrepareOps(t.per[sh], core.PrepareOpts{
-				LockReads:   true,
-				MaxAttempts: shardPrepareAttempts,
-			})
-			if err != nil {
-				failed = err
-				break
-			}
-			t.prepared = append(t.prepared, p)
+			err := txTimeoutErr(ctx)
+			t.err = err
+			return err
 		}
+		if attempt >= maxAttempts {
+			// Retry ceiling (WithCommitAttempts / DefaultCommitAttempts):
+			// the last round's prefix was aborted below, so every shard is
+			// released and untouched. This replaces the old unbounded loop
+			// — before the cap, the only way out of sustained conflict was
+			// to keep spinning.
+			statSTM.NoteTimeoutAbort()
+			statSTM.NoteRetries(uint64(attempt))
+			err := fmt.Errorf("%w after %d attempts", ErrTxTimeout, attempt)
+			t.err = err
+			return err
+		}
+		failed := t.prepareShards(legOpt)
 		if failed == nil {
-			if t.s.bundled() {
-				// Coordinated publish: pend every shard's bundle records
-				// while all shards' prepare locks are still held, then draw
-				// ONE timestamp and publish every leg at it. Timestamped
-				// readers holding a snapshot at or past wv block on the
-				// pended links of every shard until the owning leg fills
-				// them, so the cross-shard commit is a single instant to
-				// them — no leg can be observed without the others.
-				for _, p := range t.prepared {
-					p.PublishStart()
-				}
-				wv := t.s.clock.Tick()
-				for i, p := range t.prepared {
-					p.PublishAt(wv)
-					t.prepared[i] = nil
-				}
-			} else {
-				for i, p := range t.prepared {
-					p.Publish()
-					t.prepared[i] = nil
-				}
+			t.publishShards()
+			if attempt > 0 {
+				statSTM.NoteRetries(uint64(attempt))
 			}
-			t.prepared = t.prepared[:0]
 			return nil
 		}
-		for i := len(t.prepared) - 1; i >= 0; i-- {
-			t.prepared[i].Abort()
-			t.prepared[i] = nil
+		t.abortPrepared()
+		if errors.Is(failed, core.ErrCanceled) {
+			// Deadline/cancel fired inside a prepare leg (which already
+			// counted the TimeoutAbort); the prefix abort above restored
+			// every prepared shard exactly.
+			err := txTimeoutErr(ctx)
+			t.err = err
+			return err
 		}
-		t.prepared = t.prepared[:0]
 		if !errors.Is(failed, core.ErrPrepareConflict) {
-			// Unreachable: staging validated every key and interval, so
-			// prepare can only fail on contention. Surfaced, not
-			// swallowed, in case that ever changes.
+			// Reachable only through fault injection (an armed failpoint
+			// error on a prepare leg) — staging validated every key and
+			// interval, so real prepares only fail on contention or
+			// cancellation. Surfaced, not swallowed, so injected faults
+			// and future bugs land here instead of looping.
 			t.err = failed
 			return failed
 		}
@@ -644,6 +708,170 @@ func (t *ShardedTx[V]) Commit() error {
 		// sustained pile-up of prepare windows stops burning cores.
 		stm.RestartBackoff(attempt)
 	}
+}
+
+// commitCanceled reports whether opt's Done channel or Deadline has
+// fired — the coordinator-level mirror of the check each core prepare
+// runs at its own retry-loop top.
+func commitCanceled(opt core.PrepareOpts) bool {
+	if opt.Done != nil {
+		select {
+		case <-opt.Done:
+			return true
+		default:
+		}
+	}
+	return !opt.Deadline.IsZero() && !time.Now().Before(opt.Deadline)
+}
+
+// prepareShards runs one prepare-all round in ascending shard order
+// (deadlock-free), leaving the prepared descriptors in t.prepared. On
+// error the prefix prepared so far stays in t.prepared for the caller
+// to abort. A panic in a leg (an armed failpoint's ActPanic standing in
+// for a crash) aborts the prefix before re-panicking: no shard stays
+// locked behind a recovered coordinator.
+func (t *ShardedTx[V]) prepareShards(opt core.PrepareOpts) (failed error) {
+	t.clearPrepared()
+	defer func() {
+		if r := recover(); r != nil {
+			t.abortPrepared()
+			panic(r)
+		}
+	}()
+	for sh := range t.per { // ascending shard order: deadlock-free
+		if len(t.per[sh]) == 0 {
+			continue
+		}
+		if err := fpEval(fpShardPrepareLeg); err != nil {
+			return err
+		}
+		p, err := t.s.groups[sh].inner.PrepareOps(t.per[sh], opt)
+		if err != nil {
+			return err
+		}
+		t.prepared = append(t.prepared, p)
+	}
+	return nil
+}
+
+// publishShards publishes every prepared leg and clears t.prepared.
+//
+// Crash-consistency (chaos suite, ActPanic at a leg): before the first
+// PublishStart/Publish completes, nothing is visible anywhere and a
+// panic aborts all legs — the transaction happened nowhere. From the
+// first completed leg on, the only legal continuation is roll-forward
+// (with bundles, pended records are live and an abort would strand
+// them; without, one shard already linearized), so the recovery path
+// finishes the remaining legs before re-panicking — the transaction
+// happened everywhere. Either way no shard is left half-published or
+// locked. (Panics from inside core's publish itself — "publish cannot
+// fail" — are out of scope: the recovery here brackets the legs, where
+// the injection sites sit.)
+func (t *ShardedTx[V]) publishShards() {
+	if t.s.bundled() {
+		// Coordinated publish: pend every shard's bundle records while
+		// all shards' prepare locks are still held, then draw ONE
+		// timestamp and publish every leg at it. Timestamped readers
+		// holding a snapshot at or past wv block on the pended links of
+		// every shard until the owning leg fills them, so the cross-shard
+		// commit is a single instant to them — no leg can be observed
+		// without the others.
+		started, filled := 0, 0
+		var wv uint64
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			if started == 0 {
+				t.abortPrepared()
+				panic(r)
+			}
+			for _, p := range t.prepared[started:] {
+				p.PublishStart()
+			}
+			if wv == 0 {
+				wv = t.s.clock.Tick()
+			}
+			for _, p := range t.prepared[filled:] {
+				p.PublishAt(wv)
+			}
+			t.clearPrepared()
+			panic(r)
+		}()
+		for _, p := range t.prepared {
+			fpHit(fpShardPublishStartLeg)
+			p.PublishStart()
+			started++
+		}
+		wv = t.s.clock.Tick()
+		for _, p := range t.prepared {
+			fpHit(fpShardPublishAtLeg)
+			p.PublishAt(wv)
+			filled++
+		}
+		t.clearPrepared()
+		return
+	}
+	published := 0
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if published == 0 {
+			t.abortPrepared()
+			panic(r)
+		}
+		for _, p := range t.prepared[published:] {
+			p.Publish()
+		}
+		t.clearPrepared()
+		panic(r)
+	}()
+	for _, p := range t.prepared {
+		fpHit(fpShardPublishLeg)
+		p.Publish()
+		published++
+	}
+	t.clearPrepared()
+}
+
+// abortPrepared aborts the prepared prefix in reverse order, restoring
+// every shard exactly and recycling the never-published pieces. A panic
+// at one leg (an armed failpoint) does not stop the release: the
+// remaining legs are aborted first and the panic re-raised after — a
+// recovered coordinator must never leave a shard locked.
+func (t *ShardedTx[V]) abortPrepared() {
+	var rec any
+	recovered := false
+	for i := len(t.prepared) - 1; i >= 0; i-- {
+		func() {
+			defer func() {
+				if r := recover(); r != nil && !recovered {
+					rec, recovered = r, true
+				}
+			}()
+			t.prepared[i].Abort()
+			// After the Abort: an injected panic here models a crash
+			// between released legs, which must not stop the sweep.
+			fpHit(fpShardAbortLeg)
+		}()
+		t.prepared[i] = nil
+	}
+	t.prepared = t.prepared[:0]
+	if recovered {
+		panic(rec)
+	}
+}
+
+// clearPrepared drops the published descriptors (already recycled by
+// their Publish/PublishAt) without aborting anything.
+func (t *ShardedTx[V]) clearPrepared() {
+	for i := range t.prepared {
+		t.prepared[i] = nil
+	}
+	t.prepared = t.prepared[:0]
 }
 
 // ShardedGet is the handle of a staged Get; valid after its transaction

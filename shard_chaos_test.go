@@ -1,0 +1,321 @@
+//go:build failpoint
+
+package leaplist
+
+// Chaos suite for the cross-shard two-phase commit, built only with
+// -tags failpoint. The scenarios arm the coordinator's leg sites (see
+// failpoints.go) and prove the 2PC contract under injected faults:
+// a failed prepare at every shard position aborts the prefix exactly,
+// a crash-panic at any leg leaves no shard half-published or locked,
+// and bounded commits (CommitContext, WithCommitAttempts) fail fast
+// with ErrTxTimeout while leaking nothing.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"leaplist/internal/core"
+	"leaplist/internal/failpoint"
+)
+
+// chaosSlots holds one slot per shard of a 4-shard map: slot s*16 lands
+// on shard s (shardSlots = 64 spreads slots evenly over the keyspace).
+var chaosSlots = [4]uint64{1, 17, 33, 49}
+
+// newChaosSharded builds a 4-shard map with one seeded key per shard.
+func newChaosSharded(t *testing.T, opts ...Option) *Sharded[uint64] {
+	t.Helper()
+	s := NewSharded[uint64](4, append([]Option{WithSTMStats(true)}, opts...)...)
+	for _, slot := range chaosSlots {
+		if err := s.Set(slotKey(slot), slot); err != nil {
+			t.Fatalf("seed Set: %v", err)
+		}
+	}
+	return s
+}
+
+// stageAll stages one write per shard, value val.
+func stageAll(s *Sharded[uint64], val uint64) *ShardedTx[uint64] {
+	tx := s.Txn()
+	for _, slot := range chaosSlots {
+		tx.Set(slotKey(slot), val)
+	}
+	return tx
+}
+
+// checkAllOrNone verifies every shard either carries val (applied) or
+// prev, the last value known committed everywhere (not applied) — never
+// a mix — and returns whether the transaction landed.
+func checkAllOrNone(t *testing.T, s *Sharded[uint64], prev, val uint64) bool {
+	t.Helper()
+	applied := 0
+	for _, slot := range chaosSlots {
+		got, ok := s.Get(slotKey(slot))
+		if !ok {
+			t.Fatalf("Get(slot %d): key missing", slot)
+		}
+		switch got {
+		case val:
+			applied++
+		case prevValue(prev, slot):
+		default:
+			t.Fatalf("slot %d = %d, want previous %d or committed %d", slot, got, prevValue(prev, slot), val)
+		}
+	}
+	if applied != 0 && applied != len(chaosSlots) {
+		t.Fatalf("half-published transaction: %d of %d shards carry %d", applied, len(chaosSlots), val)
+	}
+	return applied == len(chaosSlots)
+}
+
+// prevValue maps prev==0 to the per-slot seed value (each slot was
+// seeded with its own number).
+func prevValue(prev, slot uint64) uint64 {
+	if prev == 0 {
+		return slot
+	}
+	return prev
+}
+
+// checkUnlocked proves no shard kept a prepared footprint: a fresh
+// cross-shard transaction over every slot must commit.
+func checkUnlocked(t *testing.T, s *Sharded[uint64], val uint64) {
+	t.Helper()
+	tx := stageAll(s, val)
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("post-fault Commit: %v", err)
+	}
+	tx.Release()
+	for _, slot := range chaosSlots {
+		if got, _ := s.Get(slotKey(slot)); got != val {
+			t.Fatalf("slot %d = %d after post-fault commit, want %d", slot, got, val)
+		}
+	}
+}
+
+// TestShardChaosPrefixAbortEveryPosition injects a prepare failure at
+// every shard position k of N, on every variant. A retryable conflict
+// must be absorbed (the prefix aborted, the round retried, the commit
+// landing); a hard error must surface with every shard untouched and
+// unlocked. Spec.After counts evaluations, so After:k fires the fault
+// exactly at leg k.
+func TestShardChaosPrefixAbortEveryPosition(t *testing.T) {
+	for _, v := range []Variant{LT, TM, COP, RWLock} {
+		t.Run(v.String(), func(t *testing.T) {
+			failpoint.Reset()
+			t.Cleanup(failpoint.Reset)
+			s := newChaosSharded(t, WithVariant(v))
+			last, val := uint64(0), uint64(1000)
+			for k := uint64(0); k < 4; k++ {
+				// Retryable: an injected conflict at leg k aborts legs
+				// [0, k) and the next round commits.
+				val++
+				failpoint.Arm(fpShardPrepareLeg, failpoint.Spec{
+					Action: failpoint.ActError, Err: core.ErrPrepareConflict,
+					After: k, Count: 1,
+				})
+				tx := stageAll(s, val)
+				if err := tx.Commit(); err != nil {
+					t.Fatalf("k=%d: Commit with retryable fault: %v", k, err)
+				}
+				tx.Release()
+				if !checkAllOrNone(t, s, last, val) {
+					t.Fatalf("k=%d: retried commit did not land", k)
+				}
+				last = val
+
+				// Hard error: surfaces, nothing lands, nothing stays
+				// locked.
+				val++
+				failpoint.Arm(fpShardPrepareLeg, failpoint.Spec{
+					Action: failpoint.ActError, After: k, Count: 1,
+				})
+				tx = stageAll(s, val)
+				err := tx.Commit()
+				if !errors.Is(err, failpoint.ErrInjected) {
+					t.Fatalf("k=%d: Commit with hard fault = %v, want ErrInjected", k, err)
+				}
+				if checkAllOrNone(t, s, last, val) {
+					t.Fatalf("k=%d: failed commit landed", k)
+				}
+				failpoint.Disarm(fpShardPrepareLeg)
+				val++
+				checkUnlocked(t, s, val)
+				last = val
+			}
+			if failpoint.Hits(fpShardPrepareLeg) == 0 {
+				t.Fatal("prepare-leg site never evaluated")
+			}
+		})
+	}
+}
+
+// TestShardChaosPanicLegAllOrNone crash-panics the coordinator at every
+// leg of both publish protocols and the prepare phase, and proves the
+// recovery contract: before the first completed publish leg the
+// transaction happened nowhere; from the first completed leg on it
+// happened everywhere (roll-forward); and in every case all shards end
+// unlocked.
+func TestShardChaosPanicLegAllOrNone(t *testing.T) {
+	type scenario struct {
+		name      string
+		site      string
+		after     uint64
+		bundles   bool
+		wantLand  bool
+		wantPanic string
+	}
+	var scenarios []scenario
+	for k := uint64(0); k < 4; k++ {
+		scenarios = append(scenarios,
+			scenario{"prepare-leg", fpShardPrepareLeg, k, true, false, "failpoint: " + fpShardPrepareLeg},
+			// publish-start leg 0 panics before anything is visible:
+			// abort-all. Legs 1..3 panic after a completed leg: the
+			// recovery must roll the remaining legs forward.
+			scenario{"publish-start-leg", fpShardPublishStartLeg, k, true, k > 0, "failpoint: " + fpShardPublishStartLeg},
+			scenario{"publish-at-leg", fpShardPublishAtLeg, k, true, true, "failpoint: " + fpShardPublishAtLeg},
+			scenario{"publish-leg", fpShardPublishLeg, k, false, k > 0, "failpoint: " + fpShardPublishLeg},
+		)
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name+"/"+string('0'+rune(sc.after)), func(t *testing.T) {
+			failpoint.Reset()
+			t.Cleanup(failpoint.Reset)
+			s := newChaosSharded(t, WithBundles(sc.bundles))
+			failpoint.Arm(sc.site, failpoint.Spec{
+				Action: failpoint.ActPanic, After: sc.after, Count: 1,
+			})
+			const val = uint64(7777)
+			tx := stageAll(s, val)
+			panicked := func() (msg string) {
+				defer func() {
+					if r := recover(); r != nil {
+						msg, _ = r.(string)
+					}
+				}()
+				_ = tx.Commit()
+				return ""
+			}()
+			if panicked != sc.wantPanic {
+				t.Fatalf("panic = %q, want %q", panicked, sc.wantPanic)
+			}
+			if landed := checkAllOrNone(t, s, 0, val); landed != sc.wantLand {
+				t.Fatalf("transaction landed = %v, want %v", landed, sc.wantLand)
+			}
+			checkUnlocked(t, s, val+1)
+		})
+	}
+}
+
+// TestShardChaosAbortLegPanicStillReleases panics between abort legs of
+// a prefix abort (a hard prepare fault at leg 2 leaves legs 0 and 1 to
+// release) and proves the sweep finishes: the panic surfaces, yet every
+// shard is unlocked and untouched.
+func TestShardChaosAbortLegPanicStillReleases(t *testing.T) {
+	failpoint.Reset()
+	t.Cleanup(failpoint.Reset)
+	s := newChaosSharded(t)
+	failpoint.Arm(fpShardPrepareLeg, failpoint.Spec{
+		Action: failpoint.ActError, After: 2, Count: 1,
+	})
+	failpoint.Arm(fpShardAbortLeg, failpoint.Spec{
+		Action: failpoint.ActPanic, Count: 1,
+	})
+	const val = uint64(8888)
+	tx := stageAll(s, val)
+	panicked := func() (msg string) {
+		defer func() {
+			if r := recover(); r != nil {
+				msg, _ = r.(string)
+			}
+		}()
+		_ = tx.Commit()
+		return ""
+	}()
+	if want := "failpoint: " + fpShardAbortLeg; panicked != want {
+		t.Fatalf("panic = %q, want %q", panicked, want)
+	}
+	if checkAllOrNone(t, s, 0, val) {
+		t.Fatal("aborted transaction landed")
+	}
+	failpoint.Disarm(fpShardPrepareLeg)
+	failpoint.Disarm(fpShardAbortLeg)
+	checkUnlocked(t, s, val+1)
+}
+
+// TestShardChaosCommitContextTimeout holds the prepare path in
+// sustained injected conflict and proves CommitContext gives up in
+// bounded time with ErrTxTimeout, counts the timeout in STMStats, and
+// leaks no prepared shard.
+func TestShardChaosCommitContextTimeout(t *testing.T) {
+	failpoint.Reset()
+	t.Cleanup(failpoint.Reset)
+	s := newChaosSharded(t)
+	// Unlimited Count: every prepare round conflicts at leg 0.
+	failpoint.Arm(fpShardPrepareLeg, failpoint.Spec{
+		Action: failpoint.ActError, Err: core.ErrPrepareConflict,
+	})
+	before := s.STMStats()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	const val = uint64(9999)
+	tx := stageAll(s, val)
+	start := time.Now()
+	err := tx.CommitContext(ctx)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrTxTimeout) {
+		t.Fatalf("CommitContext under sustained conflict = %v, want ErrTxTimeout", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("CommitContext took %v, want bounded by the 100ms deadline", elapsed)
+	}
+	if checkAllOrNone(t, s, 0, val) {
+		t.Fatal("timed-out commit landed")
+	}
+	after := s.STMStats()
+	if after.TimeoutAborts <= before.TimeoutAborts {
+		t.Fatalf("TimeoutAborts did not advance: %d -> %d", before.TimeoutAborts, after.TimeoutAborts)
+	}
+	// Zero leaked prepared shards: with the fault gone the same
+	// footprint commits immediately.
+	failpoint.Disarm(fpShardPrepareLeg)
+	checkUnlocked(t, s, val+1)
+}
+
+// TestShardChaosCommitAttemptsCap proves the configurable retry ceiling
+// replaces the old unbounded loop: under sustained conflict a plain
+// Commit fails after exactly the configured number of rounds with
+// ErrTxTimeout, records the retries in the max-retry gauge, and leaves
+// every shard clean.
+func TestShardChaosCommitAttemptsCap(t *testing.T) {
+	failpoint.Reset()
+	t.Cleanup(failpoint.Reset)
+	s := newChaosSharded(t, WithCommitAttempts(3))
+	failpoint.Arm(fpShardPrepareLeg, failpoint.Spec{
+		Action: failpoint.ActError, Err: core.ErrPrepareConflict,
+	})
+	const val = uint64(4444)
+	tx := stageAll(s, val)
+	err := tx.Commit()
+	if !errors.Is(err, ErrTxTimeout) {
+		t.Fatalf("capped Commit = %v, want ErrTxTimeout", err)
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("capped Commit error = %q, want attempt count", err)
+	}
+	if checkAllOrNone(t, s, 0, val) {
+		t.Fatal("capped commit landed")
+	}
+	st := s.STMStats()
+	if st.MaxRetry < 3 {
+		t.Fatalf("MaxRetry = %d, want >= 3", st.MaxRetry)
+	}
+	if st.TimeoutAborts == 0 {
+		t.Fatal("TimeoutAborts = 0 after attempt-cap exhaustion")
+	}
+	failpoint.Disarm(fpShardPrepareLeg)
+	checkUnlocked(t, s, val+1)
+}

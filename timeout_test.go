@@ -1,0 +1,278 @@
+package leaplist
+
+// Bounded-commit tests that run in the normal build (no failpoint tag):
+// CommitContext with expired and contended contexts, WithCommitDeadline,
+// and the WithCommitAttempts retry ceiling. Contention is created the
+// way a real competitor creates it — a held PrepareOps footprint on the
+// underlying core group — so these cover the production abort paths
+// without any injection machinery.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"leaplist/internal/core"
+)
+
+// holdFootprint prepares (and holds) a Set on key k of m's core list,
+// returning the abort func. While held, any commit touching k conflicts.
+func holdFootprint(t *testing.T, g *Group[uint64], m *Map[uint64], k uint64) func() {
+	t.Helper()
+	ops := []core.Op[uint64]{{List: m.list, Kind: core.OpSet, Key: k, Val: ^uint64(0)}}
+	p, err := g.inner.PrepareOps(ops, core.PrepareOpts{})
+	if err != nil {
+		t.Fatalf("holdFootprint: PrepareOps: %v", err)
+	}
+	return p.Abort
+}
+
+// TestCommitContextExpired: an already-dead context fails the commit
+// fast with ErrTxTimeout before touching the structure, on every
+// variant; the Tx records the error and a fresh Tx commits.
+func TestCommitContextExpired(t *testing.T) {
+	for _, v := range []Variant{LT, TM, COP, RWLock} {
+		t.Run(v.String(), func(t *testing.T) {
+			m := New[uint64](WithVariant(v))
+			if err := m.Set(1, 10); err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			tx := m.Group().Txn().Set(m, 1, 99)
+			start := time.Now()
+			err := tx.CommitContext(ctx)
+			if !errors.Is(err, ErrTxTimeout) {
+				t.Fatalf("CommitContext(canceled) = %v, want ErrTxTimeout", err)
+			}
+			if elapsed := time.Since(start); elapsed > 2*time.Second {
+				t.Fatalf("canceled commit took %v", elapsed)
+			}
+			if tx.Err() == nil {
+				t.Fatal("Tx.Err() = nil after timeout")
+			}
+			if got, _ := m.Get(1); got != 10 {
+				t.Fatalf("Get(1) = %d after failed commit, want 10", got)
+			}
+			tx.Release()
+			if err := m.Group().Txn().Set(m, 1, 99).Commit(); err != nil {
+				t.Fatalf("fresh Commit after timeout: %v", err)
+			}
+			if got, _ := m.Get(1); got != 99 {
+				t.Fatalf("Get(1) = %d, want 99", got)
+			}
+		})
+	}
+}
+
+// TestCommitContextContention: a competitor's held prepare footprint on
+// the same key keeps the commit conflicting until the context deadline;
+// CommitContext gives up in bounded time with ErrTxTimeout, records a
+// TimeoutAbort, and once the competitor aborts a fresh Tx commits.
+func TestCommitContextContention(t *testing.T) {
+	g := NewGroup[uint64](WithSTMStats(true))
+	m := g.NewMap()
+	if err := m.Set(5, 50); err != nil {
+		t.Fatal(err)
+	}
+	release := holdFootprint(t, g, m, 5)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	tx := g.Txn().Set(m, 5, 500)
+	start := time.Now()
+	err := tx.CommitContext(ctx)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrTxTimeout) {
+		t.Fatalf("CommitContext under contention = %v, want ErrTxTimeout", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("contended commit took %v, want bounded by the 100ms deadline", elapsed)
+	}
+	tx.Release()
+	release()
+	if st := g.STMStats(); st.TimeoutAborts == 0 {
+		t.Fatal("TimeoutAborts = 0 after a deadline abort")
+	}
+	if got, _ := m.Get(5); got != 50 {
+		t.Fatalf("Get(5) = %d after timed-out commit, want 50", got)
+	}
+	if err := g.Txn().Set(m, 5, 500).Commit(); err != nil {
+		t.Fatalf("Commit after competitor aborted: %v", err)
+	}
+	if got, _ := m.Get(5); got != 500 {
+		t.Fatalf("Get(5) = %d, want 500", got)
+	}
+}
+
+// TestWithCommitDeadline: the group-level deadline bounds plain Commit
+// calls with no context in sight.
+func TestWithCommitDeadline(t *testing.T) {
+	g := NewGroup[uint64](WithCommitDeadline(100 * time.Millisecond))
+	m := g.NewMap()
+	if err := m.Set(7, 70); err != nil {
+		t.Fatal(err)
+	}
+	release := holdFootprint(t, g, m, 7)
+	tx := g.Txn().Set(m, 7, 700)
+	err := tx.Commit()
+	if !errors.Is(err, ErrTxTimeout) {
+		t.Fatalf("Commit under WithCommitDeadline = %v, want ErrTxTimeout", err)
+	}
+	if !strings.Contains(err.Error(), "WithCommitDeadline") {
+		t.Fatalf("error %q does not name WithCommitDeadline as the cause", err)
+	}
+	tx.Release()
+	release()
+	if err := g.Txn().Set(m, 7, 700).Commit(); err != nil {
+		t.Fatalf("Commit after competitor aborted: %v", err)
+	}
+}
+
+// TestShardedCommitContextExpired: a dead context fails both the
+// single-shard fast path and the 2PC coordinator loop before any shard
+// is touched.
+func TestShardedCommitContextExpired(t *testing.T) {
+	s := NewSharded[uint64](4)
+	k0, k1 := uint64(1), MaxKey/2+1 // different shards
+	if err := s.Set(k0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set(k1, 20); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	// Single-shard: routed to that shard's own bounded commit.
+	tx := s.Txn()
+	tx.Set(k0, 99)
+	if err := tx.CommitContext(ctx); !errors.Is(err, ErrTxTimeout) {
+		t.Fatalf("single-shard CommitContext(canceled) = %v, want ErrTxTimeout", err)
+	}
+	tx.Release()
+
+	// Cross-shard: the coordinator observes the dead context at the loop
+	// top, before any prepare leg runs.
+	tx = s.Txn()
+	tx.Set(k0, 99)
+	tx.Set(k1, 99)
+	if err := tx.CommitContext(ctx); !errors.Is(err, ErrTxTimeout) {
+		t.Fatalf("cross-shard CommitContext(canceled) = %v, want ErrTxTimeout", err)
+	}
+	tx.Release()
+
+	if got, _ := s.Get(k0); got != 10 {
+		t.Fatalf("Get(k0) = %d, want 10", got)
+	}
+	if got, _ := s.Get(k1); got != 20 {
+		t.Fatalf("Get(k1) = %d, want 20", got)
+	}
+	tx = s.Txn()
+	tx.Set(k0, 99)
+	tx.Set(k1, 99)
+	if err := tx.CommitContext(context.Background()); err != nil {
+		t.Fatalf("CommitContext(live) after timeouts: %v", err)
+	}
+	tx.Release()
+}
+
+// TestShardedCommitContextContention: a held footprint on one shard
+// keeps that prepare leg conflicting; the cross-shard CommitContext
+// times out in bounded time, aborts its prefix cleanly (the other
+// shard stays available), and commits once the competitor is gone.
+func TestShardedCommitContextContention(t *testing.T) {
+	s := NewSharded[uint64](4, WithSTMStats(true))
+	k0, k1 := uint64(1), MaxKey/2+1
+	if err := s.Set(k0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set(k1, 20); err != nil {
+		t.Fatal(err)
+	}
+	sh := s.ShardOf(k0)
+	release := holdFootprint(t, s.groups[sh], s.maps[sh], k0)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	tx := s.Txn()
+	tx.Set(k0, 99)
+	tx.Set(k1, 99)
+	start := time.Now()
+	err := tx.CommitContext(ctx)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrTxTimeout) {
+		t.Fatalf("cross-shard CommitContext under contention = %v, want ErrTxTimeout", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("contended 2PC took %v, want bounded by the 100ms deadline", elapsed)
+	}
+	tx.Release()
+	if st := s.STMStats(); st.TimeoutAborts == 0 {
+		t.Fatal("TimeoutAborts = 0 after a 2PC deadline abort")
+	}
+	// The uncontended shard was released by the prefix abort: a
+	// single-shard write there commits immediately.
+	if err := s.Set(k1, 21); err != nil {
+		t.Fatalf("Set on released shard: %v", err)
+	}
+	release()
+	if got, _ := s.Get(k0); got != 10 {
+		t.Fatalf("Get(k0) = %d after timed-out 2PC, want 10", got)
+	}
+	tx = s.Txn()
+	tx.Set(k0, 99)
+	tx.Set(k1, 99)
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("Commit after competitor aborted: %v", err)
+	}
+	tx.Release()
+}
+
+// TestWithCommitAttempts: the retry ceiling bounds a plain cross-shard
+// Commit with no deadline at all — under a sustained conflict it fails
+// after the configured number of rounds with ErrTxTimeout naming the
+// attempt count, and the stats record the retries.
+func TestWithCommitAttempts(t *testing.T) {
+	s := NewSharded[uint64](4, WithSTMStats(true), WithCommitAttempts(2))
+	k0, k1 := uint64(1), MaxKey/2+1
+	if err := s.Set(k0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set(k1, 20); err != nil {
+		t.Fatal(err)
+	}
+	sh := s.ShardOf(k0)
+	release := holdFootprint(t, s.groups[sh], s.maps[sh], k0)
+
+	tx := s.Txn()
+	tx.Set(k0, 99)
+	tx.Set(k1, 99)
+	err := tx.Commit()
+	if !errors.Is(err, ErrTxTimeout) {
+		t.Fatalf("capped Commit = %v, want ErrTxTimeout", err)
+	}
+	if !strings.Contains(err.Error(), "after 2 attempts") {
+		t.Fatalf("capped Commit error = %q, want the attempt count", err)
+	}
+	tx.Release()
+	release()
+	st := s.STMStats()
+	if st.MaxRetry < 2 {
+		t.Fatalf("MaxRetry = %d, want >= 2", st.MaxRetry)
+	}
+	if st.TimeoutAborts == 0 {
+		t.Fatal("TimeoutAborts = 0 after attempt-cap exhaustion")
+	}
+	if got, _ := s.Get(k0); got != 10 {
+		t.Fatalf("Get(k0) = %d after capped commit, want 10", got)
+	}
+	tx = s.Txn()
+	tx.Set(k0, 99)
+	tx.Set(k1, 99)
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("Commit after competitor aborted: %v", err)
+	}
+	tx.Release()
+}

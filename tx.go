@@ -1,13 +1,27 @@
 package leaplist
 
 import (
+	"context"
 	"errors"
+	"fmt"
+	"time"
 
 	"leaplist/internal/core"
 )
 
 // ErrTxCommitted is returned (or recorded) when a Tx is used after Commit.
 var ErrTxCommitted = errors.New("leaplist: transaction already committed")
+
+// ErrTxTimeout is returned (wrapped, with the cause) when a bounded
+// commit — CommitContext with an expiring context, WithCommitDeadline,
+// or WithCommitAttempts — gives up before winning. The transaction had
+// no effect: every lock taken by the attempt was released and every
+// prepared shard cleanly aborted, so the maps are exactly as if the
+// commit was never tried. The error is a load signal, not a corruption
+// signal — the caller may retry, shed the transaction, or degrade (see
+// examples/bank for a shed-to-single-shard fallback). Test with
+// errors.Is(err, ErrTxTimeout).
+var ErrTxTimeout = errors.New("leaplist: transaction commit deadline exceeded")
 
 // Tx is a declarative transaction builder: stage any mix of Set, SetIf,
 // SetNX, Delete, Get, GetRange and DeleteRange operations across any
@@ -238,6 +252,31 @@ func (t *Tx[V]) Err() error {
 // keeps returning its zero result, and a repeat Commit returns the same
 // error rather than ErrTxCommitted.
 func (t *Tx[V]) Commit() error {
+	return t.commit(core.PrepareOpts{}, nil)
+}
+
+// CommitContext is Commit bounded by ctx: if the context is canceled or
+// its deadline passes before the commit wins its prepare, the attempt
+// is cleanly abandoned (nothing held, nothing published) and
+// CommitContext returns an error wrapping ErrTxTimeout and ctx's cause.
+// A group deadline from WithCommitDeadline applies in addition, as an
+// upper bound relative to the CommitContext call. Like a commit error,
+// the timeout is recorded in the Tx (the staged ops keep zero results);
+// unlike other errors the caller may build a fresh Tx and retry, or
+// degrade — the structure is untouched.
+//
+// Under the RW variant prepare blocks on per-map locks rather than
+// retrying, so cancellation is observed only between lock convoys; the
+// bound can overshoot by one competitor's (short) publish.
+func (t *Tx[V]) CommitContext(ctx context.Context) error {
+	opt := core.PrepareOpts{Done: ctx.Done()}
+	if d, ok := ctx.Deadline(); ok {
+		opt.Deadline = d
+	}
+	return t.commit(opt, ctx)
+}
+
+func (t *Tx[V]) commit(opt core.PrepareOpts, ctx context.Context) error {
 	if t.err != nil {
 		return t.err
 	}
@@ -248,11 +287,27 @@ func (t *Tx[V]) Commit() error {
 	if len(t.ops) == 0 {
 		return nil
 	}
-	if err := t.g.inner.CommitOps(t.ops); err != nil {
+	if d := t.g.commitDeadline; d > 0 {
+		if dl := time.Now().Add(d); opt.Deadline.IsZero() || dl.Before(opt.Deadline) {
+			opt.Deadline = dl
+		}
+	}
+	if err := t.g.inner.CommitOpsOpt(t.ops, opt); err != nil {
+		if errors.Is(err, core.ErrCanceled) {
+			err = txTimeoutErr(ctx)
+		}
 		t.err = err
 		return err
 	}
 	return nil
+}
+
+// txTimeoutErr wraps ErrTxTimeout with the cancellation cause.
+func txTimeoutErr(ctx context.Context) error {
+	if ctx != nil && ctx.Err() != nil {
+		return fmt.Errorf("%w: %v", ErrTxTimeout, ctx.Err())
+	}
+	return fmt.Errorf("%w (WithCommitDeadline)", ErrTxTimeout)
 }
 
 // TxGet is the handle of a staged Get; valid after its Tx commits.
